@@ -1,0 +1,239 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B target per artifact. Each bench reports the
+// figure's headline numbers as custom metrics, so `go test -bench=.`
+// doubles as the reproduction harness:
+//
+//	go test -bench=Figure2 -benchmem
+//	go test -bench=. -benchtime=1x -scale=medium
+//
+// The -scale flag selects small (default, seconds), medium, or paper (the
+// paper's own sample sizes).
+package interferometry_test
+
+import (
+	"flag"
+	"sync"
+	"testing"
+
+	"interferometry"
+	"interferometry/internal/experiments"
+)
+
+var scaleFlag = flag.String("scale", "small", "experiment scale: small, medium or paper")
+
+// benchCtx caches campaign datasets across benchmark targets, exactly as
+// the paper reuses "the same first 100 reorderings" across its figures.
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *interferometry.ExperimentContext
+)
+
+func ctx(b *testing.B) *interferometry.ExperimentContext {
+	b.Helper()
+	benchCtxOnce.Do(func() {
+		scale, ok := interferometry.ScaleByName(*scaleFlag)
+		if !ok {
+			b.Fatalf("unknown scale %q", *scaleFlag)
+		}
+		benchCtx = interferometry.NewExperimentContext(scale)
+	})
+	return benchCtx
+}
+
+// BenchmarkFigure1Violins regenerates Figure 1: percent CPI variation
+// across code reorderings for the whole suite.
+func BenchmarkFigure1Violins(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name, max := res.MaxSpread()
+		b.ReportMetric(max, "max_spread_pct")
+		_ = name
+	}
+}
+
+// BenchmarkFigure2Regression regenerates Figure 2: the CPI-vs-MPKI
+// regressions for 400.perlbench and 471.omnetpp.
+func BenchmarkFigure2Regression(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Series[0].Model.Fit.Slope, "perlbench_slope")
+		b.ReportMetric(res.Series[0].Model.Fit.Intercept, "perlbench_intercept")
+		b.ReportMetric(res.Series[1].Model.Fit.R2, "omnetpp_r2")
+	}
+}
+
+// BenchmarkFigure3CacheModel regenerates Figure 3: calculix cache-effect
+// models under heap randomization + code reordering.
+func BenchmarkFigure3CacheModel(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.L1.Model.Fit.R2, "l1_r2")
+		b.ReportMetric(res.L1.Model.Fit.Slope, "l1_slope_cyc")
+		b.ReportMetric(res.L2.Model.Fit.R2, "l2_r2")
+	}
+}
+
+// BenchmarkFigure4Linearity regenerates Figure 4: regression
+// extrapolation error over the predictor configuration sweep.
+func BenchmarkFigure4Linearity(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgPerfectErrPct, "avg_perfect_err_pct")
+		b.ReportMetric(res.AvgLTAGEErrPct, "avg_ltage_err_pct")
+	}
+}
+
+// BenchmarkFigure5LinearityLines regenerates Figure 5: the normalized
+// regression lines for the most- and least-linear benchmarks.
+func BenchmarkFigure5LinearityLines(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(c, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lin, non float64
+		for _, s := range res.Linear {
+			lin += s.ErrAtZero
+		}
+		for _, s := range res.NonLinear {
+			non += s.ErrAtZero
+		}
+		b.ReportMetric(lin/3, "linear_panel_err_pct")
+		b.ReportMetric(non/3, "nonlinear_panel_err_pct")
+	}
+}
+
+// BenchmarkFigure6Blame regenerates Figure 6: r² attribution of CPI
+// variance to branch mispredictions, L1I and L2 misses.
+func BenchmarkFigure6Blame(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgBranch, "avg_branch_r2")
+		b.ReportMetric(res.AvgCombined, "avg_combined_r2")
+	}
+}
+
+// BenchmarkFigure7PredictorMPKI regenerates Figure 7: MPKI of the real
+// and simulated predictors over the campaign reorderings.
+func BenchmarkFigure7PredictorMPKI(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Avg["real"], "real_mpki")
+		b.ReportMetric(res.Avg["gas-8KB"], "gas8kb_mpki")
+		b.ReportMetric(res.Avg["gas-16KB"], "gas16kb_mpki")
+		b.ReportMetric(res.Avg["l-tage"], "ltage_mpki")
+	}
+}
+
+// BenchmarkFigure8PredictedCPI regenerates Figure 8: predicted CPI per
+// predictor and the paper's §7.2 improvement headlines.
+func BenchmarkFigure8PredictedCPI(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(c, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgRealCPI, "real_cpi")
+		b.ReportMetric(res.PerfectImprovementPct, "perfect_improvement_pct")
+		b.ReportMetric(res.LTAGEImprovementPct, "ltage_improvement_pct")
+	}
+}
+
+// BenchmarkTable1Models regenerates Table 1: the per-benchmark
+// least-squares models with prediction intervals at 0 MPKI.
+func BenchmarkTable1Models(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanSlope(), "mean_slope")
+		b.ReportMetric(float64(len(res.Rows)), "benchmarks")
+	}
+}
+
+// BenchmarkAblations runs the reproduction's design-choice ablations:
+// the measurement protocol, the fetch-alignment heuristic, the
+// randomizing allocator, the pintool warmup pass and the hybrid machine
+// predictor.
+func BenchmarkAblations(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablations(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Rows)), "ablations")
+	}
+}
+
+// BenchmarkExtICache runs the future-work extension: instruction-cache
+// interferometry (fit CPI vs L1I misses, evaluate hypothetical cache
+// geometries through the model).
+func BenchmarkExtICache(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtICache(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ValidationErrPct, "validation_err_pct")
+		b.ReportMetric(res.Model.Fit.R2, "l1i_r2")
+	}
+}
+
+// BenchmarkExtDepth runs the pipeline-depth sensitivity extension: the
+// fitted slope ratio across two machines must recover the configured
+// flush-penalty ratio.
+func BenchmarkExtDepth(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtDepth(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanRatio, "fitted_ratio")
+		b.ReportMetric(res.TrueRatio, "true_ratio")
+	}
+}
+
+// BenchmarkSignificanceScreen regenerates the §4.6/§6.3 screen: how many
+// benchmarks reject the no-correlation null with escalating samples.
+func BenchmarkSignificanceScreen(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Significance(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SignificantCount), "significant")
+		b.ReportMetric(float64(res.Total), "total")
+	}
+}

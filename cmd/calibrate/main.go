@@ -1,0 +1,119 @@
+// Command calibrate runs a quick interferometry campaign over the whole
+// benchmark suite and prints each benchmark's measured characteristics
+// (CPI, MPKI, cache miss rates, CPI spread across layouts, regression r²
+// and significance). It exists to tune the synthetic suite against the
+// paper's Table 1 shapes and to sanity-check a machine configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"interferometry/internal/core"
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
+	"interferometry/internal/stats"
+)
+
+func main() {
+	layouts := flag.Int("layouts", 30, "code reorderings per benchmark")
+	budget := flag.Uint64("budget", 300000, "instructions per run")
+	randomizeHeap := flag.Bool("heap", false, "use the randomizing allocator")
+	only := flag.String("only", "", "run a single benchmark by name")
+	sim := flag.Bool("sim", false, "use the simulation suite instead")
+	paper := flag.Bool("paper", false, "use the median-of-five paper measurement protocol")
+	footprint := flag.Bool("footprint", false, "print per-benchmark working-set footprints and exit")
+	flag.Parse()
+
+	suite := progen.Suite()
+	if *sim {
+		suite = progen.SimSuite()
+	}
+	if *footprint {
+		printFootprints(suite, *budget, *only)
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tCPI\tMPKI\tsd(MPKI)\tL1I/KI\tL1D/KI\tL2/KI\tCPIspread%\tr2mpki\tr2l1i\tr2l2\tslope\ticept\tp\tsig")
+	for _, spec := range suite {
+		if *only != "" && spec.Name != *only {
+			continue
+		}
+		prog := progen.MustGenerate(spec)
+		mode := heap.ModeBump
+		if *randomizeHeap {
+			mode = heap.ModeRandomized
+		}
+		fid := pmc.FidelityFast
+		if *paper {
+			fid = pmc.FidelityPaper
+		}
+		ds, err := core.RunCampaign(core.CampaignConfig{
+			Program:   prog,
+			InputSeed: 1,
+			Budget:    *budget,
+			Layouts:   *layouts,
+			HeapMode:  mode,
+			Fidelity:  fid,
+			BaseSeed:  42,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
+			continue
+		}
+		cpis := ds.CPIs()
+		sum, _ := stats.Summarize(cpis)
+		meanMPKI := stats.Mean(ds.PKIs(pmc.EvBranchMispredicts))
+		meanL1I := stats.Mean(ds.PKIs(pmc.EvL1IMisses))
+		meanL1D := stats.Mean(ds.PKIs(pmc.EvL1DMisses))
+		meanL2 := stats.Mean(ds.PKIs(pmc.EvL2Misses))
+		model, err := ds.MPKIModel()
+		r2, slope, icept, p, sig := 0.0, 0.0, 0.0, 1.0, "no"
+		if err == nil {
+			r2, slope, icept, p = model.Fit.R2, model.Fit.Slope, model.Fit.Intercept, model.Fit.PValue
+			if model.Significant() {
+				sig = "YES"
+			}
+		}
+		blame := ds.BlameAnalysis()
+		sdMPKI := stats.StdDev(ds.PKIs(pmc.EvBranchMispredicts))
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\t%.3f\t%.3f\t%.3f\t%.4f\t%.3f\t%.3g\t%s\n",
+			spec.Name, sum.Mean, meanMPKI, sdMPKI, meanL1I, meanL1D, meanL2,
+			sum.PctSpreadRange, r2, blame.PerEvent[pmc.EvL1IMisses], blame.PerEvent[pmc.EvL2Misses],
+			slope, icept, p, sig)
+		w.Flush()
+	}
+}
+
+// printFootprints reports each benchmark's hot code and data working set
+// so specs can be positioned relative to the cache hierarchy (32KB L1s,
+// 512KB L2).
+func printFootprints(suite []progen.Spec, budget uint64, only string) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tstaticKB\thotCodeKB\tblocksRun\tdataKB\tobjects\tmem/KI")
+	for _, spec := range suite {
+		if only != "" && spec.Name != only {
+			continue
+		}
+		prog := progen.MustGenerate(spec)
+		tr, err := interp.Run(prog, 1, interp.StopRule{Budget: budget})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
+			continue
+		}
+		fp := tr.ComputeFootprint()
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%d\t%.1f\t%d\t%.1f\n",
+			spec.Name,
+			float64(prog.CodeBytes())/1024,
+			float64(fp.HotCodeBytes)/1024,
+			fp.BlocksExecuted,
+			float64(fp.DataBytes())/1024,
+			fp.ObjectsTouched,
+			float64(tr.MemAccesses())/float64(tr.Instrs)*1000)
+		w.Flush()
+	}
+}

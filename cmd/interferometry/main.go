@@ -1,0 +1,117 @@
+// Command interferometry regenerates the paper's tables and figures from
+// the Go reproduction. Each experiment prints the same rows or series the
+// paper reports.
+//
+// Usage:
+//
+//	interferometry -exp fig2 -scale medium
+//	interferometry -exp all -scale small
+//	interferometry -list
+//
+// Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 sig all.
+// Scales: small (seconds per experiment), medium (the default), paper
+// (the paper's own sample sizes; minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"interferometry/internal/experiments"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(ctx *experiments.Context) (fmt.Stringer, error)
+}
+
+// render adapts a Render() string method to fmt.Stringer.
+type rendered struct{ s string }
+
+func (r rendered) String() string { return r.s }
+
+func wrap[T interface{ Render() string }](f func(*experiments.Context) (T, error)) func(*experiments.Context) (fmt.Stringer, error) {
+	return func(ctx *experiments.Context) (fmt.Stringer, error) {
+		res, err := f(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return rendered{res.Render()}, nil
+	}
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig1", "violin plots of % CPI variation across code reorderings", wrap(experiments.Figure1)},
+		{"fig2", "CPI vs MPKI regressions for perlbench and omnetpp", wrap(experiments.Figure2)},
+		{"fig3", "cache-effect models for calculix under heap randomization", wrap(experiments.Figure3)},
+		{"fig4", "regression extrapolation error over 145 predictor configs", wrap(experiments.Figure4)},
+		{"fig5", "MPKI vs normalized CPI lines for the linearity extremes", func(ctx *experiments.Context) (fmt.Stringer, error) {
+			res, err := experiments.Figure5(ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			return rendered{res.Render()}, nil
+		}},
+		{"fig6", "r² blame analysis per microarchitectural event", wrap(experiments.Figure6)},
+		{"fig7", "MPKI of real and simulated predictors", wrap(experiments.Figure7)},
+		{"fig8", "predicted CPI per predictor with prediction intervals", func(ctx *experiments.Context) (fmt.Stringer, error) {
+			res, err := experiments.Figure8(ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			return rendered{res.Render()}, nil
+		}},
+		{"table1", "least-squares models per benchmark", wrap(experiments.Table1)},
+		{"sig", "significance screen with sample escalation", wrap(experiments.Significance)},
+		{"ablation", "design-choice ablations of the reproduction itself", wrap(experiments.Ablations)},
+		{"ext-icache", "future-work extension: instruction-cache interferometry", wrap(experiments.ExtICache)},
+		{"ext-dcache", "future-work extension: data-cache interferometry", wrap(experiments.ExtDCache)},
+		{"ext-depth", "pipeline-depth sensitivity: the slope measures the flush cost", wrap(experiments.ExtDepth)},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig1..fig8, table1, sig, all)")
+	scaleName := flag.String("scale", "medium", "scale: small, medium or paper")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	rs := runners()
+	if *list {
+		for _, r := range rs {
+			fmt.Printf("%-8s %s\n", r.name, r.desc)
+		}
+		return
+	}
+	scale, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small, medium or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	ctx := experiments.NewContext(scale)
+	ctx.Workers = *workers
+
+	ran := 0
+	for _, r := range rs {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := r.run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%s scale, %s) ====\n%s\n", r.name, scale.Name, time.Since(start).Round(time.Millisecond), res)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}

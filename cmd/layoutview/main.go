@@ -1,0 +1,103 @@
+// Command layoutview shows what layout perturbation actually does: for a
+// benchmark and a set of seeds, it prints where the linker placed each
+// procedure and how the placements differ — the raw material of program
+// interferometry.
+//
+// Usage:
+//
+//	layoutview -bench 400.perlbench -seeds 3 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"interferometry/internal/isa"
+	"interferometry/internal/progen"
+	"interferometry/internal/toolchain"
+)
+
+func main() {
+	bench := flag.String("bench", "400.perlbench", "benchmark name")
+	seeds := flag.Int("seeds", 3, "number of layout seeds to compare")
+	top := flag.Int("top", 12, "procedures to display")
+	flag.Parse()
+
+	spec, ok := progen.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	prog := progen.MustGenerate(spec)
+
+	exes := make([]*toolchain.Executable, *seeds)
+	for i := range exes {
+		exe, err := toolchain.BuildLayout(prog, uint64(i+1), toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exes[i] = exe
+	}
+
+	fmt.Printf("%s: %d procedures, %d blocks, %d static branches, text %.1fKB\n",
+		prog.Name, len(prog.Procs), len(prog.Blocks), prog.StaticBranchCount(),
+		float64(exes[0].CodeBytes())/1024)
+
+	// Show the first procedures in program order across layouts.
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "procedure")
+	for i := range exes {
+		fmt.Fprintf(w, "\tseed %d", i+1)
+	}
+	fmt.Fprintln(w)
+	n := *top
+	if n > len(prog.Procs) {
+		n = len(prog.Procs)
+	}
+	for pid := 0; pid < n; pid++ {
+		fmt.Fprintf(w, "%s", prog.Procs[pid].Name)
+		for _, exe := range exes {
+			fmt.Fprintf(w, "\t%#x", exe.ProcAddr[pid])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+
+	// Quantify the perturbation: how many procedures moved between
+	// consecutive seeds, and how the link order changed.
+	for i := 1; i < len(exes); i++ {
+		moved := 0
+		for pid := range prog.Procs {
+			if exes[i].ProcAddr[pid] != exes[0].ProcAddr[pid] {
+				moved++
+			}
+		}
+		fmt.Printf("seed %d vs seed 1: %d/%d procedures at different addresses, link-order distance %d\n",
+			i+1, moved, len(prog.Procs), orderDistance(exes[0].LinkOrder, exes[i].LinkOrder))
+	}
+}
+
+// orderDistance counts pairwise order inversions between two permutations
+// of the same procedures (a simple Kendall-tau style distance).
+func orderDistance(a, b []isa.ProcID) int {
+	posB := map[isa.ProcID]int{}
+	for i, p := range b {
+		posB[p] = i
+	}
+	seq := make([]int, len(a))
+	for i, p := range a {
+		seq[i] = posB[p]
+	}
+	inv := 0
+	for i := 0; i < len(seq); i++ {
+		for j := i + 1; j < len(seq); j++ {
+			if seq[i] > seq[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}

@@ -1,0 +1,278 @@
+// Command report runs the full reproduction and writes a self-contained
+// report directory: the rendered text of every experiment, JSON with the
+// structured results, and per-benchmark CSVs of the raw observations so
+// the paper's scatter plots can be redrawn in any plotting tool.
+//
+// Usage:
+//
+//	report -out report/ -scale medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"interferometry/internal/experiments"
+	"interferometry/internal/results"
+	"interferometry/internal/svgplot"
+)
+
+func main() {
+	out := flag.String("out", "report", "output directory")
+	scaleName := flag.String("scale", "medium", "scale: small, medium or paper")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	scale, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	if err := os.MkdirAll(filepath.Join(*out, "datasets"), 0o755); err != nil {
+		fatal(err)
+	}
+	ctx := experiments.NewContext(scale)
+	ctx.Workers = *workers
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "# Program Interferometry — reproduction report\n\nscale: %s, generated %s\n\n",
+		scale.Name, time.Now().Format(time.RFC3339))
+
+	section := func(name string, render func() (string, any, error)) {
+		start := time.Now()
+		text, structured, err := render()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintf(&md, "## %s\n\n```\n%s```\n\n", name, text)
+		if structured != nil {
+			f, err := os.Create(filepath.Join(*out, name+".json"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := results.WriteJSON(f, structured); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "%-8s done in %s\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var fig4 *experiments.Fig4Result
+	var fig7 *experiments.Fig7Result
+
+	section("fig1", func() (string, any, error) {
+		r, err := experiments.Figure1(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("fig2", func() (string, any, error) {
+		r, err := experiments.Figure2(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("fig3", func() (string, any, error) {
+		r, err := experiments.Figure3(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("fig4", func() (string, any, error) {
+		r, err := experiments.Figure4(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		fig4 = r
+		return r.Render(), r, nil
+	})
+	section("fig5", func() (string, any, error) {
+		r, err := experiments.Figure5(ctx, fig4)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("fig6", func() (string, any, error) {
+		r, err := experiments.Figure6(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("fig7", func() (string, any, error) {
+		r, err := experiments.Figure7(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		fig7 = r
+		return r.Render(), r, nil
+	})
+	section("fig8", func() (string, any, error) {
+		r, err := experiments.Figure8(ctx, fig7)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("table1", func() (string, any, error) {
+		r, err := experiments.Table1(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("significance", func() (string, any, error) {
+		r, err := experiments.Significance(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("ablation", func() (string, any, error) {
+		r, err := experiments.Ablations(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("ext-icache", func() (string, any, error) {
+		r, err := experiments.ExtICache(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("ext-dcache", func() (string, any, error) {
+		r, err := experiments.ExtDCache(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+	section("ext-depth", func() (string, any, error) {
+		r, err := experiments.ExtDepth(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Render(), r, nil
+	})
+
+	// SVG renderings of the plot-shaped figures.
+	if err := os.MkdirAll(filepath.Join(*out, "figs"), 0o755); err != nil {
+		fatal(err)
+	}
+	if err := writeFigs(ctx, filepath.Join(*out, "figs")); err != nil {
+		fatal(err)
+	}
+
+	// Raw observations behind the figures.
+	for key, ds := range ctx.CachedDatasets() {
+		name := strings.ReplaceAll(key, "/", "_") + ".csv"
+		f, err := os.Create(filepath.Join(*out, "datasets", name))
+		if err != nil {
+			fatal(err)
+		}
+		if err := results.WriteDatasetCSV(f, ds); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if err := os.WriteFile(filepath.Join(*out, "report.md"), []byte(md.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("report written to %s (report.md, *.json, datasets/*.csv)\n", *out)
+}
+
+// writeFigs renders Figures 1-3 as SVG from the context's cached
+// datasets (the drivers have already run, so these are cheap refits).
+func writeFigs(ctx *experiments.Context, dir string) error {
+	fig1, err := experiments.Figure1(ctx)
+	if err != nil {
+		return err
+	}
+	var v svgplot.Violins
+	v.Title = "Figure 1: % CPI variation with code reordering"
+	v.YLabel = "% deviation from mean CPI"
+	for _, violin := range fig1.Violins {
+		col := svgplot.ViolinColumn{Label: violin.Label}
+		for _, p := range violin.Profile {
+			col.Profile = append(col.Profile, [2]float64{p.Value, p.Density})
+		}
+		v.Cols = append(v.Cols, col)
+	}
+	if err := writeSVG(filepath.Join(dir, "fig1.svg"), func(w *os.File) error {
+		return svgplot.WriteViolins(w, v)
+	}); err != nil {
+		return err
+	}
+
+	fig2, err := experiments.Figure2(ctx)
+	if err != nil {
+		return err
+	}
+	for _, s := range fig2.Series {
+		s := s
+		name := fmt.Sprintf("fig2-%s.svg", strings.ReplaceAll(s.Benchmark, ".", "_"))
+		if err := writeSVG(filepath.Join(dir, name), func(w *os.File) error {
+			return svgplot.WriteScatter(w, seriesToScatter(s, "Figure 2"))
+		}); err != nil {
+			return err
+		}
+	}
+
+	fig3, err := experiments.Figure3(ctx)
+	if err != nil {
+		return err
+	}
+	for i, s := range []experiments.RegressionSeries{fig3.L1, fig3.L2} {
+		s := s
+		name := fmt.Sprintf("fig3-%c.svg", 'a'+i)
+		if err := writeSVG(filepath.Join(dir, name), func(w *os.File) error {
+			return svgplot.WriteScatter(w, seriesToScatter(s, "Figure 3"))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func seriesToScatter(s experiments.RegressionSeries, figure string) svgplot.Scatter {
+	sc := svgplot.Scatter{
+		Title:  fmt.Sprintf("%s: %s - CPI vs %s", figure, s.Benchmark, s.XLabel),
+		XLabel: s.XLabel,
+		YLabel: "CPI",
+		X:      s.X,
+		Y:      s.CPI,
+	}
+	for _, p := range s.Band {
+		sc.Band = append(sc.Band, svgplot.BandPoint{
+			X: p.X, Fit: p.Fit,
+			CILow: p.Confidence.Low, CIHigh: p.Confidence.High,
+			PILow: p.Prediction.Low, PIHigh: p.Prediction.High,
+		})
+	}
+	return sc
+}
+
+func writeSVG(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Newpredictor: the paper's §7 use case — evaluate branch predictors for
+// an existing machine without a cycle-accurate simulator.
+//
+// We build the performance model from real-machine measurements, then
+// simulate only the candidate predictors (GAs at several budgets, L-TAGE,
+// and a custom predictor defined right here) on the same executables, and
+// push their misprediction rates through the model. "Our tool allows a
+// quick way of evaluating many potential branch predictors for a given
+// microarchitecture" (§7.2.3).
+//
+// Run with: go run ./examples/newpredictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"interferometry"
+)
+
+// agreeGshare is our hypothetical design: a gshare predictor whose table
+// is protected from aliasing by an agreement bit per branch (a simplified
+// agree predictor). It implements interferometry.Predictor, which is all
+// the pipeline needs.
+type agreeGshare struct {
+	bias  map[uint64]bool // first-seen direction per branch ("agree" bit)
+	table []int8          // 2-bit agree counters
+	hist  uint64
+}
+
+func newAgreeGshare() *agreeGshare {
+	return &agreeGshare{bias: make(map[uint64]bool), table: make([]int8, 4096)}
+}
+
+func (a *agreeGshare) index(pc uint64) uint64 {
+	h := pc >> 2
+	return (h ^ h>>13 ^ a.hist&0xfff) & 4095
+}
+
+func (a *agreeGshare) Predict(pc uint64) bool {
+	bias, seen := a.bias[pc]
+	if !seen {
+		return false
+	}
+	agree := a.table[a.index(pc)] >= 0
+	if agree {
+		return bias
+	}
+	return !bias
+}
+
+func (a *agreeGshare) Update(pc uint64, taken bool) {
+	bias, seen := a.bias[pc]
+	if !seen {
+		a.bias[pc] = taken
+		bias = taken
+	}
+	i := a.index(pc)
+	if taken == bias {
+		if a.table[i] < 1 {
+			a.table[i]++
+		}
+	} else if a.table[i] > -2 {
+		a.table[i]--
+	}
+	a.hist = a.hist<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (a *agreeGshare) Name() string  { return "agree-gshare-4096" }
+func (a *agreeGshare) SizeBits() int { return 2*4096 + 12 }
+func (a *agreeGshare) Reset() {
+	a.bias = make(map[uint64]bool)
+	for i := range a.table {
+		a.table[i] = 0
+	}
+	a.hist = 0
+}
+
+func main() {
+	spec, _ := interferometry.BenchmarkByName("445.gobmk")
+	prog, err := interferometry.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := interferometry.RunCampaign(interferometry.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    300_000,
+		Layouts:   40,
+		BaseSeed:  7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := ds.MPKIModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(model)
+
+	candidates := append(interferometry.PaperPredictors(),
+		interferometry.PredictorFactory{
+			Name: "agree-gshare-4096",
+			New:  func() interferometry.Predictor { return newAgreeGshare() },
+		},
+	)
+	evals, err := ds.EvaluatePredictors(model, candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	real := ds.RealPredictor(model)
+	fmt.Printf("\n%-20s %8s %12s\n", "predictor", "MPKI", "pred. CPI")
+	fmt.Printf("%-20s %8.3f %8.4f (measured)\n", "machine (real)", real.MPKI, real.CPI.Center)
+	for _, e := range evals {
+		fmt.Printf("%-20s %8.3f %8.4f [%.4f, %.4f]\n",
+			e.Name, e.MPKI, e.PredictedCPI.Center, e.PredictedCPI.Low, e.PredictedCPI.High)
+	}
+	fmt.Printf("%-20s %8.3f %8.4f (extrapolated)\n", "perfect", 0.0, model.PredictCPI(0).Center)
+}

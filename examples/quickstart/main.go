@@ -1,0 +1,67 @@
+// Quickstart: the minimal end-to-end interferometry workflow.
+//
+// We pick one benchmark, measure it under 40 code reorderings, fit the
+// CPI-versus-MPKI regression model, and ask the model two questions the
+// paper asks in §1.4: what would a perfect branch predictor buy, and what
+// does one extra misprediction per kilo-instruction cost?
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"interferometry"
+)
+
+func main() {
+	spec, ok := interferometry.BenchmarkByName("400.perlbench")
+	if !ok {
+		log.Fatal("suite benchmark missing")
+	}
+	prog, err := interferometry.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: %d procedures, %d static branches\n",
+		prog.Name, len(prog.Procs), prog.StaticBranchCount())
+
+	ds, err := interferometry.RunCampaign(interferometry.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    300_000, // retired instructions per run
+		Layouts:   40,      // semantically equivalent executables
+		BaseSeed:  2024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := ds.MPKIModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(model)
+	if !model.Significant() {
+		fmt.Println("warning: correlation not significant at p<=0.05; add layouts")
+	}
+
+	real := ds.RealPredictor(model)
+	perfect := model.PredictCPI(0)
+	fmt.Printf("measured:  MPKI %.2f, CPI %.4f (95%% CI ±%.4f)\n",
+		real.MPKI, real.CPI.Center, real.CPI.Half())
+	fmt.Printf("perfect prediction: CPI %.4f (95%% PI [%.4f, %.4f])\n",
+		perfect.Center, perfect.Low, perfect.High)
+	fmt.Printf("=> improvement %.1f%%\n", (real.CPI.Center-perfect.Center)/real.CPI.Center*100)
+
+	half := model.PredictCPI(real.MPKI / 2)
+	fmt.Printf("halving MPKI to %.2f: CPI %.4f (%.1f%% better)\n",
+		real.MPKI/2, half.Center, (real.CPI.Center-half.Center)/real.CPI.Center*100)
+
+	// The paper's third §1.4 planning statement, inverted: how much of the
+	// misprediction rate must a new predictor remove to buy 10% CPI?
+	red := model.ReductionForCPIGain(real.MPKI, 10)
+	fmt.Printf("a 10%% CPI improvement requires removing %.0f%% of mispredictions\n", red*100)
+}

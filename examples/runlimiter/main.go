@@ -1,0 +1,73 @@
+// Runlimiter: the §5.7 two-pass profiling and instrumentation workflow.
+//
+// SPEC benchmarks run for over 30 minutes on ref inputs; the paper's
+// Camino pass profiles a benchmark for ~2 minutes, picks "a procedure
+// with a low dynamic count that is also executed near the end" and
+// instruments it to stop the program after the same number of entries —
+// so every perturbed executable of the campaign retires exactly the same
+// instruction count. This example runs the two passes and demonstrates
+// the invariant.
+//
+// Run with: go run ./examples/runlimiter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"interferometry"
+	"interferometry/internal/interp"
+	"interferometry/internal/toolchain"
+)
+
+func main() {
+	spec, _ := interferometry.BenchmarkByName("416.gamess")
+	prog, err := interferometry.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pass 1: profile under the time budget (our "two minutes" is an
+	// instruction budget) and pick the stop procedure.
+	const budget = 250_000
+	lim, err := toolchain.FindLimiter(prog, 1, toolchain.LimiterConfig{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s, profiling budget %d instructions\n", prog.Name, budget)
+	fmt.Printf("chosen stop procedure: %s after %d entries\n",
+		prog.Procs[lim.StopProc].Name, lim.StopCount)
+	fmt.Printf("instrumented run retires exactly %d instructions\n\n", lim.Instrs)
+
+	// Pass 2: the instrumented rule reproduces the identical instruction
+	// count on every run — and, because traces are layout-independent,
+	// for every one of the campaign's perturbed executables too.
+	for run := 1; run <= 3; run++ {
+		tr, err := interp.Run(prog, 1, lim.Rule())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: %d instructions, %d conditional branches, stopped by %s\n",
+			run, tr.Instrs, tr.CondBranches, tr.StoppedBy)
+	}
+
+	// The limiter then drives a whole campaign.
+	ds, err := interferometry.RunCampaign(interferometry.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Limiter:   lim,
+		Layouts:   10,
+		BaseSeed:  5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	for _, o := range ds.Obs {
+		if o.Instructions != lim.Instrs {
+			same = false
+		}
+	}
+	fmt.Printf("\ncampaign of %d layouts: identical retired-instruction counts: %v\n",
+		len(ds.Obs), same)
+}

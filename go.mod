@@ -1,0 +1,3 @@
+module interferometry
+
+go 1.22

@@ -1,0 +1,195 @@
+// Package interferometry is a Go implementation of Program
+// Interferometry (Wang & Jiménez, IISWC 2011): building a performance
+// model of a machine by running a benchmark under many semantically
+// equivalent code and data layouts, measuring each with performance
+// counters, and fitting regression models that relate adverse
+// microarchitectural events (branch mispredictions, cache misses) to
+// performance. The models then predict what the machine would do with a
+// different branch predictor — without simulating anything but the
+// predictor itself.
+//
+// Because this reproduction cannot ship SPEC CPU 2006, GCC, a Xeon E5440
+// or Pin, every substrate is implemented in-repo: a synthetic benchmark
+// suite over a virtual ISA, a Camino-style layout-perturbing toolchain, a
+// DieHard-style randomizing allocator, a trace-driven machine timing
+// model with caches and predictors, a Pin-style branch instrumentation
+// tool, and the statistics (regression, t/F tests, confidence and
+// prediction intervals) from first principles. See DESIGN.md for the
+// inventory and EXPERIMENTS.md for paper-versus-measured results.
+//
+// The typical workflow:
+//
+//	spec, _ := interferometry.BenchmarkByName("400.perlbench")
+//	prog, _ := interferometry.Generate(spec)
+//	ds, _ := interferometry.RunCampaign(interferometry.CampaignConfig{
+//		Program: prog, InputSeed: 1, Budget: 1_000_000, Layouts: 100,
+//		BaseSeed: 42,
+//	})
+//	model, _ := ds.MPKIModel()
+//	perfect := model.PredictCPI(0) // CPI with a perfect predictor, 95% PI
+//
+// and to evaluate a hypothetical predictor on the modeled machine:
+//
+//	evals, _ := ds.EvaluatePredictors(model, interferometry.PaperPredictors())
+package interferometry
+
+import (
+	"interferometry/internal/core"
+	"interferometry/internal/experiments"
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/machine"
+	"interferometry/internal/pintool"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
+	"interferometry/internal/stats"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+	"interferometry/internal/uarch/cache"
+)
+
+// Core workflow types.
+type (
+	// Spec parameterizes a synthetic benchmark.
+	Spec = progen.Spec
+	// Program is a layout-free benchmark program.
+	Program = isa.Program
+	// CampaignConfig describes an interferometry campaign.
+	CampaignConfig = core.CampaignConfig
+	// Dataset is the measured outcome of a campaign.
+	Dataset = core.Dataset
+	// Observation is one layout's measurement.
+	Observation = core.Observation
+	// Model is a fitted CPI-versus-event regression model.
+	Model = core.Model
+	// CombinedModel is the multi-event regression model.
+	CombinedModel = core.CombinedModel
+	// Blame is the per-event variance attribution of §6.1.
+	Blame = core.Blame
+	// PredictorEval is a candidate predictor's simulated MPKI and
+	// predicted CPI.
+	PredictorEval = core.PredictorEval
+	// LinearityConfig and LinearityResult drive the §3 simulation study.
+	LinearityConfig = core.LinearityConfig
+	// LinearityResult reports regression-extrapolation accuracy.
+	LinearityResult = core.LinearityResult
+	// ScreenResult is the adaptive significance-screen outcome.
+	ScreenResult = core.ScreenResult
+	// Interval is a confidence or prediction interval.
+	Interval = stats.Interval
+)
+
+// Substrate types for advanced use.
+type (
+	// Executable is a linked program with concrete addresses.
+	Executable = toolchain.Executable
+	// Trace is a recorded layout-independent execution.
+	Trace = interp.Trace
+	// Machine is the timing model of the measured hardware.
+	Machine = machine.Machine
+	// MachineConfig parameterizes the timing model.
+	MachineConfig = machine.Config
+	// RunSpec is one machine measurement run.
+	RunSpec = machine.RunSpec
+	// Counters is a full performance-counter snapshot.
+	Counters = machine.Counters
+	// Measurement is a merged counter readout with derived metrics.
+	Measurement = pmc.Measurement
+	// Event identifies a performance-counter event.
+	Event = pmc.Event
+	// Predictor is a conditional branch direction predictor.
+	Predictor = branch.Predictor
+	// PredictorFactory builds fresh predictor instances for sweeps.
+	PredictorFactory = branch.Factory
+	// PinResult is a functional predictor-simulation outcome.
+	PinResult = pintool.Result
+	// CacheEval is a candidate cache geometry's simulated miss rate and
+	// predicted CPI (the future-work extension of §8).
+	CacheEval = core.CacheEval
+	// CacheConfig describes a cache geometry.
+	CacheConfig = cache.Config
+	// HeapMode selects the allocator (bump or DieHard-style randomized).
+	HeapMode = heap.Mode
+	// Scale fixes an experiment's sample sizes.
+	Scale = experiments.Scale
+	// ExperimentContext caches campaign datasets across experiment
+	// drivers.
+	ExperimentContext = experiments.Context
+)
+
+// Heap modes.
+const (
+	// HeapBump is the sequential allocator: data layout identical across
+	// seeds (code reordering only).
+	HeapBump = heap.ModeBump
+	// HeapRandomized is the DieHard-style randomizing allocator.
+	HeapRandomized = heap.ModeRandomized
+)
+
+// Counter events.
+const (
+	EvInstructions      = pmc.EvInstructions
+	EvBranchMispredicts = pmc.EvBranchMispredicts
+	EvL1IMisses         = pmc.EvL1IMisses
+	EvL2Misses          = pmc.EvL2Misses
+	EvL1DMisses         = pmc.EvL1DMisses
+)
+
+// Suite returns the 23-benchmark SPEC CPU 2006 analog suite (§5.2).
+func Suite() []Spec { return progen.Suite() }
+
+// SimSuite returns the simulation-study suite (§3.2), including the
+// Figure 5 benchmarks from SPEC 2000.
+func SimSuite() []Spec { return progen.SimSuite() }
+
+// BenchmarkByName finds a benchmark spec in either suite.
+func BenchmarkByName(name string) (Spec, bool) { return progen.ByName(name) }
+
+// Generate expands a benchmark spec into a program.
+func Generate(spec Spec) (*Program, error) { return progen.Generate(spec) }
+
+// RunCampaign measures a benchmark under many layouts (§4).
+func RunCampaign(cfg CampaignConfig) (*Dataset, error) { return core.RunCampaign(cfg) }
+
+// ScreenSignificance runs the §6.3 adaptive sampling protocol.
+func ScreenSignificance(cfg CampaignConfig, step, maxLayouts int) (*ScreenResult, error) {
+	return core.ScreenSignificance(cfg, step, maxLayouts)
+}
+
+// RunLinearityStudy sweeps predictor configurations through the timing
+// simulator and measures regression-extrapolation error (§3).
+func RunLinearityStudy(cfg LinearityConfig) (*LinearityResult, error) {
+	return core.RunLinearityStudy(cfg)
+}
+
+// XeonE5440 returns the default machine configuration modeled on the
+// paper's measurement platform (§5.4).
+func XeonE5440() MachineConfig { return machine.XeonE5440() }
+
+// NewMachine builds a timing-model instance.
+func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
+
+// PaperPredictors returns the Figure 7/8 candidates: GAs predictors from
+// 2KB to 16KB and L-TAGE.
+func PaperPredictors() []PredictorFactory { return branch.PaperPredictors() }
+
+// PredictorConfigSpace returns n predictor configurations of graded
+// accuracy for linearity sweeps; the paper uses 145.
+func PredictorConfigSpace(n int) []PredictorFactory { return branch.ConfigSpace(n) }
+
+// NewLTAGE builds the default L-TAGE predictor (§7.2.2).
+func NewLTAGE() Predictor { return branch.NewLTAGEDefault() }
+
+// NewPerceptron builds a perceptron predictor (Jiménez & Lin, HPCA 2001)
+// with the given table rows (a power of two) and global history length.
+func NewPerceptron(rows, histLen int) Predictor { return branch.NewPerceptron(rows, histLen) }
+
+// NewExperimentContext builds a context for the figure/table drivers at
+// the given scale ("small", "medium" or "paper" via ScaleByName).
+func NewExperimentContext(scale Scale) *ExperimentContext {
+	return experiments.NewContext(scale)
+}
+
+// ScaleByName resolves an experiment scale by name.
+func ScaleByName(name string) (Scale, bool) { return experiments.ScaleByName(name) }

@@ -1,0 +1,119 @@
+package interferometry_test
+
+import (
+	"testing"
+
+	"interferometry"
+)
+
+// TestPublicAPIWorkflow exercises the documented workflow end to end
+// through the root package only.
+func TestPublicAPIWorkflow(t *testing.T) {
+	spec, ok := interferometry.BenchmarkByName("400.perlbench")
+	if !ok {
+		t.Fatal("suite benchmark missing")
+	}
+	prog, err := interferometry.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := interferometry.RunCampaign(interferometry.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    150_000,
+		Layouts:   20,
+		BaseSeed:  42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Fit.Slope <= 0 {
+		t.Errorf("slope %v", model.Fit.Slope)
+	}
+	perfect := model.PredictCPI(0)
+	real := ds.RealPredictor(model)
+	if perfect.Center >= real.CPI.Center {
+		t.Errorf("perfect prediction CPI %v should beat measured %v",
+			perfect.Center, real.CPI.Center)
+	}
+
+	evals, err := ds.EvaluatePredictors(model, interferometry.PaperPredictors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 5 {
+		t.Fatalf("%d predictor evals", len(evals))
+	}
+}
+
+func TestPublicAPISuites(t *testing.T) {
+	if n := len(interferometry.Suite()); n != 23 {
+		t.Errorf("Suite has %d benchmarks", n)
+	}
+	if n := len(interferometry.SimSuite()); n != 13 {
+		t.Errorf("SimSuite has %d benchmarks", n)
+	}
+	if _, ok := interferometry.BenchmarkByName("178.galgel"); !ok {
+		t.Error("galgel missing")
+	}
+	if fs := interferometry.PredictorConfigSpace(145); len(fs) != 145 {
+		t.Errorf("config space %d", len(fs))
+	}
+	if p := interferometry.NewLTAGE(); p.SizeBits() <= 0 {
+		t.Error("L-TAGE size")
+	}
+	cfg := interferometry.XeonE5440()
+	if cfg.MispredictPenalty <= 0 {
+		t.Error("machine config empty")
+	}
+	if m := interferometry.NewMachine(cfg); m == nil {
+		t.Error("nil machine")
+	}
+}
+
+func TestPublicAPILinearity(t *testing.T) {
+	spec, _ := interferometry.BenchmarkByName("401.bzip2")
+	prog, err := interferometry.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interferometry.RunLinearityStudy(interferometry.LinearityConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    60_000,
+		Configs:   interferometry.PredictorConfigSpace(16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 16 {
+		t.Errorf("%d points", len(res.Points))
+	}
+	if res.PerfectCPI <= 0 {
+		t.Error("no perfect CPI")
+	}
+}
+
+func TestPublicAPIScreen(t *testing.T) {
+	spec, _ := interferometry.BenchmarkByName("470.lbm")
+	prog, err := interferometry.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interferometry.ScreenSignificance(interferometry.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    100_000,
+		BaseSeed:  9,
+	}, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant {
+		t.Error("lbm (loop-dominated FP) should fail the screen")
+	}
+}

@@ -1,0 +1,195 @@
+// Package cachetool is the cache-side analog of internal/pintool and the
+// paper's proposed future work (§1.4, §8: "future work will focus on the
+// other microarchitectural structures affected by code and data placement
+// such as the instruction and data caches"). It replays a trace's
+// instruction-fetch stream (and optionally its data stream) against a set
+// of candidate cache geometries, producing each candidate's misses per
+// kilo-instruction — which an interferometry model then converts into a
+// predicted CPI, exactly as §7 does for branch predictors.
+package cachetool
+
+import (
+	"errors"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/cache"
+)
+
+// Result is one candidate cache's miss outcome on one executable.
+type Result struct {
+	Name         string
+	Instructions uint64
+	Accesses     uint64
+	Misses       uint64
+}
+
+// MPKI returns misses per 1000 instructions.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Instructions) * 1000
+}
+
+// MissRate returns misses per access.
+func (r Result) MissRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// Config controls the replay.
+type Config struct {
+	// FetchBytes is the instruction-fetch granularity (default 16,
+	// matching the machine model).
+	FetchBytes uint64
+	// Warmup replays the stream once before counting, removing cold-start
+	// bias for large candidate caches on short traces.
+	Warmup bool
+	// Data simulates the candidates against the data-access stream
+	// instead of the instruction-fetch stream. HeapMode/HeapSeed place
+	// heap objects for address resolution.
+	Data     bool
+	HeapMode heap.Mode
+	HeapSeed uint64
+}
+
+// RunICache replays the instruction-fetch stream of (trace, exe) against
+// each candidate geometry.
+func RunICache(tr *interp.Trace, exe *toolchain.Executable, candidates []cache.Config, cfg Config) ([]Result, error) {
+	if err := validate(tr, exe, candidates); err != nil {
+		return nil, err
+	}
+	if cfg.FetchBytes == 0 {
+		cfg.FetchBytes = 16
+	}
+	caches := make([]*cache.Cache, len(candidates))
+	results := make([]Result, len(candidates))
+	for i, cc := range candidates {
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		caches[i] = cache.New(cc)
+		results[i] = Result{Name: cc.Name, Instructions: tr.Instrs}
+	}
+
+	prog := exe.Program
+	passes := 1
+	if cfg.Warmup {
+		passes = 2
+	}
+	for pass := 0; pass < passes; pass++ {
+		counting := pass == passes-1
+		if counting {
+			for i := range caches {
+				caches[i].ResetCounters()
+			}
+		}
+		cur := tr.NewCursor()
+		for {
+			bid, ok := cur.NextBlock()
+			if !ok {
+				break
+			}
+			addr := exe.BlockAddr[bid]
+			end := addr + uint64(prog.Blocks[bid].Bytes)
+			fa := addr &^ (cfg.FetchBytes - 1)
+			for fa < end {
+				for i := range caches {
+					caches[i].Access(fa)
+				}
+				fa += cfg.FetchBytes
+			}
+		}
+	}
+	for i := range results {
+		results[i].Accesses = caches[i].Accesses()
+		results[i].Misses = caches[i].Misses()
+	}
+	return results, nil
+}
+
+// RunDCache replays the data-access stream against each candidate
+// geometry, resolving heap objects through the configured allocator.
+func RunDCache(tr *interp.Trace, exe *toolchain.Executable, candidates []cache.Config, cfg Config) ([]Result, error) {
+	if err := validate(tr, exe, candidates); err != nil {
+		return nil, err
+	}
+	caches := make([]*cache.Cache, len(candidates))
+	results := make([]Result, len(candidates))
+	for i, cc := range candidates {
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		caches[i] = cache.New(cc)
+		results[i] = Result{Name: cc.Name, Instructions: tr.Instrs}
+	}
+
+	prog := exe.Program
+	passes := 1
+	if cfg.Warmup {
+		passes = 2
+	}
+	for pass := 0; pass < passes; pass++ {
+		counting := pass == passes-1
+		if counting {
+			for i := range caches {
+				caches[i].ResetCounters()
+			}
+		}
+		// The allocator replays from scratch each pass so placements are
+		// identical between warmup and measurement.
+		alloc := heap.New(cfg.HeapMode, cfg.HeapSeed, heap.Config{Base: exe.DataLimit + 0x1000000})
+		objBase := make([]uint64, len(prog.Objects))
+		for i := range prog.Objects {
+			if !prog.Objects[i].Heap {
+				objBase[i] = exe.GlobalBase[i]
+			}
+		}
+		cur := tr.NewCursor()
+		for {
+			bid, ok := cur.NextBlock()
+			if !ok {
+				break
+			}
+			b := &prog.Blocks[bid]
+			for range b.Allocs {
+				obj, kind := cur.NextAlloc()
+				if kind == isa.AllocNew {
+					objBase[obj] = alloc.Alloc(obj, prog.Objects[obj].Size)
+				} else {
+					alloc.Free(obj)
+				}
+			}
+			for range b.Mems {
+				obj, off := cur.NextMem()
+				addr := objBase[obj] + uint64(off)
+				for i := range caches {
+					caches[i].Access(addr)
+				}
+			}
+		}
+	}
+	for i := range results {
+		results[i].Accesses = caches[i].Accesses()
+		results[i].Misses = caches[i].Misses()
+	}
+	return results, nil
+}
+
+func validate(tr *interp.Trace, exe *toolchain.Executable, candidates []cache.Config) error {
+	if tr == nil || exe == nil {
+		return errors.New("cachetool: nil trace or executable")
+	}
+	if tr.Program != exe.Program {
+		return errors.New("cachetool: trace and executable are from different programs")
+	}
+	if len(candidates) == 0 {
+		return errors.New("cachetool: no candidate geometries")
+	}
+	return nil
+}

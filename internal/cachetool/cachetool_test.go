@@ -1,0 +1,154 @@
+package cachetool_test
+
+import (
+	"reflect"
+	"testing"
+
+	"interferometry/internal/cachetool"
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/cache"
+)
+
+func fixtures(t *testing.T) (*interp.Trace, *toolchain.Executable) {
+	t.Helper()
+	p := testprog.ManyBranches(300, 300)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 2, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, exe
+}
+
+func geoms() []cache.Config {
+	return []cache.Config{
+		{Name: "4KB", SizeBytes: 4 * 1024, LineBytes: 64, Ways: 4},
+		{Name: "16KB", SizeBytes: 16 * 1024, LineBytes: 64, Ways: 8},
+		{Name: "64KB", SizeBytes: 64 * 1024, LineBytes: 64, Ways: 8},
+	}
+}
+
+func TestRunICacheSizesMonotone(t *testing.T) {
+	tr, exe := fixtures(t)
+	rs, err := cachetool.RunICache(tr, exe, geoms(), cachetool.Config{Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d results", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Misses > rs[i-1].Misses {
+			t.Errorf("bigger I-cache %s missed more than %s (%d > %d)",
+				rs[i].Name, rs[i-1].Name, rs[i].Misses, rs[i-1].Misses)
+		}
+	}
+	// All candidates see the same access stream.
+	if rs[0].Accesses != rs[2].Accesses || rs[0].Accesses == 0 {
+		t.Errorf("access counts diverge: %d vs %d", rs[0].Accesses, rs[2].Accesses)
+	}
+	if rs[0].MPKI() <= 0 || rs[0].MissRate() <= 0 {
+		t.Error("small cache should miss")
+	}
+}
+
+func TestRunICacheDeterministic(t *testing.T) {
+	tr, exe := fixtures(t)
+	a, err := cachetool.RunICache(tr, exe, geoms(), cachetool.Config{Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cachetool.RunICache(tr, exe, geoms(), cachetool.Config{Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("cachetool results vary between identical runs")
+	}
+}
+
+func TestWarmupReducesMisses(t *testing.T) {
+	tr, exe := fixtures(t)
+	big := []cache.Config{{Name: "256KB", SizeBytes: 256 * 1024, LineBytes: 64, Ways: 8}}
+	warm, err := cachetool.RunICache(tr, exe, big, cachetool.Config{Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cachetool.RunICache(tr, exe, big, cachetool.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm[0].Misses >= cold[0].Misses {
+		t.Errorf("warmup misses %d should be below cold %d (compulsory removed)",
+			warm[0].Misses, cold[0].Misses)
+	}
+}
+
+func TestRunDCache(t *testing.T) {
+	p := testprog.CacheStress(260, 4000)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cachetool.RunDCache(tr, exe, geoms(), cachetool.Config{
+		Warmup: true, HeapMode: heap.ModeRandomized, HeapSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Misses > rs[i-1].Misses {
+			t.Errorf("bigger D-cache missed more: %s %d > %s %d",
+				rs[i].Name, rs[i].Misses, rs[i-1].Name, rs[i-1].Misses)
+		}
+	}
+	if rs[0].Accesses != uint64(tr.MemAccesses()) {
+		t.Errorf("accesses %d, trace has %d", rs[0].Accesses, tr.MemAccesses())
+	}
+	// Heap seed changes placements and therefore conflict misses in the
+	// small candidate.
+	rs2, err := cachetool.RunDCache(tr, exe, geoms(), cachetool.Config{
+		Warmup: true, HeapMode: heap.ModeRandomized, HeapSeed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2[0].Misses == rs[0].Misses {
+		t.Log("note: identical miss counts across heap seeds (possible but unlikely)")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr, exe := fixtures(t)
+	if _, err := cachetool.RunICache(nil, exe, geoms(), cachetool.Config{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := cachetool.RunICache(tr, nil, geoms(), cachetool.Config{}); err == nil {
+		t.Error("nil exe accepted")
+	}
+	if _, err := cachetool.RunICache(tr, exe, nil, cachetool.Config{}); err == nil {
+		t.Error("no candidates accepted")
+	}
+	bad := []cache.Config{{Name: "bad", SizeBytes: 3, LineBytes: 2, Ways: 1}}
+	if _, err := cachetool.RunICache(tr, exe, bad, cachetool.Config{}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	other := testprog.Counting(3)
+	otherTr, err := interp.Run(other, 1, interp.StopRule{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cachetool.RunICache(otherTr, exe, geoms(), cachetool.Config{}); err == nil {
+		t.Error("cross-program trace accepted")
+	}
+}

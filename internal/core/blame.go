@@ -1,0 +1,105 @@
+package core
+
+import (
+	"interferometry/internal/pmc"
+	"interferometry/internal/stats"
+)
+
+// Blame quantifies how much of the CPI variance a single event explains:
+// "using r², the coefficient of determination, we can determine what
+// portion of performance is due to a particular microarchitectural event"
+// (§6.1). The Combined entry reports the three-event model's r², which
+// need not equal the sum "because the three measurements are not
+// altogether independent of one another".
+type Blame struct {
+	Benchmark string
+	// PerEvent maps each blamed event to its r² against CPI; events whose
+	// regression could not be fitted (constant predictor) get 0.
+	PerEvent map[pmc.Event]float64
+	// Significant marks events whose t test rejects the null at 0.05.
+	Significant map[pmc.Event]bool
+	// CombinedR2 is the r² of the joint model; CombinedSignificant is its
+	// F-test verdict.
+	CombinedR2          float64
+	CombinedSignificant bool
+}
+
+// BlameEvents are the three candidates of §6.1: the events "most likely
+// to be affected by code placement".
+var BlameEvents = []pmc.Event{pmc.EvBranchMispredicts, pmc.EvL1IMisses, pmc.EvL2Misses}
+
+// BlameAnalysis fits the three per-event models and the combined model.
+func (d *Dataset) BlameAnalysis() Blame {
+	b := Blame{
+		Benchmark:   d.Benchmark,
+		PerEvent:    make(map[pmc.Event]float64, len(BlameEvents)),
+		Significant: make(map[pmc.Event]bool, len(BlameEvents)),
+	}
+	for _, ev := range BlameEvents {
+		m, err := d.FitCPI(ev)
+		if err != nil {
+			b.PerEvent[ev] = 0
+			continue
+		}
+		b.PerEvent[ev] = m.Fit.R2
+		b.Significant[ev] = m.Significant()
+	}
+	if cm, ok := d.RobustCombined(); ok {
+		b.CombinedR2 = cm.Fit.R2
+		b.CombinedSignificant = cm.Significant()
+	}
+	return b
+}
+
+// RobustCombined fits the three-event combined model, dropping columns
+// until the design matrix is well conditioned. Two degeneracies occur in
+// practice: an event that is constant across layouts, and exact
+// collinearity between events (compulsory-dominated instruction-side
+// misses make the L2 code-miss count track L1I misses one for one). The
+// returned model covers the surviving events; ok is false when not even
+// a single-predictor model can be fitted.
+func (d *Dataset) RobustCombined() (*CombinedModel, bool) {
+	events := append([]pmc.Event(nil), BlameEvents...)
+	// Drop exact duplicates first: a pair with |r| ~ 1 carries one
+	// column's worth of information.
+	for i := 0; i < len(events); i++ {
+		for j := len(events) - 1; j > i; j-- {
+			r, err := stats.Correlation(d.PKIs(events[i]), d.PKIs(events[j]))
+			if err == nil && r*r > 0.9999 {
+				events = append(events[:j], events[j+1:]...)
+			}
+		}
+	}
+	for len(events) > 0 {
+		if cm, err := d.FitCombined(events...); err == nil {
+			return cm, true
+		}
+		// Remove the event with the smallest variance and retry.
+		worst, worstVar := 0, -1.0
+		for i, ev := range events {
+			v := variance(d.PKIs(ev))
+			if worstVar < 0 || v < worstVar {
+				worst, worstVar = i, v
+			}
+		}
+		events = append(events[:worst], events[worst+1:]...)
+	}
+	return nil, false
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss
+}

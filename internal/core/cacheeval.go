@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"interferometry/internal/cachetool"
+	"interferometry/internal/stats"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/cache"
+)
+
+// CacheEval is the cache-side analog of PredictorEval: a candidate cache
+// geometry's simulated miss rate over the campaign layouts and the CPI
+// the regression model predicts the machine would achieve with it. This
+// realizes the paper's stated future work — applying interferometry to
+// the instruction and data caches (§1.4, §8).
+type CacheEval struct {
+	Name          string
+	MPKI          float64
+	MPKIPerLayout []float64
+	PredictedCPI  stats.Interval
+}
+
+// EvaluateICaches simulates each candidate instruction-cache geometry
+// over every layout of the dataset (with warmup) and maps the mean MPKI
+// through the model, which should be a FitCPI(EvL1IMisses) model from
+// the same dataset.
+func (d *Dataset) EvaluateICaches(model *Model, candidates []cache.Config) ([]CacheEval, error) {
+	return d.evaluateCaches(model, candidates, false)
+}
+
+// EvaluateDCaches is EvaluateICaches for the data side: candidates are
+// simulated against the data-access stream, with heap objects placed the
+// same way the campaign placed them for each layout.
+func (d *Dataset) EvaluateDCaches(model *Model, candidates []cache.Config) ([]CacheEval, error) {
+	return d.evaluateCaches(model, candidates, true)
+}
+
+func (d *Dataset) evaluateCaches(model *Model, candidates []cache.Config, data bool) ([]CacheEval, error) {
+	if model == nil {
+		return nil, errors.New("core: cache evaluation needs a model")
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("core: cache evaluation needs candidate geometries")
+	}
+	perLayout := make([][]float64, len(candidates))
+	for i := range perLayout {
+		perLayout[i] = make([]float64, len(d.Obs))
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if w := d.Config.Workers; w > 0 {
+		workers = w
+	}
+	if workers > len(d.Obs) {
+		workers = len(d.Obs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     int
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(d.Obs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				exe, err := toolchain.BuildLayout(d.Config.Program, d.Obs[i].LayoutSeed,
+					d.Config.Compile, d.Config.Link)
+				var rs []cachetool.Result
+				if err == nil {
+					// No warmup: the measured counters that trained the
+					// model include each run's cold misses, so the
+					// candidate simulation must replay under the same
+					// protocol for its MPKI to be comparable.
+					cfg := cachetool.Config{}
+					if data {
+						cfg.Data = true
+						cfg.HeapMode = d.Config.HeapMode
+						cfg.HeapSeed = d.Obs[i].HeapSeed
+						rs, err = cachetool.RunDCache(d.Trace, exe, candidates, cfg)
+					} else {
+						rs, err = cachetool.RunICache(d.Trace, exe, candidates, cfg)
+					}
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: cache eval layout %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				for ci, r := range rs {
+					perLayout[ci][i] = r.MPKI()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]CacheEval, len(candidates))
+	for ci, cc := range candidates {
+		mean := stats.Mean(perLayout[ci])
+		out[ci] = CacheEval{
+			Name:          cc.Name,
+			MPKI:          mean,
+			MPKIPerLayout: perLayout[ci],
+			PredictedCPI:  model.PredictCPI(mean),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+// Package core implements program interferometry itself (§4): run a
+// benchmark under many semantically equivalent layouts, measure each with
+// performance counters, fit regression models relating adverse
+// microarchitectural events to performance, screen them for statistical
+// significance, and use the models to predict the performance of
+// hypothetical hardware (§7) — all without a cycle-accurate simulation of
+// anything but the structure under study.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/xrand"
+)
+
+// CampaignConfig describes one interferometry campaign: a benchmark
+// observed through many layout "telescopes" (§4.3).
+type CampaignConfig struct {
+	// Program is the benchmark. Traces are produced with InputSeed and
+	// the stop rule below.
+	Program   *isa.Program
+	InputSeed uint64
+	// Budget stops each run after this many retired instructions (at a
+	// block boundary). If Limiter is non-zero it takes precedence and
+	// reproduces the paper's run-limiter instrumentation.
+	Budget  uint64
+	Limiter toolchain.Limiter
+
+	// Layouts is the number of code reorderings to measure. FirstLayout
+	// offsets the layout seed sequence so campaigns can be extended
+	// (§6.3 samples "in multiples of 100").
+	Layouts     int
+	FirstLayout int
+
+	// HeapMode selects data-layout perturbation: ModeBump is code
+	// reordering only (the paper's default); ModeRandomized adds DieHard
+	// heap randomization (§1.3). Under ModeRandomized each layout gets
+	// its own heap seed.
+	HeapMode heap.Mode
+
+	// Machine is the hardware model. Zero value means machine.XeonE5440().
+	Machine machine.Config
+	// Fidelity and RunsPerGroup configure the counter harness (§5.5).
+	Fidelity     pmc.Fidelity
+	RunsPerGroup int
+
+	// BaseSeed keys every derived random stream; the same config is
+	// bit-reproducible.
+	BaseSeed uint64
+
+	// Workers bounds parallelism. Zero means GOMAXPROCS.
+	Workers int
+
+	// Compile and Link override toolchain defaults when non-zero.
+	Compile toolchain.CompileConfig
+	Link    toolchain.LinkConfig
+}
+
+func (c *CampaignConfig) machineConfig() machine.Config {
+	if c.Machine.Name == "" {
+		return machine.XeonE5440()
+	}
+	return c.Machine
+}
+
+func (c *CampaignConfig) stopRule() interp.StopRule {
+	if c.Limiter.StopCount > 0 {
+		return c.Limiter.Rule()
+	}
+	return interp.StopRule{Budget: c.Budget}
+}
+
+// Observation is the measurement of one layout.
+type Observation struct {
+	LayoutSeed uint64
+	HeapSeed   uint64
+	pmc.Measurement
+}
+
+// Dataset is the outcome of a campaign.
+type Dataset struct {
+	Benchmark string
+	Config    CampaignConfig
+	// Trace is the shared layout-independent execution record.
+	Trace *interp.Trace
+	Obs   []Observation
+}
+
+// layoutSeed derives the seed of the i-th layout. Layout index 0 uses a
+// nonzero seed too: the identity layout is available via Reorder(seed 0)
+// but campaigns sample random layouts only, like the paper.
+func (c *CampaignConfig) layoutSeed(i int) uint64 {
+	return xrand.Mix(c.BaseSeed, 0x6c61796f, uint64(c.FirstLayout+i)) | 1
+}
+
+func (c *CampaignConfig) heapSeed(i int) uint64 {
+	return xrand.Mix(c.BaseSeed, 0x68656170, uint64(c.FirstLayout+i))
+}
+
+func (c *CampaignConfig) noiseSeed(i int) uint64 {
+	return xrand.Mix(c.BaseSeed, 0x6e6f6973, uint64(c.FirstLayout+i))
+}
+
+// RunCampaign executes the campaign: one trace, Layouts executables, one
+// measurement each.
+func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
+	if cfg.Program == nil {
+		return nil, errors.New("core: campaign needs a program")
+	}
+	if cfg.Layouts <= 0 {
+		return nil, errors.New("core: campaign needs at least one layout")
+	}
+	if cfg.Budget == 0 && cfg.Limiter.StopCount == 0 {
+		return nil, errors.New("core: campaign needs a budget or limiter")
+	}
+
+	trace, err := interp.Run(cfg.Program, cfg.InputSeed, cfg.stopRule())
+	if err != nil {
+		return nil, fmt.Errorf("core: trace generation failed: %w", err)
+	}
+
+	ds := &Dataset{
+		Benchmark: cfg.Program.Name,
+		Config:    cfg,
+		Trace:     trace,
+		Obs:       make([]Observation, cfg.Layouts),
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Layouts {
+		workers = cfg.Layouts
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	mcfg := cfg.machineConfig()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := &pmc.Harness{
+				Machine:      machine.New(mcfg),
+				Fidelity:     cfg.Fidelity,
+				RunsPerGroup: cfg.RunsPerGroup,
+			}
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= cfg.Layouts {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				obs, err := measureLayout(&cfg, h, trace, i)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				ds.Obs[i] = obs
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ds, nil
+}
+
+func measureLayout(cfg *CampaignConfig, h *pmc.Harness, trace *interp.Trace, i int) (Observation, error) {
+	seed := cfg.layoutSeed(i)
+	exe, err := toolchain.BuildLayout(cfg.Program, seed, cfg.Compile, cfg.Link)
+	if err != nil {
+		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
+	}
+	hs := uint64(0)
+	if cfg.HeapMode == heap.ModeRandomized {
+		hs = cfg.heapSeed(i)
+	}
+	m, err := h.Measure(machine.RunSpec{
+		Exe:       exe,
+		Trace:     trace,
+		HeapMode:  cfg.HeapMode,
+		HeapSeed:  hs,
+		NoiseSeed: cfg.noiseSeed(i),
+	})
+	if err != nil {
+		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
+	}
+	return Observation{LayoutSeed: seed, HeapSeed: hs, Measurement: m}, nil
+}
+
+// Extend runs additional layouts (the §6.3 escalation: "we sample a
+// number of code reorderings in multiples of 100") and returns a new
+// dataset containing all observations.
+func (d *Dataset) Extend(more int) (*Dataset, error) {
+	cfg := d.Config
+	cfg.FirstLayout += cfg.Layouts
+	cfg.Layouts = more
+	extra, err := RunCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	merged := &Dataset{
+		Benchmark: d.Benchmark,
+		Config:    d.Config,
+		Trace:     d.Trace,
+		Obs:       append(append([]Observation(nil), d.Obs...), extra.Obs...),
+	}
+	merged.Config.Layouts = len(merged.Obs)
+	return merged, nil
+}
+
+// CPIs returns the CPI of every observation.
+func (d *Dataset) CPIs() []float64 {
+	out := make([]float64, len(d.Obs))
+	for i := range d.Obs {
+		out[i] = d.Obs[i].CPI()
+	}
+	return out
+}
+
+// PKIs returns the per-1000-instruction rate of an event for every
+// observation.
+func (d *Dataset) PKIs(ev pmc.Event) []float64 {
+	out := make([]float64, len(d.Obs))
+	for i := range d.Obs {
+		out[i] = d.Obs[i].PKI(ev)
+	}
+	return out
+}

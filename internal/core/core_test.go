@@ -1,0 +1,447 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"interferometry/internal/core"
+	"interferometry/internal/heap"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
+	"interferometry/internal/stats"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+// smallCampaign returns a fast campaign config over a layout-sensitive
+// test program.
+func smallCampaign(layouts int) core.CampaignConfig {
+	return core.CampaignConfig{
+		Program:   testprog.ManyBranches(200, 400),
+		InputSeed: 1,
+		Budget:    120000,
+		Layouts:   layouts,
+		BaseSeed:  7,
+	}
+}
+
+func TestRunCampaignBasic(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Obs) != 12 {
+		t.Fatalf("got %d observations", len(ds.Obs))
+	}
+	seeds := map[uint64]bool{}
+	for _, o := range ds.Obs {
+		if o.Instructions != ds.Trace.Instrs {
+			t.Error("observation instruction count differs from trace")
+		}
+		if o.Cycles == 0 {
+			t.Error("observation has no cycles")
+		}
+		seeds[o.LayoutSeed] = true
+	}
+	if len(seeds) != 12 {
+		t.Error("layout seeds not distinct")
+	}
+}
+
+func TestRunCampaignReproducible(t *testing.T) {
+	a, err := core.RunCampaign(smallCampaign(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.RunCampaign(smallCampaign(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Obs {
+		if a.Obs[i] != b.Obs[i] {
+			t.Fatalf("observation %d differs between identical campaigns", i)
+		}
+	}
+}
+
+func TestRunCampaignWorkerCountIrrelevant(t *testing.T) {
+	cfg := smallCampaign(8)
+	cfg.Workers = 1
+	serial, err := core.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := core.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Obs {
+		if serial.Obs[i] != parallel.Obs[i] {
+			t.Fatalf("worker count changed observation %d", i)
+		}
+	}
+}
+
+func TestRunCampaignValidation(t *testing.T) {
+	cfg := smallCampaign(4)
+	cfg.Program = nil
+	if _, err := core.RunCampaign(cfg); err == nil {
+		t.Error("nil program accepted")
+	}
+	cfg = smallCampaign(0)
+	if _, err := core.RunCampaign(cfg); err == nil {
+		t.Error("zero layouts accepted")
+	}
+	cfg = smallCampaign(4)
+	cfg.Budget = 0
+	if _, err := core.RunCampaign(cfg); err == nil {
+		t.Error("missing stop rule accepted")
+	}
+}
+
+func TestCampaignWithLimiter(t *testing.T) {
+	prog := testprog.CallChain(40)
+	lim, err := toolchain.FindLimiter(prog, 1, toolchain.LimiterConfig{Budget: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := core.RunCampaign(core.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Limiter:   lim,
+		Layouts:   3,
+		BaseSeed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Trace.Instrs != lim.Instrs {
+		t.Fatalf("limited campaign retired %d instructions, want %d", ds.Trace.Instrs, lim.Instrs)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ds.Extend(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Obs) != 9 {
+		t.Fatalf("extended dataset has %d observations", len(big.Obs))
+	}
+	// Original observations are preserved verbatim.
+	for i := range ds.Obs {
+		if big.Obs[i] != ds.Obs[i] {
+			t.Fatalf("Extend changed original observation %d", i)
+		}
+	}
+	// New layouts are fresh.
+	seeds := map[uint64]int{}
+	for _, o := range big.Obs {
+		seeds[o.LayoutSeed]++
+	}
+	for s, n := range seeds {
+		if n != 1 {
+			t.Fatalf("layout seed %d repeated %d times after Extend", s, n)
+		}
+	}
+}
+
+func TestFitCPIAndModel(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Fit.N != 40 {
+		t.Errorf("model fitted on %d points", model.Fit.N)
+	}
+	if model.Fit.Slope <= 0 {
+		t.Errorf("MPKI-CPI slope %v should be positive", model.Fit.Slope)
+	}
+	// The slope approximates the misprediction penalty per kilo-instruction:
+	// 25 cycles / 1000 = 0.025 CPI per MPKI, within a loose factor.
+	if model.Fit.Slope < 0.005 || model.Fit.Slope > 0.1 {
+		t.Errorf("slope %v implausible for a 25-cycle flush penalty", model.Fit.Slope)
+	}
+	pred := model.PredictCPI(0)
+	if pred.Low >= pred.High {
+		t.Error("degenerate prediction interval")
+	}
+	ci := model.ConfidenceAt(0)
+	if ci.Half() >= pred.Half() {
+		t.Error("confidence interval should be tighter than prediction interval")
+	}
+	if s := model.String(); !strings.Contains(s, "CPI = ") {
+		t.Errorf("model string %q", s)
+	}
+}
+
+func TestReductionForCPIGain(t *testing.T) {
+	// Hand-built model: CPI = 0.028*MPKI + 0.517 (the paper's perlbench
+	// line). At MPKI 6.5, CPI = 0.699; a 10% CPI gain needs
+	// 0.0699/0.028 = 2.50 MPKI less, i.e. a 38% reduction — the paper's
+	// §1.4 statement.
+	fit, err := stats.FitLinear(
+		[]float64{0, 5, 10},
+		[]float64{0.517, 0.517 + 5*0.028, 0.517 + 10*0.028},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &core.Model{Benchmark: "400.perlbench", Event: pmc.EvBranchMispredicts, Fit: fit}
+	got := m.ReductionForCPIGain(6.5, 10)
+	if got < 0.36 || got > 0.40 {
+		t.Fatalf("ReductionForCPIGain = %.3f, paper says ~0.38", got)
+	}
+	// Unachievable gains exceed 1.
+	if m.ReductionForCPIGain(6.5, 50) <= 1 {
+		t.Error("a 50%% CPI gain from branch prediction alone should be unachievable")
+	}
+}
+
+func TestCombinedModel(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := ds.StandardCombined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Fit.R2 < single.Fit.R2-1e-9 {
+		t.Errorf("combined R² %v below single-event R² %v", cm.Fit.R2, single.Fit.R2)
+	}
+	if len(cm.Fit.Beta) != 4 {
+		t.Errorf("combined model has %d coefficients", len(cm.Fit.Beta))
+	}
+}
+
+func TestBlameAnalysis(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ds.BlameAnalysis()
+	for _, ev := range core.BlameEvents {
+		r2 := b.PerEvent[ev]
+		if r2 < 0 || r2 > 1 {
+			t.Errorf("%s r² = %v out of range", ev, r2)
+		}
+	}
+	if b.CombinedR2 < b.PerEvent[pmc.EvBranchMispredicts]-1e-9 {
+		t.Error("combined R² below branch R²")
+	}
+}
+
+func TestEvaluatePredictors(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, err := ds.EvaluatePredictors(model, []branch.Factory{
+		{Name: "perfect", New: func() branch.Predictor { return branch.Perfect{} }},
+		{Name: "bimodal-64", New: func() branch.Predictor { return branch.NewBimodal(64) }},
+		{Name: "l-tage", New: func() branch.Predictor { return branch.NewLTAGEDefault() }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 3 {
+		t.Fatalf("%d evals", len(evals))
+	}
+	if evals[0].MPKI != 0 {
+		t.Errorf("perfect predictor MPKI %v", evals[0].MPKI)
+	}
+	if evals[2].MPKI >= evals[1].MPKI {
+		t.Errorf("L-TAGE MPKI %v should beat bimodal-64 %v", evals[2].MPKI, evals[1].MPKI)
+	}
+	// Predicted CPI ordering follows MPKI ordering through the linear map.
+	if model.Fit.Slope > 0 && evals[0].PredictedCPI.Center >= evals[1].PredictedCPI.Center {
+		t.Error("perfect prediction should have the lowest predicted CPI")
+	}
+	if len(evals[1].MPKIPerLayout) != len(ds.Obs) {
+		t.Error("per-layout MPKIs missing")
+	}
+}
+
+func TestEvaluatePredictorsErrors(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.EvaluatePredictors(nil, branch.PaperPredictors()); err == nil {
+		t.Error("nil model accepted")
+	}
+	model, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.EvaluatePredictors(model, nil); err == nil {
+		t.Error("empty factories accepted")
+	}
+}
+
+func TestRealPredictorSummary(t *testing.T) {
+	ds, err := core.RunCampaign(smallCampaign(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := ds.RealPredictor(model)
+	if real.MPKI <= 0 {
+		t.Error("real predictor MPKI should be positive")
+	}
+	if !real.CPI.Contains(model.Fit.Predict(real.MPKI)) {
+		t.Error("real CPI interval should contain the fitted value at mean MPKI")
+	}
+}
+
+func TestHeapModeCampaign(t *testing.T) {
+	cfg := core.CampaignConfig{
+		Program:   testprog.CacheStress(200, 4000),
+		InputSeed: 1,
+		Budget:    100000,
+		Layouts:   8,
+		HeapMode:  heap.ModeRandomized,
+		BaseSeed:  3,
+	}
+	ds, err := core.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Randomized mode gives every layout its own heap seed.
+	hs := map[uint64]bool{}
+	for _, o := range ds.Obs {
+		hs[o.HeapSeed] = true
+	}
+	if len(hs) != len(ds.Obs) {
+		t.Error("heap seeds not distinct under ModeRandomized")
+	}
+	// L1D miss counts must vary across heap placements.
+	l1d := map[uint64]bool{}
+	for _, o := range ds.Obs {
+		l1d[o.Events[pmc.EvL1DMisses]] = true
+	}
+	if len(l1d) < 2 {
+		t.Error("heap randomization did not perturb L1D misses")
+	}
+}
+
+func TestScreenSignificance(t *testing.T) {
+	// A benchmark with aliasing-sensitive branches passes the screen
+	// quickly under the paper's median-of-five protocol.
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		t.Fatal("missing perlbench spec")
+	}
+	cfg := core.CampaignConfig{
+		Program:   progen.MustGenerate(spec),
+		InputSeed: 1,
+		Budget:    120000,
+		BaseSeed:  7,
+		Fidelity:  pmc.FidelityPaper,
+	}
+	res, err := core.ScreenSignificance(cfg, 25, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Errorf("ManyBranches failed the significance screen (p=%v, n=%d)", res.PValue, res.Layouts)
+	}
+	if res.Layouts%25 != 0 {
+		t.Errorf("screen used %d layouts, not a multiple of the step", res.Layouts)
+	}
+	if res.Dataset == nil || len(res.Dataset.Obs) != res.Layouts {
+		t.Error("screen dataset inconsistent")
+	}
+}
+
+func TestScreenSignificanceGivesUp(t *testing.T) {
+	// Counting has a single perfectly-predictable loop branch: MPKI ~0 and
+	// no layout sensitivity, so the screen must escalate to the cap and
+	// report failure.
+	cfg := core.CampaignConfig{
+		Program:   testprog.Counting(50),
+		InputSeed: 1,
+		Budget:    20000,
+		Layouts:   0,
+		BaseSeed:  5,
+	}
+	res, err := core.ScreenSignificance(cfg, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant {
+		t.Error("perfectly predictable program passed the screen")
+	}
+	if res.Layouts != 30 {
+		t.Errorf("screen stopped at %d layouts, want the 30 cap", res.Layouts)
+	}
+}
+
+func TestLinearityStudySmall(t *testing.T) {
+	spec, _ := progen.ByName("473.astar")
+	prog := progen.MustGenerate(spec)
+	res, err := core.RunLinearityStudy(core.LinearityConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    80000,
+		Configs:   branch.ConfigSpace(24),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 24 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	if res.Fit.Slope <= 0 {
+		t.Errorf("linearity fit slope %v", res.Fit.Slope)
+	}
+	// Perfect CPI must be below every simulated imperfect CPI.
+	for _, p := range res.Points {
+		if res.PerfectCPI > p.CPI {
+			t.Fatalf("perfect CPI %v above config %s (%v)", res.PerfectCPI, p.Config, p.CPI)
+		}
+	}
+	// Extrapolation error should be modest for a linear machine.
+	if res.PerfectErrPct > 25 {
+		t.Errorf("perfect extrapolation error %v%% too large", res.PerfectErrPct)
+	}
+	if res.LTAGEErrPct > 15 {
+		t.Errorf("L-TAGE estimation error %v%% too large", res.LTAGEErrPct)
+	}
+	// Interpolation (L-TAGE) should not be much worse than extrapolation
+	// to zero; typically it is far better.
+	if res.LTAGEMPKI <= 0 {
+		t.Error("L-TAGE MPKI should be positive")
+	}
+}
+
+func TestLinearityStudyValidation(t *testing.T) {
+	if _, err := core.RunLinearityStudy(core.LinearityConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := core.RunLinearityStudy(core.LinearityConfig{Program: testprog.Counting(3)}); err == nil {
+		t.Error("missing budget accepted")
+	}
+}

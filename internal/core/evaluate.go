@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"interferometry/internal/pintool"
+	"interferometry/internal/stats"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+// PredictorEval is the §7 deliverable for one candidate predictor: its
+// simulated MPKI averaged over the campaign's code reorderings (Figure 7)
+// and the CPI the regression model predicts the real machine would
+// achieve with it, with a 95% prediction interval (Figure 8).
+type PredictorEval struct {
+	Name string
+	// MPKI is the mean mispredictions per kilo-instruction over all
+	// layouts; MPKIPerLayout keeps the per-layout values.
+	MPKI          float64
+	MPKIPerLayout []float64
+	// PredictedCPI maps MPKI through the benchmark's regression model.
+	PredictedCPI stats.Interval
+}
+
+// EvaluatePredictors simulates each candidate predictor over every layout
+// of the dataset with the Pin-style tool (one deterministic run per
+// layout, §7.2) and maps the resulting mean MPKI through the model.
+// The model should come from the same dataset.
+func (d *Dataset) EvaluatePredictors(model *Model, factories []branch.Factory) ([]PredictorEval, error) {
+	if model == nil {
+		return nil, errors.New("core: EvaluatePredictors needs a model")
+	}
+	if len(factories) == 0 {
+		return nil, errors.New("core: EvaluatePredictors needs predictors")
+	}
+	perLayout := make([][]float64, len(factories)) // [pred][layout]
+	for i := range perLayout {
+		perLayout[i] = make([]float64, len(d.Obs))
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if w := d.Config.Workers; w > 0 {
+		workers = w
+	}
+	if workers > len(d.Obs) {
+		workers = len(d.Obs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     int
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(d.Obs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				exe, err := toolchain.BuildLayout(d.Config.Program, d.Obs[i].LayoutSeed,
+					d.Config.Compile, d.Config.Link)
+				if err == nil {
+					var rs []pintool.Result
+					rs, err = pintool.Run(d.Trace, exe, factories, pintool.Config{Warmup: true})
+					if err == nil {
+						mu.Lock()
+						for pi, r := range rs {
+							perLayout[pi][i] = r.MPKI()
+						}
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: predictor eval layout %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]PredictorEval, len(factories))
+	for pi, f := range factories {
+		mean := stats.Mean(perLayout[pi])
+		out[pi] = PredictorEval{
+			Name:          f.Name,
+			MPKI:          mean,
+			MPKIPerLayout: perLayout[pi],
+			PredictedCPI:  model.PredictCPI(mean),
+		}
+	}
+	return out, nil
+}
+
+// RealPredictorSummary reports the measured behaviour of the machine's
+// own predictor over the campaign: mean MPKI and mean CPI with the
+// tighter 95% confidence interval, "since the data are observations and
+// not predictions" (§7.2).
+type RealPredictorSummary struct {
+	MPKI float64
+	CPI  stats.Interval
+}
+
+// RealPredictor summarizes the dataset's own measurements.
+func (d *Dataset) RealPredictor(model *Model) RealPredictorSummary {
+	mean := stats.Mean(d.PKIs(model.Event))
+	return RealPredictorSummary{
+		MPKI: mean,
+		CPI:  model.ConfidenceAt(mean),
+	}
+}

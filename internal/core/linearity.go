@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/machine"
+	"interferometry/internal/stats"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+// LinearityConfig drives the §3 simulation study: a fixed layout, a sweep
+// of predictor configurations through the timing simulator, and a
+// regression test of how linearly CPI follows MPKI.
+type LinearityConfig struct {
+	Program   *isa.Program
+	InputSeed uint64
+	Budget    uint64
+	// Configs is the predictor sweep; zero-length means
+	// branch.ConfigSpace(branch.PaperConfigCount) — the paper's 145.
+	Configs []branch.Factory
+	// Machine overrides the simulator configuration.
+	Machine machine.Config
+	Workers int
+}
+
+// LinearityPoint is one simulated (MPKI, CPI) pair.
+type LinearityPoint struct {
+	Config string
+	MPKI   float64
+	CPI    float64
+}
+
+// LinearityResult quantifies regression extrapolation error for one
+// benchmark, Figure 4's two bars: estimating perfect-prediction CPI and
+// L-TAGE CPI from the imperfect-predictor sweep.
+type LinearityResult struct {
+	Benchmark string
+	Points    []LinearityPoint
+	Fit       *stats.LinearFit
+
+	// PerfectCPI is the simulated truth with the oracle predictor;
+	// EstPerfectCPI is the regression estimate at 0 MPKI.
+	PerfectCPI    float64
+	EstPerfectCPI float64
+	PerfectErrPct float64
+
+	// LTAGE metrics parallel the perfect ones at L-TAGE's simulated MPKI.
+	LTAGEMPKI   float64
+	LTAGECPI    float64
+	EstLTAGECPI float64
+	LTAGEErrPct float64
+}
+
+// RunLinearityStudy sweeps predictor configurations through the timing
+// model with noise disabled (a simulator has no noise) and measures how
+// well linear regression extrapolates to perfect prediction and to
+// L-TAGE, as in §3.2.
+func RunLinearityStudy(cfg LinearityConfig) (*LinearityResult, error) {
+	if cfg.Program == nil {
+		return nil, errors.New("core: linearity study needs a program")
+	}
+	if cfg.Budget == 0 {
+		return nil, errors.New("core: linearity study needs a budget")
+	}
+	configs := cfg.Configs
+	if len(configs) == 0 {
+		configs = branch.ConfigSpace(branch.PaperConfigCount)
+	}
+	mcfg := cfg.Machine
+	if mcfg.Name == "" {
+		mcfg = machine.XeonE5440()
+	}
+
+	trace, err := interp.Run(cfg.Program, cfg.InputSeed, interp.StopRule{Budget: cfg.Budget})
+	if err != nil {
+		return nil, err
+	}
+	// One fixed layout: the sweep varies the predictor, not the code.
+	exe, err := toolchain.BuildLayout(cfg.Program, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(m *machine.Machine, p branch.Predictor) (machine.Counters, error) {
+		return m.Run(machine.RunSpec{
+			Exe: exe, Trace: trace, Predictor: p, DisableNoise: true,
+		})
+	}
+
+	res := &LinearityResult{
+		Benchmark: cfg.Program.Name,
+		Points:    make([]LinearityPoint, len(configs)),
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     int
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := machine.New(mcfg)
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(configs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				c, err := run(m, configs[i].New())
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: linearity config %s: %w", configs[i].Name, err)
+				}
+				res.Points[i] = LinearityPoint{Config: configs[i].Name, MPKI: c.MPKI(), CPI: c.CPI()}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Reference runs: perfect oracle and L-TAGE, on a private machine.
+	m := machine.New(mcfg)
+	perfect, err := run(m, branch.Perfect{})
+	if err != nil {
+		return nil, err
+	}
+	ltage, err := run(m, branch.NewLTAGEDefault())
+	if err != nil {
+		return nil, err
+	}
+
+	mpkis := make([]float64, len(res.Points))
+	cpis := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		mpkis[i] = p.MPKI
+		cpis[i] = p.CPI
+	}
+	fit, err := stats.FitLinear(mpkis, cpis)
+	if err != nil {
+		return nil, fmt.Errorf("core: linearity fit for %s: %w", cfg.Program.Name, err)
+	}
+	res.Fit = fit
+
+	res.PerfectCPI = perfect.CPI()
+	res.EstPerfectCPI = fit.Predict(0)
+	res.PerfectErrPct = pctErr(res.EstPerfectCPI, res.PerfectCPI)
+
+	res.LTAGEMPKI = ltage.MPKI()
+	res.LTAGECPI = ltage.CPI()
+	res.EstLTAGECPI = fit.Predict(res.LTAGEMPKI)
+	res.LTAGEErrPct = pctErr(res.EstLTAGECPI, res.LTAGECPI)
+	return res, nil
+}
+
+func pctErr(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	e := (est - truth) / truth * 100
+	if e < 0 {
+		return -e
+	}
+	return e
+}

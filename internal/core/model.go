@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"interferometry/internal/pmc"
+	"interferometry/internal/stats"
+)
+
+// Model is a fitted single-event performance model: CPI = Slope*PKI + b,
+// the paper's central artifact (§6.6, Table 1).
+type Model struct {
+	Benchmark string
+	Event     pmc.Event
+	Fit       *stats.LinearFit
+}
+
+// FitCPI regresses CPI on the given event's per-kilo-instruction rate.
+func (d *Dataset) FitCPI(ev pmc.Event) (*Model, error) {
+	if len(d.Obs) < 3 {
+		return nil, stats.ErrInsufficientData
+	}
+	fit, err := stats.FitLinear(d.PKIs(ev), d.CPIs())
+	if err != nil {
+		return nil, fmt.Errorf("core: %s vs %s: %w", d.Benchmark, ev, err)
+	}
+	return &Model{Benchmark: d.Benchmark, Event: ev, Fit: fit}, nil
+}
+
+// MPKIModel is FitCPI for branch mispredictions, the paper's headline
+// model.
+func (d *Dataset) MPKIModel() (*Model, error) {
+	return d.FitCPI(pmc.EvBranchMispredicts)
+}
+
+// Significant reports whether the model rejects "no correlation" at the
+// paper's p <= 0.05 level (§4.6).
+func (m *Model) Significant() bool { return m.Fit.Significant(0.05) }
+
+// PredictCPI returns the predicted CPI at an event rate with its 95%
+// prediction interval — "we can be 95% sure that the CPI of 471.omnetpp
+// with perfect branch prediction would be between 1.86 and 1.94" (§6.6).
+func (m *Model) PredictCPI(pki float64) stats.Interval {
+	return m.Fit.PredictionInterval(pki, 0.95)
+}
+
+// ConfidenceAt returns the 95% confidence interval of the mean CPI at an
+// event rate.
+func (m *Model) ConfidenceAt(pki float64) stats.Interval {
+	return m.Fit.ConfidenceInterval(pki, 0.95)
+}
+
+// PerfectPrediction returns the model's extrapolation to a perfect
+// structure (0 events per kilo-instruction) with its prediction interval:
+// Table 1's "Low"/"High" columns.
+func (m *Model) PerfectPrediction() stats.Interval {
+	return m.PredictCPI(0)
+}
+
+// ReductionForCPIGain answers the paper's §1.4 planning question in
+// reverse: what fractional reduction of the event rate (from the given
+// current rate) is needed for a gainPct percent CPI improvement? For
+// 400.perlbench the paper finds "a 10% improvement in CPI due to branch
+// prediction improvement would require a 38% reduction in
+// mispredictions". The result can exceed 1 (unachievable even at zero
+// events) or be negative (gainPct <= 0); callers decide how to present
+// those.
+func (m *Model) ReductionForCPIGain(currentPKI, gainPct float64) float64 {
+	if m.Fit.Slope == 0 || currentPKI == 0 {
+		return math.Inf(1)
+	}
+	currentCPI := m.Fit.Predict(currentPKI)
+	deltaCPI := currentCPI * gainPct / 100
+	deltaPKI := deltaCPI / m.Fit.Slope
+	return deltaPKI / currentPKI
+}
+
+// BootstrapCheck cross-checks the parametric confidence interval at an
+// event rate with a paired-bootstrap percentile interval over the
+// dataset the model was fitted from. §5.8 justifies the t machinery by
+// approximate normality of the CPIs; when the two intervals agree, that
+// assumption carried no risk. It returns (parametric, bootstrap).
+func (m *Model) BootstrapCheck(d *Dataset, pki float64, reps int, seed uint64) (stats.Interval, stats.Interval, error) {
+	param := m.ConfidenceAt(pki)
+	boot, err := stats.BootstrapLineCI(d.PKIs(m.Event), d.CPIs(), pki, reps, seed, 0.95)
+	if err != nil {
+		return stats.Interval{}, stats.Interval{}, err
+	}
+	return param, boot, nil
+}
+
+// String renders the model like the paper quotes it: "CPI = 0.02799 *
+// MPKI + 0.51667" (§4.5).
+func (m *Model) String() string {
+	return fmt.Sprintf("%s: CPI = %.5f * %s/KI + %.5f (r²=%.3f, p=%.4g, n=%d)",
+		m.Benchmark, m.Fit.Slope, m.Event, m.Fit.Intercept, m.Fit.R2, m.Fit.PValue, m.Fit.N)
+}
+
+// CombinedModel is the multi-event regression of §6.1: CPI modeled on
+// branch mispredictions, L1I misses and L2 misses together, judged by the
+// F test (§6.2).
+type CombinedModel struct {
+	Benchmark string
+	Events    []pmc.Event
+	Fit       *stats.MultiFit
+}
+
+// FitCombined regresses CPI on several events jointly.
+func (d *Dataset) FitCombined(evs ...pmc.Event) (*CombinedModel, error) {
+	if len(evs) == 0 {
+		return nil, errors.New("core: combined model needs events")
+	}
+	cols := make([][]float64, len(evs))
+	for i, ev := range evs {
+		cols[i] = d.PKIs(ev)
+	}
+	fit, err := stats.FitMultiple(cols, d.CPIs())
+	if err != nil {
+		return nil, fmt.Errorf("core: combined model for %s: %w", d.Benchmark, err)
+	}
+	return &CombinedModel{Benchmark: d.Benchmark, Events: evs, Fit: fit}, nil
+}
+
+// StandardCombined fits the paper's three-event combined model.
+func (d *Dataset) StandardCombined() (*CombinedModel, error) {
+	return d.FitCombined(pmc.EvBranchMispredicts, pmc.EvL1IMisses, pmc.EvL2Misses)
+}
+
+// Significant applies the F test at p <= 0.05.
+func (c *CombinedModel) Significant() bool { return c.Fit.Significant(0.05) }

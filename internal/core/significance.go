@@ -1,0 +1,67 @@
+package core
+
+import (
+	"interferometry/internal/pmc"
+	"interferometry/internal/stats"
+)
+
+// ScreenResult records the §6.3 adaptive sampling outcome for one
+// benchmark: how many layouts were needed before the t test on the
+// CPI-vs-MPKI regression rejected the null hypothesis, or that it never
+// did ("for the other benchmarks, there was not enough range of MPKI to
+// predict CPI", §4.6).
+type ScreenResult struct {
+	Benchmark   string
+	Layouts     int
+	Significant bool
+	PValue      float64
+	// NormalityP is the Jarque-Bera p-value of the CPI sample. §5.8
+	// conditions the t test on approximate normality ("the observed CPI
+	// of most of the benchmarks roughly follow a normal distribution");
+	// a small value flags a benchmark whose t-test verdict deserves
+	// extra scrutiny.
+	NormalityP float64
+	Dataset    *Dataset
+}
+
+// ScreenSignificance runs the paper's escalation protocol: sample
+// `step` layouts at a time (the paper uses 100) up to maxLayouts (the
+// paper stops at 300), stopping early once the MPKI model is significant
+// at p <= 0.05.
+func ScreenSignificance(cfg CampaignConfig, step, maxLayouts int) (*ScreenResult, error) {
+	if step <= 0 {
+		step = 100
+	}
+	if maxLayouts < step {
+		maxLayouts = step
+	}
+	cfg.Layouts = step
+	ds, err := RunCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		res := &ScreenResult{
+			Benchmark: ds.Benchmark,
+			Layouts:   len(ds.Obs),
+			Dataset:   ds,
+		}
+		_, res.NormalityP = stats.JarqueBera(ds.CPIs())
+		model, err := ds.FitCPI(pmc.EvBranchMispredicts)
+		if err == nil {
+			res.PValue = model.Fit.PValue
+			res.Significant = model.Significant()
+		} else {
+			// A constant MPKI across layouts means no correlation can be
+			// established — the benchmark fails the screen.
+			res.PValue = 1
+		}
+		if res.Significant || len(ds.Obs)+step > maxLayouts {
+			return res, nil
+		}
+		ds, err = ds.Extend(step)
+		if err != nil {
+			return nil, err
+		}
+	}
+}

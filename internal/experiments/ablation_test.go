@@ -1,0 +1,158 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"interferometry/internal/experiments"
+)
+
+func TestExtICache(t *testing.T) {
+	res, err := experiments.ExtICache(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != experiments.ExtICacheBenchmark {
+		t.Errorf("benchmark %q", res.Benchmark)
+	}
+	if len(res.Evals) != 5 {
+		t.Fatalf("%d cache evals", len(res.Evals))
+	}
+	// Bigger caches miss less, so with a positive slope they predict
+	// lower CPI.
+	for i := 1; i < len(res.Evals); i++ {
+		if res.Evals[i].MPKI > res.Evals[i-1].MPKI+1e-9 {
+			t.Errorf("candidate %s misses more than smaller %s",
+				res.Evals[i].Name, res.Evals[i-1].Name)
+		}
+	}
+	if res.Model.Fit.Slope > 0 {
+		first, last := res.Evals[0].PredictedCPI.Center, res.Evals[len(res.Evals)-1].PredictedCPI.Center
+		if last >= first {
+			t.Errorf("128KB predicted CPI %v should beat 8KB %v", last, first)
+		}
+	}
+	// The 32KB candidate models the machine's own cache: its simulated
+	// MPKI must validate against the measured counter.
+	if res.ValidationErrPct > 15 {
+		t.Errorf("32KB simulation disagrees with the measured cache by %.1f%%", res.ValidationErrPct)
+	}
+	if !strings.Contains(res.Render(), "validation") {
+		t.Error("render missing validation line")
+	}
+}
+
+func TestExtDCache(t *testing.T) {
+	res, err := experiments.ExtDCache(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evals) != 4 {
+		t.Fatalf("%d cache evals", len(res.Evals))
+	}
+	byName := map[string]float64{}
+	for _, e := range res.Evals {
+		byName[e.Name] = e.MPKI
+	}
+	// Capacity: 64KB-8w beats 32KB-8w; associativity: 32KB-8w beats
+	// 32KB-4w (the hot heap pool is conflict-bound).
+	if byName["L1D-64KB-8w"] > byName["L1D-32KB-8w"] {
+		t.Errorf("64KB (%v) should not miss more than 32KB (%v)",
+			byName["L1D-64KB-8w"], byName["L1D-32KB-8w"])
+	}
+	if byName["L1D-32KB-8w"] > byName["L1D-32KB-4w"] {
+		t.Errorf("8-way (%v) should not miss more than 4-way (%v)",
+			byName["L1D-32KB-8w"], byName["L1D-32KB-4w"])
+	}
+	// The 32KB-8w candidate is the machine's own cache under the same
+	// replay protocol; validation must be essentially exact.
+	if res.ValidationErrPct > 1 {
+		t.Errorf("validation error %.2f%%", res.ValidationErrPct)
+	}
+	// Figure 3(a) strength carries over: the L1D model is extremely
+	// linear for this benchmark.
+	if res.Model.Fit.R2 < 0.9 {
+		t.Errorf("L1D model r² %v unexpectedly weak", res.Model.Fit.R2)
+	}
+	if !strings.Contains(res.Render(), "validation") {
+		t.Error("render missing validation")
+	}
+}
+
+func TestExtDepth(t *testing.T) {
+	res, err := experiments.ExtDepth(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(experiments.ExtDepthBenchmarks) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.DeepSlope <= row.CoreSlope {
+			t.Errorf("%s: deep-pipeline slope %v should exceed core slope %v",
+				row.Benchmark, row.DeepSlope, row.CoreSlope)
+		}
+	}
+	// The mean fitted ratio should recover the configured penalty ratio
+	// within a generous tolerance at small scale.
+	if res.MeanRatio < res.TrueRatio*0.75 || res.MeanRatio > res.TrueRatio*1.35 {
+		t.Errorf("mean slope ratio %.2f far from true penalty ratio %.2f",
+			res.MeanRatio, res.TrueRatio)
+	}
+	if !strings.Contains(res.Render(), "penalty ratio") {
+		t.Error("render missing ratio line")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	res, err := experiments.Ablations(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatalf("only %d ablation rows", len(res.Rows))
+	}
+	byName := map[string]experiments.AblationResult{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+	}
+
+	// The median-of-five protocol must not worsen the residual, and
+	// usually shrinks it.
+	if r, ok := byName["median-of-5 protocol"]; !ok {
+		t.Error("protocol ablation missing")
+	} else if r.Baseline > r.Ablated*1.25 {
+		t.Errorf("median-of-5 residual %v should not exceed single-run %v", r.Baseline, r.Ablated)
+	}
+
+	// The randomizing allocator is what elicits data-layout variance; the
+	// bump allocator produces (almost) none.
+	if r, ok := byName["randomizing allocator"]; !ok {
+		t.Error("allocator ablation missing")
+	} else if r.Baseline <= r.Ablated {
+		t.Errorf("randomized L1D variance %v should exceed bump %v", r.Baseline, r.Ablated)
+	}
+
+	// Warmup removes cold-start mispredictions, so the warmed MPKI is
+	// lower.
+	if r, ok := byName["pintool warmup pass"]; !ok {
+		t.Error("warmup ablation missing")
+	} else if r.Baseline >= r.Ablated {
+		t.Errorf("warmed L-TAGE MPKI %v should be below cold %v", r.Baseline, r.Ablated)
+	}
+
+	// The hybrid machine predictor should not lose badly to either of its
+	// components.
+	for _, name := range []string{"machine predictor: gas only", "machine predictor: bimodal only"} {
+		if r, ok := byName[name]; !ok {
+			t.Errorf("%s missing", name)
+		} else if r.Baseline > r.Ablated*1.3 {
+			t.Errorf("%s: hybrid MPKI %v much worse than component %v", name, r.Baseline, r.Ablated)
+		}
+	}
+
+	out := res.Render()
+	if !strings.Contains(out, "Ablations on") || !strings.Contains(out, "shipped") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,173 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation. Each driver returns a structured result carrying
+// the same rows or series the paper reports, plus a Render method that
+// prints them as text. DESIGN.md maps every driver to the modules it
+// exercises; EXPERIMENTS.md records the measured-vs-paper comparison.
+//
+// Drivers accept a Context, which fixes the experiment scale (layout
+// counts, instruction budgets, predictor-sweep size) and caches campaign
+// datasets so that figures sharing the same measurements (Table 1,
+// Figures 6-8) do not recompute them.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"interferometry/internal/core"
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
+	"interferometry/internal/toolchain"
+)
+
+// Scale fixes the cost of an experiment run. The paper's own scale is 100+
+// layouts of ~2-minute runs; Small keeps unit-test latency tolerable.
+type Scale struct {
+	Name string
+	// Layouts is the number of code reorderings per benchmark campaign.
+	Layouts int
+	// Budget is the retired-instruction budget of one measured run.
+	Budget uint64
+	// SimBudget is the budget of the §3 simulation study (which runs 145
+	// predictor configurations, so it is usually smaller).
+	SimBudget uint64
+	// Configs is the predictor-sweep size of the linearity study.
+	Configs int
+	// Fidelity selects the measurement protocol; the paper protocol is
+	// the default everywhere except the smallest scale.
+	Fidelity pmc.Fidelity
+	// SignifStep and SignifMax drive the §6.3 sample escalation.
+	SignifStep, SignifMax int
+}
+
+// The standard scales.
+var (
+	// Small is for unit tests and quick smoke runs.
+	Small = Scale{
+		Name: "small", Layouts: 30, Budget: 200_000, SimBudget: 80_000,
+		Configs: 29, Fidelity: pmc.FidelityPaper, SignifStep: 30, SignifMax: 60,
+	}
+	// Medium is the default for the bench harness.
+	Medium = Scale{
+		Name: "medium", Layouts: 60, Budget: 300_000, SimBudget: 150_000,
+		Configs: 72, Fidelity: pmc.FidelityPaper, SignifStep: 60, SignifMax: 120,
+	}
+	// Paper approximates the paper's own sample sizes (100 reorderings,
+	// escalating to 300; 145 predictor configurations).
+	Paper = Scale{
+		Name: "paper", Layouts: 100, Budget: 1_000_000, SimBudget: 400_000,
+		Configs: 145, Fidelity: pmc.FidelityPaper, SignifStep: 100, SignifMax: 300,
+	}
+)
+
+// ScaleByName resolves "small", "medium" or "paper".
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "small":
+		return Small, true
+	case "medium":
+		return Medium, true
+	case "paper":
+		return Paper, true
+	default:
+		return Scale{}, false
+	}
+}
+
+// Context carries the scale and a dataset cache across experiment
+// drivers.
+type Context struct {
+	Scale    Scale
+	BaseSeed uint64
+	// Workers caps parallelism in campaigns (0 = GOMAXPROCS).
+	Workers int
+
+	mu       sync.Mutex
+	datasets map[string]*core.Dataset
+}
+
+// NewContext builds a context with the canonical base seed.
+func NewContext(scale Scale) *Context {
+	return &Context{Scale: scale, BaseSeed: 0x1f2e3d4c, datasets: make(map[string]*core.Dataset)}
+}
+
+// campaignConfig builds the standard campaign for a benchmark.
+func (c *Context) campaignConfig(spec progen.Spec, mode heap.Mode) (core.CampaignConfig, error) {
+	prog, err := progen.Generate(spec)
+	if err != nil {
+		return core.CampaignConfig{}, err
+	}
+	return core.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    c.Scale.Budget,
+		Layouts:   c.Scale.Layouts,
+		HeapMode:  mode,
+		Fidelity:  c.Scale.Fidelity,
+		BaseSeed:  c.BaseSeed,
+		Workers:   c.Workers,
+	}, nil
+}
+
+// Dataset returns the (cached) campaign dataset for a benchmark.
+func (c *Context) Dataset(spec progen.Spec, mode heap.Mode) (*core.Dataset, error) {
+	key := fmt.Sprintf("%s/%s", spec.Name, mode)
+	c.mu.Lock()
+	ds := c.datasets[key]
+	c.mu.Unlock()
+	if ds != nil {
+		return ds, nil
+	}
+	cfg, err := c.campaignConfig(spec, mode)
+	if err != nil {
+		return nil, err
+	}
+	ds, err = core.RunCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.datasets[key] = ds
+	c.mu.Unlock()
+	return ds, nil
+}
+
+// newDefaultMachine builds the standard machine model instance.
+func newDefaultMachine() *machine.Machine { return machine.New(machine.XeonE5440()) }
+
+// newRunSpec wraps an executable and trace into a default run spec.
+func newRunSpec(exe *toolchain.Executable, tr *interp.Trace) machine.RunSpec {
+	return machine.RunSpec{Exe: exe, Trace: tr, NoiseSeed: 1}
+}
+
+// CachedDatasets returns a snapshot of the datasets the context has
+// accumulated, keyed "benchmark/heapmode". Report writers use it to dump
+// the raw observations behind the figures.
+func (c *Context) CachedDatasets() map[string]*core.Dataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*core.Dataset, len(c.datasets))
+	for k, v := range c.datasets {
+		out[k] = v
+	}
+	return out
+}
+
+// suiteSpecs returns the full 23-benchmark suite.
+func suiteSpecs() []progen.Spec { return progen.Suite() }
+
+// table1Specs returns the 20 Table 1 benchmarks in paper order.
+func table1Specs() []progen.Spec {
+	var out []progen.Spec
+	for _, name := range progen.Table1Names {
+		spec, ok := progen.ByName(name)
+		if !ok {
+			panic("experiments: missing suite benchmark " + name)
+		}
+		out = append(out, spec)
+	}
+	return out
+}

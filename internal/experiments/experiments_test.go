@@ -1,0 +1,309 @@
+package experiments_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"interferometry/internal/experiments"
+)
+
+// sharedCtx caches the whole-suite campaigns across tests in this
+// package; the drivers for Figures 1, 2, 6, 7, 8 and Table 1 all read
+// from the same datasets.
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Context
+)
+
+func testCtx() *experiments.Context {
+	ctxOnce.Do(func() {
+		ctx = experiments.NewContext(experiments.Small)
+	})
+	return ctx
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, n := range []string{"small", "medium", "paper"} {
+		s, ok := experiments.ScaleByName(n)
+		if !ok || s.Name != n {
+			t.Errorf("ScaleByName(%q) = %+v, %v", n, s, ok)
+		}
+	}
+	if _, ok := experiments.ScaleByName("bogus"); ok {
+		t.Error("bogus scale resolved")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	res, err := experiments.Figure1(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violins) != 23 {
+		t.Fatalf("fig1 has %d violins, want 23", len(res.Violins))
+	}
+	for _, v := range res.Violins {
+		if v.Summary.N != experiments.Small.Layouts {
+			t.Errorf("%s: %d observations", v.Label, v.Summary.N)
+		}
+		if v.Summary.Max <= v.Summary.Min {
+			t.Errorf("%s: degenerate spread", v.Label)
+		}
+		// Violin deviations are centered on zero by construction.
+		if v.Summary.Min > 0 || v.Summary.Max < 0 {
+			t.Errorf("%s: deviations not centered: [%v, %v]", v.Label, v.Summary.Min, v.Summary.Max)
+		}
+	}
+	name, max := res.MaxSpread()
+	if name == "" || max <= 0 {
+		t.Error("MaxSpread degenerate")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "400.perlbench") || !strings.Contains(out, "|") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	res, err := experiments.Figure2(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("fig2 has %d series", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.Model.Fit.Slope <= 0 {
+			t.Errorf("%s: slope %v not positive", s.Benchmark, s.Model.Fit.Slope)
+		}
+		if !s.Model.Significant() {
+			t.Errorf("%s: model not significant (p=%v)", s.Benchmark, s.Model.Fit.PValue)
+		}
+		for _, p := range s.Band {
+			if p.Prediction.Half() <= p.Confidence.Half() {
+				t.Errorf("%s: PI not wider than CI at x=%v", s.Benchmark, p.X)
+			}
+			if !p.Confidence.Contains(p.Fit) {
+				t.Errorf("%s: CI excludes the fit at x=%v", s.Benchmark, p.X)
+			}
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "471.omnetpp") {
+		t.Error("render missing omnetpp")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	res, err := experiments.Figure3(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1.Benchmark != experiments.Fig3Benchmark || res.L2.Benchmark != experiments.Fig3Benchmark {
+		t.Error("fig3 series mislabeled")
+	}
+	if len(res.L1.X) != experiments.Small.Layouts {
+		t.Errorf("fig3 L1 has %d points", len(res.L1.X))
+	}
+	// Cache misses must vary under heap randomization for the fit to
+	// exist at all (FitCPI errors on a constant predictor).
+	if res.L1.Model == nil || res.L2.Model == nil {
+		t.Fatal("missing cache models")
+	}
+	// More cache misses never speed the machine up: the fitted slopes
+	// should be positive for this cache-bound benchmark.
+	if res.L1.Model.Fit.Slope <= 0 {
+		t.Errorf("L1D slope %v not positive", res.L1.Model.Fit.Slope)
+	}
+	if out := res.Render(); !strings.Contains(out, "L1D misses/KI") || !strings.Contains(out, "L2 misses/KI") {
+		t.Error("render missing series")
+	}
+}
+
+func TestFigure4And5(t *testing.T) {
+	res, err := experiments.Figure4(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerBenchmark) != 13 {
+		t.Fatalf("fig4 covered %d benchmarks", len(res.PerBenchmark))
+	}
+	// Ordered ascending by perfect error, like the figure's x axis.
+	for i := 1; i < len(res.PerBenchmark); i++ {
+		if res.PerBenchmark[i].PerfectErrPct < res.PerBenchmark[i-1].PerfectErrPct {
+			t.Error("fig4 rows not sorted by error")
+		}
+	}
+	// The paper's shape: extrapolating to perfect prediction has a small
+	// average error; estimating L-TAGE is even more accurate because it
+	// is an interpolation near the data (§3.2).
+	if res.AvgPerfectErrPct > 12 {
+		t.Errorf("average perfect-extrapolation error %v%% too large", res.AvgPerfectErrPct)
+	}
+	if res.AvgLTAGEErrPct > res.AvgPerfectErrPct+1 {
+		t.Errorf("L-TAGE error %v%% should not exceed perfect error %v%%",
+			res.AvgLTAGEErrPct, res.AvgPerfectErrPct)
+	}
+	if !strings.Contains(res.Render(), "AVERAGE") {
+		t.Error("fig4 render missing average")
+	}
+
+	f5, err := experiments.Figure5(testCtx(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Linear) != 3 || len(f5.NonLinear) != 3 {
+		t.Fatalf("fig5 panels %d/%d", len(f5.Linear), len(f5.NonLinear))
+	}
+	for _, s := range append(append([]experiments.Fig5Series{}, f5.Linear...), f5.NonLinear...) {
+		if len(s.MPKI) != len(s.NormCPI) || len(s.MPKI) == 0 {
+			t.Errorf("%s: bad series", s.Benchmark)
+		}
+		// Normalized CPI is CPI/perfectCPI, so every point sits at >= ~1.
+		for _, v := range s.NormCPI {
+			if v < 0.99 {
+				t.Errorf("%s: normalized CPI %v below 1", s.Benchmark, v)
+			}
+		}
+	}
+	if !strings.Contains(f5.Render(), "178.galgel") {
+		t.Error("fig5 render missing galgel")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	res, err := experiments.Figure6(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 23 {
+		t.Fatalf("fig6 has %d rows", len(res.Rows))
+	}
+	// Branch mispredictions explain a sizeable share of CPI variance on
+	// average (paper: 27%); our model sits in the same regime.
+	if res.AvgBranch < 0.05 || res.AvgBranch > 0.95 {
+		t.Errorf("average branch r² %v implausible", res.AvgBranch)
+	}
+	// The combined model's r² is at least each component's by least
+	// squares, so its average dominates too.
+	if res.AvgCombined < res.AvgBranch {
+		t.Errorf("combined avg %v below branch avg %v", res.AvgCombined, res.AvgBranch)
+	}
+	if !strings.Contains(res.Render(), "combined") {
+		t.Error("fig6 render missing combined column")
+	}
+}
+
+func TestFigure7And8(t *testing.T) {
+	res, err := experiments.Figure7(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("fig7 has %d rows", len(res.Rows))
+	}
+	// Paper shape: L-TAGE beats the real predictor and every GAs; the GAs
+	// family improves (weakly) with size.
+	if res.Avg["l-tage"] >= res.Avg["real"] {
+		t.Errorf("L-TAGE avg MPKI %v should beat the real predictor %v",
+			res.Avg["l-tage"], res.Avg["real"])
+	}
+	if res.Avg["gas-16KB"] > res.Avg["gas-2KB"]+0.2 {
+		t.Errorf("16KB GAs (%v) should not lose to 2KB GAs (%v)",
+			res.Avg["gas-16KB"], res.Avg["gas-2KB"])
+	}
+	if res.Avg["l-tage"] >= res.Avg["gas-16KB"] {
+		t.Errorf("L-TAGE (%v) should beat 16KB GAs (%v)",
+			res.Avg["l-tage"], res.Avg["gas-16KB"])
+	}
+	if !strings.Contains(res.Render(), "AVERAGE") {
+		t.Error("fig7 render missing averages")
+	}
+
+	f8, err := experiments.Figure8(testCtx(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Rows) != 20 {
+		t.Fatalf("fig8 has %d rows", len(f8.Rows))
+	}
+	// Perfect prediction improves on the real predictor; L-TAGE sits in
+	// between (paper: 11.8% and 4.8%).
+	if f8.PerfectImprovementPct <= 0 || f8.PerfectImprovementPct > 40 {
+		t.Errorf("perfect improvement %v%% out of range", f8.PerfectImprovementPct)
+	}
+	if f8.LTAGEImprovementPct <= 0 {
+		t.Errorf("L-TAGE improvement %v%% not positive", f8.LTAGEImprovementPct)
+	}
+	if f8.LTAGEImprovementPct >= f8.PerfectImprovementPct {
+		t.Errorf("L-TAGE improvement %v%% should be below perfect %v%%",
+			f8.LTAGEImprovementPct, f8.PerfectImprovementPct)
+	}
+	if !strings.Contains(f8.Render(), "improvement") {
+		t.Error("fig8 render missing improvements")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := experiments.Table1(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("table1 has %d rows", len(res.Rows))
+	}
+	positive := 0
+	for _, row := range res.Rows {
+		if row.Low >= row.High {
+			t.Errorf("%s: degenerate prediction interval", row.Benchmark)
+		}
+		if row.Intercept < row.Low || row.Intercept > row.High {
+			t.Errorf("%s: intercept outside its own prediction interval", row.Benchmark)
+		}
+		if row.Slope > 0 {
+			positive++
+		}
+	}
+	// More mispredictions cost cycles: slopes are positive essentially
+	// everywhere (small-scale noise may flip an outlier).
+	if positive < len(res.Rows)-2 {
+		t.Errorf("only %d/%d positive slopes", positive, len(res.Rows))
+	}
+	// Mean slope reflects the ~25-cycle flush penalty (0.025 CPI/MPKI).
+	if ms := res.MeanSlope(); ms < 0.01 || ms > 0.06 {
+		t.Errorf("mean slope %v far from the flush penalty", ms)
+	}
+	if !strings.Contains(res.Render(), "y-intercept") {
+		t.Error("table1 render missing header")
+	}
+}
+
+func TestSignificance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("significance screen runs 23 escalating campaigns")
+	}
+	res, err := experiments.Significance(testCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 23 {
+		t.Fatalf("screened %d benchmarks", res.Total)
+	}
+	// The paper's key count: 20 of 23 significant. At small scale a
+	// borderline benchmark may miss, but the bulk must pass and the three
+	// loop-dominated FP codes must fail.
+	if res.SignificantCount < 15 {
+		t.Errorf("only %d/23 significant", res.SignificantCount)
+	}
+	for _, row := range res.Rows {
+		switch row.Benchmark {
+		case "410.bwaves", "433.milc", "470.lbm":
+			if row.Significant {
+				t.Errorf("%s should fail the significance screen", row.Benchmark)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "20 of 23") {
+		t.Error("render missing paper reference")
+	}
+}

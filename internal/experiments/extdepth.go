@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/core"
+	"interferometry/internal/machine"
+	"interferometry/internal/progen"
+	"interferometry/internal/stats"
+)
+
+// ExtDepthBenchmarks are branch-sensitive benchmarks whose MPKI models
+// are strong enough to compare slopes across machines.
+var ExtDepthBenchmarks = []string{"400.perlbench", "444.namd", "456.hmmer"}
+
+// ExtDepthRow compares one benchmark's fitted slope on the two machines.
+type ExtDepthRow struct {
+	Benchmark  string
+	CoreSlope  float64 // fitted on the Core-like machine (25-cycle flush)
+	DeepSlope  float64 // fitted on the deep-pipeline machine (39-cycle flush)
+	SlopeRatio float64
+}
+
+// ExtDepthResult is the pipeline-depth experiment: §1.5 recalls that
+// circa-2001 research simulated ever deeper pipelines and was "way off
+// the mark". Interferometry does not guess — its regression slope is a
+// *measurement* of the machine's effective misprediction cost. Here we
+// run the same campaigns on a 25-cycle-flush machine and a 39-cycle-flush
+// machine; the fitted slopes must track the penalties the models were
+// built with, blind.
+type ExtDepthResult struct {
+	Rows []ExtDepthRow
+	// MeanRatio is the mean fitted-slope ratio; TrueRatio is the
+	// configured penalty ratio it should recover.
+	MeanRatio float64
+	TrueRatio float64
+}
+
+// ExtDepth runs the experiment. It uses its own (smaller) campaigns
+// because the deep machine's datasets cannot be shared with the default
+// context cache.
+func ExtDepth(ctx *Context) (*ExtDepthResult, error) {
+	coreCfg := machine.XeonE5440()
+	deepCfg := machine.DeepPipeline()
+	res := &ExtDepthResult{
+		TrueRatio: deepCfg.MispredictPenalty / coreCfg.MispredictPenalty,
+	}
+	var ratios []float64
+	for _, name := range ExtDepthBenchmarks {
+		spec, ok := progen.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("ext-depth: unknown benchmark %s", name)
+		}
+		slopeOn := func(mcfg machine.Config) (float64, error) {
+			cfg, err := ctx.campaignConfig(spec, 0)
+			if err != nil {
+				return 0, err
+			}
+			cfg.Machine = mcfg
+			ds, err := core.RunCampaign(cfg)
+			if err != nil {
+				return 0, err
+			}
+			model, err := ds.MPKIModel()
+			if err != nil {
+				return 0, err
+			}
+			return model.Fit.Slope, nil
+		}
+		cs, err := slopeOn(coreCfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext-depth %s: %w", name, err)
+		}
+		dsl, err := slopeOn(deepCfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext-depth %s: %w", name, err)
+		}
+		row := ExtDepthRow{Benchmark: name, CoreSlope: cs, DeepSlope: dsl}
+		if cs != 0 {
+			row.SlopeRatio = dsl / cs
+			ratios = append(ratios, row.SlopeRatio)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.MeanRatio = stats.Mean(ratios)
+	return res, nil
+}
+
+// Render prints the slope comparison.
+func (r *ExtDepthResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: pipeline-depth sensitivity (the regression slope measures the flush cost)\n")
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s\n", "benchmark", "core slope", "deep slope", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %12.4f %12.4f %12.2f\n",
+			row.Benchmark, row.CoreSlope, row.DeepSlope, row.SlopeRatio)
+	}
+	fmt.Fprintf(&b, "mean fitted-slope ratio %.2f vs configured penalty ratio %.2f\n",
+		r.MeanRatio, r.TrueRatio)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/stats"
+)
+
+// Fig1Result reproduces Figure 1: violin plots of percent CPI variation
+// across code reorderings for every benchmark in the suite. "Clearly,
+// some benchmarks are greatly affected by differences in instruction
+// addresses while some are less sensitive" (§1.1).
+type Fig1Result struct {
+	Violins []stats.Violin
+}
+
+// Figure1 runs the whole-suite campaign and builds one violin per
+// benchmark from the percent deviations of CPI around its mean.
+func Figure1(ctx *Context) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, spec := range suiteSpecs() {
+		ds, err := ctx.Dataset(spec, heap.ModeBump)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", spec.Name, err)
+		}
+		v, err := stats.MakeViolin(spec.Name, stats.PercentDeviations(ds.CPIs()), 33)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", spec.Name, err)
+		}
+		res.Violins = append(res.Violins, v)
+	}
+	return res, nil
+}
+
+// Render draws each violin as a horizontal ASCII density profile over the
+// percent-deviation axis, with the min/max range and spread.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: %% CPI variation across code reorderings (violin densities)\n")
+	for _, v := range r.Violins {
+		maxD := v.MaxDensity()
+		var bars strings.Builder
+		for _, p := range v.Profile {
+			bars.WriteByte(" .:-=+*#%@"[int(p.Density/maxD*9.999)%10])
+		}
+		fmt.Fprintf(&b, "%-16s [%+6.2f%% .. %+6.2f%%] |%s| spread=%.2f%%\n",
+			v.Label, v.Summary.Min, v.Summary.Max, bars.String(), v.Summary.Max-v.Summary.Min)
+	}
+	return b.String()
+}
+
+// MaxSpread returns the largest percent spread across benchmarks, a
+// headline of the figure.
+func (r *Fig1Result) MaxSpread() (string, float64) {
+	name, max := "", 0.0
+	for _, v := range r.Violins {
+		if s := v.Summary.Max - v.Summary.Min; s > max {
+			max, name = s, v.Label
+		}
+	}
+	return name, max
+}

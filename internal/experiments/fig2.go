@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/core"
+	"interferometry/internal/heap"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
+	"interferometry/internal/stats"
+)
+
+// Fig2Benchmarks are the two benchmarks of Figure 2.
+var Fig2Benchmarks = []string{"400.perlbench", "471.omnetpp"}
+
+// RegressionSeries is one benchmark's scatter + fitted line + interval
+// band, the content of Figures 2 and 3.
+type RegressionSeries struct {
+	Benchmark string
+	XLabel    string
+	// Points are the measured (x, CPI) observations.
+	X, CPI []float64
+	Model  *core.Model
+	// Band samples the fitted line with 95% confidence and prediction
+	// intervals at evenly spaced x values (including x = 0, the perfect
+	// structure).
+	Band []BandPoint
+}
+
+// BandPoint is one sampled position of the interval band.
+type BandPoint struct {
+	X          float64
+	Fit        float64
+	Confidence stats.Interval
+	Prediction stats.Interval
+}
+
+// buildSeries fits the model and samples the band.
+func buildSeries(ds *core.Dataset, ev pmc.Event, xLabel string) (RegressionSeries, error) {
+	model, err := ds.FitCPI(ev)
+	if err != nil {
+		return RegressionSeries{}, err
+	}
+	xs := ds.PKIs(ev)
+	s := RegressionSeries{
+		Benchmark: ds.Benchmark,
+		XLabel:    xLabel,
+		X:         xs,
+		CPI:       ds.CPIs(),
+		Model:     model,
+	}
+	hi := stats.Max(xs)
+	const samples = 9
+	for i := 0; i <= samples; i++ {
+		x := hi * float64(i) / samples
+		s.Band = append(s.Band, BandPoint{
+			X:          x,
+			Fit:        model.Fit.Predict(x),
+			Confidence: model.ConfidenceAt(x),
+			Prediction: model.PredictCPI(x),
+		})
+	}
+	return s, nil
+}
+
+// Fig2Result reproduces Figure 2: CPI versus MPKI with least-squares
+// lines, 95% confidence intervals and 95% prediction intervals for
+// 400.perlbench and 471.omnetpp.
+type Fig2Result struct {
+	Series []RegressionSeries
+}
+
+// Figure2 runs the two campaigns and fits the models.
+func Figure2(ctx *Context) (*Fig2Result, error) {
+	res := &Fig2Result{}
+	for _, name := range Fig2Benchmarks {
+		spec, ok := progen.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("fig2: unknown benchmark %s", name)
+		}
+		ds, err := ctx.Dataset(spec, heap.ModeBump)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", name, err)
+		}
+		s, err := buildSeries(ds, pmc.EvBranchMispredicts, "MPKI")
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", name, err)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Render prints the fitted models and interval bands.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: performance vs branch prediction accuracy\n")
+	for _, s := range r.Series {
+		renderSeries(&b, s)
+	}
+	return b.String()
+}
+
+func renderSeries(b *strings.Builder, s RegressionSeries) {
+	fmt.Fprintf(b, "\n%s  (n=%d observations)\n", s.Benchmark, len(s.X))
+	fmt.Fprintf(b, "  CPI = %.5f * %s + %.5f   r=%.3f r²=%.3f p=%.3g\n",
+		s.Model.Fit.Slope, s.XLabel, s.Model.Fit.Intercept,
+		s.Model.Fit.R, s.Model.Fit.R2, s.Model.Fit.PValue)
+	fmt.Fprintf(b, "  %8s %10s %23s %23s\n", s.XLabel, "fit", "95% confidence", "95% prediction")
+	for _, p := range s.Band {
+		fmt.Fprintf(b, "  %8.3f %10.4f [%9.4f,%9.4f] [%9.4f,%9.4f]\n",
+			p.X, p.Fit, p.Confidence.Low, p.Confidence.High,
+			p.Prediction.Low, p.Prediction.High)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
+)
+
+// Fig3Benchmark is the benchmark of Figure 3.
+const Fig3Benchmark = "454.calculix"
+
+// Fig3Result reproduces Figure 3: with heap randomization combined with
+// code reordering, 454.calculix's CPI varies linearly with (a) L1 data
+// cache misses and (b) L2 cache misses (§1.3).
+type Fig3Result struct {
+	L1 RegressionSeries
+	L2 RegressionSeries
+}
+
+// Figure3 runs the calculix campaign under the randomizing allocator and
+// fits the two cache-event models.
+func Figure3(ctx *Context) (*Fig3Result, error) {
+	spec, ok := progen.ByName(Fig3Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("fig3: unknown benchmark %s", Fig3Benchmark)
+	}
+	ds, err := ctx.Dataset(spec, heap.ModeRandomized)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	l1, err := buildSeries(ds, pmc.EvL1DMisses, "L1D misses/KI")
+	if err != nil {
+		return nil, fmt.Errorf("fig3 L1: %w", err)
+	}
+	l2, err := buildSeries(ds, pmc.EvL2Misses, "L2 misses/KI")
+	if err != nil {
+		return nil, fmt.Errorf("fig3 L2: %w", err)
+	}
+	return &Fig3Result{L1: l1, L2: l2}, nil
+}
+
+// Render prints both cache-effect models.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: cache effects on performance under heap randomization + code reordering\n")
+	renderSeries(&b, r.L1)
+	renderSeries(&b, r.L2)
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"interferometry/internal/core"
+	"interferometry/internal/progen"
+	"interferometry/internal/stats"
+	"interferometry/internal/uarch/branch"
+)
+
+// Fig4Result reproduces Figure 4: for every benchmark of the simulation
+// suite, the percent error of estimating perfect-prediction CPI and
+// L-TAGE CPI by linear regression over a sweep of imperfect predictor
+// configurations (§3.2). The paper reports a 1.32% average error for
+// perfect prediction and under 0.3% for L-TAGE.
+type Fig4Result struct {
+	// PerBenchmark is ordered by ascending perfect-prediction error, like
+	// the figure's x axis.
+	PerBenchmark []*core.LinearityResult
+	// AvgPerfectErrPct and AvgLTAGEErrPct are the headline averages.
+	AvgPerfectErrPct float64
+	AvgLTAGEErrPct   float64
+}
+
+// Figure4 runs the linearity study over the simulation suite.
+func Figure4(ctx *Context) (*Fig4Result, error) {
+	configs := branch.ConfigSpace(ctx.Scale.Configs)
+	res := &Fig4Result{}
+	for _, spec := range progen.SimSuite() {
+		prog, err := progen.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", spec.Name, err)
+		}
+		lr, err := core.RunLinearityStudy(core.LinearityConfig{
+			Program:   prog,
+			InputSeed: 1,
+			Budget:    ctx.Scale.SimBudget,
+			Configs:   configs,
+			Workers:   ctx.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", spec.Name, err)
+		}
+		res.PerBenchmark = append(res.PerBenchmark, lr)
+	}
+	sort.Slice(res.PerBenchmark, func(i, j int) bool {
+		return res.PerBenchmark[i].PerfectErrPct < res.PerBenchmark[j].PerfectErrPct
+	})
+	var pe, le []float64
+	for _, lr := range res.PerBenchmark {
+		pe = append(pe, lr.PerfectErrPct)
+		le = append(le, lr.LTAGEErrPct)
+	}
+	res.AvgPerfectErrPct = stats.Mean(pe)
+	res.AvgLTAGEErrPct = stats.Mean(le)
+	return res, nil
+}
+
+// Render prints the per-benchmark error bars and the averages.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: % error estimating perfect and L-TAGE CPI by linear regression\n")
+	fmt.Fprintf(&b, "%-16s %12s %12s %10s %10s\n",
+		"benchmark", "perfect-err%", "l-tage-err%", "r²", "configs")
+	for _, lr := range r.PerBenchmark {
+		fmt.Fprintf(&b, "%-16s %12.2f %12.2f %10.3f %10d\n",
+			lr.Benchmark, lr.PerfectErrPct, lr.LTAGEErrPct, lr.Fit.R2, len(lr.Points))
+	}
+	fmt.Fprintf(&b, "%-16s %12.2f %12.2f   (paper: 1.32%% and <0.3%%)\n",
+		"AVERAGE", r.AvgPerfectErrPct, r.AvgLTAGEErrPct)
+	return b.String()
+}

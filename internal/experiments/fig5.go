@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/core"
+)
+
+// Fig5LinearBenchmarks and Fig5NonLinearBenchmarks are the two panels of
+// Figure 5: (a) highly linear benchmarks and (b) the three worst cases.
+var (
+	Fig5LinearBenchmarks    = []string{"473.astar", "401.bzip2", "458.sjeng"}
+	Fig5NonLinearBenchmarks = []string{"456.hmmer", "252.eon", "178.galgel"}
+)
+
+// Fig5Series is one benchmark's simulated (MPKI, normalized CPI) points
+// with the regression line. CPI is normalized to the perfect-prediction
+// CPI, so the point (0, 1) is perfect prediction.
+type Fig5Series struct {
+	Benchmark  string
+	MPKI       []float64
+	NormCPI    []float64
+	Slope      float64 // of normalized CPI per MPKI
+	InterceptN float64 // normalized intercept; 1.0 means zero error at (0,1)
+	ErrAtZero  float64 // percent error of the intercept vs perfect
+}
+
+// Fig5Result reproduces Figure 5 from the Figure 4 study results.
+type Fig5Result struct {
+	Linear    []Fig5Series
+	NonLinear []Fig5Series
+}
+
+// Figure5 derives its series from the linearity study (it reuses the
+// fig4 computation rather than re-simulating).
+func Figure5(ctx *Context, fig4 *Fig4Result) (*Fig5Result, error) {
+	if fig4 == nil {
+		var err error
+		fig4, err = Figure4(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	byName := map[string]*core.LinearityResult{}
+	for _, lr := range fig4.PerBenchmark {
+		byName[lr.Benchmark] = lr
+	}
+	build := func(names []string) ([]Fig5Series, error) {
+		var out []Fig5Series
+		for _, n := range names {
+			lr, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("fig5: benchmark %s missing from linearity study", n)
+			}
+			s := Fig5Series{Benchmark: n}
+			for _, p := range lr.Points {
+				s.MPKI = append(s.MPKI, p.MPKI)
+				s.NormCPI = append(s.NormCPI, p.CPI/lr.PerfectCPI)
+			}
+			s.Slope = lr.Fit.Slope / lr.PerfectCPI
+			s.InterceptN = lr.Fit.Intercept / lr.PerfectCPI
+			s.ErrAtZero = lr.PerfectErrPct
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	lin, err := build(Fig5LinearBenchmarks)
+	if err != nil {
+		return nil, err
+	}
+	non, err := build(Fig5NonLinearBenchmarks)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Linear: lin, NonLinear: non}, nil
+}
+
+// Render prints both panels' regression lines and intercept errors.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: regression lines relating MPKI to normalized CPI (perfect = (0,1))\n")
+	panel := func(title string, series []Fig5Series) {
+		fmt.Fprintf(&b, "\n(%s)\n", title)
+		for _, s := range series {
+			fmt.Fprintf(&b, "  %-14s normCPI = %.5f*MPKI + %.4f  err@0 = %.2f%%  (%d points)\n",
+				s.Benchmark, s.Slope, s.InterceptN, s.ErrAtZero, len(s.MPKI))
+		}
+	}
+	panel("a: highly linear", r.Linear)
+	panel("b: least linear", r.NonLinear)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/core"
+	"interferometry/internal/heap"
+	"interferometry/internal/pmc"
+	"interferometry/internal/stats"
+	"interferometry/internal/uarch/branch"
+)
+
+// Fig7Row is one benchmark's MPKI under the real predictor and each
+// simulated candidate.
+type Fig7Row struct {
+	Benchmark string
+	RealMPKI  float64
+	// Simulated maps predictor name to mean MPKI over the campaign's
+	// layouts (Pin runs once per reordering, §7.2).
+	Simulated map[string]float64
+}
+
+// Fig7Result reproduces Figure 7: MPKI of the real branch predictor
+// versus simulated GAs predictors from 2KB to 16KB and L-TAGE, averaged
+// over the code reorderings. The paper's averages: real 6.306, 8KB GAs
+// 5.729, 16KB GAs 5.542, L-TAGE 3.995.
+type Fig7Result struct {
+	Predictors []string
+	Rows       []Fig7Row
+	// Avg maps predictor name (and "real") to the cross-benchmark mean.
+	Avg map[string]float64
+	// evals and models are kept for Figure 8, which shares this data.
+	evals  map[string][]core.PredictorEval
+	models map[string]*core.Model
+	real   map[string]core.RealPredictorSummary
+}
+
+// Figure7 simulates the paper predictors over every Table 1 benchmark's
+// campaign layouts.
+func Figure7(ctx *Context) (*Fig7Result, error) {
+	factories := branch.PaperPredictors()
+	res := &Fig7Result{
+		Avg:    map[string]float64{},
+		evals:  map[string][]core.PredictorEval{},
+		models: map[string]*core.Model{},
+		real:   map[string]core.RealPredictorSummary{},
+	}
+	for _, f := range factories {
+		res.Predictors = append(res.Predictors, f.Name)
+	}
+	sums := map[string][]float64{}
+	for _, spec := range table1Specs() {
+		ds, err := ctx.Dataset(spec, heap.ModeBump)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		}
+		model, err := ds.MPKIModel()
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		}
+		evals, err := ds.EvaluatePredictors(model, factories)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		}
+		row := Fig7Row{
+			Benchmark: spec.Name,
+			RealMPKI:  stats.Mean(ds.PKIs(pmc.EvBranchMispredicts)),
+			Simulated: map[string]float64{},
+		}
+		for _, e := range evals {
+			row.Simulated[e.Name] = e.MPKI
+			sums[e.Name] = append(sums[e.Name], e.MPKI)
+		}
+		sums["real"] = append(sums["real"], row.RealMPKI)
+		res.Rows = append(res.Rows, row)
+		res.evals[spec.Name] = evals
+		res.models[spec.Name] = model
+		res.real[spec.Name] = ds.RealPredictor(model)
+	}
+	for name, vals := range sums {
+		res.Avg[name] = stats.Mean(vals)
+	}
+	return res, nil
+}
+
+// Render prints the per-benchmark MPKI table.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: MPKI of real and simulated branch predictors (mean over reorderings)\n")
+	fmt.Fprintf(&b, "%-16s %8s", "benchmark", "real")
+	for _, p := range r.Predictors {
+		fmt.Fprintf(&b, " %9s", p)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %8.3f", row.Benchmark, row.RealMPKI)
+		for _, p := range r.Predictors {
+			fmt.Fprintf(&b, " %9.3f", row.Simulated[p])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-16s %8.3f", "AVERAGE", r.Avg["real"])
+	for _, p := range r.Predictors {
+		fmt.Fprintf(&b, " %9.3f", r.Avg[p])
+	}
+	fmt.Fprintf(&b, "\n(paper averages: real 6.306, gas-8KB 5.729, gas-16KB 5.542, l-tage 3.995)\n")
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/stats"
+)
+
+// Fig8Row is one benchmark's predicted CPI per predictor with 95%
+// prediction intervals, plus the measured real-predictor CPI with its
+// tighter confidence interval (§7.2: "for the real branch predictor, the
+// error bars indicate the tighter confidence interval since the data are
+// observations and not predictions").
+type Fig8Row struct {
+	Benchmark string
+	Real      stats.Interval
+	Perfect   stats.Interval
+	Predicted map[string]stats.Interval
+}
+
+// Fig8Result reproduces Figure 8 and the §7.2 headline numbers: the
+// estimated improvement of perfect prediction (paper: 11.8% average,
+// between 7% and 16%) and of L-TAGE (paper: 4.8% average).
+type Fig8Result struct {
+	Predictors []string
+	Rows       []Fig8Row
+	// Mean CPIs across benchmarks.
+	AvgRealCPI    float64
+	AvgPerfectCPI float64
+	AvgLTAGECPI   float64
+	// Improvement percentages vs the real predictor.
+	PerfectImprovementPct float64
+	LTAGEImprovementPct   float64
+}
+
+// Figure8 maps the Figure 7 MPKIs through each benchmark's regression
+// model. It reuses a Fig7Result (computing one if necessary).
+func Figure8(ctx *Context, fig7 *Fig7Result) (*Fig8Result, error) {
+	if fig7 == nil {
+		var err error
+		fig7, err = Figure7(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Fig8Result{Predictors: fig7.Predictors}
+	var realCPIs, perfectCPIs, ltageCPIs []float64
+	for _, row := range fig7.Rows {
+		model := fig7.models[row.Benchmark]
+		r8 := Fig8Row{
+			Benchmark: row.Benchmark,
+			Real:      fig7.real[row.Benchmark].CPI,
+			Perfect:   model.PerfectPrediction(),
+			Predicted: map[string]stats.Interval{},
+		}
+		for _, e := range fig7.evals[row.Benchmark] {
+			r8.Predicted[e.Name] = e.PredictedCPI
+		}
+		res.Rows = append(res.Rows, r8)
+		realCPIs = append(realCPIs, r8.Real.Center)
+		perfectCPIs = append(perfectCPIs, r8.Perfect.Center)
+		ltageCPIs = append(ltageCPIs, r8.Predicted["l-tage"].Center)
+	}
+	res.AvgRealCPI = stats.Mean(realCPIs)
+	res.AvgPerfectCPI = stats.Mean(perfectCPIs)
+	res.AvgLTAGECPI = stats.Mean(ltageCPIs)
+	if res.AvgRealCPI > 0 {
+		res.PerfectImprovementPct = (res.AvgRealCPI - res.AvgPerfectCPI) / res.AvgRealCPI * 100
+		res.LTAGEImprovementPct = (res.AvgRealCPI - res.AvgLTAGECPI) / res.AvgRealCPI * 100
+	}
+	return res, nil
+}
+
+// Render prints the per-benchmark predicted CPIs and the headline
+// improvements.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: predicted CPI of real and simulated branch predictors\n")
+	fmt.Fprintf(&b, "%-16s %19s %19s", "benchmark", "real (95% CI)", "perfect (95% PI)")
+	for _, p := range r.Predictors {
+		fmt.Fprintf(&b, " %9s", p)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %6.3f±%-11.3f %6.3f±%-11.3f",
+			row.Benchmark, row.Real.Center, row.Real.Half(),
+			row.Perfect.Center, row.Perfect.Half())
+		for _, p := range r.Predictors {
+			fmt.Fprintf(&b, " %9.3f", row.Predicted[p].Center)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\naverage CPI: real %.3f, perfect %.3f (%.1f%% improvement), l-tage %.3f (%.1f%% improvement)\n",
+		r.AvgRealCPI, r.AvgPerfectCPI, r.PerfectImprovementPct,
+		r.AvgLTAGECPI, r.LTAGEImprovementPct)
+	b.WriteString("(paper: perfect 11.8% improvement [7%..16%]; L-TAGE 4.8% [2.4%..6.8%])\n")
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/stats"
+)
+
+// Table1Row is one row of the paper's Table 1: the least-squares model
+// relating branch prediction to performance, with the 95% prediction
+// interval for perfect prediction (0 MPKI).
+type Table1Row struct {
+	Benchmark string
+	Slope     float64
+	Intercept float64
+	Low, High float64 // 95% prediction interval at 0 MPKI
+	R2        float64
+	PValue    float64
+}
+
+// Table1Result reproduces Table 1 for the 20 significant benchmarks.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 fits every benchmark's MPKI model.
+func Table1(ctx *Context) (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, spec := range table1Specs() {
+		ds, err := ctx.Dataset(spec, heap.ModeBump)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+		}
+		model, err := ds.MPKIModel()
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+		}
+		pi := model.PerfectPrediction()
+		res.Rows = append(res.Rows, Table1Row{
+			Benchmark: spec.Name,
+			Slope:     model.Fit.Slope,
+			Intercept: model.Fit.Intercept,
+			Low:       pi.Low,
+			High:      pi.High,
+			R2:        model.Fit.R2,
+			PValue:    model.Fit.PValue,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's column order.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1: least-squares regression model relating branch prediction to performance\n")
+	fmt.Fprintf(&b, "%-16s %8s %12s %8s %8s %8s %10s\n",
+		"benchmark", "slope", "y-intercept", "low", "high", "r²", "p")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %8.3f %12.3f %8.3f %8.3f %8.3f %10.3g\n",
+			row.Benchmark, row.Slope, row.Intercept, row.Low, row.High, row.R2, row.PValue)
+	}
+	return b.String()
+}
+
+// MeanSlope returns the average slope, a sanity headline: with a ~25
+// cycle flush penalty it should sit near 0.025 CPI per MPKI.
+func (r *Table1Result) MeanSlope() float64 {
+	var s []float64
+	for _, row := range r.Rows {
+		s = append(s, row.Slope)
+	}
+	return stats.Mean(s)
+}

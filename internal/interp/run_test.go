@@ -1,0 +1,342 @@
+package interp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/testprog"
+)
+
+func TestRunCountingExactTrace(t *testing.T) {
+	// Counting(3): b0 executes 3 times per loop instance (5 instrs each),
+	// then b1 (2 instrs), then main restarts.
+	p := testprog.Counting(3)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence: b0(5) b0(10) b0(15) b1(17) -> budget reached exactly.
+	want := []isa.BlockID{0, 0, 0, 1}
+	if !reflect.DeepEqual(tr.BlockSeq, want) {
+		t.Fatalf("BlockSeq = %v, want %v", tr.BlockSeq, want)
+	}
+	if tr.Instrs != 17 {
+		t.Fatalf("Instrs = %d, want 17", tr.Instrs)
+	}
+	if tr.CondBranches != 3 || tr.TakenBranches != 2 {
+		t.Fatalf("branches %d taken %d, want 3/2", tr.CondBranches, tr.TakenBranches)
+	}
+	if !tr.Taken(0) || !tr.Taken(1) || tr.Taken(2) {
+		t.Fatal("taken bits should be T,T,N")
+	}
+	if tr.StoppedBy != interp.StopBudget {
+		t.Fatalf("StoppedBy = %v", tr.StoppedBy)
+	}
+	if tr.Returns != 1 {
+		t.Fatalf("Returns = %d, want 1", tr.Returns)
+	}
+}
+
+func TestRunStopsAtBlockBoundary(t *testing.T) {
+	p := testprog.Counting(3)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First block retires 5 < 6, second reaches 10 >= 6.
+	if tr.Instrs != 10 {
+		t.Fatalf("Instrs = %d, want 10 (whole blocks only)", tr.Instrs)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	p := testprog.Branchy()
+	a, err := interp.Run(p, 42, interp.StopRule{Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.Run(p, 42, interp.StopRule{Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.BlockSeq, b.BlockSeq) {
+		t.Error("block sequences differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.TakenBits, b.TakenBits) {
+		t.Error("branch outcomes differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.IndirectSel, b.IndirectSel) {
+		t.Error("indirect selections differ between identical runs")
+	}
+	if a.Instrs != b.Instrs {
+		t.Error("instruction counts differ between identical runs")
+	}
+}
+
+func TestRunInputSeedChangesBehaviour(t *testing.T) {
+	p := testprog.Branchy()
+	a, err := interp.Run(p, 1, interp.StopRule{Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.Run(p, 2, interp.StopRule{Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.TakenBits, b.TakenBits) {
+		t.Error("different input seeds should perturb stochastic branches")
+	}
+}
+
+func TestRunCallChain(t *testing.T) {
+	p := testprog.CallChain(4)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Calls == 0 {
+		t.Fatal("no calls recorded")
+	}
+	// Each loop iteration: b0 (call), b3 (helper), b1 (cond). Helper
+	// entered once per iteration.
+	if tr.ProcEntries[1] != tr.Calls {
+		t.Fatalf("helper entries %d != calls %d", tr.ProcEntries[1], tr.Calls)
+	}
+	// Block sequence alternates b0, b3, b1.
+	for i := 0; i+2 < len(tr.BlockSeq); i += 3 {
+		if tr.BlockSeq[i] != 0 || tr.BlockSeq[i+1] != 3 {
+			// Loop exit path inserts b2 and a restart; just check the
+			// first two iterations strictly.
+			if i < 6 {
+				t.Fatalf("unexpected sequence at %d: %v", i, tr.BlockSeq[:9])
+			}
+			break
+		}
+	}
+}
+
+func TestRunStopProcCount(t *testing.T) {
+	p := testprog.CallChain(4)
+	tr, err := interp.Run(p, 1, interp.StopRule{StopProc: 1, StopCount: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ProcEntries[1] != 7 {
+		t.Fatalf("helper entries = %d, want exactly 7", tr.ProcEntries[1])
+	}
+	if tr.StoppedBy != interp.StopProcCount {
+		t.Fatalf("StoppedBy = %v", tr.StoppedBy)
+	}
+
+	// The run-limiter guarantee: the same stop rule retires the same
+	// instruction count on every run (and for every layout, since layout
+	// is not an input at all).
+	tr2, err := interp.Run(p, 1, interp.StopRule{StopProc: 1, StopCount: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Instrs != tr2.Instrs {
+		t.Fatalf("run-limited instruction counts differ: %d vs %d", tr.Instrs, tr2.Instrs)
+	}
+}
+
+func TestRunStopProcNeverReached(t *testing.T) {
+	p := testprog.CallChain(2)
+	// Procedure 0 is main: it is entered once at startup; ask for an
+	// impossible count on a procedure that is never re-entered... main is
+	// re-entered on restart, so use a count that cannot be reached within
+	// the cap by pointing at a proc with no calls. Here every proc is
+	// reachable, so instead verify the error path with a huge count via a
+	// tiny budget-derived cap.
+	_, err := interp.Run(p, 1, interp.StopRule{Budget: 10, StopProc: 1, StopCount: 1 << 40})
+	if err == nil {
+		t.Fatal("expected error when stop count is unreachable")
+	}
+}
+
+func TestRunMemoryEvents(t *testing.T) {
+	p := testprog.Memory(5)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.MemObj) != len(tr.MemOff) {
+		t.Fatal("mem streams out of sync")
+	}
+	if len(tr.MemObj) == 0 {
+		t.Fatal("no memory events recorded")
+	}
+	// Prologue allocates objects 1-4 before any pool access.
+	if len(tr.AllocObj) < 4 {
+		t.Fatalf("expected prologue allocations, got %d", len(tr.AllocObj))
+	}
+	for i := 0; i < 4; i++ {
+		if tr.AllocObj[i] != isa.ObjectID(i+1) || tr.AllocKind[i] != isa.AllocNew {
+			t.Fatalf("prologue alloc %d = (%d,%d)", i, tr.AllocObj[i], tr.AllocKind[i])
+		}
+	}
+	// Every accessed heap object must have an allocation at or before its
+	// first access. Walk blocks consuming events like a replayer.
+	live := map[isa.ObjectID]bool{}
+	cur := tr.NewCursor()
+	for {
+		id, ok := cur.NextBlock()
+		if !ok {
+			break
+		}
+		b := &p.Blocks[id]
+		for range b.Allocs {
+			obj, kind := cur.NextAlloc()
+			if kind == isa.AllocNew {
+				live[obj] = true
+			} else {
+				delete(live, obj)
+			}
+		}
+		for range b.Mems {
+			obj, _ := cur.NextMem()
+			if p.Objects[obj].Heap && !live[obj] {
+				t.Fatalf("access to heap object %d before allocation", obj)
+			}
+		}
+	}
+}
+
+func TestRunRejectsInvalidProgram(t *testing.T) {
+	p := testprog.Counting(3)
+	p.Blocks[0].Bytes = 0
+	if _, err := interp.Run(p, 1, interp.StopRule{Budget: 10}); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestRunRejectsEmptyStopRule(t *testing.T) {
+	if _, err := interp.Run(testprog.Counting(3), 1, interp.StopRule{}); err == nil {
+		t.Fatal("empty stop rule accepted")
+	}
+}
+
+func TestRunRejectsBadStopProc(t *testing.T) {
+	if _, err := interp.Run(testprog.Counting(3), 1, interp.StopRule{StopProc: 9, StopCount: 1}); err == nil {
+		t.Fatal("out-of-range stop proc accepted")
+	}
+}
+
+func TestCursorConsumesWholeTrace(t *testing.T) {
+	p := testprog.Branchy()
+	tr, err := interp.Run(p, 3, interp.StopRule{Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := tr.NewCursor()
+	blocks, conds, inds := 0, uint64(0), 0
+	for {
+		id, ok := cur.NextBlock()
+		if !ok {
+			break
+		}
+		blocks++
+		b := &p.Blocks[id]
+		switch b.Term.Kind {
+		case isa.TermCondBranch:
+			cur.NextTaken()
+			conds++
+		case isa.TermIndirectCall:
+			cur.NextIndirect()
+			inds++
+		}
+	}
+	if blocks != len(tr.BlockSeq) {
+		t.Errorf("cursor saw %d blocks, trace has %d", blocks, len(tr.BlockSeq))
+	}
+	if conds != tr.CondBranches {
+		t.Errorf("cursor saw %d cond branches, trace says %d", conds, tr.CondBranches)
+	}
+	if uint64(inds) != tr.IndirectCalls {
+		t.Errorf("cursor saw %d indirect calls, trace says %d", inds, tr.IndirectCalls)
+	}
+}
+
+func TestPeekBlock(t *testing.T) {
+	p := testprog.Counting(2)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := tr.NewCursor()
+	first, ok := cur.PeekBlock()
+	if !ok {
+		t.Fatal("peek at start failed")
+	}
+	got, _ := cur.NextBlock()
+	if got != first {
+		t.Fatal("peek and next disagree")
+	}
+}
+
+func TestMPKIUpperBound(t *testing.T) {
+	p := testprog.Counting(3)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(tr.CondBranches) / float64(tr.Instrs) * 1000
+	if got := tr.MPKIUpperBound(); got != want {
+		t.Fatalf("MPKIUpperBound = %v, want %v", got, want)
+	}
+}
+
+func TestInstrsMatchBlockSum(t *testing.T) {
+	p := testprog.Branchy()
+	tr, err := interp.Run(p, 9, interp.StopRule{Budget: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, id := range tr.BlockSeq {
+		sum += uint64(p.Blocks[id].NInstr())
+	}
+	if sum != tr.Instrs {
+		t.Fatalf("block-sum %d != Instrs %d", sum, tr.Instrs)
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	if interp.StopBudget.String() != "budget" || interp.StopProcCount.String() != "proc-count" {
+		t.Error("StopReason strings wrong")
+	}
+	if interp.StopReason(9).String() == "" {
+		t.Error("unknown StopReason should still render")
+	}
+}
+
+func TestComputeFootprint(t *testing.T) {
+	p := testprog.Memory(50)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := tr.ComputeFootprint()
+	if fp.BlocksExecuted == 0 || fp.BlocksExecuted > len(p.Blocks) {
+		t.Errorf("BlocksExecuted = %d of %d static", fp.BlocksExecuted, len(p.Blocks))
+	}
+	if fp.HotCodeBytes == 0 || fp.HotCodeBytes > p.CodeBytes() {
+		t.Errorf("HotCodeBytes = %d of %d static", fp.HotCodeBytes, p.CodeBytes())
+	}
+	if fp.ObjectsTouched == 0 || fp.ObjectsTouched > len(p.Objects) {
+		t.Errorf("ObjectsTouched = %d of %d", fp.ObjectsTouched, len(p.Objects))
+	}
+	if fp.DataGranules == 0 {
+		t.Error("no data granules recorded")
+	}
+	// The global 4KB array is stream-swept, so its 64 granules appear.
+	if fp.DataBytes() < 4096 {
+		t.Errorf("data footprint %d below the swept global array", fp.DataBytes())
+	}
+	// Footprint is a pure function of the trace.
+	if tr.ComputeFootprint() != fp {
+		t.Error("footprint not deterministic")
+	}
+}

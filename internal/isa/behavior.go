@@ -1,0 +1,152 @@
+package isa
+
+import "interferometry/internal/xrand"
+
+// BranchBehavior is the deterministic dynamic-outcome model of a static
+// conditional branch or indirect-call selector. Outcomes must be a pure
+// function of the behaviour context so that every execution of a program
+// with the same seed produces the same trace regardless of code or data
+// layout — the semantic-equivalence invariant of interferometry.
+type BranchBehavior interface {
+	// Next returns the branch outcome (for conditionals: taken) or, for
+	// selectors, an index derived from the same mechanism. ctx carries the
+	// per-site PRNG and the global outcome history.
+	Next(ctx *BehaviorCtx) bool
+	// Select returns an index in [0, n) for indirect-call selection.
+	Select(ctx *BehaviorCtx, n int) int
+}
+
+// BehaviorCtx is the runtime context handed to behaviour models. One
+// context exists per static site; History is shared program-global state
+// maintained by the interpreter (most recent outcome in bit 0).
+type BehaviorCtx struct {
+	Rand    *xrand.Rand
+	History *uint64
+	// Count is the number of times this site has executed before the
+	// current invocation.
+	Count uint64
+}
+
+// Biased takes the branch with fixed probability P.
+type Biased struct {
+	P float64
+}
+
+// Next implements BranchBehavior.
+func (b Biased) Next(ctx *BehaviorCtx) bool { return ctx.Rand.Bool(b.P) }
+
+// Select implements BranchBehavior; it picks uniformly when P >= 0.5 and
+// skews toward target 0 otherwise.
+func (b Biased) Select(ctx *BehaviorCtx, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if ctx.Rand.Bool(b.P) {
+		return 0
+	}
+	return 1 + ctx.Rand.Intn(n-1)
+}
+
+// Loop models a loop-back branch: taken Trip-1 times, then not taken,
+// repeating. Perfectly predictable by loop predictors and by history
+// predictors whose history covers the trip count.
+type Loop struct {
+	Trip uint64 // iterations per loop instance; must be >= 1
+}
+
+// Next implements BranchBehavior.
+func (l Loop) Next(ctx *BehaviorCtx) bool {
+	if l.Trip <= 1 {
+		return false
+	}
+	return ctx.Count%l.Trip != l.Trip-1
+}
+
+// Select implements BranchBehavior by rotating through targets.
+func (l Loop) Select(ctx *BehaviorCtx, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	trip := l.Trip
+	if trip == 0 {
+		trip = 1
+	}
+	return int((ctx.Count / trip) % uint64(n))
+}
+
+// Pattern replays a fixed bit pattern of outcomes. Short patterns are
+// captured by two-level predictors with sufficient history.
+type Pattern struct {
+	Bits uint64 // outcome bits, LSB first
+	Len  uint8  // pattern length in bits, 1..64
+}
+
+// Next implements BranchBehavior.
+func (p Pattern) Next(ctx *BehaviorCtx) bool {
+	l := uint64(p.Len)
+	if l == 0 {
+		l = 1
+	}
+	return (p.Bits>>(ctx.Count%l))&1 == 1
+}
+
+// Select implements BranchBehavior.
+func (p Pattern) Select(ctx *BehaviorCtx, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if p.Next(ctx) {
+		return int(ctx.Count) % n
+	}
+	return 0
+}
+
+// Correlated computes the outcome from the global branch history: the
+// parity of (history & Mask), flipped with probability Noise. History
+// predictors with enough history bits learn it; a bimodal predictor sees a
+// roughly balanced, unpredictable branch. This is what separates gshare
+// and L-TAGE from bimodal in our synthetic suite.
+type Correlated struct {
+	Mask  uint64  // which history bits determine the outcome
+	Noise float64 // probability the deterministic outcome is flipped
+	Flip  bool    // invert the parity
+}
+
+// Next implements BranchBehavior.
+func (c Correlated) Next(ctx *BehaviorCtx) bool {
+	h := *ctx.History & c.Mask
+	// Parity of the masked history.
+	h ^= h >> 32
+	h ^= h >> 16
+	h ^= h >> 8
+	h ^= h >> 4
+	h ^= h >> 2
+	h ^= h >> 1
+	out := h&1 == 1
+	if c.Flip {
+		out = !out
+	}
+	if c.Noise > 0 && ctx.Rand.Bool(c.Noise) {
+		out = !out
+	}
+	return out
+}
+
+// Select implements BranchBehavior.
+func (c Correlated) Select(ctx *BehaviorCtx, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if c.Next(ctx) {
+		return 1 % n
+	}
+	return 0
+}
+
+// Compile-time interface checks.
+var (
+	_ BranchBehavior = Biased{}
+	_ BranchBehavior = Loop{}
+	_ BranchBehavior = Pattern{}
+	_ BranchBehavior = Correlated{}
+)

@@ -1,0 +1,201 @@
+// Package isa defines the virtual instruction set architecture that stands
+// in for x86_64 in this reproduction. A Program is a layout-free
+// description of computation: procedures made of basic blocks, each block
+// carrying an instruction mix, memory operations expressed against
+// abstract data objects, and a control-flow terminator whose dynamic
+// behaviour is a deterministic function of the program's behaviour seed.
+//
+// The central property of program interferometry (§1, §4) is that every
+// perturbed executable is semantically equivalent: "each code and data
+// placement is semantically equivalent, but because the instruction
+// addresses are different, different conflicts will arise among
+// microarchitectural structures". Package isa enforces that property by
+// construction — nothing in a Program mentions an address. Addresses are
+// assigned later by internal/toolchain (code) and internal/heap (data),
+// and only the microarchitectural models in internal/machine ever see
+// them.
+package isa
+
+import "fmt"
+
+// ProcID identifies a procedure within a Program.
+type ProcID uint32
+
+// BlockID identifies a basic block with a program-global index.
+type BlockID uint32
+
+// ObjectID identifies an abstract data object (global or heap).
+type ObjectID uint32
+
+// InstrClass categorizes non-control instructions for the timing model.
+type InstrClass uint8
+
+// Instruction classes. Loads and stores are represented separately as
+// MemOps because they carry access-pattern state; the class counts below
+// cover only the non-memory body of a block.
+const (
+	ClassIntALU InstrClass = iota // simple integer ops
+	ClassIntMul                   // integer multiply/divide
+	ClassFPAdd                    // FP add/sub/convert
+	ClassFPMul                    // FP multiply/divide/sqrt
+	NumInstrClasses
+)
+
+// MemKind distinguishes loads from stores.
+type MemKind uint8
+
+// Kinds of memory operation.
+const (
+	MemLoad MemKind = iota
+	MemStore
+)
+
+// MemOp is one static memory instruction inside a block. Its dynamic
+// address stream is produced by the access pattern, expressed as
+// (object, offset) pairs; concrete addresses do not exist until a data
+// layout is chosen.
+type MemOp struct {
+	Kind    MemKind
+	Pattern AccessPattern
+}
+
+// AllocKind distinguishes heap allocation from release.
+type AllocKind uint8
+
+// Kinds of allocation event.
+const (
+	AllocNew AllocKind = iota
+	AllocFree
+)
+
+// AllocOp is a static allocation-site instruction. Which object it
+// (re)allocates or frees is decided dynamically by the site's selector so
+// that heap churn is part of program behaviour.
+type AllocOp struct {
+	Kind AllocKind
+	// Pool is the set of heap objects this site operates on.
+	Pool []ObjectID
+}
+
+// TermKind enumerates block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	// TermFallthrough continues to the next block in the procedure.
+	TermFallthrough TermKind = iota
+	// TermCondBranch consults Behavior: taken goes to Target, not-taken
+	// falls through to the next block.
+	TermCondBranch
+	// TermJump transfers unconditionally to Target.
+	TermJump
+	// TermCall invokes Callee and resumes at the next block on return.
+	TermCall
+	// TermIndirectCall selects a callee from Callees via Behavior and
+	// resumes at the next block on return; it exercises the BTB.
+	TermIndirectCall
+	// TermReturn leaves the current procedure.
+	TermReturn
+)
+
+// Terminator describes how control leaves a block.
+type Terminator struct {
+	Kind     TermKind
+	Target   BlockID        // TermCondBranch (taken), TermJump
+	Callee   ProcID         // TermCall
+	Callees  []ProcID       // TermIndirectCall
+	Behavior BranchBehavior // TermCondBranch outcome / TermIndirectCall selector
+}
+
+// Block is one basic block. ClassCounts describes the non-memory,
+// non-control instruction body; Mems and Allocs are the memory-side
+// instructions; the terminator is one further instruction (except
+// fallthrough, which is free).
+type Block struct {
+	Proc        ProcID
+	ClassCounts [NumInstrClasses]uint16
+	Bytes       uint32 // static code size of the block, for fetch modeling
+	Mems        []MemOp
+	Allocs      []AllocOp
+	Term        Terminator
+}
+
+// NInstr returns the number of retired instructions one execution of the
+// block contributes.
+func (b *Block) NInstr() int {
+	n := 0
+	for _, c := range b.ClassCounts {
+		n += int(c)
+	}
+	n += len(b.Mems) + len(b.Allocs)
+	if b.Term.Kind != TermFallthrough {
+		n++
+	}
+	return n
+}
+
+// Procedure is a contiguous range of blocks. Blocks[0] is the entry.
+type Procedure struct {
+	Name   string
+	Blocks []BlockID // contiguous, ascending program-global IDs
+}
+
+// Entry returns the entry block of the procedure.
+func (p *Procedure) Entry() BlockID { return p.Blocks[0] }
+
+// ObjectMeta describes a data object.
+type ObjectMeta struct {
+	Size uint64 // bytes
+	Heap bool   // heap-allocated (placed by the allocator) vs global (placed by the linker)
+}
+
+// Program is a complete layout-free benchmark.
+type Program struct {
+	Name    string
+	Seed    uint64 // behaviour seed: drives every stochastic choice during execution
+	Procs   []Procedure
+	Blocks  []Block
+	Objects []ObjectMeta
+	// Main is the procedure where execution starts.
+	Main ProcID
+}
+
+// Proc returns the procedure containing block id.
+func (p *Program) Proc(id BlockID) ProcID { return p.Blocks[id].Proc }
+
+// NextInProc returns the block following id inside its procedure and true,
+// or 0 and false if id is the last block of its procedure.
+func (p *Program) NextInProc(id BlockID) (BlockID, bool) {
+	proc := &p.Procs[p.Blocks[id].Proc]
+	last := proc.Blocks[len(proc.Blocks)-1]
+	if id == last {
+		return 0, false
+	}
+	return id + 1, true
+}
+
+// StaticBranchCount returns the number of static conditional branches.
+func (p *Program) StaticBranchCount() int {
+	n := 0
+	for i := range p.Blocks {
+		if p.Blocks[i].Term.Kind == TermCondBranch {
+			n++
+		}
+	}
+	return n
+}
+
+// CodeBytes returns the total static code size.
+func (p *Program) CodeBytes() uint64 {
+	var n uint64
+	for i := range p.Blocks {
+		n += uint64(p.Blocks[i].Bytes)
+	}
+	return n
+}
+
+// String identifies the program.
+func (p *Program) String() string {
+	return fmt.Sprintf("%s{procs=%d blocks=%d objects=%d}",
+		p.Name, len(p.Procs), len(p.Blocks), len(p.Objects))
+}

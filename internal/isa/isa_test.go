@@ -1,0 +1,406 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"interferometry/internal/isa"
+	"interferometry/internal/testprog"
+	"interferometry/internal/xrand"
+)
+
+func TestBlockNInstr(t *testing.T) {
+	b := isa.Block{
+		ClassCounts: [isa.NumInstrClasses]uint16{3, 1, 0, 2},
+		Mems:        []isa.MemOp{{}, {}},
+		Allocs:      []isa.AllocOp{{Pool: []isa.ObjectID{0}}},
+		Term:        isa.Terminator{Kind: isa.TermCondBranch},
+	}
+	// 6 body + 2 mem + 1 alloc + 1 terminator.
+	if got := b.NInstr(); got != 10 {
+		t.Fatalf("NInstr = %d, want 10", got)
+	}
+	b.Term.Kind = isa.TermFallthrough
+	if got := b.NInstr(); got != 9 {
+		t.Fatalf("NInstr with fallthrough = %d, want 9", got)
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := testprog.CallChain(3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Proc(3) != 1 {
+		t.Errorf("Proc(3) = %d, want 1", p.Proc(3))
+	}
+	if next, ok := p.NextInProc(0); !ok || next != 1 {
+		t.Errorf("NextInProc(0) = %d,%v", next, ok)
+	}
+	if _, ok := p.NextInProc(2); ok {
+		t.Error("NextInProc(last of main) should be false")
+	}
+	if _, ok := p.NextInProc(3); ok {
+		t.Error("NextInProc(only block of helper) should be false")
+	}
+	if got := p.StaticBranchCount(); got != 1 {
+		t.Errorf("StaticBranchCount = %d, want 1", got)
+	}
+	if got := p.CodeBytes(); got != 12+10+6+16 {
+		t.Errorf("CodeBytes = %d", got)
+	}
+	if s := p.String(); !strings.Contains(s, "callchain") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestValidatePasses(t *testing.T) {
+	for _, p := range []*isa.Program{
+		testprog.Counting(5),
+		testprog.CallChain(5),
+		testprog.Memory(5),
+		testprog.Branchy(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// mutate clones the Counting program and applies f, returning the clone.
+func mutate(t *testing.T, f func(p *isa.Program)) *isa.Program {
+	t.Helper()
+	p := testprog.Counting(3)
+	f(p)
+	return p
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *isa.Program
+		want string
+	}{
+		{
+			"no procedures",
+			&isa.Program{Name: "x"},
+			"no procedures",
+		},
+		{
+			"main out of range",
+			mutate(t, func(p *isa.Program) { p.Main = 9 }),
+			"out of range",
+		},
+		{
+			"fallthrough off end",
+			mutate(t, func(p *isa.Program) {
+				p.Blocks[1].Term = isa.Terminator{Kind: isa.TermFallthrough}
+			}),
+			"falls through",
+		},
+		{
+			"cond branch in last block",
+			mutate(t, func(p *isa.Program) {
+				p.Blocks[1].Term = isa.Terminator{
+					Kind: isa.TermCondBranch, Target: 0, Behavior: isa.Biased{P: 0.5},
+				}
+			}),
+			"no fallthrough",
+		},
+		{
+			"branch target outside proc",
+			mutate(t, func(p *isa.Program) { p.Blocks[0].Term.Target = 5 }),
+			"outside",
+		},
+		{
+			"nil behaviour",
+			mutate(t, func(p *isa.Program) { p.Blocks[0].Term.Behavior = nil }),
+			"no behaviour",
+		},
+		{
+			"zero bytes",
+			mutate(t, func(p *isa.Program) { p.Blocks[0].Bytes = 0 }),
+			"zero code bytes",
+		},
+		{
+			"call to missing proc",
+			mutate(t, func(p *isa.Program) {
+				p.Blocks[0].Term = isa.Terminator{Kind: isa.TermCall, Callee: 7}
+			}),
+			"missing procedure",
+		},
+		{
+			"call in last block",
+			mutate(t, func(p *isa.Program) {
+				p.Blocks[1].Term = isa.Terminator{Kind: isa.TermCall, Callee: 0}
+			}),
+			"no return point",
+		},
+		{
+			"mem with nil pattern",
+			mutate(t, func(p *isa.Program) {
+				p.Blocks[0].Mems = []isa.MemOp{{Kind: isa.MemLoad}}
+			}),
+			"no pattern",
+		},
+		{
+			"stream past object",
+			mutate(t, func(p *isa.Program) {
+				p.Objects = []isa.ObjectMeta{{Size: 64}}
+				p.Blocks[0].Mems = []isa.MemOp{{
+					Kind:    isa.MemLoad,
+					Pattern: isa.Stream{Object: 0, Stride: 8, Size: 128},
+				}}
+			}),
+			"smaller than pattern",
+		},
+		{
+			"stream zero stride",
+			mutate(t, func(p *isa.Program) {
+				p.Objects = []isa.ObjectMeta{{Size: 64}}
+				p.Blocks[0].Mems = []isa.MemOp{{
+					Kind:    isa.MemLoad,
+					Pattern: isa.Stream{Object: 0, Stride: 0, Size: 64},
+				}}
+			}),
+			"stride is zero",
+		},
+		{
+			"alloc empty pool",
+			mutate(t, func(p *isa.Program) {
+				p.Blocks[0].Allocs = []isa.AllocOp{{Kind: isa.AllocNew}}
+			}),
+			"empty pool",
+		},
+		{
+			"alloc non-heap object",
+			mutate(t, func(p *isa.Program) {
+				p.Objects = []isa.ObjectMeta{{Size: 64, Heap: false}}
+				p.Blocks[0].Allocs = []isa.AllocOp{{Kind: isa.AllocNew, Pool: []isa.ObjectID{0}}}
+			}),
+			"non-heap",
+		},
+		{
+			"recursion",
+			func() *isa.Program {
+				p := testprog.CallChain(3)
+				// helper calls main: cycle. helper has a single block, so
+				// first give it a second block to return from.
+				p.Blocks[3].Term = isa.Terminator{Kind: isa.TermCall, Callee: 0}
+				p.Blocks = append(p.Blocks, isa.Block{
+					Proc: 1, Bytes: 4,
+					Term: isa.Terminator{Kind: isa.TermReturn},
+				})
+				p.Procs[1].Blocks = append(p.Procs[1].Blocks, 4)
+				return p
+			}(),
+			"recursive",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.prog.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted bad program")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateIndirectCall(t *testing.T) {
+	p := testprog.Branchy()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Blocks[2].Term.Callees = nil
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no targets") {
+		t.Errorf("empty indirect targets: %v", err)
+	}
+	p.Blocks[2].Term.Callees = []isa.ProcID{9}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("bad indirect target: %v", err)
+	}
+}
+
+func newCtx(seed uint64) *isa.BehaviorCtx {
+	var hist uint64
+	return &isa.BehaviorCtx{Rand: xrand.New(seed), History: &hist}
+}
+
+func TestBiasedBehavior(t *testing.T) {
+	ctx := newCtx(1)
+	b := isa.Biased{P: 0.8}
+	taken := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if b.Next(ctx) {
+			taken++
+		}
+		ctx.Count++
+	}
+	rate := float64(taken) / n
+	if rate < 0.77 || rate > 0.83 {
+		t.Errorf("biased 0.8 branch taken rate %v", rate)
+	}
+}
+
+func TestLoopBehavior(t *testing.T) {
+	ctx := newCtx(2)
+	l := isa.Loop{Trip: 4}
+	want := []bool{true, true, true, false, true, true, true, false}
+	for i, w := range want {
+		got := l.Next(ctx)
+		ctx.Count++
+		if got != w {
+			t.Fatalf("loop outcome %d = %v, want %v", i, got, w)
+		}
+	}
+	// Trip 1 is never taken.
+	ctx2 := newCtx(3)
+	one := isa.Loop{Trip: 1}
+	for i := 0; i < 5; i++ {
+		if one.Next(ctx2) {
+			t.Fatal("Loop{1} should never be taken")
+		}
+		ctx2.Count++
+	}
+}
+
+func TestPatternBehavior(t *testing.T) {
+	ctx := newCtx(4)
+	p := isa.Pattern{Bits: 0b1011, Len: 4}
+	want := []bool{true, true, false, true, true, true, false, true}
+	for i, w := range want {
+		got := p.Next(ctx)
+		ctx.Count++
+		if got != w {
+			t.Fatalf("pattern outcome %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestCorrelatedBehaviorFollowsHistory(t *testing.T) {
+	ctx := newCtx(5)
+	c := isa.Correlated{Mask: 0x1, Noise: 0}
+	// Outcome equals the previous outcome bit (mask 0x1 = last outcome).
+	*ctx.History = 1
+	if !c.Next(ctx) {
+		t.Error("history parity 1 should be taken")
+	}
+	*ctx.History = 0
+	if c.Next(ctx) {
+		t.Error("history parity 0 should be not-taken")
+	}
+	flip := isa.Correlated{Mask: 0x1, Noise: 0, Flip: true}
+	*ctx.History = 1
+	if flip.Next(ctx) {
+		t.Error("flipped parity 1 should be not-taken")
+	}
+}
+
+func TestCorrelatedDeterministicWithoutNoise(t *testing.T) {
+	c := isa.Correlated{Mask: 0b1101, Noise: 0}
+	for trial := 0; trial < 10; trial++ {
+		ctx := newCtx(uint64(trial))
+		*ctx.History = 0b1010
+		first := c.Next(ctx)
+		ctx2 := newCtx(uint64(trial + 100))
+		*ctx2.History = 0b1010
+		if c.Next(ctx2) != first {
+			t.Fatal("noise-free correlated outcome should not depend on rng")
+		}
+	}
+}
+
+func TestSelectBounds(t *testing.T) {
+	behaviors := []isa.BranchBehavior{
+		isa.Biased{P: 0.3},
+		isa.Loop{Trip: 3},
+		isa.Pattern{Bits: 0b10, Len: 2},
+		isa.Correlated{Mask: 0x7},
+	}
+	for bi, b := range behaviors {
+		ctx := newCtx(uint64(bi))
+		for n := 1; n <= 5; n++ {
+			for i := 0; i < 200; i++ {
+				got := b.Select(ctx, n)
+				ctx.Count++
+				if got < 0 || got >= n {
+					t.Fatalf("behavior %d Select(%d) = %d out of range", bi, n, got)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamPattern(t *testing.T) {
+	s := isa.Stream{Object: 3, Stride: 8, Size: 32}
+	st := isa.PatternState{Rand: xrand.New(1)}
+	wantOffs := []uint64{0, 8, 16, 24, 0, 8}
+	for i, w := range wantOffs {
+		obj, off := s.Next(&st)
+		if obj != 3 || off != w {
+			t.Fatalf("stream access %d = (%d,%d), want (3,%d)", i, obj, off, w)
+		}
+	}
+}
+
+func TestRandomInObjectPattern(t *testing.T) {
+	p := isa.RandomInObject{Object: 1, Size: 64, Granule: 8}
+	st := isa.PatternState{Rand: xrand.New(2)}
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		obj, off := p.Next(&st)
+		if obj != 1 {
+			t.Fatalf("wrong object %d", obj)
+		}
+		if off >= 64 || off%8 != 0 {
+			t.Fatalf("offset %d not aligned in object", off)
+		}
+		seen[off] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("expected all 8 slots touched, saw %d", len(seen))
+	}
+}
+
+func TestPoolChasePattern(t *testing.T) {
+	pool := []isa.ObjectID{10, 11, 12}
+	p := isa.PoolChase{Pool: pool, ObjSize: 128, Skew: 0.8, Granule: 16}
+	st := isa.PatternState{Rand: xrand.New(3)}
+	seen := map[isa.ObjectID]int{}
+	for i := 0; i < 3000; i++ {
+		obj, off := p.Next(&st)
+		if off >= 128 || off%16 != 0 {
+			t.Fatalf("bad offset %d", off)
+		}
+		seen[obj]++
+	}
+	for _, o := range pool {
+		if seen[o] == 0 {
+			t.Errorf("object %d never touched", o)
+		}
+	}
+	if seen[10] <= seen[12] {
+		t.Errorf("zipf skew should favor first pool member: %v", seen)
+	}
+}
+
+func TestBlockedPattern(t *testing.T) {
+	p := isa.Blocked{Objects: []isa.ObjectID{1, 2}, Stride: 8, Span: 16}
+	st := isa.PatternState{Rand: xrand.New(4)}
+	type acc struct {
+		obj isa.ObjectID
+		off uint64
+	}
+	want := []acc{{1, 0}, {1, 8}, {2, 0}, {2, 8}, {1, 0}}
+	for i, w := range want {
+		obj, off := p.Next(&st)
+		if obj != w.obj || off != w.off {
+			t.Fatalf("blocked access %d = (%d,%d), want (%d,%d)", i, obj, off, w.obj, w.off)
+		}
+	}
+}

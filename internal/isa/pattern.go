@@ -1,0 +1,131 @@
+package isa
+
+import "interferometry/internal/xrand"
+
+// AccessPattern is the deterministic address-stream model of a static
+// memory instruction, expressed as (object, offset) pairs. Like branch
+// behaviours, patterns are layout-free: the machine model resolves the
+// pair to a concrete address through the current code/data layout.
+type AccessPattern interface {
+	// Next returns the object and byte offset touched by the next dynamic
+	// execution of this memory instruction. st is this site's private
+	// state; rng is this site's private generator.
+	Next(st *PatternState) (ObjectID, uint64)
+}
+
+// PatternState is the per-site mutable state for an access pattern.
+type PatternState struct {
+	Rand    *xrand.Rand
+	Counter uint64
+	Cursor  uint64 // running offset for streaming patterns
+	Zipf    *xrand.Zipfian
+}
+
+// Stream walks a window of one object with a fixed stride, wrapping at
+// the window's end: the archetypal array sweep (libquantum-like
+// streaming). Start offsets the window inside the object, so many sites
+// can stream disjoint (or deliberately shared) regions.
+type Stream struct {
+	Object ObjectID
+	Stride uint64 // bytes per access; must be > 0
+	Size   uint64 // window bytes to cover before wrapping
+	Start  uint64 // window base offset inside the object
+}
+
+// Next implements AccessPattern.
+func (s Stream) Next(st *PatternState) (ObjectID, uint64) {
+	off := st.Cursor
+	size := s.Size
+	if size == 0 {
+		size = s.Stride
+	}
+	st.Cursor += s.Stride
+	if st.Cursor >= size {
+		st.Cursor = 0
+	}
+	return s.Object, s.Start + off
+}
+
+// RandomInObject touches uniformly random cache lines within a window of
+// one object: hash-table or sparse-matrix style access. Granule is the
+// access alignment in bytes; Start offsets the window.
+type RandomInObject struct {
+	Object  ObjectID
+	Size    uint64
+	Granule uint64
+	Start   uint64
+}
+
+// Next implements AccessPattern.
+func (r RandomInObject) Next(st *PatternState) (ObjectID, uint64) {
+	g := r.Granule
+	if g == 0 {
+		g = 8
+	}
+	slots := r.Size / g
+	if slots == 0 {
+		slots = 1
+	}
+	return r.Object, r.Start + st.Rand.Uint64n(slots)*g
+}
+
+// PoolChase hops across a pool of heap objects, picking the next object by
+// a Zipf draw (hot objects touched more) and a random offset inside it:
+// pointer-chasing data structures (mcf/omnetpp-like).
+type PoolChase struct {
+	Pool    []ObjectID
+	ObjSize uint64 // assumed uniform object size for offset selection
+	Skew    float64
+	Granule uint64
+}
+
+// Next implements AccessPattern.
+func (p PoolChase) Next(st *PatternState) (ObjectID, uint64) {
+	if st.Zipf == nil {
+		st.Zipf = xrand.NewZipf(st.Rand, len(p.Pool), p.Skew)
+	}
+	obj := p.Pool[st.Zipf.Next()]
+	g := p.Granule
+	if g == 0 {
+		g = 8
+	}
+	slots := p.ObjSize / g
+	if slots == 0 {
+		slots = 1
+	}
+	return obj, st.Rand.Uint64n(slots) * g
+}
+
+// Blocked alternates among a small set of arrays with unit-stride bursts,
+// the classic loop-nest pattern of dense FP codes (calculix-like). The
+// relative cache alignment of the arrays decides conflict misses, which is
+// exactly what heap randomization perturbs.
+type Blocked struct {
+	Objects []ObjectID
+	Stride  uint64
+	Span    uint64 // bytes swept per object before moving to the next
+}
+
+// Next implements AccessPattern.
+func (b Blocked) Next(st *PatternState) (ObjectID, uint64) {
+	span := b.Span
+	if span == 0 {
+		span = b.Stride
+	}
+	perObj := span / b.Stride
+	if perObj == 0 {
+		perObj = 1
+	}
+	idx := (st.Counter / perObj) % uint64(len(b.Objects))
+	off := (st.Counter % perObj) * b.Stride
+	st.Counter++
+	return b.Objects[idx], off
+}
+
+// Compile-time interface checks.
+var (
+	_ AccessPattern = Stream{}
+	_ AccessPattern = RandomInObject{}
+	_ AccessPattern = PoolChase{}
+	_ AccessPattern = Blocked{}
+)

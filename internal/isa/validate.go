@@ -1,0 +1,233 @@
+package isa
+
+import "fmt"
+
+// Validate checks the structural invariants a Program must satisfy before
+// it can be compiled, linked or executed. The generator in
+// internal/progen always produces valid programs; Validate exists so that
+// hand-written programs in tests and examples fail loudly instead of
+// corrupting a campaign.
+func (p *Program) Validate() error {
+	if len(p.Procs) == 0 {
+		return fmt.Errorf("isa: %s has no procedures", p.Name)
+	}
+	if int(p.Main) >= len(p.Procs) {
+		return fmt.Errorf("isa: main procedure %d out of range", p.Main)
+	}
+	if err := p.validateBlockPartition(); err != nil {
+		return err
+	}
+	for id := range p.Blocks {
+		if err := p.validateBlock(BlockID(id)); err != nil {
+			return err
+		}
+	}
+	return p.validateCallGraph()
+}
+
+// validateBlockPartition checks that procedures partition the block array
+// into contiguous ascending ranges and that back-pointers agree.
+func (p *Program) validateBlockPartition() error {
+	next := BlockID(0)
+	for pi := range p.Procs {
+		proc := &p.Procs[pi]
+		if len(proc.Blocks) == 0 {
+			return fmt.Errorf("isa: procedure %q has no blocks", proc.Name)
+		}
+		for _, id := range proc.Blocks {
+			if id != next {
+				return fmt.Errorf("isa: procedure %q blocks not contiguous at %d (want %d)",
+					proc.Name, id, next)
+			}
+			if int(id) >= len(p.Blocks) {
+				return fmt.Errorf("isa: procedure %q references missing block %d", proc.Name, id)
+			}
+			if p.Blocks[id].Proc != ProcID(pi) {
+				return fmt.Errorf("isa: block %d back-pointer %d, want %d", id, p.Blocks[id].Proc, pi)
+			}
+			next++
+		}
+	}
+	if int(next) != len(p.Blocks) {
+		return fmt.Errorf("isa: %d blocks not owned by any procedure", len(p.Blocks)-int(next))
+	}
+	return nil
+}
+
+func (p *Program) validateBlock(id BlockID) error {
+	b := &p.Blocks[id]
+	proc := &p.Procs[b.Proc]
+	last := proc.Blocks[len(proc.Blocks)-1]
+	inProc := func(t BlockID) bool {
+		return t >= proc.Blocks[0] && t <= last
+	}
+	_, hasNext := p.NextInProc(id)
+
+	switch b.Term.Kind {
+	case TermFallthrough:
+		if !hasNext {
+			return fmt.Errorf("isa: block %d falls through past end of %q", id, proc.Name)
+		}
+	case TermCondBranch:
+		if !hasNext {
+			return fmt.Errorf("isa: conditional branch in last block %d of %q has no fallthrough", id, proc.Name)
+		}
+		if !inProc(b.Term.Target) {
+			return fmt.Errorf("isa: block %d branch target %d outside %q", id, b.Term.Target, proc.Name)
+		}
+		if b.Term.Behavior == nil {
+			return fmt.Errorf("isa: block %d conditional branch has no behaviour", id)
+		}
+	case TermJump:
+		if !inProc(b.Term.Target) {
+			return fmt.Errorf("isa: block %d jump target %d outside %q", id, b.Term.Target, proc.Name)
+		}
+	case TermCall:
+		if !hasNext {
+			return fmt.Errorf("isa: call in last block %d of %q has no return point", id, proc.Name)
+		}
+		if int(b.Term.Callee) >= len(p.Procs) {
+			return fmt.Errorf("isa: block %d calls missing procedure %d", id, b.Term.Callee)
+		}
+	case TermIndirectCall:
+		if !hasNext {
+			return fmt.Errorf("isa: indirect call in last block %d of %q has no return point", id, proc.Name)
+		}
+		if len(b.Term.Callees) == 0 {
+			return fmt.Errorf("isa: block %d indirect call has no targets", id)
+		}
+		for _, c := range b.Term.Callees {
+			if int(c) >= len(p.Procs) {
+				return fmt.Errorf("isa: block %d indirect target %d missing", id, c)
+			}
+		}
+		if b.Term.Behavior == nil {
+			return fmt.Errorf("isa: block %d indirect call has no selector", id)
+		}
+	case TermReturn:
+		// Always legal.
+	default:
+		return fmt.Errorf("isa: block %d has unknown terminator %d", id, b.Term.Kind)
+	}
+
+	if b.Bytes == 0 {
+		return fmt.Errorf("isa: block %d has zero code bytes", id)
+	}
+	for mi, m := range b.Mems {
+		if m.Pattern == nil {
+			return fmt.Errorf("isa: block %d mem %d has no pattern", id, mi)
+		}
+		if err := p.validatePattern(m.Pattern); err != nil {
+			return fmt.Errorf("isa: block %d mem %d: %w", id, mi, err)
+		}
+	}
+	for ai, a := range b.Allocs {
+		if len(a.Pool) == 0 {
+			return fmt.Errorf("isa: block %d alloc %d has empty pool", id, ai)
+		}
+		for _, obj := range a.Pool {
+			if int(obj) >= len(p.Objects) {
+				return fmt.Errorf("isa: block %d alloc %d references missing object %d", id, ai, obj)
+			}
+			if !p.Objects[obj].Heap {
+				return fmt.Errorf("isa: block %d alloc %d operates on non-heap object %d", id, ai, obj)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validatePattern(pat AccessPattern) error {
+	checkObj := func(obj ObjectID, need uint64) error {
+		if int(obj) >= len(p.Objects) {
+			return fmt.Errorf("missing object %d", obj)
+		}
+		if need > p.Objects[obj].Size {
+			return fmt.Errorf("object %d size %d smaller than pattern span %d",
+				obj, p.Objects[obj].Size, need)
+		}
+		return nil
+	}
+	switch pt := pat.(type) {
+	case Stream:
+		if pt.Stride == 0 {
+			return fmt.Errorf("stream stride is zero")
+		}
+		return checkObj(pt.Object, pt.Start+pt.Size)
+	case RandomInObject:
+		return checkObj(pt.Object, pt.Start+pt.Size)
+	case PoolChase:
+		if len(pt.Pool) == 0 {
+			return fmt.Errorf("pool chase with empty pool")
+		}
+		for _, obj := range pt.Pool {
+			if err := checkObj(obj, pt.ObjSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Blocked:
+		if len(pt.Objects) == 0 {
+			return fmt.Errorf("blocked pattern with no objects")
+		}
+		if pt.Stride == 0 {
+			return fmt.Errorf("blocked stride is zero")
+		}
+		for _, obj := range pt.Objects {
+			if err := checkObj(obj, pt.Span); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		// Custom patterns are allowed; they take responsibility for their
+		// own bounds.
+		return nil
+	}
+}
+
+// validateCallGraph rejects recursion: the static call graph (including
+// all indirect-call targets) must be acyclic so execution terminates.
+func (p *Program) validateCallGraph() error {
+	adj := make([][]ProcID, len(p.Procs))
+	for id := range p.Blocks {
+		b := &p.Blocks[id]
+		from := b.Proc
+		switch b.Term.Kind {
+		case TermCall:
+			adj[from] = append(adj[from], b.Term.Callee)
+		case TermIndirectCall:
+			adj[from] = append(adj[from], b.Term.Callees...)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(p.Procs))
+	var visit func(ProcID) error
+	visit = func(v ProcID) error {
+		color[v] = gray
+		for _, w := range adj[v] {
+			switch color[w] {
+			case gray:
+				return fmt.Errorf("isa: recursive call cycle through %q", p.Procs[w].Name)
+			case white:
+				if err := visit(w); err != nil {
+					return err
+				}
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	for v := range p.Procs {
+		if color[v] == white {
+			if err := visit(ProcID(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

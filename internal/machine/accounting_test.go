@@ -1,0 +1,112 @@
+package machine_test
+
+import (
+	"math"
+	"testing"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/machine"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+// TestCycleAccountingExact reconstructs the machine's cycle count
+// analytically for the fully-understood Counting program and demands an
+// exact match. Any drift in the timing model's arithmetic (class costs,
+// terminator costs, fetch accounting, penalty application) fails this
+// test with a precise discrepancy.
+func TestCycleAccountingExact(t *testing.T) {
+	p := testprog.Counting(4)
+	const budget = 50000
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.XeonE5440()
+	m := machine.New(cfg)
+	// Perfect predictor and no noise leave only base costs and I-fetch.
+	c, err := m.Run(machine.RunSpec{
+		Exe: exe, Trace: tr, Predictor: branch.Perfect{}, DisableNoise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analytic model: per executed block, the class costs plus the
+	// terminator cost, plus fetch-block L1I accesses (all hits after the
+	// first touch of each line: the program is two tiny blocks).
+	var want float64
+	fetches := map[uint64]int{}
+	for _, bid := range tr.BlockSeq {
+		b := &p.Blocks[bid]
+		for cls, n := range b.ClassCounts {
+			want += cfg.ClassCycles[cls] * float64(n)
+		}
+		if b.Term.Kind != isa.TermFallthrough {
+			want += cfg.TermCycles
+		}
+		addr := exe.BlockAddr[bid]
+		end := addr + uint64(b.Bytes)
+		for fa := addr &^ (cfg.FetchBytes - 1); fa < end; fa += cfg.FetchBytes {
+			fetches[fa>>6]++ // count distinct cache lines for cold misses
+		}
+	}
+	// Cold L1I misses: one per distinct 64B line (the code is far smaller
+	// than the cache, so no other I-misses can occur), each hitting...
+	// missing the cold L2 as well.
+	coldLines := float64(len(fetches))
+	want += coldLines * (cfg.L1IMissPenalty + cfg.L2MissPenalty*cfg.L2Overlap)
+
+	got := float64(c.Cycles)
+	if math.Abs(got-want) > 1.0 { // rounding to integer cycles
+		t.Fatalf("cycles = %v, analytic model says %v (diff %v)", got, want, got-want)
+	}
+	if c.L1IMisses != uint64(coldLines) {
+		t.Fatalf("L1I misses %d, want %d cold lines", c.L1IMisses, int(coldLines))
+	}
+	if c.L2Misses != c.L1IMisses {
+		t.Fatalf("every cold I-line should miss L2 once: %d vs %d", c.L2Misses, c.L1IMisses)
+	}
+}
+
+// TestMispredictPenaltyExact verifies the flush-penalty application: with
+// a never-taken static predictor on the Counting loop (always taken until
+// the exit), mispredictions are exactly the taken branches, and the extra
+// cycles versus the perfect run equal penalty * mispredicts (the loop
+// block has no memory operations, so no shadow scaling applies).
+func TestMispredictPenaltyExact(t *testing.T) {
+	p := testprog.Counting(4)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.XeonE5440()
+	m := machine.New(cfg)
+	perfect, err := m.Run(machine.RunSpec{Exe: exe, Trace: tr, Predictor: branch.Perfect{}, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	never, err := m.Run(machine.RunSpec{Exe: exe, Trace: tr, Predictor: branch.NeverTaken{}, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.CondMispredicts != tr.TakenBranches {
+		t.Fatalf("never-taken mispredicts %d, want taken count %d",
+			never.CondMispredicts, tr.TakenBranches)
+	}
+	extra := float64(never.Cycles) - float64(perfect.Cycles)
+	want := cfg.MispredictPenalty * float64(never.CondMispredicts)
+	if math.Abs(extra-want) > 1.0 {
+		t.Fatalf("penalty cycles %v, want %v", extra, want)
+	}
+}

@@ -1,0 +1,56 @@
+package machine_test
+
+import (
+	"testing"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/machine"
+	"interferometry/internal/progen"
+	"interferometry/internal/toolchain"
+)
+
+// BenchmarkReplay measures the timing model's replay throughput on a
+// realistic benchmark trace, the inner loop of every campaign.
+func BenchmarkReplay(b *testing.B) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		b.Fatal("missing spec")
+	}
+	prog := progen.MustGenerate(spec)
+	tr, err := interp.Run(prog, 1, interp.StopRule{Budget: 200000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(prog, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.New(machine.XeonE5440())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(machine.RunSpec{Exe: exe, Trace: tr, NoiseSeed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkTraceGeneration measures the interpreter's trace-generation
+// throughput (paid once per benchmark, amortized over all layouts).
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		b.Fatal("missing spec")
+	}
+	prog := progen.MustGenerate(spec)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		tr, err := interp.Run(prog, uint64(i+1), interp.StopRule{Budget: 200000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += tr.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

@@ -1,0 +1,202 @@
+// Package machine is the "real hardware" of this reproduction: a
+// trace-driven timing model of an out-of-order core in the spirit of the
+// Intel Xeon E5440 the paper measures (§5.4). It replays an execution
+// trace against a concrete code layout (from internal/toolchain) and data
+// layout (from internal/heap), hashing the resulting addresses into its
+// branch predictor, BTB and cache hierarchy, and charges penalty cycles
+// for every adverse event. A seeded system-noise model perturbs the cycle
+// count the way OS jitter perturbs real measurements, which is what makes
+// the paper's median-of-five protocol (§5.5) meaningful here.
+//
+// The same model doubles as the cycle-accurate simulator of the linearity
+// study (§3.2): RunWithPredictor swaps in any predictor from
+// internal/uarch/branch, including the perfect oracle.
+package machine
+
+import (
+	"interferometry/internal/isa"
+	"interferometry/internal/uarch/cache"
+)
+
+// Config describes the modeled core. The zero value is not usable; start
+// from XeonE5440() and override as needed.
+type Config struct {
+	Name string
+
+	// Cache hierarchy. The L2 capacity is scaled down from the physical
+	// part's 12MB in proportion to the scaled working sets of the
+	// synthetic suite (see DESIGN.md): what matters for interferometry is
+	// where each benchmark's working set falls relative to each level.
+	L1I, L1D, L2 cache.Config
+
+	// FetchBytes is the instruction-fetch block size; every fetch block a
+	// basic block spans costs one L1I access (§4.1).
+	FetchBytes uint64
+
+	// ClassCycles is the amortized cycle cost per retired instruction of
+	// each class, already accounting for superscalar issue.
+	ClassCycles [isa.NumInstrClasses]float64
+	// MemOpCycles is the base cost of a memory instruction that hits L1.
+	MemOpCycles float64
+	// AllocCycles is the allocator-call cost of one allocation event.
+	AllocCycles float64
+	// TermCycles is the cost of an explicit control-flow instruction.
+	TermCycles float64
+
+	// MispredictPenalty is the pipeline-flush cost of a conditional
+	// misprediction, in cycles.
+	MispredictPenalty float64
+	// MispredictShadow scales down the effective misprediction penalty in
+	// blocks with many memory operations (the flush hides under pending
+	// misses). This mild heterogeneity across branch sites is what bends
+	// the MPKI-CPI line for benchmarks whose branch population is
+	// heterogeneous — the non-linearity §3.1 discusses.
+	MispredictShadow float64
+	// BTBMissPenalty is the cost of an indirect transfer whose target was
+	// absent or stale in the BTB.
+	BTBMissPenalty float64
+	// L1IMissPenalty / L1DMissPenalty are the added cycles of an L1 miss
+	// that hits L2.
+	L1IMissPenalty, L1DMissPenalty float64
+	// L2MissPenalty is the memory-access cost of an L2 miss.
+	L2MissPenalty float64
+	// L2Overlap is the exposed fraction of L2MissPenalty after
+	// memory-level parallelism (1 = fully serialized).
+	L2Overlap float64
+
+	// BTBSets and BTBWays size the branch target buffer.
+	BTBSets, BTBWays int
+
+	// NextLinePrefetch enables a simple sequential prefetcher: every L1D
+	// miss also installs the following line into the L2, hiding part of a
+	// streaming workload's miss cost. §3.1 singles out prefetching as a
+	// potential source of non-linearity ("some branch mispredictions
+	// might cause prefetching into the cache, and others might cause
+	// cache pollution"); the ablation quantifies its effect here. Off in
+	// the default model.
+	NextLinePrefetch bool
+
+	// NoiseSigma is the relative standard deviation of multiplicative
+	// system noise on measured cycles. NoiseSpikeProb and NoiseSpikeScale
+	// model occasional interference events (a timer tick, a daemon) that
+	// add NoiseSpikeScale * sqrt(cycles) extra cycles.
+	NoiseSigma      float64
+	NoiseSpikeProb  float64
+	NoiseSpikeScale float64
+}
+
+// XeonE5440 returns the default machine configuration modeled on the
+// paper's measurement platform: 32KB 8-way L1I and L1D, a large shared L2
+// (scaled), a 16-byte fetch block, a ~14-cycle-deep Core-microarchitecture
+// pipeline (we charge 14 cycles plus average refill), and the
+// reverse-engineered hybrid GAs+bimodal predictor.
+func XeonE5440() Config {
+	return Config{
+		Name:       "xeon-e5440-model",
+		L1I:        cache.Config{Name: "L1I", SizeBytes: 32 * 1024, LineBytes: 64, Ways: 8},
+		L1D:        cache.Config{Name: "L1D", SizeBytes: 32 * 1024, LineBytes: 64, Ways: 8},
+		L2:         cache.Config{Name: "L2", SizeBytes: 512 * 1024, LineBytes: 64, Ways: 8},
+		FetchBytes: 16,
+		ClassCycles: [isa.NumInstrClasses]float64{
+			isa.ClassIntALU: 0.33,
+			isa.ClassIntMul: 1.10,
+			isa.ClassFPAdd:  0.55,
+			isa.ClassFPMul:  1.10,
+		},
+		MemOpCycles:       0.50,
+		AllocCycles:       40,
+		TermCycles:        0.40,
+		MispredictPenalty: 25,
+		MispredictShadow:  0.06,
+		BTBMissPenalty:    22,
+		L1IMissPenalty:    11,
+		L1DMissPenalty:    11,
+		L2MissPenalty:     190,
+		L2Overlap:         0.62,
+		BTBSets:           512,
+		BTBWays:           4,
+		NoiseSigma:        0.0018,
+		NoiseSpikeProb:    0.08,
+		NoiseSpikeScale:   2.0,
+	}
+}
+
+// DeepPipeline returns a Netburst-flavored variant of the machine: the
+// same caches and predictor but a much deeper pipeline, so branch flushes
+// cost ~39 cycles instead of ~25. §1.5 discusses exactly this design
+// uncertainty ("the trend in 2001 was toward deeper and deeper
+// pipelines"); interferometry's slope estimate recovers whichever
+// machine it actually measures, which the ext-depth experiment verifies.
+func DeepPipeline() Config {
+	cfg := XeonE5440()
+	cfg.Name = "deep-pipeline-model"
+	cfg.MispredictPenalty = 39
+	cfg.BTBMissPenalty = 34
+	return cfg
+}
+
+// Counters is the full set of performance-monitoring counters one run can
+// expose. The real Xeon only lets two user events be read per run; that
+// restriction is enforced by internal/pmc, not here — the machine always
+// measures everything, and the harness decides what was "programmed".
+type Counters struct {
+	Cycles       uint64
+	Instructions uint64
+	// BranchesRetired counts all retired branch instructions
+	// (conditional, calls, returns, indirect).
+	BranchesRetired uint64
+	// BranchMispredicts counts retired mispredicted branches: wrong
+	// conditional directions plus wrong indirect targets, matching the
+	// Xeon's "retired branches mispredicted" event (§5.5).
+	BranchMispredicts uint64
+	CondBranches      uint64
+	CondMispredicts   uint64
+	IndirectBranches  uint64
+	IndirectMispreds  uint64
+	L1IAccesses       uint64
+	L1IMisses         uint64
+	L1DAccesses       uint64
+	L1DMisses         uint64
+	L2Accesses        uint64
+	L2Misses          uint64
+}
+
+// CPI returns cycles per retired instruction.
+func (c Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// MPKI returns branch mispredictions per 1000 instructions.
+func (c Counters) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.BranchMispredicts) / float64(c.Instructions) * 1000
+}
+
+// L1IMPKI returns L1 instruction-cache misses per 1000 instructions.
+func (c Counters) L1IMPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.L1IMisses) / float64(c.Instructions) * 1000
+}
+
+// L2MPKI returns L2 misses per 1000 instructions.
+func (c Counters) L2MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.L2Misses) / float64(c.Instructions) * 1000
+}
+
+// L1DMPKI returns L1 data-cache misses per 1000 instructions.
+func (c Counters) L1DMPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.L1DMisses) / float64(c.Instructions) * 1000
+}

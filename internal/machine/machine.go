@@ -1,0 +1,289 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+	"interferometry/internal/uarch/cache"
+	"interferometry/internal/xrand"
+)
+
+// Machine is a reusable simulator instance. It is not safe for concurrent
+// use; create one per goroutine.
+type Machine struct {
+	cfg Config
+
+	l1i, l1d, l2 *cache.Cache
+	btb          *branch.BTB
+
+	// loaded caches the per-block precomputation for one (program,
+	// executable) pair; reloading happens automatically when the
+	// executable changes.
+	loadedExe *toolchain.Executable
+	blocks    []loadedBlock
+}
+
+// loadedBlock is the precomputed per-block state for one executable.
+type loadedBlock struct {
+	fetchFirst uint64 // first fetch-block address
+	fetchN     int    // number of fetch blocks spanned
+	baseCycles float64
+	termAddr   uint64
+	termKind   isa.TermKind
+	// penaltyScale is the effective misprediction penalty multiplier for
+	// the block's terminator (see Config.MispredictShadow).
+	penaltyScale float64
+	nMems        int
+	nAllocs      int
+	calleeAddrs  []uint64 // indirect-call target addresses by selector index
+}
+
+// New builds a machine with the given configuration.
+func New(cfg Config) *Machine {
+	return &Machine{
+		cfg: cfg,
+		l1i: cache.New(cfg.L1I),
+		l1d: cache.New(cfg.L1D),
+		l2:  cache.New(cfg.L2),
+		btb: branch.NewBTB(cfg.BTBSets, cfg.BTBWays),
+	}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// RunSpec describes one measurement run.
+type RunSpec struct {
+	// Exe is the linked executable (code layout).
+	Exe *toolchain.Executable
+	// Trace is the recorded execution to replay.
+	Trace *interp.Trace
+	// HeapMode selects the allocator; HeapSeed seeds the randomized one.
+	HeapMode heap.Mode
+	HeapSeed uint64
+	// NoiseSeed drives the system-noise model. Runs with the same
+	// (layout, heap) but different noise seeds model repeated executions
+	// of the same binary.
+	NoiseSeed uint64
+	// Predictor optionally overrides the machine's built-in Xeon-model
+	// predictor, for predictor design studies (§3, §7). A
+	// branch.Oracle implementation yields perfect prediction. Nil means
+	// the built-in predictor.
+	Predictor branch.Predictor
+	// DisableNoise turns off the system-noise model, for the simulator
+	// persona where "there is no variance in the simulation result"
+	// (§7.2).
+	DisableNoise bool
+}
+
+// Run replays the trace through the timing model and returns the counter
+// readings.
+func (m *Machine) Run(spec RunSpec) (Counters, error) {
+	if spec.Exe == nil || spec.Trace == nil {
+		return Counters{}, errors.New("machine: RunSpec needs Exe and Trace")
+	}
+	if spec.Trace.Program != spec.Exe.Program {
+		return Counters{}, errors.New("machine: trace and executable are from different programs")
+	}
+	if err := m.load(spec.Exe); err != nil {
+		return Counters{}, err
+	}
+	m.l1i.Flush()
+	m.l1d.Flush()
+	m.l2.Flush()
+	m.btb.Reset()
+
+	pred := spec.Predictor
+	if pred == nil {
+		pred = branch.NewXeonE5440()
+	} else {
+		pred.Reset()
+	}
+	_, oracle := pred.(branch.Oracle)
+
+	prog := spec.Exe.Program
+	alloc := heap.New(spec.HeapMode, spec.HeapSeed, heap.Config{Base: spec.Exe.DataLimit + 0x1000000})
+
+	var (
+		cycles  float64
+		c       Counters
+		cfg     = &m.cfg
+		cur     = spec.Trace.NewCursor()
+		objBase = make([]uint64, len(prog.Objects))
+		objSet  = make([]bool, len(prog.Objects))
+	)
+	for i := range prog.Objects {
+		if !prog.Objects[i].Heap {
+			objBase[i] = spec.Exe.GlobalBase[i]
+			objSet[i] = true
+		}
+	}
+
+	for {
+		bid, ok := cur.NextBlock()
+		if !ok {
+			break
+		}
+		lb := &m.blocks[bid]
+		cycles += lb.baseCycles
+
+		// Instruction fetch: one L1I access per fetch block spanned.
+		fa := lb.fetchFirst
+		for i := 0; i < lb.fetchN; i++ {
+			if !m.l1i.Access(fa) {
+				cycles += cfg.L1IMissPenalty
+				if !m.l2.Access(fa) {
+					cycles += cfg.L2MissPenalty * cfg.L2Overlap
+				}
+			}
+			fa += cfg.FetchBytes
+		}
+
+		// Allocation events.
+		for i := 0; i < lb.nAllocs; i++ {
+			obj, kind := cur.NextAlloc()
+			if kind == isa.AllocNew {
+				objBase[obj] = alloc.Alloc(obj, prog.Objects[obj].Size)
+				objSet[obj] = true
+			} else {
+				alloc.Free(obj)
+			}
+		}
+
+		// Memory accesses.
+		for i := 0; i < lb.nMems; i++ {
+			obj, off := cur.NextMem()
+			if !objSet[obj] {
+				return Counters{}, fmt.Errorf("machine: access to unplaced object %d in block %d", obj, bid)
+			}
+			addr := objBase[obj] + uint64(off)
+			if !m.l1d.Access(addr) {
+				cycles += cfg.L1DMissPenalty
+				if !m.l2.Access(addr) {
+					cycles += cfg.L2MissPenalty * cfg.L2Overlap
+				}
+				if cfg.NextLinePrefetch {
+					// Install the sequentially next line into the L2
+					// without charging cycles or counting the access.
+					m.l2.Prefetch(addr + 64)
+				}
+			}
+		}
+
+		// Terminator.
+		switch lb.termKind {
+		case isa.TermCondBranch:
+			taken := cur.NextTaken()
+			c.CondBranches++
+			if oracle {
+				// Perfect prediction: no penalty, no update.
+				break
+			}
+			predicted := pred.Predict(lb.termAddr)
+			pred.Update(lb.termAddr, taken)
+			if predicted != taken {
+				c.CondMispredicts++
+				cycles += cfg.MispredictPenalty * lb.penaltyScale
+			}
+		case isa.TermIndirectCall:
+			sel := cur.NextIndirect()
+			c.IndirectBranches++
+			target := lb.calleeAddrs[sel]
+			if !m.btb.Predict(lb.termAddr, target) {
+				c.IndirectMispreds++
+				cycles += cfg.BTBMissPenalty
+			}
+		}
+	}
+
+	c.Instructions = spec.Trace.Instrs
+	c.BranchesRetired = c.CondBranches + c.IndirectBranches +
+		spec.Trace.Calls + spec.Trace.Returns
+	c.BranchMispredicts = c.CondMispredicts + c.IndirectMispreds
+	c.L1IAccesses = m.l1i.Accesses()
+	c.L1IMisses = m.l1i.Misses()
+	c.L1DAccesses = m.l1d.Accesses()
+	c.L1DMisses = m.l1d.Misses()
+	c.L2Accesses = m.l2.Accesses()
+	c.L2Misses = m.l2.Misses()
+
+	// System noise: only observed quantities are perturbed, never the
+	// simulated microarchitectural state.
+	if !spec.DisableNoise {
+		rng := xrand.New(xrand.Mix(spec.NoiseSeed, spec.Exe.Seed, spec.Trace.InputSeed, 0x6e6f6973))
+		cycles *= 1 + cfg.NoiseSigma*rng.NormFloat64()
+		if rng.Bool(cfg.NoiseSpikeProb) {
+			cycles += cfg.NoiseSpikeScale * sqrtF(cycles) * (1 + rng.Float64())
+		}
+	}
+	if cycles < 0 {
+		cycles = 0
+	}
+	c.Cycles = uint64(cycles + 0.5)
+	return c, nil
+}
+
+// load precomputes per-block state for the executable.
+func (m *Machine) load(exe *toolchain.Executable) error {
+	if m.loadedExe == exe {
+		return nil
+	}
+	prog := exe.Program
+	blocks := make([]loadedBlock, len(prog.Blocks))
+	fb := m.cfg.FetchBytes
+	if fb == 0 {
+		return errors.New("machine: FetchBytes is zero")
+	}
+	for id := range prog.Blocks {
+		b := &prog.Blocks[id]
+		lb := &blocks[id]
+		addr := exe.BlockAddr[id]
+		end := addr + uint64(b.Bytes)
+		lb.fetchFirst = addr &^ (fb - 1)
+		lb.fetchN = int(((end-1)&^(fb-1)-lb.fetchFirst)/fb) + 1
+		lb.baseCycles = m.baseCycles(b)
+		lb.termAddr = exe.TermAddr(isa.BlockID(id))
+		lb.termKind = b.Term.Kind
+		lb.penaltyScale = 1 / (1 + m.cfg.MispredictShadow*float64(len(b.Mems)))
+		lb.nMems = len(b.Mems)
+		lb.nAllocs = len(b.Allocs)
+		if b.Term.Kind == isa.TermIndirectCall {
+			lb.calleeAddrs = make([]uint64, len(b.Term.Callees))
+			for i, callee := range b.Term.Callees {
+				lb.calleeAddrs[i] = exe.ProcAddr[callee]
+			}
+		}
+	}
+	m.blocks = blocks
+	m.loadedExe = exe
+	return nil
+}
+
+// baseCycles is the layout-independent cycle cost of one execution of the
+// block: instruction-class costs plus memory and allocation base costs and
+// the terminator.
+func (m *Machine) baseCycles(b *isa.Block) float64 {
+	cy := 0.0
+	for cls, n := range b.ClassCounts {
+		cy += m.cfg.ClassCycles[cls] * float64(n)
+	}
+	cy += m.cfg.MemOpCycles * float64(len(b.Mems))
+	cy += m.cfg.AllocCycles * float64(len(b.Allocs))
+	if b.Term.Kind != isa.TermFallthrough {
+		cy += m.cfg.TermCycles
+	}
+	return cy
+}
+
+func sqrtF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

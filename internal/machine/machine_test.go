@@ -1,0 +1,351 @@
+package machine_test
+
+import (
+	"testing"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/machine"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+func setup(t *testing.T, budget uint64) (*machine.Machine, machine.RunSpec) {
+	t.Helper()
+	p := testprog.Branchy()
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{ProcsPerUnit: 2}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.XeonE5440())
+	return m, machine.RunSpec{Exe: exe, Trace: tr, NoiseSeed: 1}
+}
+
+func TestRunBasicCounters(t *testing.T) {
+	m, spec := setup(t, 20000)
+	c, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Instructions != spec.Trace.Instrs {
+		t.Errorf("Instructions %d != trace %d", c.Instructions, spec.Trace.Instrs)
+	}
+	if c.Cycles == 0 {
+		t.Error("no cycles charged")
+	}
+	if c.CPI() < 0.2 || c.CPI() > 20 {
+		t.Errorf("implausible CPI %v", c.CPI())
+	}
+	if c.CondBranches != spec.Trace.CondBranches {
+		t.Errorf("cond branches %d != trace %d", c.CondBranches, spec.Trace.CondBranches)
+	}
+	if c.IndirectBranches != spec.Trace.IndirectCalls {
+		t.Errorf("indirect %d != trace %d", c.IndirectBranches, spec.Trace.IndirectCalls)
+	}
+	if c.BranchesRetired < c.CondBranches {
+		t.Error("BranchesRetired missing components")
+	}
+	if c.CondMispredicts == 0 {
+		t.Error("Branchy program should cause some mispredictions")
+	}
+	if c.L1IAccesses == 0 || c.L2Accesses == 0 {
+		t.Error("cache hierarchy not exercised")
+	}
+}
+
+func TestRunDeterministicGivenSeeds(t *testing.T) {
+	m, spec := setup(t, 20000)
+	a, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical specs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestNoiseSeedPerturbsOnlyCycles(t *testing.T) {
+	m, spec := setup(t, 20000)
+	a, _ := m.Run(spec)
+	spec.NoiseSeed = 2
+	b, _ := m.Run(spec)
+	if a.Cycles == b.Cycles {
+		t.Error("different noise seeds should perturb cycles")
+	}
+	a.Cycles, b.Cycles = 0, 0
+	if a != b {
+		t.Fatalf("noise seed changed non-cycle counters:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDisableNoise(t *testing.T) {
+	m, spec := setup(t, 20000)
+	spec.DisableNoise = true
+	a, _ := m.Run(spec)
+	spec.NoiseSeed = 99
+	b, _ := m.Run(spec)
+	if a != b {
+		t.Fatal("noise-free runs should be identical across noise seeds")
+	}
+}
+
+func TestLayoutPerturbsPerformanceNotSemantics(t *testing.T) {
+	// The central claim of interferometry: different layouts change the
+	// adverse-event counts (and so cycles) but never the retired
+	// instruction count.
+	p := testprog.ManyBranches(300, 500)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.XeonE5440())
+	var counters []machine.Counters
+	for seed := uint64(1); seed <= 12; seed++ {
+		exe, err := toolchain.BuildLayout(p, seed, toolchain.CompileConfig{ProcsPerUnit: 1}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := m.Run(machine.RunSpec{Exe: exe, Trace: tr, NoiseSeed: 1, DisableNoise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters = append(counters, c)
+	}
+	varied := false
+	for _, c := range counters[1:] {
+		if c.Instructions != counters[0].Instructions {
+			t.Fatalf("layout changed retired instructions: %d vs %d",
+				c.Instructions, counters[0].Instructions)
+		}
+		if c.CondBranches != counters[0].CondBranches {
+			t.Fatal("layout changed dynamic branch count")
+		}
+		if c.Cycles != counters[0].Cycles || c.CondMispredicts != counters[0].CondMispredicts {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("12 layouts produced identical performance; perturbation is not reaching the microarchitecture")
+	}
+}
+
+func TestPerfectPredictorZeroMispredicts(t *testing.T) {
+	m, spec := setup(t, 30000)
+	spec.Predictor = branch.Perfect{}
+	spec.DisableNoise = true
+	perfect, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.CondMispredicts != 0 {
+		t.Fatalf("perfect predictor mispredicted %d times", perfect.CondMispredicts)
+	}
+	spec.Predictor = nil
+	real, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.Cycles >= real.Cycles {
+		t.Errorf("perfect prediction (%d cycles) should beat the real predictor (%d)",
+			perfect.Cycles, real.Cycles)
+	}
+}
+
+func TestBetterPredictorFewerCycles(t *testing.T) {
+	m, spec := setup(t, 60000)
+	spec.DisableNoise = true
+	spec.Predictor = branch.NewBimodal(16) // tiny, conflict-ridden
+	weak, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Predictor = branch.NewLTAGEDefault()
+	strong, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.CondMispredicts >= weak.CondMispredicts {
+		t.Fatalf("L-TAGE mispredicts %d >= tiny bimodal %d",
+			strong.CondMispredicts, weak.CondMispredicts)
+	}
+	if strong.Cycles >= weak.Cycles {
+		t.Fatalf("L-TAGE cycles %d >= tiny bimodal %d", strong.Cycles, weak.Cycles)
+	}
+}
+
+func TestHeapModeAffectsDataPlacement(t *testing.T) {
+	p := testprog.CacheStress(260, 5000)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.XeonE5440())
+	base := machine.RunSpec{Exe: exe, Trace: tr, DisableNoise: true, HeapMode: heap.ModeRandomized}
+
+	// Different heap seeds must change only performance, not semantics.
+	seen := map[uint64]bool{}
+	var instrs uint64
+	for seed := uint64(1); seed <= 8; seed++ {
+		spec := base
+		spec.HeapSeed = seed
+		c, err := m.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[c.Cycles] = true
+		if instrs == 0 {
+			instrs = c.Instructions
+		} else if c.Instructions != instrs {
+			t.Fatal("heap seed changed instruction count")
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("heap randomization did not perturb cycles")
+	}
+
+	// Bump mode ignores the seed entirely.
+	bump1, bump2 := base, base
+	bump1.HeapMode, bump2.HeapMode = heap.ModeBump, heap.ModeBump
+	bump1.HeapSeed, bump2.HeapSeed = 1, 99
+	c1, err := m.Run(bump1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.Run(bump2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("bump allocator should be seed-insensitive")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m, spec := setup(t, 1000)
+	bad := spec
+	bad.Exe = nil
+	if _, err := m.Run(bad); err == nil {
+		t.Error("nil Exe accepted")
+	}
+	bad = spec
+	bad.Trace = nil
+	if _, err := m.Run(bad); err == nil {
+		t.Error("nil Trace accepted")
+	}
+	// Mismatched program.
+	other := testprog.Counting(3)
+	otherTr, err := interp.Run(other, 1, interp.StopRule{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = spec
+	bad.Trace = otherTr
+	if _, err := m.Run(bad); err == nil {
+		t.Error("cross-program trace accepted")
+	}
+}
+
+func TestCountersDerivedMetrics(t *testing.T) {
+	c := machine.Counters{
+		Cycles:            1500,
+		Instructions:      1000,
+		BranchMispredicts: 5,
+		L1IMisses:         3,
+		L1DMisses:         7,
+		L2Misses:          2,
+	}
+	if c.CPI() != 1.5 {
+		t.Errorf("CPI = %v", c.CPI())
+	}
+	if c.MPKI() != 5 {
+		t.Errorf("MPKI = %v", c.MPKI())
+	}
+	if c.L1IMPKI() != 3 {
+		t.Errorf("L1IMPKI = %v", c.L1IMPKI())
+	}
+	if c.L1DMPKI() != 7 {
+		t.Errorf("L1DMPKI = %v", c.L1DMPKI())
+	}
+	if c.L2MPKI() != 2 {
+		t.Errorf("L2MPKI = %v", c.L2MPKI())
+	}
+	var zero machine.Counters
+	if zero.CPI() != 0 || zero.MPKI() != 0 {
+		t.Error("zero counters should give zero metrics")
+	}
+}
+
+func TestMachineReusableAcrossExecutables(t *testing.T) {
+	// One Machine must give the same answers whether it is fresh or
+	// reused after running a different executable (no state leakage).
+	p := testprog.Branchy()
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exeA, _ := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	exeB, _ := toolchain.BuildLayout(p, 2, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+
+	fresh := machine.New(machine.XeonE5440())
+	want, err := fresh.Run(machine.RunSpec{Exe: exeB, Trace: tr, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reused := machine.New(machine.XeonE5440())
+	if _, err := reused.Run(machine.RunSpec{Exe: exeA, Trace: tr, DisableNoise: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reused.Run(machine.RunSpec{Exe: exeB, Trace: tr, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("machine state leaked across runs:\nfresh  %+v\nreused %+v", want, got)
+	}
+}
+
+func TestNextLinePrefetchHelpsStreaming(t *testing.T) {
+	// A streaming workload (Memory's stride-8 sweeps) benefits from the
+	// next-line L2 prefetcher; a config with it enabled must not be
+	// slower, and its L2 demand misses must drop.
+	p := testprog.Memory(4000)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(prefetch bool) machine.Counters {
+		cfg := machine.XeonE5440()
+		cfg.NextLinePrefetch = prefetch
+		c, err := machine.New(cfg).Run(machine.RunSpec{Exe: exe, Trace: tr, DisableNoise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	off := run(false)
+	on := run(true)
+	if on.L2Misses > off.L2Misses {
+		t.Errorf("prefetcher increased L2 misses: %d > %d", on.L2Misses, off.L2Misses)
+	}
+	if on.Cycles > off.Cycles {
+		t.Errorf("prefetcher increased cycles: %d > %d", on.Cycles, off.Cycles)
+	}
+}

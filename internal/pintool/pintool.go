@@ -1,0 +1,152 @@
+// Package pintool is the functional (no-timing) branch instrumentation
+// layer, modeled on the paper's Pin tool: "our Pin tool instruments each
+// branch with a callback to code that simulates a set of branch
+// predictors. The tool counts the number of branches executed and the
+// number of branches mispredicted for each predictor simulated" (§5.6,
+// §7.1). Because it replays the deterministic trace with no noise model,
+// "there is no variance in the simulation result" (§7.2) — a property the
+// tests assert.
+package pintool
+
+import (
+	"errors"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+// Result is the misprediction outcome for one simulated predictor on one
+// executable.
+type Result struct {
+	Name             string
+	Instructions     uint64
+	CondBranches     uint64
+	CondMispredicts  uint64
+	IndirectBranches uint64
+	IndirectMispreds uint64
+}
+
+// MPKI returns total branch mispredictions (conditional direction plus
+// indirect target) per 1000 instructions, comparable to the machine's
+// "retired branches mispredicted" counter.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.CondMispredicts+r.IndirectMispreds) / float64(r.Instructions) * 1000
+}
+
+// CondAccuracy returns the fraction of conditional branches predicted
+// correctly.
+func (r Result) CondAccuracy() float64 {
+	if r.CondBranches == 0 {
+		return 1
+	}
+	return 1 - float64(r.CondMispredicts)/float64(r.CondBranches)
+}
+
+// Config controls the shared indirect-target model.
+type Config struct {
+	// BTBSets/BTBWays size the BTB simulated alongside every conditional
+	// predictor. Zeros mean 512x4, matching the machine model.
+	BTBSets, BTBWays int
+	// Warmup replays the trace once, training the predictors without
+	// counting, before the measured pass. Large tables (a 16KB GAs, a
+	// full L-TAGE) need far more training than a short trace provides;
+	// warmup removes the cold-start bias so predictor comparisons reflect
+	// steady state, as the paper's minutes-long Pin runs did.
+	Warmup bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.BTBSets == 0 {
+		c.BTBSets = 512
+	}
+	if c.BTBWays == 0 {
+		c.BTBWays = 4
+	}
+}
+
+// Run replays the trace once, feeding every conditional branch to each
+// predictor built by the factories and every indirect call to a BTB
+// (shared across predictors, since the conditional predictor does not
+// influence it). Oracle predictors record zero mispredictions.
+func Run(tr *interp.Trace, exe *toolchain.Executable, factories []branch.Factory, cfg Config) ([]Result, error) {
+	if tr == nil || exe == nil {
+		return nil, errors.New("pintool: nil trace or executable")
+	}
+	if tr.Program != exe.Program {
+		return nil, errors.New("pintool: trace and executable are from different programs")
+	}
+	if len(factories) == 0 {
+		return nil, errors.New("pintool: no predictors to simulate")
+	}
+	cfg.fillDefaults()
+
+	preds := make([]branch.Predictor, len(factories))
+	oracle := make([]bool, len(factories))
+	results := make([]Result, len(factories))
+	for i, f := range factories {
+		preds[i] = f.New()
+		_, oracle[i] = preds[i].(branch.Oracle)
+		results[i].Name = f.Name
+		results[i].Instructions = tr.Instrs
+	}
+	btb := branch.NewBTB(cfg.BTBSets, cfg.BTBWays)
+
+	prog := exe.Program
+	var cond, indirect, indirectMiss uint64
+	passes := 1
+	if cfg.Warmup {
+		passes = 2
+	}
+	for pass := 0; pass < passes; pass++ {
+		counting := pass == passes-1
+		cur := tr.NewCursor()
+		for {
+			bid, ok := cur.NextBlock()
+			if !ok {
+				break
+			}
+			b := &prog.Blocks[bid]
+			switch b.Term.Kind {
+			case isa.TermCondBranch:
+				taken := cur.NextTaken()
+				pc := exe.TermAddr(bid)
+				if counting {
+					cond++
+				}
+				for i, p := range preds {
+					if oracle[i] {
+						continue
+					}
+					if p.Predict(pc) != taken && counting {
+						results[i].CondMispredicts++
+					}
+					p.Update(pc, taken)
+				}
+			case isa.TermIndirectCall:
+				sel := cur.NextIndirect()
+				target := exe.ProcAddr[b.Term.Callees[sel]]
+				correct := btb.Predict(exe.TermAddr(bid), target)
+				if counting {
+					indirect++
+					if !correct {
+						indirectMiss++
+					}
+				}
+			}
+		}
+	}
+	for i := range results {
+		results[i].CondBranches = cond
+		results[i].IndirectBranches = indirect
+		results[i].IndirectMispreds = indirectMiss
+		if oracle[i] {
+			results[i].IndirectMispreds = 0
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,178 @@
+package pintool_test
+
+import (
+	"reflect"
+	"testing"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/pintool"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+func fixtures(t *testing.T) (*interp.Trace, *toolchain.Executable) {
+	t.Helper()
+	p := testprog.ManyBranches(120, 300)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 3, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, exe
+}
+
+func facs() []branch.Factory {
+	return []branch.Factory{
+		{Name: "perfect", New: func() branch.Predictor { return branch.Perfect{} }},
+		{Name: "bimodal-64", New: func() branch.Predictor { return branch.NewBimodal(64) }},
+		{Name: "l-tage", New: func() branch.Predictor { return branch.NewLTAGEDefault() }},
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	tr, exe := fixtures(t)
+	rs, err := pintool.Run(tr, exe, facs(), pintool.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for _, r := range rs {
+		if r.Instructions != tr.Instrs {
+			t.Errorf("%s: instructions %d != trace %d", r.Name, r.Instructions, tr.Instrs)
+		}
+		if r.CondBranches != tr.CondBranches {
+			t.Errorf("%s: cond branches %d != trace %d", r.Name, r.CondBranches, tr.CondBranches)
+		}
+	}
+	if rs[0].CondMispredicts != 0 || rs[0].MPKI() != 0 {
+		t.Error("perfect predictor should have zero mispredictions")
+	}
+	if rs[1].CondMispredicts == 0 {
+		t.Error("tiny bimodal should mispredict")
+	}
+	if rs[2].CondMispredicts >= rs[1].CondMispredicts {
+		t.Errorf("L-TAGE (%d) should beat bimodal-64 (%d)",
+			rs[2].CondMispredicts, rs[1].CondMispredicts)
+	}
+}
+
+func TestRunNoVariance(t *testing.T) {
+	// "Pin runs only once for each reordering; since we control the
+	// initial conditions... there is no variance in the simulation
+	// result" (§7.2).
+	tr, exe := fixtures(t)
+	a, err := pintool.Run(tr, exe, facs(), pintool.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pintool.Run(tr, exe, facs(), pintool.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("pintool results vary between identical runs")
+	}
+}
+
+func TestRunLayoutSensitivity(t *testing.T) {
+	// Different code layouts must yield different misprediction counts
+	// for a finite predictor (aliasing changes), but identical branch
+	// counts (semantics unchanged).
+	p := testprog.ManyBranches(300, 300)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac := []branch.Factory{{Name: "gas-2KB", New: func() branch.Predictor { return branch.GAsBudget(2048) }}}
+	counts := map[uint64]bool{}
+	for seed := uint64(1); seed <= 10; seed++ {
+		exe, err := toolchain.BuildLayout(p, seed, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := pintool.Run(tr, exe, fac, pintool.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[0].CondBranches != tr.CondBranches {
+			t.Fatal("layout changed branch count")
+		}
+		counts[rs[0].CondMispredicts] = true
+	}
+	if len(counts) < 2 {
+		t.Error("10 layouts gave identical misprediction counts; no aliasing sensitivity")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tr, exe := fixtures(t)
+	if _, err := pintool.Run(nil, exe, facs(), pintool.Config{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := pintool.Run(tr, nil, facs(), pintool.Config{}); err == nil {
+		t.Error("nil exe accepted")
+	}
+	if _, err := pintool.Run(tr, exe, nil, pintool.Config{}); err == nil {
+		t.Error("empty factory list accepted")
+	}
+	other := testprog.Counting(3)
+	otherTr, err := interp.Run(other, 1, interp.StopRule{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pintool.Run(otherTr, exe, facs(), pintool.Config{}); err == nil {
+		t.Error("cross-program trace accepted")
+	}
+}
+
+func TestIndirectHandling(t *testing.T) {
+	p := testprog.Branchy() // has an indirect call
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := pintool.Run(tr, exe, facs(), pintool.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].IndirectBranches != tr.IndirectCalls {
+		t.Errorf("indirect count %d != trace %d", rs[1].IndirectBranches, tr.IndirectCalls)
+	}
+	// The Branchy indirect call is polymorphic (two targets), so a BTB
+	// must mispredict sometimes.
+	if rs[1].IndirectMispreds == 0 {
+		t.Error("polymorphic indirect call never mispredicted")
+	}
+	// The perfect predictor reports no indirect mispredictions either.
+	if rs[0].IndirectMispreds != 0 {
+		t.Error("perfect predictor should report zero indirect mispredictions")
+	}
+}
+
+func TestResultDerived(t *testing.T) {
+	r := pintool.Result{
+		Instructions:    1000,
+		CondBranches:    100,
+		CondMispredicts: 10,
+	}
+	if r.MPKI() != 10 {
+		t.Errorf("MPKI = %v", r.MPKI())
+	}
+	if r.CondAccuracy() != 0.9 {
+		t.Errorf("CondAccuracy = %v", r.CondAccuracy())
+	}
+	var zero pintool.Result
+	if zero.MPKI() != 0 || zero.CondAccuracy() != 1 {
+		t.Error("zero-value result derived metrics wrong")
+	}
+}

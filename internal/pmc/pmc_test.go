@@ -1,0 +1,180 @@
+package pmc_test
+
+import (
+	"testing"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+)
+
+func spec(t *testing.T) machine.RunSpec {
+	t.Helper()
+	p := testprog.ManyBranches(100, 200)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 80000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 2, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return machine.RunSpec{Exe: exe, Trace: tr, NoiseSeed: 7}
+}
+
+func TestEventString(t *testing.T) {
+	names := map[pmc.Event]string{
+		pmc.EvInstructions:      "INST_RETIRED",
+		pmc.EvBranchMispredicts: "BR_MISP_RETIRED",
+		pmc.EvL1IMisses:         "L1I_MISSES",
+		pmc.EvL2Misses:          "L2_MISSES",
+		pmc.EvL1DMisses:         "L1D_MISSES",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+	if pmc.Event(99).String() == "" {
+		t.Error("unknown event should render")
+	}
+}
+
+func TestStandardGroupsCoverAllEvents(t *testing.T) {
+	seen := map[pmc.Event]bool{}
+	for _, g := range pmc.StandardGroups {
+		for _, e := range g {
+			seen[e] = true
+		}
+	}
+	for e := pmc.Event(0); e < pmc.NumEvents; e++ {
+		if !seen[e] {
+			t.Errorf("event %s not covered by any group", e)
+		}
+	}
+	if len(pmc.StandardGroups) != 3 {
+		t.Errorf("paper uses three groups of two, got %d", len(pmc.StandardGroups))
+	}
+}
+
+func TestMeasureFast(t *testing.T) {
+	h := &pmc.Harness{Machine: machine.New(machine.XeonE5440()), Fidelity: pmc.FidelityFast}
+	m, err := h.Measure(spec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 1 {
+		t.Errorf("fast fidelity used %d runs", m.Runs)
+	}
+	if m.Cycles == 0 || m.Instructions == 0 {
+		t.Error("empty measurement")
+	}
+	if m.CPI() <= 0 {
+		t.Error("CPI not positive")
+	}
+	if m.Events[pmc.EvInstructions] != m.Instructions {
+		t.Error("instruction event inconsistent")
+	}
+}
+
+func TestMeasurePaperProtocol(t *testing.T) {
+	h := &pmc.Harness{
+		Machine:      machine.New(machine.XeonE5440()),
+		Fidelity:     pmc.FidelityPaper,
+		RunsPerGroup: 5,
+	}
+	m, err := h.Measure(spec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 15 {
+		t.Errorf("paper protocol should use 3 groups x 5 runs = 15, got %d", m.Runs)
+	}
+	if m.Cycles == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestMedianReducesCPISpread(t *testing.T) {
+	// The median-of-five CPI across sessions should be no more spread out
+	// than single-run CPIs — the reason the paper does it (§5.5).
+	mach := machine.New(machine.XeonE5440())
+	fast := &pmc.Harness{Machine: mach, Fidelity: pmc.FidelityFast}
+	paper := &pmc.Harness{Machine: mach, Fidelity: pmc.FidelityPaper}
+	base := spec(t)
+
+	spreadOf := func(h *pmc.Harness) float64 {
+		lo, hi := 1e18, 0.0
+		for s := uint64(0); s < 12; s++ {
+			sp := base
+			sp.NoiseSeed = 1000 + s
+			m, err := h.Measure(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpi := m.CPI()
+			if cpi < lo {
+				lo = cpi
+			}
+			if cpi > hi {
+				hi = cpi
+			}
+		}
+		return hi - lo
+	}
+	if sp, sf := spreadOf(paper), spreadOf(fast); sp > sf*1.5 {
+		t.Errorf("median-of-5 CPI spread %v should not exceed single-run spread %v by much", sp, sf)
+	}
+}
+
+func TestMeasurementDerived(t *testing.T) {
+	var m pmc.Measurement
+	m.Cycles = 2000
+	m.Instructions = 1000
+	m.Events[pmc.EvBranchMispredicts] = 4
+	m.Events[pmc.EvL2Misses] = 8
+	if m.CPI() != 2.0 {
+		t.Errorf("CPI = %v", m.CPI())
+	}
+	if m.MPKI() != 4 {
+		t.Errorf("MPKI = %v", m.MPKI())
+	}
+	if m.PKI(pmc.EvL2Misses) != 8 {
+		t.Errorf("L2 PKI = %v", m.PKI(pmc.EvL2Misses))
+	}
+	var zero pmc.Measurement
+	if zero.CPI() != 0 || zero.MPKI() != 0 {
+		t.Error("zero measurement metrics should be zero")
+	}
+}
+
+func TestMeasureNeedsMachine(t *testing.T) {
+	h := &pmc.Harness{}
+	if _, err := h.Measure(machine.RunSpec{}); err == nil {
+		t.Error("harness without machine accepted")
+	}
+}
+
+func TestNonCycleCountersStableAcrossSessions(t *testing.T) {
+	// Event counts are deterministic for a fixed layout; only cycles
+	// carry noise. This is what makes cross-group merging sound.
+	h := &pmc.Harness{Machine: machine.New(machine.XeonE5440()), Fidelity: pmc.FidelityPaper}
+	base := spec(t)
+	a, err := h.Measure(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.NoiseSeed = 999
+	b, err := h.Measure(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events {
+		t.Errorf("event counts changed across sessions:\n%v\n%v", a.Events, b.Events)
+	}
+	if a.Cycles == b.Cycles {
+		t.Error("cycles should vary across sessions")
+	}
+}

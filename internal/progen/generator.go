@@ -1,0 +1,612 @@
+// Package progen generates the synthetic benchmark programs that stand in
+// for SPEC CPU 2006 (and the SPEC 2000 benchmarks of the linearity
+// study). A Spec captures the workload characteristics interferometry is
+// sensitive to — static branch population and its behaviour mixture, code
+// footprint, instruction mix, and memory working sets — and Generate
+// deterministically expands it into a layout-free isa.Program. The named
+// suites in suite.go mirror the paper's benchmark lists.
+package progen
+
+import (
+	"fmt"
+
+	"interferometry/internal/isa"
+	"interferometry/internal/xrand"
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name string
+	Seed uint64
+
+	// Procs is the number of procedures besides main. BlocksMin/Max bound
+	// the blocks per procedure.
+	Procs                int
+	BlocksMin, BlocksMax int
+
+	// FPFraction and IntMulFraction shape the instruction mix of block
+	// bodies (the remainder is simple integer ALU work).
+	FPFraction     float64
+	IntMulFraction float64
+	// BytesPerInstr scales static code size (x86 instructions average
+	// ~3.7 bytes; bloated code stresses the L1I).
+	BytesPerInstr float64
+
+	// Branch behaviour mixture weights (normalized internally).
+	WBiased, WLoop, WPattern, WCorrelated float64
+	// HardBiasFraction is the fraction of biased branches drawn from a
+	// hard (near-0.5) bias instead of an easy (near-0/1) one.
+	HardBiasFraction float64
+	// CorrNoise is the flip probability of correlated branches.
+	CorrNoise float64
+	// CondDensity is the probability that a non-final block ends in a
+	// conditional branch.
+	CondDensity float64
+	// CallDensity is the probability that a non-final block ends in a
+	// call (when callees are available).
+	CallDensity float64
+	// IndirectSites is the number of polymorphic indirect call sites.
+	IndirectSites int
+
+	// MemFraction is the approximate fraction of retired instructions
+	// that are memory operations.
+	MemFraction float64
+	// Memory accesses are split into two locality tiers, as in real
+	// programs: HotFraction of accesses hit a small arena that lives in
+	// the L1D; the remainder are cold accesses dispatched over the
+	// pattern mixture below (big streams, pool chasing, whole-object
+	// random access) and drive the L2 and memory traffic that sets each
+	// benchmark's CPI level.
+	HotFraction float64
+	// HotBytes sizes the hot arena (default 12KB).
+	HotBytes uint64
+	// HotOnHeap places hot accesses on pool objects instead of a global
+	// arena, making L1D conflicts depend on the allocator's placement —
+	// the §1.3 heap-randomization effect (calculix-style).
+	HotOnHeap bool
+	// HotPoolObjects restricts HotOnHeap accesses to the first N pool
+	// objects, so a benchmark can keep an L1-resident hot set on the heap
+	// while cold accesses roam the whole (much larger) pool. Zero means
+	// the entire pool.
+	HotPoolObjects int
+	// Loop trip-count ranges. Forward loop branches draw trips from
+	// [FwdTripMin, FwdTripMax]; backward (loop-back) branches from
+	// [BackTripMin, BackTripMax]. Zeros mean [2,61] and [2,12]. FP codes
+	// with very long trip counts have almost no loop-exit mispredictions,
+	// which is what makes them fail the significance screen.
+	FwdTripMin, FwdTripMax   int
+	BackTripMin, BackTripMax int
+	// Globals and GlobalBytes size the statically placed cold data
+	// objects (arena objects are created separately).
+	Globals     int
+	GlobalBytes uint64
+	// HeapObjects and HeapObjBytes size the allocator-placed pool.
+	HeapObjects  int
+	HeapObjBytes uint64
+	// BigHeapObjects and BigHeapBytes add a second pool of large
+	// heap-placed arrays; when present, cold stream/random/blocked
+	// patterns use them instead of globals, so the randomizing
+	// allocator's page-phase decisions perturb their cache-set mapping
+	// (the Figure 3 mechanism).
+	BigHeapObjects int
+	BigHeapBytes   uint64
+	// Access pattern mixture weights.
+	WStream, WRandom, WChase, WBlocked float64
+	// PoolSkew is the Zipf exponent of pool accesses.
+	PoolSkew float64
+	// ChurnSites is the number of allocation sites that free and
+	// re-allocate pool objects during execution.
+	ChurnSites int
+}
+
+// normalized returns the four branch weights scaled to sum to 1.
+func (s *Spec) branchWeights() [4]float64 {
+	w := [4]float64{s.WBiased, s.WLoop, s.WPattern, s.WCorrelated}
+	sum := w[0] + w[1] + w[2] + w[3]
+	if sum == 0 {
+		return [4]float64{1, 0, 0, 0}
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+func (s *Spec) memWeights() [4]float64 {
+	w := [4]float64{s.WStream, s.WRandom, s.WChase, s.WBlocked}
+	sum := w[0] + w[1] + w[2] + w[3]
+	if sum == 0 {
+		return [4]float64{1, 0, 0, 0}
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// Validate rejects nonsensical specs.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("progen: spec needs a name")
+	}
+	if s.Procs < 1 {
+		return fmt.Errorf("progen %s: needs at least one procedure", s.Name)
+	}
+	if s.BlocksMin < 2 || s.BlocksMax < s.BlocksMin {
+		return fmt.Errorf("progen %s: invalid block range [%d,%d]", s.Name, s.BlocksMin, s.BlocksMax)
+	}
+	if s.MemFraction < 0 || s.MemFraction > 0.6 {
+		return fmt.Errorf("progen %s: MemFraction %v out of [0,0.6]", s.Name, s.MemFraction)
+	}
+	if s.Globals == 0 && s.HeapObjects == 0 && s.BigHeapObjects == 0 && s.MemFraction > 0 {
+		return fmt.Errorf("progen %s: memory traffic with no objects", s.Name)
+	}
+	return nil
+}
+
+// generator carries the in-progress program.
+type generator struct {
+	spec    *Spec
+	rng     *xrand.Rand
+	prog    *isa.Program
+	pool    []isa.ObjectID // heap objects
+	bigPool []isa.ObjectID // large heap arrays (cold tier)
+	globals []isa.ObjectID // cold globals
+	hot     isa.ObjectID   // hot arena (global), valid if hotSet
+	hotSet  bool
+}
+
+// trips returns the spec's forward and backward trip ranges with
+// defaults applied.
+func (g *generator) trips() (fmin, fmax, bmin, bmax int) {
+	s := g.spec
+	fmin, fmax = s.FwdTripMin, s.FwdTripMax
+	if fmin == 0 {
+		fmin = 2
+	}
+	if fmax < fmin {
+		fmax = fmin + 59
+	}
+	bmin, bmax = s.BackTripMin, s.BackTripMax
+	if bmin == 0 {
+		bmin = 2
+	}
+	if bmax < bmin {
+		bmax = bmin + 10
+	}
+	return
+}
+
+// Generate expands the spec into a program. The same spec always yields
+// the same program.
+func Generate(spec Spec) (*isa.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		spec: &spec,
+		rng:  xrand.New(xrand.Mix(spec.Seed, 0x70726f67)),
+		prog: &isa.Program{
+			Name: spec.Name,
+			Seed: xrand.Mix(spec.Seed, 0x62656861),
+			Main: 0,
+		},
+	}
+	g.makeObjects()
+
+	// Procedures are generated from the highest ID down so that calls
+	// (always to higher IDs) keep the call graph acyclic.
+	nProcs := spec.Procs + 1
+	bodies := make([][]isa.Block, nProcs)
+	names := make([]string, nProcs)
+	for pid := nProcs - 1; pid >= 1; pid-- {
+		bodies[pid] = g.makeProc(pid, nProcs)
+		names[pid] = fmt.Sprintf("proc_%03d", pid)
+	}
+	bodies[0] = g.makeMain(nProcs)
+	names[0] = "main"
+
+	// Flatten bodies into the program, assigning global block IDs.
+	for pid := 0; pid < nProcs; pid++ {
+		start := isa.BlockID(len(g.prog.Blocks))
+		ids := make([]isa.BlockID, len(bodies[pid]))
+		for i := range bodies[pid] {
+			b := bodies[pid][i]
+			b.Proc = isa.ProcID(pid)
+			// Rebase intra-procedure targets from local to global IDs.
+			switch b.Term.Kind {
+			case isa.TermCondBranch, isa.TermJump:
+				b.Term.Target += start
+			}
+			ids[i] = start + isa.BlockID(i)
+			g.prog.Blocks = append(g.prog.Blocks, b)
+		}
+		g.prog.Procs = append(g.prog.Procs, isa.Procedure{Name: names[pid], Blocks: ids})
+	}
+	if err := g.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("progen: generated invalid program: %w", err)
+	}
+	return g.prog, nil
+}
+
+// MustGenerate is Generate for known-good specs (the built-in suites).
+func MustGenerate(spec Spec) *isa.Program {
+	p, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (g *generator) makeObjects() {
+	s := g.spec
+	if s.HotFraction > 0 && !s.HotOnHeap {
+		hb := s.HotBytes
+		if hb == 0 {
+			hb = 12 * 1024
+		}
+		g.hot = isa.ObjectID(len(g.prog.Objects))
+		g.hotSet = true
+		g.prog.Objects = append(g.prog.Objects, isa.ObjectMeta{Size: hb, Heap: false})
+	}
+	for i := 0; i < s.Globals; i++ {
+		g.globals = append(g.globals, isa.ObjectID(len(g.prog.Objects)))
+		g.prog.Objects = append(g.prog.Objects, isa.ObjectMeta{Size: s.GlobalBytes, Heap: false})
+	}
+	for i := 0; i < s.HeapObjects; i++ {
+		g.pool = append(g.pool, isa.ObjectID(len(g.prog.Objects)))
+		g.prog.Objects = append(g.prog.Objects, isa.ObjectMeta{Size: s.HeapObjBytes, Heap: true})
+	}
+	for i := 0; i < s.BigHeapObjects; i++ {
+		g.bigPool = append(g.bigPool, isa.ObjectID(len(g.prog.Objects)))
+		g.prog.Objects = append(g.prog.Objects, isa.ObjectMeta{Size: s.BigHeapBytes, Heap: true})
+	}
+}
+
+// coldArrays returns the objects cold stream/random/blocked patterns
+// draw from: the big heap arrays when present, else the globals.
+func (g *generator) coldArrays() []isa.ObjectID {
+	if len(g.bigPool) > 0 {
+		return g.bigPool
+	}
+	return g.globals
+}
+
+// hotOp builds an L1-resident access: a small strided or random window of
+// the hot arena (or of pool objects under HotOnHeap, where placement —
+// and therefore conflict behaviour — belongs to the allocator).
+func (g *generator) hotOp(rng *xrand.Rand, kind isa.MemKind) isa.MemOp {
+	s := g.spec
+	if s.HotOnHeap && len(g.pool) > 0 {
+		hotPool := g.pool
+		if s.HotPoolObjects > 0 && s.HotPoolObjects < len(hotPool) {
+			hotPool = hotPool[:s.HotPoolObjects]
+		}
+		k := 2
+		if len(hotPool) > 2 && rng.Bool(0.5) {
+			k = 3
+		}
+		objs := make([]isa.ObjectID, k)
+		for i := range objs {
+			objs[i] = hotPool[rng.Intn(len(hotPool))]
+		}
+		span := g.spec.HeapObjBytes
+		if span > 1024 {
+			span = 1024
+		}
+		return isa.MemOp{Kind: kind, Pattern: isa.Blocked{Objects: objs, Stride: 8, Span: span}}
+	}
+	hb := g.prog.Objects[g.hot].Size
+	window := uint64(512)
+	if rng.Bool(0.4) {
+		window = 1024
+	}
+	if window > hb {
+		window = hb
+	}
+	start := uint64(0)
+	if hb > window {
+		start = rng.Uint64n((hb-window)/64+1) * 64
+	}
+	if rng.Bool(0.3) {
+		return isa.MemOp{Kind: kind, Pattern: isa.RandomInObject{
+			Object: g.hot, Size: window, Granule: 8, Start: start,
+		}}
+	}
+	return isa.MemOp{Kind: kind, Pattern: isa.Stream{
+		Object: g.hot, Stride: 8, Size: window, Start: start,
+	}}
+}
+
+// body fills class counts and memory ops for one block and returns it.
+func (g *generator) body(pid, bi int) isa.Block {
+	s := g.spec
+	// The body and each memory site draw from their own derived streams,
+	// so that changing one spec knob (say, HotFraction) does not re-roll
+	// the branch structure of the whole program.
+	rng := xrand.New(xrand.Mix(g.prog.Seed, 0x626f6479, uint64(pid), uint64(bi)))
+	n := 2 + rng.Intn(10)
+	var b isa.Block
+	for i := 0; i < n; i++ {
+		switch {
+		case rng.Bool(s.FPFraction):
+			if rng.Bool(0.45) {
+				b.ClassCounts[isa.ClassFPMul]++
+			} else {
+				b.ClassCounts[isa.ClassFPAdd]++
+			}
+		case rng.Bool(s.IntMulFraction):
+			b.ClassCounts[isa.ClassIntMul]++
+		default:
+			b.ClassCounts[isa.ClassIntALU]++
+		}
+	}
+	// Memory operations: MemFraction of total retired instructions.
+	if s.MemFraction > 0 {
+		want := s.MemFraction / (1 - s.MemFraction) * float64(n)
+		k := int(want)
+		if rng.Float64() < want-float64(k) {
+			k++
+		}
+		if k > 6 {
+			k = 6
+		}
+		for i := 0; i < k; i++ {
+			mrng := xrand.New(xrand.Mix(g.prog.Seed, 0x6d656d73, uint64(pid), uint64(bi), uint64(i)))
+			b.Mems = append(b.Mems, g.memOp(mrng))
+		}
+	}
+	total := n + len(b.Mems) + 1
+	b.Bytes = uint32(float64(total)*s.BytesPerInstr + 1)
+	return b
+}
+
+func (g *generator) memOp(rng *xrand.Rand) isa.MemOp {
+	s := g.spec
+	kind := isa.MemLoad
+	if rng.Bool(0.3) {
+		kind = isa.MemStore
+	}
+
+	// Locality tier dispatch.
+	if rng.Float64() < s.HotFraction && (g.hotSet || (s.HotOnHeap && len(g.pool) > 0)) {
+		return g.hotOp(rng, kind)
+	}
+
+	w := s.memWeights()
+	r := rng.Float64()
+	arrays := g.coldArrays()
+	switch {
+	case r < w[0] && len(arrays) > 0: // stream
+		obj := arrays[rng.Intn(len(arrays))]
+		stride := uint64(8)
+		if rng.Bool(0.3) {
+			stride = 16
+		}
+		// Each streaming site sweeps its own window, starting at a random
+		// phase; without this, sites advancing in lockstep share cache
+		// lines and the stream never misses.
+		size := g.prog.Objects[obj].Size
+		start := rng.Uint64n(size/64) * 64
+		return isa.MemOp{Kind: kind, Pattern: isa.Stream{
+			Object: obj, Stride: stride, Size: size - start, Start: start,
+		}}
+	case r < w[0]+w[1] && len(arrays) > 0: // random in object
+		obj := arrays[rng.Intn(len(arrays))]
+		return isa.MemOp{Kind: kind, Pattern: isa.RandomInObject{
+			Object: obj, Size: g.prog.Objects[obj].Size, Granule: 8,
+		}}
+	case r < w[0]+w[1]+w[2] && len(g.pool) > 0: // pool chase
+		// A contiguous slice of the pool, at least 4 objects when the
+		// pool is that large.
+		n := len(g.pool)
+		sub := n
+		if n > 4 {
+			sub = 4 + rng.Intn(n-3)
+		}
+		start := 0
+		if n > sub {
+			start = rng.Intn(n - sub + 1)
+		}
+		return isa.MemOp{Kind: kind, Pattern: isa.PoolChase{
+			Pool:    g.pool[start : start+sub],
+			ObjSize: g.spec.HeapObjBytes,
+			Skew:    s.PoolSkew,
+			Granule: 8,
+		}}
+	case len(arrays) >= 2: // blocked over a few cold arrays
+		k := 2 + rng.Intn(min(3, len(arrays)-1))
+		objs := make([]isa.ObjectID, k)
+		perm := rng.Perm(len(arrays))
+		for i := 0; i < k; i++ {
+			objs[i] = arrays[perm[i]]
+		}
+		span := g.prog.Objects[objs[0]].Size
+		if span > 4096 {
+			span = 4096
+		}
+		return isa.MemOp{Kind: kind, Pattern: isa.Blocked{
+			Objects: objs, Stride: 8, Span: span,
+		}}
+	case len(arrays) > 0:
+		obj := arrays[0]
+		return isa.MemOp{Kind: kind, Pattern: isa.Stream{
+			Object: obj, Stride: 8, Size: g.prog.Objects[obj].Size,
+		}}
+	default:
+		// Heap-only benchmark: fall back to pool chase over everything.
+		return isa.MemOp{Kind: kind, Pattern: isa.PoolChase{
+			Pool:    g.pool,
+			ObjSize: g.spec.HeapObjBytes,
+			Skew:    s.PoolSkew,
+			Granule: 8,
+		}}
+	}
+}
+
+// condBehavior draws a branch behaviour from the spec mixture. backward
+// branches must terminate, so they are always bounded loop/pattern forms.
+func (g *generator) condBehavior(pid, bi int, backward bool) isa.BranchBehavior {
+	s := g.spec
+	rng := xrand.New(xrand.Mix(g.prog.Seed, 0x636f6e64, uint64(pid), uint64(bi)))
+	_, _, bmin, bmax := g.trips()
+	if backward {
+		if rng.Bool(0.7) || bmin > 16 {
+			// Backward trips stay modest by default so nested loops
+			// cannot make one procedure call dominate the whole trace.
+			return isa.Loop{Trip: uint64(bmin + rng.Intn(bmax-bmin+1))}
+		}
+		// A pattern with a guaranteed not-taken bit bounds the loop.
+		length := uint8(3 + rng.Intn(6))
+		bits := rng.Uint64() &^ (1 << (length - 1))
+		return isa.Pattern{Bits: bits, Len: length}
+	}
+	w := s.branchWeights()
+	r := rng.Float64()
+	switch {
+	case r < w[0]: // biased
+		var p float64
+		if rng.Bool(s.HardBiasFraction) {
+			p = 0.35 + 0.3*rng.Float64() // hard: near coin flip
+		} else {
+			p = 0.02 + 0.13*rng.Float64() // easy: strongly biased
+			if rng.Bool(0.5) {
+				p = 1 - p
+			}
+		}
+		return isa.Biased{P: p}
+	case r < w[0]+w[1]:
+		fmin, fmax, _, _ := g.trips()
+		return isa.Loop{Trip: uint64(fmin + rng.Intn(fmax-fmin+1))}
+	case r < w[0]+w[1]+w[2]:
+		length := uint8(2 + rng.Intn(7))
+		return isa.Pattern{Bits: rng.Uint64(), Len: length}
+	default:
+		// Correlated on a few recent history bits.
+		mask := uint64(0)
+		for mask == 0 {
+			mask = rng.Uint64() & ((1 << (2 + rng.Intn(10))) - 1)
+		}
+		return isa.Correlated{Mask: mask, Noise: s.CorrNoise, Flip: rng.Bool(0.5)}
+	}
+}
+
+// makeProc builds the blocks of one non-main procedure with local block
+// IDs (rebased by Generate).
+func (g *generator) makeProc(pid, nProcs int) []isa.Block {
+	s := g.spec
+	rng := g.rng
+	n := s.BlocksMin + rng.Intn(s.BlocksMax-s.BlocksMin+1)
+	blocks := make([]isa.Block, n)
+	backwardBudget := 2
+	for bi := 0; bi < n; bi++ {
+		blocks[bi] = g.body(pid, bi)
+		last := bi == n-1
+		if last {
+			blocks[bi].Term = isa.Terminator{Kind: isa.TermReturn}
+			continue
+		}
+		switch {
+		case rng.Bool(s.CondDensity):
+			backward := backwardBudget > 0 && bi > 0 && rng.Bool(0.35)
+			var target isa.BlockID
+			if backward {
+				backwardBudget--
+				target = isa.BlockID(rng.Intn(bi))
+			} else {
+				target = isa.BlockID(bi + 1 + rng.Intn(n-bi-1))
+			}
+			blocks[bi].Term = isa.Terminator{
+				Kind:     isa.TermCondBranch,
+				Target:   target,
+				Behavior: g.condBehavior(pid, bi, backward),
+			}
+		case pid+1 < nProcs && rng.Bool(s.CallDensity):
+			callee := pid + 1 + rng.Intn(nProcs-pid-1)
+			blocks[bi].Term = isa.Terminator{Kind: isa.TermCall, Callee: isa.ProcID(callee)}
+		case rng.Bool(0.08) && bi+2 < n:
+			blocks[bi].Term = isa.Terminator{
+				Kind:   isa.TermJump,
+				Target: isa.BlockID(bi + 2 + rng.Intn(n-bi-2)),
+			}
+		default:
+			blocks[bi].Term = isa.Terminator{Kind: isa.TermFallthrough}
+		}
+	}
+	return blocks
+}
+
+// makeMain builds the driver procedure: a prologue allocating every heap
+// object, a phase sequence of calls (some indirect, some with churn
+// sites), and an effectively infinite outer loop.
+func (g *generator) makeMain(nProcs int) []isa.Block {
+	s := g.spec
+	rng := g.rng
+	var blocks []isa.Block
+
+	prologue := g.body(0, 0)
+	prologue.Mems = nil // keep the prologue cheap and allocation-only
+	for _, obj := range append(append([]isa.ObjectID(nil), g.pool...), g.bigPool...) {
+		prologue.Allocs = append(prologue.Allocs, isa.AllocOp{
+			Kind: isa.AllocNew, Pool: []isa.ObjectID{obj},
+		})
+	}
+	prologue.Term = isa.Terminator{Kind: isa.TermFallthrough}
+	blocks = append(blocks, prologue)
+
+	// Phase blocks: call each top-level procedure at least once, in a
+	// shuffled order, plus indirect sites and churn sites.
+	calls := rng.Perm(nProcs - 1)
+	indirectLeft := s.IndirectSites
+	churnLeft := s.ChurnSites
+	for bi, c := range calls {
+		b := g.body(0, bi+1)
+		if indirectLeft > 0 && rng.Bool(0.5) {
+			indirectLeft--
+			k := 2 + rng.Intn(3)
+			callees := make([]isa.ProcID, 0, k)
+			for i := 0; i < k; i++ {
+				callees = append(callees, isa.ProcID(1+rng.Intn(nProcs-1)))
+			}
+			b.Term = isa.Terminator{
+				Kind:     isa.TermIndirectCall,
+				Callees:  callees,
+				Behavior: isa.Biased{P: 0.55 + 0.4*rng.Float64()},
+			}
+		} else {
+			b.Term = isa.Terminator{Kind: isa.TermCall, Callee: isa.ProcID(c + 1)}
+		}
+		if churnLeft > 0 && len(g.pool) > 0 && rng.Bool(0.5) {
+			churnLeft--
+			n := len(g.pool)
+			sub := 1 + rng.Intn(min(8, n))
+			start := rng.Intn(n - sub + 1)
+			b.Allocs = append(b.Allocs, isa.AllocOp{
+				Kind: isa.AllocNew,
+				Pool: g.pool[start : start+sub],
+			})
+		}
+		blocks = append(blocks, b)
+	}
+
+	// Outer loop back to the first phase block, then return.
+	loop := g.body(0, nProcs+1)
+	loop.Term = isa.Terminator{
+		Kind:     isa.TermCondBranch,
+		Target:   1,
+		Behavior: isa.Loop{Trip: 1 << 40},
+	}
+	blocks = append(blocks, loop)
+	ret := g.body(0, nProcs+2)
+	ret.Mems = nil
+	ret.Term = isa.Terminator{Kind: isa.TermReturn}
+	blocks = append(blocks, ret)
+	return blocks
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

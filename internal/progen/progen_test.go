@@ -1,0 +1,172 @@
+package progen_test
+
+import (
+	"reflect"
+	"testing"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/progen"
+	"interferometry/internal/toolchain"
+)
+
+func TestSuiteHas23Benchmarks(t *testing.T) {
+	suite := progen.Suite()
+	if len(suite) != 23 {
+		t.Fatalf("suite has %d benchmarks, the paper compiled 23", len(suite))
+	}
+	names := map[string]bool{}
+	for _, s := range suite {
+		if names[s.Name] {
+			t.Errorf("duplicate benchmark %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, n := range progen.Table1Names {
+		if !names[n] {
+			t.Errorf("Table 1 benchmark %q missing from suite", n)
+		}
+	}
+	if len(progen.Table1Names) != 20 {
+		t.Errorf("Table 1 should list 20 benchmarks, got %d", len(progen.Table1Names))
+	}
+}
+
+func TestSimSuiteHasFigure5Benchmarks(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range progen.SimSuite() {
+		names[s.Name] = true
+	}
+	for _, n := range []string{"473.astar", "401.bzip2", "458.sjeng", "456.hmmer", "252.eon", "178.galgel"} {
+		if !names[n] {
+			t.Errorf("Figure 5 benchmark %q missing from SimSuite", n)
+		}
+	}
+}
+
+func TestGenerateAllSuiteSpecs(t *testing.T) {
+	for _, s := range append(progen.Suite(), progen.SimSuite()...) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p, err := progen.Generate(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if p.StaticBranchCount() < 5 {
+				t.Errorf("only %d static branches", p.StaticBranchCount())
+			}
+			if p.CodeBytes() < 1500 {
+				t.Errorf("implausibly small code: %d bytes", p.CodeBytes())
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := progen.ByName("429.mcf")
+	a := progen.MustGenerate(spec)
+	b := progen.MustGenerate(spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec generated different programs")
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	spec, _ := progen.ByName("401.bzip2")
+	a := progen.MustGenerate(spec)
+	spec.Seed++
+	b := progen.MustGenerate(spec)
+	if reflect.DeepEqual(a.Blocks, b.Blocks) {
+		t.Fatal("different seeds generated identical programs")
+	}
+}
+
+func TestGeneratedProgramsExecute(t *testing.T) {
+	for _, name := range []string{"400.perlbench", "429.mcf", "462.libquantum", "470.lbm"} {
+		spec, ok := progen.ByName(name)
+		if !ok {
+			t.Fatalf("missing spec %q", name)
+		}
+		p := progen.MustGenerate(spec)
+		tr, err := interp.Run(p, 1, interp.StopRule{Budget: 50000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Instrs < 50000 {
+			t.Errorf("%s: trace too short (%d)", name, tr.Instrs)
+		}
+		if tr.CondBranches == 0 {
+			t.Errorf("%s: no conditional branches executed", name)
+		}
+		if spec.MemFraction > 0 && tr.MemAccesses() == 0 {
+			t.Errorf("%s: no memory accesses recorded", name)
+		}
+		// Memory fraction should be in the right ballpark.
+		frac := float64(tr.MemAccesses()) / float64(tr.Instrs)
+		if frac < spec.MemFraction*0.4 || frac > spec.MemFraction*1.8 {
+			t.Errorf("%s: memory fraction %.3f far from spec %.3f", name, frac, spec.MemFraction)
+		}
+	}
+}
+
+func TestGeneratedProgramsLink(t *testing.T) {
+	for _, name := range []string{"403.gcc", "483.xalancbmk"} {
+		spec, _ := progen.ByName(name)
+		p := progen.MustGenerate(spec)
+		exe, err := toolchain.BuildLayout(p, 5, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Large-code benchmarks must overflow the 32KB L1I for layout
+		// sensitivity of instruction fetch.
+		if exe.CodeBytes() < 40*1024 {
+			t.Errorf("%s: code footprint %d too small to stress L1I", name, exe.CodeBytes())
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []progen.Spec{
+		{},
+		{Name: "x", Procs: 0, BlocksMin: 2, BlocksMax: 4},
+		{Name: "x", Procs: 5, BlocksMin: 1, BlocksMax: 4},
+		{Name: "x", Procs: 5, BlocksMin: 4, BlocksMax: 2},
+		{Name: "x", Procs: 5, BlocksMin: 2, BlocksMax: 4, MemFraction: 0.9, Globals: 1, GlobalBytes: 64},
+		{Name: "x", Procs: 5, BlocksMin: 2, BlocksMax: 4, MemFraction: 0.2},
+	}
+	for i, s := range bad {
+		if _, err := progen.Generate(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := progen.ByName("429.mcf"); !ok {
+		t.Error("429.mcf not found")
+	}
+	if _, ok := progen.ByName("252.eon"); !ok {
+		t.Error("252.eon not found in sim suite")
+	}
+	if _, ok := progen.ByName("999.nothing"); ok {
+		t.Error("unknown name found")
+	}
+}
+
+func TestInputSeedVariesTraces(t *testing.T) {
+	spec, _ := progen.ByName("445.gobmk")
+	p := progen.MustGenerate(spec)
+	a, err := interp.Run(p, 1, interp.StopRule{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.Run(p, 2, interp.StopRule{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.TakenBits, b.TakenBits) {
+		t.Error("different input seeds gave identical branch behaviour")
+	}
+}

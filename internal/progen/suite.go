@@ -1,0 +1,439 @@
+package progen
+
+// The benchmark suites. Suite returns the 23 SPEC CPU 2006 analogs — the
+// benchmarks that "compile and run without errors with our compiler
+// infrastructure" (§5.2): the 20 rows of Table 1 plus three
+// branch-insensitive FP codes that fail the significance test (§4.6 says
+// 20 of 23 reject the null hypothesis). SimSuite returns the
+// MASE-compiled set of the linearity study (§3.2), which draws from both
+// SPEC 2000 and 2006 and includes the Figure 5 benchmarks.
+//
+// Every spec is a qualitative analog: the name promises the *shape* of
+// the original's behaviour (branchy integer code, pointer chasing,
+// streaming FP, large code footprint), not its instruction stream. The
+// hot/warm/cold tier fractions are calibrated so the machine model's CPI
+// per benchmark lands near the paper's Table 1 y-intercepts;
+// EXPERIMENTS.md records the measured-vs-paper comparison.
+
+// Suite returns the 23-benchmark SPEC CPU 2006 analog suite.
+func Suite() []Spec {
+	return []Spec{
+		{
+			// Interpreter loop: moderate code, many hard branches.
+			Name: "400.perlbench", Seed: 2400,
+			Procs: 90, BlocksMin: 3, BlocksMax: 9,
+			IntMulFraction: 0.04, BytesPerInstr: 4.2,
+			WBiased: 0.55, WLoop: 0.2, WPattern: 0.1, WCorrelated: 0.15,
+			HardBiasFraction: 0.06, CorrNoise: 0.04,
+			CondDensity: 0.55, CallDensity: 0.3, IndirectSites: 6,
+			MemFraction: 0.22,
+			HotFraction: 0.985,
+			Globals:     2, GlobalBytes: 32 * 1024,
+			HeapObjects: 120, HeapObjBytes: 512,
+			WStream: 0.2, WRandom: 0.2, WChase: 0.5, WBlocked: 0.1,
+			PoolSkew: 0.9, ChurnSites: 4,
+		},
+		{
+			// Compression: tight loops, data-dependent branches.
+			Name: "401.bzip2", Seed: 2401,
+			Procs: 35, BlocksMin: 3, BlocksMax: 8,
+			IntMulFraction: 0.03, BytesPerInstr: 3.8,
+			WBiased: 0.5, WLoop: 0.35, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.13, CorrNoise: 0.06,
+			CondDensity: 0.6, CallDensity: 0.25,
+			MemFraction: 0.24,
+			HotFraction: 0.91,
+			Globals:     4, GlobalBytes: 64 * 1024,
+			WStream: 0.55, WRandom: 0.35, WChase: 0, WBlocked: 0.1,
+		},
+		{
+			// Compiler: very large code footprint, branchy, big data.
+			Name: "403.gcc", Seed: 2403,
+			Procs: 320, BlocksMin: 4, BlocksMax: 11,
+			IntMulFraction: 0.03, BytesPerInstr: 4.6,
+			WBiased: 0.55, WLoop: 0.2, WPattern: 0.1, WCorrelated: 0.15,
+			HardBiasFraction: 0.09, CorrNoise: 0.05,
+			CondDensity: 0.55, CallDensity: 0.35, IndirectSites: 8,
+			MemFraction: 0.26,
+			HotFraction: 0.972,
+			Globals:     4, GlobalBytes: 32 * 1024,
+			HeapObjects: 1200, HeapObjBytes: 1024,
+			WStream: 0.1, WRandom: 0.1, WChase: 0.7, WBlocked: 0.1,
+			PoolSkew: 0.5, ChurnSites: 8,
+		},
+		{
+			// Quantum chemistry (FORTRAN FP), small working set.
+			Name: "416.gamess", Seed: 2416,
+			Procs: 80, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.45, BytesPerInstr: 4.0,
+			WBiased: 0.35, WLoop: 0.5, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.05, CorrNoise: 0.03,
+			CondDensity: 0.45, CallDensity: 0.3,
+			MemFraction: 0.2,
+			HotFraction: 0.975,
+			Globals:     2, GlobalBytes: 16 * 1024,
+			WStream: 0.5, WRandom: 0.2, WChase: 0, WBlocked: 0.3,
+		},
+		{
+			// Pointer chasing over a working set far beyond the L2.
+			Name: "429.mcf", Seed: 2441,
+			Procs: 12, BlocksMin: 3, BlocksMax: 6,
+			IntMulFraction: 0.02, BytesPerInstr: 3.6,
+			WBiased: 0.45, WLoop: 0.45, WPattern: 0.05, WCorrelated: 0.05,
+			HardBiasFraction: 0.05, CorrNoise: 0.02,
+			CondDensity: 0.6, CallDensity: 0.25,
+			MemFraction: 0.3,
+			HotFraction: 0.892,
+			Globals:     1, GlobalBytes: 16 * 1024,
+			HeapObjects: 1400, HeapObjBytes: 4096,
+			WStream: 0.02, WRandom: 0.03, WChase: 0.9, WBlocked: 0.05,
+			PoolSkew: 0.25, ChurnSites: 2,
+		},
+		{
+			// CFD (FORTRAN FP): loop-dominated, streams over large grids.
+			Name: "434.zeusmp", Seed: 2434,
+			Procs: 40, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.5, BytesPerInstr: 4.1,
+			WBiased: 0.15, WLoop: 0.75, WPattern: 0.05, WCorrelated: 0.05,
+			HardBiasFraction: 0.015, CorrNoise: 0.02,
+			CondDensity: 0.4, CallDensity: 0.25,
+			MemFraction: 0.24,
+			HotFraction: 0.92,
+			Globals:     6, GlobalBytes: 192 * 1024,
+			WStream: 0.7, WRandom: 0.05, WChase: 0, WBlocked: 0.25,
+		},
+		{
+			// Molecular dynamics: small kernels, predictable.
+			Name: "435.gromacs", Seed: 2435,
+			Procs: 45, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.42, BytesPerInstr: 3.9,
+			WBiased: 0.3, WLoop: 0.55, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.04, CorrNoise: 0.03,
+			CondDensity: 0.45, CallDensity: 0.25,
+			MemFraction: 0.22,
+			HotFraction: 0.93,
+			Globals:     3, GlobalBytes: 64 * 1024,
+			WStream: 0.5, WRandom: 0.15, WChase: 0, WBlocked: 0.35,
+		},
+		{
+			// Molecular dynamics (C++), compute-bound.
+			Name: "444.namd", Seed: 9444,
+			Procs: 30, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.48, BytesPerInstr: 3.8,
+			WBiased: 0.3, WLoop: 0.55, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.035, CorrNoise: 0.03,
+			CondDensity: 0.4, CallDensity: 0.25,
+			MemFraction: 0.2,
+			HotFraction: 0.965,
+			Globals:     2, GlobalBytes: 32 * 1024,
+			WStream: 0.6, WRandom: 0.2, WChase: 0, WBlocked: 0.2,
+		},
+		{
+			// Go playing: extremely branchy, hard branches.
+			Name: "445.gobmk", Seed: 2445,
+			Procs: 140, BlocksMin: 3, BlocksMax: 9,
+			IntMulFraction: 0.02, BytesPerInstr: 4.3,
+			WBiased: 0.6, WLoop: 0.15, WPattern: 0.1, WCorrelated: 0.15,
+			HardBiasFraction: 0.14, CorrNoise: 0.06,
+			CondDensity: 0.65, CallDensity: 0.3, IndirectSites: 3,
+			MemFraction: 0.2,
+			HotFraction: 0.975,
+			Globals:     2, GlobalBytes: 24 * 1024,
+			WStream: 0.3, WRandom: 0.4, WChase: 0, WBlocked: 0.3,
+		},
+		{
+			// LP solver: mixed FP/int, large matrices.
+			Name: "450.soplex", Seed: 8450,
+			Procs: 60, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.35, BytesPerInstr: 4.0,
+			WBiased: 0.4, WLoop: 0.4, WPattern: 0.05, WCorrelated: 0.15,
+			HardBiasFraction: 0.05, CorrNoise: 0.04,
+			CondDensity: 0.5, CallDensity: 0.25,
+			MemFraction: 0.28,
+			HotFraction: 0.92,
+			Globals:     3, GlobalBytes: 512 * 1024,
+			WStream: 0.55, WRandom: 0.35, WChase: 0, WBlocked: 0.1,
+		},
+		{
+			// Structural mechanics (FORTRAN FP): dense loop nests whose
+			// arrays conflict in the caches — the Figure 3 benchmark. Hot
+			// data lives on the heap so the randomizing allocator decides
+			// L1D conflicts; the cold globals overflow the L2 slightly so
+			// link order perturbs L2 conflicts.
+			Name: "454.calculix", Seed: 2454,
+			Procs: 50, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.4, BytesPerInstr: 4.0,
+			WBiased: 0.2, WLoop: 0.65, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.02, CorrNoise: 0.02,
+			CondDensity: 0.45, CallDensity: 0.25,
+			MemFraction: 0.26,
+			HotFraction: 0.965, HotOnHeap: true, HotPoolObjects: 15,
+			Globals: 1, GlobalBytes: 16 * 1024,
+			BigHeapObjects: 5, BigHeapBytes: 24 * 1024,
+			HeapObjects: 300, HeapObjBytes: 2048,
+			WStream: 0.45, WRandom: 0.25, WChase: 0.05, WBlocked: 0.25,
+			PoolSkew: 0.3, ChurnSites: 6,
+		},
+		{
+			// Sequence search: inner loop with data-dependent branches.
+			Name: "456.hmmer", Seed: 2456,
+			Procs: 25, BlocksMin: 3, BlocksMax: 7,
+			IntMulFraction: 0.05, BytesPerInstr: 3.7,
+			WBiased: 0.6, WLoop: 0.3, WPattern: 0.05, WCorrelated: 0.05,
+			HardBiasFraction: 0.16, CorrNoise: 0.04,
+			CondDensity: 0.6, CallDensity: 0.2,
+			MemFraction: 0.22,
+			HotFraction: 0.985,
+			Globals:     1, GlobalBytes: 24 * 1024,
+			WStream: 0.7, WRandom: 0.2, WChase: 0, WBlocked: 0.1,
+		},
+		{
+			// FDTD solver (FORTRAN FP): streaming, few branches.
+			Name: "459.GemsFDTD", Seed: 2459,
+			Procs: 35, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.52, BytesPerInstr: 4.1,
+			WBiased: 0.12, WLoop: 0.8, WPattern: 0.03, WCorrelated: 0.05,
+			HardBiasFraction: 0.012, CorrNoise: 0.02,
+			CondDensity: 0.4, CallDensity: 0.25,
+			MemFraction: 0.28,
+			HotFraction: 0.87,
+			Globals:     6, GlobalBytes: 512 * 1024,
+			WStream: 0.85, WRandom: 0.03, WChase: 0, WBlocked: 0.12,
+		},
+		{
+			// Quantum simulation: pure streaming over huge arrays.
+			Name: "462.libquantum", Seed: 6462,
+			Procs: 12, BlocksMin: 3, BlocksMax: 6,
+			IntMulFraction: 0.03, BytesPerInstr: 3.6,
+			WBiased: 0.45, WLoop: 0.45, WPattern: 0.05, WCorrelated: 0.05,
+			HardBiasFraction: 0.05, CorrNoise: 0.02,
+			CondDensity: 0.6, CallDensity: 0.2,
+			MemFraction: 0.25,
+			HotFraction: 0.72,
+			Globals:     2, GlobalBytes: 2 * 1024 * 1024,
+			WStream: 0.95, WRandom: 0.03, WChase: 0, WBlocked: 0.02,
+		},
+		{
+			// Video encoder: regular kernels + decision branches.
+			Name: "464.h264ref", Seed: 2464,
+			Procs: 70, BlocksMin: 3, BlocksMax: 9,
+			IntMulFraction: 0.08, BytesPerInstr: 4.0,
+			WBiased: 0.5, WLoop: 0.35, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.07, CorrNoise: 0.04,
+			CondDensity: 0.5, CallDensity: 0.3, IndirectSites: 2,
+			MemFraction: 0.24,
+			HotFraction: 0.98,
+			Globals:     2, GlobalBytes: 48 * 1024,
+			WStream: 0.6, WRandom: 0.25, WChase: 0, WBlocked: 0.15,
+		},
+		{
+			// Quantum crystallography (FORTRAN): mixed.
+			Name: "465.tonto", Seed: 2465,
+			Procs: 110, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.4, BytesPerInstr: 4.2,
+			WBiased: 0.35, WLoop: 0.5, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.045, CorrNoise: 0.03,
+			CondDensity: 0.45, CallDensity: 0.3,
+			MemFraction: 0.22,
+			HotFraction: 0.955,
+			Globals:     3, GlobalBytes: 48 * 1024,
+			WStream: 0.5, WRandom: 0.2, WChase: 0, WBlocked: 0.3,
+		},
+		{
+			// Discrete-event simulation (C++): pointer-heavy, virtual
+			// dispatch, poor locality — the second Figure 2 benchmark.
+			Name: "471.omnetpp", Seed: 2471,
+			Procs: 100, BlocksMin: 3, BlocksMax: 8,
+			IntMulFraction: 0.02, BytesPerInstr: 4.4,
+			WBiased: 0.5, WLoop: 0.2, WPattern: 0.1, WCorrelated: 0.2,
+			HardBiasFraction: 0.10, CorrNoise: 0.05,
+			CondDensity: 0.55, CallDensity: 0.35, IndirectSites: 10,
+			MemFraction: 0.26,
+			HotFraction: 0.955,
+			Globals:     1, GlobalBytes: 16 * 1024,
+			HeapObjects: 1100, HeapObjBytes: 2048,
+			WStream: 0.05, WRandom: 0.05, WChase: 0.85, WBlocked: 0.05,
+			PoolSkew: 0.4, ChurnSites: 10,
+		},
+		{
+			// Path finding: data-dependent branches over a big graph.
+			Name: "473.astar", Seed: 10473,
+			Procs: 60, BlocksMin: 3, BlocksMax: 7,
+			IntMulFraction: 0.02, BytesPerInstr: 3.7,
+			WBiased: 0.45, WLoop: 0.4, WPattern: 0.05, WCorrelated: 0.15,
+			HardBiasFraction: 0.07, CorrNoise: 0.06,
+			CondDensity: 0.6, CallDensity: 0.25,
+			MemFraction: 0.28,
+			HotFraction: 0.925,
+			Globals:     1, GlobalBytes: 32 * 1024,
+			HeapObjects: 1100, HeapObjBytes: 2048,
+			WStream: 0.02, WRandom: 0.08, WChase: 0.85, WBlocked: 0.05,
+			PoolSkew: 0.3, ChurnSites: 2,
+		},
+		{
+			// Speech recognition: FP scoring + search branches.
+			Name: "482.sphinx3", Seed: 2482,
+			Procs: 55, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.35, BytesPerInstr: 3.9,
+			WBiased: 0.45, WLoop: 0.4, WPattern: 0.05, WCorrelated: 0.1,
+			HardBiasFraction: 0.06, CorrNoise: 0.04,
+			CondDensity: 0.5, CallDensity: 0.25,
+			MemFraction: 0.24,
+			HotFraction: 0.94,
+			Globals:     3, GlobalBytes: 128 * 1024,
+			WStream: 0.6, WRandom: 0.25, WChase: 0, WBlocked: 0.15,
+		},
+		{
+			// XSLT processor: large code, virtual calls, pointer data.
+			Name: "483.xalancbmk", Seed: 2483,
+			Procs: 140, BlocksMin: 3, BlocksMax: 9,
+			IntMulFraction: 0.02, BytesPerInstr: 4.5,
+			WBiased: 0.35, WLoop: 0.35, WPattern: 0.1, WCorrelated: 0.2,
+			HardBiasFraction: 0.04, CorrNoise: 0.05,
+			CondDensity: 0.55, CallDensity: 0.35, IndirectSites: 12,
+			MemFraction: 0.25,
+			HotFraction: 0.93,
+			Globals:     2, GlobalBytes: 24 * 1024,
+			HeapObjects: 900, HeapObjBytes: 1024,
+			WStream: 0.05, WRandom: 0.1, WChase: 0.8, WBlocked: 0.05,
+			PoolSkew: 0.45, ChurnSites: 8,
+		},
+		// --- The three branch-insensitive codes that fail the
+		// significance screen (§4.6: 20 of 23 reject the null) ---
+		{
+			Name: "410.bwaves", Seed: 2410,
+			Procs: 20, BlocksMin: 3, BlocksMax: 7,
+			FPFraction: 0.55, BytesPerInstr: 4.0,
+			WBiased: 0.02, WLoop: 0.96, WPattern: 0.01, WCorrelated: 0.01,
+			HardBiasFraction: 0, CorrNoise: 0.01,
+			FwdTripMin: 300, FwdTripMax: 3000, BackTripMin: 80, BackTripMax: 400,
+			CondDensity: 0.35, CallDensity: 0.2,
+			MemFraction: 0.26,
+			HotFraction: 0.91,
+			Globals:     4, GlobalBytes: 256 * 1024,
+			WStream: 0.85, WRandom: 0.03, WChase: 0, WBlocked: 0.12,
+		},
+		{
+			Name: "433.milc", Seed: 2433,
+			Procs: 25, BlocksMin: 3, BlocksMax: 7,
+			FPFraction: 0.55, BytesPerInstr: 3.9,
+			WBiased: 0.02, WLoop: 0.96, WPattern: 0.01, WCorrelated: 0.01,
+			HardBiasFraction: 0, CorrNoise: 0.01,
+			FwdTripMin: 300, FwdTripMax: 3000, BackTripMin: 80, BackTripMax: 400,
+			CondDensity: 0.35, CallDensity: 0.2,
+			MemFraction: 0.28,
+			HotFraction: 0.965,
+			Globals:     4, GlobalBytes: 320 * 1024,
+			WStream: 0.9, WRandom: 0.02, WChase: 0, WBlocked: 0.08,
+		},
+		{
+			Name: "470.lbm", Seed: 2470,
+			Procs: 10, BlocksMin: 3, BlocksMax: 6,
+			FPFraction: 0.6, BytesPerInstr: 3.8,
+			WBiased: 0.02, WLoop: 0.97, WPattern: 0.005, WCorrelated: 0.005,
+			HardBiasFraction: 0, CorrNoise: 0.01,
+			FwdTripMin: 300, FwdTripMax: 3000, BackTripMin: 80, BackTripMax: 400,
+			CondDensity: 0.3, CallDensity: 0.2,
+			MemFraction: 0.3,
+			HotFraction: 0.89,
+			Globals:     3, GlobalBytes: 512 * 1024,
+			WStream: 0.93, WRandom: 0.02, WChase: 0, WBlocked: 0.05,
+		},
+	}
+}
+
+// SimSuite returns the benchmark set of the simulation-based linearity
+// study (§3.2), which compiled SPEC 2000 and 2006 benchmarks under MASE.
+// It includes the six benchmarks of Figure 5: 473.astar, 401.bzip2 and
+// 458.sjeng (highly linear) and 456.hmmer, 252.eon and 178.galgel (the
+// worst cases). The eon and galgel analogs are given heterogeneous branch
+// populations — branches in memory-heavy blocks whose flush cost
+// partially hides under misses — so their MPKI-CPI relation bends, as the
+// paper observed.
+func SimSuite() []Spec {
+	suite := Suite()
+	byName := map[string]Spec{}
+	for _, s := range suite {
+		byName[s.Name] = s
+	}
+	picks := []string{
+		"400.perlbench", "401.bzip2", "403.gcc", "429.mcf", "445.gobmk",
+		"456.hmmer", "462.libquantum", "464.h264ref", "471.omnetpp", "473.astar",
+	}
+	out := make([]Spec, 0, len(picks)+3)
+	for _, n := range picks {
+		out = append(out, byName[n])
+	}
+	out = append(out,
+		Spec{
+			// Chess: deep search, extremely branchy but well-predicted
+			// patterns — a highly linear Figure 5(a) benchmark.
+			Name: "458.sjeng", Seed: 2458,
+			Procs: 60, BlocksMin: 3, BlocksMax: 8,
+			IntMulFraction: 0.02, BytesPerInstr: 3.9,
+			WBiased: 0.55, WLoop: 0.2, WPattern: 0.1, WCorrelated: 0.15,
+			HardBiasFraction: 0.12, CorrNoise: 0.05,
+			CondDensity: 0.65, CallDensity: 0.3,
+			MemFraction: 0.18,
+			HotFraction: 0.97,
+			Globals:     2, GlobalBytes: 32 * 1024,
+			WStream: 0.3, WRandom: 0.5, WChase: 0, WBlocked: 0.2,
+		},
+		Spec{
+			// Ray tracer (SPEC 2000, C++): branches concentrated in
+			// memory-heavy shading blocks -> heterogeneous flush costs.
+			Name: "252.eon", Seed: 2252,
+			Procs: 45, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.3, BytesPerInstr: 4.1,
+			WBiased: 0.5, WLoop: 0.25, WPattern: 0.05, WCorrelated: 0.2,
+			HardBiasFraction: 0.10, CorrNoise: 0.05,
+			CondDensity: 0.55, CallDensity: 0.3, IndirectSites: 4,
+			MemFraction: 0.34,
+			HotFraction: 0.94,
+			Globals:     2, GlobalBytes: 64 * 1024,
+			HeapObjects: 400, HeapObjBytes: 1024,
+			WStream: 0.3, WRandom: 0.3, WChase: 0.3, WBlocked: 0.1,
+			PoolSkew: 0.4, ChurnSites: 2,
+		},
+		Spec{
+			// Galerkin FEM (SPEC 2000 FORTRAN): FP loop nests with the
+			// same heterogeneity; the other Figure 5(b) outlier.
+			Name: "178.galgel", Seed: 2178,
+			Procs: 35, BlocksMin: 3, BlocksMax: 8,
+			FPFraction: 0.5, BytesPerInstr: 4.0,
+			WBiased: 0.35, WLoop: 0.45, WPattern: 0.05, WCorrelated: 0.15,
+			HardBiasFraction: 0.06, CorrNoise: 0.05,
+			CondDensity: 0.5, CallDensity: 0.25,
+			MemFraction: 0.36,
+			HotFraction: 0.93,
+			Globals:     3, GlobalBytes: 192 * 1024,
+			WStream: 0.5, WRandom: 0.2, WChase: 0, WBlocked: 0.3,
+		},
+	)
+	return out
+}
+
+// ByName finds a spec in the union of both suites.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range SimSuite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Table1Names lists the 20 benchmarks of the paper's Table 1 (the
+// significant ones), in the paper's order.
+var Table1Names = []string{
+	"400.perlbench", "401.bzip2", "403.gcc", "416.gamess", "429.mcf",
+	"434.zeusmp", "435.gromacs", "444.namd", "445.gobmk", "450.soplex",
+	"454.calculix", "456.hmmer", "459.GemsFDTD", "462.libquantum",
+	"464.h264ref", "465.tonto", "471.omnetpp", "473.astar", "482.sphinx3",
+	"483.xalancbmk",
+}

@@ -1,0 +1,28 @@
+package results_test
+
+import (
+	"strings"
+	"testing"
+
+	"interferometry/internal/results"
+)
+
+// FuzzReadDatasetCSV ensures arbitrary byte soup never panics the parser:
+// it either parses or returns an error.
+func FuzzReadDatasetCSV(f *testing.F) {
+	f.Add("benchmark,layout_seed,heap_seed,cycles,instructions,cpi\nx,1,2,3,4,5.0\n")
+	f.Add("")
+	f.Add("a,b,c\n1,2\n")
+	f.Add("benchmark,layout_seed,heap_seed,cycles,instructions,cpi,MPKI_pki\nx,1,2,3,4,5.0,nan\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rows, err := results.ReadDatasetCSV(strings.NewReader(input))
+		if err == nil {
+			// Parsed rows must carry the declared widths.
+			for _, r := range rows {
+				if r.PKI == nil {
+					t.Fatal("parsed row with nil PKI map")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+// Package results persists campaign measurements and experiment outputs
+// in analysis-friendly formats: per-observation CSV (for plotting the
+// paper's scatter figures in any tool) and JSON for structured results.
+// Command report uses it to write a complete reproduction report.
+package results
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"interferometry/internal/core"
+	"interferometry/internal/pmc"
+)
+
+// csvEvents is the column order of exported per-event rates.
+var csvEvents = []pmc.Event{
+	pmc.EvBranchMispredicts,
+	pmc.EvL1IMisses,
+	pmc.EvL1DMisses,
+	pmc.EvL2Misses,
+}
+
+// WriteDatasetCSV writes one row per observation: the layout and heap
+// seeds, raw cycle/instruction counts, CPI, and each event's
+// per-kilo-instruction rate. The format round-trips through
+// ReadDatasetCSV.
+func WriteDatasetCSV(w io.Writer, ds *core.Dataset) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "layout_seed", "heap_seed", "cycles", "instructions", "cpi"}
+	for _, ev := range csvEvents {
+		header = append(header, ev.String()+"_pki")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, o := range ds.Obs {
+		row := []string{
+			ds.Benchmark,
+			strconv.FormatUint(o.LayoutSeed, 10),
+			strconv.FormatUint(o.HeapSeed, 10),
+			strconv.FormatUint(o.Cycles, 10),
+			strconv.FormatUint(o.Instructions, 10),
+			strconv.FormatFloat(o.CPI(), 'g', 10, 64),
+		}
+		for _, ev := range csvEvents {
+			row = append(row, strconv.FormatFloat(o.PKI(ev), 'g', 10, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Row is one parsed observation row of a dataset CSV.
+type Row struct {
+	Benchmark    string
+	LayoutSeed   uint64
+	HeapSeed     uint64
+	Cycles       uint64
+	Instructions uint64
+	CPI          float64
+	PKI          map[string]float64
+}
+
+// ReadDatasetCSV parses a CSV written by WriteDatasetCSV.
+func ReadDatasetCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("results: empty CSV")
+	}
+	header := records[0]
+	if len(header) < 6 {
+		return nil, fmt.Errorf("results: malformed header %v", header)
+	}
+	var rows []Row
+	for _, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("results: row width %d, header width %d", len(rec), len(header))
+		}
+		row := Row{Benchmark: rec[0], PKI: map[string]float64{}}
+		var errs [5]error
+		row.LayoutSeed, errs[0] = strconv.ParseUint(rec[1], 10, 64)
+		row.HeapSeed, errs[1] = strconv.ParseUint(rec[2], 10, 64)
+		row.Cycles, errs[2] = strconv.ParseUint(rec[3], 10, 64)
+		row.Instructions, errs[3] = strconv.ParseUint(rec[4], 10, 64)
+		row.CPI, errs[4] = strconv.ParseFloat(rec[5], 64)
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("results: bad row %v: %w", rec, e)
+			}
+		}
+		for i := 6; i < len(header); i++ {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("results: bad value %q in column %s: %w", rec[i], header[i], err)
+			}
+			row.PKI[header[i]] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ModelSummary is the JSON-stable form of a fitted model.
+type ModelSummary struct {
+	Benchmark  string  `json:"benchmark"`
+	Event      string  `json:"event"`
+	Slope      float64 `json:"slope"`
+	Intercept  float64 `json:"intercept"`
+	R          float64 `json:"r"`
+	R2         float64 `json:"r2"`
+	PValue     float64 `json:"p_value"`
+	N          int     `json:"n"`
+	PerfectLow float64 `json:"perfect_low"`
+	PerfectHi  float64 `json:"perfect_high"`
+}
+
+// SummarizeModel extracts the JSON-stable fields of a model.
+func SummarizeModel(m *core.Model) ModelSummary {
+	pi := m.PerfectPrediction()
+	return ModelSummary{
+		Benchmark:  m.Benchmark,
+		Event:      m.Event.String(),
+		Slope:      m.Fit.Slope,
+		Intercept:  m.Fit.Intercept,
+		R:          m.Fit.R,
+		R2:         m.Fit.R2,
+		PValue:     m.Fit.PValue,
+		N:          m.Fit.N,
+		PerfectLow: pi.Low,
+		PerfectHi:  pi.High,
+	}
+}
+
+// WriteJSON writes v as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,105 @@
+package results_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"interferometry/internal/core"
+	"interferometry/internal/pmc"
+	"interferometry/internal/results"
+	"interferometry/internal/testprog"
+)
+
+func dataset(t *testing.T) *core.Dataset {
+	t.Helper()
+	ds, err := core.RunCampaign(core.CampaignConfig{
+		Program:   testprog.ManyBranches(100, 200),
+		InputSeed: 1,
+		Budget:    60000,
+		Layouts:   8,
+		BaseSeed:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := dataset(t)
+	var buf bytes.Buffer
+	if err := results.WriteDatasetCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := results.ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ds.Obs) {
+		t.Fatalf("%d rows, want %d", len(rows), len(ds.Obs))
+	}
+	for i, row := range rows {
+		o := ds.Obs[i]
+		if row.Benchmark != ds.Benchmark {
+			t.Errorf("row %d benchmark %q", i, row.Benchmark)
+		}
+		if row.LayoutSeed != o.LayoutSeed || row.HeapSeed != o.HeapSeed {
+			t.Errorf("row %d seeds differ", i)
+		}
+		if row.Cycles != o.Cycles || row.Instructions != o.Instructions {
+			t.Errorf("row %d counts differ", i)
+		}
+		if math.Abs(row.CPI-o.CPI()) > 1e-9 {
+			t.Errorf("row %d CPI %v vs %v", i, row.CPI, o.CPI())
+		}
+		if math.Abs(row.PKI["BR_MISP_RETIRED_pki"]-o.PKI(pmc.EvBranchMispredicts)) > 1e-6 {
+			t.Errorf("row %d MPKI mismatch", i)
+		}
+	}
+}
+
+func TestReadDatasetCSVErrors(t *testing.T) {
+	if _, err := results.ReadDatasetCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	bad := "benchmark,layout_seed,heap_seed,cycles,instructions,cpi\nx,notanumber,0,1,1,1.0\n"
+	if _, err := results.ReadDatasetCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad seed accepted")
+	}
+	short := "a,b\n1,2\n"
+	if _, err := results.ReadDatasetCSV(strings.NewReader(short)); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestSummarizeModel(t *testing.T) {
+	ds := dataset(t)
+	m, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := results.SummarizeModel(m)
+	if s.Benchmark != ds.Benchmark || s.Event != "BR_MISP_RETIRED" {
+		t.Errorf("summary identity wrong: %+v", s)
+	}
+	if s.Slope != m.Fit.Slope || s.N != len(ds.Obs) {
+		t.Errorf("summary fields wrong: %+v", s)
+	}
+	if s.PerfectLow >= s.PerfectHi {
+		t.Error("degenerate perfect interval")
+	}
+	var buf bytes.Buffer
+	if err := results.WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var back results.ModelSummary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("JSON round trip changed summary")
+	}
+}

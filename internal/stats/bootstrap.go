@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"sort"
+
+	"interferometry/internal/xrand"
+)
+
+// Bootstrap resampling provides a nonparametric cross-check of the
+// parametric intervals the paper relies on: if the paired bootstrap's
+// percentile interval for the regression line at x agrees with the
+// Student-t confidence interval, the normality assumption (§5.8 item 4)
+// was not doing dangerous work.
+
+// BootstrapLineCI returns the percentile bootstrap confidence interval
+// for the fitted mean response at x, from B paired resamples of (xs, ys).
+// seed makes the interval reproducible. At least three observations and
+// B >= 100 are required.
+func BootstrapLineCI(xs, ys []float64, x float64, b int, seed uint64, level float64) (Interval, error) {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return Interval{}, ErrInsufficientData
+	}
+	if b < 100 {
+		b = 100
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	n := len(xs)
+	rng := xrand.New(xrand.Mix(seed, 0x626f6f74))
+	rx := make([]float64, n)
+	ry := make([]float64, n)
+	preds := make([]float64, 0, b)
+	for rep := 0; rep < b; rep++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			rx[i] = xs[j]
+			ry[i] = ys[j]
+		}
+		fit, err := FitLinear(rx, ry)
+		if err != nil {
+			// A degenerate resample (constant predictor); skip it.
+			continue
+		}
+		preds = append(preds, fit.Predict(x))
+	}
+	if len(preds) < b/2 {
+		return Interval{}, ErrInsufficientData
+	}
+	sort.Float64s(preds)
+	alpha := (1 - level) / 2
+	lo := preds[int(alpha*float64(len(preds)))]
+	hi := preds[min(int((1-alpha)*float64(len(preds))), len(preds)-1)]
+	center := Mean(preds)
+	return Interval{Center: center, Low: lo, High: hi}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"interferometry/internal/xrand"
+)
+
+func TestBootstrapAgreesWithParametric(t *testing.T) {
+	// On well-behaved normal data the percentile bootstrap CI for the
+	// line at x should approximately match the Student-t CI.
+	r := xrand.New(71)
+	const n = 120
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64() * 10
+		ys[i] = 0.03*xs[i] + 0.5 + 0.02*r.NormFloat64()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const x0 = 2.0
+	param := fit.ConfidenceInterval(x0, 0.95)
+	boot, err := BootstrapLineCI(xs, ys, x0, 2000, 7, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(boot.Center-param.Center) > 0.002 {
+		t.Errorf("bootstrap center %v vs parametric %v", boot.Center, param.Center)
+	}
+	ratio := boot.Half() / param.Half()
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("bootstrap half-width %v vs parametric %v (ratio %v)",
+			boot.Half(), param.Half(), ratio)
+	}
+}
+
+func TestBootstrapReproducible(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{1.1, 2.2, 2.9, 4.1, 5.2, 5.8, 7.1, 8.2}
+	a, err := BootstrapLineCI(xs, ys, 4, 500, 42, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapLineCI(xs, ys, 4, 500, 42, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed gave different bootstrap intervals")
+	}
+	c, err := BootstrapLineCI(xs, ys, 4, 500, 43, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds gave identical intervals")
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	if _, err := BootstrapLineCI([]float64{1, 2}, []float64{1}, 0, 100, 1, 0.95); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BootstrapLineCI([]float64{1, 2}, []float64{1, 2}, 0, 100, 1, 0.95); err == nil {
+		t.Error("n<3 accepted")
+	}
+	// A constant predictor makes every resample degenerate.
+	if _, err := BootstrapLineCI([]float64{2, 2, 2, 2}, []float64{1, 2, 3, 4}, 0, 100, 1, 0.95); err == nil {
+		t.Error("constant predictor accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package stats implements the statistical machinery the paper relies on
+// (§5.8): descriptive statistics, Pearson correlation, least-squares simple
+// and multiple linear regression with Student t and F hypothesis tests, 95%
+// confidence and prediction intervals, and Gaussian kernel density
+// estimation for violin plots. Everything is implemented from first
+// principles on the standard library so the module carries no dependencies.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a computation needs more
+// observations than were supplied.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance.
+// It returns 0 when fewer than two observations are supplied.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element. It panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element. It panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the sample median (average of middle two for even n).
+// It panics on empty input.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics (type-7, the R default).
+// It panics on empty input or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile fraction out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MedianIndex returns the index into xs of the element whose value is the
+// lower median. The paper keeps "the measurements given by the run with the
+// median number of cycles" (§5.5); this helper identifies which run that
+// was so all of its counters can be kept together.
+func MedianIndex(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: MedianIndex of empty slice")
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx[(len(xs)-1)/2]
+}
+
+// Correlation returns Pearson's r between xs and ys (§5.8 item 1).
+// It returns an error when the lengths differ, fewer than two pairs are
+// given, or either variable has zero variance.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: Correlation length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: Correlation undefined for constant variable")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Summary bundles the descriptive statistics reported alongside violin
+// plots and campaign datasets.
+type Summary struct {
+	N              int
+	Mean, StdDev   float64
+	Min, Max       float64
+	Median         float64
+	Q1, Q3         float64 // first and third quartiles
+	PctSpreadRange float64 // (Max-Min)/Mean * 100, the paper's "% variation"
+}
+
+// Summarize computes a Summary of xs. It returns an error on empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrInsufficientData
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Median(xs),
+		Q1:     Quantile(xs, 0.25),
+		Q3:     Quantile(xs, 0.75),
+	}
+	if s.Mean != 0 {
+		s.PctSpreadRange = (s.Max - s.Min) / s.Mean * 100
+	}
+	return s, nil
+}
+
+// PercentDeviations maps xs to percent difference from their mean, the
+// quantity plotted in the paper's Figure 1 violins.
+func PercentDeviations(xs []float64) []float64 {
+	m := Mean(xs)
+	out := make([]float64, len(xs))
+	if m == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / m * 100
+	}
+	return out
+}

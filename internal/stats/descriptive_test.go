@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"interferometry/internal/xrand"
+)
+
+func approx(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestMean(t *testing.T) {
+	approx(t, Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12, "Mean")
+	approx(t, Mean(nil), 0, 0, "Mean(nil)")
+	approx(t, Mean([]float64{-5}), -5, 0, "Mean single")
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 = 32/7.
+	approx(t, Variance(xs), 32.0/7, 1e-12, "Variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "StdDev")
+	approx(t, Variance([]float64{3}), 0, 0, "Variance single")
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	approx(t, Min(xs), -1, 0, "Min")
+	approx(t, Max(xs), 5, 0, "Max")
+}
+
+func TestMinPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(empty) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMedian(t *testing.T) {
+	approx(t, Median([]float64{1, 3, 2}), 2, 1e-12, "Median odd")
+	approx(t, Median([]float64{1, 2, 3, 4}), 2.5, 1e-12, "Median even")
+	approx(t, Median([]float64{9}), 9, 0, "Median single")
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, Quantile(xs, 0), 1, 0, "q0")
+	approx(t, Quantile(xs, 1), 5, 0, "q1")
+	approx(t, Quantile(xs, 0.25), 2, 1e-12, "q25")
+	approx(t, Quantile(xs, 0.1), 1.4, 1e-12, "q10 interpolated")
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestMedianIndex(t *testing.T) {
+	xs := []float64{10, 30, 20, 50, 40}
+	if got := MedianIndex(xs); got != 2 { // value 30 at index 1? sorted: 10,20,30,40,50; median 30 at index 1
+		// Sorted order of indices: 0(10), 2(20), 1(30), 4(40), 3(50); median index (5-1)/2=2 -> idx[2]=1.
+		if got != 1 {
+			t.Fatalf("MedianIndex = %d", got)
+		}
+	}
+	if xs[MedianIndex(xs)] != 30 {
+		t.Fatalf("MedianIndex picks value %v, want 30", xs[MedianIndex(xs)])
+	}
+	// Even length: lower median.
+	ys := []float64{4, 1, 3, 2}
+	if ys[MedianIndex(ys)] != 2 {
+		t.Fatalf("even-length MedianIndex picks %v, want 2", ys[MedianIndex(ys)])
+	}
+}
+
+func TestCorrelationPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r, 1, 1e-12, "perfect positive r")
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Correlation(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r, -1, 1e-12, "perfect negative r")
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if _, err := Correlation([]float64{1}, []float64{1}); err == nil {
+		t.Error("insufficient data not detected")
+	}
+	if _, err := Correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant variable not detected")
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	rng := xrand.New(2024)
+	check := func(seed uint16) bool {
+		r := rng.Derive(uint64(seed))
+		n := 5 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		c, err := Correlation(xs, ys)
+		if err != nil {
+			return true // degenerate draw, acceptable
+		}
+		return c >= -1-1e-12 && c <= 1+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	approx(t, s.Mean, 3, 1e-12, "Mean")
+	approx(t, s.Median, 3, 1e-12, "Median")
+	approx(t, s.Min, 1, 0, "Min")
+	approx(t, s.Max, 5, 0, "Max")
+	approx(t, s.PctSpreadRange, (5.0-1.0)/3*100, 1e-9, "PctSpreadRange")
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) should error")
+	}
+}
+
+func TestPercentDeviations(t *testing.T) {
+	d := PercentDeviations([]float64{90, 100, 110})
+	approx(t, d[0], -10, 1e-12, "dev low")
+	approx(t, d[1], 0, 1e-12, "dev mid")
+	approx(t, d[2], 10, 1e-12, "dev high")
+	approx(t, Mean(d), 0, 1e-9, "dev mean")
+}
+
+func TestPercentDeviationsZeroMean(t *testing.T) {
+	d := PercentDeviations([]float64{-1, 1})
+	if d[0] != 0 || d[1] != 0 {
+		t.Fatalf("zero-mean deviations should be zeros, got %v", d)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogGamma(t *testing.T) {
+	// Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+	approx(t, LogGamma(1), 0, 1e-10, "lnΓ(1)")
+	approx(t, LogGamma(2), 0, 1e-10, "lnΓ(2)")
+	approx(t, LogGamma(5), math.Log(24), 1e-9, "lnΓ(5)")
+	approx(t, LogGamma(0.5), math.Log(math.Sqrt(math.Pi)), 1e-9, "lnΓ(0.5)")
+	if !math.IsNaN(LogGamma(-1)) {
+		t.Error("LogGamma of negative should be NaN")
+	}
+}
+
+func TestRegIncBetaKnown(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		approx(t, RegIncBeta(1, 1, x), x, 1e-10, "I_x(1,1)")
+	}
+	// I_x(2,1) = x².
+	approx(t, RegIncBeta(2, 1, 0.5), 0.25, 1e-10, "I_0.5(2,1)")
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	got := RegIncBeta(3.2, 1.7, 0.3)
+	want := 1 - RegIncBeta(1.7, 3.2, 0.7)
+	approx(t, got, want, 1e-10, "symmetry")
+}
+
+func TestRegIncBetaMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		v := RegIncBeta(2.5, 3.5, math.Min(x, 1))
+		if v < prev-1e-12 {
+			t.Fatalf("RegIncBeta not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	n := StdNormal
+	approx(t, n.CDF(0), 0.5, 1e-12, "Φ(0)")
+	approx(t, n.CDF(1.959963985), 0.975, 1e-6, "Φ(1.96)")
+	approx(t, n.CDF(-1.959963985), 0.025, 1e-6, "Φ(-1.96)")
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		approx(t, n.CDF(n.Quantile(p)), p, 1e-9, "normal quantile roundtrip")
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0.5}
+	sum := 0.0
+	const step = 0.001
+	for x := -5.0; x <= 7; x += step {
+		sum += n.PDF(x) * step
+	}
+	approx(t, sum, 1, 1e-3, "normal pdf integral")
+}
+
+func TestStudentTCDF(t *testing.T) {
+	// Known critical values: t_{0.975, 10} = 2.2281, t_{0.975, 5} = 2.5706.
+	approx(t, StudentT{Nu: 10}.CDF(2.228139), 0.975, 1e-5, "t10 CDF")
+	approx(t, StudentT{Nu: 5}.CDF(2.570582), 0.975, 1e-5, "t5 CDF")
+	approx(t, StudentT{Nu: 7}.CDF(0), 0.5, 1e-12, "t CDF at 0")
+	// Symmetry.
+	tt := StudentT{Nu: 4}
+	approx(t, tt.CDF(-1.3)+tt.CDF(1.3), 1, 1e-10, "t symmetry")
+}
+
+func TestStudentTQuantile(t *testing.T) {
+	approx(t, StudentT{Nu: 10}.Quantile(0.975), 2.228139, 1e-4, "t10 q975")
+	approx(t, StudentT{Nu: 98}.Quantile(0.975), 1.984467, 1e-4, "t98 q975")
+	approx(t, StudentT{Nu: 3}.Quantile(0.5), 0, 1e-12, "t q50")
+	// Large nu approaches normal.
+	approx(t, StudentT{Nu: 1e6}.Quantile(0.975), 1.959964, 1e-3, "t large nu")
+}
+
+func TestStudentTTwoSidedP(t *testing.T) {
+	p := StudentT{Nu: 10}.TwoSidedP(2.228139)
+	approx(t, p, 0.05, 1e-4, "two-sided p")
+	if p2 := (StudentT{Nu: 10}).TwoSidedP(-2.228139); math.Abs(p-p2) > 1e-12 {
+		t.Error("TwoSidedP should be symmetric in sign")
+	}
+}
+
+func TestStudentTPDFIntegral(t *testing.T) {
+	tt := StudentT{Nu: 6}
+	sum := 0.0
+	const step = 0.002
+	for x := -30.0; x <= 30; x += step {
+		sum += tt.PDF(x) * step
+	}
+	approx(t, sum, 1, 2e-3, "t pdf integral")
+}
+
+func TestFDistCDF(t *testing.T) {
+	// F_{0.95}(3, 20) = 3.0984.
+	approx(t, FDist{D1: 3, D2: 20}.CDF(3.098391), 0.95, 1e-5, "F(3,20)")
+	// F_{0.95}(1, 10) = t_{0.975,10}² = 4.9646.
+	approx(t, FDist{D1: 1, D2: 10}.CDF(4.964603), 0.95, 1e-5, "F(1,10)")
+	if (FDist{D1: 2, D2: 2}).CDF(-1) != 0 {
+		t.Error("F CDF of negative should be 0")
+	}
+}
+
+func TestFDistQuantileRoundTrip(t *testing.T) {
+	f := FDist{D1: 3, D2: 96}
+	for _, p := range []float64{0.05, 0.5, 0.95, 0.99} {
+		approx(t, f.CDF(f.Quantile(p)), p, 1e-8, "F quantile roundtrip")
+	}
+}
+
+func TestFDistVsStudentT(t *testing.T) {
+	// If T ~ t(nu) then T² ~ F(1, nu): P(F <= x²) = P(|T| <= x).
+	tt := StudentT{Nu: 12}
+	f := FDist{D1: 1, D2: 12}
+	for _, x := range []float64{0.5, 1, 2, 3} {
+		want := tt.CDF(x) - tt.CDF(-x)
+		approx(t, f.CDF(x*x), want, 1e-9, "F vs t relation")
+	}
+}

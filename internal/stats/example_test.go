@@ -1,0 +1,58 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"interferometry/internal/stats"
+)
+
+// The paper's perlbench model (§4.5): fit a line through three exact
+// points of CPI = 0.028*MPKI + 0.517 and read back the coefficients.
+func ExampleFitLinear() {
+	mpki := []float64{2, 5, 8}
+	cpi := []float64{0.573, 0.657, 0.741}
+	fit, err := stats.FitLinear(mpki, cpi)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CPI = %.3f*MPKI + %.3f (r=%.2f)\n", fit.Slope, fit.Intercept, fit.R)
+	// Output: CPI = 0.028*MPKI + 0.517 (r=1.00)
+}
+
+// Prediction intervals are wider than confidence intervals at every
+// position (§5.8 item 5).
+func ExampleLinearFit_PredictionInterval() {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{1.1, 1.9, 3.2, 3.8, 5.1, 5.9}
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	ci := fit.ConfidenceInterval(3.5, 0.95)
+	pi := fit.PredictionInterval(3.5, 0.95)
+	fmt.Printf("fit at 3.5: %.2f; CI half-width %.2f < PI half-width %.2f: %v\n",
+		ci.Center, ci.Half(), pi.Half(), ci.Half() < pi.Half())
+	// Output: fit at 3.5: 3.50; CI half-width 0.19 < PI half-width 0.50: true
+}
+
+// Student's t critical value for 98 residual degrees of freedom, the
+// quantity behind every 95% interval of a 100-layout campaign.
+func ExampleStudentT_Quantile() {
+	tcrit := stats.StudentT{Nu: 98}.Quantile(0.975)
+	fmt.Printf("t(0.975, 98) = %.3f\n", tcrit)
+	// Output: t(0.975, 98) = 1.984
+}
+
+// Pearson's r for astar as quoted in §5.8: "MPKI and CPI of 473.astar
+// have a sample correlation coefficient of 0.80", with r² giving the share of
+// CPI variability attributable to branch mispredictions.
+func ExampleCorrelation() {
+	mpki := []float64{5.0, 5.2, 5.1, 5.4, 5.3, 5.6, 5.5, 5.8}
+	cpi := []float64{2.30, 2.35, 2.36, 2.38, 2.36, 2.42, 2.38, 2.44}
+	r, err := stats.Correlation(mpki, cpi)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r = %.2f, r^2 = %.2f\n", r, r*r)
+	// Output: r = 0.95, r^2 = 0.89
+}

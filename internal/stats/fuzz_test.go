@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRegIncBeta checks the regularized incomplete beta function's
+// invariants over arbitrary inputs: range [0,1], monotonicity in x, and
+// the reflection identity I_x(a,b) = 1 - I_{1-x}(b,a).
+func FuzzRegIncBeta(f *testing.F) {
+	f.Add(1.0, 1.0, 0.5)
+	f.Add(2.5, 3.5, 0.25)
+	f.Add(0.5, 0.5, 0.9)
+	f.Add(50.0, 2.0, 0.99)
+	f.Fuzz(func(t *testing.T, a, b, x float64) {
+		// Constrain to the function's domain.
+		if !(a > 0.01 && a < 1e4) || !(b > 0.01 && b < 1e4) {
+			t.Skip()
+		}
+		if !(x >= 0 && x <= 1) {
+			t.Skip()
+		}
+		v := RegIncBeta(a, b, x)
+		if math.IsNaN(v) || v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("RegIncBeta(%v,%v,%v) = %v out of [0,1]", a, b, x, v)
+		}
+		// Reflection identity.
+		refl := 1 - RegIncBeta(b, a, 1-x)
+		if math.Abs(v-refl) > 1e-7 {
+			t.Fatalf("reflection identity violated: %v vs %v (a=%v b=%v x=%v)", v, refl, a, b, x)
+		}
+		// Monotonicity against a slightly larger x.
+		x2 := x + 1e-3
+		if x2 <= 1 {
+			if v2 := RegIncBeta(a, b, x2); v2 < v-1e-9 {
+				t.Fatalf("not monotone: I(%v)=%v > I(%v)=%v", x, v, x2, v2)
+			}
+		}
+	})
+}
+
+// FuzzFitLinear checks that the regression never panics and satisfies
+// basic identities (residual orthogonality: the fitted line passes
+// through the mean point) for arbitrary small datasets.
+func FuzzFitLinear(f *testing.F) {
+	f.Add(int64(1), uint8(8))
+	f.Add(int64(99), uint8(30))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := int(nRaw%60) + 3
+		// Derive a deterministic dataset from the seed.
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		for i := range xs {
+			xs[i] = next() * 100
+			ys[i] = next()*10 - 5
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			return // constant predictor draws are fine
+		}
+		// The least-squares line passes through (x̄, ȳ).
+		if math.Abs(fit.Predict(Mean(xs))-Mean(ys)) > 1e-6 {
+			t.Fatalf("line misses the mean point")
+		}
+		if fit.R2 < -1e-9 || fit.R2 > 1+1e-9 {
+			t.Fatalf("r² = %v out of range", fit.R2)
+		}
+		if fit.PValue < 0 || fit.PValue > 1 {
+			t.Fatalf("p = %v out of range", fit.PValue)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Gaussian kernel density estimation, used to render the paper's Figure 1
+// violin plots: "the thickness at each CPI value is proportional to the
+// number of CPIs observed in that neighborhood" (§1.1).
+
+// KDE is a Gaussian kernel density estimate over a sample.
+type KDE struct {
+	sample    []float64
+	Bandwidth float64
+}
+
+// NewKDE builds a KDE with Silverman's rule-of-thumb bandwidth
+// h = 0.9 * min(σ, IQR/1.34) * n^(-1/5). At least two observations are
+// required. If the sample is constant a tiny bandwidth is substituted so
+// the density remains well defined.
+func NewKDE(sample []float64) (*KDE, error) {
+	if len(sample) < 2 {
+		return nil, ErrInsufficientData
+	}
+	sigma := StdDev(sample)
+	iqr := Quantile(sample, 0.75) - Quantile(sample, 0.25)
+	spread := sigma
+	if iqr > 0 && iqr/1.34 < spread {
+		spread = iqr / 1.34
+	}
+	h := 0.9 * spread * math.Pow(float64(len(sample)), -0.2)
+	if h <= 0 {
+		h = 1e-9
+	}
+	return &KDE{sample: append([]float64(nil), sample...), Bandwidth: h}, nil
+}
+
+// Density returns the estimated probability density at x.
+func (k *KDE) Density(x float64) float64 {
+	sum := 0.0
+	inv := 1 / k.Bandwidth
+	for _, s := range k.sample {
+		z := (x - s) * inv
+		sum += math.Exp(-z * z / 2)
+	}
+	return sum * inv / (float64(len(k.sample)) * math.Sqrt(2*math.Pi))
+}
+
+// ViolinPoint is one (value, thickness) pair of a violin outline.
+type ViolinPoint struct {
+	Value   float64 // position along the measured axis
+	Density float64 // estimated density (violin half-width)
+}
+
+// Violin is the render-ready description of one violin: a density profile
+// over the sample range plus the summary statistics drawn on top.
+type Violin struct {
+	Label   string
+	Summary Summary
+	Profile []ViolinPoint
+}
+
+// MakeViolin computes a violin for the sample with the given number of
+// profile points (>= 2), spanning the sample range extended by one
+// bandwidth on each side.
+func MakeViolin(label string, sample []float64, points int) (Violin, error) {
+	if points < 2 {
+		return Violin{}, errors.New("stats: MakeViolin needs at least 2 points")
+	}
+	kde, err := NewKDE(sample)
+	if err != nil {
+		return Violin{}, err
+	}
+	sum, err := Summarize(sample)
+	if err != nil {
+		return Violin{}, err
+	}
+	lo := sum.Min - kde.Bandwidth
+	hi := sum.Max + kde.Bandwidth
+	prof := make([]ViolinPoint, points)
+	step := (hi - lo) / float64(points-1)
+	for i := range prof {
+		v := lo + float64(i)*step
+		prof[i] = ViolinPoint{Value: v, Density: kde.Density(v)}
+	}
+	return Violin{Label: label, Summary: sum, Profile: prof}, nil
+}
+
+// MaxDensity returns the peak density of the violin profile.
+func (v Violin) MaxDensity() float64 {
+	m := 0.0
+	for _, p := range v.Profile {
+		if p.Density > m {
+			m = p.Density
+		}
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"interferometry/internal/xrand"
+)
+
+func TestNewKDEErrors(t *testing.T) {
+	if _, err := NewKDE([]float64{1}); err == nil {
+		t.Error("NewKDE with one point should error")
+	}
+}
+
+func TestKDEConstantSample(t *testing.T) {
+	kde, err := NewKDE([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kde.Bandwidth <= 0 {
+		t.Fatalf("bandwidth %v not positive", kde.Bandwidth)
+	}
+	if d := kde.Density(2); d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Fatalf("density at mode = %v", d)
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	r := xrand.New(50)
+	sample := make([]float64, 300)
+	for i := range sample {
+		sample[i] = r.NormFloat64()
+	}
+	kde, err := NewKDE(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const step = 0.01
+	for x := -8.0; x <= 8; x += step {
+		sum += kde.Density(x) * step
+	}
+	approx(t, sum, 1, 0.01, "kde integral")
+}
+
+func TestKDEPeaksNearMode(t *testing.T) {
+	r := xrand.New(51)
+	sample := make([]float64, 500)
+	for i := range sample {
+		sample[i] = 5 + 0.5*r.NormFloat64()
+	}
+	kde, err := NewKDE(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kde.Density(5) <= kde.Density(8) {
+		t.Error("density at mode should exceed density in the tail")
+	}
+}
+
+func TestKDEBimodal(t *testing.T) {
+	r := xrand.New(52)
+	sample := make([]float64, 600)
+	for i := range sample {
+		if i%2 == 0 {
+			sample[i] = -3 + 0.3*r.NormFloat64()
+		} else {
+			sample[i] = 3 + 0.3*r.NormFloat64()
+		}
+	}
+	kde, err := NewKDE(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kde.Density(-3) <= kde.Density(0) || kde.Density(3) <= kde.Density(0) {
+		t.Error("bimodal density should dip between modes")
+	}
+}
+
+func TestMakeViolin(t *testing.T) {
+	r := xrand.New(53)
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = r.NormFloat64()
+	}
+	v, err := MakeViolin("test", sample, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Label != "test" {
+		t.Errorf("label %q", v.Label)
+	}
+	if len(v.Profile) != 64 {
+		t.Fatalf("profile length %d", len(v.Profile))
+	}
+	// Profile values must be increasing and span at least the sample range.
+	for i := 1; i < len(v.Profile); i++ {
+		if v.Profile[i].Value <= v.Profile[i-1].Value {
+			t.Fatal("profile values not increasing")
+		}
+	}
+	if v.Profile[0].Value > v.Summary.Min || v.Profile[len(v.Profile)-1].Value < v.Summary.Max {
+		t.Error("profile does not span sample range")
+	}
+	if v.MaxDensity() <= 0 {
+		t.Error("max density should be positive")
+	}
+}
+
+func TestMakeViolinErrors(t *testing.T) {
+	if _, err := MakeViolin("x", []float64{1, 2, 3}, 1); err == nil {
+		t.Error("points<2 not rejected")
+	}
+	if _, err := MakeViolin("x", []float64{1}, 16); err == nil {
+		t.Error("tiny sample not rejected")
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit is the result of simple least-squares linear regression
+// y = Slope*x + Intercept, together with the inference quantities the
+// paper reports: Pearson r, the coefficient of determination r², the
+// Student t test of the "no correlation" null hypothesis (§4.6), and the
+// ingredients for 95% confidence and prediction intervals (§5.8 item 5).
+type LinearFit struct {
+	N                int     // number of observations
+	Slope, Intercept float64 // least-squares coefficients
+	R                float64 // Pearson correlation coefficient
+	R2               float64 // coefficient of determination
+	ResidualSE       float64 // s, the residual standard error (df = n-2)
+	SlopeSE          float64 // standard error of the slope
+	InterceptSE      float64 // standard error of the intercept
+	TStat            float64 // t statistic for H0: slope == 0
+	PValue           float64 // two-sided p-value for the t test
+	XMean            float64 // mean of the predictor
+	Sxx              float64 // Σ (x - x̄)², needed for intervals
+}
+
+// FitLinear performs simple least-squares regression of ys on xs.
+// At least three observations are required (inference needs n-2 ≥ 1) and
+// the predictor must not be constant.
+func FitLinear(xs, ys []float64) (*LinearFit, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("stats: FitLinear length mismatch")
+	}
+	n := len(xs)
+	if n < 3 {
+		return nil, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 {
+		return nil, errors.New("stats: FitLinear predictor is constant")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	// Residual sum of squares via the identity SSE = Syy - slope*Sxy,
+	// clamped at zero against floating point cancellation.
+	sse := syy - slope*sxy
+	if sse < 0 {
+		sse = 0
+	}
+	df := float64(n - 2)
+	s := math.Sqrt(sse / df)
+
+	fit := &LinearFit{
+		N:          n,
+		Slope:      slope,
+		Intercept:  intercept,
+		ResidualSE: s,
+		XMean:      mx,
+		Sxx:        sxx,
+	}
+	if syy > 0 {
+		fit.R = sxy / math.Sqrt(sxx*syy)
+		fit.R2 = fit.R * fit.R
+	}
+	fit.SlopeSE = s / math.Sqrt(sxx)
+	fit.InterceptSE = s * math.Sqrt(1/float64(n)+mx*mx/sxx)
+	if fit.SlopeSE > 0 {
+		fit.TStat = slope / fit.SlopeSE
+		fit.PValue = StudentT{Nu: df}.TwoSidedP(fit.TStat)
+	} else {
+		// A perfect fit: the slope is estimated without error, so the null
+		// hypothesis is rejected at any level when the slope is nonzero.
+		fit.TStat = math.Inf(1)
+		if slope == 0 {
+			fit.TStat = 0
+			fit.PValue = 1
+		}
+	}
+	return fit, nil
+}
+
+// Predict returns the fitted value Slope*x + Intercept.
+func (f *LinearFit) Predict(x float64) float64 {
+	return f.Slope*x + f.Intercept
+}
+
+// Interval is a symmetric interval around a center value.
+type Interval struct {
+	Center, Low, High float64
+}
+
+// Half returns the half-width of the interval.
+func (iv Interval) Half() float64 { return (iv.High - iv.Low) / 2 }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Low && v <= iv.High }
+
+// tCrit returns the two-sided critical t value for the given confidence
+// level (e.g. 0.95) and this fit's residual degrees of freedom.
+func (f *LinearFit) tCrit(level float64) float64 {
+	if level <= 0 || level >= 1 {
+		panic("stats: confidence level must be in (0,1)")
+	}
+	return StudentT{Nu: float64(f.N - 2)}.Quantile(1 - (1-level)/2)
+}
+
+// ConfidenceInterval returns the confidence interval for the mean response
+// at x: "a 95% confidence interval has a 95% chance of containing the true
+// regression line" (§5.8).
+func (f *LinearFit) ConfidenceInterval(x, level float64) Interval {
+	c := f.Predict(x)
+	h := f.tCrit(level) * f.ResidualSE *
+		math.Sqrt(1/float64(f.N)+(x-f.XMean)*(x-f.XMean)/f.Sxx)
+	return Interval{Center: c, Low: c - h, High: c + h}
+}
+
+// PredictionInterval returns the prediction interval for a new observation
+// at x: "the larger 95% prediction interval has a 95% chance of containing
+// the observations that would be encountered" (§5.8).
+func (f *LinearFit) PredictionInterval(x, level float64) Interval {
+	c := f.Predict(x)
+	h := f.tCrit(level) * f.ResidualSE *
+		math.Sqrt(1+1/float64(f.N)+(x-f.XMean)*(x-f.XMean)/f.Sxx)
+	return Interval{Center: c, Low: c - h, High: c + h}
+}
+
+// SlopeConfidenceInterval returns the confidence interval for the slope.
+func (f *LinearFit) SlopeConfidenceInterval(level float64) Interval {
+	h := f.tCrit(level) * f.SlopeSE
+	return Interval{Center: f.Slope, Low: f.Slope - h, High: f.Slope + h}
+}
+
+// Significant reports whether the "no correlation" null hypothesis is
+// rejected at significance level alpha (the paper uses alpha = 0.05).
+func (f *LinearFit) Significant(alpha float64) bool {
+	return f.PValue <= alpha
+}

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"interferometry/internal/xrand"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fit.Slope, 3, 1e-10, "slope")
+	approx(t, fit.Intercept, 7, 1e-10, "intercept")
+	approx(t, fit.R2, 1, 1e-10, "r2")
+	if !fit.Significant(0.05) {
+		t.Error("perfect linear fit should be significant")
+	}
+}
+
+func TestFitLinearKnownDataset(t *testing.T) {
+	// Small dataset with hand-computed regression:
+	// x: 1..5, y: 2, 3, 5, 4, 6 -> slope 0.9, intercept 1.3.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 3, 5, 4, 6}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fit.Slope, 0.9, 1e-10, "slope")
+	approx(t, fit.Intercept, 1.3, 1e-10, "intercept")
+	// r = 0.9*sqrt(10/ (Syy)) with Sxx=10, Syy=10, Sxy=9 -> r=0.9.
+	approx(t, fit.R, 0.9, 1e-10, "r")
+	approx(t, fit.R2, 0.81, 1e-10, "r2")
+	// SSE = Syy - slope*Sxy = 10 - 8.1 = 1.9, s = sqrt(1.9/3).
+	approx(t, fit.ResidualSE, math.Sqrt(1.9/3), 1e-10, "residual SE")
+	// Slope SE = s/sqrt(10).
+	approx(t, fit.SlopeSE, math.Sqrt(1.9/3)/math.Sqrt(10), 1e-10, "slope SE")
+	tstat := 0.9 / (math.Sqrt(1.9/3) / math.Sqrt(10))
+	approx(t, fit.TStat, tstat, 1e-9, "t stat")
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("n<3 not detected")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant predictor not detected")
+	}
+}
+
+func TestFitLinearRecoversNoisyTruth(t *testing.T) {
+	r := xrand.New(404)
+	const n = 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64() * 10
+		ys[i] = 0.028*xs[i] + 0.517 + 0.01*r.NormFloat64()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fit.Slope, 0.028, 0.001, "recovered slope")
+	approx(t, fit.Intercept, 0.517, 0.002, "recovered intercept")
+	if !fit.Significant(0.05) {
+		t.Error("strong relationship should be significant")
+	}
+}
+
+func TestFitLinearNoRelationship(t *testing.T) {
+	// Pure noise should usually fail the t-test. Run several seeds and
+	// require the rejection rate near alpha.
+	rejections := 0
+	const trials = 200
+	base := xrand.New(88)
+	for trial := 0; trial < trials; trial++ {
+		r := base.Derive(uint64(trial))
+		xs := make([]float64, 30)
+		ys := make([]float64, 30)
+		for i := range xs {
+			xs[i] = r.Float64()
+			ys[i] = r.Float64()
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.Significant(0.05) {
+			rejections++
+		}
+	}
+	// Expected ~5% of 200 = 10; allow generous slack.
+	if rejections > 30 {
+		t.Errorf("null rejected %d/%d times, expected ~10", rejections, trials)
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// Simulate many datasets from a known line; the 95% CI at x0 should
+	// contain the true mean response roughly 95% of the time.
+	const trials = 400
+	covered := 0
+	base := xrand.New(7)
+	const x0 = 5.0
+	trueY := 2*x0 + 1
+	for trial := 0; trial < trials; trial++ {
+		r := base.Derive(uint64(trial))
+		xs := make([]float64, 40)
+		ys := make([]float64, 40)
+		for i := range xs {
+			xs[i] = r.Float64() * 10
+			ys[i] = 2*xs[i] + 1 + r.NormFloat64()
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.ConfidenceInterval(x0, 0.95).Contains(trueY) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("CI coverage %v, want ~0.95", rate)
+	}
+}
+
+func TestPredictionIntervalCoverage(t *testing.T) {
+	// A 95% PI at x0 should contain a fresh observation ~95% of the time.
+	const trials = 400
+	covered := 0
+	base := xrand.New(9)
+	const x0 = 3.0
+	for trial := 0; trial < trials; trial++ {
+		r := base.Derive(uint64(trial))
+		xs := make([]float64, 40)
+		ys := make([]float64, 40)
+		for i := range xs {
+			xs[i] = r.Float64() * 10
+			ys[i] = -1.5*xs[i] + 4 + 0.7*r.NormFloat64()
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := -1.5*x0 + 4 + 0.7*r.NormFloat64()
+		if fit.PredictionInterval(x0, 0.95).Contains(fresh) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("PI coverage %v, want ~0.95", rate)
+	}
+}
+
+func TestPredictionWiderThanConfidence(t *testing.T) {
+	r := xrand.New(17)
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = r.Float64() * 8
+		ys[i] = 0.5*xs[i] + 2 + 0.3*r.NormFloat64()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 2, 4, 8, 12} {
+		ci := fit.ConfidenceInterval(x, 0.95)
+		pi := fit.PredictionInterval(x, 0.95)
+		if pi.Half() <= ci.Half() {
+			t.Errorf("at x=%v PI half %v should exceed CI half %v", x, pi.Half(), ci.Half())
+		}
+		if math.Abs(ci.Center-pi.Center) > 1e-12 {
+			t.Errorf("interval centers disagree at x=%v", x)
+		}
+	}
+}
+
+func TestIntervalsWidenAwayFromMean(t *testing.T) {
+	r := xrand.New(23)
+	xs := make([]float64, 60)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = 4 + r.Float64()*2 // mean ~5
+		ys[i] = xs[i] + 0.2*r.NormFloat64()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearMean := fit.ConfidenceInterval(fit.XMean, 0.95).Half()
+	far := fit.ConfidenceInterval(fit.XMean+10, 0.95).Half()
+	if far <= nearMean {
+		t.Errorf("CI should widen away from x̄: near %v far %v", nearMean, far)
+	}
+}
+
+func TestSlopeConfidenceInterval(t *testing.T) {
+	r := xrand.New(29)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.Float64() * 10
+		ys[i] = 3*xs[i] + 1 + r.NormFloat64()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := fit.SlopeConfidenceInterval(0.95)
+	if !iv.Contains(3) {
+		t.Errorf("slope CI %+v should contain 3", iv)
+	}
+	if iv.Contains(0) {
+		t.Errorf("slope CI %+v should exclude 0 for a strong slope", iv)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	fit := &LinearFit{Slope: 2, Intercept: -1}
+	approx(t, fit.Predict(3), 5, 1e-12, "Predict")
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Center: 5, Low: 3, High: 7}
+	approx(t, iv.Half(), 2, 1e-12, "Half")
+	if !iv.Contains(3) || !iv.Contains(7) || iv.Contains(7.01) || iv.Contains(2.99) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+}

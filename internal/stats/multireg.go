@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// MultiFit is the result of multiple least-squares linear regression
+// y = β0 + β1 x1 + ... + βk xk, the paper's "combined model" relating CPI
+// to branch mispredictions, L1 instruction cache misses and L2 cache
+// misses together (§6.1). Overall significance uses the F test rather than
+// the t test, "as the t-test is appropriate for single-variable linear
+// regression models" (§6.2).
+type MultiFit struct {
+	N          int       // observations
+	K          int       // predictors (excluding the intercept)
+	Beta       []float64 // coefficients: Beta[0] intercept, Beta[i] for xi
+	R2         float64   // coefficient of determination
+	AdjustedR2 float64
+	ResidualSE float64 // df = n - k - 1
+	FStat      float64 // F statistic for H0: all slopes zero
+	PValue     float64 // upper-tail p-value of the F test
+}
+
+// FitMultiple regresses ys on the predictor columns xss. Each xss[j] must
+// have the same length as ys. At least k+2 observations are required.
+func FitMultiple(xss [][]float64, ys []float64) (*MultiFit, error) {
+	k := len(xss)
+	if k == 0 {
+		return nil, errors.New("stats: FitMultiple needs at least one predictor")
+	}
+	n := len(ys)
+	for _, col := range xss {
+		if len(col) != n {
+			return nil, errors.New("stats: FitMultiple column length mismatch")
+		}
+	}
+	if n < k+2 {
+		return nil, ErrInsufficientData
+	}
+
+	// Build the normal equations XᵀX β = Xᵀy with an intercept column.
+	p := k + 1
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	col := func(j, row int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return xss[j-1][row]
+	}
+	for row := 0; row < n; row++ {
+		for i := 0; i < p; i++ {
+			ci := col(i, row)
+			xty[i] += ci * ys[row]
+			for j := i; j < p; j++ {
+				xtx[i][j] += ci * col(j, row)
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	beta, err := solveSPD(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+
+	my := Mean(ys)
+	var sse, sst float64
+	for row := 0; row < n; row++ {
+		pred := beta[0]
+		for j := 1; j < p; j++ {
+			pred += beta[j] * xss[j-1][row]
+		}
+		r := ys[row] - pred
+		sse += r * r
+		d := ys[row] - my
+		sst += d * d
+	}
+	fit := &MultiFit{N: n, K: k, Beta: beta}
+	dfE := float64(n - k - 1)
+	fit.ResidualSE = math.Sqrt(sse / dfE)
+	if sst > 0 {
+		fit.R2 = 1 - sse/sst
+		if fit.R2 < 0 {
+			fit.R2 = 0
+		}
+		fit.AdjustedR2 = 1 - (1-fit.R2)*float64(n-1)/dfE
+	}
+	// F = (R²/k) / ((1-R²)/(n-k-1)).
+	if fit.R2 >= 1 {
+		fit.FStat = math.Inf(1)
+		fit.PValue = 0
+	} else {
+		fit.FStat = (fit.R2 / float64(k)) / ((1 - fit.R2) / dfE)
+		fit.PValue = FDist{D1: float64(k), D2: dfE}.UpperTailP(fit.FStat)
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted model at the predictor vector xs, which must
+// have K entries.
+func (f *MultiFit) Predict(xs []float64) float64 {
+	if len(xs) != f.K {
+		panic("stats: MultiFit.Predict dimension mismatch")
+	}
+	y := f.Beta[0]
+	for i, x := range xs {
+		y += f.Beta[i+1] * x
+	}
+	return y
+}
+
+// Significant reports whether the overall F test rejects the null
+// hypothesis that every slope is zero at level alpha.
+func (f *MultiFit) Significant(alpha float64) bool {
+	return f.PValue <= alpha
+}
+
+// solveSPD solves A x = b for a symmetric positive (semi)definite matrix A
+// using Gaussian elimination with partial pivoting. A and b are modified.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for c := 0; c < n; c++ {
+		// Partial pivot.
+		pivot := c
+		for r := c + 1; r < n; r++ {
+			if math.Abs(a[r][c]) > math.Abs(a[pivot][c]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][c]) < 1e-12 {
+			return nil, errors.New("stats: singular design matrix (collinear predictors)")
+		}
+		a[c], a[pivot] = a[pivot], a[c]
+		b[c], b[pivot] = b[pivot], b[c]
+		inv := 1 / a[c][c]
+		for r := c + 1; r < n; r++ {
+			f := a[r][c] * inv
+			if f == 0 {
+				continue
+			}
+			for j := c; j < n; j++ {
+				a[r][j] -= f * a[c][j]
+			}
+			b[r] -= f * b[c]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for j := r + 1; j < n; j++ {
+			sum -= a[r][j] * x[j]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"interferometry/internal/xrand"
+)
+
+func TestFitMultipleExact(t *testing.T) {
+	// y = 1 + 2a + 3b, exactly.
+	a := []float64{0, 1, 2, 3, 4, 5}
+	b := []float64{5, 3, 1, 4, 2, 0}
+	ys := make([]float64, len(a))
+	for i := range ys {
+		ys[i] = 1 + 2*a[i] + 3*b[i]
+	}
+	fit, err := FitMultiple([][]float64{a, b}, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fit.Beta[0], 1, 1e-8, "intercept")
+	approx(t, fit.Beta[1], 2, 1e-8, "beta a")
+	approx(t, fit.Beta[2], 3, 1e-8, "beta b")
+	approx(t, fit.R2, 1, 1e-10, "R2")
+	if !fit.Significant(0.05) {
+		t.Error("exact fit should be significant")
+	}
+}
+
+func TestFitMultipleMatchesSimpleRegression(t *testing.T) {
+	r := xrand.New(3)
+	xs := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range xs {
+		xs[i] = r.Float64() * 5
+		ys[i] = 1.7*xs[i] - 2 + 0.5*r.NormFloat64()
+	}
+	mf, err := FitMultiple([][]float64{xs}, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, mf.Beta[0], lf.Intercept, 1e-8, "intercept agreement")
+	approx(t, mf.Beta[1], lf.Slope, 1e-8, "slope agreement")
+	approx(t, mf.R2, lf.R2, 1e-8, "r2 agreement")
+	// F = t² for a single predictor.
+	approx(t, mf.FStat, lf.TStat*lf.TStat, 1e-6, "F = t²")
+	approx(t, mf.PValue, lf.PValue, 1e-6, "p-value agreement")
+}
+
+func TestFitMultipleRecoversNoisyTruth(t *testing.T) {
+	r := xrand.New(5)
+	const n = 3000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Float64() * 10
+		b[i] = r.Float64() * 4
+		c[i] = r.NormFloat64()
+		ys[i] = 0.9 + 0.028*a[i] + 0.4*b[i] - 0.2*c[i] + 0.05*r.NormFloat64()
+	}
+	fit, err := FitMultiple([][]float64{a, b, c}, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fit.Beta[0], 0.9, 0.01, "b0")
+	approx(t, fit.Beta[1], 0.028, 0.002, "b1")
+	approx(t, fit.Beta[2], 0.4, 0.005, "b2")
+	approx(t, fit.Beta[3], -0.2, 0.005, "b3")
+}
+
+func TestFitMultipleCombinedR2AtLeastSingle(t *testing.T) {
+	// Adding predictors can never decrease R² (least squares property).
+	r := xrand.New(8)
+	const n = 200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Float64()
+		b[i] = r.Float64()
+		ys[i] = a[i] + 0.3*b[i] + 0.2*r.NormFloat64()
+	}
+	single, err := FitMultiple([][]float64{a}, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := FitMultiple([][]float64{a, b}, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.R2 < single.R2-1e-10 {
+		t.Errorf("combined R2 %v < single R2 %v", combined.R2, single.R2)
+	}
+}
+
+func TestFitMultipleErrors(t *testing.T) {
+	if _, err := FitMultiple(nil, []float64{1, 2, 3}); err == nil {
+		t.Error("no predictors not detected")
+	}
+	if _, err := FitMultiple([][]float64{{1, 2}}, []float64{1, 2, 3}); err == nil {
+		t.Error("column length mismatch not detected")
+	}
+	if _, err := FitMultiple([][]float64{{1, 2, 3}}, []float64{1, 2, 3}[:2]); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	// Collinear predictors.
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{2, 4, 6, 8, 10, 12}
+	ys := []float64{1, 2, 3, 4, 5, 6}
+	if _, err := FitMultiple([][]float64{a, b}, ys); err == nil {
+		t.Error("collinearity not detected")
+	}
+}
+
+func TestFitMultiplePredictPanicsOnDimension(t *testing.T) {
+	fit := &MultiFit{K: 2, Beta: []float64{1, 2, 3}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict with wrong dimension did not panic")
+		}
+	}()
+	fit.Predict([]float64{1})
+}
+
+func TestFitMultipleNullNotSignificant(t *testing.T) {
+	falsePositives := 0
+	const trials = 150
+	base := xrand.New(33)
+	for trial := 0; trial < trials; trial++ {
+		r := base.Derive(uint64(trial))
+		const n = 40
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = r.Float64(), r.Float64(), r.Float64()
+			ys[i] = r.Float64()
+		}
+		fit, err := FitMultiple([][]float64{a, b, c}, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.Significant(0.05) {
+			falsePositives++
+		}
+	}
+	if falsePositives > 25 { // expected ~7.5
+		t.Errorf("F test false positive rate too high: %d/%d", falsePositives, trials)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := [][]float64{
+		{4, 1, 0},
+		{1, 3, 1},
+		{0, 1, 2},
+	}
+	// x = (1, 2, 3): b = A x.
+	b := []float64{4*1 + 1*2, 1 + 6 + 3, 2 + 6}
+	x, err := solveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(x[i]-want) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestSolveSPDSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := solveSPD(a, []float64{1, 2}); err == nil {
+		t.Error("singular matrix not detected")
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import "math"
+
+// The paper's hypothesis testing leans on approximate normality:
+// "Student's t-test gives a meaningful result in the presence of normally
+// distributed data. The observed CPI of most of the benchmarks roughly
+// follow a normal distribution, thus in most cases hypothesis testing can
+// give us additional confidence in our results" (§5.8 item 4). This file
+// provides the moments and the Jarque-Bera test used to check that
+// premise per benchmark.
+
+// Skewness returns the sample skewness (biased, moment-based estimator).
+// It returns 0 for degenerate samples.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// ExcessKurtosis returns the sample excess kurtosis (0 for a normal
+// distribution). It returns 0 for degenerate samples.
+func ExcessKurtosis(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4/(m2*m2) - 3
+}
+
+// JarqueBera returns the Jarque-Bera normality statistic and its p-value.
+// Under the null hypothesis of normality the statistic is asymptotically
+// χ² with two degrees of freedom, whose survival function has the closed
+// form exp(-x/2). Small p rejects normality.
+func JarqueBera(xs []float64) (stat, p float64) {
+	n := float64(len(xs))
+	if n < 8 {
+		return 0, 1 // too few observations to say anything
+	}
+	s := Skewness(xs)
+	k := ExcessKurtosis(xs)
+	stat = n / 6 * (s*s + k*k/4)
+	p = math.Exp(-stat / 2)
+	return stat, p
+}

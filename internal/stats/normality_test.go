@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"interferometry/internal/xrand"
+)
+
+func TestSkewnessSymmetric(t *testing.T) {
+	xs := []float64{-2, -1, 0, 1, 2}
+	approx(t, Skewness(xs), 0, 1e-12, "symmetric skewness")
+}
+
+func TestSkewnessSign(t *testing.T) {
+	right := []float64{0, 0, 0, 0, 0, 0, 0, 10} // long right tail
+	if Skewness(right) <= 0 {
+		t.Errorf("right-tailed skewness %v should be positive", Skewness(right))
+	}
+	left := []float64{0, 0, 0, 0, 0, 0, 0, -10}
+	if Skewness(left) >= 0 {
+		t.Errorf("left-tailed skewness %v should be negative", Skewness(left))
+	}
+}
+
+func TestExcessKurtosisNormal(t *testing.T) {
+	r := xrand.New(61)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	if k := ExcessKurtosis(xs); math.Abs(k) > 0.1 {
+		t.Errorf("normal sample excess kurtosis %v, want ~0", k)
+	}
+	approx(t, Skewness(xs), 0, 0.05, "normal sample skewness")
+}
+
+func TestExcessKurtosisHeavyTails(t *testing.T) {
+	// A two-point mixture with rare large outliers is leptokurtic.
+	r := xrand.New(62)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		if r.Bool(0.01) {
+			xs[i] = 20 * r.NormFloat64()
+		} else {
+			xs[i] = r.NormFloat64()
+		}
+	}
+	if k := ExcessKurtosis(xs); k < 1 {
+		t.Errorf("outlier mixture kurtosis %v should be clearly positive", k)
+	}
+}
+
+func TestJarqueBeraAcceptsNormal(t *testing.T) {
+	base := xrand.New(63)
+	rejections := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		r := base.Derive(uint64(trial))
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = 3 + 0.5*r.NormFloat64()
+		}
+		if _, p := JarqueBera(xs); p <= 0.05 {
+			rejections++
+		}
+	}
+	// ~5% expected; the asymptotic approximation can over-reject a bit.
+	if rejections > 15 {
+		t.Errorf("JB rejected normal data %d/%d times", rejections, trials)
+	}
+}
+
+func TestJarqueBeraRejectsExponential(t *testing.T) {
+	r := xrand.New(64)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	if stat, p := JarqueBera(xs); p > 0.01 {
+		t.Errorf("JB failed to reject exponential data (stat %v, p %v)", stat, p)
+	}
+}
+
+func TestJarqueBeraTinySample(t *testing.T) {
+	if _, p := JarqueBera([]float64{1, 2, 3}); p != 1 {
+		t.Errorf("tiny sample p = %v, want 1 (no evidence)", p)
+	}
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	con := []float64{5, 5, 5, 5, 5}
+	if Skewness(con) != 0 || ExcessKurtosis(con) != 0 {
+		t.Error("constant sample moments should be 0")
+	}
+}

@@ -1,0 +1,319 @@
+// Package svgplot renders the paper's figure types — violin plots and
+// scatter plots with regression lines and interval bands — as
+// self-contained SVG documents, using nothing but the standard library.
+// Command report uses it to write figs/*.svg so the reproduction's plots
+// can be compared with the paper's side by side.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Size and style constants shared by the renderers.
+const (
+	plotWidth    = 840
+	plotHeight   = 480
+	marginLeft   = 70
+	marginRight  = 24
+	marginTop    = 36
+	marginBottom = 56
+)
+
+const (
+	colAxis   = "#444444"
+	colGrid   = "#dddddd"
+	colPoint  = "#1f77b4"
+	colFit    = "#d62728"
+	colCI     = "#ff9896"
+	colPI     = "#fdd0ce"
+	colViolin = "#7db8da"
+)
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+type canvas struct {
+	b strings.Builder
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *canvas) line(x1, y1, x2, y2 float64, color string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, color, width)
+}
+
+func (c *canvas) circle(x, y, r float64, color string) {
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.75"/>`+"\n", x, y, r, color)
+}
+
+func (c *canvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" fill="%s" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, colAxis, anchor, esc(s))
+}
+
+func (c *canvas) polygon(pts [][2]float64, fill string) {
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", p[0], p[1])
+	}
+	fmt.Fprintf(&c.b, `<polygon points="%s" fill="%s" fill-opacity="0.55" stroke="none"/>`+"\n", sb.String(), fill)
+}
+
+func (c *canvas) polyline(pts [][2]float64, color string, width float64) {
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", p[0], p[1])
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n", sb.String(), color, width)
+}
+
+func (c *canvas) close() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+// axes maps data space to pixel space.
+type axes struct {
+	xmin, xmax, ymin, ymax float64
+}
+
+func (a axes) x(v float64) float64 {
+	if a.xmax == a.xmin {
+		return marginLeft
+	}
+	return marginLeft + (v-a.xmin)/(a.xmax-a.xmin)*float64(plotWidth-marginLeft-marginRight)
+}
+
+func (a axes) y(v float64) float64 {
+	if a.ymax == a.ymin {
+		return plotHeight - marginBottom
+	}
+	return float64(plotHeight-marginBottom) - (v-a.ymin)/(a.ymax-a.ymin)*float64(plotHeight-marginTop-marginBottom)
+}
+
+// niceTicks returns ~n rounded tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func drawFrame(c *canvas, a axes, title, xlabel, ylabel string) {
+	x0, y0 := float64(marginLeft), float64(plotHeight-marginBottom)
+	x1, y1 := float64(plotWidth-marginRight), float64(marginTop)
+	for _, tv := range niceTicks(a.xmin, a.xmax, 8) {
+		px := a.x(tv)
+		c.line(px, y0, px, y1, colGrid, 0.7)
+		c.text(px, y0+18, 11, "middle", trimFloat(tv))
+	}
+	for _, tv := range niceTicks(a.ymin, a.ymax, 7) {
+		py := a.y(tv)
+		c.line(x0, py, x1, py, colGrid, 0.7)
+		c.text(x0-6, py+4, 11, "end", trimFloat(tv))
+	}
+	c.line(x0, y0, x1, y0, colAxis, 1.2)
+	c.line(x0, y0, x0, y1, colAxis, 1.2)
+	c.text(float64(plotWidth)/2, 20, 14, "middle", title)
+	c.text(float64(plotWidth)/2, float64(plotHeight)-12, 12, "middle", xlabel)
+	fmt.Fprintf(&c.b, `<text x="16" y="%d" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		plotHeight/2, colAxis, plotHeight/2, esc(ylabel))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}
+
+// BandPoint is one sampled interval position along the fitted line.
+type BandPoint struct {
+	X             float64
+	Fit           float64
+	CILow, CIHigh float64
+	PILow, PIHigh float64
+}
+
+// Scatter describes a scatter-with-regression figure (the paper's
+// Figures 2 and 3 panels).
+type Scatter struct {
+	Title          string
+	XLabel, YLabel string
+	X, Y           []float64
+	Band           []BandPoint // sorted by X; optional
+}
+
+// WriteScatter renders the figure as SVG.
+func WriteScatter(w io.Writer, s Scatter) error {
+	if len(s.X) != len(s.Y) || len(s.X) == 0 {
+		return fmt.Errorf("svgplot: scatter needs matching non-empty X/Y")
+	}
+	a := axes{xmin: math.Inf(1), xmax: math.Inf(-1), ymin: math.Inf(1), ymax: math.Inf(-1)}
+	grow := func(x, y float64) {
+		a.xmin = math.Min(a.xmin, x)
+		a.xmax = math.Max(a.xmax, x)
+		a.ymin = math.Min(a.ymin, y)
+		a.ymax = math.Max(a.ymax, y)
+	}
+	for i := range s.X {
+		grow(s.X[i], s.Y[i])
+	}
+	for _, p := range s.Band {
+		grow(p.X, p.PILow)
+		grow(p.X, p.PIHigh)
+	}
+	// Pad the ranges slightly.
+	padX := (a.xmax - a.xmin) * 0.05
+	padY := (a.ymax - a.ymin) * 0.08
+	if padX == 0 {
+		padX = 1
+	}
+	if padY == 0 {
+		padY = 1
+	}
+	a.xmin -= padX
+	a.xmax += padX
+	a.ymin -= padY
+	a.ymax += padY
+
+	c := newCanvas(plotWidth, plotHeight)
+	drawFrame(c, a, s.Title, s.XLabel, s.YLabel)
+
+	// Bands first (PI behind CI), then fit line, then points.
+	if len(s.Band) > 1 {
+		var pi, ci [][2]float64
+		for _, p := range s.Band {
+			pi = append(pi, [2]float64{a.x(p.X), a.y(p.PIHigh)})
+			ci = append(ci, [2]float64{a.x(p.X), a.y(p.CIHigh)})
+		}
+		for i := len(s.Band) - 1; i >= 0; i-- {
+			p := s.Band[i]
+			pi = append(pi, [2]float64{a.x(p.X), a.y(p.PILow)})
+			ci = append(ci, [2]float64{a.x(p.X), a.y(p.CILow)})
+		}
+		c.polygon(pi, colPI)
+		c.polygon(ci, colCI)
+		var fit [][2]float64
+		for _, p := range s.Band {
+			fit = append(fit, [2]float64{a.x(p.X), a.y(p.Fit)})
+		}
+		c.polyline(fit, colFit, 2)
+	}
+	for i := range s.X {
+		c.circle(a.x(s.X[i]), a.y(s.Y[i]), 3, colPoint)
+	}
+	_, err := io.WriteString(w, c.close())
+	return err
+}
+
+// ViolinColumn is one violin: a label and its density outline.
+type ViolinColumn struct {
+	Label string
+	// Profile is the (value, density) outline; density is normalized per
+	// violin by the renderer.
+	Profile [][2]float64
+}
+
+// Violins describes a multi-column violin figure (the paper's Figure 1).
+type Violins struct {
+	Title  string
+	YLabel string
+	Cols   []ViolinColumn
+}
+
+// WriteViolins renders the figure as SVG.
+func WriteViolins(w io.Writer, v Violins) error {
+	if len(v.Cols) == 0 {
+		return fmt.Errorf("svgplot: no violin columns")
+	}
+	a := axes{xmin: 0, xmax: float64(len(v.Cols)), ymin: math.Inf(1), ymax: math.Inf(-1)}
+	for _, col := range v.Cols {
+		for _, p := range col.Profile {
+			a.ymin = math.Min(a.ymin, p[0])
+			a.ymax = math.Max(a.ymax, p[0])
+		}
+	}
+	if math.IsInf(a.ymin, 1) {
+		return fmt.Errorf("svgplot: violins have empty profiles")
+	}
+	pad := (a.ymax - a.ymin) * 0.06
+	a.ymin -= pad
+	a.ymax += pad
+
+	c := newCanvas(plotWidth, plotHeight)
+	// Frame with only y ticks; x carries the labels.
+	x0, y0 := float64(marginLeft), float64(plotHeight-marginBottom)
+	x1 := float64(plotWidth - marginRight)
+	for _, tv := range niceTicks(a.ymin, a.ymax, 7) {
+		py := a.y(tv)
+		c.line(x0, py, x1, py, colGrid, 0.7)
+		c.text(x0-6, py+4, 11, "end", trimFloat(tv))
+	}
+	c.line(x0, y0, x1, y0, colAxis, 1.2)
+	c.line(x0, y0, x0, float64(marginTop), colAxis, 1.2)
+	c.text(float64(plotWidth)/2, 20, 14, "middle", v.Title)
+	fmt.Fprintf(&c.b, `<text x="16" y="%d" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		plotHeight/2, colAxis, plotHeight/2, esc(v.YLabel))
+
+	halfWidth := (a.x(1) - a.x(0)) * 0.42
+	for i, col := range v.Cols {
+		cx := a.x(float64(i) + 0.5)
+		maxD := 0.0
+		for _, p := range col.Profile {
+			maxD = math.Max(maxD, p[1])
+		}
+		if maxD == 0 {
+			maxD = 1
+		}
+		var left, right [][2]float64
+		for _, p := range col.Profile {
+			dy := a.y(p[0])
+			dx := p[1] / maxD * halfWidth
+			right = append(right, [2]float64{cx + dx, dy})
+		}
+		for j := len(col.Profile) - 1; j >= 0; j-- {
+			p := col.Profile[j]
+			left = append(left, [2]float64{cx - p[1]/maxD*halfWidth, a.y(p[0])})
+		}
+		c.polygon(append(right, left...), colViolin)
+		// Rotated label under the column.
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+			cx, y0+14, colAxis, cx, y0+14, esc(col.Label))
+	}
+	_, err := io.WriteString(w, c.close())
+	return err
+}

@@ -1,0 +1,125 @@
+package svgplot_test
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"interferometry/internal/svgplot"
+)
+
+func scatter() svgplot.Scatter {
+	return svgplot.Scatter{
+		Title:  "CPI vs MPKI",
+		XLabel: "MPKI",
+		YLabel: "CPI",
+		X:      []float64{1, 2, 3, 4, 5},
+		Y:      []float64{0.52, 0.55, 0.58, 0.6, 0.66},
+		Band: []svgplot.BandPoint{
+			{X: 0, Fit: 0.5, CILow: 0.48, CIHigh: 0.52, PILow: 0.46, PIHigh: 0.54},
+			{X: 5, Fit: 0.65, CILow: 0.63, CIHigh: 0.67, PILow: 0.61, PIHigh: 0.69},
+		},
+	}
+}
+
+func TestWriteScatterWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := svgplot.WriteScatter(&buf, scatter()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatalf("not an SVG: %.60q", out)
+	}
+	// The document must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	for _, want := range []string{"CPI vs MPKI", "circle", "polygon", "polyline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 5 data points -> 5 circles.
+	if got := strings.Count(out, "<circle"); got != 5 {
+		t.Errorf("%d circles, want 5", got)
+	}
+}
+
+func TestWriteScatterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := svgplot.WriteScatter(&buf, svgplot.Scatter{}); err == nil {
+		t.Error("empty scatter accepted")
+	}
+	if err := svgplot.WriteScatter(&buf, svgplot.Scatter{X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestWriteScatterEscapesText(t *testing.T) {
+	s := scatter()
+	s.Title = `a<b & "c"`
+	var buf bytes.Buffer
+	if err := svgplot.WriteScatter(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "a<b") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(buf.String(), "a&lt;b &amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteViolins(t *testing.T) {
+	v := svgplot.Violins{
+		Title:  "Figure 1",
+		YLabel: "% CPI deviation",
+		Cols: []svgplot.ViolinColumn{
+			{Label: "bench.a", Profile: [][2]float64{{-1, 0.1}, {0, 1.0}, {1, 0.1}}},
+			{Label: "bench.b", Profile: [][2]float64{{-2, 0.3}, {0, 0.6}, {2, 0.3}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := svgplot.WriteViolins(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	if strings.Count(out, "<polygon") != 2 {
+		t.Errorf("want one polygon per violin")
+	}
+	for _, want := range []string{"bench.a", "bench.b", "% CPI deviation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteViolinsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := svgplot.WriteViolins(&buf, svgplot.Violins{}); err == nil {
+		t.Error("empty violins accepted")
+	}
+	empty := svgplot.Violins{Cols: []svgplot.ViolinColumn{{Label: "x"}}}
+	if err := svgplot.WriteViolins(&buf, empty); err == nil {
+		t.Error("empty profiles accepted")
+	}
+}

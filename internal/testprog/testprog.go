@@ -1,0 +1,367 @@
+// Package testprog builds small hand-written isa.Programs for tests and
+// documentation examples. The programs are deliberately tiny and fully
+// understood, unlike the generated suite in internal/progen, so tests can
+// assert exact behaviour.
+package testprog
+
+import "interferometry/internal/isa"
+
+// Counting returns a program with a single procedure:
+//
+//	main:
+//	  b0: 4 ALU instrs; cond loop-back branch to b0 (trip = trip)
+//	  b1: 1 ALU instr; return
+//
+// Each loop iteration retires 5 instructions (4 ALU + branch); the final
+// not-taken iteration flows into b1 which retires 2 more (ALU + return),
+// and main restarts.
+func Counting(trip uint64) *isa.Program {
+	return &isa.Program{
+		Name: "testprog.counting",
+		Seed: 1,
+		Procs: []isa.Procedure{
+			{Name: "main", Blocks: []isa.BlockID{0, 1}},
+		},
+		Blocks: []isa.Block{
+			{
+				Proc:        0,
+				ClassCounts: counts(4, 0, 0, 0),
+				Bytes:       20,
+				Term: isa.Terminator{
+					Kind:     isa.TermCondBranch,
+					Target:   0,
+					Behavior: isa.Loop{Trip: trip},
+				},
+			},
+			{
+				Proc:        0,
+				ClassCounts: counts(1, 0, 0, 0),
+				Bytes:       8,
+				Term:        isa.Terminator{Kind: isa.TermReturn},
+			},
+		},
+		Main: 0,
+	}
+}
+
+// CallChain returns a program where main calls helper in a loop:
+//
+//	main:   b0: call helper; b1: cond loop-back to b0 (trip), b2: return
+//	helper: b3: 3 ALU; return
+func CallChain(trip uint64) *isa.Program {
+	return &isa.Program{
+		Name: "testprog.callchain",
+		Seed: 2,
+		Procs: []isa.Procedure{
+			{Name: "main", Blocks: []isa.BlockID{0, 1, 2}},
+			{Name: "helper", Blocks: []isa.BlockID{3}},
+		},
+		Blocks: []isa.Block{
+			{
+				Proc:        0,
+				ClassCounts: counts(1, 0, 0, 0),
+				Bytes:       12,
+				Term:        isa.Terminator{Kind: isa.TermCall, Callee: 1},
+			},
+			{
+				Proc:        0,
+				ClassCounts: counts(1, 0, 0, 0),
+				Bytes:       10,
+				Term: isa.Terminator{
+					Kind:     isa.TermCondBranch,
+					Target:   0,
+					Behavior: isa.Loop{Trip: trip},
+				},
+			},
+			{
+				Proc:        0,
+				ClassCounts: counts(1, 0, 0, 0),
+				Bytes:       6,
+				Term:        isa.Terminator{Kind: isa.TermReturn},
+			},
+			{
+				Proc:        1,
+				ClassCounts: counts(3, 0, 0, 0),
+				Bytes:       16,
+				Term:        isa.Terminator{Kind: isa.TermReturn},
+			},
+		},
+		Main: 0,
+	}
+}
+
+// Memory returns a program that streams through a global array and chases
+// through a pool of heap objects, with a churn site that reallocates pool
+// members. Layout of the pool objects is decided by the heap allocator, so
+// this program is the unit-test vehicle for data-layout perturbation.
+//
+//	objects: 0 = 4KB global array, 1..4 = 1KB heap objects
+//	main: b0: alloc all heap objects (prologue), fallthrough
+//	      b1: 2 ALU; load stream over global; load chase over pool;
+//	          churn-realloc one pool object; cond loop to b1 (trip)
+//	      b2: return
+func Memory(trip uint64) *isa.Program {
+	pool := []isa.ObjectID{1, 2, 3, 4}
+	return &isa.Program{
+		Name: "testprog.memory",
+		Seed: 3,
+		Procs: []isa.Procedure{
+			{Name: "main", Blocks: []isa.BlockID{0, 1, 2}},
+		},
+		Blocks: []isa.Block{
+			{
+				Proc:        0,
+				ClassCounts: counts(1, 0, 0, 0),
+				Bytes:       10,
+				Allocs: []isa.AllocOp{
+					{Kind: isa.AllocNew, Pool: []isa.ObjectID{1}},
+					{Kind: isa.AllocNew, Pool: []isa.ObjectID{2}},
+					{Kind: isa.AllocNew, Pool: []isa.ObjectID{3}},
+					{Kind: isa.AllocNew, Pool: []isa.ObjectID{4}},
+				},
+				Term: isa.Terminator{Kind: isa.TermFallthrough},
+			},
+			{
+				Proc:        0,
+				ClassCounts: counts(2, 0, 0, 0),
+				Bytes:       30,
+				Mems: []isa.MemOp{
+					{Kind: isa.MemLoad, Pattern: isa.Stream{Object: 0, Stride: 8, Size: 4096}},
+					{Kind: isa.MemLoad, Pattern: isa.PoolChase{Pool: pool, ObjSize: 1024, Skew: 1.0, Granule: 8}},
+					{Kind: isa.MemStore, Pattern: isa.RandomInObject{Object: 0, Size: 4096, Granule: 8}},
+				},
+				Allocs: []isa.AllocOp{
+					{Kind: isa.AllocNew, Pool: pool},
+				},
+				Term: isa.Terminator{
+					Kind:     isa.TermCondBranch,
+					Target:   1,
+					Behavior: isa.Loop{Trip: trip},
+				},
+			},
+			{
+				Proc:        0,
+				ClassCounts: counts(1, 0, 0, 0),
+				Bytes:       6,
+				Term:        isa.Terminator{Kind: isa.TermReturn},
+			},
+		},
+		Objects: []isa.ObjectMeta{
+			{Size: 4096, Heap: false},
+			{Size: 1024, Heap: true},
+			{Size: 1024, Heap: true},
+			{Size: 1024, Heap: true},
+			{Size: 1024, Heap: true},
+		},
+		Main: 0,
+	}
+}
+
+// Branchy returns a program with a mix of branch behaviours across two
+// procedures, including an indirect call — the unit-test vehicle for
+// branch-predictor models.
+//
+//	main:  b0: cond (biased 0.7) to b2; b1: cond (correlated) loop to b0;
+//	       b2: indirect call to f or g; b3: cond (pattern) loop to b0;
+//	       b4: return
+//	f: b5: 2 ALU; return
+//	g: b6: 5 ALU; return
+func Branchy() *isa.Program {
+	return &isa.Program{
+		Name: "testprog.branchy",
+		Seed: 4,
+		Procs: []isa.Procedure{
+			{Name: "main", Blocks: []isa.BlockID{0, 1, 2, 3, 4}},
+			{Name: "f", Blocks: []isa.BlockID{5}},
+			{Name: "g", Blocks: []isa.BlockID{6}},
+		},
+		Blocks: []isa.Block{
+			{
+				Proc: 0, ClassCounts: counts(2, 1, 0, 0), Bytes: 18,
+				Term: isa.Terminator{Kind: isa.TermCondBranch, Target: 2, Behavior: isa.Biased{P: 0.7}},
+			},
+			{
+				Proc: 0, ClassCounts: counts(1, 0, 1, 0), Bytes: 14,
+				Term: isa.Terminator{Kind: isa.TermCondBranch, Target: 0, Behavior: isa.Correlated{Mask: 0x5, Noise: 0.02}},
+			},
+			{
+				Proc: 0, ClassCounts: counts(1, 0, 0, 0), Bytes: 9,
+				Term: isa.Terminator{Kind: isa.TermIndirectCall, Callees: []isa.ProcID{1, 2}, Behavior: isa.Biased{P: 0.8}},
+			},
+			{
+				Proc: 0, ClassCounts: counts(2, 0, 0, 1), Bytes: 22,
+				Term: isa.Terminator{Kind: isa.TermCondBranch, Target: 0, Behavior: isa.Pattern{Bits: 0b0110, Len: 4}},
+			},
+			{
+				Proc: 0, ClassCounts: counts(1, 0, 0, 0), Bytes: 4,
+				Term: isa.Terminator{Kind: isa.TermReturn},
+			},
+			{
+				Proc: 1, ClassCounts: counts(2, 0, 0, 0), Bytes: 10,
+				Term: isa.Terminator{Kind: isa.TermReturn},
+			},
+			{
+				Proc: 2, ClassCounts: counts(5, 0, 0, 0), Bytes: 26,
+				Term: isa.Terminator{Kind: isa.TermReturn},
+			},
+		},
+		Main: 0,
+	}
+}
+
+// ManyBranches returns a program with nProcs procedures, each containing
+// a biased conditional branch, all called from a main loop. With a few
+// hundred procedures the program has enough static branches to alias in
+// predictor tables and enough code bytes to stress a 32KB L1I, so code
+// layout perturbs its performance — the test vehicle for
+// interferometry-scale layout sensitivity.
+func ManyBranches(nProcs int, trip uint64) *isa.Program {
+	p := &isa.Program{
+		Name: "testprog.manybranches",
+		Seed: 7,
+		Main: 0,
+	}
+	// main: one call block per procedure, then a loop-back branch.
+	mainBlocks := make([]isa.BlockID, 0, nProcs+2)
+	for i := 0; i < nProcs; i++ {
+		mainBlocks = append(mainBlocks, isa.BlockID(len(p.Blocks)))
+		p.Blocks = append(p.Blocks, isa.Block{
+			Proc:        0,
+			ClassCounts: counts(1, 0, 0, 0),
+			Bytes:       9,
+			Term:        isa.Terminator{Kind: isa.TermCall, Callee: isa.ProcID(i + 1)},
+		})
+	}
+	loopBlk := isa.BlockID(len(p.Blocks))
+	mainBlocks = append(mainBlocks, loopBlk)
+	p.Blocks = append(p.Blocks, isa.Block{
+		Proc:        0,
+		ClassCounts: counts(1, 0, 0, 0),
+		Bytes:       10,
+		Term: isa.Terminator{
+			Kind:     isa.TermCondBranch,
+			Target:   mainBlocks[0],
+			Behavior: isa.Loop{Trip: trip},
+		},
+	})
+	mainBlocks = append(mainBlocks, isa.BlockID(len(p.Blocks)))
+	p.Blocks = append(p.Blocks, isa.Block{
+		Proc:        0,
+		ClassCounts: counts(1, 0, 0, 0),
+		Bytes:       4,
+		Term:        isa.Terminator{Kind: isa.TermReturn},
+	})
+	p.Procs = append(p.Procs, isa.Procedure{Name: "main", Blocks: mainBlocks})
+
+	// Each callee: A (biased cond skipping B), B (filler), C (return).
+	for i := 0; i < nProcs; i++ {
+		pid := isa.ProcID(i + 1)
+		a := isa.BlockID(len(p.Blocks))
+		bias := 0.05 + 0.9*float64(i%7)/6 // varied biases across branches
+		p.Blocks = append(p.Blocks,
+			isa.Block{
+				Proc:        pid,
+				ClassCounts: counts(3, 0, 0, 0),
+				Bytes:       40 + uint32(i%5)*8,
+				Term: isa.Terminator{
+					Kind:     isa.TermCondBranch,
+					Target:   a + 2,
+					Behavior: isa.Biased{P: bias},
+				},
+			},
+			isa.Block{
+				Proc:        pid,
+				ClassCounts: counts(6, 1, 0, 0),
+				Bytes:       70 + uint32(i%11)*6,
+				Term:        isa.Terminator{Kind: isa.TermFallthrough},
+			},
+			isa.Block{
+				Proc:        pid,
+				ClassCounts: counts(1, 0, 0, 0),
+				Bytes:       12,
+				Term:        isa.Terminator{Kind: isa.TermReturn},
+			},
+		)
+		p.Procs = append(p.Procs, isa.Procedure{
+			Name:   "callee" + itoa(i),
+			Blocks: []isa.BlockID{a, a + 1, a + 2},
+		})
+	}
+	return p
+}
+
+// CacheStress returns a program whose data working set is dominated by
+// many small heap objects, so that the randomizing allocator's placement
+// decisions change L1D conflict misses — the test vehicle for
+// data-layout sensitivity (§1.3).
+func CacheStress(nObjects int, trip uint64) *isa.Program {
+	const objSize = 256
+	p := &isa.Program{
+		Name: "testprog.cachestress",
+		Seed: 8,
+		Main: 0,
+	}
+	pool := make([]isa.ObjectID, nObjects)
+	for i := range pool {
+		pool[i] = isa.ObjectID(i + 1)
+		p.Objects = append(p.Objects, isa.ObjectMeta{Size: objSize, Heap: true})
+	}
+	// Object 0 is a small global, placed by the linker.
+	p.Objects = append([]isa.ObjectMeta{{Size: 4096, Heap: false}}, p.Objects...)
+	for i := range pool {
+		pool[i] = isa.ObjectID(i + 1)
+	}
+	prologue := isa.Block{
+		Proc:        0,
+		ClassCounts: counts(1, 0, 0, 0),
+		Bytes:       10,
+		Term:        isa.Terminator{Kind: isa.TermFallthrough},
+	}
+	for _, obj := range pool {
+		prologue.Allocs = append(prologue.Allocs, isa.AllocOp{Kind: isa.AllocNew, Pool: []isa.ObjectID{obj}})
+	}
+	loop := isa.Block{
+		Proc:        0,
+		ClassCounts: counts(3, 0, 1, 0),
+		Bytes:       60,
+		Mems: []isa.MemOp{
+			{Kind: isa.MemLoad, Pattern: isa.PoolChase{Pool: pool, ObjSize: objSize, Skew: 0.4, Granule: 8}},
+			{Kind: isa.MemLoad, Pattern: isa.PoolChase{Pool: pool, ObjSize: objSize, Skew: 0.4, Granule: 8}},
+			{Kind: isa.MemLoad, Pattern: isa.PoolChase{Pool: pool, ObjSize: objSize, Skew: 0.4, Granule: 8}},
+			{Kind: isa.MemStore, Pattern: isa.Stream{Object: 0, Stride: 8, Size: 4096}},
+		},
+		Term: isa.Terminator{Kind: isa.TermCondBranch, Target: 1, Behavior: isa.Loop{Trip: trip}},
+	}
+	end := isa.Block{
+		Proc:        0,
+		ClassCounts: counts(1, 0, 0, 0),
+		Bytes:       4,
+		Term:        isa.Terminator{Kind: isa.TermReturn},
+	}
+	p.Blocks = []isa.Block{prologue, loop, end}
+	p.Procs = []isa.Procedure{{Name: "main", Blocks: []isa.BlockID{0, 1, 2}}}
+	return p
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func counts(intALU, intMul, fpAdd, fpMul uint16) [isa.NumInstrClasses]uint16 {
+	var c [isa.NumInstrClasses]uint16
+	c[isa.ClassIntALU] = intALU
+	c[isa.ClassIntMul] = intMul
+	c[isa.ClassFPAdd] = fpAdd
+	c[isa.ClassFPMul] = fpMul
+	return c
+}

@@ -1,0 +1,116 @@
+package toolchain
+
+import (
+	"errors"
+	"fmt"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+)
+
+// This file implements the paper's two-pass profiling and instrumentation
+// pass (§5.7). SPEC benchmarks run for over 30 minutes on ref inputs; the
+// paper instruments them so that "under native execution they run for up
+// to approximately two minutes each": a first pass profiles procedure
+// entry counts over the time budget, then a low-frequency procedure
+// executed near the end of the budget is instrumented to terminate the
+// program after the same number of entries. Because procedure entries are
+// counted rather than elapsed time, "each run of a benchmark executes the
+// same number of user instructions" — the invariant interferometry needs.
+
+// LimiterConfig tunes the stop-procedure search.
+type LimiterConfig struct {
+	// Budget is the profiling instruction budget (the "two minutes").
+	Budget uint64
+	// MaxEntryFraction caps how frequently the chosen procedure may
+	// execute, as a fraction of total profiled entries: the paper wants a
+	// "procedure with a low dynamic count" so the two added instructions
+	// have negligible overhead. Zero means 0.05.
+	MaxEntryFraction float64
+	// TailFraction requires the procedure's last profiled entry to fall in
+	// the final fraction of the run ("executed near the end"). Zero means
+	// 0.10.
+	TailFraction float64
+}
+
+// Limiter is the chosen run-limiter: stop when StopProc has been entered
+// StopCount times. Instrs records the exact retired-instruction count the
+// rule reproduces.
+type Limiter struct {
+	StopProc  isa.ProcID
+	StopCount uint64
+	Instrs    uint64
+}
+
+// Rule converts the limiter to an interpreter stop rule.
+func (l Limiter) Rule() interp.StopRule {
+	return interp.StopRule{StopProc: l.StopProc, StopCount: l.StopCount}
+}
+
+// FindLimiter runs the profiling pass and selects the stop procedure.
+// Among procedures whose entry count is positive, at most
+// MaxEntryFraction of all entries, and whose most recent entry falls in
+// the tail of the run, it picks the one entered latest; ties break toward
+// the lower entry count. If no procedure qualifies, the tail constraint is
+// progressively relaxed before giving up.
+func FindLimiter(p *isa.Program, inputSeed uint64, cfg LimiterConfig) (Limiter, error) {
+	if cfg.Budget == 0 {
+		return Limiter{}, errors.New("toolchain: limiter needs a profiling budget")
+	}
+	if cfg.MaxEntryFraction <= 0 {
+		cfg.MaxEntryFraction = 0.05
+	}
+	if cfg.TailFraction <= 0 {
+		cfg.TailFraction = 0.10
+	}
+	prof, err := interp.Run(p, inputSeed, interp.StopRule{Budget: cfg.Budget})
+	if err != nil {
+		return Limiter{}, err
+	}
+
+	var total uint64
+	for _, n := range prof.ProcEntries {
+		total += n
+	}
+	if total == 0 {
+		return Limiter{}, errors.New("toolchain: profile recorded no procedure entries")
+	}
+	// Each relaxation round doubles the permissible entry count and widens
+	// the tail window; tiny programs with only a couple of procedures may
+	// need several rounds before any procedure qualifies.
+	for relax := 0; relax < 6; relax++ {
+		maxEntries := uint64(float64(total) * cfg.MaxEntryFraction * float64(uint64(1)<<relax))
+		if maxEntries == 0 {
+			maxEntries = 1
+		}
+		tailStart := uint64(float64(prof.Instrs) * (1 - cfg.TailFraction*float64(relax+1)))
+		best := -1
+		for pi := range p.Procs {
+			n := prof.ProcEntries[pi]
+			if n == 0 || n > maxEntries {
+				continue
+			}
+			if prof.ProcLastEntry[pi] < tailStart {
+				continue
+			}
+			if best == -1 ||
+				prof.ProcLastEntry[pi] > prof.ProcLastEntry[best] ||
+				(prof.ProcLastEntry[pi] == prof.ProcLastEntry[best] && n < prof.ProcEntries[best]) {
+				best = pi
+			}
+		}
+		if best >= 0 {
+			lim := Limiter{StopProc: isa.ProcID(best), StopCount: prof.ProcEntries[best]}
+			// Re-run under the rule to record the exact instruction count
+			// it reproduces (the "second pass").
+			check, err := interp.Run(p, inputSeed, lim.Rule())
+			if err != nil {
+				return Limiter{}, fmt.Errorf("toolchain: limiter verification failed: %w", err)
+			}
+			lim.Instrs = check.Instrs
+			return lim, nil
+		}
+	}
+	return Limiter{}, fmt.Errorf("toolchain: no suitable stop procedure in %s (all %d procedures too hot or too early)",
+		p.Name, len(p.Procs))
+}

@@ -1,0 +1,80 @@
+package toolchain
+
+import (
+	"sort"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+)
+
+// Profile-guided code placement, after Pettis & Hansen (the paper's §2.2
+// lineage: "many code-improving transformations have been proposed based
+// on code placement"). §2.2 also makes a testable claim about
+// interferometry itself: "if thoughtful code placement optimizations like
+// those mentioned above were widely adopted, our results would show less
+// variance in execution behavior". HotOrderUnits produces such a
+// thoughtful layout — procedures sorted by dynamic execution count so the
+// hot ones pack together — and the codeplacement example shows where it
+// falls within the random-layout CPI distribution.
+
+// HotOrderUnits builds a link line with procedures ordered by descending
+// dynamic entry count (ties broken by procedure ID for determinism), in
+// units of the configured size. Globals keep their Compile assignment.
+func HotOrderUnits(p *isa.Program, prof *interp.Trace, cfg CompileConfig) []Unit {
+	base := Compile(p, cfg)
+	order := make([]isa.ProcID, len(p.Procs))
+	for i := range order {
+		order[i] = isa.ProcID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := uint64(0), uint64(0)
+		if int(order[a]) < len(prof.ProcEntries) {
+			ea = prof.ProcEntries[order[a]]
+		}
+		if int(order[b]) < len(prof.ProcEntries) {
+			eb = prof.ProcEntries[order[b]]
+		}
+		if ea != eb {
+			return ea > eb
+		}
+		return order[a] < order[b]
+	})
+
+	per := cfg.ProcsPerUnit
+	if per <= 0 {
+		per = 8
+	}
+	units := make([]Unit, 0, len(base))
+	for start := 0; start < len(order); start += per {
+		end := start + per
+		if end > len(order) {
+			end = len(order)
+		}
+		units = append(units, Unit{
+			Name:  base[min(start/per, len(base)-1)].Name,
+			Procs: append([]isa.ProcID(nil), order[start:end]...),
+		})
+	}
+	// Reattach globals to the first unit holding any of their original
+	// owners; simplest correct policy: hand all globals to unit 0 in
+	// their original order.
+	var globals []isa.ObjectID
+	for _, u := range base {
+		globals = append(globals, u.Globals...)
+	}
+	units[0].Globals = globals
+	return units
+}
+
+// BuildHotLayout profiles nothing itself: it lays out the program hot
+// first using an existing profile trace and links it.
+func BuildHotLayout(p *isa.Program, prof *interp.Trace, ccfg CompileConfig, lcfg LinkConfig) (*Executable, error) {
+	return Link(p, HotOrderUnits(p, prof, ccfg), 0, lcfg)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

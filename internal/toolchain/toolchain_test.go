@@ -1,0 +1,380 @@
+package toolchain_test
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/machine"
+	"interferometry/internal/progen"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+)
+
+func mustBuild(t *testing.T, p *isa.Program, seed uint64) *toolchain.Executable {
+	t.Helper()
+	exe, err := toolchain.BuildLayout(p, seed, toolchain.CompileConfig{ProcsPerUnit: 2}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+func TestCompilePartition(t *testing.T) {
+	p := testprog.Branchy() // 3 procs
+	units := toolchain.Compile(p, toolchain.CompileConfig{ProcsPerUnit: 2})
+	if len(units) != 2 {
+		t.Fatalf("unit count = %d, want 2", len(units))
+	}
+	seen := map[isa.ProcID]bool{}
+	for _, u := range units {
+		for _, pid := range u.Procs {
+			if seen[pid] {
+				t.Fatalf("procedure %d in two units", pid)
+			}
+			seen[pid] = true
+		}
+	}
+	if len(seen) != len(p.Procs) {
+		t.Fatalf("units cover %d procs, want %d", len(seen), len(p.Procs))
+	}
+}
+
+func TestCompileAssignsGlobals(t *testing.T) {
+	p := testprog.Memory(3) // object 0 is global
+	units := toolchain.Compile(p, toolchain.CompileConfig{})
+	total := 0
+	for _, u := range units {
+		total += len(u.Globals)
+	}
+	if total != 1 {
+		t.Fatalf("globals assigned %d times, want 1", total)
+	}
+}
+
+func TestReorderSeedZeroIsIdentity(t *testing.T) {
+	p := testprog.Branchy()
+	units := toolchain.Compile(p, toolchain.CompileConfig{ProcsPerUnit: 1})
+	re := toolchain.Reorder(units, 0)
+	if !reflect.DeepEqual(units, re) {
+		t.Fatal("seed 0 should be the identity layout")
+	}
+}
+
+func TestReorderDoesNotMutateInput(t *testing.T) {
+	p := testprog.Branchy()
+	units := toolchain.Compile(p, toolchain.CompileConfig{ProcsPerUnit: 3})
+	before := make([][]isa.ProcID, len(units))
+	for i, u := range units {
+		before[i] = append([]isa.ProcID(nil), u.Procs...)
+	}
+	toolchain.Reorder(units, 12345)
+	for i, u := range units {
+		if !reflect.DeepEqual(before[i], u.Procs) {
+			t.Fatal("Reorder mutated its input")
+		}
+	}
+}
+
+func TestReorderReproducible(t *testing.T) {
+	p := testprog.Branchy()
+	units := toolchain.Compile(p, toolchain.CompileConfig{ProcsPerUnit: 1})
+	a := toolchain.Reorder(units, 77)
+	b := toolchain.Reorder(units, 77)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed should give the same ordering")
+	}
+}
+
+func TestReorderPreservesMultiset(t *testing.T) {
+	p := testprog.Branchy()
+	units := toolchain.Compile(p, toolchain.CompileConfig{ProcsPerUnit: 2})
+	check := func(seed uint64) bool {
+		re := toolchain.Reorder(units, seed)
+		seen := map[isa.ProcID]int{}
+		for _, u := range re {
+			for _, pid := range u.Procs {
+				seen[pid]++
+			}
+		}
+		if len(seen) != len(p.Procs) {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkAddressesSound(t *testing.T) {
+	p := testprog.Memory(3)
+	check := func(seed uint64) bool {
+		exe, err := toolchain.BuildLayout(p, seed, toolchain.CompileConfig{ProcsPerUnit: 1}, toolchain.LinkConfig{})
+		if err != nil {
+			return false
+		}
+		// Block address ranges must be disjoint and inside the text
+		// segment; blocks within a procedure must be ascending.
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for bid := range p.Blocks {
+			lo := exe.BlockAddr[bid]
+			hi := exe.BlockEnd(isa.BlockID(bid))
+			if lo < exe.CodeBase || hi > exe.CodeLimit || lo >= hi {
+				return false
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					return false // overlap
+				}
+			}
+		}
+		// Procedure entry must equal its first block's address.
+		for pi := range p.Procs {
+			if exe.ProcAddr[pi] != exe.BlockAddr[p.Procs[pi].Entry()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkAlignment(t *testing.T) {
+	p := testprog.Branchy()
+	exe, err := toolchain.BuildLayout(p, 5, toolchain.CompileConfig{ProcsPerUnit: 1},
+		toolchain.LinkConfig{ProcAlign: 32, FetchAlign: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, addr := range exe.ProcAddr {
+		if addr%32 != 0 {
+			t.Errorf("proc %d entry %#x not 32-aligned", pi, addr)
+		}
+	}
+	// Block 0 is a branch target (b1 and b3 loop back to it).
+	if exe.BlockAddr[0]%16 != 0 {
+		t.Errorf("branch target block not fetch-aligned: %#x", exe.BlockAddr[0])
+	}
+}
+
+func TestLinkGlobalPlacement(t *testing.T) {
+	p := testprog.Memory(3)
+	exe := mustBuild(t, p, 9)
+	if exe.GlobalBase[0] < exe.DataBase || exe.GlobalBase[0]+4096 > exe.DataLimit {
+		t.Errorf("global 0 at %#x outside data segment [%#x,%#x)",
+			exe.GlobalBase[0], exe.DataBase, exe.DataLimit)
+	}
+	if exe.GlobalBase[0]%64 != 0 {
+		t.Errorf("global not cache-line aligned: %#x", exe.GlobalBase[0])
+	}
+	for obj := 1; obj <= 4; obj++ {
+		if exe.GlobalBase[obj] != 0 {
+			t.Errorf("heap object %d was given a linker address", obj)
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentLayouts(t *testing.T) {
+	p := testprog.Branchy()
+	a := mustBuild(t, p, 1)
+	b := mustBuild(t, p, 2)
+	if reflect.DeepEqual(a.BlockAddr, b.BlockAddr) {
+		t.Fatal("different seeds produced identical code layouts")
+	}
+	// Same seed: identical layout (reproducibility, §5.3).
+	c := mustBuild(t, p, 1)
+	if !reflect.DeepEqual(a.BlockAddr, c.BlockAddr) {
+		t.Fatal("same seed produced different layouts")
+	}
+}
+
+func TestLayoutDoesNotChangeCodeContent(t *testing.T) {
+	// The multiset of (block -> bytes) is layout-invariant; only addresses
+	// move. This is the semantic-equivalence guarantee at link level.
+	p := testprog.Branchy()
+	a := mustBuild(t, p, 3)
+	for bid := range p.Blocks {
+		if a.BlockEnd(isa.BlockID(bid))-a.BlockAddr[bid] != uint64(p.Blocks[bid].Bytes) {
+			t.Fatalf("block %d size changed by linking", bid)
+		}
+	}
+}
+
+func TestLinkRejectsDuplicateProc(t *testing.T) {
+	p := testprog.Branchy()
+	units := toolchain.Compile(p, toolchain.CompileConfig{ProcsPerUnit: 3})
+	units[0].Procs = append(units[0].Procs, units[0].Procs[0])
+	if _, err := toolchain.Link(p, units, 1, toolchain.LinkConfig{}); err == nil {
+		t.Fatal("duplicate procedure accepted")
+	}
+}
+
+func TestLinkRejectsMissingProc(t *testing.T) {
+	p := testprog.Branchy()
+	units := toolchain.Compile(p, toolchain.CompileConfig{ProcsPerUnit: 3})
+	units[0].Procs = units[0].Procs[:len(units[0].Procs)-1]
+	if _, err := toolchain.Link(p, units, 1, toolchain.LinkConfig{}); err == nil {
+		t.Fatal("missing procedure accepted")
+	}
+}
+
+func TestTermAddrInsideBlock(t *testing.T) {
+	p := testprog.Branchy()
+	exe := mustBuild(t, p, 4)
+	for bid := range p.Blocks {
+		ta := exe.TermAddr(isa.BlockID(bid))
+		if ta < exe.BlockAddr[bid] || ta >= exe.BlockEnd(isa.BlockID(bid)) {
+			t.Errorf("terminator address %#x outside block %d [%#x,%#x)",
+				ta, bid, exe.BlockAddr[bid], exe.BlockEnd(isa.BlockID(bid)))
+		}
+	}
+}
+
+func TestFindLimiter(t *testing.T) {
+	p := testprog.CallChain(50)
+	lim, err := toolchain.FindLimiter(p, 1, toolchain.LimiterConfig{Budget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Instrs == 0 {
+		t.Fatal("limiter records no instruction count")
+	}
+	// The rule must reproduce exactly the same instruction count on every
+	// run — the paper's "same number of user instructions" invariant.
+	for run := 0; run < 3; run++ {
+		tr, err := interp.Run(p, 1, lim.Rule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Instrs != lim.Instrs {
+			t.Fatalf("run %d retired %d instructions, want %d", run, tr.Instrs, lim.Instrs)
+		}
+	}
+	// The chosen procedure should be "low dynamic count": not the helper
+	// that runs every iteration.
+	tr, _ := interp.Run(p, 1, interp.StopRule{Budget: 5000})
+	var total uint64
+	for _, n := range tr.ProcEntries {
+		total += n
+	}
+	if frac := float64(tr.ProcEntries[lim.StopProc]) / float64(total); frac > 0.5 {
+		t.Errorf("stop procedure accounts for %.0f%% of entries; expected a cold one", frac*100)
+	}
+}
+
+func TestFindLimiterNeedsBudget(t *testing.T) {
+	if _, err := toolchain.FindLimiter(testprog.Counting(3), 1, toolchain.LimiterConfig{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestLimiterInstrsNearBudget(t *testing.T) {
+	p := testprog.CallChain(10)
+	const budget = 20000
+	lim, err := toolchain.FindLimiter(p, 1, toolchain.LimiterConfig{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Instrs < budget/2 || lim.Instrs > budget*2 {
+		t.Errorf("limited run retires %d instructions, far from budget %d", lim.Instrs, budget)
+	}
+}
+
+func TestHotOrderUnits(t *testing.T) {
+	p := testprog.ManyBranches(60, 300)
+	prof, err := interp.Run(p, 1, interp.StopRule{Budget: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := toolchain.HotOrderUnits(p, prof, toolchain.CompileConfig{ProcsPerUnit: 8})
+	// Every procedure appears exactly once.
+	seen := map[isa.ProcID]int{}
+	var flat []isa.ProcID
+	for _, u := range units {
+		for _, pid := range u.Procs {
+			seen[pid]++
+			flat = append(flat, pid)
+		}
+	}
+	if len(seen) != len(p.Procs) {
+		t.Fatalf("hot order covers %d procs, want %d", len(seen), len(p.Procs))
+	}
+	for pid, n := range seen {
+		if n != 1 {
+			t.Fatalf("procedure %d appears %d times", pid, n)
+		}
+	}
+	// Entry counts are non-increasing along the layout.
+	for i := 1; i < len(flat); i++ {
+		if prof.ProcEntries[flat[i]] > prof.ProcEntries[flat[i-1]] {
+			t.Fatalf("hot order violated at %d: %d entries after %d",
+				i, prof.ProcEntries[flat[i]], prof.ProcEntries[flat[i-1]])
+		}
+	}
+	// The layout links successfully.
+	exe, err := toolchain.Link(p, units, 0, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest procedure sits first in the text segment.
+	hottest := flat[0]
+	if exe.ProcAddr[hottest] != exe.CodeBase {
+		t.Errorf("hottest procedure at %#x, text base %#x", exe.ProcAddr[hottest], exe.CodeBase)
+	}
+}
+
+func TestBuildHotLayoutBeatsAverageRandom(t *testing.T) {
+	// Pettis-Hansen-style packing should, on an I-cache-pressured program
+	// with *skewed* procedure hotness, produce fewer L1I misses than a
+	// typical random layout. (On a program whose procedures are uniformly
+	// hot there is nothing for the heuristic to exploit.)
+	spec, ok := progen.ByName("445.gobmk")
+	if !ok {
+		t.Fatal("gobmk spec missing")
+	}
+	p := progen.MustGenerate(spec)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.XeonE5440())
+	missesOf := func(exe *toolchain.Executable) uint64 {
+		c, err := m.Run(machine.RunSpec{Exe: exe, Trace: tr, DisableNoise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.L1IMisses
+	}
+	var randomTotal uint64
+	const n = 10
+	for seed := uint64(1); seed <= n; seed++ {
+		exe, err := toolchain.BuildLayout(p, seed, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomTotal += missesOf(exe)
+	}
+	pgo, err := toolchain.BuildHotLayout(p, tr, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgoMisses := missesOf(pgo)
+	avg := randomTotal / n
+	if pgoMisses > avg {
+		t.Errorf("hot-first layout misses %d, average random layout %d", pgoMisses, avg)
+	}
+}

@@ -1,0 +1,102 @@
+package branch
+
+import "fmt"
+
+// BTB is a set-associative branch target buffer, used for indirect calls
+// and jumps: "a branch target buffer (BTB) or indirect branch predictor
+// would use lower-order bits of the branch address to index a table of
+// branch targets" (§4.1). A lookup that misses, or hits with a stale
+// target, costs a misprediction.
+type BTB struct {
+	sets, ways int
+	setMask    uint64
+	tags       []uint64
+	targets    []uint64
+	valid      []bool
+	order      []uint8
+
+	hits, misses, wrongTarget uint64
+}
+
+// NewBTB builds a BTB with the given geometry (both powers of two... ways
+// may be any positive count).
+func NewBTB(sets, ways int) *BTB {
+	checkPow2(sets, "BTB sets")
+	if ways <= 0 {
+		panic("branch: BTB ways must be positive")
+	}
+	b := &BTB{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		targets: make([]uint64, sets*ways),
+		valid:   make([]bool, sets*ways),
+		order:   make([]uint8, sets*ways),
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			b.order[s*ways+w] = uint8(w)
+		}
+	}
+	return b
+}
+
+// Predict looks up the target for the transfer at pc, then installs or
+// corrects the entry with the actual target. It returns true when the
+// predicted target matched actual (a correct prediction).
+func (b *BTB) Predict(pc, actual uint64) bool {
+	h := hashPC(pc)
+	set := int(h & b.setMask)
+	tag := h / (b.setMask + 1) // the address bits above the set index
+	base := set * b.ways
+	ord := b.order[base : base+b.ways]
+	for i := 0; i < b.ways; i++ {
+		w := int(ord[i])
+		if b.valid[base+w] && b.tags[base+w] == tag {
+			copy(ord[1:], ord[:i])
+			ord[0] = uint8(w)
+			if b.targets[base+w] == actual {
+				b.hits++
+				return true
+			}
+			b.wrongTarget++
+			b.targets[base+w] = actual
+			return false
+		}
+	}
+	b.misses++
+	victim := int(ord[b.ways-1])
+	b.tags[base+victim] = tag
+	b.targets[base+victim] = actual
+	b.valid[base+victim] = true
+	copy(ord[1:], ord[:b.ways-1])
+	ord[0] = uint8(victim)
+	return false
+}
+
+// Mispredictions returns misses plus wrong-target hits.
+func (b *BTB) Mispredictions() uint64 { return b.misses + b.wrongTarget }
+
+// Hits returns correct-target lookups.
+func (b *BTB) Hits() uint64 { return b.hits }
+
+// SizeBits returns the storage budget (tag 48 + target 48 per entry,
+// approximating full-width fields).
+func (b *BTB) SizeBits() int { return b.sets * b.ways * 96 }
+
+// Reset restores power-on state.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+	for s := 0; s < b.sets; s++ {
+		for w := 0; w < b.ways; w++ {
+			b.order[s*b.ways+w] = uint8(w)
+		}
+	}
+	b.hits, b.misses, b.wrongTarget = 0, 0, 0
+}
+
+// String describes the geometry.
+func (b *BTB) String() string { return fmt.Sprintf("btb-%dx%d", b.sets, b.ways) }

@@ -1,0 +1,154 @@
+package branch
+
+import "fmt"
+
+// This file generates the predictor sweep of the paper's linearity study:
+// "MASE simulates 145 different branch predictor configurations with
+// varying accuracies, as well as a perfect branch predictor" (§3.2). The
+// sweep deliberately spans terrible (tiny bimodal, static) through
+// excellent (large L-TAGE) so the regression of CPI on MPKI is exercised
+// over a wide accuracy range.
+
+// Factory builds a fresh predictor instance; sweeps need independent
+// state per benchmark run.
+type Factory struct {
+	Name string
+	New  func() Predictor
+}
+
+// ConfigSpace returns exactly n predictor factories of graded accuracy.
+// It panics if n exceeds the enumerable space (which is far larger than
+// 145).
+func ConfigSpace(n int) []Factory {
+	var fs []Factory
+	add := func(name string, mk func() Predictor) {
+		fs = append(fs, Factory{Name: name, New: mk})
+	}
+
+	// Static predictors: the floor.
+	add("always-taken", func() Predictor { return AlwaysTaken{} })
+	add("never-taken", func() Predictor { return NeverTaken{} })
+
+	// Bimodal family.
+	for _, entries := range []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		e := entries
+		add(fmt.Sprintf("bimodal-%d", e), func() Predictor { return NewBimodal(e) })
+	}
+
+	// Gshare family: table size x history length.
+	for _, entries := range []int{256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+		for _, hist := range []uint{2, 4, 6, 8, 10, 12, 14} {
+			e, h := entries, hist
+			add(fmt.Sprintf("gshare-%dx%d", e, h), func() Predictor { return NewGshare(e, h) })
+		}
+	}
+
+	// GAs family: address bits x history bits.
+	for _, addr := range []uint{2, 3, 4, 5, 6, 7, 8} {
+		for _, hist := range []uint{2, 4, 6, 8, 10, 12} {
+			a, h := addr, hist
+			add(fmt.Sprintf("gas-a%d-h%d", a, h), func() Predictor { return NewGAs(a, h) })
+		}
+	}
+
+	// PAs family.
+	for _, bht := range []int{256, 1024, 4096} {
+		for _, hist := range []uint{4, 6, 8, 10} {
+			b, h := bht, hist
+			add(fmt.Sprintf("pas-%dx%d", b, h), func() Predictor { return NewPAs(b, 4096, h) })
+		}
+	}
+
+	// Hybrid family.
+	for _, hist := range []uint{4, 6, 8, 10, 12} {
+		for _, entries := range []int{1024, 4096, 16384} {
+			h, e := hist, entries
+			add(fmt.Sprintf("hybrid-gshare%dx%d+bimodal", e, h), func() Predictor {
+				return NewHybrid(NewGshare(e, h), NewBimodal(e), e)
+			})
+		}
+	}
+
+	// Gskew family (Michaud, Seznec & Uhlig — the paper's reference [21]).
+	for _, entries := range []int{512, 2048, 8192} {
+		for _, hist := range []uint{6, 10} {
+			e, h := entries, hist
+			add(fmt.Sprintf("gskew-3x%dx%d", e, h), func() Predictor { return NewGskew(e, h) })
+		}
+	}
+
+	// Perceptron family (Jiménez & Lin).
+	for _, rows := range []int{128, 512, 2048} {
+		for _, hist := range []int{12, 24, 40, 59} {
+			r, h := rows, hist
+			add(fmt.Sprintf("perceptron-%dx%d", r, h), func() Predictor { return NewPerceptron(r, h) })
+		}
+	}
+
+	// TAGE family: scaled-down through full L-TAGE.
+	for _, lt := range []struct {
+		tables int
+		logg   uint
+	}{{4, 7}, {6, 8}, {8, 9}, {12, 10}, {12, 11}} {
+		t, g := lt.tables, lt.logg
+		add(fmt.Sprintf("l-tage-%dx2^%d", t, g), func() Predictor {
+			return NewLTAGE(LTAGEConfig{NumTables: t, LogTagged: g, LogBase: 12})
+		})
+	}
+
+	if n > len(fs) {
+		panic(fmt.Sprintf("branch: ConfigSpace has only %d configurations, %d requested", len(fs), n))
+	}
+	if n <= 0 {
+		n = len(fs)
+	}
+	// Take an even spread across the ordered families so any prefix still
+	// covers the accuracy range.
+	if n == len(fs) {
+		return fs
+	}
+	out := make([]Factory, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fs[i*len(fs)/n])
+	}
+	return out
+}
+
+// PaperConfigCount is the sweep size used by the paper's linearity study.
+const PaperConfigCount = 145
+
+// GAsBudget builds the GAs predictor for a given hardware budget in bytes
+// (2KB through 16KB in the paper's Figure 7 sweep): 4 counters per byte,
+// with history getting roughly 60% of the index bits.
+func GAsBudget(bytes int) *GAs {
+	checkPow2(bytes, "GAs budget bytes")
+	indexBits := uint(0)
+	for 1<<(indexBits+1) <= bytes*4 {
+		indexBits++
+	}
+	// Split the index bits roughly evenly between address sets and global
+	// history: growing the budget both reduces table aliasing and extends
+	// the learnable history, as in Yeh & Patt's scaling study.
+	addr := (indexBits + 1) / 2
+	hist := indexBits - addr
+	if hist > 16 {
+		hist = 16
+		addr = indexBits - hist
+	}
+	g := NewGAs(addr, hist)
+	g.name = fmt.Sprintf("gas-%dKB", bytes/1024)
+	return g
+}
+
+// PaperPredictors returns the factories of Figure 7/8: the 2,4,8,16KB GAs
+// predictors and L-TAGE. The real machine predictor and the perfect
+// predictor are handled separately by the experiment drivers.
+func PaperPredictors() []Factory {
+	return []Factory{
+		{Name: "gas-2KB", New: func() Predictor { return GAsBudget(2048) }},
+		{Name: "gas-4KB", New: func() Predictor { return GAsBudget(4096) }},
+		{Name: "gas-8KB", New: func() Predictor { return GAsBudget(8192) }},
+		{Name: "gas-16KB", New: func() Predictor { return GAsBudget(16384) }},
+		{Name: "l-tage", New: func() Predictor { return NewLTAGEDefault() }},
+	}
+}

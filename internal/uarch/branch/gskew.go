@@ -1,0 +1,101 @@
+package branch
+
+import "fmt"
+
+// Gskew is an e-gskew predictor (Michaud, Seznec & Uhlig — reference [21]
+// of the paper, "Trading conflict and capacity aliasing in conditional
+// branch predictors"): three banks of 2-bit counters indexed by three
+// *different* skewed hashes of (address, history), predicting by majority
+// vote. Aliasing that corrupts one bank is outvoted by the other two, so
+// gskew trades capacity for conflict resilience — exactly the effect
+// whose absence interferometry exploits in simpler tables.
+type Gskew struct {
+	banks    [3][]counter
+	mask     uint64
+	histBits uint
+	ghr      uint64
+	name     string
+	// partialUpdate applies the enhanced (e-gskew) update policy: on a
+	// correct prediction only the agreeing banks train, leaving dissenting
+	// entries to serve their other occupants.
+	partialUpdate bool
+}
+
+// NewGskew builds a gskew predictor with three banks of the given size
+// (a power of two) and history length.
+func NewGskew(entriesPerBank int, histBits uint) *Gskew {
+	checkPow2(entriesPerBank, "gskew bank entries")
+	g := &Gskew{
+		mask:          uint64(entriesPerBank - 1),
+		histBits:      histBits,
+		name:          fmt.Sprintf("gskew-3x%dx%d", entriesPerBank, histBits),
+		partialUpdate: true,
+	}
+	for i := range g.banks {
+		g.banks[i] = make([]counter, entriesPerBank)
+	}
+	return g
+}
+
+// skew computes the three bank indices via distinct mixing functions of
+// the PC and history (H, H^shift, and a rotated combination), after the
+// skewing-function family of the original paper.
+func (g *Gskew) skew(pc uint64) [3]uint64 {
+	h := hashPC(pc)
+	hist := g.ghr & (1<<g.histBits - 1)
+	v := h ^ hist
+	return [3]uint64{
+		v & g.mask,
+		(v ^ v>>7 ^ h<<3) & g.mask,
+		(v ^ v>>13 ^ hist<<5) & g.mask,
+	}
+}
+
+// Predict implements Predictor.
+func (g *Gskew) Predict(pc uint64) bool {
+	idx := g.skew(pc)
+	votes := 0
+	for b := range g.banks {
+		if g.banks[b][idx[b]].taken() {
+			votes++
+		}
+	}
+	return votes >= 2
+}
+
+// Update implements Predictor.
+func (g *Gskew) Update(pc uint64, taken bool) {
+	idx := g.skew(pc)
+	correct := g.Predict(pc) == taken
+	for b := range g.banks {
+		e := &g.banks[b][idx[b]]
+		if g.partialUpdate && correct && e.taken() != taken {
+			// Enhanced update: spare the dissenting bank on a correct
+			// majority, reducing cross-branch interference.
+			continue
+		}
+		*e = e.update(taken)
+	}
+	g.ghr = g.ghr<<1 | boolBit(taken)
+}
+
+// Name implements Predictor.
+func (g *Gskew) Name() string { return g.name }
+
+// SizeBits implements Predictor.
+func (g *Gskew) SizeBits() int {
+	return 3*2*len(g.banks[0]) + int(g.histBits)
+}
+
+// Reset implements Predictor.
+func (g *Gskew) Reset() {
+	for b := range g.banks {
+		for i := range g.banks[b] {
+			g.banks[b][i] = 0
+		}
+	}
+	g.ghr = 0
+}
+
+// Compile-time interface check.
+var _ Predictor = (*Gskew)(nil)

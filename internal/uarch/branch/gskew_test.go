@@ -1,0 +1,69 @@
+package branch_test
+
+import (
+	"testing"
+
+	"interferometry/internal/uarch/branch"
+	"interferometry/internal/xrand"
+)
+
+func TestGskewLearnsPatterns(t *testing.T) {
+	rate := measure(branch.NewGskew(2048, 10), patternStream(8, 60000))
+	if rate > 0.05 {
+		t.Fatalf("gskew rate %v on learnable patterns", rate)
+	}
+}
+
+func TestGskewResistsAliasing(t *testing.T) {
+	// The selling point of skewed banks: under heavy capacity pressure
+	// from opposite-biased branches, the majority vote outperforms a
+	// single gshare table of the same total budget (3x1024 counters vs
+	// one 4096-entry table here, so gskew has LESS storage).
+	aliasing := func(yield func(uint64, bool)) {
+		r := xrand.New(900)
+		const nBranches = 600
+		for i := 0; i < 250000; i++ {
+			b := r.Intn(nBranches)
+			dir := xrand.Mix(uint64(b), 3)&1 == 1
+			taken := dir
+			if r.Bool(0.04) {
+				taken = !taken
+			}
+			yield(branchPC(b), taken)
+		}
+	}
+	gskew := measure(branch.NewGskew(1024, 6), aliasing)
+	gshare := measure(branch.NewGshare(1024, 6), aliasing)
+	if gskew >= gshare {
+		t.Fatalf("gskew (%v) should beat an equally-sized-bank gshare (%v) under aliasing", gskew, gshare)
+	}
+}
+
+func TestGskewDeterministicAndResettable(t *testing.T) {
+	p := branch.NewGskew(512, 8)
+	first := measure(p, patternStream(8, 20000))
+	p.Reset()
+	second := measure(p, patternStream(8, 20000))
+	if first != second {
+		t.Fatalf("rates differ after reset: %v vs %v", first, second)
+	}
+}
+
+func TestGskewSizeBits(t *testing.T) {
+	g := branch.NewGskew(1024, 12)
+	if want := 3*2*1024 + 12; g.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", g.SizeBits(), want)
+	}
+	if g.Name() != "gskew-3x1024x12" {
+		t.Fatalf("name %q", g.Name())
+	}
+}
+
+func TestGskewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two bank accepted")
+		}
+	}()
+	branch.NewGskew(1000, 8)
+}

@@ -1,0 +1,96 @@
+package branch_test
+
+import (
+	"testing"
+
+	"interferometry/internal/uarch/branch"
+)
+
+func TestPerceptronLearnsBias(t *testing.T) {
+	rate := measure(branch.NewPerceptron(256, 16), biasedStreamAt(densePC, 21, 16, 50000, 0.98))
+	if rate > 0.05 {
+		t.Fatalf("perceptron rate %v on 98%%-biased branches", rate)
+	}
+}
+
+func TestPerceptronLearnsPatterns(t *testing.T) {
+	pr := measure(branch.NewPerceptron(512, 20), patternStream(8, 60000))
+	bm := measure(branch.NewBimodal(4096), patternStream(8, 60000))
+	if pr > 0.05 {
+		t.Fatalf("perceptron rate %v on learnable patterns", pr)
+	}
+	if pr >= bm {
+		t.Fatalf("perceptron (%v) should beat bimodal (%v) on patterned branches", pr, bm)
+	}
+}
+
+func TestPerceptronLongHistoryAdvantage(t *testing.T) {
+	// The perceptron's selling point: history lengths far beyond what a
+	// pattern table can afford. A loop of trip 30 defeats a 10-bit gshare
+	// but is linearly separable for a 40-bit perceptron.
+	pr := measure(branch.NewPerceptron(256, 40), loopStream(30, 3000))
+	gs := measure(branch.NewGshare(4096, 10), loopStream(30, 3000))
+	if pr >= gs {
+		t.Fatalf("perceptron (%v) should beat short-history gshare (%v) on long loops", pr, gs)
+	}
+	if pr > 0.02 {
+		t.Fatalf("perceptron rate %v on constant-trip loop", pr)
+	}
+}
+
+func TestPerceptronXORLimitation(t *testing.T) {
+	// Linearly inseparable history functions (XOR/parity of two history
+	// bits) defeat a perceptron but not a pattern table — the classic
+	// limitation from the original paper.
+	xorStream := func(yield func(uint64, bool)) {
+		h1, h2 := false, false
+		for i := 0; i < 60000; i++ {
+			taken := h1 != h2
+			yield(0x400040, taken)
+			h1, h2 = h2, taken
+		}
+	}
+	pr := measure(branch.NewPerceptron(256, 16), xorStream)
+	gs := measure(branch.NewGshare(1024, 8), xorStream)
+	if pr < gs {
+		t.Fatalf("perceptron (%v) should not beat gshare (%v) on a parity branch", pr, gs)
+	}
+	if gs > 0.02 {
+		t.Fatalf("gshare should learn the parity pattern, rate %v", gs)
+	}
+}
+
+func TestPerceptronDeterministicAndResettable(t *testing.T) {
+	p := branch.NewPerceptron(128, 12)
+	first := measure(p, patternStream(8, 20000))
+	p.Reset()
+	second := measure(p, patternStream(8, 20000))
+	if first != second {
+		t.Fatalf("rates differ after reset: %v vs %v", first, second)
+	}
+}
+
+func TestPerceptronSizeBits(t *testing.T) {
+	p := branch.NewPerceptron(256, 16)
+	// 256 rows x 17 weights x 8 bits + 16 history bits.
+	if want := 256*17*8 + 16; p.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", p.SizeBits(), want)
+	}
+}
+
+func TestPerceptronPanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { branch.NewPerceptron(100, 16) }, // rows not a power of two
+		func() { branch.NewPerceptron(128, 0) },
+		func() { branch.NewPerceptron(128, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,187 @@
+// Package branch implements the conditional branch predictors the paper
+// measures and simulates: the Smith bimodal predictor, two-level adaptive
+// GAs/gshare/gselect predictors (Yeh & Patt), a local-history PAs
+// predictor, a hybrid with a chooser table (Evers et al.) standing in for
+// the reverse-engineered Intel Xeon E5440 predictor (§5.4), Seznec's
+// L-TAGE (§7.2.2), a perfect oracle, and a branch target buffer for
+// indirect transfers. A configuration registry generates the 145-point
+// predictor sweep used by the linearity study (§3.2).
+//
+// All predictors hash the branch PC into their tables, so two branches can
+// alias — "branches may conflict with one another in these tables leading
+// to aliasing, causing branch prediction accuracy to suffer" (§6.1). That
+// aliasing, perturbed by code layout, is the signal interferometry
+// measures.
+package branch
+
+import "fmt"
+
+// Predictor is a conditional branch direction predictor. Implementations
+// keep all speculative state (history registers, tables) internally;
+// Update must be called exactly once per Predict, with the same pc, in
+// program order.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc uint64, taken bool)
+	// Name identifies the configuration, e.g. "gshare-4096x12".
+	Name() string
+	// SizeBits returns the hardware budget in bits of predictor state.
+	SizeBits() int
+	// Reset restores the power-on state.
+	Reset()
+}
+
+// Oracle is implemented by predictors that are defined to be always
+// correct; simulators special-case them instead of calling Predict.
+type Oracle interface {
+	Oracle()
+}
+
+// counter is a saturating 2-bit counter: 0,1 predict not-taken; 2,3
+// predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// hashPC folds a branch address into a table index seed. Dropping the low
+// two bits reflects instruction alignment; folding the upper bits keeps
+// every address bit relevant, so moving a procedure anywhere in the text
+// segment changes the index.
+func hashPC(pc uint64) uint64 {
+	pc >>= 2
+	return pc ^ pc>>13 ^ pc>>27
+}
+
+// Bimodal is Smith's predictor: a table of 2-bit counters indexed by the
+// branch address.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+	name  string
+}
+
+// NewBimodal builds a bimodal predictor with the given table size, which
+// must be a power of two.
+func NewBimodal(entries int) *Bimodal {
+	checkPow2(entries, "bimodal entries")
+	return &Bimodal{
+		table: make([]counter, entries),
+		mask:  uint64(entries - 1),
+		name:  fmt.Sprintf("bimodal-%d", entries),
+	}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return hashPC(pc) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return b.name }
+
+// SizeBits implements Predictor.
+func (b *Bimodal) SizeBits() int { return 2 * len(b.table) }
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+}
+
+// AlwaysTaken is the trivial static predictor.
+type AlwaysTaken struct{}
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(uint64) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(uint64, bool) {}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// SizeBits implements Predictor.
+func (AlwaysTaken) SizeBits() int { return 0 }
+
+// Reset implements Predictor.
+func (AlwaysTaken) Reset() {}
+
+// NeverTaken is the trivial static predictor.
+type NeverTaken struct{}
+
+// Predict implements Predictor.
+func (NeverTaken) Predict(uint64) bool { return false }
+
+// Update implements Predictor.
+func (NeverTaken) Update(uint64, bool) {}
+
+// Name implements Predictor.
+func (NeverTaken) Name() string { return "never-taken" }
+
+// SizeBits implements Predictor.
+func (NeverTaken) SizeBits() int { return 0 }
+
+// Reset implements Predictor.
+func (NeverTaken) Reset() {}
+
+// Perfect is the oracle predictor: simulators treat every prediction as
+// correct (0 MPKI), the paper's "perfect branch predictor" reference
+// point.
+type Perfect struct{}
+
+// Oracle implements the Oracle marker.
+func (Perfect) Oracle() {}
+
+// Predict implements Predictor; the value is never used because
+// simulators special-case Oracle predictors, but returning the sticky
+// not-taken default keeps non-oracle-aware callers deterministic.
+func (Perfect) Predict(uint64) bool { return false }
+
+// Update implements Predictor.
+func (Perfect) Update(uint64, bool) {}
+
+// Name implements Predictor.
+func (Perfect) Name() string { return "perfect" }
+
+// SizeBits implements Predictor.
+func (Perfect) SizeBits() int { return 0 }
+
+// Reset implements Predictor.
+func (Perfect) Reset() {}
+
+func checkPow2(n int, what string) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("branch: %s %d must be a positive power of two", what, n))
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Predictor = (*Bimodal)(nil)
+	_ Predictor = AlwaysTaken{}
+	_ Predictor = NeverTaken{}
+	_ Predictor = Perfect{}
+	_ Oracle    = Perfect{}
+)

@@ -1,0 +1,251 @@
+package cache_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"interferometry/internal/uarch/cache"
+	"interferometry/internal/xrand"
+)
+
+func small() *cache.Cache {
+	// 4 sets, 2 ways, 64B lines = 512B.
+	return cache.New(cache.Config{Name: "t", SizeBytes: 512, LineBytes: 64, Ways: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []cache.Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 512, LineBytes: 48, Ways: 2},     // line not pow2
+		{SizeBytes: 500, LineBytes: 64, Ways: 2},     // size not multiple
+		{SizeBytes: 512, LineBytes: 64, Ways: 3},     // lines not divisible
+		{SizeBytes: 64 * 6, LineBytes: 64, Ways: 2},  // 3 sets, not pow2
+		{SizeBytes: 512, LineBytes: 64, Ways: -1},    // negative
+		{SizeBytes: 512, LineBytes: -64, Ways: 2},    // negative
+		{SizeBytes: 64 * 2, LineBytes: 64, Ways: 64}, // zero sets
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	good := cache.Config{Name: "L1", SizeBytes: 32 * 1024, LineBytes: 64, Ways: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if good.Sets() != 64 {
+		t.Errorf("Sets = %d, want 64", good.Sets())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x103f) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1040) {
+		t.Fatal("next-line access hit")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits %d misses %d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 4 sets, 2 ways
+	// Three lines mapping to set 0: line = addr>>6; set = line & 3.
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200) // lines 0,4,8 -> set 0
+	c.Access(a)                                               // miss, [a]
+	c.Access(b)                                               // miss, [b,a]
+	c.Access(a)                                               // hit,  [a,b]
+	c.Access(d)                                               // miss, evicts b -> [d,a]
+	if !c.Probe(a) {
+		t.Fatal("a should survive (was MRU)")
+	}
+	if c.Probe(b) {
+		t.Fatal("b should have been evicted (was LRU)")
+	}
+	if !c.Probe(d) {
+		t.Fatal("d should be resident")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := small()
+	c.Access(0x0000)
+	hits, misses := c.Hits(), c.Misses()
+	c.Probe(0x0000)
+	c.Probe(0xffff)
+	if c.Hits() != hits || c.Misses() != misses {
+		t.Fatal("Probe changed counters")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	// A working set equal to the cache size, accessed repeatedly in order,
+	// incurs only cold misses.
+	c := cache.New(cache.Config{Name: "t", SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	for pass := 0; pass < 3; pass++ {
+		for addr := uint64(0); addr < 4096; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if c.Misses() != 64 {
+		t.Fatalf("misses = %d, want 64 cold misses only", c.Misses())
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// A sequential working set of 2x capacity accessed cyclically thrashes
+	// LRU: every access misses after warmup.
+	c := cache.New(cache.Config{Name: "t", SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 8192; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("cyclic over-capacity sweep should never hit LRU, got %d hits", c.Hits())
+	}
+}
+
+func TestConflictMissesDependOnAlignment(t *testing.T) {
+	// Two arrays that map to the same sets conflict in a direct-mapped
+	// cache; offsetting one of them removes the conflicts. This is the
+	// microarchitectural effect heap randomization elicits (§1.3).
+	run := func(offset uint64) uint64 {
+		c := cache.New(cache.Config{Name: "dm", SizeBytes: 1024, LineBytes: 64, Ways: 1})
+		baseA, baseB := uint64(0), uint64(16384)+offset
+		for i := 0; i < 200; i++ {
+			for line := uint64(0); line < 8; line++ {
+				c.Access(baseA + line*64)
+				c.Access(baseB + line*64)
+			}
+		}
+		return c.Misses()
+	}
+	aligned := run(0)  // same sets: ping-pong conflicts
+	offset := run(512) // disjoint halves: no conflicts after warmup
+	if aligned <= offset*10 {
+		t.Fatalf("aligned misses %d should dwarf offset misses %d", aligned, offset)
+	}
+}
+
+func TestInclusionProperty(t *testing.T) {
+	// LRU stack property: for the same access stream, doubling the ways
+	// (same #sets) never increases misses.
+	streamFor := func() []uint64 {
+		r := xrand.New(99)
+		addrs := make([]uint64, 20000)
+		for i := range addrs {
+			addrs[i] = uint64(r.Intn(1 << 14))
+		}
+		return addrs
+	}
+	c2 := cache.New(cache.Config{Name: "2w", SizeBytes: 2048, LineBytes: 64, Ways: 2})
+	c4 := cache.New(cache.Config{Name: "4w", SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	for _, a := range streamFor() {
+		c2.Access(a)
+	}
+	for _, a := range streamFor() {
+		c4.Access(a)
+	}
+	if c4.Misses() > c2.Misses() {
+		t.Fatalf("larger cache missed more: %d > %d", c4.Misses(), c2.Misses())
+	}
+}
+
+func TestInclusionPropertyQuick(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		small := cache.New(cache.Config{Name: "s", SizeBytes: 1024, LineBytes: 64, Ways: 2})
+		big := cache.New(cache.Config{Name: "b", SizeBytes: 2048, LineBytes: 64, Ways: 4})
+		for i := 0; i < 5000; i++ {
+			a := uint64(r.Intn(1 << 13))
+			small.Access(a)
+			big.Access(a)
+		}
+		return big.Misses() <= small.Misses()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small()
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache MissRate should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v, want 0.5", got)
+	}
+}
+
+func TestResetAndFlush(t *testing.T) {
+	c := small()
+	c.Access(0)
+	c.ResetCounters()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+	if !c.Access(0) {
+		t.Fatal("ResetCounters should not flush contents")
+	}
+	c.Flush()
+	if c.Access(0) {
+		t.Fatal("Flush should invalidate contents")
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	c := small()
+	cases := []struct {
+		addr, size uint64
+		want       int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{64, 64, 1},
+		{10, 200, 4},
+	}
+	for _, tc := range cases {
+		if got := c.LinesSpanned(tc.addr, tc.size); got != tc.want {
+			t.Errorf("LinesSpanned(%d,%d) = %d, want %d", tc.addr, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config did not panic")
+		}
+	}()
+	cache.New(cache.Config{SizeBytes: 3, LineBytes: 2, Ways: 1})
+}
+
+func TestPrefetchInstallsWithoutCounting(t *testing.T) {
+	c := small()
+	c.Prefetch(0x2000)
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("Prefetch must not touch the counters")
+	}
+	if !c.Probe(0x2000) {
+		t.Fatal("Prefetch did not install the line")
+	}
+	if !c.Access(0x2000) {
+		t.Fatal("prefetched line should hit on demand access")
+	}
+}

@@ -1,0 +1,11 @@
+package xrand
+
+import "math"
+
+// Thin aliases keep the generator code compact while the package remains a
+// plain consumer of the standard math library.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }
+func pow(x, y float64) float64 {
+	return math.Pow(x, y)
+}

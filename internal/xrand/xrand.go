@@ -1,0 +1,255 @@
+// Package xrand provides the deterministic pseudo-random number generation
+// used throughout the interferometry pipeline.
+//
+// Program interferometry depends on reproducibility: the paper's Camino
+// toolchain "accepts a seed to a pseudorandom number generator to generate
+// pseudo-random but reproducible orderings of procedures and object files"
+// (§5.3), and the DieHard-style allocator likewise assigns random addresses
+// that can be repeated by reusing the key (§1). Package xrand gives every
+// stage of our pipeline an independent, stable stream derived from a single
+// campaign key, so a (benchmark, layout seed, heap seed) triple always
+// reproduces the same executable, the same heap placement, and the same
+// counter readings.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood 2014) for stream
+// derivation plus xoshiro256** (Blackman & Vigna 2018) for bulk generation.
+// Both are implemented here so the module stays stdlib-only and the streams
+// are stable across Go releases, unlike math/rand's unspecified sources.
+package xrand
+
+import "math/bits"
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used both as a stand-alone mixer for key derivation and to seed
+// the xoshiro state from a single 64-bit key.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix hashes a sequence of 64-bit values into a single well-distributed
+// key. It is the basis for deriving independent streams: Mix(campaign,
+// stageTag, index) gives each pipeline stage its own seed.
+func Mix(vs ...uint64) uint64 {
+	state := uint64(0x243f6a8885a308d3) // pi fractional bits
+	for _, v := range vs {
+		state ^= splitmix64(&state) ^ v*0x9e3779b97f4a7c15
+		state = bits.RotateLeft64(state, 29)
+	}
+	return splitmix64(&state)
+}
+
+// Rand is a seeded xoshiro256** generator. The zero value is not usable;
+// construct with New. Rand is not safe for concurrent use; derive one
+// generator per goroutine with Derive or Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from key. Distinct keys yield streams that
+// are independent for all practical purposes.
+func New(key uint64) *Rand {
+	var r Rand
+	r.Reseed(key)
+	return &r
+}
+
+// Reseed resets the generator to the state New(key) would produce.
+func (r *Rand) Reseed(key uint64) {
+	sm := key
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro requires a nonzero state; splitmix64 outputs are zero with
+	// probability 2^-256 for all four words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Derive returns a new generator whose stream is a pure function of this
+// generator's seed key and the given tags, without consuming any state from
+// r. Use it to hand independent streams to sub-stages so that inserting a
+// new consumer does not shift the random numbers seen by existing ones.
+func (r *Rand) Derive(tags ...uint64) *Rand {
+	key := Mix(append([]uint64{r.s[0], r.s[1], r.s[2], r.s[3]}, tags...)...)
+	return New(key)
+}
+
+// Split consumes state from r and returns a fresh generator seeded by it.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * sqrt(-2*ln(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -ln(u)
+		}
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts performs an in-place Fisher-Yates shuffle of p.
+func (r *Rand) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle performs an in-place Fisher-Yates shuffle of n elements using the
+// provided swap function, matching the contract of math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a geometric variate (number of failures before the
+// first success) with success probability p in (0, 1].
+func (r *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("xrand: Geometric called with p <= 0")
+	}
+	// Inverse-CDF method.
+	return int(ln(1-r.Float64()) / ln(1-p))
+}
+
+// Zipf returns a variate in [0, n) with probability proportional to
+// 1/(k+1)^s, via rejection-free inverse CDF over a precomputed table-less
+// approximation. For the modest n used in workload generation a direct
+// cumulative walk is fast enough and exact.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("xrand: Zipf called with n <= 0")
+	}
+	// Direct method: draw u in (0, total] and walk. To avoid O(n) per call
+	// callers that need many draws should use NewZipf.
+	z := NewZipf(r, n, s)
+	return z.Next()
+}
+
+// Zipfian is a reusable Zipf sampler over [0, n) with exponent s, using a
+// precomputed cumulative table and binary search.
+type Zipfian struct {
+	r   *Rand
+	cum []float64
+}
+
+// NewZipf builds a Zipf sampler. Probability of k is (k+1)^-s normalized.
+func NewZipf(r *Rand, n int, s float64) *Zipfian {
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &Zipfian{r: r, cum: cum}
+}
+
+// Next draws the next Zipf variate.
+func (z *Zipfian) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

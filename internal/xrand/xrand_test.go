@@ -1,0 +1,322 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctKeysDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams for distinct keys collided %d/1000 times", same)
+	}
+}
+
+func TestReseedRestoresStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 64)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, draw %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestDeriveDoesNotConsumeState(t *testing.T) {
+	a, b := New(99), New(99)
+	_ = a.Derive(1, 2, 3)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("Derive perturbed parent stream at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	r := New(5)
+	d1 := r.Derive(1)
+	d2 := r.Derive(2)
+	d1again := r.Derive(1)
+	if d1.Uint64() == d2.Uint64() {
+		t.Fatal("derived streams with different tags should differ")
+	}
+	d1.Reseed(0)
+	_ = d1
+	// Same tags must give the same stream.
+	x, y := d1again.Uint64(), r.Derive(1).Uint64()
+	if x != y {
+		t.Fatalf("Derive with same tags differs: %d vs %d", x, y)
+	}
+}
+
+func TestMixStable(t *testing.T) {
+	// Mix must be a pure function.
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(1, 2, 3) == Mix(3, 2, 1) {
+		t.Fatal("Mix should be order-sensitive")
+	}
+	if Mix(0) == Mix(0, 0) {
+		t.Fatal("Mix should be length-sensitive")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(11)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(123)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", k, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(77)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(88)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(10)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	check := func(n uint8) bool {
+		size := int(n%50) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(12)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first element %d appeared %d times, want ~%v", k, c, want)
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	vals := []int{5, 5, 7, 9, 1, 1, 1}
+	got := append([]int(nil), vals...)
+	r.ShuffleInts(got)
+	count := func(s []int) map[int]int {
+		m := map[int]int{}
+		for _, v := range s {
+			m[v]++
+		}
+		return m
+	}
+	cg, cw := count(got), count(vals)
+	for k, v := range cw {
+		if cg[k] != v {
+			t.Fatalf("shuffle changed multiset: %v vs %v", got, vals)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(14)
+	p := 0.25
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // 3.0
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := New(15)
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(16)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != draws {
+		t.Fatalf("Zipf lost draws: %d", total)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 1000; i++ {
+		if v := r.Zipf(10, 0.9); v < 0 || v >= 10 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(18)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", f)
+	}
+}
+
+func TestSplitDiverges(t *testing.T) {
+	r := New(19)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("Split stream identical to parent")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Float64()
+	}
+	_ = sink
+}
