@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"testing"
+
+	"interferometry/internal/core"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
+)
+
+// benchCampaign runs a full campaign — trace generation amortized away,
+// then layout build + measurement per layout — at the given fidelity.
+// Comparing the PaperFidelity and PaperFidelityNaive targets quantifies
+// the single-replay fast path; the shared-compile Builder and the
+// allocation-free machine are in both paths.
+func benchCampaign(b *testing.B, fid pmc.Fidelity) {
+	b.Helper()
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		b.Fatal("missing spec")
+	}
+	cfg := core.CampaignConfig{
+		Program:   progen.MustGenerate(spec),
+		InputSeed: 1,
+		Budget:    200000,
+		Layouts:   32,
+		Fidelity:  fid,
+		BaseSeed:  42,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := core.RunCampaign(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Obs) != cfg.Layouts {
+			b.Fatalf("campaign returned %d observations", len(ds.Obs))
+		}
+	}
+	b.ReportMetric(float64(cfg.Layouts)*float64(b.N)/b.Elapsed().Seconds(), "layouts/s")
+}
+
+// BenchmarkCampaignPaperFidelity is the campaign hot path at paper
+// fidelity with the single-replay protocol (one simulation per layout).
+func BenchmarkCampaignPaperFidelity(b *testing.B) {
+	benchCampaign(b, pmc.FidelityPaper)
+}
+
+// BenchmarkCampaignPaperFidelityNaive runs the literal §5.5 protocol (15
+// simulations per layout) for before/after comparison.
+func BenchmarkCampaignPaperFidelityNaive(b *testing.B) {
+	benchCampaign(b, pmc.FidelityPaperNaive)
+}
+
+// BenchmarkCampaignFastFidelity is the single-run fidelity, the floor a
+// paper-fidelity measurement can approach.
+func BenchmarkCampaignFastFidelity(b *testing.B) {
+	benchCampaign(b, pmc.FidelityFast)
+}

@@ -3,8 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"interferometry/internal/cachetool"
 	"interferometry/internal/stats"
@@ -51,69 +49,38 @@ func (d *Dataset) evaluateCaches(model *Model, candidates []cache.Config, data b
 		perLayout[i] = make([]float64, len(d.Obs))
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if w := d.Config.Workers; w > 0 {
-		workers = w
-	}
-	if workers > len(d.Obs) {
-		workers = len(d.Obs)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		next     int
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(d.Obs) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-
-				exe, err := toolchain.BuildLayout(d.Config.Program, d.Obs[i].LayoutSeed,
-					d.Config.Compile, d.Config.Link)
-				var rs []cachetool.Result
-				if err == nil {
-					// No warmup: the measured counters that trained the
-					// model include each run's cold misses, so the
-					// candidate simulation must replay under the same
-					// protocol for its MPKI to be comparable.
-					cfg := cachetool.Config{}
-					if data {
-						cfg.Data = true
-						cfg.HeapMode = d.Config.HeapMode
-						cfg.HeapSeed = d.Obs[i].HeapSeed
-						rs, err = cachetool.RunDCache(d.Trace, exe, candidates, cfg)
-					} else {
-						rs, err = cachetool.RunICache(d.Trace, exe, candidates, cfg)
-					}
-				}
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: cache eval layout %d: %w", i, err)
-					}
-					mu.Unlock()
-					return
-				}
-				for ci, r := range rs {
-					perLayout[ci][i] = r.MPKI()
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	// One compile shared by every layout; each column of perLayout is
+	// written at a distinct index, so no locking is needed.
+	builder := toolchain.NewBuilder(d.Config.Program, d.Config.Compile, d.Config.Link)
+	workers := normalizeWorkers(d.Config.Workers, len(d.Obs))
+	err := parallelFor(workers, len(d.Obs), func(_, i int) error {
+		exe, err := builder.Build(d.Obs[i].LayoutSeed)
+		if err != nil {
+			return fmt.Errorf("core: cache eval layout %d: %w", i, err)
+		}
+		// No warmup: the measured counters that trained the model include
+		// each run's cold misses, so the candidate simulation must replay
+		// under the same protocol for its MPKI to be comparable.
+		var rs []cachetool.Result
+		cfg := cachetool.Config{}
+		if data {
+			cfg.Data = true
+			cfg.HeapMode = d.Config.HeapMode
+			cfg.HeapSeed = d.Obs[i].HeapSeed
+			rs, err = cachetool.RunDCache(d.Trace, exe, candidates, cfg)
+		} else {
+			rs, err = cachetool.RunICache(d.Trace, exe, candidates, cfg)
+		}
+		if err != nil {
+			return fmt.Errorf("core: cache eval layout %d: %w", i, err)
+		}
+		for ci, r := range rs {
+			perLayout[ci][i] = r.MPKI()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := make([]CacheEval, len(candidates))

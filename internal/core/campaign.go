@@ -10,8 +10,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"interferometry/internal/heap"
 	"interferometry/internal/interp"
@@ -135,60 +133,36 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 		Obs:       make([]Observation, cfg.Layouts),
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Layouts {
-		workers = cfg.Layouts
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
+	// One compile shared by every layout and worker: only Reorder+Link
+	// depend on the layout seed.
+	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
+	workers := normalizeWorkers(cfg.Workers, cfg.Layouts)
 	mcfg := cfg.machineConfig()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			h := &pmc.Harness{
-				Machine:      machine.New(mcfg),
-				Fidelity:     cfg.Fidelity,
-				RunsPerGroup: cfg.RunsPerGroup,
-			}
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= cfg.Layouts {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-
-				obs, err := measureLayout(&cfg, h, trace, i)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				ds.Obs[i] = obs
-				mu.Unlock()
-			}
-		}()
+	harnesses := make([]*pmc.Harness, workers)
+	for w := range harnesses {
+		harnesses[w] = &pmc.Harness{
+			Machine:      machine.New(mcfg),
+			Fidelity:     cfg.Fidelity,
+			RunsPerGroup: cfg.RunsPerGroup,
+		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err = parallelFor(workers, cfg.Layouts, func(w, i int) error {
+		obs, err := measureLayout(&cfg, harnesses[w], builder, trace, i)
+		if err != nil {
+			return err
+		}
+		ds.Obs[i] = obs
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }
 
-func measureLayout(cfg *CampaignConfig, h *pmc.Harness, trace *interp.Trace, i int) (Observation, error) {
+func measureLayout(cfg *CampaignConfig, h *pmc.Harness, builder *toolchain.Builder, trace *interp.Trace, i int) (Observation, error) {
 	seed := cfg.layoutSeed(i)
-	exe, err := toolchain.BuildLayout(cfg.Program, seed, cfg.Compile, cfg.Link)
+	exe, err := builder.Build(seed)
 	if err != nil {
 		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
 	}

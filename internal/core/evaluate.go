@@ -3,8 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"interferometry/internal/pintool"
 	"interferometry/internal/stats"
@@ -42,60 +40,26 @@ func (d *Dataset) EvaluatePredictors(model *Model, factories []branch.Factory) (
 		perLayout[i] = make([]float64, len(d.Obs))
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if w := d.Config.Workers; w > 0 {
-		workers = w
-	}
-	if workers > len(d.Obs) {
-		workers = len(d.Obs)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		next     int
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(d.Obs) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-
-				exe, err := toolchain.BuildLayout(d.Config.Program, d.Obs[i].LayoutSeed,
-					d.Config.Compile, d.Config.Link)
-				if err == nil {
-					var rs []pintool.Result
-					rs, err = pintool.Run(d.Trace, exe, factories, pintool.Config{Warmup: true})
-					if err == nil {
-						mu.Lock()
-						for pi, r := range rs {
-							perLayout[pi][i] = r.MPKI()
-						}
-						mu.Unlock()
-					}
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: predictor eval layout %d: %w", i, err)
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	// One compile shared by every layout; each column of perLayout is
+	// written at a distinct index, so no locking is needed.
+	builder := toolchain.NewBuilder(d.Config.Program, d.Config.Compile, d.Config.Link)
+	workers := normalizeWorkers(d.Config.Workers, len(d.Obs))
+	err := parallelFor(workers, len(d.Obs), func(_, i int) error {
+		exe, err := builder.Build(d.Obs[i].LayoutSeed)
+		if err != nil {
+			return fmt.Errorf("core: predictor eval layout %d: %w", i, err)
+		}
+		rs, err := pintool.Run(d.Trace, exe, factories, pintool.Config{Warmup: true})
+		if err != nil {
+			return fmt.Errorf("core: predictor eval layout %d: %w", i, err)
+		}
+		for pi, r := range rs {
+			perLayout[pi][i] = r.MPKI()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := make([]PredictorEval, len(factories))

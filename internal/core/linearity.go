@@ -3,8 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"interferometry/internal/interp"
 	"interferometry/internal/isa"
@@ -82,7 +80,7 @@ func RunLinearityStudy(cfg LinearityConfig) (*LinearityResult, error) {
 		return nil, err
 	}
 	// One fixed layout: the sweep varies the predictor, not the code.
-	exe, err := toolchain.BuildLayout(cfg.Program, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	exe, err := toolchain.NewBuilder(cfg.Program, toolchain.CompileConfig{}, toolchain.LinkConfig{}).Build(1)
 	if err != nil {
 		return nil, err
 	}
@@ -98,47 +96,23 @@ func RunLinearityStudy(cfg LinearityConfig) (*LinearityResult, error) {
 		Points:    make([]LinearityPoint, len(configs)),
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Each worker reuses one machine; points are written at distinct
+	// indices, so only the index counter is shared.
+	workers := normalizeWorkers(cfg.Workers, len(configs))
+	machines := make([]*machine.Machine, workers)
+	for w := range machines {
+		machines[w] = machine.New(mcfg)
 	}
-	if workers > len(configs) {
-		workers = len(configs)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		next     int
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := machine.New(mcfg)
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(configs) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-
-				c, err := run(m, configs[i].New())
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("core: linearity config %s: %w", configs[i].Name, err)
-				}
-				res.Points[i] = LinearityPoint{Config: configs[i].Name, MPKI: c.MPKI(), CPI: c.CPI()}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err = parallelFor(workers, len(configs), func(w, i int) error {
+		c, err := run(machines[w], configs[i].New())
+		if err != nil {
+			return fmt.Errorf("core: linearity config %s: %w", configs[i].Name, err)
+		}
+		res.Points[i] = LinearityPoint{Config: configs[i].Name, MPKI: c.MPKI(), CPI: c.CPI()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Reference runs: perfect oracle and L-TAGE, on a private machine.

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// normalizeWorkers clamps a requested worker count to [1, n], defaulting
+// to GOMAXPROCS.
+func normalizeWorkers(requested, n int) int {
+	workers := requested
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelFor runs fn(worker, i) for every i in [0, n) across workers
+// goroutines. Indices are handed out from a lock-free atomic counter;
+// callers write results at distinct indices, so the only synchronized
+// state is the counter and the first-error capture. The first error stops
+// the sweep and is returned. worker identifies the goroutine in
+// [0, workers) so callers can give each its own machine or harness.
+func parallelFor(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}

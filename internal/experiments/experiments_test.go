@@ -36,6 +36,9 @@ func TestScaleByName(t *testing.T) {
 }
 
 func TestFigure1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale campaign sweep; skipped in -short runs")
+	}
 	res, err := experiments.Figure1(testCtx())
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +198,9 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure7And8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale predictor sweep; skipped in -short runs")
+	}
 	res, err := experiments.Figure7(testCtx())
 	if err != nil {
 		t.Fatal(err)

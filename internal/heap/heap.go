@@ -57,17 +57,40 @@ func (c *Config) fillDefaults() {
 // Randomized is the DieHard-style allocator.
 type Randomized struct {
 	cfg     Config
-	rng     *xrand.Rand
+	rng     xrand.Rand
 	next    uint64 // bump pointer for carving new class regions
 	classes map[uint64]*sizeClass
-	objs    map[isa.ObjectID]*placement
+	objs    []placement
+	// pool holds retired regions from before a Reset; grow reuses their
+	// backing storage instead of allocating, so a reset allocator reaches
+	// steady state without fresh allocations.
+	pool []*region
 }
 
+// placement is indexed by ObjectID; known distinguishes an object that has
+// never been allocated from one placed at address zero.
 type placement struct {
 	base  uint64
 	size  uint64
 	class uint64
+	known bool
 	live  bool
+}
+
+// ensurePlacement grows objs to cover obj and returns its slot. Growth
+// doubles capacity so repeated runs over the same program allocate only on
+// first use.
+func ensurePlacement(objs *[]placement, obj isa.ObjectID) *placement {
+	if n := int(obj) + 1; n > len(*objs) {
+		if n <= cap(*objs) {
+			*objs = (*objs)[:n]
+		} else {
+			grown := make([]placement, n, 2*n)
+			copy(grown, *objs)
+			*objs = grown
+		}
+	}
+	return &(*objs)[obj]
 }
 
 type sizeClass struct {
@@ -86,13 +109,26 @@ type region struct {
 
 // NewRandomized returns a randomizing allocator seeded by seed.
 func NewRandomized(seed uint64, cfg Config) *Randomized {
+	a := &Randomized{classes: make(map[uint64]*sizeClass)}
+	a.Reset(seed, cfg)
+	return a
+}
+
+// Reset restores the allocator to the state NewRandomized(seed, cfg) would
+// produce, reusing the existing storage: the address sequence after a Reset
+// is bit-identical to that of a freshly constructed allocator.
+func (a *Randomized) Reset(seed uint64, cfg Config) {
 	cfg.fillDefaults()
-	return &Randomized{
-		cfg:     cfg,
-		rng:     xrand.New(xrand.Mix(seed, 0x68656170)), // "heap"
-		next:    cfg.Base,
-		classes: make(map[uint64]*sizeClass),
-		objs:    make(map[isa.ObjectID]*placement),
+	a.cfg = cfg
+	a.rng.Reseed(xrand.Mix(seed, 0x68656170)) // "heap"
+	a.next = cfg.Base
+	for _, sc := range a.classes {
+		a.pool = append(a.pool, sc.regions...)
+		sc.regions = sc.regions[:0]
+		sc.free, sc.total = 0, 0
+	}
+	for i := range a.objs {
+		a.objs[i] = placement{}
 	}
 }
 
@@ -115,7 +151,8 @@ const pageBytes = 4096
 
 // Alloc implements Allocator.
 func (a *Randomized) Alloc(obj isa.ObjectID, size uint64) uint64 {
-	if p, ok := a.objs[obj]; ok && p.live {
+	p := ensurePlacement(&a.objs, obj)
+	if p.known && p.live {
 		a.Free(obj)
 	}
 	slot := a.classSlot(size)
@@ -149,7 +186,7 @@ func (a *Randomized) Alloc(obj isa.ObjectID, size uint64) uint64 {
 					if jitterSlots > 0 {
 						base += a.rng.Uint64n(jitterSlots+1) * pageBytes
 					}
-					a.objs[obj] = &placement{base: base, size: size, class: slot, live: true}
+					*p = placement{base: base, size: size, class: slot, known: true, live: true}
 					return base
 				}
 				break
@@ -159,23 +196,47 @@ func (a *Randomized) Alloc(obj isa.ObjectID, size uint64) uint64 {
 	}
 }
 
-// grow adds a region to the class, doubling capacity each time.
+// grow adds a region to the class, doubling capacity each time. Retired
+// regions from a Reset are reused when large enough.
 func (a *Randomized) grow(sc *sizeClass) {
 	slots := sc.total
 	if slots == 0 {
 		slots = 8
 	}
-	r := &region{base: align(a.next, sc.slot), slots: slots, used: make([]bool, slots), free: slots}
+	r := a.newRegion(slots)
+	r.base = align(a.next, sc.slot)
 	a.next = r.base + uint64(slots)*sc.slot
 	sc.regions = append(sc.regions, r)
 	sc.free += slots
 	sc.total += slots
 }
 
+// newRegion returns a cleared region with the given slot count, reusing
+// pooled storage when possible.
+func (a *Randomized) newRegion(slots int) *region {
+	for i, r := range a.pool {
+		if cap(r.used) >= slots {
+			a.pool[i] = a.pool[len(a.pool)-1]
+			a.pool = a.pool[:len(a.pool)-1]
+			r.used = r.used[:slots]
+			for j := range r.used {
+				r.used[j] = false
+			}
+			r.slots = slots
+			r.free = slots
+			return r
+		}
+	}
+	return &region{slots: slots, used: make([]bool, slots), free: slots}
+}
+
 // Free implements Allocator.
 func (a *Randomized) Free(obj isa.ObjectID) {
-	p, ok := a.objs[obj]
-	if !ok || !p.live {
+	if int(obj) >= len(a.objs) {
+		return
+	}
+	p := &a.objs[obj]
+	if !p.known || !p.live {
 		return
 	}
 	sc := a.classes[p.class]
@@ -195,17 +256,15 @@ func (a *Randomized) Free(obj isa.ObjectID) {
 
 // Base implements Allocator.
 func (a *Randomized) Base(obj isa.ObjectID) (uint64, bool) {
-	p, ok := a.objs[obj]
-	if !ok {
+	if int(obj) >= len(a.objs) || !a.objs[obj].known {
 		return 0, false
 	}
-	return p.base, true
+	return a.objs[obj].base, true
 }
 
 // Live implements Allocator.
 func (a *Randomized) Live(obj isa.ObjectID) bool {
-	p, ok := a.objs[obj]
-	return ok && p.live
+	return int(obj) < len(a.objs) && a.objs[obj].live
 }
 
 // Bump is the sequential baseline allocator: objects are placed one after
@@ -215,48 +274,56 @@ func (a *Randomized) Live(obj isa.ObjectID) bool {
 type Bump struct {
 	cfg  Config
 	next uint64
-	objs map[isa.ObjectID]*placement
+	objs []placement
 }
 
 // NewBump returns a bump allocator.
 func NewBump(cfg Config) *Bump {
+	b := &Bump{}
+	b.Reset(cfg)
+	return b
+}
+
+// Reset restores the allocator to the state NewBump(cfg) would produce,
+// reusing the existing placement storage.
+func (b *Bump) Reset(cfg Config) {
 	cfg.fillDefaults()
-	return &Bump{cfg: cfg, next: cfg.Base, objs: make(map[isa.ObjectID]*placement)}
+	b.cfg = cfg
+	b.next = cfg.Base
+	for i := range b.objs {
+		b.objs[i] = placement{}
+	}
 }
 
 // Alloc implements Allocator.
 func (b *Bump) Alloc(obj isa.ObjectID, size uint64) uint64 {
-	if p, ok := b.objs[obj]; ok && p.live {
-		// Churn on a bump allocator re-places at a fresh address too; the
-		// address stream stays deterministic.
-		p.live = false
-	}
+	p := ensurePlacement(&b.objs, obj)
 	base := align(b.next, 16)
 	b.next = base + size
-	b.objs[obj] = &placement{base: base, size: size, live: true}
+	// Churn on a bump allocator re-places at a fresh address too; the
+	// address stream stays deterministic.
+	*p = placement{base: base, size: size, known: true, live: true}
 	return base
 }
 
 // Free implements Allocator.
 func (b *Bump) Free(obj isa.ObjectID) {
-	if p, ok := b.objs[obj]; ok {
-		p.live = false
+	if int(obj) < len(b.objs) {
+		b.objs[obj].live = false
 	}
 }
 
 // Base implements Allocator.
 func (b *Bump) Base(obj isa.ObjectID) (uint64, bool) {
-	p, ok := b.objs[obj]
-	if !ok {
+	if int(obj) >= len(b.objs) || !b.objs[obj].known {
 		return 0, false
 	}
-	return p.base, true
+	return b.objs[obj].base, true
 }
 
 // Live implements Allocator.
 func (b *Bump) Live(obj isa.ObjectID) bool {
-	p, ok := b.objs[obj]
-	return ok && p.live
+	return int(obj) < len(b.objs) && b.objs[obj].live
 }
 
 // Mode selects the allocator used by a campaign.

@@ -1,0 +1,76 @@
+package heap_test
+
+import (
+	"testing"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/isa"
+	"interferometry/internal/xrand"
+)
+
+// driveAllocator runs a deterministic churn workload and returns the
+// address of every allocation.
+func driveAllocator(a heap.Allocator, seed uint64) []uint64 {
+	rng := xrand.New(xrand.Mix(seed, 0x7265736574))
+	var addrs []uint64
+	for i := 0; i < 400; i++ {
+		obj := isa.ObjectID(rng.Intn(40))
+		switch rng.Intn(3) {
+		case 0, 1:
+			size := uint64(8 << rng.Intn(10)) // 8B..4KB, plus page-jitter sizes
+			if rng.Bool(0.1) {
+				size = 5000 + rng.Uint64n(20000)
+			}
+			addrs = append(addrs, a.Alloc(obj, size))
+		case 2:
+			a.Free(obj)
+		}
+	}
+	return addrs
+}
+
+// TestRandomizedResetMatchesFresh checks that Reset restores a Randomized
+// allocator to its freshly-constructed state: the full address sequence of
+// a workload must be bit-identical, including when the reset changes seed
+// and base address. Machine reuse across campaign runs depends on this.
+func TestRandomizedResetMatchesFresh(t *testing.T) {
+	cfgA := heap.Config{Base: 0x20000000}
+	cfgB := heap.Config{Base: 0x30000000, MinSlot: 32}
+	reused := heap.NewRandomized(1, cfgA)
+	driveAllocator(reused, 99) // dirty it
+
+	for i, tc := range []struct {
+		seed uint64
+		cfg  heap.Config
+	}{{1, cfgA}, {2, cfgA}, {3, cfgB}, {1, cfgA}} {
+		reused.Reset(tc.seed, tc.cfg)
+		got := driveAllocator(reused, 7)
+		want := driveAllocator(heap.NewRandomized(tc.seed, tc.cfg), 7)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d addrs vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("case %d: alloc %d placed at %#x after reset, %#x fresh", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestBumpResetMatchesFresh is the bump-allocator analog.
+func TestBumpResetMatchesFresh(t *testing.T) {
+	reused := heap.NewBump(heap.Config{})
+	driveAllocator(reused, 5)
+	cfg := heap.Config{Base: 0x40000000}
+	reused.Reset(cfg)
+	got := driveAllocator(reused, 11)
+	want := driveAllocator(heap.NewBump(cfg), 11)
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("alloc %d placed at %#x after reset, %#x fresh", j, got[j], want[j])
+		}
+	}
+	if base, ok := reused.Base(isa.ObjectID(1000)); ok || base != 0 {
+		t.Error("never-allocated object reported a base")
+	}
+}

@@ -139,6 +139,10 @@ type Cursor struct {
 // NewCursor returns a cursor positioned at the start of the trace.
 func (t *Trace) NewCursor() *Cursor { return &Cursor{t: t} }
 
+// Cursor returns a cursor value positioned at the start of the trace. Hot
+// replay loops use it to keep the cursor on the caller's stack.
+func (t *Trace) Cursor() Cursor { return Cursor{t: t} }
+
 // NextBlock returns the next executed block ID, or false at end of trace.
 func (c *Cursor) NextBlock() (isa.BlockID, bool) {
 	if c.blockIdx >= len(c.t.BlockSeq) {

@@ -3,11 +3,49 @@ package machine_test
 import (
 	"testing"
 
+	"interferometry/internal/heap"
 	"interferometry/internal/interp"
 	"interferometry/internal/machine"
 	"interferometry/internal/progen"
 	"interferometry/internal/toolchain"
 )
+
+// BenchmarkMachineRun measures the steady-state cost of one timing-model
+// run, the unit the paper protocol multiplies by 15. The machine reuses
+// its predictor, heap allocator, load tables and scratch slices, so
+// allocs/op must report 0 in steady state for both heap modes.
+func BenchmarkMachineRun(b *testing.B) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		b.Fatal("missing spec")
+	}
+	prog := progen.MustGenerate(spec)
+	tr, err := interp.Run(prog, 1, interp.StopRule{Budget: 200000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(prog, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []heap.Mode{heap.ModeBump, heap.ModeRandomized} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m := machine.New(machine.XeonE5440())
+			rs := machine.RunSpec{Exe: exe, Trace: tr, HeapMode: mode, HeapSeed: 3}
+			if _, err := m.Run(rs); err != nil { // warm the reusable state
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs.NoiseSeed = uint64(i)
+				if _, err := m.Run(rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkReplay measures the timing model's replay throughput on a
 // realistic benchmark trace, the inner loop of every campaign.

@@ -16,17 +16,39 @@ import (
 
 // Machine is a reusable simulator instance. It is not safe for concurrent
 // use; create one per goroutine.
+//
+// A machine reuses all per-run scratch state (the built-in predictor, the
+// heap allocators, the object-placement tables and the per-block load
+// tables), so steady-state runs perform no heap allocation; every piece of
+// reused state is restored to its power-on value before each run, making a
+// reused machine bit-identical to a fresh one.
 type Machine struct {
 	cfg Config
 
 	l1i, l1d, l2 *cache.Cache
 	btb          *branch.BTB
 
+	// builtin is the reusable Xeon-model predictor used when RunSpec does
+	// not override it; it is Reset before every run.
+	builtin branch.Predictor
+
 	// loaded caches the per-block precomputation for one (program,
 	// executable) pair; reloading happens automatically when the
 	// executable changes.
 	loadedExe *toolchain.Executable
 	blocks    []loadedBlock
+	// callees is the flat backing array for the blocks' calleeAddrs
+	// sub-slices, reused across loads.
+	callees []uint64
+
+	// objBase/objSet are per-run object placement scratch, sized to the
+	// program.
+	objBase []uint64
+	objSet  []bool
+
+	// Reusable allocators for the two heap modes.
+	bumpHeap *heap.Bump
+	randHeap *heap.Randomized
 }
 
 // loadedBlock is the precomputed per-block state for one executable.
@@ -85,14 +107,31 @@ type RunSpec struct {
 // Run replays the trace through the timing model and returns the counter
 // readings.
 func (m *Machine) Run(spec RunSpec) (Counters, error) {
+	c, det, err := m.RunDeterministic(spec)
+	if err != nil {
+		return Counters{}, err
+	}
+	if !spec.DisableNoise {
+		c.Cycles = m.NoisyCycles(spec, det)
+	}
+	return c, nil
+}
+
+// RunDeterministic replays the trace with the system-noise model off and
+// returns the counters together with the raw (unrounded) cycle count. The
+// raw count is what NoisyCycles needs to synthesize the noisy observation
+// any NoiseSeed would have produced, without re-running the simulation:
+// noise perturbs only the final cycle scalar, never the simulated
+// microarchitectural state.
+func (m *Machine) RunDeterministic(spec RunSpec) (Counters, float64, error) {
 	if spec.Exe == nil || spec.Trace == nil {
-		return Counters{}, errors.New("machine: RunSpec needs Exe and Trace")
+		return Counters{}, 0, errors.New("machine: RunSpec needs Exe and Trace")
 	}
 	if spec.Trace.Program != spec.Exe.Program {
-		return Counters{}, errors.New("machine: trace and executable are from different programs")
+		return Counters{}, 0, errors.New("machine: trace and executable are from different programs")
 	}
 	if err := m.load(spec.Exe); err != nil {
-		return Counters{}, err
+		return Counters{}, 0, err
 	}
 	m.l1i.Flush()
 	m.l1d.Flush()
@@ -101,27 +140,38 @@ func (m *Machine) Run(spec RunSpec) (Counters, error) {
 
 	pred := spec.Predictor
 	if pred == nil {
-		pred = branch.NewXeonE5440()
-	} else {
-		pred.Reset()
+		if m.builtin == nil {
+			m.builtin = branch.NewXeonE5440()
+		}
+		pred = m.builtin
 	}
+	pred.Reset()
 	_, oracle := pred.(branch.Oracle)
 
 	prog := spec.Exe.Program
-	alloc := heap.New(spec.HeapMode, spec.HeapSeed, heap.Config{Base: spec.Exe.DataLimit + 0x1000000})
+	alloc := m.heapFor(spec)
 
+	if n := len(prog.Objects); cap(m.objBase) < n {
+		m.objBase = make([]uint64, n)
+		m.objSet = make([]bool, n)
+	} else {
+		m.objBase = m.objBase[:n]
+		m.objSet = m.objSet[:n]
+	}
 	var (
 		cycles  float64
 		c       Counters
 		cfg     = &m.cfg
-		cur     = spec.Trace.NewCursor()
-		objBase = make([]uint64, len(prog.Objects))
-		objSet  = make([]bool, len(prog.Objects))
+		cur     = spec.Trace.Cursor()
+		objBase = m.objBase
+		objSet  = m.objSet
 	)
 	for i := range prog.Objects {
 		if !prog.Objects[i].Heap {
 			objBase[i] = spec.Exe.GlobalBase[i]
 			objSet[i] = true
+		} else {
+			objSet[i] = false
 		}
 	}
 
@@ -160,7 +210,7 @@ func (m *Machine) Run(spec RunSpec) (Counters, error) {
 		for i := 0; i < lb.nMems; i++ {
 			obj, off := cur.NextMem()
 			if !objSet[obj] {
-				return Counters{}, fmt.Errorf("machine: access to unplaced object %d in block %d", obj, bid)
+				return Counters{}, 0, fmt.Errorf("machine: access to unplaced object %d in block %d", obj, bid)
 			}
 			addr := objBase[obj] + uint64(off)
 			if !m.l1d.Access(addr) {
@@ -213,54 +263,111 @@ func (m *Machine) Run(spec RunSpec) (Counters, error) {
 	c.L2Accesses = m.l2.Accesses()
 	c.L2Misses = m.l2.Misses()
 
-	// System noise: only observed quantities are perturbed, never the
-	// simulated microarchitectural state.
-	if !spec.DisableNoise {
-		rng := xrand.New(xrand.Mix(spec.NoiseSeed, spec.Exe.Seed, spec.Trace.InputSeed, 0x6e6f6973))
-		cycles *= 1 + cfg.NoiseSigma*rng.NormFloat64()
-		if rng.Bool(cfg.NoiseSpikeProb) {
-			cycles += cfg.NoiseSpikeScale * sqrtF(cycles) * (1 + rng.Float64())
-		}
-	}
-	if cycles < 0 {
-		cycles = 0
-	}
-	c.Cycles = uint64(cycles + 0.5)
-	return c, nil
+	c.Cycles = roundCycles(cycles)
+	return c, cycles, nil
 }
 
-// load precomputes per-block state for the executable.
+// NoisyCycles applies the system-noise model to a deterministic cycle
+// count, exactly as Run would for the spec's NoiseSeed. Only observed
+// quantities are perturbed, never the simulated microarchitectural state —
+// which is why a single deterministic replay plus NoisyCycles per seed is
+// bit-identical to re-running the full simulation per seed.
+func (m *Machine) NoisyCycles(spec RunSpec, det float64) uint64 {
+	var rng xrand.Rand
+	rng.Reseed(xrand.Mix(spec.NoiseSeed, spec.Exe.Seed, spec.Trace.InputSeed, 0x6e6f6973))
+	cycles := det
+	cycles *= 1 + m.cfg.NoiseSigma*rng.NormFloat64()
+	if rng.Bool(m.cfg.NoiseSpikeProb) {
+		cycles += m.cfg.NoiseSpikeScale * sqrtF(cycles) * (1 + rng.Float64())
+	}
+	return roundCycles(cycles)
+}
+
+// roundCycles converts the accumulated cycle count to the counter reading.
+func roundCycles(cycles float64) uint64 {
+	if cycles < 0 {
+		return 0
+	}
+	return uint64(cycles + 0.5)
+}
+
+// heapFor returns the run's allocator, reusing the machine's per-mode
+// instance after restoring it to its freshly-constructed state.
+func (m *Machine) heapFor(spec RunSpec) heap.Allocator {
+	hcfg := heap.Config{Base: spec.Exe.DataLimit + 0x1000000}
+	if spec.HeapMode == heap.ModeRandomized {
+		if m.randHeap == nil {
+			m.randHeap = heap.NewRandomized(spec.HeapSeed, hcfg)
+		} else {
+			m.randHeap.Reset(spec.HeapSeed, hcfg)
+		}
+		return m.randHeap
+	}
+	if m.bumpHeap == nil {
+		m.bumpHeap = heap.NewBump(hcfg)
+	} else {
+		m.bumpHeap.Reset(hcfg)
+	}
+	return m.bumpHeap
+}
+
+// load precomputes per-block state for the executable. The block table and
+// the callee-address backing array are reused across executables of the
+// same (or smaller) program, so re-loading in a campaign's layout loop does
+// not allocate after the first layout.
 func (m *Machine) load(exe *toolchain.Executable) error {
 	if m.loadedExe == exe {
 		return nil
 	}
 	prog := exe.Program
-	blocks := make([]loadedBlock, len(prog.Blocks))
 	fb := m.cfg.FetchBytes
 	if fb == 0 {
 		return errors.New("machine: FetchBytes is zero")
 	}
+	var blocks []loadedBlock
+	if n := len(prog.Blocks); cap(m.blocks) >= n {
+		blocks = m.blocks[:n]
+	} else {
+		blocks = make([]loadedBlock, n)
+	}
+	nCallees := 0
 	for id := range prog.Blocks {
-		b := &prog.Blocks[id]
-		lb := &blocks[id]
-		addr := exe.BlockAddr[id]
-		end := addr + uint64(b.Bytes)
-		lb.fetchFirst = addr &^ (fb - 1)
-		lb.fetchN = int(((end-1)&^(fb-1)-lb.fetchFirst)/fb) + 1
-		lb.baseCycles = m.baseCycles(b)
-		lb.termAddr = exe.TermAddr(isa.BlockID(id))
-		lb.termKind = b.Term.Kind
-		lb.penaltyScale = 1 / (1 + m.cfg.MispredictShadow*float64(len(b.Mems)))
-		lb.nMems = len(b.Mems)
-		lb.nAllocs = len(b.Allocs)
-		if b.Term.Kind == isa.TermIndirectCall {
-			lb.calleeAddrs = make([]uint64, len(b.Term.Callees))
-			for i, callee := range b.Term.Callees {
-				lb.calleeAddrs[i] = exe.ProcAddr[callee]
-			}
+		if prog.Blocks[id].Term.Kind == isa.TermIndirectCall {
+			nCallees += len(prog.Blocks[id].Term.Callees)
 		}
 	}
+	callees := m.callees
+	if cap(callees) < nCallees {
+		callees = make([]uint64, 0, nCallees)
+	} else {
+		callees = callees[:0]
+	}
+	for id := range prog.Blocks {
+		b := &prog.Blocks[id]
+		addr := exe.BlockAddr[id]
+		end := addr + uint64(b.Bytes)
+		fetchFirst := addr &^ (fb - 1)
+		lb := loadedBlock{
+			fetchFirst:   fetchFirst,
+			fetchN:       int(((end-1)&^(fb-1)-fetchFirst)/fb) + 1,
+			baseCycles:   m.baseCycles(b),
+			termAddr:     exe.TermAddr(isa.BlockID(id)),
+			termKind:     b.Term.Kind,
+			penaltyScale: 1 / (1 + m.cfg.MispredictShadow*float64(len(b.Mems))),
+			nMems:        len(b.Mems),
+			nAllocs:      len(b.Allocs),
+		}
+		if b.Term.Kind == isa.TermIndirectCall {
+			start := len(callees)
+			for _, callee := range b.Term.Callees {
+				callees = append(callees, exe.ProcAddr[callee])
+			}
+			lb.calleeAddrs = callees[start:len(callees):len(callees)]
+		}
+		blocks[id] = lb
+	}
 	m.blocks = blocks
+	m.callees = callees
 	m.loadedExe = exe
 	return nil
 }

@@ -1,0 +1,98 @@
+package machine_test
+
+import (
+	"testing"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/machine"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+)
+
+// TestReusedMachineMatchesFresh drives one machine through an interleaved
+// sequence of layouts, heap modes and noise seeds, and checks every run
+// against a machine constructed fresh for that run. This is the contract
+// that makes per-worker machine reuse (and the allocation-free fast path)
+// safe: reused predictor tables, heap allocators and scratch state must be
+// indistinguishable from power-on state.
+func TestReusedMachineMatchesFresh(t *testing.T) {
+	p := testprog.CacheStress(48, 150)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := toolchain.NewBuilder(p, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	exes := make([]*toolchain.Executable, 4)
+	for i := range exes {
+		if exes[i], err = builder.Build(uint64(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reused := machine.New(machine.XeonE5440())
+	specs := []machine.RunSpec{
+		{Exe: exes[0], Trace: tr, NoiseSeed: 1},
+		{Exe: exes[1], Trace: tr, HeapMode: heap.ModeRandomized, HeapSeed: 7, NoiseSeed: 2},
+		{Exe: exes[0], Trace: tr, NoiseSeed: 3, DisableNoise: true},
+		{Exe: exes[2], Trace: tr, HeapMode: heap.ModeRandomized, HeapSeed: 8, NoiseSeed: 4},
+		{Exe: exes[3], Trace: tr, NoiseSeed: 5},
+		{Exe: exes[1], Trace: tr, HeapMode: heap.ModeRandomized, HeapSeed: 7, NoiseSeed: 2},
+	}
+	for i, spec := range specs {
+		got, err := reused.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := machine.New(machine.XeonE5440()).Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("run %d: reused machine diverged from fresh\nreused: %+v\nfresh:  %+v", i, got, want)
+		}
+	}
+}
+
+// TestRunDeterministicMatchesDisableNoise pins the contract between the
+// two run APIs: RunDeterministic equals Run with DisableNoise, and
+// NoisyCycles over its raw cycle count equals Run with noise on.
+func TestRunDeterministicMatchesDisableNoise(t *testing.T) {
+	p := testprog.Branchy()
+	tr, err := interp.Run(p, 3, interp.StopRule{Budget: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 4, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.XeonE5440())
+	spec := machine.RunSpec{Exe: exe, Trace: tr, NoiseSeed: 42}
+
+	det, raw, err := m.RunDeterministic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := spec
+	quiet.DisableNoise = true
+	want, err := m.Run(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det != want {
+		t.Fatalf("RunDeterministic %+v != Run(DisableNoise) %+v", det, want)
+	}
+
+	noisy, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NoisyCycles(spec, raw); got != noisy.Cycles {
+		t.Fatalf("NoisyCycles = %d, Run cycles = %d", got, noisy.Cycles)
+	}
+	synth := det
+	synth.Cycles = m.NoisyCycles(spec, raw)
+	if synth != noisy {
+		t.Fatalf("synthesized counters %+v != noisy run %+v", synth, noisy)
+	}
+}

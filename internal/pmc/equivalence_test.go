@@ -1,0 +1,104 @@
+package pmc_test
+
+import (
+	"testing"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+)
+
+// TestPaperFidelityBitIdenticalToNaive is the equivalence property behind
+// the single-replay fast path: for every benchmark, layout and heap mode,
+// FidelityPaper must produce a Measurement bit-identical (all events,
+// cycles, runs and median selection) to the naive 15-run protocol. The
+// noise transform depends only on the deterministic cycle count and the
+// per-run seeds, so synthesizing the noisy observations from one
+// simulation is exact, not an approximation.
+func TestPaperFidelityBitIdenticalToNaive(t *testing.T) {
+	benchmarks := []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"many-branches", testprog.ManyBranches(80, 120)},
+		{"memory", testprog.Memory(300)},
+		{"cache-stress", testprog.CacheStress(64, 200)},
+	}
+	const layouts = 10
+	for _, bm := range benchmarks {
+		bm := bm
+		t.Run(bm.name, func(t *testing.T) {
+			tr, err := interp.Run(bm.prog, 1, interp.StopRule{Budget: 40000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			builder := toolchain.NewBuilder(bm.prog, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+			for _, mode := range []heap.Mode{heap.ModeBump, heap.ModeRandomized} {
+				fast := &pmc.Harness{Machine: machine.New(machine.XeonE5440()), Fidelity: pmc.FidelityPaper}
+				naive := &pmc.Harness{Machine: machine.New(machine.XeonE5440()), Fidelity: pmc.FidelityPaperNaive}
+				for seed := uint64(1); seed <= layouts; seed++ {
+					exe, err := builder.Build(seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					spec := machine.RunSpec{
+						Exe:       exe,
+						Trace:     tr,
+						HeapMode:  mode,
+						HeapSeed:  seed * 31,
+						NoiseSeed: seed * 17,
+					}
+					got, err := fast.Measure(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := naive.Measure(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("%s mode layout %d: single-replay measurement diverged\nfast:  %+v\nnaive: %+v",
+							mode, seed, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPaperFidelityRunsPerGroup checks the equivalence holds for
+// non-default run counts, where the median index moves.
+func TestPaperFidelityRunsPerGroup(t *testing.T) {
+	p := testprog.ManyBranches(40, 80)
+	tr, err := interp.Run(p, 1, interp.StopRule{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(p, 9, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, runs := range []int{1, 3, 7} {
+		fast := &pmc.Harness{Machine: machine.New(machine.XeonE5440()), Fidelity: pmc.FidelityPaper, RunsPerGroup: runs}
+		naive := &pmc.Harness{Machine: machine.New(machine.XeonE5440()), Fidelity: pmc.FidelityPaperNaive, RunsPerGroup: runs}
+		spec := machine.RunSpec{Exe: exe, Trace: tr, NoiseSeed: 123}
+		got, err := fast.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("runs=%d: fast %+v != naive %+v", runs, got, want)
+		}
+		if got.Runs != 3*runs {
+			t.Errorf("runs=%d: Runs = %d, want %d", runs, got.Runs, 3*runs)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package toolchain_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"interferometry/internal/progen"
+	"interferometry/internal/toolchain"
+)
+
+// TestBuilderMatchesBuildLayout verifies the shared-compile fast path: a
+// Builder's executables must be bit-identical to per-layout BuildLayout
+// for the same seeds, for default and non-default configs.
+func TestBuilderMatchesBuildLayout(t *testing.T) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		t.Fatal("missing spec")
+	}
+	p := progen.MustGenerate(spec)
+	configs := []struct {
+		name string
+		ccfg toolchain.CompileConfig
+		lcfg toolchain.LinkConfig
+	}{
+		{"defaults", toolchain.CompileConfig{}, toolchain.LinkConfig{}},
+		{"small-units-aligned", toolchain.CompileConfig{ProcsPerUnit: 3}, toolchain.LinkConfig{FetchAlign: 16}},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b := toolchain.NewBuilder(p, tc.ccfg, tc.lcfg)
+			for seed := uint64(0); seed < 12; seed++ {
+				got, err := b.Build(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := toolchain.BuildLayout(p, seed, tc.ccfg, tc.lcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: builder executable differs from BuildLayout", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestBuilderConcurrentBuilds checks that Reorder leaves the shared units
+// untouched: concurrent Build calls over the same Builder must produce the
+// same executables as sequential ones (run under -race in CI).
+func TestBuilderConcurrentBuilds(t *testing.T) {
+	spec, ok := progen.ByName("401.bzip2")
+	if !ok {
+		t.Fatal("missing spec")
+	}
+	p := progen.MustGenerate(spec)
+	b := toolchain.NewBuilder(p, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	const n = 16
+	sequential := make([]*toolchain.Executable, n)
+	for i := range sequential {
+		exe, err := b.Build(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[i] = exe
+	}
+	concurrent := make([]*toolchain.Executable, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			concurrent[i], errs[i] = b.Build(uint64(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(concurrent[i], sequential[i]) {
+			t.Fatalf("seed %d: concurrent build differs from sequential", i)
+		}
+	}
+}

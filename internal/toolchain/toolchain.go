@@ -266,11 +266,38 @@ func Link(p *isa.Program, units []Unit, seed uint64, cfg LinkConfig) (*Executabl
 	return exe, nil
 }
 
+// Builder compiles a program once and links arbitrarily many layouts from
+// the shared units. Compilation is layout-independent, so a campaign that
+// measures hundreds of layouts should pay for it exactly once; only the
+// Reorder+Link steps depend on the seed. Reorder copies the shared units
+// before shuffling, so a Builder is safe for concurrent Build calls from
+// many workers.
+type Builder struct {
+	prog  *isa.Program
+	units []Unit
+	lcfg  LinkConfig
+}
+
+// NewBuilder compiles the program and returns a Builder that links layouts
+// from the shared compilation.
+func NewBuilder(p *isa.Program, ccfg CompileConfig, lcfg LinkConfig) *Builder {
+	return &Builder{prog: p, units: Compile(p, ccfg), lcfg: lcfg}
+}
+
+// Program returns the program the builder compiles.
+func (b *Builder) Program() *isa.Program { return b.prog }
+
+// Build links the layout for one seed. The result is bit-identical to
+// BuildLayout with the same program, seed and configs.
+func (b *Builder) Build(seed uint64) (*Executable, error) {
+	return Link(b.prog, Reorder(b.units, seed), seed, b.lcfg)
+}
+
 // BuildLayout is the convenience pipeline: compile once, reorder with the
-// seed, link. It is what campaign code calls per layout.
+// seed, link. It is what one-shot callers use; campaign code holds a
+// Builder so the compile is shared across all layouts.
 func BuildLayout(p *isa.Program, seed uint64, ccfg CompileConfig, lcfg LinkConfig) (*Executable, error) {
-	units := Compile(p, ccfg)
-	return Link(p, Reorder(units, seed), seed, lcfg)
+	return NewBuilder(p, ccfg, lcfg).Build(seed)
 }
 
 // isBranchTarget reports whether any terminator in the block's procedure
