@@ -11,6 +11,16 @@
 // Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 sig all.
 // Scales: small (seconds per experiment), medium (the default), paper
 // (the paper's own sample sizes; minutes).
+//
+// The -campaign mode runs one standalone, fault-tolerant campaign under
+// the supervisor, checkpointing every completed observation:
+//
+//	interferometry -campaign 400.perlbench -layouts 100 -checkpoint run1/
+//	interferometry -campaign 400.perlbench -layouts 100 -checkpoint run1/ -resume
+//
+// A killed campaign leaves run1/observations.jsonl behind; re-running
+// with -resume measures only the missing layouts and produces a dataset
+// bit-identical to an uninterrupted run.
 package main
 
 import (
@@ -19,7 +29,10 @@ import (
 	"os"
 	"time"
 
+	"interferometry/internal/core"
 	"interferometry/internal/experiments"
+	"interferometry/internal/pmc"
+	"interferometry/internal/progen"
 )
 
 type runner struct {
@@ -79,6 +92,13 @@ func main() {
 	scaleName := flag.String("scale", "medium", "scale: small, medium or paper")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	campaign := flag.String("campaign", "", "run one supervised campaign for a benchmark (e.g. 400.perlbench) instead of an experiment")
+	layouts := flag.Int("layouts", 0, "campaign layouts (0 = the scale's default)")
+	checkpointDir := flag.String("checkpoint", "", "campaign directory for JSONL observation checkpoints")
+	resume := flag.Bool("resume", false, "reload the checkpoint and measure only missing layouts")
+	retries := flag.Int("retries", 2, "max measurement attempts per layout")
+	failureBudget := flag.Int("failure-budget", 0, "layouts allowed to fail before the campaign aborts")
+	outlierMAD := flag.Float64("outlier-mad", 0, "re-measure observations further than this many MADs from the median CPI (0 = off)")
 	flag.Parse()
 
 	rs := runners()
@@ -92,6 +112,23 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want small, medium or paper)\n", *scaleName)
 		os.Exit(2)
+	}
+	if *campaign != "" {
+		if err := runSupervisedCampaign(campaignOptions{
+			benchmark:     *campaign,
+			scale:         scale,
+			layouts:       *layouts,
+			workers:       *workers,
+			checkpointDir: *checkpointDir,
+			resume:        *resume,
+			retries:       *retries,
+			failureBudget: *failureBudget,
+			outlierMAD:    *outlierMAD,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign %s: %v\n", *campaign, err)
+			os.Exit(1)
+		}
+		return
 	}
 	ctx := experiments.NewContext(scale)
 	ctx.Workers = *workers
@@ -114,4 +151,80 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// campaignOptions collects the -campaign flags.
+type campaignOptions struct {
+	benchmark     string
+	scale         experiments.Scale
+	layouts       int
+	workers       int
+	checkpointDir string
+	resume        bool
+	retries       int
+	failureBudget int
+	outlierMAD    float64
+}
+
+// runSupervisedCampaign measures one benchmark under the fault-tolerant
+// supervisor and prints the dataset summary and its MPKI model.
+func runSupervisedCampaign(opts campaignOptions) error {
+	spec, ok := progen.ByName(opts.benchmark)
+	if !ok {
+		names := make([]string, 0, len(progen.Suite()))
+		for _, s := range progen.Suite() {
+			names = append(names, s.Name)
+		}
+		return fmt.Errorf("unknown benchmark (progen knows: %v)", names)
+	}
+	prog, err := progen.Generate(spec)
+	if err != nil {
+		return err
+	}
+	layouts := opts.layouts
+	if layouts <= 0 {
+		layouts = opts.scale.Layouts
+	}
+	cfg := core.CampaignConfig{
+		Program:       prog,
+		InputSeed:     1,
+		Budget:        opts.scale.Budget,
+		Layouts:       layouts,
+		Fidelity:      opts.scale.Fidelity,
+		BaseSeed:      0x1f2e3d4c,
+		Workers:       opts.workers,
+		MaxAttempts:   opts.retries,
+		FailureBudget: opts.failureBudget,
+		OutlierMAD:    opts.outlierMAD,
+		Checkpoint:    core.CheckpointConfig{Dir: opts.checkpointDir, Resume: opts.resume},
+	}
+	start := time.Now()
+	ds, err := core.RunCampaign(cfg)
+	if err != nil {
+		if opts.checkpointDir != "" {
+			fmt.Fprintf(os.Stderr, "completed observations remain in %s; re-run with -resume\n", opts.checkpointDir)
+		}
+		return err
+	}
+	retried := 0
+	for _, o := range ds.Obs {
+		if o.Status == core.StatusRetried {
+			retried++
+		}
+	}
+	fmt.Printf("campaign %s: %d layouts in %s (%d effective, %d retried, %d failed)\n",
+		ds.Benchmark, len(ds.Obs), time.Since(start).Round(time.Millisecond),
+		ds.EffectiveN(), retried, len(ds.Failures))
+	for _, f := range ds.Failures {
+		fmt.Printf("  layout %d (seed %#x) failed: %s\n", f.Index, f.LayoutSeed, f.Err)
+	}
+	if opts.checkpointDir != "" {
+		fmt.Printf("checkpoint: %s\n", opts.checkpointDir)
+	}
+	model, err := ds.FitCPI(pmc.EvBranchMispredicts)
+	if err != nil {
+		return fmt.Errorf("model fit: %w", err)
+	}
+	fmt.Println(model)
+	return nil
 }

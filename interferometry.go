@@ -61,6 +61,12 @@ type (
 	Dataset = core.Dataset
 	// Observation is one layout's measurement.
 	Observation = core.Observation
+	// ObsStatus distinguishes clean, retried and failed observations.
+	ObsStatus = core.ObsStatus
+	// LayoutFailure records one layout that exhausted its retry budget.
+	LayoutFailure = core.LayoutFailure
+	// CheckpointConfig enables JSONL observation checkpointing and resume.
+	CheckpointConfig = core.CheckpointConfig
 	// Model is a fitted CPI-versus-event regression model.
 	Model = core.Model
 	// CombinedModel is the multi-event regression model.
@@ -125,6 +131,16 @@ const (
 	HeapBump = heap.ModeBump
 	// HeapRandomized is the DieHard-style randomizing allocator.
 	HeapRandomized = heap.ModeRandomized
+)
+
+// Observation statuses.
+const (
+	// StatusOK is a first-attempt success.
+	StatusOK = core.StatusOK
+	// StatusRetried marks an observation that needed more than one attempt.
+	StatusRetried = core.StatusRetried
+	// StatusFailed marks a layout with no valid measurement.
+	StatusFailed = core.StatusFailed
 )
 
 // Counter events.

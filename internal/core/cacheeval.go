@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"interferometry/internal/cachetool"
 	"interferometry/internal/stats"
@@ -23,9 +24,9 @@ type CacheEval struct {
 }
 
 // EvaluateICaches simulates each candidate instruction-cache geometry
-// over every layout of the dataset (with warmup) and maps the mean MPKI
-// through the model, which should be a FitCPI(EvL1IMisses) model from
-// the same dataset.
+// over every usable layout of the dataset (with warmup) and maps the
+// mean MPKI through the model, which should be a FitCPI(EvL1IMisses)
+// model from the same dataset.
 func (d *Dataset) EvaluateICaches(model *Model, candidates []cache.Config) ([]CacheEval, error) {
 	return d.evaluateCaches(model, candidates, false)
 }
@@ -44,16 +45,23 @@ func (d *Dataset) evaluateCaches(model *Model, candidates []cache.Config, data b
 	if len(candidates) == 0 {
 		return nil, errors.New("core: cache evaluation needs candidate geometries")
 	}
+	idx := d.usableIdx()
+	if len(idx) == 0 {
+		return nil, errors.New("core: cache evaluation needs at least one usable layout")
+	}
 	perLayout := make([][]float64, len(candidates))
 	for i := range perLayout {
-		perLayout[i] = make([]float64, len(d.Obs))
+		perLayout[i] = make([]float64, len(idx))
 	}
 
 	// One compile shared by every layout; each column of perLayout is
-	// written at a distinct index, so no locking is needed.
+	// written at a distinct index, so no locking is needed. The sweep
+	// runs supervised: failed layouts (within the campaign's failure
+	// budget) become NaN columns excluded from the mean.
 	builder := toolchain.NewBuilder(d.Config.Program, d.Config.Compile, d.Config.Link)
-	workers := normalizeWorkers(d.Config.Workers, len(d.Obs))
-	err := parallelFor(workers, len(d.Obs), func(_, i int) error {
+	workers := normalizeWorkers(d.Config.Workers, len(idx))
+	failed, err := superviseFor(d.Config.context(), workers, len(idx), d.Config.FailureBudget, func(_, k int) error {
+		i := idx[k]
 		exe, err := builder.Build(d.Obs[i].LayoutSeed)
 		if err != nil {
 			return fmt.Errorf("core: cache eval layout %d: %w", i, err)
@@ -75,17 +83,22 @@ func (d *Dataset) evaluateCaches(model *Model, candidates []cache.Config, data b
 			return fmt.Errorf("core: cache eval layout %d: %w", i, err)
 		}
 		for ci, r := range rs {
-			perLayout[ci][i] = r.MPKI()
+			perLayout[ci][k] = r.MPKI()
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	for _, f := range failed {
+		for ci := range perLayout {
+			perLayout[ci][f.Index] = math.NaN()
+		}
+	}
 
 	out := make([]CacheEval, len(candidates))
 	for ci, cc := range candidates {
-		mean := stats.Mean(perLayout[ci])
+		mean := meanValid(perLayout[ci])
 		out[ci] = CacheEval{
 			Name:          cc.Name,
 			MPKI:          mean,

@@ -5,17 +5,30 @@
 // significance, and use the models to predict the performance of
 // hypothetical hardware (§7) — all without a cycle-accurate simulation of
 // anything but the structure under study.
+//
+// At §6.3 scale and beyond, partial failure is the normal case, not a
+// crash: campaigns run under a supervisor that recovers worker panics,
+// retries failed layouts with bounded attempts, screens implausible
+// observations with robust statistics, tolerates a failure budget by
+// degrading the dataset instead of discarding it, and checkpoints
+// completed observations so an interrupted campaign resumes bit-identical
+// to an uninterrupted one.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
+	"interferometry/internal/faultinject"
 	"interferometry/internal/heap"
 	"interferometry/internal/interp"
 	"interferometry/internal/isa"
 	"interferometry/internal/machine"
 	"interferometry/internal/pmc"
+	"interferometry/internal/stats"
 	"interferometry/internal/toolchain"
 	"interferometry/internal/xrand"
 )
@@ -61,6 +74,44 @@ type CampaignConfig struct {
 	// Compile and Link override toolchain defaults when non-zero.
 	Compile toolchain.CompileConfig
 	Link    toolchain.LinkConfig
+
+	// Context cancels or deadlines the campaign's sweeps, including the
+	// dataset sweeps derived from it (EvaluatePredictors, cache
+	// evaluation). Nil means context.Background().
+	Context context.Context
+
+	// MaxAttempts bounds how many times one layout is built and measured
+	// before it counts as failed: build errors, measurement errors,
+	// corrupt executables and implausible measurements all trigger a
+	// seeded re-measurement of the same layout. Every attempt derives
+	// the same seeds, so a retry that succeeds is bit-identical to a
+	// first-attempt success. Zero means 2 (one retry).
+	MaxAttempts int
+
+	// FailureBudget is how many layouts may fail permanently (after
+	// retries) before the sweep aborts. Within the budget the campaign
+	// completes with those layouts marked StatusFailed and excluded from
+	// model fitting; the abort path returns every recorded failure
+	// joined into one error. Zero tolerates no failures, the historic
+	// behaviour.
+	FailureBudget int
+
+	// OutlierMAD enables the robust outlier screen: after the sweep, an
+	// observation whose CPI deviates from the campaign median by more
+	// than OutlierMAD median absolute deviations (the observations are
+	// already per-group medians under the §5.5 protocol) is flagged and
+	// re-measured before it can poison the regression. Zero disables
+	// the screen; 10 is a reasonable value for real campaigns.
+	OutlierMAD float64
+
+	// Checkpoint persists completed observations under a campaign
+	// directory and supports resuming. Zero value disables.
+	Checkpoint CheckpointConfig
+
+	// Faults optionally injects deterministic faults at the build and
+	// measure seams. It exists for the fault-injection test harness;
+	// production campaigns leave it nil.
+	Faults *faultinject.Injector
 }
 
 func (c *CampaignConfig) machineConfig() machine.Config {
@@ -77,11 +128,67 @@ func (c *CampaignConfig) stopRule() interp.StopRule {
 	return interp.StopRule{Budget: c.Budget}
 }
 
+func (c *CampaignConfig) context() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
+}
+
+func (c *CampaignConfig) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 2
+	}
+	return c.MaxAttempts
+}
+
+// ObsStatus records how an observation was obtained.
+type ObsStatus uint8
+
+// Observation statuses.
+const (
+	// StatusOK is a first-attempt success.
+	StatusOK ObsStatus = iota
+	// StatusRetried marks an observation that needed more than one
+	// attempt, or was re-measured by the outlier screen. Its measurement
+	// is bit-identical to what a clean first attempt produces.
+	StatusRetried
+	// StatusFailed marks a layout with no valid measurement. Failed
+	// observations carry their seeds but zero counters, and every
+	// consumer (model fitting, evaluation sweeps, CSV export) skips or
+	// flags them.
+	StatusFailed
+)
+
+func (s ObsStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRetried:
+		return "retried"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ObsStatus(%d)", uint8(s))
+	}
+}
+
 // Observation is the measurement of one layout.
 type Observation struct {
 	LayoutSeed uint64
 	HeapSeed   uint64
 	pmc.Measurement
+	// Status distinguishes clean, retried and failed layouts; Attempts
+	// counts the measurement attempts that produced the observation.
+	Status   ObsStatus
+	Attempts int
+}
+
+// LayoutFailure records one layout that failed permanently.
+type LayoutFailure struct {
+	Index      int
+	LayoutSeed uint64
+	Err        string
 }
 
 // Dataset is the outcome of a campaign.
@@ -91,6 +198,33 @@ type Dataset struct {
 	// Trace is the shared layout-independent execution record.
 	Trace *interp.Trace
 	Obs   []Observation
+	// Failures lists the layouts that exhausted their retry budget,
+	// sorted by index. Their Obs entries are marked StatusFailed. A
+	// non-empty list means the dataset is degraded: fitting and
+	// evaluation skip those layouts and report the effective N.
+	Failures []LayoutFailure
+}
+
+// EffectiveN is the number of layouts with a usable measurement.
+func (d *Dataset) EffectiveN() int {
+	n := 0
+	for i := range d.Obs {
+		if d.Obs[i].Status != StatusFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// usableIdx lists the indices of non-failed observations.
+func (d *Dataset) usableIdx() []int {
+	idx := make([]int, 0, len(d.Obs))
+	for i := range d.Obs {
+		if d.Obs[i].Status != StatusFailed {
+			idx = append(idx, i)
+		}
+	}
+	return idx
 }
 
 // layoutSeed derives the seed of the i-th layout. Layout index 0 uses a
@@ -100,16 +234,41 @@ func (c *CampaignConfig) layoutSeed(i int) uint64 {
 	return xrand.Mix(c.BaseSeed, 0x6c61796f, uint64(c.FirstLayout+i)) | 1
 }
 
+// heapSeed derives the heap-randomizer seed of the i-th layout. Heap seed
+// zero is the sentinel for "no randomization" in recorded observations
+// (ModeBump), so the derived stream must never produce it: a Mix output
+// of zero is remapped to the stream tag.
 func (c *CampaignConfig) heapSeed(i int) uint64 {
-	return xrand.Mix(c.BaseSeed, 0x68656170, uint64(c.FirstLayout+i))
+	if s := xrand.Mix(c.BaseSeed, 0x68656170, uint64(c.FirstLayout+i)); s != 0 {
+		return s
+	}
+	return 0x68656170
 }
 
+// noiseSeed derives the noise stream of the i-th layout, with the same
+// nonzero guarantee as heapSeed so the three per-layout streams stay
+// disjoint from each mode's zero sentinel.
 func (c *CampaignConfig) noiseSeed(i int) uint64 {
-	return xrand.Mix(c.BaseSeed, 0x6e6f6973, uint64(c.FirstLayout+i))
+	if s := xrand.Mix(c.BaseSeed, 0x6e6f6973, uint64(c.FirstLayout+i)); s != 0 {
+		return s
+	}
+	return 0x6e6f6973
 }
 
-// RunCampaign executes the campaign: one trace, Layouts executables, one
-// measurement each.
+// buildSeam and measureSeam are the two narrow interfaces every
+// measurement passes through; the fault injector wraps them and the
+// supervisor retries across them.
+type buildSeam interface {
+	Build(seed uint64) (*toolchain.Executable, error)
+}
+
+type measureSeam interface {
+	Measure(spec machine.RunSpec) (pmc.Measurement, error)
+}
+
+// RunCampaign executes the campaign under the supervisor: one trace,
+// Layouts executables, one measurement each, with retries, failure
+// budget, outlier screening and checkpointing per the config.
 func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	if cfg.Program == nil {
 		return nil, errors.New("core: campaign needs a program")
@@ -125,7 +284,13 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: trace generation failed: %w", err)
 	}
+	return runWithTrace(cfg, trace)
+}
 
+// runWithTrace is the supervised sweep behind RunCampaign and Extend:
+// the trace is layout-independent, so extensions reuse it instead of
+// re-interpreting the program.
+func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 	ds := &Dataset{
 		Benchmark: cfg.Program.Name,
 		Config:    cfg,
@@ -136,41 +301,124 @@ func RunCampaign(cfg CampaignConfig) (*Dataset, error) {
 	// One compile shared by every layout and worker: only Reorder+Link
 	// depend on the layout seed.
 	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
+	var build buildSeam = builder
+	if cfg.Faults != nil {
+		build = cfg.Faults.WrapBuilder(builder)
+	}
 	workers := normalizeWorkers(cfg.Workers, cfg.Layouts)
 	mcfg := cfg.machineConfig()
-	harnesses := make([]*pmc.Harness, workers)
-	for w := range harnesses {
-		harnesses[w] = &pmc.Harness{
+	measurers := make([]measureSeam, workers)
+	for w := range measurers {
+		h := &pmc.Harness{
 			Machine:      machine.New(mcfg),
 			Fidelity:     cfg.Fidelity,
 			RunsPerGroup: cfg.RunsPerGroup,
 		}
+		if cfg.Faults != nil {
+			measurers[w] = cfg.Faults.WrapMeasurer(h)
+		} else {
+			measurers[w] = h
+		}
 	}
-	err = parallelFor(workers, cfg.Layouts, func(w, i int) error {
-		obs, err := measureLayout(&cfg, harnesses[w], builder, trace, i)
+
+	// Checkpoint: load completed observations on resume, then persist
+	// every newly completed one.
+	var ckpt *checkpointWriter
+	done := make([]bool, cfg.Layouts)
+	if cfg.Checkpoint.Dir != "" {
+		var loaded map[int]Observation
+		var err error
+		ckpt, loaded, err = openCheckpoint(&cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, obs := range loaded {
+			ds.Obs[i] = obs
+			done[i] = true
+		}
+	}
+
+	var mu sync.Mutex
+	failed, err := superviseFor(cfg.context(), workers, cfg.Layouts, cfg.FailureBudget, func(w, i int) error {
+		if done[i] {
+			return nil
+		}
+		obs, err := measureLayout(&cfg, measurers[w], build, trace, i)
 		if err != nil {
 			return err
 		}
+		mu.Lock()
 		ds.Obs[i] = obs
+		mu.Unlock()
+		if ckpt != nil {
+			ckpt.put(i, obs)
+		}
 		return nil
 	})
+	for _, f := range failed {
+		obs := Observation{LayoutSeed: cfg.layoutSeed(f.Index), Status: StatusFailed}
+		if cfg.HeapMode == heap.ModeRandomized {
+			obs.HeapSeed = cfg.heapSeed(f.Index)
+		}
+		obs.Attempts = cfg.maxAttempts()
+		ds.Obs[f.Index] = obs
+		ds.Failures = append(ds.Failures, LayoutFailure{Index: f.Index, LayoutSeed: obs.LayoutSeed, Err: f.Err.Error()})
+		if err == nil && ckpt != nil {
+			ckpt.put(f.Index, obs)
+		}
+	}
 	if err != nil {
-		return nil, err
+		// Aborted (budget exceeded or canceled): completed observations
+		// stay checkpointed for a future --resume.
+		return nil, fmt.Errorf("core: campaign %s aborted: %w", ds.Benchmark, err)
+	}
+
+	if cfg.OutlierMAD > 0 {
+		screenOutliers(&cfg, ds, measurers, build, trace, ckpt)
+	}
+	if ckpt != nil {
+		if err := ckpt.close(); err != nil {
+			return nil, err
+		}
 	}
 	return ds, nil
 }
 
-func measureLayout(cfg *CampaignConfig, h *pmc.Harness, builder *toolchain.Builder, trace *interp.Trace, i int) (Observation, error) {
+// measureLayout builds and measures one layout with bounded attempts.
+// All attempts derive identical seeds — the pipeline is deterministic, so
+// a transient fault cleared by retrying yields the exact observation an
+// undisturbed run produces.
+func measureLayout(cfg *CampaignConfig, meas measureSeam, build buildSeam, trace *interp.Trace, i int) (Observation, error) {
+	attempts := cfg.maxAttempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		obs, err := measureLayoutOnce(cfg, meas, build, trace, i)
+		if err == nil {
+			obs.Attempts = a + 1
+			if a > 0 {
+				obs.Status = StatusRetried
+			}
+			return obs, nil
+		}
+		lastErr = err
+	}
+	return Observation{}, fmt.Errorf("core: layout %d failed after %d attempts: %w", i, attempts, lastErr)
+}
+
+func measureLayoutOnce(cfg *CampaignConfig, meas measureSeam, build buildSeam, trace *interp.Trace, i int) (Observation, error) {
 	seed := cfg.layoutSeed(i)
-	exe, err := builder.Build(seed)
+	exe, err := build.Build(seed)
 	if err != nil {
+		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
+	}
+	if err := toolchain.CheckExecutable(exe); err != nil {
 		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
 	}
 	hs := uint64(0)
 	if cfg.HeapMode == heap.ModeRandomized {
 		hs = cfg.heapSeed(i)
 	}
-	m, err := h.Measure(machine.RunSpec{
+	m, err := meas.Measure(machine.RunSpec{
 		Exe:       exe,
 		Trace:     trace,
 		HeapMode:  cfg.HeapMode,
@@ -180,17 +428,80 @@ func measureLayout(cfg *CampaignConfig, h *pmc.Harness, builder *toolchain.Build
 	if err != nil {
 		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
 	}
+	if err := m.Check(trace.Instrs); err != nil {
+		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
+	}
 	return Observation{LayoutSeed: seed, HeapSeed: hs, Measurement: m}, nil
+}
+
+// screenOutliers is the robust-statistics screen: observations whose CPI
+// sits further than cfg.OutlierMAD median absolute deviations from the
+// campaign median are re-measured. In a deterministic pipeline the
+// re-measurement reproduces a genuine outlier exactly (it is then kept —
+// a real heavy-tailed layout, not an artifact); a corrupted measurement
+// comes back different and is replaced, marked StatusRetried. The screen
+// is best-effort: re-measurement failures keep the original observation.
+func screenOutliers(cfg *CampaignConfig, ds *Dataset, measurers []measureSeam, build buildSeam, trace *interp.Trace, ckpt *checkpointWriter) {
+	idx := ds.usableIdx()
+	if len(idx) < 5 {
+		return
+	}
+	cpis := make([]float64, len(idx))
+	for k, i := range idx {
+		cpis[k] = ds.Obs[i].CPI()
+	}
+	med := stats.Median(cpis)
+	mad := stats.MAD(cpis)
+	if mad <= 0 {
+		return
+	}
+	thresh := cfg.OutlierMAD * mad
+	var flagged []int
+	for k, i := range idx {
+		if math.Abs(cpis[k]-med) > thresh {
+			flagged = append(flagged, i)
+		}
+	}
+	if len(flagged) == 0 {
+		return
+	}
+	var mu sync.Mutex
+	workers := normalizeWorkers(cfg.Workers, len(flagged))
+	// Tolerate every re-measurement failing: the screen improves the
+	// dataset when it can and never degrades it.
+	superviseFor(cfg.context(), workers, len(flagged), len(flagged), func(w, fi int) error {
+		i := flagged[fi]
+		obs, err := measureLayout(cfg, measurers[w], build, trace, i)
+		if err != nil {
+			return nil
+		}
+		mu.Lock()
+		prev := ds.Obs[i]
+		if obs.Measurement != prev.Measurement {
+			obs.Status = StatusRetried
+			obs.Attempts += prev.Attempts
+			ds.Obs[i] = obs
+			if ckpt != nil {
+				ckpt.put(i, obs)
+			}
+		}
+		mu.Unlock()
+		return nil
+	})
 }
 
 // Extend runs additional layouts (the §6.3 escalation: "we sample a
 // number of code reorderings in multiples of 100") and returns a new
-// dataset containing all observations.
+// dataset containing all observations. The already-computed trace is
+// reused — the trace is layout-independent, so re-interpreting the
+// program would be wasted work and a second failure surface. The nested
+// sweep never touches the parent's checkpoint directory.
 func (d *Dataset) Extend(more int) (*Dataset, error) {
 	cfg := d.Config
 	cfg.FirstLayout += cfg.Layouts
 	cfg.Layouts = more
-	extra, err := RunCampaign(cfg)
+	cfg.Checkpoint = CheckpointConfig{}
+	extra, err := runWithTrace(cfg, d.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -199,26 +510,35 @@ func (d *Dataset) Extend(more int) (*Dataset, error) {
 		Config:    d.Config,
 		Trace:     d.Trace,
 		Obs:       append(append([]Observation(nil), d.Obs...), extra.Obs...),
+		Failures:  append([]LayoutFailure(nil), d.Failures...),
+	}
+	for _, f := range extra.Failures {
+		f.Index += len(d.Obs)
+		merged.Failures = append(merged.Failures, f)
 	}
 	merged.Config.Layouts = len(merged.Obs)
 	return merged, nil
 }
 
-// CPIs returns the CPI of every observation.
+// CPIs returns the CPI of every usable observation; layouts marked
+// StatusFailed are skipped, so a degraded dataset fits its models on the
+// effective sample. The order matches PKIs.
 func (d *Dataset) CPIs() []float64 {
-	out := make([]float64, len(d.Obs))
-	for i := range d.Obs {
-		out[i] = d.Obs[i].CPI()
+	idx := d.usableIdx()
+	out := make([]float64, len(idx))
+	for k, i := range idx {
+		out[k] = d.Obs[i].CPI()
 	}
 	return out
 }
 
 // PKIs returns the per-1000-instruction rate of an event for every
-// observation.
+// usable observation, skipping failed layouts like CPIs.
 func (d *Dataset) PKIs(ev pmc.Event) []float64 {
-	out := make([]float64, len(d.Obs))
-	for i := range d.Obs {
-		out[i] = d.Obs[i].PKI(ev)
+	idx := d.usableIdx()
+	out := make([]float64, len(idx))
+	for k, i := range idx {
+		out[k] = d.Obs[i].PKI(ev)
 	}
 	return out
 }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// CheckpointConfig configures campaign checkpointing.
+type CheckpointConfig struct {
+	// Dir is the campaign directory. When non-empty, every completed
+	// observation is persisted to Dir/observations.jsonl; each flush
+	// writes a temp file and renames it over the previous checkpoint, so
+	// a kill at any instant leaves a complete, parseable file.
+	Dir string
+	// Resume reloads an existing checkpoint and measures only the
+	// layouts it is missing. Because every layout is an independent
+	// deterministic function of the config, the resumed dataset is
+	// bit-identical to an uninterrupted run. Without Resume an existing
+	// checkpoint is overwritten.
+	Resume bool
+}
+
+// CheckpointFile is the name of the observation log inside the campaign
+// directory.
+const CheckpointFile = "observations.jsonl"
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// ckptHeader is the first JSONL line: the campaign identity. A resume
+// whose config derives a different header refuses to mix observations.
+type ckptHeader struct {
+	V            int    `json:"v"`
+	Benchmark    string `json:"benchmark"`
+	BaseSeed     uint64 `json:"base_seed"`
+	InputSeed    uint64 `json:"input_seed"`
+	Budget       uint64 `json:"budget"`
+	LimiterStop  uint64 `json:"limiter_stop,omitempty"`
+	FirstLayout  int    `json:"first_layout"`
+	Layouts      int    `json:"layouts"`
+	HeapMode     uint8  `json:"heap_mode"`
+	Fidelity     uint8  `json:"fidelity"`
+	RunsPerGroup int    `json:"runs_per_group"`
+}
+
+func campaignHeader(cfg *CampaignConfig) ckptHeader {
+	return ckptHeader{
+		V:            checkpointVersion,
+		Benchmark:    cfg.Program.Name,
+		BaseSeed:     cfg.BaseSeed,
+		InputSeed:    cfg.InputSeed,
+		Budget:       cfg.Budget,
+		LimiterStop:  cfg.Limiter.StopCount,
+		FirstLayout:  cfg.FirstLayout,
+		Layouts:      cfg.Layouts,
+		HeapMode:     uint8(cfg.HeapMode),
+		Fidelity:     uint8(cfg.Fidelity),
+		RunsPerGroup: cfg.RunsPerGroup,
+	}
+}
+
+// ckptRecord is one observation line.
+type ckptRecord struct {
+	Index        int      `json:"index"`
+	LayoutSeed   uint64   `json:"layout_seed"`
+	HeapSeed     uint64   `json:"heap_seed"`
+	Cycles       uint64   `json:"cycles"`
+	Instructions uint64   `json:"instructions"`
+	Events       []uint64 `json:"events"`
+	Runs         int      `json:"runs"`
+	Status       uint8    `json:"status"`
+	Attempts     int      `json:"attempts"`
+}
+
+func recordOf(i int, o Observation) ckptRecord {
+	return ckptRecord{
+		Index:        i,
+		LayoutSeed:   o.LayoutSeed,
+		HeapSeed:     o.HeapSeed,
+		Cycles:       o.Cycles,
+		Instructions: o.Instructions,
+		Events:       append([]uint64(nil), o.Events[:]...),
+		Runs:         o.Runs,
+		Status:       uint8(o.Status),
+		Attempts:     o.Attempts,
+	}
+}
+
+func (r ckptRecord) observation() Observation {
+	o := Observation{
+		LayoutSeed: r.LayoutSeed,
+		HeapSeed:   r.HeapSeed,
+		Status:     ObsStatus(r.Status),
+		Attempts:   r.Attempts,
+	}
+	o.Cycles = r.Cycles
+	o.Instructions = r.Instructions
+	o.Runs = r.Runs
+	copy(o.Events[:], r.Events)
+	return o
+}
+
+// checkpointWriter persists campaign progress. Workers call put
+// concurrently; every put rewrites the whole file and atomically renames
+// it into place. Campaigns are hundreds of layouts, so the rewrite is a
+// few kilobytes — durability is worth far more here than write
+// throughput.
+type checkpointWriter struct {
+	path   string
+	header ckptHeader
+
+	mu   sync.Mutex
+	recs map[int]ckptRecord
+	err  error // first write failure, surfaced at campaign end
+}
+
+// openCheckpoint prepares the campaign directory and, when resuming,
+// loads previously completed observations keyed by campaign-local index.
+// Failed records are not treated as done: a resume retries them.
+func openCheckpoint(cfg *CampaignConfig) (*checkpointWriter, map[int]Observation, error) {
+	dir := cfg.Checkpoint.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	w := &checkpointWriter{
+		path:   filepath.Join(dir, CheckpointFile),
+		header: campaignHeader(cfg),
+		recs:   make(map[int]ckptRecord),
+	}
+	loaded := make(map[int]Observation)
+	if cfg.Checkpoint.Resume {
+		recs, err := readCheckpoint(w.path, w.header)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= cfg.Layouts {
+				return nil, nil, fmt.Errorf("core: checkpoint record index %d outside campaign [0,%d)", rec.Index, cfg.Layouts)
+			}
+			if rec.LayoutSeed != cfg.layoutSeed(rec.Index) {
+				return nil, nil, fmt.Errorf("core: checkpoint record %d has layout seed %#x, campaign derives %#x — checkpoint belongs to a different campaign", rec.Index, rec.LayoutSeed, cfg.layoutSeed(rec.Index))
+			}
+			w.recs[rec.Index] = rec
+			if ObsStatus(rec.Status) != StatusFailed {
+				loaded[rec.Index] = rec.observation()
+			}
+		}
+	}
+	// Establish (or truncate) the on-disk checkpoint immediately so a
+	// campaign that dies before its first observation still leaves a
+	// well-formed file.
+	if err := w.flushLocked(); err != nil {
+		return nil, nil, err
+	}
+	return w, loaded, nil
+}
+
+// readCheckpoint parses a checkpoint file and validates its header
+// against want. A missing file is not an error: resuming a campaign that
+// never started is just a fresh start.
+func readCheckpoint(path string, want ckptHeader) ([]ckptRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("core: read checkpoint: %w", err)
+		}
+		return nil, nil // empty file: nothing done yet
+	}
+	var hdr ckptHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if hdr != want {
+		return nil, fmt.Errorf("core: checkpoint header %+v does not match campaign %+v", hdr, want)
+	}
+	var recs []ckptRecord
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec ckptRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("core: checkpoint record: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	return recs, nil
+}
+
+// put records one completed observation and flushes the checkpoint.
+func (w *checkpointWriter) put(i int, o Observation) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.recs[i] = recordOf(i, o)
+	if err := w.flushLocked(); err != nil && w.err == nil {
+		w.err = err
+	}
+}
+
+// flushLocked writes header + records (sorted by index) to a temp file
+// and renames it over the checkpoint. Callers hold w.mu.
+func (w *checkpointWriter) flushLocked() error {
+	idxs := make([]int, 0, len(w.recs))
+	for i := range w.recs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(w.header); err != nil {
+		return fmt.Errorf("core: checkpoint encode: %w", err)
+	}
+	for _, i := range idxs {
+		if err := enc.Encode(w.recs[i]); err != nil {
+			return fmt.Errorf("core: checkpoint encode: %w", err)
+		}
+	}
+	tmp := w.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("core: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// close surfaces the first deferred write error.
+func (w *checkpointWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

@@ -134,6 +134,11 @@ func TestExtend(t *testing.T) {
 	if len(big.Obs) != 9 {
 		t.Fatalf("extended dataset has %d observations", len(big.Obs))
 	}
+	// The trace is layout-independent: Extend must reuse it, not re-run
+	// the interpreter.
+	if big.Trace != ds.Trace {
+		t.Error("Extend re-interpreted the program instead of reusing the trace")
+	}
 	// Original observations are preserved verbatim.
 	for i := range ds.Obs {
 		if big.Obs[i] != ds.Obs[i] {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"interferometry/internal/pintool"
 	"interferometry/internal/stats"
@@ -17,17 +18,21 @@ import (
 type PredictorEval struct {
 	Name string
 	// MPKI is the mean mispredictions per kilo-instruction over all
-	// layouts; MPKIPerLayout keeps the per-layout values.
+	// evaluated layouts; MPKIPerLayout keeps the per-layout values
+	// (NaN for a layout whose simulation failed within the failure
+	// budget).
 	MPKI          float64
 	MPKIPerLayout []float64
 	// PredictedCPI maps MPKI through the benchmark's regression model.
 	PredictedCPI stats.Interval
 }
 
-// EvaluatePredictors simulates each candidate predictor over every layout
-// of the dataset with the Pin-style tool (one deterministic run per
-// layout, §7.2) and maps the resulting mean MPKI through the model.
-// The model should come from the same dataset.
+// EvaluatePredictors simulates each candidate predictor over every usable
+// layout of the dataset with the Pin-style tool (one deterministic run
+// per layout, §7.2) and maps the resulting mean MPKI through the model.
+// The model should come from the same dataset. Layouts marked
+// StatusFailed in the campaign are skipped; the sweep runs under the
+// supervisor with the config's context and failure budget.
 func (d *Dataset) EvaluatePredictors(model *Model, factories []branch.Factory) ([]PredictorEval, error) {
 	if model == nil {
 		return nil, errors.New("core: EvaluatePredictors needs a model")
@@ -35,16 +40,21 @@ func (d *Dataset) EvaluatePredictors(model *Model, factories []branch.Factory) (
 	if len(factories) == 0 {
 		return nil, errors.New("core: EvaluatePredictors needs predictors")
 	}
-	perLayout := make([][]float64, len(factories)) // [pred][layout]
+	idx := d.usableIdx()
+	if len(idx) == 0 {
+		return nil, errors.New("core: EvaluatePredictors needs at least one usable layout")
+	}
+	perLayout := make([][]float64, len(factories)) // [pred][usable layout]
 	for i := range perLayout {
-		perLayout[i] = make([]float64, len(d.Obs))
+		perLayout[i] = make([]float64, len(idx))
 	}
 
 	// One compile shared by every layout; each column of perLayout is
 	// written at a distinct index, so no locking is needed.
 	builder := toolchain.NewBuilder(d.Config.Program, d.Config.Compile, d.Config.Link)
-	workers := normalizeWorkers(d.Config.Workers, len(d.Obs))
-	err := parallelFor(workers, len(d.Obs), func(_, i int) error {
+	workers := normalizeWorkers(d.Config.Workers, len(idx))
+	failed, err := superviseFor(d.Config.context(), workers, len(idx), d.Config.FailureBudget, func(_, k int) error {
+		i := idx[k]
 		exe, err := builder.Build(d.Obs[i].LayoutSeed)
 		if err != nil {
 			return fmt.Errorf("core: predictor eval layout %d: %w", i, err)
@@ -54,17 +64,22 @@ func (d *Dataset) EvaluatePredictors(model *Model, factories []branch.Factory) (
 			return fmt.Errorf("core: predictor eval layout %d: %w", i, err)
 		}
 		for pi, r := range rs {
-			perLayout[pi][i] = r.MPKI()
+			perLayout[pi][k] = r.MPKI()
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	for _, f := range failed {
+		for pi := range perLayout {
+			perLayout[pi][f.Index] = math.NaN()
+		}
+	}
 
 	out := make([]PredictorEval, len(factories))
 	for pi, f := range factories {
-		mean := stats.Mean(perLayout[pi])
+		mean := meanValid(perLayout[pi])
 		out[pi] = PredictorEval{
 			Name:          f.Name,
 			MPKI:          mean,
@@ -73,6 +88,21 @@ func (d *Dataset) EvaluatePredictors(model *Model, factories []branch.Factory) (
 		}
 	}
 	return out, nil
+}
+
+// meanValid averages the non-NaN entries.
+func meanValid(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // RealPredictorSummary reports the measured behaviour of the machine's

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,6 +26,13 @@ type LinearityConfig struct {
 	// Machine overrides the simulator configuration.
 	Machine machine.Config
 	Workers int
+
+	// Context cancels the sweep; nil means context.Background().
+	Context context.Context
+	// FailureBudget tolerates up to this many failed predictor
+	// configurations: the fit proceeds over the surviving points and
+	// Skipped records what was dropped. Zero aborts on the first failure.
+	FailureBudget int
 }
 
 // LinearityPoint is one simulated (MPKI, CPI) pair.
@@ -40,7 +48,10 @@ type LinearityPoint struct {
 type LinearityResult struct {
 	Benchmark string
 	Points    []LinearityPoint
-	Fit       *stats.LinearFit
+	// Skipped names the predictor configurations whose simulation failed
+	// within the failure budget; Points holds only the survivors.
+	Skipped []string
+	Fit     *stats.LinearFit
 
 	// PerfectCPI is the simulated truth with the oracle predictor;
 	// EstPerfectCPI is the regression estimate at 0 MPKI.
@@ -97,13 +108,15 @@ func RunLinearityStudy(cfg LinearityConfig) (*LinearityResult, error) {
 	}
 
 	// Each worker reuses one machine; points are written at distinct
-	// indices, so only the index counter is shared.
+	// indices, so only the index counter is shared. The sweep runs
+	// supervised: a panicking or failing configuration is dropped (within
+	// the failure budget) instead of discarding the whole study.
 	workers := normalizeWorkers(cfg.Workers, len(configs))
 	machines := make([]*machine.Machine, workers)
 	for w := range machines {
 		machines[w] = machine.New(mcfg)
 	}
-	err = parallelFor(workers, len(configs), func(w, i int) error {
+	failed, err := superviseFor(cfg.Context, workers, len(configs), cfg.FailureBudget, func(w, i int) error {
 		c, err := run(machines[w], configs[i].New())
 		if err != nil {
 			return fmt.Errorf("core: linearity config %s: %w", configs[i].Name, err)
@@ -113,6 +126,20 @@ func RunLinearityStudy(cfg LinearityConfig) (*LinearityResult, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if len(failed) > 0 {
+		drop := make(map[int]bool, len(failed))
+		for _, f := range failed {
+			drop[f.Index] = true
+			res.Skipped = append(res.Skipped, configs[f.Index].Name)
+		}
+		kept := res.Points[:0]
+		for i, p := range res.Points {
+			if !drop[i] {
+				kept = append(kept, p)
+			}
+		}
+		res.Points = kept
 	}
 
 	// Reference runs: perfect oracle and L-TAGE, on a private machine.

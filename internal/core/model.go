@@ -18,8 +18,10 @@ type Model struct {
 }
 
 // FitCPI regresses CPI on the given event's per-kilo-instruction rate.
+// Failed layouts are excluded: the fit runs on the dataset's effective
+// sample (Fit.N reports it).
 func (d *Dataset) FitCPI(ev pmc.Event) (*Model, error) {
-	if len(d.Obs) < 3 {
+	if d.EffectiveN() < 3 {
 		return nil, stats.ErrInsufficientData
 	}
 	fit, err := stats.FitLinear(d.PKIs(ev), d.CPIs())

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -22,47 +27,137 @@ func normalizeWorkers(requested, n int) int {
 	return workers
 }
 
-// parallelFor runs fn(worker, i) for every i in [0, n) across workers
-// goroutines. Indices are handed out from a lock-free atomic counter;
+// PanicError is a worker panic recovered by the supervised pool. The
+// sweep survives: the panic is converted into a per-index error instead
+// of killing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic: %v", e.Value)
+}
+
+// IndexError ties a sweep failure to the index that failed.
+type IndexError struct {
+	Index int
+	Err   error
+}
+
+func (e *IndexError) Error() string { return fmt.Sprintf("index %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *IndexError) Unwrap() error { return e.Err }
+
+// ErrSweepAborted marks a supervised sweep that stopped before visiting
+// every index, because its failure budget was exhausted.
+var ErrSweepAborted = errors.New("core: sweep aborted")
+
+// superviseFor runs fn(worker, i) for every i in [0, n) across workers
+// goroutines. Indices are handed out from a lock-free atomic counter and
 // callers write results at distinct indices, so the only synchronized
-// state is the counter and the first-error capture. The first error stops
-// the sweep and is returned. worker identifies the goroutine in
-// [0, workers) so callers can give each its own machine or harness.
-func parallelFor(workers, n int, fn func(worker, i int) error) error {
+// state is the counter and the failure list.
+//
+// Unlike a naive parallel loop, the pool is supervised:
+//
+//   - a panic in fn is recovered into a *PanicError and treated as that
+//     index's failure — one bad layout cannot kill the process;
+//   - failures do not abort the sweep immediately: up to budget failed
+//     indices are tolerated and reported in the returned slice (sorted by
+//     index), letting callers degrade instead of discarding completed work;
+//   - once more than budget indices have failed the pool stops handing
+//     out new indices and returns ErrSweepAborted joined with every
+//     recorded failure;
+//   - ctx cancellation (nil means context.Background()) likewise drains
+//     the pool and returns the cancellation cause.
+//
+// All workers have exited when superviseFor returns, whatever the
+// outcome: the pool never leaks goroutines.
+func superviseFor(ctx context.Context, workers, n, budget int, fn func(worker, i int) error) ([]*IndexError, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if budget < 0 {
+		budget = 0
 	}
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		next   atomic.Int64
+		stop   atomic.Bool
+		mu     sync.Mutex
+		failed []*IndexError
+		wg     sync.WaitGroup
 	)
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for {
-				if failed.Load() {
+				if stop.Load() || canceled() {
 					return
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(w, i); err != nil {
+				if err := runGuarded(fn, w, i); err != nil {
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					failed = append(failed, &IndexError{Index: i, Err: err})
+					if len(failed) > budget {
+						stop.Store(true)
 					}
 					mu.Unlock()
-					failed.Store(true)
-					return
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	return firstErr
+	sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+	if canceled() {
+		errs := make([]error, 0, len(failed)+1)
+		errs = append(errs, context.Cause(ctx))
+		for _, f := range failed {
+			errs = append(errs, f)
+		}
+		return failed, errors.Join(errs...)
+	}
+	if len(failed) > budget {
+		errs := make([]error, 0, len(failed)+1)
+		errs = append(errs, fmt.Errorf("%w: %d failures exceed budget %d", ErrSweepAborted, len(failed), budget))
+		for _, f := range failed {
+			errs = append(errs, f)
+		}
+		return failed, errors.Join(errs...)
+	}
+	return failed, nil
+}
+
+// runGuarded invokes fn(w, i), converting a panic into a *PanicError.
+func runGuarded(fn func(worker, i int) error, w, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(w, i)
+}
+
+// parallelFor is the zero-tolerance form of superviseFor: the first
+// failed index aborts the sweep and is returned (joined with
+// ErrSweepAborted). Panics are still recovered, workers still drain.
+func parallelFor(workers, n int, fn func(worker, i int) error) error {
+	_, err := superviseFor(context.Background(), workers, n, 0, fn)
+	return err
 }

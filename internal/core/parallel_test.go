@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalizeWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ req, n, want int }{
+		{4, 10, 4},
+		{8, 3, 3},
+		{0, 2, min(gmp, 2)},
+		{-1, 1, 1},
+		{3, 0, 1},
+	} {
+		if got := normalizeWorkers(tc.req, tc.n); got != tc.want {
+			t.Errorf("normalizeWorkers(%d, %d) = %d, want %d", tc.req, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestParallelForVisitsEachIndexOnce(t *testing.T) {
+	// More workers than items: the pool clamps and every index is still
+	// visited exactly once.
+	var visits [3]atomic.Int32
+	if err := parallelFor(8, 3, func(w, i int) error {
+		visits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if n := visits[i].Load(); n != 1 {
+			t.Errorf("index %d visited %d times", i, n)
+		}
+	}
+	if err := parallelFor(4, 0, func(w, i int) error { return nil }); err != nil {
+		t.Errorf("empty sweep: %v", err)
+	}
+}
+
+func TestSuperviseForRecoversPanics(t *testing.T) {
+	failed, err := superviseFor(nil, 4, 8, 0, func(w, i int) error {
+		if i == 3 {
+			panic("boom at 3")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic with zero budget did not abort the sweep")
+	}
+	if !errors.Is(err, ErrSweepAborted) {
+		t.Errorf("error %v does not wrap ErrSweepAborted", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v carries no *PanicError", err)
+	}
+	if pe.Value != "boom at 3" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError value %v, stack %d bytes", pe.Value, len(pe.Stack))
+	}
+	if len(failed) != 1 || failed[0].Index != 3 {
+		t.Errorf("failed = %v, want one entry at index 3", failed)
+	}
+}
+
+func TestSuperviseForFailureBudget(t *testing.T) {
+	bad := func(w, i int) error {
+		if i%5 == 0 { // indices 0, 5, 10, 15: four failures in 20
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	}
+	// Within budget: the sweep completes and reports the failures sorted.
+	failed, err := superviseFor(nil, 4, 20, 4, bad)
+	if err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if len(failed) != 4 {
+		t.Fatalf("%d failures recorded, want 4", len(failed))
+	}
+	for k, f := range failed {
+		if f.Index != k*5 {
+			t.Errorf("failed[%d].Index = %d, want %d (sorted)", k, f.Index, k*5)
+		}
+	}
+	// Over budget: aborted, and the joined error names the failures.
+	_, err = superviseFor(nil, 4, 20, 2, bad)
+	if !errors.Is(err, ErrSweepAborted) {
+		t.Errorf("over budget: %v, want ErrSweepAborted", err)
+	}
+}
+
+func TestSuperviseForCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int32
+	const n = 100000
+	_, err := superviseFor(ctx, 4, n, 0, func(w, i int) error {
+		if visited.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep returned %v", err)
+	}
+	if v := visited.Load(); v >= n {
+		t.Errorf("cancellation did not stop the sweep (visited all %d)", v)
+	}
+}
+
+func TestSuperviseForCancellationCause(t *testing.T) {
+	cause := errors.New("deadline for the campaign")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	_, err := superviseFor(ctx, 2, 10, 0, func(w, i int) error { return nil })
+	if !errors.Is(err, cause) {
+		t.Errorf("error %v does not carry the cancellation cause", err)
+	}
+}
+
+func TestSuperviseForNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	// Exercise every exit path: clean, aborted by panic, aborted by
+	// budget, and canceled.
+	parallelFor(8, 100, func(w, i int) error { return nil })
+	superviseFor(nil, 8, 100, 0, func(w, i int) error {
+		if i == 50 {
+			panic("leak check")
+		}
+		return nil
+	})
+	superviseFor(nil, 8, 100, 1, func(w, i int) error { return errors.New("x") })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	superviseFor(ctx, 8, 100, 0, func(w, i int) error { return nil })
+
+	// All pools claim to join their workers before returning; give the
+	// runtime a moment to retire exiting goroutines, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines before %d, after %d: pool leaked workers", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSuperviseForFirstErrorAborts(t *testing.T) {
+	// parallelFor semantics: zero tolerance, error carries the index.
+	err := parallelFor(2, 10, func(w, i int) error {
+		if i == 4 {
+			return errors.New("broken layout")
+		}
+		return nil
+	})
+	var ie *IndexError
+	if !errors.As(err, &ie) || ie.Index != 4 {
+		t.Fatalf("error %v does not identify index 4", err)
+	}
+}

@@ -11,8 +11,12 @@ import (
 // did ("for the other benchmarks, there was not enough range of MPKI to
 // predict CPI", §4.6).
 type ScreenResult struct {
-	Benchmark   string
-	Layouts     int
+	Benchmark string
+	Layouts   int
+	// EffectiveN is the number of layouts with a usable measurement: in
+	// a degraded campaign (failures within the budget) the t test runs
+	// on EffectiveN points, not Layouts.
+	EffectiveN  int
 	Significant bool
 	PValue      float64
 	// NormalityP is the Jarque-Bera p-value of the CPI sample. §5.8
@@ -42,9 +46,10 @@ func ScreenSignificance(cfg CampaignConfig, step, maxLayouts int) (*ScreenResult
 	}
 	for {
 		res := &ScreenResult{
-			Benchmark: ds.Benchmark,
-			Layouts:   len(ds.Obs),
-			Dataset:   ds,
+			Benchmark:  ds.Benchmark,
+			Layouts:    len(ds.Obs),
+			EffectiveN: ds.EffectiveN(),
+			Dataset:    ds,
 		}
 		_, res.NormalityP = stats.JarqueBera(ds.CPIs())
 		model, err := ds.FitCPI(pmc.EvBranchMispredicts)

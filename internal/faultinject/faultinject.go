@@ -1,0 +1,308 @@
+// Package faultinject is a seeded, deterministic fault injector for the
+// campaign supervisor's test harness. It wraps the two seams every
+// measurement passes through — Build (layout linking) and Measure
+// (counter harness) — and injects errors, panics, corrupted results and
+// slow calls at configurable rates.
+//
+// Determinism is the whole point: the decision for a given call is a pure
+// function of (injector seed, site, key, attempt), where the key is the
+// layout seed and the attempt counts prior calls for that (site, key).
+// The same campaign run with the same injector therefore fails in exactly
+// the same places regardless of worker count or goroutine scheduling, and
+// a bounded retry deterministically clears an injected fault once the
+// attempt number exceeds MaxFaults. That is what lets the test suite
+// assert bit-identical recovery: a faulty campaign with retries must
+// reproduce the clean campaign's measurements exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/xrand"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so tests
+// can distinguish injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Site identifies an injection seam.
+type Site uint8
+
+// Injection sites.
+const (
+	// SiteBuild is the toolchain Build seam (one call per layout link).
+	SiteBuild Site = iota
+	// SiteMeasure is the pmc Measure seam (one call per observation).
+	SiteMeasure
+	numSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case SiteBuild:
+		return "build"
+	case SiteMeasure:
+		return "measure"
+	default:
+		return fmt.Sprintf("Site(%d)", uint8(s))
+	}
+}
+
+// Kind is the fault injected into one call.
+type Kind uint8
+
+// Fault kinds. At most one fault fires per call.
+const (
+	KindNone Kind = iota
+	// KindError makes the call return an error wrapping ErrInjected.
+	KindError
+	// KindPanic makes the call panic, exercising worker panic recovery.
+	KindPanic
+	// KindCorrupt lets the call succeed but corrupts its result: a build
+	// gets an out-of-segment block address (caught by
+	// toolchain.CheckExecutable), a measurement gets its cycle count
+	// scaled ×1024 (caught by the campaign's MAD outlier screen).
+	KindCorrupt
+	// KindSlow delays the call by Rates.SlowDelay, then lets it through.
+	KindSlow
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindCorrupt:
+		return "corrupt"
+	case KindSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Rates configures per-call fault probabilities for one site. The
+// probabilities are evaluated cumulatively (Error first, then Panic,
+// Corrupt, Slow), so their sum must be <= 1.
+type Rates struct {
+	Error   float64
+	Panic   float64
+	Corrupt float64
+	Slow    float64
+	// SlowDelay is the latency of a KindSlow fault. Zero means 1ms.
+	SlowDelay time.Duration
+	// MaxFaults bounds how many calls for the same (site, key) may fault
+	// before the injector lets every later call through, so a caller with
+	// MaxFaults+1 attempts always eventually succeeds. Zero means 1.
+	MaxFaults int
+}
+
+func (r Rates) maxFaults() int {
+	if r.MaxFaults <= 0 {
+		return 1
+	}
+	return r.MaxFaults
+}
+
+// Config sets the per-site rates of an injector.
+type Config struct {
+	Build   Rates
+	Measure Rates
+}
+
+// Injector decides, deterministically, which calls fault. It is safe for
+// concurrent use.
+type Injector struct {
+	seed uint64
+	cfg  Config
+
+	mu       sync.Mutex
+	attempts map[attemptKey]uint64
+	counts   [numSites][numKinds]int
+}
+
+type attemptKey struct {
+	site Site
+	key  uint64
+}
+
+// New returns an injector keyed by seed. Two injectors with the same seed
+// and config make identical decisions.
+func New(seed uint64, cfg Config) *Injector {
+	return &Injector{seed: seed, cfg: cfg, attempts: make(map[attemptKey]uint64)}
+}
+
+// Counts returns how many faults of each kind have fired at a site.
+func (in *Injector) Counts(site Site) map[Kind]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Kind]int)
+	for k := KindNone + 1; k < numKinds; k++ {
+		if n := in.counts[site][k]; n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// Injected returns the total number of faults fired across all sites.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	total := 0
+	for s := Site(0); s < numSites; s++ {
+		for k := KindNone + 1; k < numKinds; k++ {
+			total += in.counts[s][k]
+		}
+	}
+	return total
+}
+
+func (in *Injector) rates(site Site) Rates {
+	if site == SiteBuild {
+		return in.cfg.Build
+	}
+	return in.cfg.Measure
+}
+
+// decide draws the fault for the next call at (site, key). The attempt
+// number is the count of prior calls for that pair, so the decision
+// sequence per key is stable under any goroutine interleaving as long as
+// calls for one key are not concurrent with each other (the supervisor
+// measures each layout on a single worker at a time).
+func (in *Injector) decide(site Site, key uint64) Kind {
+	r := in.rates(site)
+	in.mu.Lock()
+	ak := attemptKey{site, key}
+	attempt := in.attempts[ak]
+	in.attempts[ak] = attempt + 1
+	in.mu.Unlock()
+	if attempt >= uint64(r.maxFaults()) {
+		return KindNone
+	}
+	p := xrand.New(xrand.Mix(in.seed, 0xfa017+uint64(site), key, attempt)).Float64()
+	kind := KindNone
+	switch {
+	case p < r.Error:
+		kind = KindError
+	case p < r.Error+r.Panic:
+		kind = KindPanic
+	case p < r.Error+r.Panic+r.Corrupt:
+		kind = KindCorrupt
+	case p < r.Error+r.Panic+r.Corrupt+r.Slow:
+		kind = KindSlow
+	}
+	if kind != KindNone {
+		in.mu.Lock()
+		in.counts[site][kind]++
+		in.mu.Unlock()
+	}
+	return kind
+}
+
+func (in *Injector) sleep(site Site) {
+	d := in.rates(site).SlowDelay
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// Builder is the narrow build seam: toolchain.Builder satisfies it.
+type Builder interface {
+	Build(seed uint64) (*toolchain.Executable, error)
+}
+
+// Measurer is the narrow measurement seam: pmc.Harness satisfies it.
+type Measurer interface {
+	Measure(spec machine.RunSpec) (pmc.Measurement, error)
+}
+
+// WrapBuilder returns a Builder that injects faults keyed by the layout
+// seed before delegating to b.
+func (in *Injector) WrapBuilder(b Builder) Builder {
+	return &faultyBuilder{in: in, b: b}
+}
+
+// WrapMeasurer returns a Measurer that injects faults keyed by the
+// executable's layout seed before delegating to m.
+func (in *Injector) WrapMeasurer(m Measurer) Measurer {
+	return &faultyMeasurer{in: in, m: m}
+}
+
+type faultyBuilder struct {
+	in *Injector
+	b  Builder
+}
+
+func (f *faultyBuilder) Build(seed uint64) (*toolchain.Executable, error) {
+	switch f.in.decide(SiteBuild, seed) {
+	case KindError:
+		return nil, fmt.Errorf("%w: build for layout seed %#x", ErrInjected, seed)
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: build panic for layout seed %#x", seed))
+	case KindSlow:
+		f.in.sleep(SiteBuild)
+	case KindCorrupt:
+		exe, err := f.b.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		return corruptExecutable(exe), nil
+	}
+	return f.b.Build(seed)
+}
+
+// corruptExecutable returns a shallow copy of exe with one block address
+// pushed past the text segment — the kind of silent build corruption
+// toolchain.CheckExecutable exists to catch. The input is not modified
+// (the builder's other consumers must keep seeing a clean executable).
+func corruptExecutable(exe *toolchain.Executable) *toolchain.Executable {
+	cp := *exe
+	cp.BlockAddr = append([]uint64(nil), exe.BlockAddr...)
+	if len(cp.BlockAddr) > 0 {
+		cp.BlockAddr[0] = cp.CodeLimit + 0x1000
+	}
+	return &cp
+}
+
+type faultyMeasurer struct {
+	in *Injector
+	m  Measurer
+}
+
+func (f *faultyMeasurer) Measure(spec machine.RunSpec) (pmc.Measurement, error) {
+	key := uint64(0)
+	if spec.Exe != nil {
+		key = spec.Exe.Seed
+	}
+	switch f.in.decide(SiteMeasure, key) {
+	case KindError:
+		return pmc.Measurement{}, fmt.Errorf("%w: measurement for layout seed %#x", ErrInjected, key)
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: measurement panic for layout seed %#x", key))
+	case KindSlow:
+		f.in.sleep(SiteMeasure)
+	case KindCorrupt:
+		m, err := f.m.Measure(spec)
+		if err != nil {
+			return pmc.Measurement{}, err
+		}
+		// A wildly implausible cycle count models a disturbed measurement
+		// (SMI storm, co-scheduled noise): the counters are internally
+		// consistent, so only a robust statistical screen can flag it.
+		m.Cycles *= 1024
+		return m, nil
+	}
+	return f.m.Measure(spec)
+}

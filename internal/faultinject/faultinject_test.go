@@ -1,0 +1,228 @@
+package faultinject_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"interferometry/internal/faultinject"
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+)
+
+// stubMeasurer returns a fixed plausible measurement, counting calls.
+type stubMeasurer struct{ calls int }
+
+func (s *stubMeasurer) Measure(spec machine.RunSpec) (pmc.Measurement, error) {
+	s.calls++
+	return pmc.Measurement{Cycles: 1000, Instructions: 500, Runs: 1}, nil
+}
+
+func measureSpec(seed uint64) machine.RunSpec {
+	return machine.RunSpec{Exe: &toolchain.Executable{Seed: seed}}
+}
+
+// outcome classifies one wrapped Measure call: "error", "panic",
+// "corrupt", or "ok".
+func outcome(m faultinject.Measurer, seed uint64) (result string) {
+	defer func() {
+		if recover() != nil {
+			result = "panic"
+		}
+	}()
+	meas, err := m.Measure(measureSpec(seed))
+	switch {
+	case err != nil:
+		return "error"
+	case meas.Cycles != 1000:
+		return "corrupt"
+	default:
+		return "ok"
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	cfg := faultinject.Config{Measure: faultinject.Rates{
+		Error: 0.2, Panic: 0.1, Corrupt: 0.2, MaxFaults: 1000,
+	}}
+	seq := func(seed uint64) []string {
+		m := faultinject.New(seed, cfg).WrapMeasurer(&stubMeasurer{})
+		var out []string
+		for key := uint64(1); key <= 200; key++ {
+			out = append(out, outcome(m, key))
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds made identical decisions for 200 keys")
+	}
+	kinds := map[string]bool{}
+	for _, o := range a {
+		kinds[o] = true
+	}
+	for _, want := range []string{"ok", "error", "panic", "corrupt"} {
+		if !kinds[want] {
+			t.Errorf("200 calls at 50%% fault rate never produced %q", want)
+		}
+	}
+}
+
+func TestMaxFaultsBoundsInjection(t *testing.T) {
+	in := faultinject.New(7, faultinject.Config{Measure: faultinject.Rates{
+		Error: 1, MaxFaults: 2,
+	}})
+	m := in.WrapMeasurer(&stubMeasurer{})
+	for call := 0; call < 2; call++ {
+		if _, err := m.Measure(measureSpec(99)); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("call %d: want injected error, got %v", call, err)
+		}
+	}
+	// The attempt counter for this key is exhausted: every later call is
+	// clean, so a caller with MaxFaults+1 attempts always succeeds.
+	for call := 2; call < 5; call++ {
+		if _, err := m.Measure(measureSpec(99)); err != nil {
+			t.Fatalf("call %d after MaxFaults: %v", call, err)
+		}
+	}
+	// Other keys have their own counters.
+	if _, err := m.Measure(measureSpec(100)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("fresh key: want injected error, got %v", err)
+	}
+	if got := in.Counts(faultinject.SiteMeasure)[faultinject.KindError]; got != 3 {
+		t.Errorf("KindError count = %d, want 3", got)
+	}
+	if got := in.Injected(); got != 3 {
+		t.Errorf("Injected() = %d, want 3", got)
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	in := faultinject.New(1, faultinject.Config{})
+	stub := &stubMeasurer{}
+	m := in.WrapMeasurer(stub)
+	for key := uint64(0); key < 100; key++ {
+		if _, err := m.Measure(measureSpec(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stub.calls != 100 || in.Injected() != 0 {
+		t.Errorf("calls=%d injected=%d, want 100 and 0", stub.calls, in.Injected())
+	}
+}
+
+func TestCorruptBuildFailsCheckAndPreservesOriginal(t *testing.T) {
+	builder := toolchain.NewBuilder(testprog.CallChain(10), toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	in := faultinject.New(3, faultinject.Config{Build: faultinject.Rates{Corrupt: 1}})
+	fb := in.WrapBuilder(builder)
+
+	bad, err := fb.Build(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolchain.CheckExecutable(bad); err == nil {
+		t.Error("corrupted executable passed CheckExecutable")
+	}
+	// The wrapper corrupts a copy: a fresh build from the underlying
+	// builder must still be clean.
+	clean, err := builder.Build(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolchain.CheckExecutable(clean); err != nil {
+		t.Errorf("underlying builder contaminated: %v", err)
+	}
+	// Past MaxFaults the wrapper itself returns clean builds.
+	ok, err := fb.Build(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolchain.CheckExecutable(ok); err != nil {
+		t.Errorf("build after MaxFaults still corrupt: %v", err)
+	}
+}
+
+func TestCorruptMeasureScalesCycles(t *testing.T) {
+	in := faultinject.New(5, faultinject.Config{Measure: faultinject.Rates{Corrupt: 1}})
+	m := in.WrapMeasurer(&stubMeasurer{})
+	meas, err := m.Measure(measureSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Cycles != 1000*1024 {
+		t.Errorf("corrupt cycles = %d, want %d", meas.Cycles, 1000*1024)
+	}
+	// Instructions stay exact: the corruption models a disturbed cycle
+	// count that only a statistical screen can flag.
+	if meas.Instructions != 500 {
+		t.Errorf("corrupt measurement changed instructions: %d", meas.Instructions)
+	}
+}
+
+func TestSlowDelaysButSucceeds(t *testing.T) {
+	in := faultinject.New(5, faultinject.Config{Measure: faultinject.Rates{
+		Slow: 1, SlowDelay: time.Millisecond,
+	}})
+	m := in.WrapMeasurer(&stubMeasurer{})
+	start := time.Now()
+	if _, err := m.Measure(measureSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < time.Millisecond {
+		t.Errorf("slow call returned in %v", d)
+	}
+	if got := in.Counts(faultinject.SiteMeasure)[faultinject.KindSlow]; got != 1 {
+		t.Errorf("KindSlow count = %d", got)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := faultinject.New(5, faultinject.Config{Build: faultinject.Rates{Panic: 1}})
+	builder := toolchain.NewBuilder(testprog.Counting(5), toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	fb := in.WrapBuilder(builder)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("KindPanic did not panic")
+			}
+		}()
+		fb.Build(1)
+	}()
+	if got := in.Counts(faultinject.SiteBuild)[faultinject.KindPanic]; got != 1 {
+		t.Errorf("KindPanic count = %d", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, tc := range []struct {
+		s    fmt.Stringer
+		want string
+	}{
+		{faultinject.SiteBuild, "build"},
+		{faultinject.SiteMeasure, "measure"},
+		{faultinject.KindError, "error"},
+		{faultinject.KindPanic, "panic"},
+		{faultinject.KindCorrupt, "corrupt"},
+		{faultinject.KindSlow, "slow"},
+		{faultinject.KindNone, "none"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -151,6 +151,28 @@ func (m Measurement) PKI(e Event) float64 {
 // MPKI returns branch mispredictions per 1000 instructions.
 func (m Measurement) MPKI() float64 { return m.PKI(EvBranchMispredicts) }
 
+// Check validates the internal plausibility of a measurement against the
+// trace it claims to measure: the retired-instruction counter is exact by
+// construction, cycles cannot be zero for a nonempty trace, and no event
+// fires more than once per instruction-and-miss opportunity allows
+// (loosely, events cannot exceed cycles + instructions). A violation
+// marks a corrupted readout that the campaign supervisor re-measures
+// rather than feeding to the regression.
+func (m Measurement) Check(wantInstrs uint64) error {
+	if m.Instructions != wantInstrs {
+		return fmt.Errorf("pmc: measurement retired %d instructions, trace has %d", m.Instructions, wantInstrs)
+	}
+	if wantInstrs > 0 && m.Cycles == 0 {
+		return errors.New("pmc: measurement has zero cycles for a nonempty trace")
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		if limit := m.Cycles + m.Instructions; m.Events[e] > limit {
+			return fmt.Errorf("pmc: event %s count %d exceeds plausibility bound %d", e, m.Events[e], limit)
+		}
+	}
+	return nil
+}
+
 // Measure runs the protocol for one layout. The spec's NoiseSeed is used
 // as a base; individual runs derive their own seeds from it, so a
 // different base models a different measurement session.

@@ -178,3 +178,41 @@ func TestNonCycleCountersStableAcrossSessions(t *testing.T) {
 		t.Error("cycles should vary across sessions")
 	}
 }
+
+func TestMeasurementCheck(t *testing.T) {
+	good := pmc.Measurement{Cycles: 2000, Instructions: 1000}
+	good.Events[pmc.EvBranchMispredicts] = 40
+	if err := good.Check(1000); err != nil {
+		t.Fatalf("plausible measurement rejected: %v", err)
+	}
+
+	if err := good.Check(999); err == nil {
+		t.Error("instruction-count mismatch accepted")
+	}
+	zeroCycles := good
+	zeroCycles.Cycles = 0
+	if err := zeroCycles.Check(1000); err == nil {
+		t.Error("zero cycles for a nonempty trace accepted")
+	}
+	wild := good
+	wild.Events[pmc.EvL1DMisses] = wild.Cycles + wild.Instructions + 1
+	if err := wild.Check(1000); err == nil {
+		t.Error("event count beyond the plausibility bound accepted")
+	}
+	// The empty measurement of an empty trace is fine.
+	if err := (pmc.Measurement{}).Check(0); err != nil {
+		t.Errorf("empty measurement of empty trace rejected: %v", err)
+	}
+}
+
+func TestHarnessMeasurementPassesCheck(t *testing.T) {
+	h := &pmc.Harness{Machine: machine.New(machine.XeonE5440()), Fidelity: pmc.FidelityPaper}
+	s := spec(t)
+	m, err := h.Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(s.Trace.Instrs); err != nil {
+		t.Errorf("real measurement failed its own plausibility check: %v", err)
+	}
+}

@@ -24,15 +24,18 @@ var csvEvents = []pmc.Event{
 }
 
 // WriteDatasetCSV writes one row per observation: the layout and heap
-// seeds, raw cycle/instruction counts, CPI, and each event's
-// per-kilo-instruction rate. The format round-trips through
-// ReadDatasetCSV.
+// seeds, raw cycle/instruction counts, CPI, each event's
+// per-kilo-instruction rate, and the supervisor's status/attempts
+// columns. Failed layouts are written too (zero counters, status
+// "failed") so a degraded campaign's gaps are visible in the export. The
+// format round-trips through ReadDatasetCSV.
 func WriteDatasetCSV(w io.Writer, ds *core.Dataset) error {
 	cw := csv.NewWriter(w)
 	header := []string{"benchmark", "layout_seed", "heap_seed", "cycles", "instructions", "cpi"}
 	for _, ev := range csvEvents {
 		header = append(header, ev.String()+"_pki")
 	}
+	header = append(header, "status", "attempts")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -48,6 +51,7 @@ func WriteDatasetCSV(w io.Writer, ds *core.Dataset) error {
 		for _, ev := range csvEvents {
 			row = append(row, strconv.FormatFloat(o.PKI(ev), 'g', 10, 64))
 		}
+		row = append(row, o.Status.String(), strconv.Itoa(o.Attempts))
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -65,6 +69,10 @@ type Row struct {
 	Instructions uint64
 	CPI          float64
 	PKI          map[string]float64
+	// Status and Attempts are the supervisor columns; CSVs written
+	// before the supervisor existed parse with Status "" and Attempts 0.
+	Status   string
+	Attempts int
 }
 
 // ReadDatasetCSV parses a CSV written by WriteDatasetCSV.
@@ -99,11 +107,22 @@ func ReadDatasetCSV(r io.Reader) ([]Row, error) {
 			}
 		}
 		for i := 6; i < len(header); i++ {
-			v, err := strconv.ParseFloat(rec[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("results: bad value %q in column %s: %w", rec[i], header[i], err)
+			switch header[i] {
+			case "status":
+				row.Status = rec[i]
+			case "attempts":
+				n, err := strconv.Atoi(rec[i])
+				if err != nil {
+					return nil, fmt.Errorf("results: bad attempts %q: %w", rec[i], err)
+				}
+				row.Attempts = n
+			default:
+				v, err := strconv.ParseFloat(rec[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("results: bad value %q in column %s: %w", rec[i], header[i], err)
+				}
+				row.PKI[header[i]] = v
 			}
-			row.PKI[header[i]] = v
 		}
 		rows = append(rows, row)
 	}

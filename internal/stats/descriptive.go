@@ -108,6 +108,21 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// MAD returns the median absolute deviation from the median, the robust
+// scale estimate behind the campaign supervisor's outlier screen: unlike
+// the standard deviation, up to half the sample can be wildly corrupted
+// without moving it. It panics on empty input. The raw MAD is returned
+// (no 1.4826 normal-consistency factor); callers choose thresholds in
+// MAD units.
+func MAD(xs []float64) float64 {
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
 // MedianIndex returns the index into xs of the element whose value is the
 // lower median. The paper keeps "the measurements given by the run with the
 // median number of cycles" (§5.5); this helper identifies which run that

@@ -50,6 +50,20 @@ func TestMedian(t *testing.T) {
 	approx(t, Median([]float64{9}), 9, 0, "Median single")
 }
 
+func TestMAD(t *testing.T) {
+	// Deviations from median 3: {2, 1, 0, 1, 2} → MAD 1.
+	approx(t, MAD([]float64{1, 2, 3, 4, 5}), 1, 1e-12, "MAD odd")
+	approx(t, MAD([]float64{7, 7, 7}), 0, 0, "MAD constant")
+	// Robustness: one wild corruption moves the MAD very little.
+	approx(t, MAD([]float64{1, 2, 3, 4, 1e9}), 1, 1e-12, "MAD corrupted")
+	defer func() {
+		if recover() == nil {
+			t.Error("MAD(nil) should panic like Median")
+		}
+	}()
+	MAD(nil)
+}
+
 func TestQuantile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	approx(t, Quantile(xs, 0), 1, 0, "q0")

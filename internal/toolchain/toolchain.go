@@ -300,6 +300,59 @@ func BuildLayout(p *isa.Program, seed uint64, ccfg CompileConfig, lcfg LinkConfi
 	return NewBuilder(p, ccfg, lcfg).Build(seed)
 }
 
+// CheckExecutable validates the structural invariants a linked
+// executable must satisfy: every block and procedure address lies inside
+// the text segment, every non-heap global lies inside the data segment,
+// and the link order covers each procedure exactly once. Link upholds all
+// of these by construction; the check exists for the campaign
+// supervisor, which revalidates executables at the build seam so that a
+// corrupted build (fault injection in tests, bit rot or a future buggy
+// layout transform in production) is caught and retried instead of
+// silently measured.
+func CheckExecutable(e *Executable) error {
+	if e == nil || e.Program == nil {
+		return fmt.Errorf("toolchain: nil executable")
+	}
+	p := e.Program
+	if len(e.BlockAddr) != len(p.Blocks) || len(e.ProcAddr) != len(p.Procs) || len(e.GlobalBase) != len(p.Objects) {
+		return fmt.Errorf("toolchain: executable tables do not match program shape")
+	}
+	if e.CodeLimit < e.CodeBase || e.DataLimit < e.DataBase {
+		return fmt.Errorf("toolchain: inverted segment bounds")
+	}
+	for id := range p.Blocks {
+		addr := e.BlockAddr[id]
+		if addr < e.CodeBase || addr+uint64(p.Blocks[id].Bytes) > e.CodeLimit {
+			return fmt.Errorf("toolchain: block %d at %#x outside text segment [%#x,%#x)", id, addr, e.CodeBase, e.CodeLimit)
+		}
+	}
+	for id := range p.Procs {
+		if a := e.ProcAddr[id]; a < e.CodeBase || a >= e.CodeLimit {
+			return fmt.Errorf("toolchain: procedure %d at %#x outside text segment", id, a)
+		}
+	}
+	for id := range p.Objects {
+		if p.Objects[id].Heap {
+			continue
+		}
+		base := e.GlobalBase[id]
+		if base < e.DataBase || base+p.Objects[id].Size > e.DataLimit {
+			return fmt.Errorf("toolchain: global %d at %#x outside data segment", id, base)
+		}
+	}
+	if len(e.LinkOrder) != len(p.Procs) {
+		return fmt.Errorf("toolchain: link order covers %d of %d procedures", len(e.LinkOrder), len(p.Procs))
+	}
+	seen := make([]bool, len(p.Procs))
+	for _, pid := range e.LinkOrder {
+		if int(pid) >= len(seen) || seen[pid] {
+			return fmt.Errorf("toolchain: link order repeats or exceeds procedure %d", pid)
+		}
+		seen[pid] = true
+	}
+	return nil
+}
+
 // isBranchTarget reports whether any terminator in the block's procedure
 // targets it (the alignment heuristic only applies to explicit targets,
 // not fallthrough successors).

@@ -378,3 +378,40 @@ func TestBuildHotLayoutBeatsAverageRandom(t *testing.T) {
 		t.Errorf("hot-first layout misses %d, average random layout %d", pgoMisses, avg)
 	}
 }
+
+func TestCheckExecutable(t *testing.T) {
+	p := testprog.CallChain(10)
+	exe := mustBuild(t, p, 3)
+	if err := toolchain.CheckExecutable(exe); err != nil {
+		t.Fatalf("clean build failed the check: %v", err)
+	}
+
+	// Each corruption below models a distinct linker bug the campaign
+	// supervisor must catch before measurement.
+	corrupt := func(name string, mutate func(*toolchain.Executable)) {
+		cp := *exe
+		cp.BlockAddr = append([]uint64(nil), exe.BlockAddr...)
+		cp.ProcAddr = append([]uint64(nil), exe.ProcAddr...)
+		cp.GlobalBase = append([]uint64(nil), exe.GlobalBase...)
+		cp.LinkOrder = append([]isa.ProcID(nil), exe.LinkOrder...)
+		mutate(&cp)
+		if err := toolchain.CheckExecutable(&cp); err == nil {
+			t.Errorf("%s: corruption passed the check", name)
+		}
+	}
+	corrupt("block outside text", func(e *toolchain.Executable) { e.BlockAddr[0] = e.CodeLimit + 0x1000 })
+	corrupt("proc outside text", func(e *toolchain.Executable) { e.ProcAddr[0] = 0 })
+	corrupt("truncated tables", func(e *toolchain.Executable) { e.BlockAddr = e.BlockAddr[:1] })
+	corrupt("inverted segment", func(e *toolchain.Executable) { e.CodeLimit = e.CodeBase - 1; e.CodeBase = e.CodeLimit + 2 })
+	corrupt("repeated link order", func(e *toolchain.Executable) { e.LinkOrder[1] = e.LinkOrder[0] })
+	corrupt("short link order", func(e *toolchain.Executable) { e.LinkOrder = e.LinkOrder[:1] })
+	if len(p.Objects) > 0 {
+		corrupt("global outside data", func(e *toolchain.Executable) { e.GlobalBase[0] = e.DataLimit + 1 })
+	}
+	if err := toolchain.CheckExecutable(nil); err == nil {
+		t.Error("nil executable passed the check")
+	}
+	if err := toolchain.CheckExecutable(&toolchain.Executable{}); err == nil {
+		t.Error("empty executable passed the check")
+	}
+}
