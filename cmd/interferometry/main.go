@@ -31,6 +31,8 @@ import (
 
 	"interferometry/internal/core"
 	"interferometry/internal/experiments"
+	"interferometry/internal/obs"
+	"interferometry/internal/obsflag"
 	"interferometry/internal/pmc"
 	"interferometry/internal/progen"
 )
@@ -99,6 +101,7 @@ func main() {
 	retries := flag.Int("retries", 2, "max measurement attempts per layout")
 	failureBudget := flag.Int("failure-budget", 0, "layouts allowed to fail before the campaign aborts")
 	outlierMAD := flag.Float64("outlier-mad", 0, "re-measure observations further than this many MADs from the median CPI (0 = off)")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	rs := runners()
@@ -114,6 +117,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *campaign != "" {
+		observer, err := obsFlags.Observer(*campaign)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := runSupervisedCampaign(campaignOptions{
 			benchmark:     *campaign,
 			scale:         scale,
@@ -124,14 +132,26 @@ func main() {
 			retries:       *retries,
 			failureBudget: *failureBudget,
 			outlierMAD:    *outlierMAD,
+			observer:      observer,
 		}); err != nil {
+			obsFlags.Close(observer)
 			fmt.Fprintf(os.Stderr, "campaign %s: %v\n", *campaign, err)
+			os.Exit(1)
+		}
+		if err := obsFlags.Close(observer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
+	observer, err := obsFlags.Observer(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	ctx := experiments.NewContext(scale)
 	ctx.Workers = *workers
+	ctx.Obs = observer
 
 	ran := 0
 	for _, r := range rs {
@@ -151,6 +171,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
+	if err := obsFlags.Close(observer); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // campaignOptions collects the -campaign flags.
@@ -164,6 +188,7 @@ type campaignOptions struct {
 	retries       int
 	failureBudget int
 	outlierMAD    float64
+	observer      *obs.Observer
 }
 
 // runSupervisedCampaign measures one benchmark under the fault-tolerant
@@ -197,6 +222,7 @@ func runSupervisedCampaign(opts campaignOptions) error {
 		FailureBudget: opts.failureBudget,
 		OutlierMAD:    opts.outlierMAD,
 		Checkpoint:    core.CheckpointConfig{Dir: opts.checkpointDir, Resume: opts.resume},
+		Obs:           opts.observer,
 	}
 	start := time.Now()
 	ds, err := core.RunCampaign(cfg)

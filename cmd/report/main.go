@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"interferometry/internal/experiments"
+	"interferometry/internal/obs"
+	"interferometry/internal/obsflag"
 	"interferometry/internal/results"
 	"interferometry/internal/svgplot"
 )
@@ -25,6 +27,7 @@ func main() {
 	out := flag.String("out", "report", "output directory")
 	scaleName := flag.String("scale", "medium", "scale: small, medium or paper")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	scale, ok := experiments.ScaleByName(*scaleName)
@@ -34,8 +37,21 @@ func main() {
 	if err := os.MkdirAll(filepath.Join(*out, "datasets"), 0o755); err != nil {
 		fatal(err)
 	}
+	observer, err := obsFlags.Observer("report")
+	if err != nil {
+		fatal(err)
+	}
+	// The report always collects metrics — report.md embeds them — even
+	// when no -metrics-out dump was requested.
+	if observer == nil {
+		observer = &obs.Observer{}
+	}
+	if observer.Metrics == nil {
+		observer.Metrics = obs.NewMetrics()
+	}
 	ctx := experiments.NewContext(scale)
 	ctx.Workers = *workers
+	ctx.Obs = observer
 
 	var md strings.Builder
 	fmt.Fprintf(&md, "# Program Interferometry — reproduction report\n\nscale: %s, generated %s\n\n",
@@ -186,10 +202,31 @@ func main() {
 		f.Close()
 	}
 
+	writeMetricsSection(&md, observer.Metrics)
+
 	if err := os.WriteFile(filepath.Join(*out, "report.md"), []byte(md.String()), 0o644); err != nil {
 		fatal(err)
 	}
+	if err := obsFlags.Close(observer); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("report written to %s (report.md, *.json, datasets/*.csv)\n", *out)
+}
+
+// writeMetricsSection embeds the run's own instrumentation — layout
+// throughput, stage latencies, worker utilization — as the closing
+// section of report.md.
+func writeMetricsSection(md *strings.Builder, m *obs.Metrics) {
+	samples := m.Summary()
+	if len(samples) == 0 {
+		return
+	}
+	fmt.Fprintf(md, "## metrics\n\n")
+	fmt.Fprintf(md, "| metric | kind | value | detail |\n|---|---|---|---|\n")
+	for _, s := range samples {
+		fmt.Fprintf(md, "| %s | %s | %g | %s |\n", s.Name, s.Kind, s.Value, s.Detail)
+	}
+	fmt.Fprintf(md, "\n")
 }
 
 // writeFigs renders Figures 1-3 as SVG from the context's cached

@@ -1,9 +1,12 @@
 package core_test
 
 import (
+	"io"
 	"testing"
+	"time"
 
 	"interferometry/internal/core"
+	"interferometry/internal/obs"
 	"interferometry/internal/pmc"
 	"interferometry/internal/progen"
 )
@@ -13,7 +16,7 @@ import (
 // Comparing the PaperFidelity and PaperFidelityNaive targets quantifies
 // the single-replay fast path; the shared-compile Builder and the
 // allocation-free machine are in both paths.
-func benchCampaign(b *testing.B, fid pmc.Fidelity) {
+func benchCampaign(b *testing.B, fid pmc.Fidelity, o *obs.Observer) {
 	b.Helper()
 	spec, ok := progen.ByName("400.perlbench")
 	if !ok {
@@ -26,6 +29,7 @@ func benchCampaign(b *testing.B, fid pmc.Fidelity) {
 		Layouts:   32,
 		Fidelity:  fid,
 		BaseSeed:  42,
+		Obs:       o,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -44,17 +48,29 @@ func benchCampaign(b *testing.B, fid pmc.Fidelity) {
 // BenchmarkCampaignPaperFidelity is the campaign hot path at paper
 // fidelity with the single-replay protocol (one simulation per layout).
 func BenchmarkCampaignPaperFidelity(b *testing.B) {
-	benchCampaign(b, pmc.FidelityPaper)
+	benchCampaign(b, pmc.FidelityPaper, nil)
+}
+
+// BenchmarkCampaignPaperFidelityObserved is the same campaign with every
+// observability channel live — metrics registry, span tracer, progress
+// reporter — quantifying instrumentation overhead against the nil-Obs
+// baseline above (the budget is <3%).
+func BenchmarkCampaignPaperFidelityObserved(b *testing.B) {
+	benchCampaign(b, pmc.FidelityPaper, &obs.Observer{
+		Metrics:  obs.NewMetrics(),
+		Tracer:   obs.NewTracer(io.Discard),
+		Progress: obs.NewProgress(io.Discard, "bench", 0, time.Hour),
+	})
 }
 
 // BenchmarkCampaignPaperFidelityNaive runs the literal §5.5 protocol (15
 // simulations per layout) for before/after comparison.
 func BenchmarkCampaignPaperFidelityNaive(b *testing.B) {
-	benchCampaign(b, pmc.FidelityPaperNaive)
+	benchCampaign(b, pmc.FidelityPaperNaive, nil)
 }
 
 // BenchmarkCampaignFastFidelity is the single-run fidelity, the floor a
 // paper-fidelity measurement can approach.
 func BenchmarkCampaignFastFidelity(b *testing.B) {
-	benchCampaign(b, pmc.FidelityFast)
+	benchCampaign(b, pmc.FidelityFast, nil)
 }

@@ -59,8 +59,11 @@ func (d *Dataset) evaluateCaches(model *Model, candidates []cache.Config, data b
 	// runs supervised: failed layouts (within the campaign's failure
 	// budget) become NaN columns excluded from the mean.
 	builder := toolchain.NewBuilder(d.Config.Program, d.Config.Compile, d.Config.Link)
+	builder.Observe(builderMetrics(d.Config.Obs))
+	span := sweepSpan(&d.Config, "cache-eval", tagCacheEval)
+	defer span.End()
 	workers := normalizeWorkers(d.Config.Workers, len(idx))
-	failed, err := superviseFor(d.Config.context(), workers, len(idx), d.Config.FailureBudget, func(_, k int) error {
+	failed, err := superviseForT(d.Config.context(), workers, len(idx), d.Config.FailureBudget, newSupTel(d.Config.Obs), func(_, k int) error {
 		i := idx[k]
 		exe, err := builder.Build(d.Obs[i].LayoutSeed)
 		if err != nil {

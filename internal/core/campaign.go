@@ -21,12 +21,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"interferometry/internal/faultinject"
 	"interferometry/internal/heap"
 	"interferometry/internal/interp"
 	"interferometry/internal/isa"
 	"interferometry/internal/machine"
+	"interferometry/internal/obs"
 	"interferometry/internal/pmc"
 	"interferometry/internal/stats"
 	"interferometry/internal/toolchain"
@@ -112,6 +114,11 @@ type CampaignConfig struct {
 	// measure seams. It exists for the fault-injection test harness;
 	// production campaigns leave it nil.
 	Faults *faultinject.Injector
+
+	// Obs optionally observes the campaign: metrics, span tracing and
+	// progress reporting (DESIGN.md §8). Nil disables all three; the
+	// campaign then pays only nil checks.
+	Obs *obs.Observer
 }
 
 func (c *CampaignConfig) machineConfig() machine.Config {
@@ -298,21 +305,32 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 		Obs:       make([]Observation, cfg.Layouts),
 	}
 
+	co := newCampaignObs(&cfg)
+	campSpan := obs.Span{}
+	if co != nil {
+		campSpan = co.o.StartSpan("campaign", co.campID, 0, 0)
+		co.o.Prog().AddTotal(cfg.Layouts)
+	}
+
 	// One compile shared by every layout and worker: only Reorder+Link
 	// depend on the layout seed.
 	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
+	builder.Observe(builderMetrics(cfg.Obs))
 	var build buildSeam = builder
 	if cfg.Faults != nil {
+		cfg.Faults.Observe(cfg.Obs)
 		build = cfg.Faults.WrapBuilder(builder)
 	}
 	workers := normalizeWorkers(cfg.Workers, cfg.Layouts)
 	mcfg := cfg.machineConfig()
+	hmetrics := harnessMetrics(cfg.Obs)
 	measurers := make([]measureSeam, workers)
 	for w := range measurers {
 		h := &pmc.Harness{
 			Machine:      machine.New(mcfg),
 			Fidelity:     cfg.Fidelity,
 			RunsPerGroup: cfg.RunsPerGroup,
+			Metrics:      hmetrics,
 		}
 		if cfg.Faults != nil {
 			measurers[w] = cfg.Faults.WrapMeasurer(h)
@@ -332,49 +350,71 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i, obs := range loaded {
-			ds.Obs[i] = obs
+		for i, o := range loaded {
+			ds.Obs[i] = o
 			done[i] = true
+		}
+		if co != nil {
+			co.restored.Add(uint64(len(loaded)))
 		}
 	}
 
 	var mu sync.Mutex
-	failed, err := superviseFor(cfg.context(), workers, cfg.Layouts, cfg.FailureBudget, func(w, i int) error {
+	failed, err := superviseForT(cfg.context(), workers, cfg.Layouts, cfg.FailureBudget, newSupTel(cfg.Obs), func(w, i int) error {
 		if done[i] {
+			if co != nil {
+				co.o.Prog().Done()
+			}
 			return nil
 		}
-		obs, err := measureLayout(&cfg, measurers[w], build, trace, i)
+		o, err := measureLayout(&cfg, co, measurers[w], build, trace, i, w)
 		if err != nil {
 			return err
 		}
 		mu.Lock()
-		ds.Obs[i] = obs
+		ds.Obs[i] = o
 		mu.Unlock()
 		if ckpt != nil {
-			ckpt.put(i, obs)
+			ckpt.put(i, o)
+		}
+		if co != nil {
+			co.layoutsDone.Inc()
+			if o.Status == StatusRetried {
+				co.layoutsRetried.Inc()
+			}
+			co.o.Prog().Done()
 		}
 		return nil
 	})
 	for _, f := range failed {
-		obs := Observation{LayoutSeed: cfg.layoutSeed(f.Index), Status: StatusFailed}
+		o := Observation{LayoutSeed: cfg.layoutSeed(f.Index), Status: StatusFailed}
 		if cfg.HeapMode == heap.ModeRandomized {
-			obs.HeapSeed = cfg.heapSeed(f.Index)
+			o.HeapSeed = cfg.heapSeed(f.Index)
 		}
-		obs.Attempts = cfg.maxAttempts()
-		ds.Obs[f.Index] = obs
-		ds.Failures = append(ds.Failures, LayoutFailure{Index: f.Index, LayoutSeed: obs.LayoutSeed, Err: f.Err.Error()})
+		o.Attempts = cfg.maxAttempts()
+		ds.Obs[f.Index] = o
+		ds.Failures = append(ds.Failures, LayoutFailure{Index: f.Index, LayoutSeed: o.LayoutSeed, Err: f.Err.Error()})
 		if err == nil && ckpt != nil {
-			ckpt.put(f.Index, obs)
+			ckpt.put(f.Index, o)
+		}
+		if co != nil {
+			co.layoutsFailed.Inc()
+			co.o.Prog().Fail()
 		}
 	}
 	if err != nil {
 		// Aborted (budget exceeded or canceled): completed observations
 		// stay checkpointed for a future --resume.
+		campSpan.End()
 		return nil, fmt.Errorf("core: campaign %s aborted: %w", ds.Benchmark, err)
 	}
 
 	if cfg.OutlierMAD > 0 {
-		screenOutliers(&cfg, ds, measurers, build, trace, ckpt)
+		screenOutliers(&cfg, co, ds, measurers, build, trace, ckpt)
+	}
+	campSpan.End()
+	if co != nil {
+		co.o.Prog().Finish()
 	}
 	if ckpt != nil {
 		if err := ckpt.close(); err != nil {
@@ -388,48 +428,83 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 // All attempts derive identical seeds — the pipeline is deterministic, so
 // a transient fault cleared by retrying yields the exact observation an
 // undisturbed run produces.
-func measureLayout(cfg *CampaignConfig, meas measureSeam, build buildSeam, trace *interp.Trace, i int) (Observation, error) {
+func measureLayout(cfg *CampaignConfig, co *campaignObs, meas measureSeam, build buildSeam, trace *interp.Trace, i, w int) (Observation, error) {
 	attempts := cfg.maxAttempts()
+	layoutStage := stage{}
+	if co != nil {
+		layID := co.layoutID(cfg, i)
+		layoutStage = stage{
+			co:   co,
+			span: co.o.StartSpan("layout", layID, co.campID, w+1),
+			hist: co.layoutSec,
+			t0:   time.Now(),
+		}
+	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
-		obs, err := measureLayoutOnce(cfg, meas, build, trace, i)
+		obs, err := measureLayoutOnce(cfg, co, meas, build, trace, i, w)
 		if err == nil {
 			obs.Attempts = a + 1
 			if a > 0 {
 				obs.Status = StatusRetried
 			}
+			layoutStage.end()
 			return obs, nil
 		}
 		lastErr = err
+		if co != nil && a < attempts-1 {
+			co.o.Prog().Retry()
+		}
 	}
+	layoutStage.end()
 	return Observation{}, fmt.Errorf("core: layout %d failed after %d attempts: %w", i, attempts, lastErr)
 }
 
-func measureLayoutOnce(cfg *CampaignConfig, meas measureSeam, build buildSeam, trace *interp.Trace, i int) (Observation, error) {
+func measureLayoutOnce(cfg *CampaignConfig, co *campaignObs, meas measureSeam, build buildSeam, trace *interp.Trace, i, w int) (Observation, error) {
+	var layID uint64
+	if co != nil {
+		co.attempts.Inc()
+		layID = co.layoutID(cfg, i)
+	}
 	seed := cfg.layoutSeed(i)
+	st := co.stageStart("compile", layID, tagCompile, w)
 	exe, err := build.Build(seed)
 	if err != nil {
+		st.end()
 		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
 	}
-	if err := toolchain.CheckExecutable(exe); err != nil {
-		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
+	if err := toolchain.CheckExecutable(exe, cfg.FirstLayout+i); err != nil {
+		st.end()
+		return Observation{}, fmt.Errorf("core: %w", err)
 	}
+	st.end()
 	hs := uint64(0)
 	if cfg.HeapMode == heap.ModeRandomized {
 		hs = cfg.heapSeed(i)
 	}
+	ns := cfg.noiseSeed(i)
+	st = co.stageStart("run", layID, tagRun, w)
 	m, err := meas.Measure(machine.RunSpec{
 		Exe:       exe,
 		Trace:     trace,
 		HeapMode:  cfg.HeapMode,
 		HeapSeed:  hs,
-		NoiseSeed: cfg.noiseSeed(i),
+		NoiseSeed: ns,
 	})
+	st.end()
 	if err != nil {
 		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
 	}
-	if err := m.Check(trace.Instrs); err != nil {
-		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
+	st = co.stageStart("fit", layID, tagFit, w)
+	err = m.Check(trace.Instrs, pmc.RunID{
+		Layout:     cfg.FirstLayout + i,
+		LayoutSeed: seed,
+		HeapSeed:   hs,
+		NoiseSeed:  ns,
+	})
+	st.end()
+	if err != nil {
+		return Observation{}, fmt.Errorf("core: %w", err)
 	}
 	return Observation{LayoutSeed: seed, HeapSeed: hs, Measurement: m}, nil
 }
@@ -441,7 +516,7 @@ func measureLayoutOnce(cfg *CampaignConfig, meas measureSeam, build buildSeam, t
 // a real heavy-tailed layout, not an artifact); a corrupted measurement
 // comes back different and is replaced, marked StatusRetried. The screen
 // is best-effort: re-measurement failures keep the original observation.
-func screenOutliers(cfg *CampaignConfig, ds *Dataset, measurers []measureSeam, build buildSeam, trace *interp.Trace, ckpt *checkpointWriter) {
+func screenOutliers(cfg *CampaignConfig, co *campaignObs, ds *Dataset, measurers []measureSeam, build buildSeam, trace *interp.Trace, ckpt *checkpointWriter) {
 	idx := ds.usableIdx()
 	if len(idx) < 5 {
 		return
@@ -465,29 +540,39 @@ func screenOutliers(cfg *CampaignConfig, ds *Dataset, measurers []measureSeam, b
 	if len(flagged) == 0 {
 		return
 	}
+	screenSpan := obs.Span{}
+	if co != nil {
+		co.outliersFlagged.Add(uint64(len(flagged)))
+		screenSpan = co.o.StartSpan("outlier-screen", obs.SpanID(co.campID, tagOutlier), co.campID, 0)
+	}
 	var mu sync.Mutex
 	workers := normalizeWorkers(cfg.Workers, len(flagged))
 	// Tolerate every re-measurement failing: the screen improves the
 	// dataset when it can and never degrades it.
-	superviseFor(cfg.context(), workers, len(flagged), len(flagged), func(w, fi int) error {
+	superviseForT(cfg.context(), workers, len(flagged), len(flagged), newSupTel(cfg.Obs), func(w, fi int) error {
 		i := flagged[fi]
-		obs, err := measureLayout(cfg, measurers[w], build, trace, i)
+		o, err := measureLayout(cfg, co, measurers[w], build, trace, i, w)
 		if err != nil {
 			return nil
 		}
 		mu.Lock()
 		prev := ds.Obs[i]
-		if obs.Measurement != prev.Measurement {
-			obs.Status = StatusRetried
-			obs.Attempts += prev.Attempts
-			ds.Obs[i] = obs
+		if o.Measurement != prev.Measurement {
+			o.Status = StatusRetried
+			o.Attempts += prev.Attempts
+			ds.Obs[i] = o
 			if ckpt != nil {
-				ckpt.put(i, obs)
+				ckpt.put(i, o)
+			}
+			if co != nil {
+				co.outliersRepaired.Inc()
+				co.o.Prog().Repair()
 			}
 		}
 		mu.Unlock()
 		return nil
 	})
+	screenSpan.End()
 }
 
 // Extend runs additional layouts (the §6.3 escalation: "we sample a

@@ -52,8 +52,11 @@ func (d *Dataset) EvaluatePredictors(model *Model, factories []branch.Factory) (
 	// One compile shared by every layout; each column of perLayout is
 	// written at a distinct index, so no locking is needed.
 	builder := toolchain.NewBuilder(d.Config.Program, d.Config.Compile, d.Config.Link)
+	builder.Observe(builderMetrics(d.Config.Obs))
+	span := sweepSpan(&d.Config, "predictor-eval", tagEvaluate)
+	defer span.End()
 	workers := normalizeWorkers(d.Config.Workers, len(idx))
-	failed, err := superviseFor(d.Config.context(), workers, len(idx), d.Config.FailureBudget, func(_, k int) error {
+	failed, err := superviseForT(d.Config.context(), workers, len(idx), d.Config.FailureBudget, newSupTel(d.Config.Obs), func(_, k int) error {
 		i := idx[k]
 		exe, err := builder.Build(d.Obs[i].LayoutSeed)
 		if err != nil {

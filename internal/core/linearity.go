@@ -8,6 +8,7 @@ import (
 	"interferometry/internal/interp"
 	"interferometry/internal/isa"
 	"interferometry/internal/machine"
+	"interferometry/internal/obs"
 	"interferometry/internal/stats"
 	"interferometry/internal/toolchain"
 	"interferometry/internal/uarch/branch"
@@ -33,6 +34,9 @@ type LinearityConfig struct {
 	// configurations: the fit proceeds over the surviving points and
 	// Skipped records what was dropped. Zero aborts on the first failure.
 	FailureBudget int
+
+	// Obs optionally observes the sweep (metrics + a span). Nil disables.
+	Obs *obs.Observer
 }
 
 // LinearityPoint is one simulated (MPKI, CPI) pair.
@@ -116,7 +120,9 @@ func RunLinearityStudy(cfg LinearityConfig) (*LinearityResult, error) {
 	for w := range machines {
 		machines[w] = machine.New(mcfg)
 	}
-	failed, err := superviseFor(cfg.Context, workers, len(configs), cfg.FailureBudget, func(w, i int) error {
+	span := rootSpan(cfg.Obs, "linearity", obs.SpanID(cfg.InputSeed, tagLinearity, hashName(cfg.Program.Name)))
+	defer span.End()
+	failed, err := superviseForT(cfg.Context, workers, len(configs), cfg.FailureBudget, newSupTel(cfg.Obs), func(w, i int) error {
 		c, err := run(machines[w], configs[i].New())
 		if err != nil {
 			return fmt.Errorf("core: linearity config %s: %w", configs[i].Name, err)

@@ -21,6 +21,8 @@ type Model struct {
 // Failed layouts are excluded: the fit runs on the dataset's effective
 // sample (Fit.N reports it).
 func (d *Dataset) FitCPI(ev pmc.Event) (*Model, error) {
+	span := sweepSpan(&d.Config, "model-fit", tagModelFit)
+	defer span.End()
 	if d.EffectiveN() < 3 {
 		return nil, stats.ErrInsufficientData
 	}

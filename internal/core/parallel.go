@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // normalizeWorkers clamps a requested worker count to [1, n], defaulting
@@ -75,6 +76,14 @@ var ErrSweepAborted = errors.New("core: sweep aborted")
 // All workers have exited when superviseFor returns, whatever the
 // outcome: the pool never leaks goroutines.
 func superviseFor(ctx context.Context, workers, n, budget int, fn func(worker, i int) error) ([]*IndexError, error) {
+	return superviseForT(ctx, workers, n, budget, nil, fn)
+}
+
+// superviseForT is superviseFor with optional telemetry: per-worker
+// busy/idle time and per-index queue wait flow into tel's instruments.
+// A nil tel keeps the loop exactly as cheap as the untelemetered form —
+// no clock is read.
+func superviseForT(ctx context.Context, workers, n, budget int, tel *supTel, fn func(worker, i int) error) ([]*IndexError, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -104,6 +113,20 @@ func superviseFor(ctx context.Context, workers, n, budget int, fn func(worker, i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Telemetry clocks: free marks when the worker last became
+			// available (goroutine start, or the previous fn returning);
+			// the gap to the next fn start is that index's queue wait,
+			// and whatever is not busy time is idle time.
+			var born, free time.Time
+			var busy time.Duration
+			if tel != nil {
+				born = time.Now()
+				free = born
+				defer func() {
+					tel.busy.Add(busy.Seconds())
+					tel.idle.Add((time.Since(born) - busy).Seconds())
+				}()
+			}
 			for {
 				if stop.Load() || canceled() {
 					return
@@ -112,7 +135,17 @@ func superviseFor(ctx context.Context, workers, n, budget int, fn func(worker, i
 				if i >= n {
 					return
 				}
-				if err := runGuarded(fn, w, i); err != nil {
+				var t0 time.Time
+				if tel != nil {
+					t0 = time.Now()
+					tel.wait.Observe(t0.Sub(free).Seconds())
+				}
+				err := runGuarded(fn, w, i)
+				if tel != nil {
+					free = time.Now()
+					busy += free.Sub(t0)
+				}
+				if err != nil {
 					mu.Lock()
 					failed = append(failed, &IndexError{Index: i, Err: err})
 					if len(failed) > budget {

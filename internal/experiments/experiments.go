@@ -18,6 +18,7 @@ import (
 	"interferometry/internal/heap"
 	"interferometry/internal/interp"
 	"interferometry/internal/machine"
+	"interferometry/internal/obs"
 	"interferometry/internal/pmc"
 	"interferometry/internal/progen"
 	"interferometry/internal/toolchain"
@@ -84,6 +85,9 @@ type Context struct {
 	BaseSeed uint64
 	// Workers caps parallelism in campaigns (0 = GOMAXPROCS).
 	Workers int
+	// Obs, when set, instruments every campaign and sweep the drivers run
+	// (metrics, spans, progress). Nil leaves the hot paths untouched.
+	Obs *obs.Observer
 
 	mu       sync.Mutex
 	datasets map[string]*core.Dataset
@@ -109,6 +113,7 @@ func (c *Context) campaignConfig(spec progen.Spec, mode heap.Mode) (core.Campaig
 		Fidelity:  c.Scale.Fidelity,
 		BaseSeed:  c.BaseSeed,
 		Workers:   c.Workers,
+		Obs:       c.Obs,
 	}, nil
 }
 

@@ -40,6 +40,7 @@ func Figure4(ctx *Context) (*Fig4Result, error) {
 			Budget:    ctx.Scale.SimBudget,
 			Configs:   configs,
 			Workers:   ctx.Workers,
+			Obs:       ctx.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig4 %s: %w", spec.Name, err)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"interferometry/internal/machine"
+	"interferometry/internal/obs"
 	"interferometry/internal/pmc"
 	"interferometry/internal/toolchain"
 	"interferometry/internal/xrand"
@@ -129,6 +130,8 @@ type Injector struct {
 	mu       sync.Mutex
 	attempts map[attemptKey]uint64
 	counts   [numSites][numKinds]int
+	metrics  [numSites][numKinds]*obs.Counter
+	total    *obs.Counter
 }
 
 type attemptKey struct {
@@ -140,6 +143,28 @@ type attemptKey struct {
 // and config make identical decisions.
 func New(seed uint64, cfg Config) *Injector {
 	return &Injector{seed: seed, cfg: cfg, attempts: make(map[attemptKey]uint64)}
+}
+
+// Observe mirrors every future injected fault into per-site, per-kind
+// counters of o's registry (interferometry_faults_injected_total plus
+// interferometry_fault_<site>_<kind>_total), so a fault-injection
+// campaign's metrics dump shows exactly what was thrown at it. Call
+// before the injector is shared across workers.
+func (in *Injector) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	total := o.Counter("interferometry_faults_injected_total", "faults injected across all sites and kinds")
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for s := Site(0); s < numSites; s++ {
+		for k := KindNone + 1; k < numKinds; k++ {
+			name := fmt.Sprintf("interferometry_fault_%s_%s_total", s, Kind(k))
+			help := fmt.Sprintf("%s faults injected at the %s seam", Kind(k), s)
+			in.metrics[s][k] = o.Counter(name, help)
+		}
+	}
+	in.total = total
 }
 
 // Counts returns how many faults of each kind have fired at a site.
@@ -205,7 +230,10 @@ func (in *Injector) decide(site Site, key uint64) Kind {
 	if kind != KindNone {
 		in.mu.Lock()
 		in.counts[site][kind]++
+		c, total := in.metrics[site][kind], in.total
 		in.mu.Unlock()
+		c.Inc()
+		total.Inc()
 	}
 	return kind
 }

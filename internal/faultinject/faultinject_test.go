@@ -135,7 +135,7 @@ func TestCorruptBuildFailsCheckAndPreservesOriginal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := toolchain.CheckExecutable(bad); err == nil {
+	if err := toolchain.CheckExecutable(bad, -1); err == nil {
 		t.Error("corrupted executable passed CheckExecutable")
 	}
 	// The wrapper corrupts a copy: a fresh build from the underlying
@@ -144,7 +144,7 @@ func TestCorruptBuildFailsCheckAndPreservesOriginal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := toolchain.CheckExecutable(clean); err != nil {
+	if err := toolchain.CheckExecutable(clean, -1); err != nil {
 		t.Errorf("underlying builder contaminated: %v", err)
 	}
 	// Past MaxFaults the wrapper itself returns clean builds.
@@ -152,7 +152,7 @@ func TestCorruptBuildFailsCheckAndPreservesOriginal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := toolchain.CheckExecutable(ok); err != nil {
+	if err := toolchain.CheckExecutable(ok, -1); err != nil {
 		t.Errorf("build after MaxFaults still corrupt: %v", err)
 	}
 }

@@ -47,6 +47,45 @@ func BenchmarkMachineRun(b *testing.B) {
 	}
 }
 
+// TestMachineRunZeroAlloc pins the benchmark's headline property in the
+// ordinary test suite: after warmup, a machine run allocates nothing, in
+// either heap mode. BenchmarkMachineRun reports the same number, but a
+// plain test fails `go test ./...` the moment a change reintroduces a
+// steady-state allocation.
+func TestMachineRunZeroAlloc(t *testing.T) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		t.Fatal("missing spec")
+	}
+	prog := progen.MustGenerate(spec)
+	tr, err := interp.Run(prog, 1, interp.StopRule{Budget: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := toolchain.BuildLayout(prog, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []heap.Mode{heap.ModeBump, heap.ModeRandomized} {
+		m := machine.New(machine.XeonE5440())
+		rs := machine.RunSpec{Exe: exe, Trace: tr, HeapMode: mode, HeapSeed: 3}
+		if _, err := m.Run(rs); err != nil { // warm the reusable state
+			t.Fatal(err)
+		}
+		noise := uint64(0)
+		allocs := testing.AllocsPerRun(10, func() {
+			noise++
+			rs.NoiseSeed = noise
+			if _, err := m.Run(rs); err != nil {
+				t.Error(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs per run, want 0", mode, allocs)
+		}
+	}
+}
+
 // BenchmarkReplay measures the timing model's replay throughput on a
 // realistic benchmark trace, the inner loop of every campaign.
 func BenchmarkReplay(b *testing.B) {

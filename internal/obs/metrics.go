@@ -1,0 +1,375 @@
+// Package obs is the observability layer of the interferometry pipeline:
+// a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms, exported as JSON and Prometheus text format), lightweight
+// span tracing (campaign → layout → stage) emitted as a
+// chrome://tracing-compatible JSONL trace with seeded-deterministic span
+// IDs, and a campaign progress reporter.
+//
+// The package is stdlib-only and allocation-disciplined: every hot-path
+// operation (Counter.Add, Gauge.Add, Histogram.Observe, Span emission)
+// is a few atomic operations or appends into a reused buffer, and every
+// type is nil-safe — a nil *Metrics, *Tracer, *Progress or *Observer
+// turns the corresponding instrumentation into a no-op, so uninstrumented
+// campaigns pay only a nil check. The 0 allocs/op machine-run path and
+// the campaign fast path are guarded by benchmark assertions in
+// internal/machine and internal/core.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges and histograms. All
+// methods are safe for concurrent use; a nil *Metrics hands out nil
+// instruments whose methods are no-ops.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Callers
+// should resolve instruments once at setup time and hold the pointer:
+// the lookup takes the registry lock, the held instrument does not.
+func (m *Metrics) Counter(name, help string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{name: name, help: help}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name, help: help}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given ascending upper bucket bounds (an implicit +Inf bucket is
+// always appended). Bounds are fixed at creation; later calls reuse the
+// existing histogram regardless of the bounds argument.
+func (m *Metrics) Histogram(name, help string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{
+			name:   name,
+			help:   help,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (zero for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move both ways.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add accumulates v with a CAS loop. No-op on a nil gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations in fixed buckets. Observations and the
+// running sum use atomics only, so concurrent Observe calls never block
+// each other.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits    atomic.Uint64
+	count      atomic.Uint64
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (zero for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DurationBuckets is the standard bucket set for stage latencies, in
+// seconds: 100µs up to ~100s in half-decade steps.
+var DurationBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100,
+}
+
+// snapshot is the export-stable view of the registry.
+type snapshot struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+func (m *Metrics) snapshot() snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s snapshot
+	for _, c := range m.counters {
+		s.counters = append(s.counters, c)
+	}
+	for _, g := range m.gauges {
+		s.gauges = append(s.gauges, g)
+	}
+	for _, h := range m.hists {
+		s.hists = append(s.hists, h)
+	}
+	sort.Slice(s.counters, func(a, b int) bool { return s.counters[a].name < s.counters[b].name })
+	sort.Slice(s.gauges, func(a, b int) bool { return s.gauges[a].name < s.gauges[b].name })
+	sort.Slice(s.hists, func(a, b int) bool { return s.hists[a].name < s.hists[b].name })
+	return s
+}
+
+// bucketJSON is one cumulative-free histogram bucket in the JSON export.
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+type histJSON struct {
+	Buckets []bucketJSON `json:"buckets"`
+	Sum     float64      `json:"sum"`
+	Count   uint64       `json:"count"`
+}
+
+type metricsJSON struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+// WriteJSON writes the registry as indented JSON with sorted keys, a
+// stable format suitable for golden-file tests and downstream tooling.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	s := m.snapshot()
+	out := metricsJSON{
+		Counters:   make(map[string]uint64, len(s.counters)),
+		Gauges:     make(map[string]float64, len(s.gauges)),
+		Histograms: make(map[string]histJSON, len(s.hists)),
+	}
+	for _, c := range s.counters {
+		out.Counters[c.name] = c.Value()
+	}
+	for _, g := range s.gauges {
+		out.Gauges[g.name] = g.Value()
+	}
+	for _, h := range s.hists {
+		hj := histJSON{Sum: h.Sum(), Count: h.Count()}
+		for i := range h.counts {
+			hj.Buckets = append(hj.Buckets, bucketJSON{LE: leLabel(h.bounds, i), Count: h.counts[i].Load()})
+		}
+		out.Histograms[h.name] = hj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// leLabel formats bucket i's upper bound the way Prometheus does.
+func leLabel(bounds []float64, i int) string {
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bounds[i], 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (metric families sorted by name; histogram buckets cumulative,
+// as the format requires).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	s := m.snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, c := range s.counters {
+		if c.help != "" {
+			p("# HELP %s %s\n", c.name, c.help)
+		}
+		p("# TYPE %s counter\n%s %d\n", c.name, c.name, c.Value())
+	}
+	for _, g := range s.gauges {
+		if g.help != "" {
+			p("# HELP %s %s\n", g.name, g.help)
+		}
+		p("# TYPE %s gauge\n%s %s\n", g.name, g.name, formatFloat(g.Value()))
+	}
+	for _, h := range s.hists {
+		if h.help != "" {
+			p("# HELP %s %s\n", h.name, h.help)
+		}
+		p("# TYPE %s histogram\n", h.name)
+		cum := uint64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			p("%s_bucket{le=%q} %d\n", h.name, leLabel(h.bounds, i), cum)
+		}
+		p("%s_sum %s\n%s_count %d\n", h.name, formatFloat(h.Sum()), h.name, h.Count())
+	}
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one row of the human-readable metrics summary.
+type Sample struct {
+	Name  string
+	Kind  string // "counter", "gauge" or "histogram"
+	Value float64
+	// Detail is extra per-kind context (histogram mean, for example).
+	Detail string
+}
+
+// Summary returns every metric as a sorted sample list; histograms report
+// their observation count with the mean in Detail. Command report embeds
+// it as the metrics section of report.md.
+func (m *Metrics) Summary() []Sample {
+	if m == nil {
+		return nil
+	}
+	s := m.snapshot()
+	out := make([]Sample, 0, len(s.counters)+len(s.gauges)+len(s.hists))
+	for _, c := range s.counters {
+		out = append(out, Sample{Name: c.name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for _, g := range s.gauges {
+		out = append(out, Sample{Name: g.name, Kind: "gauge", Value: g.Value()})
+	}
+	for _, h := range s.hists {
+		smp := Sample{Name: h.name, Kind: "histogram", Value: float64(h.Count())}
+		if n := h.Count(); n > 0 {
+			smp.Detail = fmt.Sprintf("mean %s", formatFloat(h.Sum()/float64(n)))
+		}
+		out = append(out, smp)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}

@@ -1,0 +1,71 @@
+package obs
+
+import "io"
+
+// Observer bundles the three observability channels so instrumented
+// packages take a single optional dependency. Any field — or the whole
+// Observer — may be nil; every helper below degrades to a no-op, which
+// keeps the uninstrumented hot path at one pointer check.
+type Observer struct {
+	Metrics  *Metrics
+	Tracer   *Tracer
+	Progress *Progress
+}
+
+// Counter resolves a counter from the observer's registry (nil-safe).
+func (o *Observer) Counter(name, help string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, help)
+}
+
+// Gauge resolves a gauge from the observer's registry (nil-safe).
+func (o *Observer) Gauge(name, help string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, help)
+}
+
+// Histogram resolves a histogram from the observer's registry (nil-safe).
+func (o *Observer) Histogram(name, help string, bounds []float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, help, bounds)
+}
+
+// StartSpan opens a span on the observer's tracer (nil-safe: the
+// returned span is inert when no tracer is attached).
+func (o *Observer) StartSpan(name string, id, parent uint64, tid int) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.Tracer.Start(name, id, parent, tid)
+}
+
+// Prog returns the progress reporter (nil when absent).
+func (o *Observer) Prog() *Progress {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
+}
+
+// WriteMetricsJSON exports the observer's registry as JSON (nil-safe).
+func (o *Observer) WriteMetricsJSON(w io.Writer) error {
+	if o == nil {
+		return (*Metrics)(nil).WriteJSON(w)
+	}
+	return o.Metrics.WriteJSON(w)
+}
+
+// WriteMetricsPrometheus exports the observer's registry in Prometheus
+// text format (nil-safe).
+func (o *Observer) WriteMetricsPrometheus(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.WritePrometheus(w)
+}

@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents so
+// both export formats can be pinned byte-for-byte.
+func goldenRegistry() *Metrics {
+	m := NewMetrics()
+	c := m.Counter("interferometry_layouts_done_total", "layouts measured successfully")
+	c.Add(30)
+	m.Counter("interferometry_layouts_failed_total", "layouts that exhausted retries").Add(2)
+	m.Gauge("interferometry_workers", "configured worker count").Set(8)
+	m.Gauge("interferometry_effective_n_ratio", "usable fraction of the dataset").Set(0.9375)
+	h := m.Histogram("interferometry_stage_run_seconds", "machine-run stage latency", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0004, 0.002, 0.002, 0.05, 0.05, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	return m
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestMetricsJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", buf.String())
+	}
+	checkGolden(t, "metrics.golden.json", buf.Bytes())
+}
+
+func TestMetricsPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Spot-check exposition-format requirements before pinning bytes.
+	if !strings.Contains(out, "# TYPE interferometry_stage_run_seconds histogram") {
+		t.Errorf("missing histogram TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `interferometry_stage_run_seconds_bucket{le="+Inf"} 8`) {
+		t.Errorf("cumulative +Inf bucket should equal total count:\n%s", out)
+	}
+	checkGolden(t, "metrics.golden.prom", buf.Bytes())
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("c", "")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := m.Counter("c", "other help"); again != c {
+		t.Error("Counter should return the existing instrument")
+	}
+	g := m.Gauge("g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	h := m.Histogram("h", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 55.5 {
+		t.Errorf("histogram count=%d sum=%v, want 3, 55.5", h.Count(), h.Sum())
+	}
+	// Boundary value lands in its own le bucket (le is inclusive).
+	h.Observe(1)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Histograms map[string]struct {
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	b := out.Histograms["h"].Buckets
+	if len(b) != 3 || b[0].LE != "1" || b[0].Count != 2 || b[2].LE != "+Inf" || b[2].Count != 1 {
+		t.Errorf("unexpected buckets: %+v", b)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	m.Counter("x", "").Inc()
+	m.Gauge("x", "").Set(1)
+	m.Histogram("x", "", DurationBuckets).Observe(1)
+	if err := m.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Summary() != nil {
+		t.Error("nil metrics summary should be nil")
+	}
+
+	var tr *Tracer
+	tr.Start("x", 1, 0, 0).End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	(Span{}).End()
+
+	var p *Progress
+	p.Done()
+	p.Fail()
+	p.Retry()
+	p.Repair()
+	p.Finish()
+
+	var o *Observer
+	o.Counter("x", "").Inc()
+	o.Gauge("x", "").Set(1)
+	o.Histogram("x", "", nil).Observe(1)
+	o.StartSpan("x", 1, 0, 0).End()
+	o.Prog().Done()
+	if err := o.WriteMetricsJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteMetricsPrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanIDDeterministic(t *testing.T) {
+	a := SpanID(0x1f2e3d4c, 7, 0x636f6d70)
+	b := SpanID(0x1f2e3d4c, 7, 0x636f6d70)
+	if a != b {
+		t.Fatalf("same inputs gave %x vs %x", a, b)
+	}
+	if a == SpanID(0x1f2e3d4c, 8, 0x636f6d70) {
+		t.Error("adjacent layout indices should not collide")
+	}
+	if a == SpanID(0x1f2e3d4d, 7, 0x636f6d70) {
+		t.Error("different seeds should not collide")
+	}
+	if SpanID(1) == SpanID(1, 0) {
+		t.Error("path length must be part of the identity")
+	}
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := SpanID(42, 0)
+	child := SpanID(root, 1)
+	s1 := tr.Start("campaign", root, 0, 0)
+	s2 := tr.Start("compile", child, root, 3)
+	s2.End()
+	s1.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("closed trace must be strict JSON:\n%s", buf.String())
+	}
+	events, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	// Events are emitted at End, so the child comes first.
+	if events[0].Name != "compile" || events[0].TID != 3 || events[1].Name != "campaign" {
+		t.Errorf("unexpected events: %+v", events)
+	}
+	id, err := events[0].SpanID()
+	if err != nil || id != child {
+		t.Errorf("child span id = %x (%v), want %x", id, err, child)
+	}
+	pid, err := events[0].ParentID()
+	if err != nil || pid != root {
+		t.Errorf("child parent id = %x (%v), want %x", pid, err, root)
+	}
+	if events[0].Ph != "X" || events[0].Dur < 0 || events[1].TS > events[0].TS {
+		t.Errorf("bad event shape: %+v", events)
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Start("a", 1, 0, 0).End()
+	tr.Start("b", 2, 1, 0).End()
+	tr.Close()
+	full := buf.Bytes()
+	// Cut mid-way through the second event, as a kill would.
+	cut := bytes.LastIndex(full, []byte(`"name":"b"`)) + 5
+	events, err := ReadTrace(bytes.NewReader(full[:cut]))
+	if err != nil {
+		t.Fatalf("truncated trace should parse: %v", err)
+	}
+	if len(events) != 1 || events[0].Name != "a" {
+		t.Errorf("got %+v, want just event a", events)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "fig2", 4, time.Hour) // interval too long to auto-emit
+	p.Done()
+	p.Done()
+	p.Retry()
+	p.Fail()
+	p.Repair()
+	if buf.Len() != 0 {
+		t.Fatalf("rate limit should suppress intermediate lines, got %q", buf.String())
+	}
+	p.Done()
+	p.Finish()
+	line := buf.String()
+	for _, want := range []string{"fig2", "4/4", "1 failed", "1 retried", "1 repaired", "eta 0s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("c", "")
+	g := m.Gauge("g", "")
+	h := m.Histogram("h", "", DurationBuckets)
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 0.001)
+				tr.Start("op", SpanID(uint64(w), uint64(i)), 0, w).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 1600 || g.Value() != 1600 || h.Count() != 1600 {
+		t.Errorf("lost updates: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	events, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1600 {
+		t.Errorf("got %d trace events, want 1600", len(events))
+	}
+}
+
+func TestInstrumentAllocs(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("c", "")
+	g := m.Gauge("g", "")
+	h := m.Histogram("h", "", DurationBuckets)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+	}); n != 0 {
+		t.Errorf("held instruments allocate %v per op, want 0", n)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := goldenRegistry().Summary()
+	if len(s) != 5 {
+		t.Fatalf("got %d samples, want 5", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name >= s[i].Name {
+			t.Errorf("summary not sorted: %q >= %q", s[i-1].Name, s[i].Name)
+		}
+	}
+	for _, smp := range s {
+		if smp.Name == "interferometry_stage_run_seconds" {
+			if smp.Kind != "histogram" || smp.Value != 8 || !strings.Contains(smp.Detail, "mean") {
+				t.Errorf("bad histogram sample: %+v", smp)
+			}
+		}
+	}
+}

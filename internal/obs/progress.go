@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress reports campaign advancement (layouts done/failed/retried,
+// outliers repaired, throughput, ETA) to a writer, rate-limited so a
+// fast campaign doesn't flood the terminal. All counting methods are
+// atomic and safe for concurrent workers; a nil *Progress is a no-op.
+type Progress struct {
+	w        io.Writer
+	label    string
+	start    time.Time
+	interval time.Duration
+
+	total    atomic.Int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	retried  atomic.Int64
+	repaired atomic.Int64
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// NewProgress returns a reporter for total units of work (layouts),
+// emitting at most one line per interval (0 means a 1s default).
+func NewProgress(w io.Writer, label string, total int, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	now := time.Now()
+	p := &Progress{w: w, label: label, start: now, interval: interval, last: now}
+	p.total.Store(int64(total))
+	return p
+}
+
+// AddTotal grows the expected unit count; campaigns call it as they
+// start, so a reporter created with total 0 still produces a meaningful
+// ETA once work is underway.
+func (p *Progress) AddTotal(n int) {
+	if p != nil {
+		p.total.Add(int64(n))
+	}
+}
+
+// Done records one completed unit and maybe emits a progress line.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	p.maybeReport(false)
+}
+
+// Fail records one permanently failed unit and maybe emits a line.
+func (p *Progress) Fail() {
+	if p == nil {
+		return
+	}
+	p.failed.Add(1)
+	p.maybeReport(false)
+}
+
+// Retry records one retried attempt.
+func (p *Progress) Retry() {
+	if p != nil {
+		p.retried.Add(1)
+	}
+}
+
+// Repair records one outlier re-measurement.
+func (p *Progress) Repair() {
+	if p != nil {
+		p.repaired.Add(1)
+	}
+}
+
+// Finish emits the final summary line unconditionally.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.maybeReport(true)
+}
+
+func (p *Progress) maybeReport(force bool) {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !force && now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	done, failed, total := p.done.Load(), p.failed.Load(), p.total.Load()
+	elapsed := now.Sub(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done+failed) / elapsed
+	}
+	eta := "?"
+	if total > 0 {
+		if left := total - done - failed; left <= 0 {
+			eta = "0s"
+		} else if rate > 0 {
+			eta = time.Duration(float64(left) / rate * float64(time.Second)).Round(time.Millisecond).String()
+		}
+	}
+	fmt.Fprintf(p.w, "%s: %d/%d layouts (%d failed, %d retried, %d repaired) %.1f layouts/s eta %s\n",
+		p.label, done+failed, total, failed, p.retried.Load(), p.repaired.Load(), rate, eta)
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanID derives a deterministic span identifier from a seed and a path
+// of parts (layout index, stage tag, ...). It is a pure function — the
+// same campaign seeds always produce the same span tree — implemented as
+// a splitmix64 chain so that nearby indices map to distant IDs. obs is
+// dependency-free, so the mixer is inlined here rather than imported
+// from internal/xrand.
+func SpanID(seed uint64, parts ...uint64) uint64 {
+	h := splitmix(seed ^ 0x6f627370616e6964) // "obspanid"
+	for _, p := range parts {
+		h = splitmix(h ^ p)
+	}
+	return h
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Tracer emits spans as one chrome://tracing-compatible JSON event per
+// line. The output is a strict JSON array when the tracer is Closed; a
+// trace cut short by a kill is still loadable, since the trace viewer
+// tolerates a missing closing bracket. Spans nest by time within a tid
+// lane (the worker index), which is how the viewer reconstructs the
+// campaign → layout → stage tree; the deterministic span and parent IDs
+// ride along in each event's args.
+//
+// A Tracer is safe for concurrent use. A nil *Tracer hands out inert
+// spans, so instrumentation sites need no enablement checks.
+type Tracer struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	base  time.Time
+	buf   []byte
+	first bool
+	err   error
+}
+
+// NewTracer returns a tracer writing to w.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{bw: bufio.NewWriter(w), base: time.Now(), first: true}
+	t.bw.WriteString("[")
+	return t
+}
+
+// Span is one in-flight traced operation. The zero Span (and any span
+// from a nil tracer) is inert.
+type Span struct {
+	tr         *Tracer
+	name       string
+	id, parent uint64
+	tid        int
+	start      time.Duration
+}
+
+// Start opens a span. name should be a short static stage name; id and
+// parent are deterministic SpanID values; tid is the worker lane the
+// viewer nests spans in (use 0 for campaign-level spans).
+func (t *Tracer) Start(name string, id, parent uint64, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, id: id, parent: parent, tid: tid, start: time.Since(t.base)}
+}
+
+// End emits the span as a complete ("ph":"X") trace event.
+func (s Span) End() {
+	t := s.tr
+	if t == nil {
+		return
+	}
+	end := time.Since(t.base)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf[:0]
+	if t.first {
+		t.first = false
+		b = append(b, '\n')
+	} else {
+		b = append(b, ',', '\n')
+	}
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, s.name)
+	b = append(b, `,"cat":"interferometry","ph":"X","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(s.tid), 10)
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, s.start)
+	b = append(b, `,"dur":`...)
+	b = appendMicros(b, end-s.start)
+	b = append(b, `,"args":{"span":"`...)
+	b = appendHex16(b, s.id)
+	b = append(b, `","parent":"`...)
+	b = appendHex16(b, s.parent)
+	b = append(b, `"}}`...)
+	t.buf = b
+	if _, err := t.bw.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// appendMicros appends a duration as decimal microseconds with
+// nanosecond precision.
+func appendMicros(b []byte, d time.Duration) []byte {
+	b = strconv.AppendInt(b, d.Nanoseconds()/1000, 10)
+	if frac := d.Nanoseconds() % 1000; frac != 0 {
+		b = append(b, '.')
+		b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	}
+	return b
+}
+
+func appendHex16(b []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, digits[v>>uint(shift)&0xf])
+	}
+	return b
+}
+
+// Close terminates the JSON array and flushes, returning the first write
+// error encountered.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bw.WriteString("\n]\n")
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// TraceEvent is one parsed trace line.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// SpanID returns the event's deterministic span ID from its args.
+func (e *TraceEvent) SpanID() (uint64, error) {
+	return strconv.ParseUint(e.Args["span"], 16, 64)
+}
+
+// ParentID returns the event's parent span ID from its args.
+func (e *TraceEvent) ParentID() (uint64, error) {
+	return strconv.ParseUint(e.Args["parent"], 16, 64)
+}
+
+// ReadTrace parses a trace written by Tracer, tolerating the truncated
+// (kill-mid-campaign) form: the leading bracket, per-line separators and
+// a missing terminator are all accepted.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var events []TraceEvent
+	for lineNo, raw := range bytes.Split(data, []byte("\n")) {
+		line := bytes.Trim(bytes.TrimSpace(raw), ",")
+		if len(line) == 0 || bytes.Equal(line, []byte("[")) || bytes.Equal(line, []byte("]")) {
+			continue
+		}
+		// A kill can leave a torn final line; ignore it like the viewer does.
+		var ev TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			if lineNo == bytes.Count(data, []byte("\n")) {
+				continue
+			}
+			return events, fmt.Errorf("obs: trace line %d: %w", lineNo+1, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

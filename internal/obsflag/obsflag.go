@@ -1,0 +1,116 @@
+// Package obsflag wires the observability layer into a command's flag
+// set. Both cmd/interferometry and cmd/report expose the same four
+// flags through it:
+//
+//	-metrics-out FILE   write the metrics registry on exit
+//	                    (.json extension = JSON, anything else = Prometheus text)
+//	-trace-out FILE     write a chrome://tracing-compatible span trace
+//	-progress           report campaign progress lines to stderr
+//	-pprof ADDR         serve net/http/pprof on ADDR (e.g. localhost:6060)
+//
+// The package lives outside internal/obs so that packages on the
+// measurement path (core, pmc, toolchain) never link net/http.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"strings"
+	"time"
+
+	"interferometry/internal/obs"
+)
+
+// Flags holds the observability flag values after parsing.
+type Flags struct {
+	MetricsOut string
+	TraceOut   string
+	Progress   bool
+	Pprof      string
+
+	traceFile io.WriteCloser
+}
+
+// Register installs the four observability flags on fs (use
+// flag.CommandLine for a command's default set).
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write metrics on exit (.json extension = JSON, otherwise Prometheus text)")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a chrome://tracing span trace to this file")
+	fs.BoolVar(&f.Progress, "progress", false, "report campaign progress to stderr")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Observer builds the observer the flags ask for, creating the trace
+// file and starting the pprof server as needed. It returns nil when no
+// flag requests instrumentation, which keeps the hot paths untouched.
+// The progress label names the run in progress lines.
+func (f *Flags) Observer(progressLabel string) (*obs.Observer, error) {
+	if f.Pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(f.Pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
+	o := &obs.Observer{}
+	if f.MetricsOut != "" {
+		o.Metrics = obs.NewMetrics()
+	}
+	if f.TraceOut != "" {
+		file, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, fmt.Errorf("trace-out: %w", err)
+		}
+		f.traceFile = file
+		o.Tracer = obs.NewTracer(file)
+	}
+	if f.Progress {
+		o.Progress = obs.NewProgress(os.Stderr, progressLabel, 0, time.Second)
+	}
+	if o.Metrics == nil && o.Tracer == nil && o.Progress == nil {
+		return nil, nil
+	}
+	return o, nil
+}
+
+// Close finishes the observer: the final progress line, the trace file
+// terminator, and the metrics dump in the format the -metrics-out
+// extension selects. Safe on a nil observer.
+func (f *Flags) Close(o *obs.Observer) error {
+	if o == nil {
+		return nil
+	}
+	o.Prog().Finish()
+	if o.Tracer != nil {
+		if err := o.Tracer.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.traceFile.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
+	if f.MetricsOut != "" && o.Metrics != nil {
+		file, err := os.Create(f.MetricsOut)
+		if err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		if strings.HasSuffix(f.MetricsOut, ".json") {
+			err = o.Metrics.WriteJSON(file)
+		} else {
+			err = o.Metrics.WritePrometheus(file)
+		}
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"interferometry/internal/machine"
+	"interferometry/internal/obs"
 	"interferometry/internal/stats"
 	"interferometry/internal/xrand"
 )
@@ -112,11 +113,59 @@ type Harness struct {
 	// RunsPerGroup is the paper's five. Zero means 5.
 	RunsPerGroup int
 	Fidelity     Fidelity
+	// Metrics optionally counts the harness's work. Nil disables.
+	Metrics *HarnessMetrics
 
 	// Per-measurement scratch, reused across Measure calls.
 	cycles []float64
 	noisy  []uint64
 	snaps  []machine.Counters
+}
+
+// HarnessMetrics are the harness's observability counters, resolved by
+// the caller (internal/core builds them from its obs registry; pmc
+// itself stays ignorant of metric names). Any field — or the whole
+// struct — may be nil.
+type HarnessMetrics struct {
+	// Measurements counts Measure calls that completed successfully.
+	Measurements *obs.Counter
+	// Simulations counts full machine simulations actually executed.
+	Simulations *obs.Counter
+	// SynthRuns counts protocol runs synthesized from a shared
+	// simulation instead of simulated (the FidelityPaper fast path).
+	SynthRuns *obs.Counter
+}
+
+// RunID identifies one measurement for error reporting: the campaign
+// layout index and the full seed tuple, enough to reproduce a failed
+// invariant from the message alone.
+type RunID struct {
+	// Layout is the campaign-global layout index; negative means unknown
+	// (a measurement made outside a campaign).
+	Layout     int
+	LayoutSeed uint64
+	HeapSeed   uint64
+	NoiseSeed  uint64
+}
+
+// done records one successful measurement: how many full simulations it
+// cost and how many protocol runs were synthesized instead of simulated.
+func (hm *HarnessMetrics) done(sims, synth uint64) {
+	if hm == nil {
+		return
+	}
+	hm.Measurements.Inc()
+	hm.Simulations.Add(sims)
+	hm.SynthRuns.Add(synth)
+}
+
+func (id RunID) String() string {
+	if id.Layout < 0 {
+		return fmt.Sprintf("layout seed %#x, heap seed %#x, noise seed %#x",
+			id.LayoutSeed, id.HeapSeed, id.NoiseSeed)
+	}
+	return fmt.Sprintf("layout %d (layout seed %#x, heap seed %#x, noise seed %#x)",
+		id.Layout, id.LayoutSeed, id.HeapSeed, id.NoiseSeed)
 }
 
 // Measurement is the merged counter readout of one layout measurement,
@@ -157,17 +206,19 @@ func (m Measurement) MPKI() float64 { return m.PKI(EvBranchMispredicts) }
 // fires more than once per instruction-and-miss opportunity allows
 // (loosely, events cannot exceed cycles + instructions). A violation
 // marks a corrupted readout that the campaign supervisor re-measures
-// rather than feeding to the regression.
-func (m Measurement) Check(wantInstrs uint64) error {
+// rather than feeding to the regression. The run's identity — layout
+// index and seed tuple — is embedded in every message so the failure is
+// reproducible from the error string alone.
+func (m Measurement) Check(wantInstrs uint64, id RunID) error {
 	if m.Instructions != wantInstrs {
-		return fmt.Errorf("pmc: measurement retired %d instructions, trace has %d", m.Instructions, wantInstrs)
+		return fmt.Errorf("pmc: %v: measurement retired %d instructions, trace has %d", id, m.Instructions, wantInstrs)
 	}
 	if wantInstrs > 0 && m.Cycles == 0 {
-		return errors.New("pmc: measurement has zero cycles for a nonempty trace")
+		return fmt.Errorf("pmc: %v: measurement has zero cycles for a nonempty trace", id)
 	}
 	for e := Event(0); e < NumEvents; e++ {
 		if limit := m.Cycles + m.Instructions; m.Events[e] > limit {
-			return fmt.Errorf("pmc: event %s count %d exceeds plausibility bound %d", e, m.Events[e], limit)
+			return fmt.Errorf("pmc: %v: event %s count %d exceeds plausibility bound %d", id, e, m.Events[e], limit)
 		}
 	}
 	return nil
@@ -197,6 +248,7 @@ func (h *Harness) Measure(spec machine.RunSpec) (Measurement, error) {
 			m.Events[e] = e.read(c)
 		}
 		m.Runs = 1
+		h.Metrics.done(1, 0)
 		return m, nil
 
 	case FidelityPaper:
@@ -234,6 +286,7 @@ func (h *Harness) Measure(spec machine.RunSpec) (Measurement, error) {
 			}
 			m.Runs += runs
 		}
+		h.Metrics.done(1, uint64(m.Runs))
 		return m, nil
 
 	case FidelityPaperNaive:
@@ -267,6 +320,7 @@ func (h *Harness) Measure(spec machine.RunSpec) (Measurement, error) {
 			}
 			m.Runs += runs
 		}
+		h.Metrics.done(uint64(m.Runs), 0)
 		return m, nil
 
 	default:

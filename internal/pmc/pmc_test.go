@@ -1,6 +1,7 @@
 package pmc_test
 
 import (
+	"strings"
 	"testing"
 
 	"interferometry/internal/interp"
@@ -180,28 +181,61 @@ func TestNonCycleCountersStableAcrossSessions(t *testing.T) {
 }
 
 func TestMeasurementCheck(t *testing.T) {
+	id := pmc.RunID{Layout: 7, LayoutSeed: 0xabc1, HeapSeed: 0xdef2, NoiseSeed: 0x1234}
 	good := pmc.Measurement{Cycles: 2000, Instructions: 1000}
 	good.Events[pmc.EvBranchMispredicts] = 40
-	if err := good.Check(1000); err != nil {
+	if err := good.Check(1000, id); err != nil {
 		t.Fatalf("plausible measurement rejected: %v", err)
 	}
 
-	if err := good.Check(999); err == nil {
+	if err := good.Check(999, id); err == nil {
 		t.Error("instruction-count mismatch accepted")
 	}
 	zeroCycles := good
 	zeroCycles.Cycles = 0
-	if err := zeroCycles.Check(1000); err == nil {
+	if err := zeroCycles.Check(1000, id); err == nil {
 		t.Error("zero cycles for a nonempty trace accepted")
 	}
 	wild := good
 	wild.Events[pmc.EvL1DMisses] = wild.Cycles + wild.Instructions + 1
-	if err := wild.Check(1000); err == nil {
+	if err := wild.Check(1000, id); err == nil {
 		t.Error("event count beyond the plausibility bound accepted")
 	}
 	// The empty measurement of an empty trace is fine.
-	if err := (pmc.Measurement{}).Check(0); err != nil {
+	if err := (pmc.Measurement{}).Check(0, id); err != nil {
 		t.Errorf("empty measurement of empty trace rejected: %v", err)
+	}
+}
+
+// TestCheckErrorCarriesRunID pins the reproducibility contract: every
+// Check failure names the layout index and the full seed tuple, so the
+// offending run can be reproduced from the error string alone.
+func TestCheckErrorCarriesRunID(t *testing.T) {
+	id := pmc.RunID{Layout: 42, LayoutSeed: 0xdeadbeef, HeapSeed: 0xfeedface, NoiseSeed: 0xabad1dea}
+	bad := pmc.Measurement{Cycles: 10, Instructions: 5}
+	err := bad.Check(1000, id)
+	if err == nil {
+		t.Fatal("mismatched measurement accepted")
+	}
+	for _, want := range []string{"layout 42", "0xdeadbeef", "0xfeedface", "0xabad1dea"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Check error %q missing %q", err, want)
+		}
+	}
+	// Zero-cycle and plausibility-bound failures carry the ID too.
+	zero := pmc.Measurement{Instructions: 1000}
+	if err := zero.Check(1000, id); err == nil || !strings.Contains(err.Error(), "0xdeadbeef") {
+		t.Errorf("zero-cycle error missing seed tuple: %v", err)
+	}
+	wild := pmc.Measurement{Cycles: 1, Instructions: 1000}
+	wild.Events[pmc.EvL2Misses] = 1 << 40
+	if err := wild.Check(1000, id); err == nil || !strings.Contains(err.Error(), "layout 42") {
+		t.Errorf("plausibility error missing layout index: %v", err)
+	}
+	// Outside a campaign the layout index is unknown and omitted.
+	anon := pmc.RunID{Layout: -1, LayoutSeed: 0x77}
+	if err := zero.Check(1000, anon); err == nil || strings.Contains(err.Error(), "layout -1") {
+		t.Errorf("anonymous RunID should omit the layout index: %v", err)
 	}
 }
 
@@ -212,7 +246,7 @@ func TestHarnessMeasurementPassesCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Check(s.Trace.Instrs); err != nil {
+	if err := m.Check(s.Trace.Instrs, pmc.RunID{Layout: -1}); err != nil {
 		t.Errorf("real measurement failed its own plausibility check: %v", err)
 	}
 }

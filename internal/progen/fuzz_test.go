@@ -1,0 +1,200 @@
+package progen
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzProgenSpec drives arbitrary byte strings through a fixed-layout
+// Spec decoder and pins two properties: Validate never panics, whatever
+// the field values (NaN, Inf, negatives, huge counts), and every spec
+// Validate accepts generates a program that passes isa validation.
+func FuzzProgenSpec(f *testing.F) {
+	for _, spec := range []Spec{Suite()[0], Suite()[7], SimSuite()[2]} {
+		f.Add(specBytes(&spec))
+	}
+	nan := Suite()[0]
+	nan.HotFraction = math.NaN()
+	nan.WLoop = math.Inf(1)
+	f.Add(specBytes(&nan))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec := specFromBytes(data)
+		if err := spec.Validate(); err != nil {
+			return // rejected: the property is only that rejection is graceful
+		}
+		if spec.Procs*spec.BlocksMax > 50_000 {
+			t.Skip("valid but too large to generate under fuzz")
+		}
+		prog, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("validated spec failed to generate: %v\nspec: %+v", err, spec)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("generated program fails isa validation: %v\nspec: %+v", err, spec)
+		}
+	})
+}
+
+// The codec below maps Spec to a flat byte string: 8-byte little-endian
+// words for seeds/sizes/floats (floats as raw IEEE bits, so mutation
+// reaches NaN and Inf), 4 bytes for counts, 1 for bools. specFromBytes
+// zero-fills when data runs out, so truncated inputs decode too.
+
+type specReader struct {
+	data []byte
+}
+
+func (r *specReader) u64() uint64 {
+	var b [8]byte
+	copy(b[:], r.data)
+	if len(r.data) > 8 {
+		r.data = r.data[8:]
+	} else {
+		r.data = nil
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *specReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *specReader) i32() int {
+	var b [4]byte
+	copy(b[:], r.data)
+	if len(r.data) > 4 {
+		r.data = r.data[4:]
+	} else {
+		r.data = nil
+	}
+	return int(int32(binary.LittleEndian.Uint32(b[:])))
+}
+
+func (r *specReader) flag() bool {
+	if len(r.data) == 0 {
+		return false
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v&1 != 0
+}
+
+func specFromBytes(data []byte) Spec {
+	r := &specReader{data: data}
+	return Spec{
+		Name: "fuzz",
+		Seed: r.u64(),
+
+		Procs:     r.i32(),
+		BlocksMin: r.i32(),
+		BlocksMax: r.i32(),
+
+		FPFraction:     r.f64(),
+		IntMulFraction: r.f64(),
+		BytesPerInstr:  r.f64(),
+
+		WBiased:          r.f64(),
+		WLoop:            r.f64(),
+		WPattern:         r.f64(),
+		WCorrelated:      r.f64(),
+		HardBiasFraction: r.f64(),
+		CorrNoise:        r.f64(),
+		CondDensity:      r.f64(),
+		CallDensity:      r.f64(),
+		IndirectSites:    r.i32(),
+
+		MemFraction:    r.f64(),
+		HotFraction:    r.f64(),
+		HotBytes:       r.u64(),
+		HotOnHeap:      r.flag(),
+		HotPoolObjects: r.i32(),
+
+		FwdTripMin:  r.i32(),
+		FwdTripMax:  r.i32(),
+		BackTripMin: r.i32(),
+		BackTripMax: r.i32(),
+
+		Globals:        r.i32(),
+		GlobalBytes:    r.u64(),
+		HeapObjects:    r.i32(),
+		HeapObjBytes:   r.u64(),
+		BigHeapObjects: r.i32(),
+		BigHeapBytes:   r.u64(),
+
+		WStream:    r.f64(),
+		WRandom:    r.f64(),
+		WChase:     r.f64(),
+		WBlocked:   r.f64(),
+		PoolSkew:   r.f64(),
+		ChurnSites: r.i32(),
+	}
+}
+
+// specBytes is the encoder half of the codec, used to seed the corpus
+// with real suite specs.
+func specBytes(s *Spec) []byte {
+	var out []byte
+	u64 := func(v uint64) { out = binary.LittleEndian.AppendUint64(out, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	i32 := func(v int) { out = binary.LittleEndian.AppendUint32(out, uint32(int32(v))) }
+	flag := func(v bool) {
+		if v {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	u64(s.Seed)
+	i32(s.Procs)
+	i32(s.BlocksMin)
+	i32(s.BlocksMax)
+	f64(s.FPFraction)
+	f64(s.IntMulFraction)
+	f64(s.BytesPerInstr)
+	f64(s.WBiased)
+	f64(s.WLoop)
+	f64(s.WPattern)
+	f64(s.WCorrelated)
+	f64(s.HardBiasFraction)
+	f64(s.CorrNoise)
+	f64(s.CondDensity)
+	f64(s.CallDensity)
+	i32(s.IndirectSites)
+	f64(s.MemFraction)
+	f64(s.HotFraction)
+	u64(s.HotBytes)
+	flag(s.HotOnHeap)
+	i32(s.HotPoolObjects)
+	i32(s.FwdTripMin)
+	i32(s.FwdTripMax)
+	i32(s.BackTripMin)
+	i32(s.BackTripMax)
+	i32(s.Globals)
+	u64(s.GlobalBytes)
+	i32(s.HeapObjects)
+	u64(s.HeapObjBytes)
+	i32(s.BigHeapObjects)
+	u64(s.BigHeapBytes)
+	f64(s.WStream)
+	f64(s.WRandom)
+	f64(s.WChase)
+	f64(s.WBlocked)
+	f64(s.PoolSkew)
+	i32(s.ChurnSites)
+	return out
+}
+
+// TestSpecCodecRoundTrip keeps the fuzz codec honest: every suite spec
+// survives encode→decode unchanged (modulo the fuzz name).
+func TestSpecCodecRoundTrip(t *testing.T) {
+	for _, s := range append(Suite(), SimSuite()...) {
+		got := specFromBytes(specBytes(&s))
+		want := s
+		want.Name = "fuzz"
+		if got != want {
+			t.Fatalf("codec round trip changed %s:\n got %+v\nwant %+v", s.Name, got, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package progen
 
 import (
 	"fmt"
+	"math"
 
 	"interferometry/internal/isa"
 	"interferometry/internal/xrand"
@@ -124,22 +125,120 @@ func (s *Spec) memWeights() [4]float64 {
 	return w
 }
 
-// Validate rejects nonsensical specs.
+// Generation caps: far above every suite spec, low enough that a
+// validated spec always generates in bounded time and memory.
+const (
+	maxProcs     = 20_000
+	maxBlocks    = 1_000
+	maxCount     = 1_000_000 // objects, sites, churn slots
+	maxTrip      = 10_000_000
+	maxObjBytes  = 1 << 32
+	maxInstrSize = 64 // BytesPerInstr ceiling
+)
+
+// Validate rejects nonsensical specs: out-of-range shares, NaN/Inf
+// floats, negative counts, and sizes large enough to stall generation.
+// Every spec in Suite and SimSuite must pass.
 func (s *Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("progen: spec needs a name")
 	}
-	if s.Procs < 1 {
-		return fmt.Errorf("progen %s: needs at least one procedure", s.Name)
+	if s.Procs < 1 || s.Procs > maxProcs {
+		return fmt.Errorf("progen %s: Procs %d out of [1,%d]", s.Name, s.Procs, maxProcs)
 	}
-	if s.BlocksMin < 2 || s.BlocksMax < s.BlocksMin {
+	if s.BlocksMin < 2 || s.BlocksMax < s.BlocksMin || s.BlocksMax > maxBlocks {
 		return fmt.Errorf("progen %s: invalid block range [%d,%d]", s.Name, s.BlocksMin, s.BlocksMax)
 	}
-	if s.MemFraction < 0 || s.MemFraction > 0.6 {
+	if s.MemFraction < 0 || s.MemFraction > 0.6 || s.MemFraction != s.MemFraction {
 		return fmt.Errorf("progen %s: MemFraction %v out of [0,0.6]", s.Name, s.MemFraction)
 	}
 	if s.Globals == 0 && s.HeapObjects == 0 && s.BigHeapObjects == 0 && s.MemFraction > 0 {
 		return fmt.Errorf("progen %s: memory traffic with no objects", s.Name)
+	}
+	fractions := [...]struct {
+		name string
+		v    float64
+	}{
+		{"FPFraction", s.FPFraction}, {"IntMulFraction", s.IntMulFraction},
+		{"HardBiasFraction", s.HardBiasFraction}, {"CorrNoise", s.CorrNoise},
+		{"CondDensity", s.CondDensity}, {"CallDensity", s.CallDensity},
+		{"HotFraction", s.HotFraction},
+	}
+	for _, f := range fractions {
+		if math.IsNaN(f.v) || f.v < 0 || f.v > 1 {
+			return fmt.Errorf("progen %s: %s %v out of [0,1]", s.Name, f.name, f.v)
+		}
+	}
+	weights := [...]struct {
+		name string
+		v    float64
+	}{
+		{"WBiased", s.WBiased}, {"WLoop", s.WLoop}, {"WPattern", s.WPattern},
+		{"WCorrelated", s.WCorrelated}, {"WStream", s.WStream}, {"WRandom", s.WRandom},
+		{"WChase", s.WChase}, {"WBlocked", s.WBlocked},
+	}
+	for _, w := range weights {
+		if math.IsNaN(w.v) || math.IsInf(w.v, 0) || w.v < 0 {
+			return fmt.Errorf("progen %s: weight %s %v must be finite and >= 0", s.Name, w.name, w.v)
+		}
+	}
+	if math.IsNaN(s.BytesPerInstr) || s.BytesPerInstr < 0 || s.BytesPerInstr > maxInstrSize {
+		return fmt.Errorf("progen %s: BytesPerInstr %v out of [0,%d]", s.Name, s.BytesPerInstr, maxInstrSize)
+	}
+	if math.IsNaN(s.PoolSkew) || s.PoolSkew < 0 || s.PoolSkew > 16 {
+		return fmt.Errorf("progen %s: PoolSkew %v out of [0,16]", s.Name, s.PoolSkew)
+	}
+	counts := [...]struct {
+		name string
+		v    int
+	}{
+		{"IndirectSites", s.IndirectSites}, {"Globals", s.Globals},
+		{"HeapObjects", s.HeapObjects}, {"BigHeapObjects", s.BigHeapObjects},
+		{"HotPoolObjects", s.HotPoolObjects}, {"ChurnSites", s.ChurnSites},
+	}
+	for _, c := range counts {
+		if c.v < 0 || c.v > maxCount {
+			return fmt.Errorf("progen %s: %s %d out of [0,%d]", s.Name, c.name, c.v, maxCount)
+		}
+	}
+	trips := [...]struct {
+		name     string
+		min, max int
+	}{
+		{"forward trip", s.FwdTripMin, s.FwdTripMax},
+		{"backward trip", s.BackTripMin, s.BackTripMax},
+	}
+	for _, tr := range trips {
+		if tr.min < 0 || tr.max < 0 || tr.max > maxTrip || (tr.max != 0 && tr.min > tr.max) {
+			return fmt.Errorf("progen %s: invalid %s range [%d,%d]", s.Name, tr.name, tr.min, tr.max)
+		}
+	}
+	sizes := [...]struct {
+		name string
+		v    uint64
+	}{
+		{"HotBytes", s.HotBytes}, {"GlobalBytes", s.GlobalBytes},
+		{"HeapObjBytes", s.HeapObjBytes}, {"BigHeapBytes", s.BigHeapBytes},
+	}
+	for _, z := range sizes {
+		if z.v > maxObjBytes {
+			return fmt.Errorf("progen %s: %s %d exceeds %d", s.Name, z.name, z.v, uint64(maxObjBytes))
+		}
+	}
+	// Objects must hold at least one access granule: cold arrays are
+	// streamed a cache line at a time, pool objects chased in 8-byte
+	// words. (Zero HotBytes means the 12KB default.)
+	if s.Globals > 0 && s.GlobalBytes < 64 {
+		return fmt.Errorf("progen %s: GlobalBytes %d below one cache line", s.Name, s.GlobalBytes)
+	}
+	if s.BigHeapObjects > 0 && s.BigHeapBytes < 64 {
+		return fmt.Errorf("progen %s: BigHeapBytes %d below one cache line", s.Name, s.BigHeapBytes)
+	}
+	if s.HeapObjects > 0 && s.HeapObjBytes < 8 {
+		return fmt.Errorf("progen %s: HeapObjBytes %d below one granule", s.Name, s.HeapObjBytes)
+	}
+	if s.HotFraction > 0 && !s.HotOnHeap && s.HotBytes != 0 && s.HotBytes < 64 {
+		return fmt.Errorf("progen %s: HotBytes %d below one cache line", s.Name, s.HotBytes)
 	}
 	return nil
 }
@@ -387,7 +486,10 @@ func (g *generator) memOp(rng *xrand.Rand) isa.MemOp {
 		// phase; without this, sites advancing in lockstep share cache
 		// lines and the stream never misses.
 		size := g.prog.Objects[obj].Size
-		start := rng.Uint64n(size/64) * 64
+		var start uint64
+		if chunks := size / 64; chunks > 0 {
+			start = rng.Uint64n(chunks) * 64
+		}
 		return isa.MemOp{Kind: kind, Pattern: isa.Stream{
 			Object: obj, Stride: stride, Size: size - start, Start: start,
 		}}

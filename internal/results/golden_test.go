@@ -1,0 +1,122 @@
+package results_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"interferometry/internal/core"
+	"interferometry/internal/pmc"
+	"interferometry/internal/results"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDataset is hand-built rather than measured so the golden files
+// pin the export format alone, not the interpreter or machine model.
+// Two layouts failed permanently: their rows carry zeroed counters,
+// status "failed" and the attempts that were burned, and the fit must
+// exclude them (EffectiveN = 6).
+func goldenDataset() *core.Dataset {
+	obs := func(layout, heap, extra uint64, st core.ObsStatus, attempts int) core.Observation {
+		o := core.Observation{LayoutSeed: layout, HeapSeed: heap, Status: st, Attempts: attempts}
+		if st != core.StatusFailed {
+			o.Instructions = 1_000_000
+			o.Cycles = 600_000 + 30*extra + 5*(extra%3)
+			o.Events[pmc.EvBranchMispredicts] = 1000 * extra
+			o.Events[pmc.EvL1IMisses] = 400 + 3*extra
+			o.Events[pmc.EvL1DMisses] = 2200 + 7*extra
+			o.Events[pmc.EvL2Misses] = 90 + extra
+			o.Runs = 15
+		}
+		return o
+	}
+	return &core.Dataset{
+		Benchmark: "golden.bench",
+		Obs: []core.Observation{
+			obs(101, 11, 4, core.StatusOK, 1),
+			obs(103, 13, 9, core.StatusOK, 1),
+			obs(105, 15, 2, core.StatusRetried, 3),
+			obs(107, 17, 0, core.StatusFailed, 4),
+			obs(109, 19, 7, core.StatusOK, 1),
+			obs(111, 21, 5, core.StatusOK, 2),
+			obs(113, 23, 0, core.StatusFailed, 4),
+			obs(115, 25, 12, core.StatusOK, 1),
+		},
+		Failures: []core.LayoutFailure{
+			{Index: 3, LayoutSeed: 107, Err: "run: counter overflow"},
+			{Index: 6, LayoutSeed: 113, Err: "compile: fault injected"},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenDatasetCSV(t *testing.T) {
+	ds := goldenDataset()
+	if n := ds.EffectiveN(); n != 6 {
+		t.Fatalf("EffectiveN = %d, want 6", n)
+	}
+	var buf bytes.Buffer
+	if err := results.WriteDatasetCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dataset.golden.csv", buf.Bytes())
+
+	// The degraded rows must still round-trip through the reader.
+	rows, err := results.ReadDatasetCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, r := range rows {
+		if r.Status == core.StatusFailed.String() {
+			failed++
+			if r.Cycles != 0 || r.CPI != 0 {
+				t.Errorf("failed row %d carries counters: %+v", r.LayoutSeed, r)
+			}
+			if r.Attempts != 4 {
+				t.Errorf("failed row %d attempts = %d, want 4", r.LayoutSeed, r.Attempts)
+			}
+		}
+	}
+	if failed != 2 {
+		t.Errorf("%d failed rows in export, want 2", failed)
+	}
+}
+
+func TestGoldenModelJSON(t *testing.T) {
+	ds := goldenDataset()
+	m, err := ds.MPKIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := results.SummarizeModel(m)
+	// The fit must run on the effective sample, not the raw row count.
+	if s.N != ds.EffectiveN() {
+		t.Fatalf("model N = %d, want EffectiveN %d", s.N, ds.EffectiveN())
+	}
+	var buf bytes.Buffer
+	if err := results.WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "model.golden.json", buf.Bytes())
+}

@@ -14,8 +14,10 @@ package toolchain
 
 import (
 	"fmt"
+	"time"
 
 	"interferometry/internal/isa"
+	"interferometry/internal/obs"
 	"interferometry/internal/xrand"
 )
 
@@ -273,10 +275,25 @@ func Link(p *isa.Program, units []Unit, seed uint64, cfg LinkConfig) (*Executabl
 // before shuffling, so a Builder is safe for concurrent Build calls from
 // many workers.
 type Builder struct {
-	prog  *isa.Program
-	units []Unit
-	lcfg  LinkConfig
+	prog    *isa.Program
+	units   []Unit
+	lcfg    LinkConfig
+	metrics *BuilderMetrics
 }
+
+// BuilderMetrics are the builder's observability instruments, resolved
+// by the caller (internal/core builds them from its obs registry). Any
+// field — or the whole struct — may be nil.
+type BuilderMetrics struct {
+	// Builds counts Build calls.
+	Builds *obs.Counter
+	// BuildSeconds is the reorder+link latency distribution.
+	BuildSeconds *obs.Histogram
+}
+
+// Observe attaches metrics to the builder. Call before sharing the
+// builder across workers: Build reads the pointer without a lock.
+func (b *Builder) Observe(m *BuilderMetrics) { b.metrics = m }
 
 // NewBuilder compiles the program and returns a Builder that links layouts
 // from the shared compilation.
@@ -290,6 +307,13 @@ func (b *Builder) Program() *isa.Program { return b.prog }
 // Build links the layout for one seed. The result is bit-identical to
 // BuildLayout with the same program, seed and configs.
 func (b *Builder) Build(seed uint64) (*Executable, error) {
+	if m := b.metrics; m != nil {
+		t0 := time.Now()
+		exe, err := Link(b.prog, Reorder(b.units, seed), seed, b.lcfg)
+		m.BuildSeconds.Observe(time.Since(t0).Seconds())
+		m.Builds.Inc()
+		return exe, err
+	}
 	return Link(b.prog, Reorder(b.units, seed), seed, b.lcfg)
 }
 
@@ -308,27 +332,31 @@ func BuildLayout(p *isa.Program, seed uint64, ccfg CompileConfig, lcfg LinkConfi
 // supervisor, which revalidates executables at the build seam so that a
 // corrupted build (fault injection in tests, bit rot or a future buggy
 // layout transform in production) is caught and retried instead of
-// silently measured.
-func CheckExecutable(e *Executable) error {
+// silently measured. layout is the campaign layout index (negative for
+// "not part of a campaign"); it and the executable's layout seed are
+// embedded in every message so a failed invariant is reproducible from
+// the error string alone.
+func CheckExecutable(e *Executable, layout int) error {
 	if e == nil || e.Program == nil {
-		return fmt.Errorf("toolchain: nil executable")
+		return fmt.Errorf("toolchain: %s: nil executable", layoutRef(layout, 0))
 	}
+	ref := layoutRef(layout, e.Seed)
 	p := e.Program
 	if len(e.BlockAddr) != len(p.Blocks) || len(e.ProcAddr) != len(p.Procs) || len(e.GlobalBase) != len(p.Objects) {
-		return fmt.Errorf("toolchain: executable tables do not match program shape")
+		return fmt.Errorf("toolchain: %s: executable tables do not match program shape", ref)
 	}
 	if e.CodeLimit < e.CodeBase || e.DataLimit < e.DataBase {
-		return fmt.Errorf("toolchain: inverted segment bounds")
+		return fmt.Errorf("toolchain: %s: inverted segment bounds", ref)
 	}
 	for id := range p.Blocks {
 		addr := e.BlockAddr[id]
 		if addr < e.CodeBase || addr+uint64(p.Blocks[id].Bytes) > e.CodeLimit {
-			return fmt.Errorf("toolchain: block %d at %#x outside text segment [%#x,%#x)", id, addr, e.CodeBase, e.CodeLimit)
+			return fmt.Errorf("toolchain: %s: block %d at %#x outside text segment [%#x,%#x)", ref, id, addr, e.CodeBase, e.CodeLimit)
 		}
 	}
 	for id := range p.Procs {
 		if a := e.ProcAddr[id]; a < e.CodeBase || a >= e.CodeLimit {
-			return fmt.Errorf("toolchain: procedure %d at %#x outside text segment", id, a)
+			return fmt.Errorf("toolchain: %s: procedure %d at %#x outside text segment", ref, id, a)
 		}
 	}
 	for id := range p.Objects {
@@ -337,20 +365,29 @@ func CheckExecutable(e *Executable) error {
 		}
 		base := e.GlobalBase[id]
 		if base < e.DataBase || base+p.Objects[id].Size > e.DataLimit {
-			return fmt.Errorf("toolchain: global %d at %#x outside data segment", id, base)
+			return fmt.Errorf("toolchain: %s: global %d at %#x outside data segment", ref, id, base)
 		}
 	}
 	if len(e.LinkOrder) != len(p.Procs) {
-		return fmt.Errorf("toolchain: link order covers %d of %d procedures", len(e.LinkOrder), len(p.Procs))
+		return fmt.Errorf("toolchain: %s: link order covers %d of %d procedures", ref, len(e.LinkOrder), len(p.Procs))
 	}
 	seen := make([]bool, len(p.Procs))
 	for _, pid := range e.LinkOrder {
 		if int(pid) >= len(seen) || seen[pid] {
-			return fmt.Errorf("toolchain: link order repeats or exceeds procedure %d", pid)
+			return fmt.Errorf("toolchain: %s: link order repeats or exceeds procedure %d", ref, pid)
 		}
 		seen[pid] = true
 	}
 	return nil
+}
+
+// layoutRef renders the (layout index, layout seed) identity used in
+// CheckExecutable messages.
+func layoutRef(layout int, seed uint64) string {
+	if layout < 0 {
+		return fmt.Sprintf("layout seed %#x", seed)
+	}
+	return fmt.Sprintf("layout %d (layout seed %#x)", layout, seed)
 }
 
 // isBranchTarget reports whether any terminator in the block's procedure

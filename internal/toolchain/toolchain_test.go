@@ -1,7 +1,9 @@
 package toolchain_test
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -382,7 +384,7 @@ func TestBuildHotLayoutBeatsAverageRandom(t *testing.T) {
 func TestCheckExecutable(t *testing.T) {
 	p := testprog.CallChain(10)
 	exe := mustBuild(t, p, 3)
-	if err := toolchain.CheckExecutable(exe); err != nil {
+	if err := toolchain.CheckExecutable(exe, 0); err != nil {
 		t.Fatalf("clean build failed the check: %v", err)
 	}
 
@@ -395,8 +397,17 @@ func TestCheckExecutable(t *testing.T) {
 		cp.GlobalBase = append([]uint64(nil), exe.GlobalBase...)
 		cp.LinkOrder = append([]isa.ProcID(nil), exe.LinkOrder...)
 		mutate(&cp)
-		if err := toolchain.CheckExecutable(&cp); err == nil {
+		err := toolchain.CheckExecutable(&cp, 5)
+		if err == nil {
 			t.Errorf("%s: corruption passed the check", name)
+		} else {
+			// Every failure names the layout index and seed, making it
+			// reproducible from the message alone.
+			for _, want := range []string{"layout 5", fmt.Sprintf("%#x", cp.Seed)} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("%s: error %q missing %q", name, err, want)
+				}
+			}
 		}
 	}
 	corrupt("block outside text", func(e *toolchain.Executable) { e.BlockAddr[0] = e.CodeLimit + 0x1000 })
@@ -408,10 +419,16 @@ func TestCheckExecutable(t *testing.T) {
 	if len(p.Objects) > 0 {
 		corrupt("global outside data", func(e *toolchain.Executable) { e.GlobalBase[0] = e.DataLimit + 1 })
 	}
-	if err := toolchain.CheckExecutable(nil); err == nil {
+	if err := toolchain.CheckExecutable(nil, -1); err == nil {
 		t.Error("nil executable passed the check")
 	}
-	if err := toolchain.CheckExecutable(&toolchain.Executable{}); err == nil {
+	if err := toolchain.CheckExecutable(&toolchain.Executable{}, -1); err == nil {
 		t.Error("empty executable passed the check")
+	}
+	// Outside a campaign (layout < 0) the message still carries the seed.
+	cp := *exe
+	cp.LinkOrder = cp.LinkOrder[:1]
+	if err := toolchain.CheckExecutable(&cp, -1); err == nil || !strings.Contains(err.Error(), fmt.Sprintf("%#x", exe.Seed)) {
+		t.Errorf("anonymous check error missing layout seed: %v", err)
 	}
 }
