@@ -1,0 +1,152 @@
+// Command campaignd serves the resilient campaign job service: campaigns
+// submitted as JSON are decomposed into per-layout tasks on a bounded
+// priority queue and measured under worker leases, per-seam circuit
+// breakers and seeded-backoff retries. Determinism makes the resilience
+// free of caveats — whatever faults or restarts disturb the schedule, a
+// finished campaign's dataset is byte-identical to a clean run.
+//
+// Serve mode:
+//
+//	campaignd -addr localhost:8347 -workers 4 -checkpoint-root /var/lib/campaignd
+//
+// Endpoints: POST /campaigns, GET /campaigns/{id}[/result|/measurements],
+// /healthz, /readyz, /queuez, /metrics. SIGTERM drains gracefully: stop
+// admission, finish leased tasks, flush checkpoints, exit.
+//
+// Chaos soak mode proves the byte-identity claim against the live
+// service under injected error bursts, panics and latency spikes:
+//
+//	campaignd -chaos -chaos-benchmark 429.mcf -chaos-rounds 3
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"interferometry/internal/campaignd"
+	"interferometry/internal/experiments"
+	"interferometry/internal/faultinject"
+	"interferometry/internal/jobqueue"
+	"interferometry/internal/jobqueue/backoff"
+	"interferometry/internal/obs"
+	"interferometry/internal/obsflag"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "localhost:8347", "listen address")
+		scaleName      = flag.String("scale", "small", "default campaign scale: small, medium or paper")
+		workers        = flag.Int("workers", 2, "task worker pool size")
+		queueCap       = flag.Int("queue-capacity", 256, "max tasks in the system (queued + leased)")
+		lease          = flag.Duration("lease", 30*time.Second, "task lease duration without a heartbeat")
+		maxAttempts    = flag.Int("max-attempts", 3, "executions per layout before permanent failure")
+		checkpointRoot = flag.String("checkpoint-root", "", "directory for per-campaign checkpoints (empty = off)")
+
+		backoffBase   = flag.Duration("backoff-base", 50*time.Millisecond, "first retry delay")
+		backoffCap    = flag.Duration("backoff-cap", 2*time.Second, "max retry delay")
+		backoffJitter = flag.Float64("backoff-jitter", 0.5, "seeded jitter fraction of each delay [0,1]")
+
+		breakerTrip = flag.Int("breaker-trip", 5, "consecutive seam failures that open the breaker")
+		breakerOpen = flag.Duration("breaker-open", 5*time.Second, "how long an open breaker rejects before probing")
+		breakerSlow = flag.Duration("breaker-slow", 0, "seam calls at least this slow count as failures (0 = off)")
+
+		chaos       = flag.Bool("chaos", false, "run the deterministic chaos soak instead of serving")
+		chaosBench  = flag.String("chaos-benchmark", "429.mcf", "benchmark the soak measures")
+		chaosLay    = flag.Int("chaos-layouts", 8, "layouts per soak campaign")
+		chaosRounds = flag.Int("chaos-rounds", 3, "faulted service rounds")
+		chaosSeed   = flag.Uint64("chaos-seed", 0xc4a05, "root seed of the per-round fault schedules")
+		chaosError  = flag.Float64("chaos-error", 0.2, "per-call injected error rate")
+		chaosPanic  = flag.Float64("chaos-panic", 0.1, "per-call injected panic rate")
+		chaosSpike  = flag.Float64("chaos-spike", 0.2, "per-call latency-spike rate")
+		chaosP99    = flag.Duration("chaos-spike-p99", 10*time.Millisecond, "latency-spike p99")
+	)
+	obsFlags := obsflag.Register(flag.CommandLine)
+	flag.Parse()
+
+	scale, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small, medium or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if *chaos {
+		err := campaignd.Soak(campaignd.SoakConfig{
+			Spec:    campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay},
+			Scale:   scale,
+			Rounds:  *chaosRounds,
+			Seed:    *chaosSeed,
+			Workers: *workers,
+			Rates: faultinject.Rates{
+				Error: *chaosError, Panic: *chaosPanic,
+				Spike: *chaosSpike, SpikeP99: *chaosP99,
+			},
+			Out: os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	observer, err := obsFlags.Observer("campaignd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if observer == nil {
+		// The service always keeps a metrics registry: /metrics should
+		// work without any -metrics-out flag.
+		observer = &obs.Observer{Metrics: obs.NewMetrics()}
+	} else if observer.Metrics == nil {
+		observer.Metrics = obs.NewMetrics()
+	}
+
+	srv := campaignd.New(campaignd.Config{
+		Scale:          scale,
+		Workers:        *workers,
+		QueueCapacity:  *queueCap,
+		Lease:          *lease,
+		MaxAttempts:    *maxAttempts,
+		CheckpointRoot: *checkpointRoot,
+		Backoff:        backoff.Policy{Base: *backoffBase, Cap: *backoffCap, Jitter: *backoffJitter},
+		Breaker: jobqueue.BreakerConfig{
+			TripAfter:     *breakerTrip,
+			OpenFor:       *breakerOpen,
+			SlowThreshold: *breakerSlow,
+		},
+		Obs: observer,
+	})
+	srv.Start()
+	stopSignals := srv.DrainOnSignal()
+	defer stopSignals()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if serr := httpSrv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "campaignd: %v\n", serr)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("campaignd listening on %s (scale %s, %d workers, queue %d)\n",
+		ln.Addr(), scale.Name, *workers, *queueCap)
+
+	// Serve until a signal starts the drain; exit once it finishes.
+	<-srv.Done()
+	httpSrv.Close()
+	if err := obsFlags.Close(observer); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("campaignd drained cleanly")
+}

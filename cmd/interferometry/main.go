@@ -21,14 +21,21 @@
 // A killed campaign leaves run1/observations.jsonl behind; re-running
 // with -resume measures only the missing layouts and produces a dataset
 // bit-identical to an uninterrupted run.
+//
+// With -server the campaign runs on a campaignd service instead; the
+// result CSV streams to stdout:
+//
+//	interferometry -campaign 429.mcf -layouts 100 -server http://localhost:8347 > run.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"interferometry/internal/campaignd"
 	"interferometry/internal/core"
 	"interferometry/internal/experiments"
 	"interferometry/internal/obs"
@@ -95,6 +102,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	campaign := flag.String("campaign", "", "run one supervised campaign for a benchmark (e.g. 400.perlbench) instead of an experiment")
+	server := flag.String("server", "", "submit the campaign to a campaignd URL (e.g. http://localhost:8347) instead of running it in-process")
 	layouts := flag.Int("layouts", 0, "campaign layouts (0 = the scale's default)")
 	checkpointDir := flag.String("checkpoint", "", "campaign directory for JSONL observation checkpoints")
 	resume := flag.Bool("resume", false, "reload the checkpoint and measure only missing layouts")
@@ -115,6 +123,13 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want small, medium or paper)\n", *scaleName)
 		os.Exit(2)
+	}
+	if *campaign != "" && *server != "" {
+		if err := runRemoteCampaign(*server, *campaign, *layouts); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign %s: %v\n", *campaign, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *campaign != "" {
 		observer, err := obsFlags.Observer(*campaign)
@@ -175,6 +190,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runRemoteCampaign is the campaignd client mode: submit the spec,
+// honor backpressure, poll to completion and stream the result CSV to
+// stdout. The summary goes to stderr so the CSV can be redirected clean.
+func runRemoteCampaign(serverURL, benchmark string, layouts int) error {
+	ctx := context.Background()
+	client := &campaignd.Client{Base: serverURL}
+	st, err := client.SubmitWait(ctx, campaignd.JobSpec{Benchmark: benchmark, Layouts: layouts})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted campaign %s (%d layouts, %d restored from checkpoint)\n",
+		st.ID, st.Layouts, st.Restored)
+	start := time.Now()
+	if st, err = client.Wait(ctx, st.ID, 200*time.Millisecond); err != nil {
+		return err
+	}
+	if st.State != campaignd.StateDone {
+		return fmt.Errorf("campaign ended %s: %s", st.State, st.Error)
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: %d layouts in %s (%d failed)\n",
+		st.ID, st.Completed, time.Since(start).Round(time.Millisecond), st.Failed)
+	csv, err := client.Result(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(csv)
+	return err
 }
 
 // campaignOptions collects the -campaign flags.

@@ -1,0 +1,477 @@
+// Package campaignd is the long-running campaign job service: it accepts
+// campaign specs over HTTP, fans each one out into per-layout tasks on a
+// bounded priority queue, and drives the tasks through the core build and
+// measure seams under worker leases, per-seam circuit breakers and
+// seeded-backoff retries.
+//
+// The service adds scheduling, not meaning: every measurement is a pure
+// function of the spec's seed tuple, so whatever the queue, the breakers
+// or the fault injector do to the schedule — retries, lease expiries,
+// duplicate executions, drains and resumes — the finished dataset is
+// byte-identical to a clean single-process core.RunCampaign of the same
+// spec. The chaos soak (Soak) proves exactly that against the live
+// service.
+package campaignd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"interferometry/internal/core"
+	"interferometry/internal/experiments"
+	"interferometry/internal/faultinject"
+	"interferometry/internal/jobqueue"
+	"interferometry/internal/jobqueue/backoff"
+	"interferometry/internal/obs"
+	"interferometry/internal/toolchain"
+)
+
+// Submission errors.
+var (
+	// ErrDraining rejects submissions once a drain has begun (503).
+	ErrDraining = errors.New("campaignd: draining, not accepting campaigns")
+	// ErrOverloaded rejects submissions the queue cannot admit (429).
+	ErrOverloaded = errors.New("campaignd: queue full")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Scale supplies per-spec defaults (layouts, budget, fidelity).
+	// The zero Scale means experiments.Small.
+	Scale experiments.Scale
+	// Workers is the task worker pool size. Zero or negative means 1.
+	Workers int
+	// QueueCapacity bounds tasks in the system (queued plus leased);
+	// admission control sheds whole campaigns beyond it. Zero means 256.
+	QueueCapacity int
+	// Lease is how long a task stays owned without a heartbeat before it
+	// is reaped and requeued. Zero means 30s.
+	Lease time.Duration
+	// HeartbeatEvery is the worker heartbeat interval. Zero means a
+	// third of the lease; negative disables heartbeats (tests use this
+	// to force lease expiry under a live worker).
+	HeartbeatEvery time.Duration
+	// MaxAttempts bounds executions per layout. Zero means 3.
+	MaxAttempts int
+	// Backoff spaces retries of a failed task. The jitter is seeded by
+	// (campaign seed, layout), so a replayed campaign backs off by
+	// identical amounts. The zero policy retries immediately.
+	Backoff backoff.Policy
+	// Breaker configures both per-seam circuit breakers. Its Now and
+	// OnTransition fields are ignored (the server wires its own).
+	Breaker jobqueue.BreakerConfig
+	// CheckpointRoot, when set, checkpoints every campaign under
+	// <root>/<campaign-id>/ and resumes from an existing checkpoint on
+	// resubmission. Empty disables checkpointing.
+	CheckpointRoot string
+	// Faults optionally injects faults into every campaign's build and
+	// measure seams — the chaos soak's hook. Nil runs clean.
+	Faults *faultinject.Injector
+	// Obs observes the service; nil runs unobserved.
+	Obs *obs.Observer
+	// Now is the clock. Nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) scale() experiments.Scale {
+	if c.Scale.Name == "" {
+		return experiments.Small
+	}
+	return c.Scale
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+func (c Config) queueCapacity() int {
+	if c.QueueCapacity <= 0 {
+		return 256
+	}
+	return c.QueueCapacity
+}
+
+func (c Config) lease() time.Duration {
+	if c.Lease <= 0 {
+		return 30 * time.Second
+	}
+	return c.Lease
+}
+
+func (c Config) heartbeatEvery() time.Duration {
+	if c.HeartbeatEvery < 0 {
+		return 0 // disabled
+	}
+	if c.HeartbeatEvery == 0 {
+		return c.lease() / 3
+	}
+	return c.HeartbeatEvery
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 3
+	}
+	return c.MaxAttempts
+}
+
+// task is one queue entry: a single layout of one campaign.
+type task struct {
+	camp   *campaign
+	layout int
+}
+
+// Server is the campaign job service.
+type Server struct {
+	cfg     Config
+	queue   *jobqueue.Queue[task]
+	build   *jobqueue.Breaker
+	measure *jobqueue.Breaker
+	shed    *obs.Counter
+
+	baseCtx context.Context
+	stop    context.CancelCauseFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	draining  bool
+
+	drainOnce sync.Once
+	done      chan struct{}
+}
+
+// New builds a server; Start launches its workers.
+func New(cfg Config) *Server {
+	brCfg := cfg.Breaker
+	brCfg.Now = cfg.Now
+	buildCfg, measureCfg := brCfg, brCfg
+	buildCfg.OnTransition = jobqueue.ObserveBreaker(cfg.Obs, "campaignd", "build")
+	measureCfg.OnTransition = jobqueue.ObserveBreaker(cfg.Obs, "campaignd", "measure")
+	ctx, stop := context.WithCancelCause(context.Background())
+	return &Server{
+		cfg: cfg,
+		queue: jobqueue.New[task](jobqueue.Config{
+			Capacity: cfg.queueCapacity(),
+			Lease:    cfg.lease(),
+			Now:      cfg.Now,
+			Metrics:  jobqueue.ObserveMetrics(cfg.Obs, "campaignd"),
+		}),
+		build:     jobqueue.NewBreaker(buildCfg),
+		measure:   jobqueue.NewBreaker(measureCfg),
+		shed:      obsCounter(cfg.Obs, "campaignd_shed_total", "submissions rejected by admission control (429)"),
+		baseCtx:   ctx,
+		stop:      stop,
+		campaigns: make(map[string]*campaign),
+		done:      make(chan struct{}),
+	}
+}
+
+func obsCounter(o *obs.Observer, name, help string) *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Counter(name, help)
+}
+
+func (s *Server) now() time.Time {
+	if s.cfg.Now != nil {
+		return s.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for w := 0; w < s.cfg.workers(); w++ {
+		s.wg.Add(1)
+		go func(slot int) {
+			defer s.wg.Done()
+			s.worker(slot)
+		}(w)
+	}
+}
+
+// Submit admits one campaign: validates the spec, prepares (or resumes)
+// its runner and checkpoint, and pushes every pending layout task as one
+// atomic batch. A spec identical to a live or finished campaign returns
+// that campaign instead of duplicating work. ErrOverloaded means the
+// queue cannot hold the fan-out — retry later (429 + Retry-After).
+func (s *Server) Submit(spec JobSpec) (Status, error) {
+	if err := spec.validate(); err != nil {
+		return Status{}, err
+	}
+	id := spec.ID(s.cfg.scale())
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Status{}, ErrDraining
+	}
+	if c, ok := s.campaigns[id]; ok {
+		s.mu.Unlock()
+		return c.snapshot(), nil
+	}
+	s.mu.Unlock()
+
+	// Build the campaign outside the lock: trace interpretation and the
+	// shared compile are real work. A racing duplicate submission is
+	// resolved below — last one loses and discards.
+	c, pending, err := newCampaign(s.baseCtx, spec, s.cfg.scale(), s.cfg.workers(), s.cfg.CheckpointRoot, s.cfg.Faults, s.now())
+	if err != nil {
+		return Status{}, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		c.abort(ErrDraining)
+		return Status{}, ErrDraining
+	}
+	if prev, ok := s.campaigns[id]; ok {
+		s.mu.Unlock()
+		c.abort(errors.New("campaignd: duplicate submission"))
+		return prev.snapshot(), nil
+	}
+	s.campaigns[id] = c
+	s.mu.Unlock()
+
+	tasks := make([]task, len(pending))
+	for n, i := range pending {
+		tasks[n] = task{camp: c, layout: i}
+	}
+	if err := s.queue.PushBatch(spec.Priority, tasks); err != nil {
+		s.mu.Lock()
+		delete(s.campaigns, id)
+		s.mu.Unlock()
+		c.abort(err)
+		if errors.Is(err, jobqueue.ErrFull) {
+			s.shed.Inc()
+			return Status{}, ErrOverloaded
+		}
+		if errors.Is(err, jobqueue.ErrClosed) {
+			return Status{}, ErrDraining
+		}
+		return Status{}, err
+	}
+	return c.snapshot(), nil
+}
+
+// RetryAfter estimates when a shed submission is worth retrying: one
+// lease duration is when currently-leased work must have completed or
+// been reaped.
+func (s *Server) RetryAfter() time.Duration { return s.cfg.lease() }
+
+// lookup returns a campaign by ID.
+func (s *Server) lookup(id string) (*campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// Drain performs the graceful shutdown sequence: stop admission, drop
+// queued tasks (the checkpoint has everything completed; a resubmission
+// resumes the rest), let workers finish the tasks they hold, flush every
+// checkpoint, then release Done. Idempotent and safe from any goroutine,
+// including a signal handler's.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+
+		s.queue.Close() // Pops return ErrClosed; leased tasks stay valid
+		s.wg.Wait()     // workers finish in-flight tasks and exit
+
+		s.mu.Lock()
+		camps := make([]*campaign, 0, len(s.campaigns))
+		for _, c := range s.campaigns {
+			camps = append(camps, c)
+		}
+		s.mu.Unlock()
+		for _, c := range camps {
+			c.interrupt() // no-op on finished campaigns; flushes the rest
+		}
+		s.stop(ErrDraining)
+		close(s.done)
+	})
+}
+
+// Done is closed when a drain has fully finished.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// DrainOnSignal starts the graceful drain when one of sigs arrives
+// (default SIGTERM and SIGINT). It returns a stop function that
+// uninstalls the handler; wait on Done for the drain itself.
+func (s *Server) DrainOnSignal(sigs ...os.Signal) (stop func()) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{syscall.SIGTERM, os.Interrupt}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	go func() {
+		if _, ok := <-ch; ok {
+			s.Drain()
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker is one pool goroutine: lease a task, run it through the seams,
+// report the outcome to its campaign. The slot index doubles as the
+// measurement harness slot, so concurrent measures never share state.
+func (s *Server) worker(slot int) {
+	for {
+		lease, err := s.queue.Pop(s.baseCtx)
+		if err != nil {
+			return // closed or stopped
+		}
+		s.runTask(slot, lease)
+	}
+}
+
+// runTask executes one leased task. Every exit path settles the lease:
+// Complete when the task is finished for good (success, permanent
+// failure, dead campaign), Requeue when it should run again (seam
+// failure with attempts left, breaker denial).
+func (s *Server) runTask(slot int, lease *jobqueue.Lease[task]) {
+	t := lease.Payload()
+	c := t.camp
+
+	// Deadline propagation: the campaign context (request deadline,
+	// drain, failure-budget abort) is checked before every stage; a dead
+	// campaign's tasks drain without executing.
+	if err := c.ctx.Err(); err != nil {
+		c.abort(context.Cause(c.ctx))
+		lease.Complete()
+		return
+	}
+
+	stopBeat := s.heartbeat(lease)
+	defer stopBeat()
+
+	// Build seam, behind its breaker.
+	if s.build.Allow() != nil {
+		s.deny(lease, s.build)
+		return
+	}
+	var exe *toolchain.Executable
+	start := s.now()
+	err := core.Guard(func() error {
+		var berr error
+		exe, berr = c.runner.BuildLayout(t.layout)
+		return berr
+	})
+	s.build.Record(s.now().Sub(start), err)
+	if err != nil {
+		s.taskFailed(lease, c, t, fmt.Errorf("build: %w", err))
+		return
+	}
+
+	if err := c.ctx.Err(); err != nil {
+		c.abort(context.Cause(c.ctx))
+		lease.Complete()
+		return
+	}
+
+	// Measure seam, behind its breaker.
+	if s.measure.Allow() != nil {
+		s.deny(lease, s.measure)
+		return
+	}
+	var o core.Observation
+	start = s.now()
+	err = core.Guard(func() error {
+		var merr error
+		o, merr = c.runner.MeasureLayout(slot, t.layout, exe)
+		return merr
+	})
+	s.measure.Record(s.now().Sub(start), err)
+	if err != nil {
+		s.taskFailed(lease, c, t, fmt.Errorf("measure: %w", err))
+		return
+	}
+
+	c.complete(t.layout, core.CompletedObservation(o, c.attemptsOf(t.layout)+1))
+	// ErrLeaseLost here means we overran the lease and the task was
+	// requeued: the result above still counted (complete is idempotent
+	// and a duplicate execution derives identical bytes), and the
+	// re-execution will find the layout done and settle the residue.
+	lease.Complete()
+}
+
+// deny parks a breaker-denied task until the breaker's window may admit
+// a probe. No execution happened, so no retry attempt is consumed; the
+// jitter spreads reprobes of distinct tasks.
+func (s *Server) deny(lease *jobqueue.Lease[task], b *jobqueue.Breaker) {
+	delay := b.RetryIn()
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	lease.Requeue(s.now().Add(delay))
+}
+
+// taskFailed settles a failed execution: requeue with seeded backoff
+// while attempts remain, otherwise record the permanent failure.
+func (s *Server) taskFailed(lease *jobqueue.Lease[task], c *campaign, t task, err error) {
+	n := c.recordFailure(t.layout)
+	if n < s.cfg.maxAttempts() {
+		delay := s.cfg.Backoff.Delay(n, c.spec.effectiveSeed(), uint64(t.layout))
+		lease.Requeue(s.now().Add(delay))
+		return
+	}
+	c.failLayout(t.layout, n, err)
+	lease.Complete()
+}
+
+// heartbeat keeps the lease alive while the seams run; the returned stop
+// must be called when the task settles. A lost lease just stops the
+// beat — the run finishes and its settlement discovers ErrLeaseLost.
+func (s *Server) heartbeat(lease *jobqueue.Lease[task]) (stop func()) {
+	every := s.cfg.heartbeatEvery()
+	if every <= 0 {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-ticker.C:
+				if lease.Heartbeat() != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		wg.Wait()
+	}
+}

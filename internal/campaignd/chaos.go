@@ -1,0 +1,191 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"interferometry/internal/core"
+	"interferometry/internal/experiments"
+	"interferometry/internal/faultinject"
+	"interferometry/internal/jobqueue"
+	"interferometry/internal/jobqueue/backoff"
+	"interferometry/internal/results"
+)
+
+// SoakConfig parameterizes a chaos soak run (campaignd -chaos).
+type SoakConfig struct {
+	// Spec is the campaign measured every round.
+	Spec JobSpec
+	// Scale supplies the spec's defaults. Zero means experiments.Small.
+	Scale experiments.Scale
+	// Rounds is how many faulted service rounds to run; each round uses
+	// a derived injector seed, so the fault schedule varies round to
+	// round but is reproducible as a whole. Zero means 3.
+	Rounds int
+	// Seed roots the per-round injector seeds.
+	Seed uint64
+	// Rates is the fault mix injected into both seams each round.
+	// KindCorrupt rates must be zero: a corrupted measurement is not an
+	// error the service can observe, so it cannot promise byte-identity
+	// under it (that screen is the MAD outlier pass, not campaignd's).
+	Rates faultinject.Rates
+	// Workers, QueueCapacity, Lease and MaxAttempts configure each
+	// round's server as in Config.
+	Workers       int
+	QueueCapacity int
+	Lease         time.Duration
+	MaxAttempts   int
+	// Timeout bounds each round. Zero means 2 minutes.
+	Timeout time.Duration
+	// Out receives the per-round report. Nil discards it.
+	Out io.Writer
+}
+
+func (c SoakConfig) rounds() int {
+	if c.Rounds <= 0 {
+		return 3
+	}
+	return c.Rounds
+}
+
+func (c SoakConfig) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 2 * time.Minute
+	}
+	return c.Timeout
+}
+
+func (c SoakConfig) scale() experiments.Scale {
+	if c.Scale.Name == "" {
+		return experiments.Small
+	}
+	return c.Scale
+}
+
+// Soak is the deterministic chaos harness behind campaignd -chaos: it
+// computes the spec's reference dataset with a clean single-process
+// core.RunCampaign, then repeatedly runs the whole service — real HTTP
+// listener, queue, breakers, retries — under an injected fault schedule
+// of error bursts, panics and latency spikes, and fails unless every
+// round's measurement export is byte-identical to the reference.
+func Soak(cfg SoakConfig) error {
+	if cfg.Rates.Corrupt > 0 {
+		return fmt.Errorf("campaignd: soak cannot use corrupt faults: a silently wrong measurement is invisible to the service (screen it with the MAD outlier pass instead)")
+	}
+	if err := cfg.Spec.validate(); err != nil {
+		return err
+	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+
+	// The ground truth: one clean, single-process run of the spec.
+	campCfg, err := campaignConfig(cfg.Spec, cfg.scale())
+	if err != nil {
+		return err
+	}
+	clean, err := core.RunCampaign(campCfg)
+	if err != nil {
+		return fmt.Errorf("campaignd: clean reference run: %w", err)
+	}
+	var ref bytes.Buffer
+	if err := results.WriteMeasurementsCSV(&ref, clean); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "soak %s: %d layouts, reference %d bytes, %d rounds\n",
+		cfg.Spec.Benchmark, len(clean.Obs), ref.Len(), cfg.rounds())
+
+	for round := 0; round < cfg.rounds(); round++ {
+		if err := soakRound(cfg, round, ref.Bytes(), out); err != nil {
+			return fmt.Errorf("campaignd: soak round %d: %w", round, err)
+		}
+	}
+	fmt.Fprintf(out, "soak PASS: %d rounds byte-identical to the clean run\n", cfg.rounds())
+	return nil
+}
+
+// soakRound runs one faulted service instance end to end over HTTP and
+// compares its measurement export against the clean reference.
+func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
+	// MaxFaults keeps every fault burst finite per (site, key), so a
+	// bounded retry budget always clears it deterministically. A layout
+	// can burn MaxFaults attempts in the build seam and MaxFaults more
+	// in the measure seam, so success is guaranteed at 2×MaxFaults+1.
+	rates := cfg.Rates
+	if rates.MaxFaults <= 0 {
+		rates.MaxFaults = 2
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2*rates.MaxFaults + 1
+	}
+	if rates.MaxFaults > (maxAttempts-1)/2 {
+		rates.MaxFaults = (maxAttempts - 1) / 2
+	}
+	injector := faultinject.New(cfg.Seed+uint64(round)*0x9e3779b9, faultinject.Config{
+		Build:   rates,
+		Measure: rates,
+	})
+
+	srv := New(Config{
+		Scale:         cfg.scale(),
+		Workers:       cfg.Workers,
+		QueueCapacity: cfg.QueueCapacity,
+		Lease:         cfg.Lease,
+		MaxAttempts:   maxAttempts,
+		Backoff:       backoff.Policy{Base: time.Millisecond, Cap: 20 * time.Millisecond, Jitter: 0.5},
+		Breaker: jobqueue.BreakerConfig{
+			TripAfter: 3,
+			OpenFor:   20 * time.Millisecond,
+			Probes:    2,
+		},
+		Faults: injector,
+	})
+	srv.Start()
+	defer srv.Drain()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout())
+	defer cancel()
+	client := &Client{Base: "http://" + ln.Addr().String()}
+	st, err := client.SubmitWait(ctx, cfg.Spec)
+	if err != nil {
+		return err
+	}
+	if st, err = client.Wait(ctx, st.ID, 50*time.Millisecond); err != nil {
+		return err
+	}
+	if st.State != StateDone {
+		return fmt.Errorf("campaign ended %s: %s", st.State, st.Error)
+	}
+	got, err := client.Measurements(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+
+	counts := injector.Counts(faultinject.SiteBuild)
+	mcounts := injector.Counts(faultinject.SiteMeasure)
+	fmt.Fprintf(out, "round %d: %d faults (build err=%d panic=%d slow=%d spike=%d / measure err=%d panic=%d slow=%d spike=%d)",
+		round, injector.Injected(),
+		counts[faultinject.KindError], counts[faultinject.KindPanic], counts[faultinject.KindSlow], counts[faultinject.KindSpike],
+		mcounts[faultinject.KindError], mcounts[faultinject.KindPanic], mcounts[faultinject.KindSlow], mcounts[faultinject.KindSpike])
+	if !bytes.Equal(got, ref) {
+		fmt.Fprintf(out, " MISMATCH\n")
+		return fmt.Errorf("measurements diverged from the clean run (%d vs %d bytes)", len(got), len(ref))
+	}
+	fmt.Fprintf(out, " identical\n")
+	return nil
+}

@@ -1,0 +1,57 @@
+package campaignd_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"interferometry/internal/campaignd"
+	"interferometry/internal/faultinject"
+)
+
+// TestChaosSoak runs the real harness: every round spins up a full
+// service (HTTP listener, queue, breakers), batters it with error
+// bursts, panics and latency spikes, and requires the measurement export
+// to stay byte-identical to a clean single-process run.
+func TestChaosSoak(t *testing.T) {
+	var out bytes.Buffer
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:    testSpec(6),
+		Rounds:  2,
+		Seed:    0xc4a05,
+		Workers: 2,
+		Rates: faultinject.Rates{
+			Error: 0.25, Panic: 0.1,
+			Spike: 0.3, SpikeP99: 2 * time.Millisecond,
+			MaxFaults: 2,
+		},
+		Timeout: time.Minute,
+		Out:     &out,
+	})
+	t.Logf("soak output:\n%s", out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "soak PASS") {
+		t.Error("soak report missing the PASS line")
+	}
+	// The soak only proves something if faults actually fired.
+	if strings.Contains(report, "0 faults") {
+		t.Error("a soak round injected no faults")
+	}
+}
+
+// TestSoakRejectsCorruptFaults: silent measurement corruption cannot be
+// detected by the service, so the soak refuses to claim byte-identity
+// under it.
+func TestSoakRejectsCorruptFaults(t *testing.T) {
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:  testSpec(2),
+		Rates: faultinject.Rates{Corrupt: 0.5},
+	})
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("soak accepted corrupt faults: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client talks to a campaignd server. The zero value with just Base set
+// is usable; cmd/interferometry's -server mode and the chaos soak both
+// drive the service through it.
+type Client struct {
+	// Base is the server URL, e.g. "http://localhost:8347".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// RetryError reports a shed submission (429) and the server's backoff
+// hint.
+type RetryError struct {
+	After time.Duration
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("campaignd: overloaded, retry after %s", e.After)
+}
+
+func (c *Client) decodeError(resp *http.Response) error {
+	var er errorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err != nil || er.Error == "" {
+		return fmt.Errorf("campaignd: server returned %s", resp.Status)
+	}
+	return fmt.Errorf("campaignd: %s: %s", resp.Status, er.Error)
+}
+
+// Submit posts a spec. A 429 returns *RetryError carrying the server's
+// Retry-After hint; SubmitWait wraps the retry loop.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return Status{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/campaigns", bytes.NewReader(body))
+	if err != nil {
+		return Status{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return Status{}, fmt.Errorf("campaignd: bad status body: %w", err)
+		}
+		return st, nil
+	case http.StatusTooManyRequests:
+		after := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		return Status{}, &RetryError{After: after}
+	case http.StatusServiceUnavailable:
+		return Status{}, ErrDraining
+	default:
+		return Status{}, c.decodeError(resp)
+	}
+}
+
+// SubmitWait submits, honoring 429 Retry-After hints until ctx ends.
+func (c *Client) SubmitWait(ctx context.Context, spec JobSpec) (Status, error) {
+	for {
+		st, err := c.Submit(ctx, spec)
+		var re *RetryError
+		if !errors.As(err, &re) {
+			return st, err
+		}
+		select {
+		case <-ctx.Done():
+			return Status{}, context.Cause(ctx)
+		case <-time.After(re.After):
+		}
+	}
+}
+
+// Status fetches a campaign's current state.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/campaigns/"+id, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, c.decodeError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Wait polls until the campaign leaves the running state.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return Status{}, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Status{}, context.Cause(ctx)
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Result fetches the finished dataset CSV (with provenance columns).
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	return c.fetchCSV(ctx, c.Base+"/campaigns/"+id+"/result")
+}
+
+// Measurements fetches the measurement-only canonical CSV.
+func (c *Client) Measurements(ctx context.Context, id string) ([]byte, error) {
+	return c.fetchCSV(ctx, c.Base+"/campaigns/"+id+"/measurements")
+}
+
+func (c *Client) fetchCSV(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}

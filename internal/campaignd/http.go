@@ -1,0 +1,164 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"interferometry/internal/core"
+	"interferometry/internal/results"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /campaigns                  submit a JobSpec; 202 with its Status,
+//	                                 429 + Retry-After when shed, 503 when draining
+//	GET  /campaigns/{id}             campaign Status
+//	GET  /campaigns/{id}/result      finished dataset as CSV (with provenance columns);
+//	                                 202 + Retry-After while running
+//	GET  /campaigns/{id}/measurements  measurement-only canonical CSV — byte-identical
+//	                                 across faulted and clean runs of the same spec
+//	GET  /healthz                    liveness (always 200 while the process serves)
+//	GET  /readyz                     admission readiness (503 once draining)
+//	GET  /queuez                     queue, lease and breaker introspection
+//	GET  /metrics                    Prometheus metrics export
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /campaigns/{id}/measurements", s.handleMeasurements)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /queuez", s.handleQueuez)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		// Backpressure: the client should retry once leased work has
+		// completed or been reaped.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.snapshot())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.serveCSV(w, r, results.WriteDatasetCSV)
+}
+
+func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
+	s.serveCSV(w, r, results.WriteMeasurementsCSV)
+}
+
+func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.Writer, *core.Dataset) error) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
+		return
+	}
+	ds, err := c.dataset()
+	switch {
+	case errors.Is(err, errNotDone):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, c.snapshot())
+		return
+	case err != nil:
+		writeJSON(w, http.StatusConflict, c.snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if err := write(w, ds); err != nil {
+		// Headers are gone; all we can do is cut the stream short.
+		return
+	}
+}
+
+type queuezResponse struct {
+	Depth     int    `json:"depth"`
+	Leased    int    `json:"leased"`
+	Capacity  int    `json:"capacity"`
+	Campaigns int    `json:"campaigns"`
+	Draining  bool   `json:"draining"`
+	Build     string `json:"breaker_build"`
+	Measure   string `json:"breaker_measure"`
+}
+
+func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.campaigns)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, queuezResponse{
+		Depth:     s.queue.Depth(),
+		Leased:    s.queue.Leased(),
+		Capacity:  s.queue.Capacity(),
+		Campaigns: n,
+		Draining:  s.Draining(),
+		Build:     s.build.State().String(),
+		Measure:   s.measure.State().String(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil || s.cfg.Obs.Metrics == nil {
+		http.Error(w, "metrics not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.cfg.Obs.WriteMetricsPrometheus(w)
+}

@@ -1,0 +1,391 @@
+package campaignd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"interferometry/internal/core"
+	"interferometry/internal/experiments"
+	"interferometry/internal/faultinject"
+	"interferometry/internal/progen"
+)
+
+// JobSpec is the JSON body of a campaign submission. Everything that
+// influences a measurement is in the spec, so a spec resubmitted to any
+// campaignd (or run through core.RunCampaign directly) derives the same
+// seed tuples and therefore the same dataset.
+type JobSpec struct {
+	// Benchmark names a progen suite program, e.g. "429.mcf".
+	Benchmark string `json:"benchmark"`
+	// Layouts is the number of code reorderings to measure. Zero means
+	// the server scale's default.
+	Layouts int `json:"layouts,omitempty"`
+	// BaseSeed roots every derived seed. Zero means the standard
+	// campaign seed, matching cmd/interferometry -campaign.
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	// Budget is the retired-instruction budget per run. Zero means the
+	// server scale's default.
+	Budget uint64 `json:"budget,omitempty"`
+	// Priority orders jobs in the queue: lower runs sooner; equal
+	// priorities run in submission order.
+	Priority int `json:"priority,omitempty"`
+	// FailureBudget is how many layouts may fail permanently before the
+	// campaign is abandoned.
+	FailureBudget int `json:"failure_budget,omitempty"`
+	// DeadlineMS bounds the campaign's wall-clock time. The deadline
+	// propagates as a context from admission to every task; once it
+	// passes, remaining tasks are dropped and the campaign reports
+	// failed. Zero means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+func (s JobSpec) validate() error {
+	if s.Benchmark == "" {
+		return fmt.Errorf("campaignd: spec needs a benchmark")
+	}
+	if _, ok := progen.ByName(s.Benchmark); !ok {
+		return fmt.Errorf("campaignd: unknown benchmark %q", s.Benchmark)
+	}
+	if s.Layouts < 0 || s.DeadlineMS < 0 || s.FailureBudget < 0 {
+		return fmt.Errorf("campaignd: negative spec field")
+	}
+	return nil
+}
+
+// ID is the campaign's deterministic identity: a hash of every
+// measurement-relevant spec field. Identical submissions collapse onto
+// one campaign (and one checkpoint directory), which is what makes
+// resubmit-after-crash a resume instead of a duplicate.
+func (s JobSpec) ID(scale experiments.Scale) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d|%s",
+		s.Benchmark, s.effectiveLayouts(scale), s.effectiveSeed(), s.effectiveBudget(scale), scale.Name)))
+	return hex.EncodeToString(h[:6])
+}
+
+func (s JobSpec) effectiveLayouts(scale experiments.Scale) int {
+	if s.Layouts > 0 {
+		return s.Layouts
+	}
+	return scale.Layouts
+}
+
+func (s JobSpec) effectiveSeed() uint64 {
+	if s.BaseSeed != 0 {
+		return s.BaseSeed
+	}
+	return defaultBaseSeed
+}
+
+func (s JobSpec) effectiveBudget(scale experiments.Scale) uint64 {
+	if s.Budget > 0 {
+		return s.Budget
+	}
+	return scale.Budget
+}
+
+// defaultBaseSeed matches cmd/interferometry's -campaign mode, so a job
+// submitted with no seed reproduces the CLI's standalone campaigns.
+const defaultBaseSeed = 0x1f2e3d4c
+
+// campaignConfig translates a spec into the core campaign config —
+// the single place service and soak harness agree on what a spec means.
+func campaignConfig(spec JobSpec, scale experiments.Scale) (core.CampaignConfig, error) {
+	ps, ok := progen.ByName(spec.Benchmark)
+	if !ok {
+		return core.CampaignConfig{}, fmt.Errorf("campaignd: unknown benchmark %q", spec.Benchmark)
+	}
+	prog, err := progen.Generate(ps)
+	if err != nil {
+		return core.CampaignConfig{}, err
+	}
+	return core.CampaignConfig{
+		Program:   prog,
+		InputSeed: 1,
+		Budget:    spec.effectiveBudget(scale),
+		Layouts:   spec.effectiveLayouts(scale),
+		Fidelity:  scale.Fidelity,
+		BaseSeed:  spec.effectiveSeed(),
+	}, nil
+}
+
+// Campaign states.
+const (
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted" // drained mid-flight; resubmit to resume
+)
+
+// campaign is one admitted job and its accumulating results.
+type campaign struct {
+	id      string
+	spec    JobSpec
+	runner  *core.LayoutRunner
+	sink    *core.CheckpointSink
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	stopTimer context.CancelFunc // releases the deadline timer, if any
+	created   time.Time
+
+	mu        sync.Mutex
+	state     string
+	obs       []core.Observation
+	done      map[int]bool
+	attempts  map[int]int // failed executions per layout
+	failures  []core.LayoutFailure
+	restored  int
+	completed int
+	failed    int
+	remaining int
+	ds        *core.Dataset
+	err       error
+	finished  chan struct{}
+}
+
+// newCampaign admits a spec: derives the campaign config, prepares the
+// runner's shared state, and opens (or resumes) the checkpoint. The
+// returned pending slice lists the layout indices still to measure.
+func newCampaign(parent context.Context, spec JobSpec, scale experiments.Scale, workers int, checkpointRoot string, faults *faultinject.Injector, now time.Time) (*campaign, []int, error) {
+	cfg, err := campaignConfig(spec, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Faults = faults
+	id := spec.ID(scale)
+
+	var sink *core.CheckpointSink
+	restored := map[int]core.Observation{}
+	if checkpointRoot != "" {
+		dir := filepath.Join(checkpointRoot, id)
+		ccfg := cfg
+		ccfg.Checkpoint = core.CheckpointConfig{Dir: dir}
+		if _, statErr := os.Stat(filepath.Join(dir, "observations.jsonl")); statErr == nil {
+			ccfg.Checkpoint.Resume = true
+		}
+		sink, err = core.OpenCheckpointSink(ccfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("campaignd: checkpoint for %s: %w", id, err)
+		}
+		restored = sink.Restored()
+	}
+
+	ctx, cancel := context.WithCancelCause(parent)
+	stopTimer := context.CancelFunc(func() {})
+	if spec.DeadlineMS > 0 {
+		ctx, stopTimer = context.WithDeadline(ctx, now.Add(time.Duration(spec.DeadlineMS)*time.Millisecond))
+	}
+	runner, err := core.NewLayoutRunner(cfg, workers)
+	if err != nil {
+		cancel(err)
+		stopTimer()
+		return nil, nil, err
+	}
+
+	c := &campaign{
+		id:        id,
+		spec:      spec,
+		runner:    runner,
+		sink:      sink,
+		ctx:       ctx,
+		cancel:    cancel,
+		stopTimer: stopTimer,
+		created:   now,
+		state:     StateRunning,
+		obs:       make([]core.Observation, cfg.Layouts),
+		done:      make(map[int]bool, cfg.Layouts),
+		attempts:  make(map[int]int),
+		restored:  len(restored),
+		completed: len(restored),
+		remaining: cfg.Layouts,
+		finished:  make(chan struct{}),
+	}
+	var pending []int
+	for i := 0; i < cfg.Layouts; i++ {
+		if o, ok := restored[i]; ok {
+			c.obs[i] = o
+			c.done[i] = true
+			c.remaining--
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if c.remaining == 0 {
+		c.mu.Lock()
+		c.finalizeLocked()
+		c.mu.Unlock()
+	}
+	return c, pending, nil
+}
+
+// complete records one successful observation. Idempotent: duplicate
+// executions (an expired lease redone elsewhere) are byte-identical by
+// determinism, and only the first recording counts.
+func (c *campaign) complete(i int, o core.Observation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateRunning || c.done[i] {
+		return
+	}
+	c.done[i] = true
+	c.obs[i] = o
+	c.completed++
+	c.remaining--
+	if c.sink != nil {
+		c.sink.Put(i, o)
+	}
+	if c.remaining == 0 {
+		c.finalizeLocked()
+	}
+}
+
+// recordFailure counts one failed execution of layout i and reports the
+// total so far. Breaker denials never reach here: they requeue without
+// executing, so they cost no attempt.
+func (c *campaign) recordFailure(i int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts[i]++
+	return c.attempts[i]
+}
+
+func (c *campaign) attemptsOf(i int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts[i]
+}
+
+// failLayout records a permanent per-layout failure after exhausted
+// attempts. The campaign survives while failures stay within the spec's
+// budget; one more abandons it.
+func (c *campaign) failLayout(i, attempts int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateRunning || c.done[i] {
+		return
+	}
+	c.done[i] = true
+	c.obs[i] = c.runner.FailedObservation(i, attempts)
+	c.failures = append(c.failures, core.LayoutFailure{
+		Index: i, LayoutSeed: c.obs[i].LayoutSeed, Err: err.Error(),
+	})
+	c.failed++
+	c.remaining--
+	if c.failed > c.spec.FailureBudget {
+		c.failLocked(fmt.Errorf("campaignd: layout %d failed after %d attempts (budget %d): %w",
+			i, attempts, c.spec.FailureBudget, err))
+		return
+	}
+	if c.remaining == 0 {
+		c.finalizeLocked()
+	}
+}
+
+// abort fails the whole campaign (deadline exceeded, drain, operator
+// cancel). Remaining queued tasks see the canceled context and drop.
+func (c *campaign) abort(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateRunning {
+		return
+	}
+	c.failLocked(err)
+}
+
+// interrupt marks a draining campaign: completed observations are
+// flushed to the checkpoint and the rest resumes on resubmission.
+func (c *campaign) interrupt() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateRunning {
+		return
+	}
+	c.state = StateInterrupted
+	c.err = fmt.Errorf("campaignd: drained with %d layouts unmeasured; resubmit to resume", c.remaining)
+	c.closeLocked()
+}
+
+func (c *campaign) failLocked(err error) {
+	c.state = StateFailed
+	c.err = err
+	c.closeLocked()
+}
+
+func (c *campaign) finalizeLocked() {
+	ds, err := c.runner.Dataset(c.obs, c.failures)
+	if err != nil {
+		c.failLocked(err)
+		return
+	}
+	c.ds = ds
+	c.state = StateDone
+	c.closeLocked()
+}
+
+// closeLocked flushes the checkpoint, cancels the task context and
+// releases waiters. Sink write errors degrade a done campaign to failed
+// — a checkpoint that lies is worse than none.
+func (c *campaign) closeLocked() {
+	if c.sink != nil {
+		if err := c.sink.Close(); err != nil && c.state == StateDone {
+			c.state = StateFailed
+			c.err = fmt.Errorf("campaignd: checkpoint flush: %w", err)
+		}
+		c.sink = nil
+	}
+	c.cancel(c.err)
+	c.stopTimer()
+	close(c.finished)
+}
+
+// snapshot returns the campaign's externally visible status.
+func (c *campaign) snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		ID:        c.id,
+		Benchmark: c.spec.Benchmark,
+		State:     c.state,
+		Layouts:   len(c.obs),
+		Completed: c.completed,
+		Failed:    c.failed,
+		Restored:  c.restored,
+	}
+	if c.err != nil {
+		st.Error = c.err.Error()
+	}
+	return st
+}
+
+// dataset returns the final dataset once the campaign is done.
+func (c *campaign) dataset() (*core.Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case StateDone:
+		return c.ds, nil
+	case StateRunning:
+		return nil, errNotDone
+	default:
+		return nil, c.err
+	}
+}
+
+var errNotDone = fmt.Errorf("campaignd: campaign still running")
+
+// Status is the JSON shape of a campaign's state.
+type Status struct {
+	ID        string `json:"id"`
+	Benchmark string `json:"benchmark"`
+	State     string `json:"state"`
+	Layouts   int    `json:"layouts"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Restored  int    `json:"restored,omitempty"`
+	Error     string `json:"error,omitempty"`
+}

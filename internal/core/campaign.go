@@ -27,6 +27,7 @@ import (
 	"interferometry/internal/heap"
 	"interferometry/internal/interp"
 	"interferometry/internal/isa"
+	"interferometry/internal/jobqueue/backoff"
 	"interferometry/internal/machine"
 	"interferometry/internal/obs"
 	"interferometry/internal/pmc"
@@ -89,6 +90,14 @@ type CampaignConfig struct {
 	// the same seeds, so a retry that succeeds is bit-identical to a
 	// first-attempt success. Zero means 2 (one retry).
 	MaxAttempts int
+
+	// Backoff spaces retry attempts for one layout: attempt a+1 starts
+	// Backoff.Delay(a, BaseSeed, layoutSeed) after attempt a failed,
+	// with deterministic seeded jitter. The zero value retries
+	// immediately, the historic behavior. campaignd shares the same
+	// policy type for its queue-level requeue delays, so in-process and
+	// service campaigns space retries identically.
+	Backoff backoff.Policy
 
 	// FailureBudget is how many layouts may fail permanently (after
 	// retries) before the sweep aborts. Within the budget the campaign
@@ -273,6 +282,37 @@ type measureSeam interface {
 	Measure(spec machine.RunSpec) (pmc.Measurement, error)
 }
 
+// newSeams prepares the campaign's two measurement seams: one compile
+// shared by every layout and worker (only Reorder+Link depend on the
+// layout seed) and one counter harness per worker slot, both wrapped by
+// the fault injector when one is configured.
+func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam) {
+	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
+	builder.Observe(builderMetrics(cfg.Obs))
+	var build buildSeam = builder
+	if cfg.Faults != nil {
+		cfg.Faults.Observe(cfg.Obs)
+		build = cfg.Faults.WrapBuilder(builder)
+	}
+	mcfg := cfg.machineConfig()
+	hmetrics := harnessMetrics(cfg.Obs)
+	measurers := make([]measureSeam, workers)
+	for w := range measurers {
+		h := &pmc.Harness{
+			Machine:      machine.New(mcfg),
+			Fidelity:     cfg.Fidelity,
+			RunsPerGroup: cfg.RunsPerGroup,
+			Metrics:      hmetrics,
+		}
+		if cfg.Faults != nil {
+			measurers[w] = cfg.Faults.WrapMeasurer(h)
+		} else {
+			measurers[w] = h
+		}
+	}
+	return build, measurers
+}
+
 // RunCampaign executes the campaign under the supervisor: one trace,
 // Layouts executables, one measurement each, with retries, failure
 // budget, outlier screening and checkpointing per the config.
@@ -312,32 +352,8 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 		co.o.Prog().AddTotal(cfg.Layouts)
 	}
 
-	// One compile shared by every layout and worker: only Reorder+Link
-	// depend on the layout seed.
-	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
-	builder.Observe(builderMetrics(cfg.Obs))
-	var build buildSeam = builder
-	if cfg.Faults != nil {
-		cfg.Faults.Observe(cfg.Obs)
-		build = cfg.Faults.WrapBuilder(builder)
-	}
 	workers := normalizeWorkers(cfg.Workers, cfg.Layouts)
-	mcfg := cfg.machineConfig()
-	hmetrics := harnessMetrics(cfg.Obs)
-	measurers := make([]measureSeam, workers)
-	for w := range measurers {
-		h := &pmc.Harness{
-			Machine:      machine.New(mcfg),
-			Fidelity:     cfg.Fidelity,
-			RunsPerGroup: cfg.RunsPerGroup,
-			Metrics:      hmetrics,
-		}
-		if cfg.Faults != nil {
-			measurers[w] = cfg.Faults.WrapMeasurer(h)
-		} else {
-			measurers[w] = h
-		}
-	}
+	build, measurers := newSeams(&cfg, workers)
 
 	// Checkpoint: load completed observations on resume, then persist
 	// every newly completed one.
@@ -452,8 +468,18 @@ func measureLayout(cfg *CampaignConfig, co *campaignObs, meas measureSeam, build
 			return obs, nil
 		}
 		lastErr = err
-		if co != nil && a < attempts-1 {
-			co.o.Prog().Retry()
+		if a < attempts-1 {
+			if co != nil {
+				co.o.Prog().Retry()
+			}
+			// Space the next attempt per the campaign's backoff policy
+			// (zero policy: no delay, no cancellation point). The jitter
+			// keys off the layout seed, so a resumed or replayed
+			// campaign backs off by identical amounts.
+			if serr := cfg.Backoff.Sleep(cfg.context(), a+1, cfg.BaseSeed, cfg.layoutSeed(i)); serr != nil {
+				layoutStage.end()
+				return Observation{}, fmt.Errorf("core: layout %d: retry backoff interrupted: %w", i, serr)
+			}
 		}
 	}
 	layoutStage.end()
@@ -461,29 +487,52 @@ func measureLayout(cfg *CampaignConfig, co *campaignObs, meas measureSeam, build
 }
 
 func measureLayoutOnce(cfg *CampaignConfig, co *campaignObs, meas measureSeam, build buildSeam, trace *interp.Trace, i, w int) (Observation, error) {
-	var layID uint64
 	if co != nil {
 		co.attempts.Inc()
+	}
+	exe, err := buildLayout(cfg, co, build, i, w)
+	if err != nil {
+		return Observation{}, err
+	}
+	return measureBuilt(cfg, co, meas, trace, exe, i, w)
+}
+
+// buildLayout is one attempt through the build seam: reorder+link for
+// layout i plus the executable integrity check that catches silent
+// corruption before it can be measured.
+func buildLayout(cfg *CampaignConfig, co *campaignObs, build buildSeam, i, w int) (*toolchain.Executable, error) {
+	var layID uint64
+	if co != nil {
+		layID = co.layoutID(cfg, i)
+	}
+	st := co.stageStart("compile", layID, tagCompile, w)
+	defer st.end()
+	exe, err := build.Build(cfg.layoutSeed(i))
+	if err != nil {
+		return nil, fmt.Errorf("core: layout %d: %w", i, err)
+	}
+	if err := toolchain.CheckExecutable(exe, cfg.FirstLayout+i); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return exe, nil
+}
+
+// measureBuilt is one attempt through the measure seam: the counter
+// harness run plus the plausibility check on its readings. The heap and
+// noise seeds are re-derived from the config, so any executable built
+// for layout i measures identically wherever and whenever it runs.
+func measureBuilt(cfg *CampaignConfig, co *campaignObs, meas measureSeam, trace *interp.Trace, exe *toolchain.Executable, i, w int) (Observation, error) {
+	var layID uint64
+	if co != nil {
 		layID = co.layoutID(cfg, i)
 	}
 	seed := cfg.layoutSeed(i)
-	st := co.stageStart("compile", layID, tagCompile, w)
-	exe, err := build.Build(seed)
-	if err != nil {
-		st.end()
-		return Observation{}, fmt.Errorf("core: layout %d: %w", i, err)
-	}
-	if err := toolchain.CheckExecutable(exe, cfg.FirstLayout+i); err != nil {
-		st.end()
-		return Observation{}, fmt.Errorf("core: %w", err)
-	}
-	st.end()
 	hs := uint64(0)
 	if cfg.HeapMode == heap.ModeRandomized {
 		hs = cfg.heapSeed(i)
 	}
 	ns := cfg.noiseSeed(i)
-	st = co.stageStart("run", layID, tagRun, w)
+	st := co.stageStart("run", layID, tagRun, w)
 	m, err := meas.Measure(machine.RunSpec{
 		Exe:       exe,
 		Trace:     trace,

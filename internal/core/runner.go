@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/toolchain"
+)
+
+// LayoutRunner exposes the campaign's per-layout pipeline to external
+// schedulers — campaignd leases layout indices from its job queue and
+// drives them through here. The shared work (trace interpretation, the
+// one compile every layout reorders) happens once in NewLayoutRunner;
+// after that any layout index can be built and measured independently on
+// any worker slot, in any order, any number of times, and always yields
+// the same observation: every per-layout input is re-derived from the
+// campaign config, never from scheduler state.
+//
+// The build and measure seams are exposed separately (instead of one
+// measure-layout call) so a scheduler can wrap each in its own circuit
+// breaker and attribute failures to the seam that caused them. Fault
+// injection, when configured, is already inside both seams.
+type LayoutRunner struct {
+	cfg   CampaignConfig
+	co    *campaignObs
+	trace *interp.Trace
+	build buildSeam
+	meas  []measureSeam
+}
+
+// NewLayoutRunner validates the config, interprets the trace and
+// prepares the shared compile plus one measurement harness per worker
+// slot (workers <= 0 means 1).
+func NewLayoutRunner(cfg CampaignConfig, workers int) (*LayoutRunner, error) {
+	if cfg.Program == nil {
+		return nil, errors.New("core: campaign needs a program")
+	}
+	if cfg.Layouts <= 0 {
+		return nil, errors.New("core: campaign needs at least one layout")
+	}
+	if cfg.Budget == 0 && cfg.Limiter.StopCount == 0 {
+		return nil, errors.New("core: campaign needs a budget or limiter")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	trace, err := interp.Run(cfg.Program, cfg.InputSeed, cfg.stopRule())
+	if err != nil {
+		return nil, fmt.Errorf("core: trace generation failed: %w", err)
+	}
+	build, meas := newSeams(&cfg, workers)
+	return &LayoutRunner{
+		cfg:   cfg,
+		co:    newCampaignObs(&cfg),
+		trace: trace,
+		build: build,
+		meas:  meas,
+	}, nil
+}
+
+// Layouts returns the campaign's layout count.
+func (r *LayoutRunner) Layouts() int { return r.cfg.Layouts }
+
+// Workers returns the number of worker slots.
+func (r *LayoutRunner) Workers() int { return len(r.meas) }
+
+// BuildLayout runs one attempt through the build seam for layout i:
+// reorder+link plus the executable integrity check. Panics from the
+// seam (injected or real) propagate; callers run under Guard.
+func (r *LayoutRunner) BuildLayout(i int) (*toolchain.Executable, error) {
+	if err := r.checkIndex(i); err != nil {
+		return nil, err
+	}
+	if r.co != nil {
+		r.co.attempts.Inc()
+	}
+	return buildLayout(&r.cfg, r.co, r.build, i, 0)
+}
+
+// MeasureLayout runs one attempt through the measure seam on worker
+// slot w (two concurrent calls must use distinct slots): the counter
+// harness plus the plausibility check.
+func (r *LayoutRunner) MeasureLayout(w, i int, exe *toolchain.Executable) (Observation, error) {
+	if err := r.checkIndex(i); err != nil {
+		return Observation{}, err
+	}
+	if w < 0 || w >= len(r.meas) {
+		return Observation{}, fmt.Errorf("core: worker slot %d outside [0,%d)", w, len(r.meas))
+	}
+	return measureBuilt(&r.cfg, r.co, r.meas[w], r.trace, exe, i, w)
+}
+
+func (r *LayoutRunner) checkIndex(i int) error {
+	if i < 0 || i >= r.cfg.Layouts {
+		return fmt.Errorf("core: layout index %d outside campaign [0,%d)", i, r.cfg.Layouts)
+	}
+	return nil
+}
+
+// CompletedObservation stamps retry provenance onto a successful
+// observation the way the in-process supervisor does: Attempts is the
+// number of executions the layout took, and any retry marks the status.
+// Schedulers track attempts themselves, so the stamp is explicit here
+// rather than buried in a retry loop they don't use.
+func CompletedObservation(o Observation, attempts int) Observation {
+	o.Attempts = attempts
+	if attempts > 1 {
+		o.Status = StatusRetried
+	}
+	return o
+}
+
+// FailedObservation is the observation recorded for a layout that
+// exhausted its attempts: the derived seeds with zero counters and
+// StatusFailed, exactly what the in-process supervisor records.
+func (r *LayoutRunner) FailedObservation(i, attempts int) Observation {
+	o := Observation{LayoutSeed: r.cfg.layoutSeed(i), Status: StatusFailed, Attempts: attempts}
+	if r.cfg.HeapMode == heap.ModeRandomized {
+		o.HeapSeed = r.cfg.heapSeed(i)
+	}
+	return o
+}
+
+// Dataset assembles the campaign dataset from per-layout observations
+// (indexed by layout, one per configured layout) and the permanent
+// failures. The result is interchangeable with RunCampaign's: same
+// config, same trace, same observation order.
+func (r *LayoutRunner) Dataset(observations []Observation, failures []LayoutFailure) (*Dataset, error) {
+	if len(observations) != r.cfg.Layouts {
+		return nil, fmt.Errorf("core: %d observations for a %d-layout campaign", len(observations), r.cfg.Layouts)
+	}
+	ds := &Dataset{
+		Benchmark: r.cfg.Program.Name,
+		Config:    r.cfg,
+		Trace:     r.trace,
+		Obs:       append([]Observation(nil), observations...),
+	}
+	ds.Failures = append([]LayoutFailure(nil), failures...)
+	sort.Slice(ds.Failures, func(a, b int) bool { return ds.Failures[a].Index < ds.Failures[b].Index })
+	return ds, nil
+}
+
+// Guard runs fn, converting a panic into a *PanicError — the same
+// conversion the in-process supervisor applies, so an injected panic in
+// a seam is one more retriable task failure instead of a dead process.
+func Guard(fn func() error) error {
+	return runGuarded(func(int, int) error { return fn() }, 0, 0)
+}
+
+// CheckpointSink exposes the campaign checkpoint machinery to external
+// schedulers: the same directory layout, header validation and
+// atomic-rename durability as RunCampaign's Checkpoint config, so a
+// campaign interrupted under campaignd resumes under cmd/interferometry
+// and vice versa.
+type CheckpointSink struct {
+	w        *checkpointWriter
+	restored map[int]Observation
+}
+
+// OpenCheckpointSink prepares cfg.Checkpoint.Dir and, when
+// cfg.Checkpoint.Resume is set, loads previously completed observations
+// (failed records are not restored: a resume retries them).
+func OpenCheckpointSink(cfg CampaignConfig) (*CheckpointSink, error) {
+	if cfg.Checkpoint.Dir == "" {
+		return nil, errors.New("core: checkpoint sink needs a directory")
+	}
+	w, loaded, err := openCheckpoint(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointSink{w: w, restored: loaded}, nil
+}
+
+// Restored returns the observations loaded on resume, keyed by
+// campaign-local layout index.
+func (s *CheckpointSink) Restored() map[int]Observation {
+	return s.restored
+}
+
+// Put persists one completed observation. Safe for concurrent use;
+// write failures surface at Close.
+func (s *CheckpointSink) Put(i int, o Observation) {
+	s.w.put(i, o)
+}
+
+// Close surfaces the first deferred write error.
+func (s *CheckpointSink) Close() error {
+	return s.w.close()
+}

@@ -18,6 +18,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -72,6 +73,11 @@ const (
 	KindCorrupt
 	// KindSlow delays the call by Rates.SlowDelay, then lets it through.
 	KindSlow
+	// KindSpike delays the call by a seeded exponential draw calibrated
+	// so its 99th percentile is Rates.SpikeP99, then lets it through —
+	// the tail-latency fault that circuit breakers with slow-call
+	// thresholds exist to catch.
+	KindSpike
 	numKinds
 )
 
@@ -87,6 +93,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindSlow:
 		return "slow"
+	case KindSpike:
+		return "spike"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -94,14 +102,20 @@ func (k Kind) String() string {
 
 // Rates configures per-call fault probabilities for one site. The
 // probabilities are evaluated cumulatively (Error first, then Panic,
-// Corrupt, Slow), so their sum must be <= 1.
+// Corrupt, Slow, Spike), so their sum must be <= 1.
 type Rates struct {
 	Error   float64
 	Panic   float64
 	Corrupt float64
 	Slow    float64
+	Spike   float64
 	// SlowDelay is the latency of a KindSlow fault. Zero means 1ms.
 	SlowDelay time.Duration
+	// SpikeP99 calibrates KindSpike: delays are drawn from a seeded
+	// exponential distribution whose 99th percentile is SpikeP99, so
+	// most spikes are mild and a deterministic few are the tail events
+	// that trip a breaker's slow-call threshold. Zero means 10ms.
+	SpikeP99 time.Duration
 	// MaxFaults bounds how many calls for the same (site, key) may fault
 	// before the injector lets every later call through, so a caller with
 	// MaxFaults+1 attempts always eventually succeeds. Zero means 1.
@@ -113,6 +127,13 @@ func (r Rates) maxFaults() int {
 		return 1
 	}
 	return r.MaxFaults
+}
+
+func (r Rates) spikeP99() time.Duration {
+	if r.SpikeP99 <= 0 {
+		return 10 * time.Millisecond
+	}
+	return r.SpikeP99
 }
 
 // Config sets the per-site rates of an injector.
@@ -200,12 +221,14 @@ func (in *Injector) rates(site Site) Rates {
 	return in.cfg.Measure
 }
 
-// decide draws the fault for the next call at (site, key). The attempt
-// number is the count of prior calls for that pair, so the decision
-// sequence per key is stable under any goroutine interleaving as long as
-// calls for one key are not concurrent with each other (the supervisor
-// measures each layout on a single worker at a time).
-func (in *Injector) decide(site Site, key uint64) Kind {
+// decide draws the fault for the next call at (site, key), returning
+// the kind and the call's attempt number (kind-specific draws, like the
+// spike duration, key off it). The attempt number is the count of prior
+// calls for that pair, so the decision sequence per key is stable under
+// any goroutine interleaving as long as calls for one key are not
+// concurrent with each other (the supervisor measures each layout on a
+// single worker at a time).
+func (in *Injector) decide(site Site, key uint64) (Kind, uint64) {
 	r := in.rates(site)
 	in.mu.Lock()
 	ak := attemptKey{site, key}
@@ -213,7 +236,7 @@ func (in *Injector) decide(site Site, key uint64) Kind {
 	in.attempts[ak] = attempt + 1
 	in.mu.Unlock()
 	if attempt >= uint64(r.maxFaults()) {
-		return KindNone
+		return KindNone, attempt
 	}
 	p := xrand.New(xrand.Mix(in.seed, 0xfa017+uint64(site), key, attempt)).Float64()
 	kind := KindNone
@@ -226,6 +249,8 @@ func (in *Injector) decide(site Site, key uint64) Kind {
 		kind = KindCorrupt
 	case p < r.Error+r.Panic+r.Corrupt+r.Slow:
 		kind = KindSlow
+	case p < r.Error+r.Panic+r.Corrupt+r.Slow+r.Spike:
+		kind = KindSpike
 	}
 	if kind != KindNone {
 		in.mu.Lock()
@@ -235,7 +260,7 @@ func (in *Injector) decide(site Site, key uint64) Kind {
 		c.Inc()
 		total.Inc()
 	}
-	return kind
+	return kind, attempt
 }
 
 func (in *Injector) sleep(site Site) {
@@ -244,6 +269,29 @@ func (in *Injector) sleep(site Site) {
 		d = time.Millisecond
 	}
 	time.Sleep(d)
+}
+
+// SpikeDelay returns the deterministic latency of the KindSpike fault at
+// (site, key, attempt): an inverse-CDF exponential draw scaled so that
+// P(delay <= SpikeP99) = 0.99. The draw is a pure function of the
+// injector seed and the call coordinates, so a replayed campaign spikes
+// by exactly the same amounts in exactly the same places.
+func (in *Injector) SpikeDelay(site Site, key, attempt uint64) time.Duration {
+	p99 := in.rates(site).spikeP99()
+	u := xrand.New(xrand.Mix(in.seed, 0x5b1ce+uint64(site), key, attempt)).Float64()
+	// Exponential quantile: -ln(1-u)/λ with λ chosen so q(0.99) = p99.
+	d := time.Duration(-math.Log1p(-u) / math.Ln10 / 2 * float64(p99))
+	// Clamp the unbounded tail at 4×p99 so one unlucky draw cannot stall
+	// a worker past any realistic lease; the clamp is itself
+	// deterministic, so replays still agree.
+	if max := 4 * p99; d > max {
+		d = max
+	}
+	return d
+}
+
+func (in *Injector) spike(site Site, key, attempt uint64) {
+	time.Sleep(in.SpikeDelay(site, key, attempt))
 }
 
 // Builder is the narrow build seam: toolchain.Builder satisfies it.
@@ -274,13 +322,16 @@ type faultyBuilder struct {
 }
 
 func (f *faultyBuilder) Build(seed uint64) (*toolchain.Executable, error) {
-	switch f.in.decide(SiteBuild, seed) {
+	kind, attempt := f.in.decide(SiteBuild, seed)
+	switch kind {
 	case KindError:
 		return nil, fmt.Errorf("%w: build for layout seed %#x", ErrInjected, seed)
 	case KindPanic:
 		panic(fmt.Sprintf("faultinject: build panic for layout seed %#x", seed))
 	case KindSlow:
 		f.in.sleep(SiteBuild)
+	case KindSpike:
+		f.in.spike(SiteBuild, seed, attempt)
 	case KindCorrupt:
 		exe, err := f.b.Build(seed)
 		if err != nil {
@@ -314,13 +365,16 @@ func (f *faultyMeasurer) Measure(spec machine.RunSpec) (pmc.Measurement, error) 
 	if spec.Exe != nil {
 		key = spec.Exe.Seed
 	}
-	switch f.in.decide(SiteMeasure, key) {
+	kind, attempt := f.in.decide(SiteMeasure, key)
+	switch kind {
 	case KindError:
 		return pmc.Measurement{}, fmt.Errorf("%w: measurement for layout seed %#x", ErrInjected, key)
 	case KindPanic:
 		panic(fmt.Sprintf("faultinject: measurement panic for layout seed %#x", key))
 	case KindSlow:
 		f.in.sleep(SiteMeasure)
+	case KindSpike:
+		f.in.spike(SiteMeasure, key, attempt)
 	case KindCorrupt:
 		m, err := f.m.Measure(spec)
 		if err != nil {

@@ -191,6 +191,58 @@ func TestSlowDelaysButSucceeds(t *testing.T) {
 	}
 }
 
+// TestSpikeDelaysDeterministically: the latency-spike fault delays the
+// call by a seeded exponential draw, so the same (seed, site, key,
+// attempt) always spikes by the same amount and the distribution's tail
+// is calibrated by SpikeP99.
+func TestSpikeDelaysDeterministically(t *testing.T) {
+	p99 := 20 * time.Millisecond
+	in := faultinject.New(5, faultinject.Config{Measure: faultinject.Rates{
+		Spike: 1, SpikeP99: p99,
+	}})
+	in2 := faultinject.New(5, faultinject.Config{Measure: faultinject.Rates{
+		Spike: 1, SpikeP99: p99,
+	}})
+	over, n := 0, 2000
+	for key := uint64(1); key <= uint64(n); key++ {
+		d := in.SpikeDelay(faultinject.SiteMeasure, key, 0)
+		if d2 := in2.SpikeDelay(faultinject.SiteMeasure, key, 0); d2 != d {
+			t.Fatalf("key %d: same seed drew %v then %v", key, d, d2)
+		}
+		if d < 0 || d > 4*p99 {
+			t.Fatalf("key %d: spike %v outside [0, 4×p99]", key, d)
+		}
+		if d > p99 {
+			over++
+		}
+	}
+	// ~1% of draws should exceed the p99 calibration point.
+	if over < n/400 || over > n/25 {
+		t.Errorf("%d of %d spikes exceeded p99; want about %d", over, n, n/100)
+	}
+	if dflt := faultinject.New(9, faultinject.Config{}).SpikeDelay(faultinject.SiteBuild, 1, 0); dflt < 0 || dflt > 40*time.Millisecond {
+		t.Errorf("zero-config spike delay %v outside the 10ms-p99 default envelope", dflt)
+	}
+}
+
+func TestSpikeSleepsButSucceeds(t *testing.T) {
+	in := faultinject.New(7, faultinject.Config{Measure: faultinject.Rates{
+		Spike: 1, SpikeP99: 5 * time.Millisecond,
+	}})
+	m := in.WrapMeasurer(&stubMeasurer{})
+	want := in.SpikeDelay(faultinject.SiteMeasure, 1, 0)
+	start := time.Now()
+	if _, err := m.Measure(measureSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < want {
+		t.Errorf("spiked call returned in %v, spike was %v", d, want)
+	}
+	if got := in.Counts(faultinject.SiteMeasure)[faultinject.KindSpike]; got != 1 {
+		t.Errorf("KindSpike count = %d", got)
+	}
+}
+
 func TestPanicKind(t *testing.T) {
 	in := faultinject.New(5, faultinject.Config{Build: faultinject.Rates{Panic: 1}})
 	builder := toolchain.NewBuilder(testprog.Counting(5), toolchain.CompileConfig{}, toolchain.LinkConfig{})
@@ -219,6 +271,7 @@ func TestStrings(t *testing.T) {
 		{faultinject.KindPanic, "panic"},
 		{faultinject.KindCorrupt, "corrupt"},
 		{faultinject.KindSlow, "slow"},
+		{faultinject.KindSpike, "spike"},
 		{faultinject.KindNone, "none"},
 	} {
 		if got := tc.s.String(); got != tc.want {

@@ -1,0 +1,101 @@
+// Package backoff computes retry delays: exponential growth from a base
+// delay, capped, with deterministic seeded jitter. It is shared by the
+// campaign supervisor's in-process retry loop and campaignd's task
+// requeue path, so both sides of the system space retries identically.
+//
+// Determinism matters here for the same reason it matters everywhere
+// else in the pipeline: a retry schedule derived from (policy, seed
+// tuple, attempt) is reproducible run to run, so a chaos soak that
+// exercises the retry path still converges to a bit-identical dataset
+// and a flaky-looking delay can always be replayed.
+package backoff
+
+import (
+	"context"
+	"time"
+
+	"interferometry/internal/xrand"
+)
+
+// Policy describes an exponential backoff schedule. The zero value is
+// the "retry immediately" policy: every delay is zero, and Sleep returns
+// without touching a timer — exactly the supervisor's historic behavior.
+type Policy struct {
+	// Base is the delay before the first retry (attempt 1). Zero
+	// disables backoff entirely.
+	Base time.Duration
+	// Cap bounds the grown delay. Zero means no cap.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier. Values below 1 are
+	// treated as the default 2.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized, in
+	// [0, 1]: the delay becomes d*(1-Jitter) + u*d*Jitter with u drawn
+	// deterministically from the seed tuple and attempt. Zero means no
+	// jitter. Values outside [0, 1] are clamped.
+	Jitter float64
+}
+
+// Delay returns the delay before retry number attempt (1-based; attempt
+// 0 and negative return 0). The jitter draw is a pure function of
+// (seeds, attempt), so identical seed tuples reproduce identical
+// schedules whatever goroutine asks.
+func (p Policy) Delay(attempt int, seeds ...uint64) time.Duration {
+	if p.Base <= 0 || attempt <= 0 {
+		return 0
+	}
+	factor := p.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if p.Cap > 0 && d >= float64(p.Cap) {
+			d = float64(p.Cap)
+			break
+		}
+	}
+	if p.Cap > 0 && d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if j := p.jitter(); j > 0 {
+		key := make([]uint64, 0, len(seeds)+2)
+		key = append(key, 0x6261636b6f6666) // "backoff"
+		key = append(key, seeds...)
+		key = append(key, uint64(attempt))
+		u := xrand.New(xrand.Mix(key...)).Float64()
+		d = d*(1-j) + u*d*j
+	}
+	return time.Duration(d)
+}
+
+func (p Policy) jitter() float64 {
+	switch {
+	case p.Jitter < 0:
+		return 0
+	case p.Jitter > 1:
+		return 1
+	default:
+		return p.Jitter
+	}
+}
+
+// Sleep blocks for Delay(attempt, seeds...) or until ctx is done,
+// returning ctx's cause in that case. A zero delay returns immediately
+// without consulting the context, so the zero Policy adds no overhead
+// and no cancellation point to the historic retry loop.
+func (p Policy) Sleep(ctx context.Context, attempt int, seeds ...uint64) error {
+	d := p.Delay(attempt, seeds...)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}

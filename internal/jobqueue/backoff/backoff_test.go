@@ -1,0 +1,79 @@
+package backoff_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"interferometry/internal/jobqueue/backoff"
+)
+
+func TestZeroPolicyIsImmediate(t *testing.T) {
+	var p backoff.Policy
+	for a := 0; a < 5; a++ {
+		if d := p.Delay(a, 1, 2); d != 0 {
+			t.Fatalf("zero policy attempt %d: delay %v, want 0", a, d)
+		}
+	}
+	// Sleep on the zero policy must not consult the context: even a
+	// canceled one returns nil.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Sleep(ctx, 3, 7); err != nil {
+		t.Fatalf("zero policy Sleep: %v", err)
+	}
+}
+
+func TestExponentialGrowthAndCap(t *testing.T) {
+	p := backoff.Policy{Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond}
+	want := []time.Duration{0, 10, 20, 40, 50, 50}
+	for a, w := range want {
+		if d := p.Delay(a); d != w*time.Millisecond {
+			t.Errorf("attempt %d: delay %v, want %v", a, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestCustomFactor(t *testing.T) {
+	p := backoff.Policy{Base: time.Millisecond, Factor: 3}
+	if d := p.Delay(3); d != 9*time.Millisecond {
+		t.Fatalf("factor-3 attempt 3: %v, want 9ms", d)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	p := backoff.Policy{Base: 10 * time.Millisecond, Jitter: 0.5}
+	d1 := p.Delay(2, 0xabc, 7)
+	d2 := p.Delay(2, 0xabc, 7)
+	if d1 != d2 {
+		t.Fatalf("same seed tuple produced different delays: %v vs %v", d1, d2)
+	}
+	// A 20ms grown delay with jitter 0.5 lands in [10ms, 20ms).
+	if d1 < 10*time.Millisecond || d1 >= 20*time.Millisecond {
+		t.Fatalf("jittered delay %v outside [10ms, 20ms)", d1)
+	}
+	if d3 := p.Delay(2, 0xabc, 8); d3 == d1 {
+		t.Fatalf("different seed tuple reproduced the same jitter draw %v", d3)
+	}
+	if d4 := p.Delay(3, 0xabc, 7); d4 == d1 {
+		t.Fatalf("different attempt reproduced the same delay %v", d4)
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	p := backoff.Policy{Base: time.Hour}
+	cause := errors.New("drained")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if err := p.Sleep(ctx, 1, 42); !errors.Is(err, cause) {
+		t.Fatalf("Sleep under canceled ctx: %v, want %v", err, cause)
+	}
+}
+
+func TestSleepReturnsAfterDelay(t *testing.T) {
+	p := backoff.Policy{Base: time.Millisecond}
+	if err := p.Sleep(context.Background(), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

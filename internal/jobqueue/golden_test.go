@@ -1,0 +1,108 @@
+package jobqueue_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"interferometry/internal/jobqueue"
+	"interferometry/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestQueueMetricsGolden drives a scripted queue + breaker scenario on a
+// fake clock and pins the whole Prometheus export. Because every
+// duration comes from the fake clock, even the wait histogram is
+// deterministic, so the service's metric names, help strings and
+// semantics (depth and leases back to zero after the drain, expiry and
+// shed counts, breaker transition counters) are all golden-checked.
+func TestQueueMetricsGolden(t *testing.T) {
+	clk := newFakeClock()
+	o := &obs.Observer{Metrics: obs.NewMetrics()}
+	q := jobqueue.New[string](jobqueue.Config{
+		Capacity: 3,
+		Lease:    time.Second,
+		Now:      clk.Now,
+		Metrics:  jobqueue.ObserveMetrics(o, "campaignd"),
+	})
+	shed := o.Counter("campaignd_shed_total", "submissions rejected by admission control (429)")
+
+	// Admit three tasks; a fourth is shed.
+	if err := q.PushBatch(0, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(0, "d"); err == nil {
+		t.Fatal("over-capacity push admitted")
+	} else {
+		shed.Inc()
+	}
+
+	ctx := context.Background()
+	// a: waits 100ms, completes.
+	clk.Advance(100 * time.Millisecond)
+	la, err := q.Pop(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	// b: fails once (requeued with a 300ms delay), then completes.
+	lb, err := q.Pop(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Requeue(clk.Now().Add(300 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// c: leased, never heartbeats, expires after 1s and is reaped.
+	lc, err := q.Pop(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lc
+	clk.Advance(time.Second)
+	for i := 0; i < 2; i++ { // b (unparked) and c (reaped)
+		l, err := q.Pop(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Complete(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+
+	// Breaker: trip on a burst, recover through a half-open probe.
+	b := jobqueue.NewBreaker(jobqueue.BreakerConfig{
+		TripAfter: 2, OpenFor: time.Second, Now: clk.Now,
+		OnTransition: jobqueue.ObserveBreaker(o, "campaignd", "measure"),
+	})
+	call(t, b, 0, errBoom)
+	call(t, b, 0, errBoom)
+	clk.Advance(time.Second)
+	call(t, b, 0, nil)
+
+	var buf bytes.Buffer
+	if err := o.WriteMetricsPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden.prom")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("metrics export drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

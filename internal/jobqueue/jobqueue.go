@@ -1,0 +1,439 @@
+// Package jobqueue provides the queueing primitives behind campaignd: a
+// bounded priority queue with worker leases and heartbeats, and a
+// closed/open/half-open circuit breaker. Both are deliberately generic —
+// they know nothing about layouts or campaigns — and both take an
+// injectable clock, so every timing-dependent behavior (lease expiry,
+// breaker reopen, delayed requeue) is testable without sleeping.
+//
+// Determinism is preserved across failures by construction: a task's
+// payload never changes once pushed, so a lease that expires (worker
+// stall, crash, lost heartbeat) requeues the exact same seed tuple and a
+// re-execution derives the exact same result. The queue orders strictly
+// by (priority, sequence), never by timing, so which task runs next is a
+// pure function of the push history, not of goroutine scheduling.
+package jobqueue
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"interferometry/internal/obs"
+)
+
+// Queue errors.
+var (
+	// ErrFull rejects a push that would exceed the queue's capacity —
+	// the admission-control signal campaignd turns into 429.
+	ErrFull = errors.New("jobqueue: queue full")
+	// ErrClosed rejects operations on a closed queue.
+	ErrClosed = errors.New("jobqueue: queue closed")
+	// ErrLeaseLost reports a heartbeat, complete or requeue on a lease
+	// the queue no longer recognizes: it expired and the task was handed
+	// to someone else (or the queue was closed).
+	ErrLeaseLost = errors.New("jobqueue: lease lost")
+)
+
+// Metrics is the queue's instrument set; any field (or the whole struct)
+// may be nil. Gauges track the live state — after a drain both return
+// to zero, which is exactly what the leak tests assert.
+type Metrics struct {
+	Depth    *obs.Gauge     // tasks queued (ready + parked), not leased
+	Leased   *obs.Gauge     // tasks currently leased to workers
+	Pushed   *obs.Counter   // tasks admitted
+	Requeued *obs.Counter   // tasks put back after a failed execution
+	Expired  *obs.Counter   // leases reaped after missing heartbeats
+	Waits    *obs.Histogram // seconds from ready to leased
+}
+
+// ObserveMetrics resolves the standard queue instruments under prefix
+// (e.g. "campaignd") from o's registry. Nil-safe: a nil observer yields
+// nil instruments and the queue runs unobserved.
+func ObserveMetrics(o *obs.Observer, prefix string) *Metrics {
+	if o == nil {
+		return nil
+	}
+	return &Metrics{
+		Depth:    o.Gauge(prefix+"_queue_depth", "tasks queued and not yet leased"),
+		Leased:   o.Gauge(prefix+"_leases_active", "tasks currently leased to workers"),
+		Pushed:   o.Counter(prefix+"_tasks_pushed_total", "tasks admitted to the queue"),
+		Requeued: o.Counter(prefix+"_tasks_requeued_total", "tasks requeued after a failed execution"),
+		Expired:  o.Counter(prefix+"_lease_expiries_total", "leases reaped after missing heartbeats"),
+		Waits:    o.Histogram(prefix+"_queue_wait_seconds", "seconds between a task becoming ready and being leased", obs.DurationBuckets),
+	}
+}
+
+// Config parameterizes a queue.
+type Config struct {
+	// Capacity bounds the number of tasks in the system (queued plus
+	// leased) counted at admission time; Push beyond it returns ErrFull.
+	// Requeues are exempt — a task that was admitted can always come
+	// back. Zero or negative means 1.
+	Capacity int
+	// Lease is how long a popped task stays owned without a heartbeat
+	// before it is reaped and requeued. Zero means 30s.
+	Lease time.Duration
+	// Now is the clock. Nil means time.Now.
+	Now func() time.Time
+	// Metrics optionally observes the queue.
+	Metrics *Metrics
+}
+
+func (c Config) capacity() int {
+	if c.Capacity <= 0 {
+		return 1
+	}
+	return c.Capacity
+}
+
+func (c Config) lease() time.Duration {
+	if c.Lease <= 0 {
+		return 30 * time.Second
+	}
+	return c.Lease
+}
+
+// task is one queued entry.
+type task[T any] struct {
+	payload   T
+	priority  int
+	seq       uint64    // push order, the FIFO tiebreak within a priority
+	attempt   int       // failed executions so far
+	notBefore time.Time // zero = ready now
+	readyAt   time.Time // when the task last became eligible (for Waits)
+	index     int       // heap index
+}
+
+// readyHeap orders eligible tasks by (priority, seq).
+type readyHeap[T any] []*task[T]
+
+func (h readyHeap[T]) Len() int { return len(h) }
+func (h readyHeap[T]) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority < h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h readyHeap[T]) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].index, h[b].index = a, b
+}
+func (h *readyHeap[T]) Push(x any) {
+	t := x.(*task[T])
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *readyHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// parkedHeap orders delayed tasks by notBefore.
+type parkedHeap[T any] []*task[T]
+
+func (h parkedHeap[T]) Len() int            { return len(h) }
+func (h parkedHeap[T]) Less(a, b int) bool  { return h[a].notBefore.Before(h[b].notBefore) }
+func (h parkedHeap[T]) Swap(a, b int)       { h[a], h[b] = h[b], h[a]; h[a].index, h[b].index = a, b }
+func (h *parkedHeap[T]) Push(x any)         { t := x.(*task[T]); t.index = len(*h); *h = append(*h, t) }
+func (h *parkedHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Queue is a bounded priority queue with leases. All methods are safe
+// for concurrent use.
+type Queue[T any] struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ready   readyHeap[T]
+	parked  parkedHeap[T]
+	leases  map[*Lease[T]]*task[T]
+	seq     uint64
+	closed  bool
+	wake    chan struct{} // closed-and-replaced to broadcast state changes
+}
+
+// New returns an empty queue.
+func New[T any](cfg Config) *Queue[T] {
+	if cfg.Metrics == nil {
+		// Every obs instrument is nil-safe, so an empty set makes the
+		// whole metrics path unconditional no-ops.
+		cfg.Metrics = &Metrics{}
+	}
+	return &Queue[T]{
+		cfg:    cfg,
+		leases: make(map[*Lease[T]]*task[T]),
+		wake:   make(chan struct{}),
+	}
+}
+
+func (q *Queue[T]) now() time.Time {
+	if q.cfg.Now != nil {
+		return q.cfg.Now()
+	}
+	return time.Now()
+}
+
+// notifyLocked wakes every blocked Pop. Callers hold q.mu.
+func (q *Queue[T]) notifyLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// inSystemLocked is the admission-control count: queued plus leased.
+func (q *Queue[T]) inSystemLocked() int {
+	return len(q.ready) + len(q.parked) + len(q.leases)
+}
+
+// Push admits one task at the given priority (lower runs sooner; equal
+// priorities run in push order). It returns ErrFull when the system
+// already holds Capacity tasks and ErrClosed after Close.
+func (q *Queue[T]) Push(priority int, payload T) error {
+	return q.PushBatch(priority, []T{payload})
+}
+
+// PushBatch admits every payload atomically: either all fit under the
+// capacity or none are queued and ErrFull is returned. campaignd uses it
+// to admit a whole campaign's task fan-out as one decision.
+func (q *Queue[T]) PushBatch(priority int, payloads []T) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.inSystemLocked()+len(payloads) > q.cfg.capacity() {
+		return ErrFull
+	}
+	now := q.now()
+	for _, p := range payloads {
+		q.seq++
+		t := &task[T]{payload: p, priority: priority, seq: q.seq, readyAt: now}
+		heap.Push(&q.ready, t)
+	}
+	q.cfg.Metrics.Pushed.Add(uint64(len(payloads)))
+	q.updateGaugesLocked()
+	q.notifyLocked()
+	return nil
+}
+
+// Lease is one worker's ownership of a task. The worker must finish
+// with Complete or Requeue, heartbeating in between if the work outlives
+// the lease duration.
+type Lease[T any] struct {
+	q       *Queue[T]
+	payload T
+	attempt int
+}
+
+// Payload returns the leased task's payload.
+func (l *Lease[T]) Payload() T { return l.payload }
+
+// Attempt returns how many failed executions preceded this lease.
+func (l *Lease[T]) Attempt() int { return l.attempt }
+
+// Pop blocks until a task is eligible, then leases it. It returns ctx's
+// cause when the context ends and ErrClosed once the queue is closed
+// (even if tasks remain — a closed queue is draining, not dispatching).
+func (q *Queue[T]) Pop(ctx context.Context) (*Lease[T], error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		now := q.now()
+		q.reapLocked(now)
+		q.unparkLocked(now)
+		if len(q.ready) > 0 {
+			t := heap.Pop(&q.ready).(*task[T])
+			l := &Lease[T]{q: q, payload: t.payload, attempt: t.attempt}
+			t.notBefore = now.Add(q.cfg.lease()) // reused as the lease deadline
+			q.leases[l] = t
+			q.cfg.Metrics.Waits.Observe(now.Sub(t.readyAt).Seconds())
+			q.updateGaugesLocked()
+			q.mu.Unlock()
+			return l, nil
+		}
+		// Nothing eligible: wait for a push/requeue/close, or for the
+		// next timed event (a parked task coming due, a lease expiring).
+		wake := q.wake
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if next, ok := q.nextEventLocked(); ok {
+			d := next.Sub(now)
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil, context.Cause(ctx)
+		case <-wake:
+		case <-timeout:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// nextEventLocked returns the earliest time at which the queue's state
+// changes by itself: a parked task coming due or a lease expiring.
+func (q *Queue[T]) nextEventLocked() (time.Time, bool) {
+	var next time.Time
+	ok := false
+	if len(q.parked) > 0 {
+		next, ok = q.parked[0].notBefore, true
+	}
+	for _, t := range q.leases {
+		if !ok || t.notBefore.Before(next) {
+			next, ok = t.notBefore, true
+		}
+	}
+	return next, ok
+}
+
+// unparkLocked moves due parked tasks into the ready heap.
+func (q *Queue[T]) unparkLocked(now time.Time) {
+	for len(q.parked) > 0 && !q.parked[0].notBefore.After(now) {
+		t := heap.Pop(&q.parked).(*task[T])
+		t.readyAt = now
+		heap.Push(&q.ready, t)
+	}
+}
+
+// reapLocked requeues every expired lease. The task's payload, priority
+// and attempt count are untouched: a reaped task is indistinguishable
+// from one that was never popped, so its re-execution derives the same
+// seed tuple and produces the same result.
+func (q *Queue[T]) reapLocked(now time.Time) {
+	for l, t := range q.leases {
+		if t.notBefore.After(now) {
+			continue
+		}
+		delete(q.leases, l)
+		t.readyAt = now
+		t.notBefore = time.Time{}
+		heap.Push(&q.ready, t)
+		q.cfg.Metrics.Expired.Inc()
+	}
+	q.updateGaugesLocked()
+}
+
+// Heartbeat extends the lease by the queue's lease duration. It returns
+// ErrLeaseLost if the lease already expired and was requeued.
+func (l *Lease[T]) Heartbeat() error {
+	q := l.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.leases[l]
+	if !ok {
+		return ErrLeaseLost
+	}
+	t.notBefore = q.now().Add(q.cfg.lease())
+	return nil
+}
+
+// Complete removes the task from the queue for good. ErrLeaseLost means
+// the lease expired first and the task is running (or queued) elsewhere;
+// the caller must discard its result — the duplicate owner's will be
+// identical anyway, but only one execution gets to report.
+func (l *Lease[T]) Complete() error {
+	q := l.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.leases[l]; !ok {
+		return ErrLeaseLost
+	}
+	delete(q.leases, l)
+	q.updateGaugesLocked()
+	return nil
+}
+
+// Requeue puts the task back with its attempt count incremented, not
+// eligible before notBefore (the caller computes it from its backoff
+// policy; the zero time means immediately). Capacity-exempt: an admitted
+// task can always return.
+func (l *Lease[T]) Requeue(notBefore time.Time) error {
+	q := l.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.leases[l]
+	if !ok {
+		return ErrLeaseLost
+	}
+	delete(q.leases, l)
+	t.attempt++
+	now := q.now()
+	if notBefore.After(now) {
+		t.notBefore = notBefore
+		heap.Push(&q.parked, t)
+	} else {
+		t.notBefore = time.Time{}
+		t.readyAt = now
+		heap.Push(&q.ready, t)
+	}
+	q.cfg.Metrics.Requeued.Inc()
+	q.updateGaugesLocked()
+	q.notifyLocked()
+	return nil
+}
+
+// Depth returns the number of queued (ready plus parked) tasks.
+func (q *Queue[T]) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ready) + len(q.parked)
+}
+
+// Leased returns the number of tasks currently leased.
+func (q *Queue[T]) Leased() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.leases)
+}
+
+// Capacity returns the admission bound.
+func (q *Queue[T]) Capacity() int { return q.cfg.capacity() }
+
+// Close stops the queue: every queued task is dropped (campaignd drains
+// by finishing leased work and recovering the rest from checkpoints),
+// every blocked Pop returns ErrClosed, and future pushes are rejected.
+// Outstanding leases stay valid so in-flight work can still Complete.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.ready = nil
+	q.parked = nil
+	q.updateGaugesLocked()
+	q.notifyLocked()
+}
+
+func (q *Queue[T]) updateGaugesLocked() {
+	q.cfg.Metrics.Depth.Set(float64(len(q.ready) + len(q.parked)))
+	q.cfg.Metrics.Leased.Set(float64(len(q.leases)))
+}

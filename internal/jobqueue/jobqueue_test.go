@@ -1,0 +1,300 @@
+package jobqueue_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"interferometry/internal/jobqueue"
+)
+
+// fakeClock is a mutex-guarded manual clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestQueuePriorityAndFIFOOrder(t *testing.T) {
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 10})
+	for _, s := range []string{"b1", "b2"} {
+		if err := q.Push(2, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(1, "a1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(2, "b3"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "b2", "b3"}
+	for _, w := range want {
+		l, err := q.Pop(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Payload() != w {
+			t.Fatalf("popped %q, want %q", l.Payload(), w)
+		}
+		if err := l.Complete(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQueueCapacityBound(t *testing.T) {
+	q := jobqueue.New[int](jobqueue.Config{Capacity: 3})
+	if err := q.PushBatch(0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// An atomic batch that does not fit is rejected whole.
+	if err := q.PushBatch(0, []int{3, 4}); !errors.Is(err, jobqueue.ErrFull) {
+		t.Fatalf("over-capacity batch: %v, want ErrFull", err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("rejected batch leaked tasks: depth %d", q.Depth())
+	}
+	// Leased tasks still count against admission: capacity bounds the
+	// whole system, not just the backlog.
+	l, err := q.Pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PushBatch(0, []int{3, 4}); !errors.Is(err, jobqueue.ErrFull) {
+		t.Fatalf("batch exceeding queued+leased: %v, want ErrFull", err)
+	}
+	if err := q.Push(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Complete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseExpiryRequeuesSamePayload(t *testing.T) {
+	clk := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4, Lease: time.Second, Now: clk.Now})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := q.Pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second) // lease expires
+	l2, err := q.Pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Payload() != "task" {
+		t.Fatalf("requeued payload %q changed", l2.Payload())
+	}
+	if l2.Attempt() != 0 {
+		t.Fatalf("expiry bumped attempt to %d; only failed executions count", l2.Attempt())
+	}
+	// The expired lease is dead: its owner must not report a result.
+	if err := l1.Complete(); !errors.Is(err, jobqueue.ErrLeaseLost) {
+		t.Fatalf("expired lease Complete: %v, want ErrLeaseLost", err)
+	}
+	if err := l1.Heartbeat(); !errors.Is(err, jobqueue.ErrLeaseLost) {
+		t.Fatalf("expired lease Heartbeat: %v, want ErrLeaseLost", err)
+	}
+	if err := l2.Complete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	clk := newFakeClock()
+	q := jobqueue.New[int](jobqueue.Config{Capacity: 2, Lease: time.Second, Now: clk.Now})
+	if err := q.Push(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	l, err := q.Pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		clk.Advance(800 * time.Millisecond)
+		if err := l.Heartbeat(); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if n := q.Depth(); n != 0 {
+		t.Fatalf("heartbeated lease was reaped: depth %d", n)
+	}
+	if err := l.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Leased() != 0 {
+		t.Fatalf("completed lease still counted: %d", q.Leased())
+	}
+}
+
+func TestRequeueDelaysAndCountsAttempts(t *testing.T) {
+	clk := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 2, Lease: time.Minute, Now: clk.Now})
+	if err := q.Push(0, "flaky"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := q.Pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Requeue(clk.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Parked: not eligible yet.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := q.Pop(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("parked task was eligible early: %v", err)
+	}
+	clk.Advance(11 * time.Second)
+	l2, err := q.Pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Attempt() != 1 {
+		t.Fatalf("attempt %d after one requeue, want 1", l2.Attempt())
+	}
+	if err := l2.Complete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := jobqueue.New[int](jobqueue.Config{Capacity: 2})
+	got := make(chan int, 1)
+	go func() {
+		l, err := q.Pop(context.Background())
+		if err != nil {
+			close(got)
+			return
+		}
+		l.Complete()
+		got <- l.Payload()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := q.Push(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("popped %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop never woke after Push")
+	}
+}
+
+func TestCloseDrainsBlockedPops(t *testing.T) {
+	q := jobqueue.New[int](jobqueue.Config{Capacity: 4})
+	if err := q.Push(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	l, err := q.Pop(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := q.Pop(context.Background())
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, jobqueue.ErrClosed) {
+				t.Fatalf("blocked Pop after Close: %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Pop did not return after Close")
+		}
+	}
+	if err := q.Push(0, 2); !errors.Is(err, jobqueue.ErrClosed) {
+		t.Fatalf("Push after Close: %v, want ErrClosed", err)
+	}
+	// The in-flight lease survives the close so drain can finish it.
+	if err := l.Complete(); err != nil {
+		t.Fatalf("leased task Complete after Close: %v", err)
+	}
+	if q.Depth() != 0 || q.Leased() != 0 {
+		t.Fatalf("closed queue not empty: depth %d leased %d", q.Depth(), q.Leased())
+	}
+}
+
+// TestQueueConcurrentStress hammers the queue from many producers and
+// consumers under -race: every task admitted is completed exactly once.
+func TestQueueConcurrentStress(t *testing.T) {
+	q := jobqueue.New[int](jobqueue.Config{Capacity: 1 << 20, Lease: time.Minute})
+	const producers, perProducer, consumers = 8, 200, 8
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(i%3, p*perProducer+i); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				l, err := q.Pop(ctx)
+				if err != nil {
+					return
+				}
+				if err := l.Complete(); err == nil {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for completed.Load() < producers*perProducer && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	cg.Wait()
+	if got := completed.Load(); got != producers*perProducer {
+		t.Fatalf("completed %d of %d tasks", got, producers*perProducer)
+	}
+	if q.Depth() != 0 || q.Leased() != 0 {
+		t.Fatalf("stress left residue: depth %d leased %d", q.Depth(), q.Leased())
+	}
+}

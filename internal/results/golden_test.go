@@ -103,6 +103,35 @@ func TestGoldenDatasetCSV(t *testing.T) {
 	}
 }
 
+// TestGoldenMeasurementsCSV pins the measurement-only canonical export:
+// the same rows as the full dataset CSV but without the status/attempts
+// provenance columns, so a retried row is indistinguishable from a
+// first-attempt one — the byte-identity form the campaignd chaos soak
+// compares.
+func TestGoldenMeasurementsCSV(t *testing.T) {
+	ds := goldenDataset()
+	var buf bytes.Buffer
+	if err := results.WriteMeasurementsCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "measurements.golden.csv", buf.Bytes())
+
+	// Scrubbing provenance must be the only difference: a dataset whose
+	// retried/failed statuses are rewritten exports identical bytes.
+	scrubbed := goldenDataset()
+	for i := range scrubbed.Obs {
+		scrubbed.Obs[i].Status = core.StatusOK
+		scrubbed.Obs[i].Attempts = 1
+	}
+	var buf2 bytes.Buffer
+	if err := results.WriteMeasurementsCSV(&buf2, scrubbed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("measurement export depends on provenance columns")
+	}
+}
+
 func TestGoldenModelJSON(t *testing.T) {
 	ds := goldenDataset()
 	m, err := ds.MPKIModel()

@@ -60,6 +60,42 @@ func WriteDatasetCSV(w io.Writer, ds *core.Dataset) error {
 	return cw.Error()
 }
 
+// WriteMeasurementsCSV writes the measurement-only canonical form of a
+// dataset: the seed tuples and counters without the status/attempts
+// provenance columns. Measurements are pure functions of their seeds, so
+// a campaign disturbed by faults and retries and an undisturbed one
+// produce byte-identical measurement exports even though their
+// provenance columns legitimately differ — the chaos soak compares
+// exactly this form.
+func WriteMeasurementsCSV(w io.Writer, ds *core.Dataset) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "layout_seed", "heap_seed", "cycles", "instructions", "cpi"}
+	for _, ev := range csvEvents {
+		header = append(header, ev.String()+"_pki")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, o := range ds.Obs {
+		row := []string{
+			ds.Benchmark,
+			strconv.FormatUint(o.LayoutSeed, 10),
+			strconv.FormatUint(o.HeapSeed, 10),
+			strconv.FormatUint(o.Cycles, 10),
+			strconv.FormatUint(o.Instructions, 10),
+			strconv.FormatFloat(o.CPI(), 'g', 10, 64),
+		}
+		for _, ev := range csvEvents {
+			row = append(row, strconv.FormatFloat(o.PKI(ev), 'g', 10, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // Row is one parsed observation row of a dataset CSV.
 type Row struct {
 	Benchmark    string
