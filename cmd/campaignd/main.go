@@ -13,21 +13,38 @@
 // /healthz, /readyz, /queuez, /metrics. SIGTERM drains gracefully: stop
 // admission, finish leased tasks, flush checkpoints, exit.
 //
+// Scale-out: a server started with -workers 0 is a pure coordinator;
+// any number of worker processes on other machines pull its leased
+// layout tasks over HTTP and stream observations back. The merged
+// dataset is byte-identical whatever the worker count or ordering:
+//
+//	campaignd -addr :8347 -workers 0 -checkpoint-root /var/lib/campaignd
+//	campaignd -worker -coordinator http://coordinator:8347 -workers 4
+//
+// An artifact cache (-artifact-cache DIR) makes resubmitted, resumed
+// and extended campaigns skip redundant layout builds; it helps both
+// serve and worker modes.
+//
 // Chaos soak mode proves the byte-identity claim against the live
-// service under injected error bursts, panics and latency spikes:
+// service under injected error bursts, panics and latency spikes
+// (-chaos-shard-workers N runs the rounds in sharded mode):
 //
 //	campaignd -chaos -chaos-benchmark 429.mcf -chaos-rounds 3
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"interferometry/internal/artifactcache"
 	"interferometry/internal/campaignd"
 	"interferometry/internal/experiments"
 	"interferometry/internal/faultinject"
@@ -35,13 +52,18 @@ import (
 	"interferometry/internal/jobqueue/backoff"
 	"interferometry/internal/obs"
 	"interferometry/internal/obsflag"
+	"interferometry/internal/toolchain"
 )
 
 func main() {
 	var (
 		addr           = flag.String("addr", "localhost:8347", "listen address")
 		scaleName      = flag.String("scale", "small", "default campaign scale: small, medium or paper")
-		workers        = flag.Int("workers", 2, "task worker pool size")
+		workers        = flag.Int("workers", 2, "task worker pool size (serve: 0 = coordinator only; worker: concurrent tasks)")
+		workerMode     = flag.Bool("worker", false, "run as a remote worker pulling tasks from -coordinator")
+		coordinator    = flag.String("coordinator", "", "coordinator base URL for -worker mode, e.g. http://host:8347")
+		cacheDir       = flag.String("artifact-cache", "", "directory for the content-addressed layout artifact cache (empty = off)")
+		cacheMB        = flag.Int64("artifact-cache-mb", 256, "artifact cache size bound in MiB")
 		queueCap       = flag.Int("queue-capacity", 256, "max tasks in the system (queued + leased)")
 		lease          = flag.Duration("lease", 30*time.Second, "task lease duration without a heartbeat")
 		maxAttempts    = flag.Int("max-attempts", 3, "executions per layout before permanent failure")
@@ -60,6 +82,7 @@ func main() {
 		chaosLay    = flag.Int("chaos-layouts", 8, "layouts per soak campaign")
 		chaosRounds = flag.Int("chaos-rounds", 3, "faulted service rounds")
 		chaosSeed   = flag.Uint64("chaos-seed", 0xc4a05, "root seed of the per-round fault schedules")
+		chaosShard  = flag.Int("chaos-shard-workers", 0, "run soak rounds sharded across this many workers (0 = single process)")
 		chaosError  = flag.Float64("chaos-error", 0.2, "per-call injected error rate")
 		chaosPanic  = flag.Float64("chaos-panic", 0.1, "per-call injected panic rate")
 		chaosSpike  = flag.Float64("chaos-spike", 0.2, "per-call latency-spike rate")
@@ -76,11 +99,12 @@ func main() {
 
 	if *chaos {
 		err := campaignd.Soak(campaignd.SoakConfig{
-			Spec:    campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay},
-			Scale:   scale,
-			Rounds:  *chaosRounds,
-			Seed:    *chaosSeed,
-			Workers: *workers,
+			Spec:         campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay},
+			Scale:        scale,
+			Rounds:       *chaosRounds,
+			Seed:         *chaosSeed,
+			Workers:      *workers,
+			ShardWorkers: *chaosShard,
 			Rates: faultinject.Rates{
 				Error: *chaosError, Panic: *chaosPanic,
 				Spike: *chaosSpike, SpikeP99: *chaosP99,
@@ -107,9 +131,51 @@ func main() {
 		observer.Metrics = obs.NewMetrics()
 	}
 
+	var cache toolchain.LayoutCache
+	if *cacheDir != "" {
+		c, cerr := artifactcache.Open(artifactcache.Config{
+			Dir:      *cacheDir,
+			MaxBytes: *cacheMB << 20,
+			Obs:      observer,
+		})
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
+		cache = c
+	}
+
+	if *workerMode {
+		if *coordinator == "" {
+			fmt.Fprintln(os.Stderr, "-worker needs -coordinator URL")
+			os.Exit(2)
+		}
+		w := &campaignd.Worker{
+			Coordinator: *coordinator,
+			Parallel:    *workers,
+			Cache:       cache,
+			Obs:         observer,
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+		defer stop()
+		fmt.Printf("campaignd worker pulling from %s (%d parallel)\n", *coordinator, *workers)
+		if err := w.Run(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obsFlags.Close(observer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("campaignd worker stopped")
+		return
+	}
+
 	srv := campaignd.New(campaignd.Config{
 		Scale:          scale,
 		Workers:        *workers,
+		NoLocalWorkers: *workers == 0,
+		LayoutCache:    cache,
 		QueueCapacity:  *queueCap,
 		Lease:          *lease,
 		MaxAttempts:    *maxAttempts,

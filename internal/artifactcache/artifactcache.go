@@ -1,0 +1,315 @@
+// Package artifactcache is a bounded, content-addressed on-disk store
+// for compiled layout artifacts. Entries are keyed by (artifact key,
+// layout seed): the key is a content hash of everything that determines
+// the artifact's bytes (program fingerprint plus compile and link
+// configuration — toolchain.Builder.CacheKey computes it), and the seed
+// selects the layout. Because the key already names the content,
+// invalidation is structural: a changed program or toolchain config
+// hashes to a new key and simply addresses different entries, while the
+// stale ones age out of the LRU under the byte bound. Nothing is ever
+// served across a key change.
+//
+// The cache holds opaque bytes — it knows nothing about executables —
+// so the same store can back any deterministic, seed-addressed build
+// product. campaignd wires it under the build seam so resubmitted,
+// resumed and extended campaigns skip redundant compiles.
+package artifactcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"interferometry/internal/obs"
+)
+
+// Config parameterizes a cache.
+type Config struct {
+	// Dir is the cache root. Required; it is created if missing.
+	Dir string
+	// MaxBytes bounds the bytes stored on disk; the least recently used
+	// entries are evicted to stay under it. Zero means 256 MiB.
+	MaxBytes int64
+	// Obs optionally observes the cache (artifactcache_* instruments).
+	// Nil runs unobserved; Stats always works.
+	Obs *obs.Observer
+}
+
+func (c Config) maxBytes() int64 {
+	if c.MaxBytes <= 0 {
+		return 256 << 20
+	}
+	return c.MaxBytes
+}
+
+// entry is one stored artifact; entries live in a map for lookup and an
+// LRU list (front = most recent) for eviction order.
+type entry struct {
+	rel  string // path relative to the cache root
+	size int64
+	elem *list.Element
+}
+
+// Cache is a bounded on-disk artifact store. All methods are safe for
+// concurrent use.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	hits, misses, evictions *obs.Counter
+	bytesG, entriesG        *obs.Gauge
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // of *entry
+	bytes   int64
+
+	// Local tallies mirror the obs counters so Stats works unobserved.
+	nHits, nMisses, nEvictions uint64
+}
+
+// Stats is a point-in-time snapshot of the cache's counters and size.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Bytes                   int64
+	Entries                 int
+}
+
+// HitRate is hits over lookups, 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Open prepares the cache directory and indexes any artifacts a
+// previous process left there, ordered least-recently-used by file
+// modification time, so a restarted service resumes with a warm cache.
+func Open(cfg Config) (*Cache, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("artifactcache: cache needs a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifactcache: %w", err)
+	}
+	c := &Cache{
+		dir:      cfg.Dir,
+		maxBytes: cfg.maxBytes(),
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+	if o := cfg.Obs; o != nil {
+		c.hits = o.Counter("artifactcache_hits_total", "layout artifacts served from the cache")
+		c.misses = o.Counter("artifactcache_misses_total", "layout artifact lookups that had to build")
+		c.evictions = o.Counter("artifactcache_evictions_total", "layout artifacts evicted to stay under the byte bound")
+		c.bytesG = o.Gauge("artifactcache_bytes", "bytes of layout artifacts on disk")
+		c.entriesG = o.Gauge("artifactcache_entries", "layout artifacts on disk")
+	}
+	if err := c.index(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// index walks the cache directory and rebuilds the LRU from file
+// modification times (oldest = least recent). Unreadable or foreign
+// files are skipped, never served.
+func (c *Cache) index() error {
+	type found struct {
+		rel   string
+		size  int64
+		mtime time.Time
+	}
+	var files []found
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if filepath.Ext(path) != artifactExt {
+			// A crash between temp write and rename leaves an orphaned
+			// temp file; sweep it instead of letting it accumulate.
+			if strings.Contains(filepath.Base(path), artifactExt+".tmp") {
+				os.Remove(path)
+			}
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with an eviction elsewhere; skip
+		}
+		rel, err := filepath.Rel(c.dir, path)
+		if err != nil {
+			return nil
+		}
+		files = append(files, found{rel: rel, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("artifactcache: index: %w", err)
+	}
+	sort.Slice(files, func(a, b int) bool { return files[a].mtime.Before(files[b].mtime) })
+	for _, f := range files {
+		e := &entry{rel: f.rel, size: f.size}
+		e.elem = c.lru.PushFront(e)
+		c.entries[f.rel] = e
+		c.bytes += f.size
+	}
+	c.evictLocked(nil)
+	c.updateGaugesLocked()
+	return nil
+}
+
+// artifactExt marks cache-owned files; everything else in the directory
+// is ignored.
+const artifactExt = ".art"
+
+// rel addresses one artifact: a subdirectory per key (hashed, so any
+// key string is path-safe) and one file per seed.
+func rel(key string, seed uint64) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(hex.EncodeToString(sum[:8]), fmt.Sprintf("%016x%s", seed, artifactExt))
+}
+
+// Get returns the artifact stored under (key, seed) and whether it was
+// present. A hit refreshes the entry's recency; an unreadable entry is
+// dropped and reported as a miss. The file read happens outside the
+// cache lock so concurrent workers' hits do not serialize on disk I/O.
+func (c *Cache) Get(key string, seed uint64) ([]byte, bool) {
+	r := rel(key, seed)
+	c.mu.Lock()
+	_, ok := c.entries[r]
+	if !ok {
+		c.miss()
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Unlock()
+
+	data, err := os.ReadFile(filepath.Join(c.dir, r))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, present := c.entries[r]
+	if err != nil {
+		// The entry raced an eviction (fine, it is already gone) or the
+		// file is unreadable (drop it — never serve it again).
+		if present {
+			c.dropLocked(e)
+			c.updateGaugesLocked()
+		}
+		c.miss()
+		return nil, false
+	}
+	if present {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.nHits++
+	c.hits.Inc()
+	return data, true
+}
+
+// Put stores data under (key, seed), replacing any previous artifact,
+// then evicts least-recently-used entries until the store fits the byte
+// bound again. Writes are atomic (temp file + rename), so a crash never
+// leaves a half-written artifact to be served later. Put failures are
+// silent by design: the cache is an accelerator, and the caller's build
+// result is already in hand.
+func (c *Cache) Put(key string, seed uint64, data []byte) {
+	r := rel(key, seed)
+	path := filepath.Join(c.dir, r)
+	// Write outside the lock: each Put gets its own temp file and the
+	// rename is atomic, so concurrent Puts of the same entry are safe
+	// (last rename wins) and only the index update below serializes.
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[r]; ok {
+		c.bytes -= prev.size
+		prev.size = int64(len(data))
+		c.bytes += prev.size
+		c.lru.MoveToFront(prev.elem)
+	} else {
+		e := &entry{rel: r, size: int64(len(data))}
+		e.elem = c.lru.PushFront(e)
+		c.entries[r] = e
+		c.bytes += e.size
+	}
+	c.evictLocked(c.entries[r])
+	c.updateGaugesLocked()
+}
+
+// miss tallies one miss; callers hold c.mu.
+func (c *Cache) miss() {
+	c.nMisses++
+	c.misses.Inc()
+}
+
+// evictLocked removes least-recently-used entries until the store is
+// within the byte bound. keep, when non-nil, is evicted last (it is the
+// entry just inserted) — but even it goes if it alone exceeds the
+// bound, so the bound is never exceeded between calls.
+func (c *Cache) evictLocked(keep *entry) {
+	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		if e == keep && c.lru.Len() > 1 {
+			// keep is both MRU and LRU only when it is the sole entry;
+			// with the list front-inserted this branch is unreachable,
+			// but guard it so a future ordering change cannot loop.
+			break
+		}
+		c.dropLocked(e)
+		c.nEvictions++
+		c.evictions.Inc()
+	}
+}
+
+// dropLocked removes one entry from the index and the disk.
+func (c *Cache) dropLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.rel)
+	c.bytes -= e.size
+	os.Remove(filepath.Join(c.dir, e.rel))
+}
+
+func (c *Cache) updateGaugesLocked() {
+	c.bytesG.Set(float64(c.bytes))
+	c.entriesG.Set(float64(c.lru.Len()))
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.nHits,
+		Misses:    c.nMisses,
+		Evictions: c.nEvictions,
+		Bytes:     c.bytes,
+		Entries:   c.lru.Len(),
+	}
+}

@@ -1,0 +1,173 @@
+package artifactcache_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"interferometry/internal/artifactcache"
+)
+
+func open(t *testing.T, cfg artifactcache.Config) *artifactcache.Cache {
+	t.Helper()
+	c, err := artifactcache.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := open(t, artifactcache.Config{Dir: t.TempDir()})
+	data := []byte("layout bytes")
+	if _, ok := c.Get("key", 7); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("key", 7, data)
+	got, ok := c.Get("key", 7)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, data)
+	}
+	// Distinct seeds and keys are distinct entries.
+	if _, ok := c.Get("key", 8); ok {
+		t.Error("seed 8 hit seed 7's entry")
+	}
+	if _, ok := c.Get("other", 7); ok {
+		t.Error("key \"other\" hit key \"key\"'s entry")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 3 || s.Entries != 1 {
+		t.Errorf("stats = %+v; want 1 hit, 3 misses, 1 entry", s)
+	}
+	if r := s.HitRate(); r != 0.25 {
+		t.Errorf("hit rate = %v; want 0.25", r)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := open(t, artifactcache.Config{Dir: t.TempDir()})
+	c.Put("key", 1, []byte("old"))
+	c.Put("key", 1, []byte("newer bytes"))
+	got, ok := c.Get("key", 1)
+	if !ok || string(got) != "newer bytes" {
+		t.Fatalf("Get after replace = %q, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Bytes != int64(len("newer bytes")) {
+		t.Errorf("stats after replace = %+v", s)
+	}
+}
+
+func TestEvictionIsLRU(t *testing.T) {
+	// Room for exactly two 8-byte artifacts.
+	c := open(t, artifactcache.Config{Dir: t.TempDir(), MaxBytes: 16})
+	c.Put("a", 0, []byte("aaaaaaaa"))
+	c.Put("b", 0, []byte("bbbbbbbb"))
+	c.Get("a", 0) // refresh a: b is now least recent
+	c.Put("c", 0, []byte("cccccccc"))
+	if _, ok := c.Get("b", 0); ok {
+		t.Error("b survived; eviction is not least-recently-used")
+	}
+	if _, ok := c.Get("a", 0); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, ok := c.Get("c", 0); !ok {
+		t.Error("the just-inserted c was evicted")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Bytes > 16 {
+		t.Errorf("stats = %+v; want 1 eviction and <=16 bytes", s)
+	}
+}
+
+func TestOversizedArtifactNeverExceedsBound(t *testing.T) {
+	c := open(t, artifactcache.Config{Dir: t.TempDir(), MaxBytes: 4})
+	c.Put("big", 0, []byte("way too large"))
+	if s := c.Stats(); s.Bytes > 4 {
+		t.Errorf("cache holds %d bytes, bound is 4", s.Bytes)
+	}
+}
+
+func TestReopenWarm(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, artifactcache.Config{Dir: dir})
+	for seed := uint64(0); seed < 5; seed++ {
+		c.Put("key", seed, []byte(fmt.Sprintf("artifact %d", seed)))
+	}
+
+	re := open(t, artifactcache.Config{Dir: dir})
+	if s := re.Stats(); s.Entries != 5 {
+		t.Fatalf("reopened cache indexed %d entries, want 5", s.Entries)
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		got, ok := re.Get("key", seed)
+		if !ok || string(got) != fmt.Sprintf("artifact %d", seed) {
+			t.Errorf("seed %d after reopen: %q, %v", seed, got, ok)
+		}
+	}
+}
+
+func TestReopenRespectsBoundByRecency(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, artifactcache.Config{Dir: dir})
+	c.Put("key", 1, []byte("aaaaaaaa"))
+	c.Put("key", 2, []byte("bbbbbbbb"))
+	// Make seed 1 clearly older on disk; index order is mtime-based.
+	old := time.Now().Add(-time.Hour)
+	for _, ent := range dirFiles(t, dir) {
+		if filepath.Base(ent) == fmt.Sprintf("%016x.art", uint64(1)) {
+			if err := os.Chtimes(ent, old, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	re := open(t, artifactcache.Config{Dir: dir, MaxBytes: 8})
+	if _, ok := re.Get("key", 2); !ok {
+		t.Error("newest entry evicted on reopen")
+	}
+	if _, ok := re.Get("key", 1); ok {
+		t.Error("oldest entry survived a bound that fits only one")
+	}
+}
+
+func TestUnreadableEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := open(t, artifactcache.Config{Dir: dir})
+	c.Put("key", 3, []byte("bytes"))
+	for _, ent := range dirFiles(t, dir) {
+		if err := os.Remove(ent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("key", 3); ok {
+		t.Fatal("Get served an entry whose file is gone")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Misses != 1 {
+		t.Errorf("stats after dropped entry = %+v", s)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := artifactcache.Open(artifactcache.Config{}); err == nil {
+		t.Fatal("Open without a directory succeeded")
+	}
+}
+
+func dirFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}

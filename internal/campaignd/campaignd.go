@@ -47,6 +47,12 @@ type Config struct {
 	Scale experiments.Scale
 	// Workers is the task worker pool size. Zero or negative means 1.
 	Workers int
+	// NoLocalWorkers runs the server as a pure coordinator: Start
+	// launches no local task workers, and every layout is executed by
+	// remote campaignd worker processes pulling tasks from the
+	// /worker/* endpoints (DESIGN.md §10). Workers still sizes each
+	// campaign's runner slots for any mixed local execution.
+	NoLocalWorkers bool
 	// QueueCapacity bounds tasks in the system (queued plus leased);
 	// admission control sheds whole campaigns beyond it. Zero means 256.
 	QueueCapacity int
@@ -70,6 +76,11 @@ type Config struct {
 	// <root>/<campaign-id>/ and resumes from an existing checkpoint on
 	// resubmission. Empty disables checkpointing.
 	CheckpointRoot string
+	// LayoutCache optionally backs every campaign's build seam with a
+	// shared content-addressed artifact store (internal/artifactcache),
+	// so resubmitted, resumed and extended campaigns skip redundant
+	// Reorder+Link work. Nil builds every layout from scratch.
+	LayoutCache toolchain.LayoutCache
 	// Faults optionally injects faults into every campaign's build and
 	// measure seams — the chaos soak's hook. Nil runs clean.
 	Faults *faultinject.Injector
@@ -132,11 +143,13 @@ type task struct {
 
 // Server is the campaign job service.
 type Server struct {
-	cfg     Config
-	queue   *jobqueue.Queue[task]
-	build   *jobqueue.Breaker
-	measure *jobqueue.Breaker
-	shed    *obs.Counter
+	cfg       Config
+	queue     *jobqueue.Queue[task]
+	remote    *jobqueue.Registry[task]
+	build     *jobqueue.Breaker
+	measure   *jobqueue.Breaker
+	shed      *obs.Counter
+	writeErrs *obs.Counter
 
 	baseCtx context.Context
 	stop    context.CancelCauseFunc
@@ -166,9 +179,11 @@ func New(cfg Config) *Server {
 			Now:      cfg.Now,
 			Metrics:  jobqueue.ObserveMetrics(cfg.Obs, "campaignd"),
 		}),
+		remote:    jobqueue.NewRegistry[task](),
 		build:     jobqueue.NewBreaker(buildCfg),
 		measure:   jobqueue.NewBreaker(measureCfg),
 		shed:      obsCounter(cfg.Obs, "campaignd_shed_total", "submissions rejected by admission control (429)"),
+		writeErrs: obsCounter(cfg.Obs, "campaignd_http_write_errors_total", "HTTP response bodies that failed to encode or send"),
 		baseCtx:   ctx,
 		stop:      stop,
 		campaigns: make(map[string]*campaign),
@@ -190,8 +205,11 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool (a no-op for a pure coordinator).
 func (s *Server) Start() {
+	if s.cfg.NoLocalWorkers {
+		return
+	}
 	for w := 0; w < s.cfg.workers(); w++ {
 		s.wg.Add(1)
 		go func(slot int) {
@@ -226,7 +244,7 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	// Build the campaign outside the lock: trace interpretation and the
 	// shared compile are real work. A racing duplicate submission is
 	// resolved below — last one loses and discards.
-	c, pending, err := newCampaign(s.baseCtx, spec, s.cfg.scale(), s.cfg.workers(), s.cfg.CheckpointRoot, s.cfg.Faults, s.now())
+	c, pending, err := newCampaign(s.baseCtx, spec, s.cfg.scale(), s.cfg.workers(), s.cfg.CheckpointRoot, s.cfg.LayoutCache, s.cfg.Faults, s.now())
 	if err != nil {
 		return Status{}, err
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"interferometry/internal/core"
@@ -40,6 +41,12 @@ type SoakConfig struct {
 	QueueCapacity int
 	Lease         time.Duration
 	MaxAttempts   int
+	// ShardWorkers, when positive, runs every round in sharded mode:
+	// the server becomes a pure coordinator and this many worker
+	// processes (in-process Worker instances, sharing the round's fault
+	// injector) pull its tasks over real HTTP. The byte-identity check
+	// is unchanged — sharding must not move a byte.
+	ShardWorkers int
 	// Timeout bounds each round. Zero means 2 minutes.
 	Timeout time.Duration
 	// Out receives the per-round report. Nil discards it.
@@ -133,7 +140,8 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 		Measure: rates,
 	})
 
-	srv := New(Config{
+	sharded := cfg.ShardWorkers > 0
+	scfg := Config{
 		Scale:         cfg.scale(),
 		Workers:       cfg.Workers,
 		QueueCapacity: cfg.QueueCapacity,
@@ -145,8 +153,14 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 			OpenFor:   20 * time.Millisecond,
 			Probes:    2,
 		},
-		Faults: injector,
-	})
+	}
+	if sharded {
+		// The seams live in the workers, so the injector goes there.
+		scfg.NoLocalWorkers = true
+	} else {
+		scfg.Faults = injector
+	}
+	srv := New(scfg)
 	srv.Start()
 	defer srv.Drain()
 
@@ -157,6 +171,26 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
+
+	if sharded {
+		wctx, stopWorkers := context.WithCancel(context.Background())
+		var wwg sync.WaitGroup
+		for n := 0; n < cfg.ShardWorkers; n++ {
+			wwg.Add(1)
+			go func() {
+				defer wwg.Done()
+				w := &Worker{
+					Coordinator: "http://" + ln.Addr().String(),
+					Wait:        500 * time.Millisecond,
+					Faults:      injector,
+				}
+				w.Run(wctx)
+			}()
+		}
+		defer wwg.Wait()
+		defer stopWorkers()
+		fmt.Fprintf(out, "round %d: sharded across %d workers\n", round, cfg.ShardWorkers)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout())
 	defer cancel()

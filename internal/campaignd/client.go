@@ -39,6 +39,35 @@ func (e *RetryError) Error() string {
 	return fmt.Sprintf("campaignd: overloaded, retry after %s", e.After)
 }
 
+// Retry-After clamps. RFC 9110 allows both delta-seconds and an
+// HTTP-date; a missing, unparseable, zero or negative value falls back
+// to defaultRetryAfter, and any server-supplied wait is capped at
+// maxRetryAfter so a typo (or a date far in the future) cannot park the
+// client for hours.
+const (
+	defaultRetryAfter = time.Second
+	maxRetryAfter     = 2 * time.Minute
+)
+
+// retryAfter parses a Retry-After header value (delta-seconds or
+// HTTP-date, per RFC 9110 §10.2.3) into a clamped wait duration.
+func retryAfter(h string, now time.Time) time.Duration {
+	after := defaultRetryAfter
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+	} else if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			after = d
+		}
+	}
+	if after > maxRetryAfter {
+		after = maxRetryAfter
+	}
+	return after
+}
+
 func (c *Client) decodeError(resp *http.Response) error {
 	var er errorResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err != nil || er.Error == "" {
@@ -72,11 +101,7 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (Status, error) {
 		}
 		return st, nil
 	case http.StatusTooManyRequests:
-		after := time.Second
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			after = time.Duration(secs) * time.Second
-		}
-		return Status{}, &RetryError{After: after}
+		return Status{}, &RetryError{After: retryAfter(resp.Header.Get("Retry-After"), time.Now())}
 	case http.StatusServiceUnavailable:
 		return Status{}, ErrDraining
 	default:

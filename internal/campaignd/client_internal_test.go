@@ -1,0 +1,36 @@
+package campaignd
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.March, 1, 12, 0, 0, 0, time.UTC)
+	httpDate := func(d time.Duration) string {
+		return now.Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"empty", "", defaultRetryAfter},
+		{"garbage", "soon", defaultRetryAfter},
+		{"delta seconds", "7", 7 * time.Second},
+		{"zero delta", "0", defaultRetryAfter},
+		{"negative delta", "-3", defaultRetryAfter},
+		{"huge delta clamps", "86400", maxRetryAfter},
+		{"http date", httpDate(30 * time.Second), 30 * time.Second},
+		{"http date in the past", httpDate(-time.Minute), defaultRetryAfter},
+		{"http date far out clamps", httpDate(24 * time.Hour), maxRetryAfter},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfter(tc.h, now); got != tc.want {
+				t.Errorf("retryAfter(%q) = %v, want %v", tc.h, got, tc.want)
+			}
+		})
+	}
+}

@@ -44,25 +44,45 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /queuez", s.handleQueuez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /worker/lease", s.handleLease)
+	mux.HandleFunc("POST /worker/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /worker/complete", s.handleComplete)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON encodes v as the response body. Encode errors cannot be
+// reported to the client (the status line is already on the wire), so
+// they are counted instead of discarded — a climbing
+// campaignd_http_write_errors_total points at dying connections or an
+// unencodable response type.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.writeErrs.Inc()
+	}
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// maxSpecBytes caps a submitted spec body. Specs are a handful of scalar
+// fields; anything beyond 1 MiB is a mistake or an attack, and without
+// the cap the decoder would read an arbitrarily large body into memory
+// before rejecting it.
+const maxSpecBytes = 1 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad spec: " + err.Error()})
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	// A typo-keyed field ("layout" for "layouts") would otherwise be
+	// dropped silently and the campaign would run with the default.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad spec: " + err.Error()})
 		return
 	}
 	st, err := s.Submit(spec)
@@ -71,13 +91,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Backpressure: the client should retry once leased work has
 		// completed or been reaped.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusAccepted, st)
+		s.writeJSON(w, http.StatusAccepted, st)
 	}
 }
 
@@ -92,10 +112,10 @@ func retryAfterSeconds(d time.Duration) int {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
 		return
 	}
-	writeJSON(w, http.StatusOK, c.snapshot())
+	s.writeJSON(w, http.StatusOK, c.snapshot())
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -109,17 +129,17 @@ func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.Writer, *core.Dataset) error) {
 	c, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
 		return
 	}
 	ds, err := c.dataset()
 	switch {
 	case errors.Is(err, errNotDone):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusAccepted, c.snapshot())
+		s.writeJSON(w, http.StatusAccepted, c.snapshot())
 		return
 	case err != nil:
-		writeJSON(w, http.StatusConflict, c.snapshot())
+		s.writeJSON(w, http.StatusConflict, c.snapshot())
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
@@ -130,27 +150,29 @@ func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.
 }
 
 type queuezResponse struct {
-	Depth     int    `json:"depth"`
-	Leased    int    `json:"leased"`
-	Capacity  int    `json:"capacity"`
-	Campaigns int    `json:"campaigns"`
-	Draining  bool   `json:"draining"`
-	Build     string `json:"breaker_build"`
-	Measure   string `json:"breaker_measure"`
+	Depth        int    `json:"depth"`
+	Leased       int    `json:"leased"`
+	RemoteLeases int    `json:"remote_leases"`
+	Capacity     int    `json:"capacity"`
+	Campaigns    int    `json:"campaigns"`
+	Draining     bool   `json:"draining"`
+	Build        string `json:"breaker_build"`
+	Measure      string `json:"breaker_measure"`
 }
 
 func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.campaigns)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, queuezResponse{
-		Depth:     s.queue.Depth(),
-		Leased:    s.queue.Leased(),
-		Capacity:  s.queue.Capacity(),
-		Campaigns: n,
-		Draining:  s.Draining(),
-		Build:     s.build.State().String(),
-		Measure:   s.measure.State().String(),
+	s.writeJSON(w, http.StatusOK, queuezResponse{
+		Depth:        s.queue.Depth(),
+		Leased:       s.queue.Leased(),
+		RemoteLeases: s.remote.Len(),
+		Capacity:     s.queue.Capacity(),
+		Campaigns:    n,
+		Draining:     s.Draining(),
+		Build:        s.build.State().String(),
+		Measure:      s.measure.State().String(),
 	})
 }
 

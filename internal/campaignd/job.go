@@ -14,6 +14,7 @@ import (
 	"interferometry/internal/experiments"
 	"interferometry/internal/faultinject"
 	"interferometry/internal/progen"
+	"interferometry/internal/toolchain"
 )
 
 // JobSpec is the JSON body of a campaign submission. Everything that
@@ -151,11 +152,12 @@ type campaign struct {
 // newCampaign admits a spec: derives the campaign config, prepares the
 // runner's shared state, and opens (or resumes) the checkpoint. The
 // returned pending slice lists the layout indices still to measure.
-func newCampaign(parent context.Context, spec JobSpec, scale experiments.Scale, workers int, checkpointRoot string, faults *faultinject.Injector, now time.Time) (*campaign, []int, error) {
+func newCampaign(parent context.Context, spec JobSpec, scale experiments.Scale, workers int, checkpointRoot string, cache toolchain.LayoutCache, faults *faultinject.Injector, now time.Time) (*campaign, []int, error) {
 	cfg, err := campaignConfig(spec, scale)
 	if err != nil {
 		return nil, nil, err
 	}
+	cfg.LayoutCache = cache
 	cfg.Faults = faults
 	id := spec.ID(scale)
 

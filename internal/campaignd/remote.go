@@ -1,0 +1,194 @@
+package campaignd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"interferometry/internal/core"
+	"interferometry/internal/experiments"
+	"interferometry/internal/jobqueue"
+)
+
+// Coordinator/worker protocol (DESIGN.md §10). Remote campaignd worker
+// processes pull leased layout tasks from these endpoints, execute them
+// through their own core.LayoutRunner, and stream the observation back.
+// The coordinator stays the single authority over lease lifetime,
+// attempt counting and result merging: a worker only ever reports what
+// one execution produced, and every merge goes through the same
+// campaign.complete / taskFailed paths the local worker pool uses —
+// which is what keeps the finished dataset byte-identical whatever the
+// worker count, completion order or mid-campaign worker deaths.
+//
+// The per-seam circuit breakers intentionally guard only the local
+// pool's seams: a remote worker's failures are isolated to its process,
+// and tripping shared breakers on one bad worker would starve the rest.
+
+// Long-poll bounds for /worker/lease.
+const (
+	defaultLeaseWait = 5 * time.Second
+	maxLeaseWait     = 60 * time.Second
+)
+
+// leaseRequest is the body of POST /worker/lease.
+type leaseRequest struct {
+	// WaitMS bounds the long poll; zero means 5s, capped at 60s.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+}
+
+// leaseResponse hands one leased layout task to a worker. Spec and
+// Scale carry everything the worker needs to derive the campaign config
+// locally — the seed tuple discipline guarantees its runner is
+// equivalent to the coordinator's.
+type leaseResponse struct {
+	LeaseID    string            `json:"lease_id"`
+	CampaignID string            `json:"campaign_id"`
+	Layout     int               `json:"layout"`
+	Attempt    int               `json:"attempt"`
+	Spec       JobSpec           `json:"spec"`
+	Scale      experiments.Scale `json:"scale"`
+	// LeaseMS is the coordinator's lease duration; workers heartbeat at
+	// a third of it.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// leaseRef names a lease in heartbeat requests.
+type leaseRef struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// completeRequest reports one finished execution: an observation on
+// success, an error string on failure. Exactly one should be set.
+type completeRequest struct {
+	LeaseID     string        `json:"lease_id"`
+	Observation *core.ObsWire `json:"observation,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// ack is the empty-but-valid JSON body of settled protocol calls.
+type ack struct {
+	OK bool `json:"ok"`
+}
+
+// decodeBody decodes a small protocol body strictly. An empty body
+// decodes to the zero value, so lease requests can omit the JSON.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// handleLease long-polls the queue for a task, drains tasks of dead
+// campaigns in place (exactly like the local worker loop), and hands
+// the first live one to the caller under a registered lease ID.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad lease request: " + err.Error()})
+		return
+	}
+	wait := defaultLeaseWait
+	if req.WaitMS > 0 {
+		wait = time.Duration(req.WaitMS) * time.Millisecond
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	// Dead workers leave registry entries behind; sweeping on the lease
+	// path bounds them without a background goroutine.
+	s.remote.Sweep()
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	for {
+		lease, err := s.queue.Pop(ctx)
+		if errors.Is(err, jobqueue.ErrClosed) {
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ErrDraining.Error()})
+			return
+		}
+		if err != nil { // long poll elapsed (or caller went away)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t := lease.Payload()
+		c := t.camp
+		if cerr := c.ctx.Err(); cerr != nil {
+			c.abort(context.Cause(c.ctx))
+			lease.Complete()
+			continue
+		}
+		s.writeJSON(w, http.StatusOK, leaseResponse{
+			LeaseID:    s.remote.Register(lease),
+			CampaignID: c.id,
+			Layout:     t.layout,
+			Attempt:    lease.Attempt(),
+			Spec:       c.spec,
+			Scale:      s.cfg.scale(),
+			LeaseMS:    s.cfg.lease().Milliseconds(),
+		})
+		return
+	}
+}
+
+// handleHeartbeat extends a remote lease; 410 tells the worker its task
+// has been requeued and it must abandon the execution.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req leaseRef
+	if err := decodeBody(w, r, &req); err != nil || req.LeaseID == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad heartbeat request"})
+		return
+	}
+	if err := s.remote.Heartbeat(req.LeaseID); err != nil {
+		s.writeJSON(w, http.StatusGone, errorResponse{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleComplete settles a remote execution through the same paths the
+// local pool uses. Duplicate or late completions (expired lease) return
+// 410 and the result is discarded — by determinism the task's next
+// owner derives identical bytes, so nothing is lost.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := decodeBody(w, r, &req); err != nil || req.LeaseID == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad complete request"})
+		return
+	}
+	lease, ok := s.remote.Take(req.LeaseID)
+	if !ok {
+		s.writeJSON(w, http.StatusGone, errorResponse{Error: jobqueue.ErrLeaseLost.Error()})
+		return
+	}
+	t := lease.Payload()
+	c := t.camp
+	if cerr := c.ctx.Err(); cerr != nil {
+		c.abort(context.Cause(c.ctx))
+		lease.Complete()
+		s.writeJSON(w, http.StatusOK, ack{OK: true})
+		return
+	}
+	switch {
+	case req.Error != "":
+		s.taskFailed(lease, c, t, errors.New(req.Error))
+	case req.Observation == nil:
+		s.taskFailed(lease, c, t, errors.New("worker reported neither observation nor error"))
+	default:
+		o := req.Observation.Observation()
+		if want := c.runner.LayoutSeed(t.layout); o.LayoutSeed != want {
+			// A result for the wrong layout (worker bug) must not merge;
+			// it costs the attempt it claimed to be.
+			s.taskFailed(lease, c, t, fmt.Errorf("worker observation has layout seed %#x, layout %d derives %#x", o.LayoutSeed, t.layout, want))
+		} else {
+			c.complete(t.layout, core.CompletedObservation(o, c.attemptsOf(t.layout)+1))
+			lease.Complete()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, ack{OK: true})
+}

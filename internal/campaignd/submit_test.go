@@ -1,0 +1,69 @@
+package campaignd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"interferometry/internal/campaignd"
+)
+
+// postSpec posts a raw body to /campaigns, bypassing the typed client so
+// malformed requests reach the handler as-is.
+func postSpec(t *testing.T, client *campaignd.Client, body []byte) *http.Response {
+	t.Helper()
+	resp, err := client.HTTP.Post(client.Base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// wantBadRequest asserts a 400 with a JSON error body mentioning want.
+func wantBadRequest(t *testing.T, resp *http.Response, want string) {
+	t.Helper()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("400 body is not the JSON error shape: %v", err)
+	}
+	if !strings.Contains(er.Error, want) {
+		t.Fatalf("error %q does not mention %q", er.Error, want)
+	}
+}
+
+func TestSubmitRejectsUnknownField(t *testing.T) {
+	_, client := startService(t, campaignd.Config{Workers: 1})
+	// "layout" for "layouts": without DisallowUnknownFields this would
+	// silently run a default-sized campaign.
+	resp := postSpec(t, client, []byte(`{"benchmark":"429.mcf","layout":8}`))
+	wantBadRequest(t, resp, "layout")
+}
+
+func TestSubmitRejectsOversizedBody(t *testing.T) {
+	_, client := startService(t, campaignd.Config{Workers: 1})
+	big, err := json.Marshal(map[string]any{
+		"benchmark": strings.Repeat("x", 2<<20),
+		"layouts":   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postSpec(t, client, big)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("2MiB spec: status = %s, want 400", resp.Status)
+	}
+}
+
+func TestSubmitRejectsMalformedJSON(t *testing.T) {
+	_, client := startService(t, campaignd.Config{Workers: 1})
+	resp := postSpec(t, client, []byte(`{"benchmark":`))
+	wantBadRequest(t, resp, "bad spec")
+}

@@ -1,0 +1,272 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"interferometry/internal/core"
+	"interferometry/internal/experiments"
+	"interferometry/internal/faultinject"
+	"interferometry/internal/obs"
+	"interferometry/internal/toolchain"
+)
+
+// Worker is one remote execution process: it pulls leased layout tasks
+// from a coordinator's /worker/* endpoints, executes them through its
+// own core.LayoutRunner, and streams the observations back. Workers are
+// stateless between tasks — every per-layout input re-derives from the
+// spec the lease carries — so any number of them can join, leave or die
+// mid-campaign without changing a byte of the finished dataset: the
+// coordinator's lease reaping requeues whatever a dead worker held, and
+// the re-execution derives identical results.
+type Worker struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://localhost:8347".
+	Coordinator string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Parallel is the number of concurrent task loops (and the worker's
+	// runner slot count). Zero or negative means 1.
+	Parallel int
+	// Wait bounds each lease long poll. Zero means the coordinator's
+	// default.
+	Wait time.Duration
+	// Cache optionally backs the worker's build seam with a layout
+	// artifact store, shared with other workers on the same host.
+	Cache toolchain.LayoutCache
+	// Faults optionally injects faults into the worker's seams — the
+	// sharded chaos soak's hook. Nil runs clean.
+	Faults *faultinject.Injector
+	// Obs observes the worker's campaigns; nil runs unobserved.
+	Obs *obs.Observer
+}
+
+func (w *Worker) parallel() int {
+	if w.Parallel <= 0 {
+		return 1
+	}
+	return w.Parallel
+}
+
+func (w *Worker) http() *http.Client {
+	if w.HTTP != nil {
+		return w.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Run pulls and executes tasks until the coordinator drains or ctx
+// ends. Connection errors are retried with a short pause — a worker
+// outliving a coordinator restart just resumes pulling.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return errors.New("campaignd: worker needs a coordinator URL")
+	}
+	runners := &workerRunners{w: w}
+	var wg sync.WaitGroup
+	for slot := 0; slot < w.parallel(); slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w.loop(ctx, runners, slot)
+		}(slot)
+	}
+	wg.Wait()
+	return nil
+}
+
+// loop is one task goroutine; slot doubles as the runner's measurement
+// slot so concurrent tasks never share harness state.
+func (w *Worker) loop(ctx context.Context, runners *workerRunners, slot int) {
+	for ctx.Err() == nil {
+		lr, status, err := w.lease(ctx)
+		switch {
+		case err != nil:
+			// Coordinator unreachable: pause briefly and retry.
+			select {
+			case <-ctx.Done():
+			case <-time.After(200 * time.Millisecond):
+			}
+		case status == http.StatusServiceUnavailable:
+			return // draining: no more work will be leased
+		case status == http.StatusNoContent:
+			// Long poll elapsed with nothing eligible; poll again.
+		default:
+			w.execute(ctx, runners, slot, lr)
+		}
+	}
+}
+
+// lease long-polls the coordinator for one task.
+func (w *Worker) lease(ctx context.Context) (leaseResponse, int, error) {
+	req := leaseRequest{}
+	if w.Wait > 0 {
+		req.WaitMS = w.Wait.Milliseconds()
+	}
+	var lr leaseResponse
+	status, err := w.post(ctx, "/worker/lease", req, &lr)
+	return lr, status, err
+}
+
+// execute runs one leased task and reports the outcome. Failures to
+// execute become error completions (the coordinator owns retry policy);
+// failures to report are abandoned — the lease expires and the task's
+// next owner derives the identical result.
+func (w *Worker) execute(ctx context.Context, runners *workerRunners, slot int, lr leaseResponse) {
+	stopBeat := w.heartbeat(ctx, lr)
+	defer stopBeat()
+
+	runner, err := runners.get(lr.CampaignID, lr.Spec, lr.Scale)
+	if err != nil {
+		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: err.Error()})
+		return
+	}
+	var exe *toolchain.Executable
+	err = core.Guard(func() error {
+		var berr error
+		exe, berr = runner.BuildLayout(lr.Layout)
+		return berr
+	})
+	if err != nil {
+		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("build: %v", err)})
+		return
+	}
+	var o core.Observation
+	err = core.Guard(func() error {
+		var merr error
+		o, merr = runner.MeasureLayout(slot, lr.Layout, exe)
+		return merr
+	})
+	if err != nil {
+		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("measure: %v", err)})
+		return
+	}
+	wire := o.Wire()
+	w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Observation: &wire})
+}
+
+// complete reports one outcome, retrying brief connection failures. A
+// 410 (lease lost) needs no handling: the result is discarded and the
+// requeued task re-derives it elsewhere.
+func (w *Worker) complete(ctx context.Context, req completeRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		var a ack
+		if _, err := w.post(ctx, "/worker/complete", req, &a); err == nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// heartbeat keeps the lease alive at a third of the coordinator's lease
+// duration while the seams run. A lost lease (410) just stops the beat;
+// the completion discovers the loss.
+func (w *Worker) heartbeat(ctx context.Context, lr leaseResponse) (stop func()) {
+	every := time.Duration(lr.LeaseMS) * time.Millisecond / 3
+	if every <= 0 {
+		return func() {}
+	}
+	hbCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-ticker.C:
+				status, err := w.post(hbCtx, "/worker/heartbeat", leaseRef{LeaseID: lr.LeaseID}, nil)
+				if err == nil && status != http.StatusNoContent {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// post sends one protocol request and decodes a JSON response into out
+// (when out is non-nil and the response has a body).
+func (w *Worker) post(ctx context.Context, path string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("campaignd: worker: bad %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// workerRunners caches one LayoutRunner per campaign. The runner holds
+// the campaign's shared work (trace interpretation, the one compile all
+// layouts reorder), so reusing it across that campaign's tasks is what
+// makes a worker's marginal task cost just Reorder+Link+measure. A
+// small bound is plenty: a worker rarely interleaves more than a couple
+// of campaigns, and an evicted runner is just recomputed.
+type workerRunners struct {
+	w *Worker
+
+	mu      sync.Mutex
+	runners map[string]*core.LayoutRunner
+	order   []string // FIFO eviction order
+}
+
+// maxWorkerRunners bounds the cached runners per worker process.
+const maxWorkerRunners = 4
+
+func (rc *workerRunners) get(id string, spec JobSpec, scale experiments.Scale) (*core.LayoutRunner, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if r, ok := rc.runners[id]; ok {
+		return r, nil
+	}
+	cfg, err := campaignConfig(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.LayoutCache = rc.w.Cache
+	cfg.Faults = rc.w.Faults
+	cfg.Obs = rc.w.Obs
+	r, err := core.NewLayoutRunner(cfg, rc.w.parallel())
+	if err != nil {
+		return nil, err
+	}
+	if rc.runners == nil {
+		rc.runners = make(map[string]*core.LayoutRunner)
+	}
+	for len(rc.order) >= maxWorkerRunners {
+		delete(rc.runners, rc.order[0])
+		rc.order = rc.order[1:]
+	}
+	rc.runners[id] = r
+	rc.order = append(rc.order, id)
+	return r, nil
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -119,9 +120,20 @@ type CampaignConfig struct {
 	// directory and supports resuming. Zero value disables.
 	Checkpoint CheckpointConfig
 
+	// LayoutCache optionally backs the build seam with a store of
+	// encoded layouts keyed by (builder fingerprint, layout seed), so a
+	// resubmitted, resumed or extended campaign skips redundant
+	// Reorder+Link work. Linking is deterministic, so a hit is
+	// bit-identical to a rebuild and the cache never changes results.
+	// internal/artifactcache provides the bounded on-disk
+	// implementation. Nil disables caching.
+	LayoutCache toolchain.LayoutCache
+
 	// Faults optionally injects deterministic faults at the build and
 	// measure seams. It exists for the fault-injection test harness;
-	// production campaigns leave it nil.
+	// production campaigns leave it nil. Faults wrap outside the layout
+	// cache, so an injected build fault corrupts only the returned copy,
+	// never the cached artifact.
 	Faults *faultinject.Injector
 
 	// Obs optionally observes the campaign: metrics, span tracing and
@@ -290,9 +302,12 @@ func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam) {
 	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
 	builder.Observe(builderMetrics(cfg.Obs))
 	var build buildSeam = builder
+	if cfg.LayoutCache != nil {
+		build = toolchain.NewCachedBuilder(builder, cfg.LayoutCache)
+	}
 	if cfg.Faults != nil {
 		cfg.Faults.Observe(cfg.Obs)
-		build = cfg.Faults.WrapBuilder(builder)
+		build = cfg.Faults.WrapBuilder(build)
 	}
 	mcfg := cfg.machineConfig()
 	hmetrics := harnessMetrics(cfg.Obs)
@@ -558,37 +573,57 @@ func measureBuilt(cfg *CampaignConfig, co *campaignObs, meas measureSeam, trace 
 	return Observation{LayoutSeed: seed, HeapSeed: hs, Measurement: m}, nil
 }
 
+// measurementValid reports whether a measurement's counters can enter
+// the outlier screen's robust statistics: a zero instruction count or a
+// non-finite CPI is not a slow layout, it is a corrupt counter read, and
+// feeding it to stats.Median/MAD would violate their NaN contract (and,
+// before that contract existed, silently poison the screen's threshold).
+func measurementValid(m pmc.Measurement) bool {
+	if m.Instructions == 0 {
+		return false
+	}
+	cpi := m.CPI()
+	return !math.IsNaN(cpi) && !math.IsInf(cpi, 0)
+}
+
 // screenOutliers is the robust-statistics screen: observations whose CPI
 // sits further than cfg.OutlierMAD median absolute deviations from the
 // campaign median are re-measured. In a deterministic pipeline the
 // re-measurement reproduces a genuine outlier exactly (it is then kept —
 // a real heavy-tailed layout, not an artifact); a corrupted measurement
 // comes back different and is replaced, marked StatusRetried. The screen
-// is best-effort: re-measurement failures keep the original observation.
+// is best-effort for valid observations: re-measurement failures keep
+// the original. Invalid measurements (NaN/zero-instruction counter
+// reads) are excluded from the median and MAD, always re-measured, and
+// degraded to StatusFailed when the re-measurement cannot produce a
+// valid reading — garbage counters must not pose as data.
 func screenOutliers(cfg *CampaignConfig, co *campaignObs, ds *Dataset, measurers []measureSeam, build buildSeam, trace *interp.Trace, ckpt *checkpointWriter) {
 	idx := ds.usableIdx()
-	if len(idx) < 5 {
-		return
-	}
-	cpis := make([]float64, len(idx))
-	for k, i := range idx {
-		cpis[k] = ds.Obs[i].CPI()
-	}
-	med := stats.Median(cpis)
-	mad := stats.MAD(cpis)
-	if mad <= 0 {
-		return
-	}
-	thresh := cfg.OutlierMAD * mad
-	var flagged []int
-	for k, i := range idx {
-		if math.Abs(cpis[k]-med) > thresh {
+	var valid, flagged []int
+	var cpis []float64
+	for _, i := range idx {
+		if !measurementValid(ds.Obs[i].Measurement) {
 			flagged = append(flagged, i)
+			continue
+		}
+		valid = append(valid, i)
+		cpis = append(cpis, ds.Obs[i].CPI())
+	}
+	if len(valid) >= 5 {
+		med := stats.Median(cpis)
+		if mad := stats.MAD(cpis); mad > 0 {
+			thresh := cfg.OutlierMAD * mad
+			for k, i := range valid {
+				if math.Abs(cpis[k]-med) > thresh {
+					flagged = append(flagged, i)
+				}
+			}
 		}
 	}
 	if len(flagged) == 0 {
 		return
 	}
+	sort.Ints(flagged)
 	screenSpan := obs.Span{}
 	if co != nil {
 		co.outliersFlagged.Add(uint64(len(flagged)))
@@ -601,26 +636,51 @@ func screenOutliers(cfg *CampaignConfig, co *campaignObs, ds *Dataset, measurers
 	superviseForT(cfg.context(), workers, len(flagged), len(flagged), newSupTel(cfg.Obs), func(w, fi int) error {
 		i := flagged[fi]
 		o, err := measureLayout(cfg, co, measurers[w], build, trace, i, w)
-		if err != nil {
+		mu.Lock()
+		defer mu.Unlock()
+		prev := ds.Obs[i]
+		if err == nil && measurementValid(o.Measurement) {
+			if o.Measurement != prev.Measurement {
+				o.Status = StatusRetried
+				o.Attempts += prev.Attempts
+				ds.Obs[i] = o
+				if ckpt != nil {
+					ckpt.put(i, o)
+				}
+				if co != nil {
+					co.outliersRepaired.Inc()
+					co.o.Prog().Repair()
+				}
+			}
 			return nil
 		}
-		mu.Lock()
-		prev := ds.Obs[i]
-		if o.Measurement != prev.Measurement {
-			o.Status = StatusRetried
-			o.Attempts += prev.Attempts
-			ds.Obs[i] = o
-			if ckpt != nil {
-				ckpt.put(i, o)
-			}
-			if co != nil {
-				co.outliersRepaired.Inc()
-				co.o.Prog().Repair()
-			}
+		if measurementValid(prev.Measurement) {
+			// A valid outlier whose re-measurement failed: keep it, the
+			// screen never degrades a usable observation.
+			return nil
 		}
-		mu.Unlock()
+		// The stored observation is a corrupt counter read and it could
+		// not be re-measured into a valid one: degrade it to failed so
+		// fitting and evaluation exclude it.
+		cause := fmt.Errorf("core: layout %d: invalid measurement (corrupt counters) and re-measurement produced no valid reading", i)
+		if err != nil {
+			cause = fmt.Errorf("core: layout %d: invalid measurement (corrupt counters): re-measurement failed: %w", i, err)
+		}
+		failed := Observation{LayoutSeed: cfg.layoutSeed(i), Status: StatusFailed, Attempts: prev.Attempts + cfg.maxAttempts()}
+		if cfg.HeapMode == heap.ModeRandomized {
+			failed.HeapSeed = cfg.heapSeed(i)
+		}
+		ds.Obs[i] = failed
+		ds.Failures = append(ds.Failures, LayoutFailure{Index: i, LayoutSeed: failed.LayoutSeed, Err: cause.Error()})
+		if ckpt != nil {
+			ckpt.put(i, failed)
+		}
+		if co != nil {
+			co.layoutsFailed.Inc()
+		}
 		return nil
 	})
+	sort.Slice(ds.Failures, func(a, b int) bool { return ds.Failures[a].Index < ds.Failures[b].Index })
 	screenSpan.End()
 }
 

@@ -100,6 +100,11 @@ func (r *LayoutRunner) checkIndex(i int) error {
 	return nil
 }
 
+// LayoutSeed returns the seed the campaign derives for layout i.
+// Schedulers use it to validate that a result streamed back from a
+// remote worker belongs to the layout it was leased for.
+func (r *LayoutRunner) LayoutSeed(i int) uint64 { return r.cfg.layoutSeed(i) }
+
 // CompletedObservation stamps retry provenance onto a successful
 // observation the way the in-process supervisor does: Attempts is the
 // number of executions the layout took, and any retry marks the status.

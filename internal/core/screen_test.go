@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
+	"interferometry/internal/testprog"
+)
+
+// corruptSeam always returns a zero-instruction counter read — the
+// invalid-measurement shape a faulty harness hands the screen.
+type corruptSeam struct{}
+
+func (corruptSeam) Measure(machine.RunSpec) (pmc.Measurement, error) {
+	return pmc.Measurement{Cycles: 12345}, nil
+}
+
+func TestMeasurementValid(t *testing.T) {
+	if measurementValid(pmc.Measurement{Cycles: 100}) {
+		t.Error("zero-instruction read counted as valid")
+	}
+	if !measurementValid(pmc.Measurement{Cycles: 100, Instructions: 80}) {
+		t.Error("ordinary read counted as invalid")
+	}
+}
+
+// screenFixture runs a clean campaign and hands back everything
+// screenOutliers needs to be re-driven against a tampered copy.
+func screenFixture(t *testing.T, layouts int) (CampaignConfig, *Dataset) {
+	t.Helper()
+	cfg := CampaignConfig{
+		Program:   testprog.ManyBranches(200, 400),
+		InputSeed: 1,
+		Budget:    120000,
+		Layouts:   layouts,
+		BaseSeed:  7,
+	}
+	ds, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Obs {
+		if !measurementValid(ds.Obs[i].Measurement) {
+			t.Fatalf("clean campaign produced invalid measurement at layout %d", i)
+		}
+	}
+	return cfg, ds
+}
+
+// TestScreenDegradesUnrepairableCorruption: an invalid measurement whose
+// re-measurement is also invalid must leave the screen as StatusFailed
+// with a recorded failure — never as data, and never as a NaN panic in
+// the median/MAD pass.
+func TestScreenDegradesUnrepairableCorruption(t *testing.T) {
+	cfg, ds := screenFixture(t, 8)
+	const victim = 3
+	ds.Obs[victim].Measurement = pmc.Measurement{Cycles: 999}
+
+	build, _ := newSeams(&cfg, 1)
+	screenOutliers(&cfg, nil, ds, []measureSeam{corruptSeam{}}, build, ds.Trace, nil)
+
+	got := ds.Obs[victim]
+	if got.Status != StatusFailed {
+		t.Fatalf("unrepairable corrupt layout has status %v, want StatusFailed", got.Status)
+	}
+	if got.LayoutSeed != cfg.layoutSeed(victim) {
+		t.Errorf("degraded observation lost its layout seed")
+	}
+	found := false
+	for _, f := range ds.Failures {
+		if f.Index == victim {
+			found = true
+			if !strings.Contains(f.Err, "corrupt counters") {
+				t.Errorf("failure cause %q does not name corrupt counters", f.Err)
+			}
+		}
+	}
+	if !found {
+		t.Error("no LayoutFailure recorded for the degraded layout")
+	}
+}
+
+// TestScreenRepairsCorruptionByRemeasuring: with a working measurement
+// seam, a corrupt stored observation is re-measured back to the clean
+// value and marked retried.
+func TestScreenRepairsCorruptionByRemeasuring(t *testing.T) {
+	cfg, ds := screenFixture(t, 8)
+	const victim = 5
+	want := ds.Obs[victim].Measurement
+	ds.Obs[victim].Measurement = pmc.Measurement{Cycles: 999}
+
+	build, measurers := newSeams(&cfg, 1)
+	screenOutliers(&cfg, nil, ds, measurers, build, ds.Trace, nil)
+
+	got := ds.Obs[victim]
+	if got.Status != StatusRetried {
+		t.Fatalf("repaired layout has status %v, want StatusRetried", got.Status)
+	}
+	if got.Measurement != want {
+		t.Fatal("re-measurement did not restore the clean counters")
+	}
+	if len(ds.Failures) != 0 {
+		t.Fatalf("repairable corruption recorded failures: %v", ds.Failures)
+	}
+}
+
+// TestScreenKeepsValidObservations: when every stored measurement is
+// valid, a screen whose re-measurement seam is broken must not change a
+// single observation — it improves datasets or leaves them alone.
+func TestScreenKeepsValidObservations(t *testing.T) {
+	cfg, ds := screenFixture(t, 8)
+	before := append([]Observation(nil), ds.Obs...)
+
+	build, _ := newSeams(&cfg, 1)
+	screenOutliers(&cfg, nil, ds, []measureSeam{corruptSeam{}}, build, ds.Trace, nil)
+
+	for i := range ds.Obs {
+		if ds.Obs[i] != before[i] {
+			t.Fatalf("layout %d changed: %+v -> %+v", i, before[i], ds.Obs[i])
+		}
+	}
+	if len(ds.Failures) != 0 {
+		t.Fatalf("screen of a valid dataset recorded failures: %v", ds.Failures)
+	}
+}
+
+// TestScreenMedianExcludesInvalid: the invalid observation must not
+// enter the median/MAD statistics. With an absurd corrupt CPI in a
+// small spread of valid ones, a poisoned median would flag everything;
+// the screen must re-measure only the corrupt entry.
+func TestScreenMedianExcludesInvalid(t *testing.T) {
+	cfg, ds := screenFixture(t, 8)
+	const victim = 0
+	ds.Obs[victim].Measurement = pmc.Measurement{Cycles: math.MaxUint64}
+
+	build, measurers := newSeams(&cfg, 1)
+	screenOutliers(&cfg, nil, ds, measurers, build, ds.Trace, nil)
+
+	retried := 0
+	for i := range ds.Obs {
+		if ds.Obs[i].Status == StatusRetried {
+			retried++
+			if i != victim {
+				t.Errorf("valid layout %d was re-measured and replaced", i)
+			}
+		}
+	}
+	if retried == 0 {
+		t.Error("corrupt layout was not repaired")
+	}
+}

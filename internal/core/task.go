@@ -1,0 +1,46 @@
+package core
+
+// ObsWire is the JSON wire form of an Observation, used by campaignd's
+// coordinator/worker protocol to stream completed measurements back to
+// the coordinator. It mirrors the checkpoint record (minus the campaign
+// index, which the surrounding message carries), so anything the
+// checkpoint can round-trip the wire can too.
+type ObsWire struct {
+	LayoutSeed   uint64   `json:"layout_seed"`
+	HeapSeed     uint64   `json:"heap_seed"`
+	Cycles       uint64   `json:"cycles"`
+	Instructions uint64   `json:"instructions"`
+	Events       []uint64 `json:"events"`
+	Runs         int      `json:"runs"`
+	Status       uint8    `json:"status"`
+	Attempts     int      `json:"attempts"`
+}
+
+// Wire converts an observation for transport.
+func (o Observation) Wire() ObsWire {
+	return ObsWire{
+		LayoutSeed:   o.LayoutSeed,
+		HeapSeed:     o.HeapSeed,
+		Cycles:       o.Cycles,
+		Instructions: o.Instructions,
+		Events:       append([]uint64(nil), o.Events[:]...),
+		Runs:         o.Runs,
+		Status:       uint8(o.Status),
+		Attempts:     o.Attempts,
+	}
+}
+
+// Observation rebuilds the in-memory observation.
+func (w ObsWire) Observation() Observation {
+	o := Observation{
+		LayoutSeed: w.LayoutSeed,
+		HeapSeed:   w.HeapSeed,
+		Status:     ObsStatus(w.Status),
+		Attempts:   w.Attempts,
+	}
+	o.Cycles = w.Cycles
+	o.Instructions = w.Instructions
+	o.Runs = w.Runs
+	copy(o.Events[:], w.Events)
+	return o
+}

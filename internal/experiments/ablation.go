@@ -370,10 +370,3 @@ func ablateMachinePredictor(ctx *Context, spec progen.Spec) ([]AblationResult, e
 	}
 	return rows, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

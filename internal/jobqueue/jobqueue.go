@@ -354,6 +354,19 @@ func (l *Lease[T]) Heartbeat() error {
 	return nil
 }
 
+// Lost reports whether the lease no longer owns its task: the queue
+// reaped it (or will at the next Pop — an expired-but-unreaped lease is
+// already lost, Heartbeat cannot revive ownership guarantees that have
+// lapsed), it completed, or it was requeued. Registry.Sweep uses it to
+// drop dead remote workers' entries without extending them.
+func (l *Lease[T]) Lost() bool {
+	q := l.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.leases[l]
+	return !ok || !t.notBefore.After(q.now())
+}
+
 // Complete removes the task from the queue for good. ErrLeaseLost means
 // the lease expired first and the task is running (or queued) elsewhere;
 // the caller must discard its result — the duplicate owner's will be

@@ -1,0 +1,92 @@
+package jobqueue
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry names leases with opaque string IDs so they can cross a
+// process boundary. A Lease is a pointer into its queue — fine for
+// in-process workers, useless over HTTP — so campaignd's coordinator
+// registers each lease it hands to a remote worker and resolves the ID
+// on every heartbeat and completion. The registry adds no ownership
+// semantics of its own: the queue's lease remains the single source of
+// truth, and a registry entry whose lease has lapsed resolves to
+// ErrLeaseLost exactly as the in-process API would.
+type Registry[T any] struct {
+	mu     sync.Mutex
+	n      uint64
+	leases map[string]*Lease[T]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[T any]() *Registry[T] {
+	return &Registry[T]{leases: make(map[string]*Lease[T])}
+}
+
+// Register names a lease and returns its ID.
+func (r *Registry[T]) Register(l *Lease[T]) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	id := fmt.Sprintf("lease-%d", r.n)
+	r.leases[id] = l
+	return id
+}
+
+// Heartbeat extends the named lease. An unknown ID or a lapsed lease
+// returns ErrLeaseLost (and drops the entry): the worker must abandon
+// the task, whose next owner will derive an identical result.
+func (r *Registry[T]) Heartbeat(id string) error {
+	r.mu.Lock()
+	l, ok := r.leases[id]
+	r.mu.Unlock()
+	if !ok {
+		return ErrLeaseLost
+	}
+	if err := l.Heartbeat(); err != nil {
+		r.drop(id)
+		return err
+	}
+	return nil
+}
+
+// Take removes and returns the named lease for settlement: the caller
+// completes or requeues it through the normal Lease API. A second Take
+// of the same ID misses, so duplicate completions settle once.
+func (r *Registry[T]) Take(id string) (*Lease[T], bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.leases[id]
+	if ok {
+		delete(r.leases, id)
+	}
+	return l, ok
+}
+
+// Sweep drops every entry whose lease has lapsed. It deliberately does
+// not heartbeat — that would keep dead workers' leases alive forever —
+// so a periodic sweep bounds the registry to live leases even when
+// workers die without a word.
+func (r *Registry[T]) Sweep() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, l := range r.leases {
+		if l.Lost() {
+			delete(r.leases, id)
+		}
+	}
+}
+
+// Len returns the number of registered leases (for introspection).
+func (r *Registry[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.leases)
+}
+
+func (r *Registry[T]) drop(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.leases, id)
+}

@@ -1,0 +1,184 @@
+package jobqueue_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"interferometry/internal/jobqueue"
+)
+
+func popLease(t *testing.T, q *jobqueue.Queue[string]) *jobqueue.Lease[string] {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	l, err := q.Pop(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLeaseLost(t *testing.T) {
+	clock := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4, Lease: time.Second, Now: clock.Now})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	l := popLease(t, q)
+	if l.Lost() {
+		t.Fatal("fresh lease reports lost")
+	}
+	clock.Advance(999 * time.Millisecond)
+	if l.Lost() {
+		t.Fatal("lease lost before its duration elapsed")
+	}
+	clock.Advance(time.Millisecond)
+	if !l.Lost() {
+		t.Fatal("expired lease reports held")
+	}
+}
+
+func TestLeaseLostAfterComplete(t *testing.T) {
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	l := popLease(t, q)
+	if err := l.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Lost() {
+		t.Fatal("settled lease reports held")
+	}
+}
+
+func TestRegistryRegisterAndTake(t *testing.T) {
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	reg := jobqueue.NewRegistry[string]()
+	l := popLease(t, q)
+	id := reg.Register(l)
+	if id == "" {
+		t.Fatal("empty lease ID")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", reg.Len())
+	}
+
+	got, ok := reg.Take(id)
+	if !ok || got != l {
+		t.Fatalf("Take(%q) = %v, %v; want the registered lease", id, got, ok)
+	}
+	// Settlement is single-shot: a duplicate completion finds nothing.
+	if _, ok := reg.Take(id); ok {
+		t.Fatal("second Take of the same ID succeeded")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("Len after Take = %d, want 0", reg.Len())
+	}
+	if err := got.Complete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryHeartbeatExtends(t *testing.T) {
+	clock := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4, Lease: time.Second, Now: clock.Now})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	reg := jobqueue.NewRegistry[string]()
+	id := reg.Register(popLease(t, q))
+
+	// Three extensions carry the lease well past its original expiry.
+	for i := 0; i < 3; i++ {
+		clock.Advance(600 * time.Millisecond)
+		if err := reg.Heartbeat(id); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	l, ok := reg.Take(id)
+	if !ok || l.Lost() {
+		t.Fatal("heartbeated lease should still be held")
+	}
+}
+
+func TestRegistryHeartbeatLost(t *testing.T) {
+	clock := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4, Lease: time.Second, Now: clock.Now})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	reg := jobqueue.NewRegistry[string]()
+	id := reg.Register(popLease(t, q))
+
+	// Expire the lease and let a Pop reap it — the task now belongs to a
+	// new lease, so the old one is unrecoverable.
+	clock.Advance(2 * time.Second)
+	if l := popLease(t, q); l.Payload() != "task" {
+		t.Fatalf("reaped pop returned %q", l.Payload())
+	}
+	if err := reg.Heartbeat(id); !errors.Is(err, jobqueue.ErrLeaseLost) {
+		t.Fatalf("heartbeat after reap = %v, want ErrLeaseLost", err)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("lapsed entry not dropped on failed heartbeat")
+	}
+	if err := reg.Heartbeat("lease-999"); !errors.Is(err, jobqueue.ErrLeaseLost) {
+		t.Fatalf("heartbeat of unknown ID = %v, want ErrLeaseLost", err)
+	}
+}
+
+func TestRegistrySweepDropsOnlyLapsed(t *testing.T) {
+	clock := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4, Lease: time.Second, Now: clock.Now})
+	for _, s := range []string{"a", "b"} {
+		if err := q.Push(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := jobqueue.NewRegistry[string]()
+	idA := reg.Register(popLease(t, q))
+	clock.Advance(800 * time.Millisecond)
+	idB := reg.Register(popLease(t, q)) // fresh: expires 800ms after A
+
+	clock.Advance(400 * time.Millisecond) // A lapsed, B alive
+	reg.Sweep()
+	if reg.Len() != 1 {
+		t.Fatalf("Len after sweep = %d, want 1", reg.Len())
+	}
+	if _, ok := reg.Take(idA); ok {
+		t.Fatal("sweep kept the lapsed lease")
+	}
+	if _, ok := reg.Take(idB); !ok {
+		t.Fatal("sweep dropped the live lease")
+	}
+}
+
+func TestRegistrySweepDoesNotHeartbeat(t *testing.T) {
+	clock := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4, Lease: time.Second, Now: clock.Now})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	reg := jobqueue.NewRegistry[string]()
+	id := reg.Register(popLease(t, q))
+
+	// A sweep just before expiry must not extend the lease: the original
+	// deadline still stands, so a second sweep just after it drops the
+	// entry.
+	clock.Advance(999 * time.Millisecond)
+	reg.Sweep()
+	if reg.Len() != 1 {
+		t.Fatal("sweep dropped a live lease")
+	}
+	clock.Advance(2 * time.Millisecond)
+	reg.Sweep()
+	if reg.Len() != 0 {
+		t.Fatalf("lease %s survived its deadline after a sweep", id)
+	}
+}

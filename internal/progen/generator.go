@@ -705,10 +705,3 @@ func (g *generator) makeMain(nProcs int) []isa.Block {
 	blocks = append(blocks, ret)
 	return blocks
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -54,10 +54,3 @@ func BootstrapLineCI(xs, ys []float64, x float64, b int, seed uint64, level floa
 	center := Mean(preds)
 	return Interval{Center: center, Low: lo, High: hi}, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -85,7 +85,10 @@ func Median(xs []float64) float64 {
 
 // Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
 // interpolation between order statistics (type-7, the R default).
-// It panics on empty input or q outside [0, 1].
+// It panics on empty input, NaN input or q outside [0, 1]: sort.Float64s
+// leaves the ordering of NaN unspecified, so a NaN element would make
+// every order statistic silently garbage. The panic is consistent with
+// the empty-slice contract — callers screen their data first.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
@@ -93,6 +96,7 @@ func Quantile(xs []float64, q float64) float64 {
 	if q < 0 || q > 1 {
 		panic("stats: Quantile fraction out of [0,1]")
 	}
+	checkNoNaN(xs, "Quantile")
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
@@ -108,10 +112,21 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// checkNoNaN panics when xs contains a NaN, naming the order-statistic
+// function whose contract it violates.
+func checkNoNaN(xs []float64, fn string) {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			panic("stats: " + fn + " of NaN input")
+		}
+	}
+}
+
 // MAD returns the median absolute deviation from the median, the robust
 // scale estimate behind the campaign supervisor's outlier screen: unlike
 // the standard deviation, up to half the sample can be wildly corrupted
-// without moving it. It panics on empty input. The raw MAD is returned
+// without moving it. It panics on empty or NaN input (via Median: a NaN
+// deviation would corrupt the order statistics). The raw MAD is returned
 // (no 1.4826 normal-consistency factor); callers choose thresholds in
 // MAD units.
 func MAD(xs []float64) float64 {
@@ -131,6 +146,7 @@ func MedianIndex(xs []float64) int {
 	if len(xs) == 0 {
 		panic("stats: MedianIndex of empty slice")
 	}
+	checkNoNaN(xs, "MedianIndex")
 	idx := make([]int, len(xs))
 	for i := range idx {
 		idx[i] = i

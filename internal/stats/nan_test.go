@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The order statistics sort their input, and sort.Float64s leaves NaN
+// placement unspecified — a NaN element would silently return an
+// arbitrary quantile. The contract is therefore a panic naming the
+// function, so the corrupt upstream counter is found at the source.
+
+func wantNaNPanic(t *testing.T, fn string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s of NaN input did not panic", fn)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, fn) {
+			t.Fatalf("%s panic = %v, want message naming %s", fn, r, fn)
+		}
+	}()
+	f()
+}
+
+func TestOrderStatisticsPanicOnNaN(t *testing.T) {
+	nan := math.NaN()
+	wantNaNPanic(t, "Quantile", func() { Quantile([]float64{1, nan, 3}, 0.5) })
+	wantNaNPanic(t, "Quantile", func() { Median([]float64{nan}) })
+	wantNaNPanic(t, "Quantile", func() { MAD([]float64{1, 2, nan}) })
+	wantNaNPanic(t, "MedianIndex", func() { MedianIndex([]float64{1, nan, 3}) })
+}
+
+func TestOrderStatisticsAcceptInfinity(t *testing.T) {
+	// Infinities sort fine; only NaN breaks the ordering contract.
+	xs := []float64{1, 2, math.Inf(1)}
+	if got := Median(xs); got != 2 {
+		t.Errorf("Median with +Inf = %v, want 2", got)
+	}
+	if got := MedianIndex(xs); got != 1 {
+		t.Errorf("MedianIndex with +Inf = %d, want 1", got)
+	}
+}

@@ -1,0 +1,258 @@
+package toolchain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"interferometry/internal/isa"
+)
+
+// LayoutCache stores encoded executables keyed by (artifact key, layout
+// seed). internal/artifactcache implements it with a bounded on-disk
+// store; the interface lives here so the toolchain does not depend on
+// any particular backing. Implementations must be safe for concurrent
+// use — CachedBuilder is shared across measurement workers.
+type LayoutCache interface {
+	Get(key string, seed uint64) ([]byte, bool)
+	Put(key string, seed uint64, data []byte)
+}
+
+// CachedBuilder wraps a Builder with a LayoutCache: Build serves the
+// encoded address tables from the cache when present and links (then
+// stores) otherwise. Because linking is deterministic, a hit is
+// bit-identical to a rebuild; a corrupt or stale entry fails decoding
+// and falls through to a rebuild that overwrites it, so a damaged cache
+// degrades to slower, never to wrong.
+type CachedBuilder struct {
+	b     *Builder
+	cache LayoutCache
+	key   string
+}
+
+// NewCachedBuilder attaches cache to b. A nil cache returns a wrapper
+// that just builds, so callers can wire it unconditionally.
+func NewCachedBuilder(b *Builder, cache LayoutCache) *CachedBuilder {
+	return &CachedBuilder{b: b, cache: cache, key: b.CacheKey()}
+}
+
+// Program returns the program the underlying builder compiles.
+func (cb *CachedBuilder) Program() *isa.Program { return cb.b.Program() }
+
+// Key returns the artifact key all of this builder's layouts share.
+func (cb *CachedBuilder) Key() string { return cb.key }
+
+// Build links the layout for one seed, consulting the cache first.
+func (cb *CachedBuilder) Build(seed uint64) (*Executable, error) {
+	if cb.cache == nil {
+		return cb.b.Build(seed)
+	}
+	if data, ok := cb.cache.Get(cb.key, seed); ok {
+		if exe, err := DecodeLayout(data, cb.b.Program()); err == nil {
+			return exe, nil
+		}
+		// Undecodable entry: rebuild below and overwrite it.
+	}
+	exe, err := cb.b.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	cb.cache.Put(cb.key, seed, EncodeLayout(exe))
+	return exe, nil
+}
+
+// CacheKey fingerprints everything that determines the builder's output
+// for a given seed: the layout-relevant program shape (block sizes,
+// procedure structure, branch targets — which drive fetch alignment —
+// and global object sizes), the compile-time unit partition, and the
+// link configuration. Two builders with equal keys produce identical
+// executables for every seed, so the key is safe to share across
+// processes; any change to program or toolchain config changes the key
+// and silently invalidates old entries.
+func (b *Builder) CacheKey() string {
+	h := sha256.New()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	p := b.prog
+	ws("interferometry-layout-v1")
+	ws(p.Name)
+	wu(p.Seed)
+	wu(uint64(p.Main))
+	wu(uint64(len(p.Blocks)))
+	for i := range p.Blocks {
+		blk := &p.Blocks[i]
+		wu(uint64(blk.Proc))
+		wu(uint64(blk.Bytes))
+		wu(uint64(blk.Term.Kind))
+		wu(uint64(blk.Term.Target))
+	}
+	wu(uint64(len(p.Procs)))
+	for i := range p.Procs {
+		ws(p.Procs[i].Name)
+		wu(uint64(len(p.Procs[i].Blocks)))
+		for _, bid := range p.Procs[i].Blocks {
+			wu(uint64(bid))
+		}
+	}
+	wu(uint64(len(p.Objects)))
+	for i := range p.Objects {
+		wu(p.Objects[i].Size)
+		if p.Objects[i].Heap {
+			wu(1)
+		} else {
+			wu(0)
+		}
+	}
+	wu(uint64(len(b.units)))
+	for i := range b.units {
+		u := &b.units[i]
+		ws(u.Name)
+		wu(uint64(len(u.Procs)))
+		for _, pid := range u.Procs {
+			wu(uint64(pid))
+		}
+		wu(uint64(len(u.Globals)))
+		for _, obj := range u.Globals {
+			wu(uint64(obj))
+		}
+	}
+	lcfg := b.lcfg
+	lcfg.fillDefaults()
+	wu(lcfg.CodeBase)
+	wu(lcfg.DataBase)
+	wu(lcfg.ProcAlign)
+	wu(lcfg.FetchAlign)
+	wu(lcfg.GlobalAlign)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Layout codec. The encoding is the executable's address tables — the
+// only part of an Executable that depends on the seed — in fixed-width
+// little-endian words behind a magic/version header. DecodeLayout
+// rebinds the caller's Program, so a cached artifact never smuggles
+// program structure across processes; it only carries addresses.
+const (
+	layoutMagic   uint64 = 0x494e544c41594f55 // "INTLAYOU"
+	layoutVersion uint64 = 1
+)
+
+// EncodeLayout serializes an executable's address tables for a
+// LayoutCache.
+func EncodeLayout(e *Executable) []byte {
+	n := 8 * (11 + len(e.BlockAddr) + len(e.ProcAddr) + len(e.GlobalBase) + len(e.LinkOrder))
+	out := make([]byte, 0, n)
+	wu := func(v uint64) {
+		out = binary.LittleEndian.AppendUint64(out, v)
+	}
+	wu(layoutMagic)
+	wu(layoutVersion)
+	wu(e.Seed)
+	wu(e.CodeBase)
+	wu(e.CodeLimit)
+	wu(e.DataBase)
+	wu(e.DataLimit)
+	wu(uint64(len(e.BlockAddr)))
+	for _, a := range e.BlockAddr {
+		wu(a)
+	}
+	wu(uint64(len(e.ProcAddr)))
+	for _, a := range e.ProcAddr {
+		wu(a)
+	}
+	wu(uint64(len(e.GlobalBase)))
+	for _, a := range e.GlobalBase {
+		wu(a)
+	}
+	wu(uint64(len(e.LinkOrder)))
+	for _, pid := range e.LinkOrder {
+		wu(uint64(pid))
+	}
+	return out
+}
+
+// DecodeLayout parses an encoded layout and binds it to p. Any header,
+// shape or length mismatch is an error — callers treat that as a cache
+// miss and rebuild.
+func DecodeLayout(data []byte, p *isa.Program) (*Executable, error) {
+	d := layoutDecoder{data: data}
+	if d.u64() != layoutMagic || d.u64() != layoutVersion {
+		return nil, fmt.Errorf("toolchain: cached layout: bad header")
+	}
+	exe := &Executable{
+		Program:  p,
+		Seed:     d.u64(),
+		CodeBase: d.u64(),
+	}
+	exe.CodeLimit = d.u64()
+	exe.DataBase = d.u64()
+	exe.DataLimit = d.u64()
+	exe.BlockAddr = d.addrs(len(p.Blocks), "blocks")
+	exe.ProcAddr = d.addrs(len(p.Procs), "procedures")
+	exe.GlobalBase = d.addrs(len(p.Objects), "globals")
+	order := d.addrs(len(p.Procs), "link order")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("toolchain: cached layout: %d trailing bytes", len(d.data))
+	}
+	exe.LinkOrder = make([]isa.ProcID, len(order))
+	for i, v := range order {
+		if v >= uint64(len(p.Procs)) {
+			return nil, fmt.Errorf("toolchain: cached layout: link order references procedure %d of %d", v, len(p.Procs))
+		}
+		exe.LinkOrder[i] = isa.ProcID(v)
+	}
+	return exe, nil
+}
+
+// layoutDecoder reads fixed-width words, latching the first error so
+// DecodeLayout can check once at the end.
+type layoutDecoder struct {
+	data []byte
+	err  error
+}
+
+func (d *layoutDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.err = fmt.Errorf("toolchain: cached layout: truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data)
+	d.data = d.data[8:]
+	return v
+}
+
+// addrs reads a length-prefixed table, requiring it to match the bound
+// program's shape.
+func (d *layoutDecoder) addrs(want int, what string) []uint64 {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n != uint64(want) {
+		d.err = fmt.Errorf("toolchain: cached layout: %d %s, program has %d", n, what, want)
+		return nil
+	}
+	if uint64(len(d.data)) < 8*n {
+		d.err = fmt.Errorf("toolchain: cached layout: truncated")
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(d.data[8*i:])
+	}
+	d.data = d.data[8*n:]
+	return out
+}

@@ -1,0 +1,212 @@
+package toolchain_test
+
+import (
+	"reflect"
+	"testing"
+
+	"interferometry/internal/testprog"
+	"interferometry/internal/toolchain"
+)
+
+// mapCache is an in-memory LayoutCache for exercising CachedBuilder.
+type mapCache struct {
+	m    map[string][]byte
+	gets int
+	hits int
+	puts int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string][]byte{}} }
+
+func (c *mapCache) id(key string, seed uint64) string {
+	return key + "/" + string(rune(seed))
+}
+
+func (c *mapCache) Get(key string, seed uint64) ([]byte, bool) {
+	c.gets++
+	data, ok := c.m[c.id(key, seed)]
+	if ok {
+		c.hits++
+	}
+	return data, ok
+}
+
+func (c *mapCache) Put(key string, seed uint64, data []byte) {
+	c.puts++
+	c.m[c.id(key, seed)] = data
+}
+
+func TestLayoutCodecRoundTrip(t *testing.T) {
+	p := testprog.Branchy()
+	b := toolchain.NewBuilder(p, toolchain.CompileConfig{ProcsPerUnit: 2}, toolchain.LinkConfig{})
+	for _, seed := range []uint64{0, 1, 0xdeadbeef} {
+		exe, err := b.Build(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := toolchain.DecodeLayout(toolchain.EncodeLayout(exe), p)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, exe) {
+			t.Fatalf("seed %d: decoded executable differs from original", seed)
+		}
+	}
+}
+
+func TestDecodeLayoutRejectsDamage(t *testing.T) {
+	p := testprog.Branchy()
+	b := toolchain.NewBuilder(p, toolchain.CompileConfig{ProcsPerUnit: 2}, toolchain.LinkConfig{})
+	exe, err := b.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := toolchain.EncodeLayout(exe)
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := toolchain.DecodeLayout(nil, p); err == nil {
+			t.Fatal("decoded empty data")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if _, err := toolchain.DecodeLayout(bad, p); err == nil {
+			t.Fatal("decoded flipped magic")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{1, 8, len(good) / 2, len(good) - 1} {
+			if _, err := toolchain.DecodeLayout(good[:n], p); err == nil {
+				t.Fatalf("decoded %d-byte truncation", n)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		if _, err := toolchain.DecodeLayout(append(append([]byte(nil), good...), 0), p); err == nil {
+			t.Fatal("decoded with trailing bytes")
+		}
+	})
+	t.Run("wrong program", func(t *testing.T) {
+		if _, err := toolchain.DecodeLayout(good, testprog.Memory(3)); err == nil {
+			t.Fatal("decoded against a program of a different shape")
+		}
+	})
+}
+
+func TestCachedBuilderHitIsIdentical(t *testing.T) {
+	p := testprog.Branchy()
+	cache := newMapCache()
+	ccfg := toolchain.CompileConfig{ProcsPerUnit: 2}
+
+	cold := toolchain.NewCachedBuilder(toolchain.NewBuilder(p, ccfg, toolchain.LinkConfig{}), cache)
+	want, err := cold.Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts != 1 || cache.hits != 0 {
+		t.Fatalf("cold build: %d puts, %d hits; want 1, 0", cache.puts, cache.hits)
+	}
+
+	// A second builder over the same program and config shares the key
+	// and must serve the identical executable from cache.
+	warm := toolchain.NewCachedBuilder(toolchain.NewBuilder(p, ccfg, toolchain.LinkConfig{}), cache)
+	got, err := warm.Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits != 1 {
+		t.Fatalf("warm build missed the cache (%d hits)", cache.hits)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cache hit is not bit-identical to the original build")
+	}
+}
+
+func TestCachedBuilderCorruptEntryRebuilds(t *testing.T) {
+	p := testprog.Branchy()
+	cache := newMapCache()
+	cb := toolchain.NewCachedBuilder(toolchain.NewBuilder(p, toolchain.CompileConfig{ProcsPerUnit: 2}, toolchain.LinkConfig{}), cache)
+
+	cache.Put(cb.Key(), 9, []byte("not a layout"))
+	exe, err := cb.Build(9)
+	if err != nil {
+		t.Fatalf("corrupt entry should fall through to a rebuild, got %v", err)
+	}
+	if err := toolchain.CheckExecutable(exe, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The rebuild overwrites the damaged entry with a decodable one.
+	data, ok := cache.Get(cb.Key(), 9)
+	if !ok {
+		t.Fatal("rebuilt artifact was not stored")
+	}
+	if _, err := toolchain.DecodeLayout(data, p); err != nil {
+		t.Fatalf("overwritten entry still undecodable: %v", err)
+	}
+}
+
+func TestCachedBuilderNilCacheBuilds(t *testing.T) {
+	p := testprog.Branchy()
+	cb := toolchain.NewCachedBuilder(toolchain.NewBuilder(p, toolchain.CompileConfig{ProcsPerUnit: 2}, toolchain.LinkConfig{}), nil)
+	exe, err := cb.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolchain.CheckExecutable(exe, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheKeyInvalidation(t *testing.T) {
+	branchy := testprog.Branchy()
+	ccfg := toolchain.CompileConfig{ProcsPerUnit: 2}
+	base := toolchain.NewBuilder(branchy, ccfg, toolchain.LinkConfig{}).CacheKey()
+
+	same := toolchain.NewBuilder(testprog.Branchy(), ccfg, toolchain.LinkConfig{}).CacheKey()
+	if same != base {
+		t.Error("equal program and config produced different keys")
+	}
+	if k := toolchain.NewBuilder(testprog.Memory(3), ccfg, toolchain.LinkConfig{}).CacheKey(); k == base {
+		t.Error("different program shares the key")
+	}
+	if k := toolchain.NewBuilder(branchy, toolchain.CompileConfig{ProcsPerUnit: 1}, toolchain.LinkConfig{}).CacheKey(); k == base {
+		t.Error("different unit partition shares the key")
+	}
+	if k := toolchain.NewBuilder(branchy, ccfg, toolchain.LinkConfig{FetchAlign: 128}).CacheKey(); k == base {
+		t.Error("different link config shares the key")
+	}
+}
+
+// BenchmarkCachedBuild isolates what the artifact cache saves: a cache
+// hit replaces the Reorder+Link pipeline with a decode of ~2KB of
+// address tables.
+func BenchmarkCachedBuild(b *testing.B) {
+	p := testprog.Branchy()
+	ccfg := toolchain.CompileConfig{ProcsPerUnit: 2}
+	b.Run("link", func(b *testing.B) {
+		cb := toolchain.NewCachedBuilder(toolchain.NewBuilder(p, ccfg, toolchain.LinkConfig{}), nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cb.Build(uint64(i) + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache := newMapCache()
+		cb := toolchain.NewCachedBuilder(toolchain.NewBuilder(p, ccfg, toolchain.LinkConfig{}), cache)
+		for i := 0; i < b.N; i++ {
+			if _, err := cb.Build(uint64(i) + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cb.Build(uint64(i) + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -71,10 +71,3 @@ func HotOrderUnits(p *isa.Program, prof *interp.Trace, cfg CompileConfig) []Unit
 func BuildHotLayout(p *isa.Program, prof *interp.Trace, ccfg CompileConfig, lcfg LinkConfig) (*Executable, error) {
 	return Link(p, HotOrderUnits(p, prof, ccfg), 0, lcfg)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
