@@ -62,6 +62,7 @@ func main() {
 		workers        = flag.Int("workers", 2, "task worker pool size (serve: 0 = coordinator only; worker: concurrent tasks)")
 		workerMode     = flag.Bool("worker", false, "run as a remote worker pulling tasks from -coordinator")
 		coordinator    = flag.String("coordinator", "", "coordinator base URL for -worker mode, e.g. http://host:8347")
+		workerBatch    = flag.Int("batch", 0, "worker mode: tasks leased per pull; same-campaign leases share one batched trace walk (<=1 leases singly)")
 		cacheDir       = flag.String("artifact-cache", "", "directory for the content-addressed layout artifact cache (empty = off)")
 		cacheMB        = flag.Int64("artifact-cache-mb", 256, "artifact cache size bound in MiB")
 		queueCap       = flag.Int("queue-capacity", 256, "max tasks in the system (queued + leased)")
@@ -83,6 +84,7 @@ func main() {
 		chaosRounds = flag.Int("chaos-rounds", 3, "faulted service rounds")
 		chaosSeed   = flag.Uint64("chaos-seed", 0xc4a05, "root seed of the per-round fault schedules")
 		chaosShard  = flag.Int("chaos-shard-workers", 0, "run soak rounds sharded across this many workers (0 = single process)")
+		chaosBatch  = flag.Int("chaos-worker-batch", 0, "sharded soak workers lease this many tasks per pull (batched replay; <=1 leases singly)")
 		chaosError  = flag.Float64("chaos-error", 0.2, "per-call injected error rate")
 		chaosPanic  = flag.Float64("chaos-panic", 0.1, "per-call injected panic rate")
 		chaosSpike  = flag.Float64("chaos-spike", 0.2, "per-call latency-spike rate")
@@ -105,6 +107,7 @@ func main() {
 			Seed:         *chaosSeed,
 			Workers:      *workers,
 			ShardWorkers: *chaosShard,
+			WorkerBatch:  *chaosBatch,
 			Rates: faultinject.Rates{
 				Error: *chaosError, Panic: *chaosPanic,
 				Spike: *chaosSpike, SpikeP99: *chaosP99,
@@ -153,6 +156,7 @@ func main() {
 		w := &campaignd.Worker{
 			Coordinator: *coordinator,
 			Parallel:    *workers,
+			Batch:       *workerBatch,
 			Cache:       cache,
 			Obs:         observer,
 		}

@@ -47,6 +47,10 @@ type SoakConfig struct {
 	// injector) pull its tasks over real HTTP. The byte-identity check
 	// is unchanged — sharding must not move a byte.
 	ShardWorkers int
+	// WorkerBatch is each sharded worker's lease batch width
+	// (Worker.Batch): grouped leases share one batched trace walk. The
+	// byte-identity check is unchanged — batching must not move a byte.
+	WorkerBatch int
 	// Timeout bounds each round. Zero means 2 minutes.
 	Timeout time.Duration
 	// Out receives the per-round report. Nil discards it.
@@ -181,6 +185,7 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 				defer wwg.Done()
 				w := &Worker{
 					Coordinator: "http://" + ln.Addr().String(),
+					Batch:       cfg.WorkerBatch,
 					Wait:        500 * time.Millisecond,
 					Faults:      injector,
 				}
@@ -189,7 +194,7 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 		}
 		defer wwg.Wait()
 		defer stopWorkers()
-		fmt.Fprintf(out, "round %d: sharded across %d workers\n", round, cfg.ShardWorkers)
+		fmt.Fprintf(out, "round %d: sharded across %d workers (batch %d)\n", round, cfg.ShardWorkers, cfg.WorkerBatch)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout())

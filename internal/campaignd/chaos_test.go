@@ -43,6 +43,39 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosSoakShardedBatched is the batched scale-out soak: every round
+// runs as a pure coordinator with 2 remote workers, each leasing up to 3
+// tasks per pull and sharing one batched trace walk per group, under the
+// same fault storm — and the export must still match the clean
+// single-process bytes.
+func TestChaosSoakShardedBatched(t *testing.T) {
+	var out bytes.Buffer
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:         testSpec(8),
+		Rounds:       2,
+		Seed:         0xba7c4,
+		ShardWorkers: 2,
+		WorkerBatch:  3,
+		Rates: faultinject.Rates{
+			Error: 0.2, Panic: 0.1,
+			MaxFaults: 2,
+		},
+		Timeout: time.Minute,
+		Out:     &out,
+	})
+	t.Logf("soak output:\n%s", out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "soak PASS") {
+		t.Error("soak report missing the PASS line")
+	}
+	if strings.Contains(report, "0 faults") {
+		t.Error("a soak round injected no faults")
+	}
+}
+
 // TestSoakRejectsCorruptFaults: silent measurement corruption cannot be
 // detected by the service, so the soak refuses to claim byte-identity
 // under it.

@@ -14,8 +14,10 @@ import (
 )
 
 // startWorkers launches n in-process remote workers against the
-// coordinator and returns a cancel that stops them and waits.
-func startWorkers(t *testing.T, coordinator string, httpc *http.Client, n int) (stop func()) {
+// coordinator and returns a cancel that stops them and waits. batch > 1
+// lets each worker lease that many tasks per pull and batch their
+// replays.
+func startWorkers(t *testing.T, coordinator string, httpc *http.Client, n, batch int) (stop func()) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
@@ -26,6 +28,7 @@ func startWorkers(t *testing.T, coordinator string, httpc *http.Client, n int) (
 			w := &campaignd.Worker{
 				Coordinator: coordinator,
 				HTTP:        httpc,
+				Batch:       batch,
 				Wait:        100 * time.Millisecond,
 			}
 			w.Run(ctx)
@@ -40,11 +43,11 @@ func startWorkers(t *testing.T, coordinator string, httpc *http.Client, n int) (
 }
 
 // runSharded runs one spec on a fresh pure coordinator with n remote
-// workers and returns the dataset CSV.
-func runSharded(t *testing.T, spec campaignd.JobSpec, n int) []byte {
+// workers (leasing batch tasks per pull) and returns the dataset CSV.
+func runSharded(t *testing.T, spec campaignd.JobSpec, n, batch int) []byte {
 	t.Helper()
 	_, client := startService(t, campaignd.Config{NoLocalWorkers: true})
-	startWorkers(t, client.Base, client.HTTP, n)
+	startWorkers(t, client.Base, client.HTTP, n, batch)
 	ctx := context.Background()
 	st, err := client.Submit(ctx, spec)
 	if err != nil {
@@ -69,11 +72,25 @@ func TestShardedMatchesSingleProcess(t *testing.T) {
 	spec := testSpec(8)
 	want := datasetCSV(t, cleanDataset(t, spec))
 
-	if got := runSharded(t, spec, 1); !bytes.Equal(got, want) {
+	if got := runSharded(t, spec, 1, 0); !bytes.Equal(got, want) {
 		t.Errorf("1-worker sharded dataset differs from single-process run:\n--- sharded ---\n%s--- clean ---\n%s", got, want)
 	}
-	if got := runSharded(t, spec, 4); !bytes.Equal(got, want) {
+	if got := runSharded(t, spec, 4, 0); !bytes.Equal(got, want) {
 		t.Errorf("4-worker sharded dataset differs from single-process run:\n--- sharded ---\n%s--- clean ---\n%s", got, want)
+	}
+}
+
+// TestShardedBatchedMatchesSingleProcess is the batched-replay variant
+// of the scale-out headline: 2 workers each leasing up to 4 tasks per
+// pull and sharing one trace walk per group must still produce the
+// byte-exact dataset of a clean single-process run, whatever mix of
+// batch widths the lease timing produces.
+func TestShardedBatchedMatchesSingleProcess(t *testing.T) {
+	spec := testSpec(10)
+	want := datasetCSV(t, cleanDataset(t, spec))
+
+	if got := runSharded(t, spec, 2, 4); !bytes.Equal(got, want) {
+		t.Errorf("2-worker batched sharded dataset differs from single-process run:\n--- sharded ---\n%s--- clean ---\n%s", got, want)
 	}
 }
 
@@ -143,7 +160,7 @@ func TestShardedWorkerDeathRecovers(t *testing.T) {
 
 	// The survivor finishes the campaign, including the dead worker's
 	// requeued task.
-	startWorkers(t, client.Base, client.HTTP, 1)
+	startWorkers(t, client.Base, client.HTTP, 1, 0)
 	if st = waitDone(t, client, st.ID); st.State != campaignd.StateDone {
 		t.Fatalf("campaign ended %s: %s", st.State, st.Error)
 	}

@@ -34,6 +34,13 @@ type Worker struct {
 	// Parallel is the number of concurrent task loops (and the worker's
 	// runner slot count). Zero or negative means 1.
 	Parallel int
+	// Batch is the maximum tasks a loop leases per pull (capped at 64,
+	// the batched replay's lane limit). After one task arrives, up to
+	// Batch-1 more are leased without waiting; leases from the same
+	// campaign then share one batched trace walk (core.LayoutRunner.
+	// PrimeBatch) before measuring, which changes throughput but not a
+	// byte of any result. Zero or one leases singly.
+	Batch int
 	// Wait bounds each lease long poll. Zero means the coordinator's
 	// default.
 	Wait time.Duration
@@ -52,6 +59,16 @@ func (w *Worker) parallel() int {
 		return 1
 	}
 	return w.Parallel
+}
+
+func (w *Worker) batch() int {
+	if w.Batch <= 1 {
+		return 1
+	}
+	if w.Batch > 64 {
+		return 64
+	}
+	return w.Batch
 }
 
 func (w *Worker) http() *http.Client {
@@ -98,9 +115,25 @@ func (w *Worker) loop(ctx context.Context, runners *workerRunners, slot int) {
 		case status == http.StatusNoContent:
 			// Long poll elapsed with nothing eligible; poll again.
 		default:
-			w.execute(ctx, runners, slot, lr)
+			w.executeGroup(ctx, runners, slot, w.gather(ctx, lr))
 		}
 	}
+}
+
+// gather tops a freshly leased task up to the configured batch width with
+// whatever the coordinator can hand over immediately — the extra leases
+// use a minimal wait so an idle queue never delays the task in hand.
+func (w *Worker) gather(ctx context.Context, first leaseResponse) []leaseResponse {
+	group := []leaseResponse{first}
+	for len(group) < w.batch() {
+		var lr leaseResponse
+		status, err := w.post(ctx, "/worker/lease", leaseRequest{WaitMS: 1}, &lr)
+		if err != nil || status != http.StatusOK {
+			break
+		}
+		group = append(group, lr)
+	}
+	return group
 }
 
 // lease long-polls the coordinator for one task.
@@ -114,41 +147,80 @@ func (w *Worker) lease(ctx context.Context) (leaseResponse, int, error) {
 	return lr, status, err
 }
 
-// execute runs one leased task and reports the outcome. Failures to
-// execute become error completions (the coordinator owns retry policy);
-// failures to report are abandoned — the lease expires and the task's
-// next owner derives the identical result.
-func (w *Worker) execute(ctx context.Context, runners *workerRunners, slot int, lr leaseResponse) {
-	stopBeat := w.heartbeat(ctx, lr)
-	defer stopBeat()
+// executeGroup runs a group of leased tasks, all heartbeated for the
+// duration: leases sharing the first task's campaign execute as one
+// batch, the rest singly. Failures to execute become error completions
+// (the coordinator owns retry policy); failures to report are abandoned
+// — the lease expires and the task's next owner derives the identical
+// result.
+func (w *Worker) executeGroup(ctx context.Context, runners *workerRunners, slot int, group []leaseResponse) {
+	for i := range group {
+		defer w.heartbeat(ctx, group[i])()
+	}
+	head := group[0].CampaignID
+	batch := group[:0:0]
+	for _, lr := range group {
+		if lr.CampaignID == head {
+			batch = append(batch, lr)
+		}
+	}
+	w.executeBatch(ctx, runners, slot, batch)
+	for _, lr := range group {
+		if lr.CampaignID != head {
+			w.executeBatch(ctx, runners, slot, []leaseResponse{lr})
+		}
+	}
+}
 
-	runner, err := runners.get(lr.CampaignID, lr.Spec, lr.Scale)
+// executeBatch builds every leased layout of one campaign, primes the
+// runner's batched replay when at least two built (a pure accelerator:
+// a declined prime just measures sequentially, and a primed measurement
+// is bit-identical to an unprimed one), then measures and completes each
+// task individually — a failure costs only its own task.
+func (w *Worker) executeBatch(ctx context.Context, runners *workerRunners, slot int, batch []leaseResponse) {
+	runner, err := runners.get(batch[0].CampaignID, batch[0].Spec, batch[0].Scale)
 	if err != nil {
-		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: err.Error()})
+		for _, lr := range batch {
+			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: err.Error()})
+		}
 		return
 	}
-	var exe *toolchain.Executable
-	err = core.Guard(func() error {
-		var berr error
-		exe, berr = runner.BuildLayout(lr.Layout)
-		return berr
-	})
-	if err != nil {
-		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("build: %v", err)})
-		return
+	built := batch[:0:0]
+	var idxs []int
+	var exes []*toolchain.Executable
+	for _, lr := range batch {
+		var exe *toolchain.Executable
+		err := core.Guard(func() error {
+			var berr error
+			exe, berr = runner.BuildLayout(lr.Layout)
+			return berr
+		})
+		if err != nil {
+			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("build: %v", err)})
+			continue
+		}
+		built = append(built, lr)
+		idxs = append(idxs, lr.Layout)
+		exes = append(exes, exe)
 	}
-	var o core.Observation
-	err = core.Guard(func() error {
-		var merr error
-		o, merr = runner.MeasureLayout(slot, lr.Layout, exe)
-		return merr
-	})
-	if err != nil {
-		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("measure: %v", err)})
-		return
+	if len(built) >= 2 {
+		// Diagnostic only: an un-primed slot replays each layout itself.
+		_ = core.Guard(func() error { return runner.PrimeBatch(slot, idxs, exes) })
 	}
-	wire := o.Wire()
-	w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Observation: &wire})
+	for j, lr := range built {
+		var o core.Observation
+		err := core.Guard(func() error {
+			var merr error
+			o, merr = runner.MeasureLayout(slot, lr.Layout, exes[j])
+			return merr
+		})
+		if err != nil {
+			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("measure: %v", err)})
+			continue
+		}
+		wire := o.Wire()
+		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Observation: &wire})
+	}
 }
 
 // complete reports one outcome, retrying brief connection failures. A

@@ -17,6 +17,13 @@ import (
 // the single-replay fast path; the shared-compile Builder and the
 // allocation-free machine are in both paths.
 func benchCampaign(b *testing.B, fid pmc.Fidelity, o *obs.Observer) {
+	benchCampaignBatch(b, fid, o, 0)
+}
+
+// benchCampaignBatch is benchCampaign with an explicit batched-replay
+// width: 1 pins the historic sequential path, 0 the automatic batch
+// width (the default every caller now gets).
+func benchCampaignBatch(b *testing.B, fid pmc.Fidelity, o *obs.Observer, batch int) {
 	b.Helper()
 	spec, ok := progen.ByName("400.perlbench")
 	if !ok {
@@ -30,6 +37,7 @@ func benchCampaign(b *testing.B, fid pmc.Fidelity, o *obs.Observer) {
 		Fidelity:  fid,
 		BaseSeed:  42,
 		Obs:       o,
+		BatchSize: batch,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -73,4 +81,20 @@ func BenchmarkCampaignPaperFidelityNaive(b *testing.B) {
 // paper-fidelity measurement can approach.
 func BenchmarkCampaignFastFidelity(b *testing.B) {
 	benchCampaign(b, pmc.FidelityFast, nil)
+}
+
+// BenchmarkCampaignSequential pins the pre-batching sequential path
+// (BatchSize 1, one trace walk per layout) at paper fidelity: the
+// before side of the batched-replay comparison.
+func BenchmarkCampaignSequential(b *testing.B) {
+	benchCampaignBatch(b, pmc.FidelityPaper, nil, 1)
+}
+
+// BenchmarkCampaignBatched is the batched replay on the same 32-layout
+// workload: every worker chunk walks the trace once and fans the
+// per-layout cycle scalars back through the measurement protocol. The
+// results are byte-identical to BenchmarkCampaignSequential's; only the
+// layouts/s metric should move.
+func BenchmarkCampaignBatched(b *testing.B) {
+	benchCampaignBatch(b, pmc.FidelityPaper, nil, 0)
 }

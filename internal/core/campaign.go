@@ -75,6 +75,16 @@ type CampaignConfig struct {
 	// Workers bounds parallelism. Zero means GOMAXPROCS.
 	Workers int
 
+	// BatchSize is the batched-replay width: each worker leases a
+	// contiguous chunk of up to BatchSize layouts and walks the trace
+	// once for the whole chunk (machine.Batch), synthesizing every
+	// layout's measurement from the shared walk. Batching is pinned
+	// bit-identical to sequential replay, so this knob changes only
+	// throughput, never results. Zero picks a width automatically
+	// (each worker's fair share of the campaign, capped at 32); 1
+	// disables batching. FidelityPaperNaive always runs sequentially.
+	BatchSize int
+
 	// Compile and Link override toolchain defaults when non-zero.
 	Compile toolchain.CompileConfig
 	Link    toolchain.LinkConfig
@@ -297,8 +307,10 @@ type measureSeam interface {
 // newSeams prepares the campaign's two measurement seams: one compile
 // shared by every layout and worker (only Reorder+Link depend on the
 // layout seed) and one counter harness per worker slot, both wrapped by
-// the fault injector when one is configured.
-func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam) {
+// the fault injector when one is configured. The bare harnesses are
+// returned alongside the (possibly fault-wrapped) seams so the batched
+// replay path can wire each harness's Det source.
+func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam, []*pmc.Harness) {
 	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
 	builder.Observe(builderMetrics(cfg.Obs))
 	var build buildSeam = builder
@@ -312,6 +324,7 @@ func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam) {
 	mcfg := cfg.machineConfig()
 	hmetrics := harnessMetrics(cfg.Obs)
 	measurers := make([]measureSeam, workers)
+	harnesses := make([]*pmc.Harness, workers)
 	for w := range measurers {
 		h := &pmc.Harness{
 			Machine:      machine.New(mcfg),
@@ -319,13 +332,14 @@ func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam) {
 			RunsPerGroup: cfg.RunsPerGroup,
 			Metrics:      hmetrics,
 		}
+		harnesses[w] = h
 		if cfg.Faults != nil {
 			measurers[w] = cfg.Faults.WrapMeasurer(h)
 		} else {
 			measurers[w] = h
 		}
 	}
-	return build, measurers
+	return build, measurers, harnesses
 }
 
 // RunCampaign executes the campaign under the supervisor: one trace,
@@ -368,7 +382,19 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 	}
 
 	workers := normalizeWorkers(cfg.Workers, cfg.Layouts)
-	build, measurers := newSeams(&cfg, workers)
+	build, measurers, harnesses := newSeams(&cfg, workers)
+
+	// Batched replay: when the effective batch width exceeds 1, each
+	// worker takes contiguous chunks of layouts and walks the trace once
+	// per chunk, priming its harness's Det source. Results are pinned
+	// bit-identical to the sequential path, so everything downstream —
+	// retries, failure budget, outlier screen, checkpoints — is shared.
+	bs := cfg.batchSize(workers)
+	var slots []*batchSlot
+	if bs > 1 {
+		slots = newBatchSlots(cfg.machineConfig(), harnesses, bs)
+		defer releaseBatchSlots(slots)
+	}
 
 	// Checkpoint: load completed observations on resume, then persist
 	// every newly completed one.
@@ -391,17 +417,7 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 	}
 
 	var mu sync.Mutex
-	failed, err := superviseForT(cfg.context(), workers, cfg.Layouts, cfg.FailureBudget, newSupTel(cfg.Obs), func(w, i int) error {
-		if done[i] {
-			if co != nil {
-				co.o.Prog().Done()
-			}
-			return nil
-		}
-		o, err := measureLayout(&cfg, co, measurers[w], build, trace, i, w)
-		if err != nil {
-			return err
-		}
+	record := func(i int, o Observation) {
 		mu.Lock()
 		ds.Obs[i] = o
 		mu.Unlock()
@@ -415,8 +431,29 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 			}
 			co.o.Prog().Done()
 		}
-		return nil
-	})
+	}
+	var failed []*IndexError
+	var err error
+	if slots != nil {
+		failed, err = superviseChunksT(cfg.context(), workers, cfg.Layouts, bs, cfg.FailureBudget, newSupTel(cfg.Obs), func(w, lo, hi int, fail func(i int, err error)) {
+			measureChunk(&cfg, co, slots[w], measurers[w], build, trace, lo, hi, w, done, record, fail)
+		})
+	} else {
+		failed, err = superviseForT(cfg.context(), workers, cfg.Layouts, cfg.FailureBudget, newSupTel(cfg.Obs), func(w, i int) error {
+			if done[i] {
+				if co != nil {
+					co.o.Prog().Done()
+				}
+				return nil
+			}
+			o, merr := measureLayout(&cfg, co, measurers[w], build, trace, i, w)
+			if merr != nil {
+				return merr
+			}
+			record(i, o)
+			return nil
+		})
+	}
 	for _, f := range failed {
 		o := Observation{LayoutSeed: cfg.layoutSeed(f.Index), Status: StatusFailed}
 		if cfg.HeapMode == heap.ModeRandomized {

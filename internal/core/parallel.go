@@ -177,6 +177,125 @@ func superviseForT(ctx context.Context, workers, n, budget int, tel *supTel, fn 
 	return failed, nil
 }
 
+// superviseChunksT is superviseForT with chunked dispatch: indices are
+// handed out as contiguous chunks of up to chunk indices, and fn
+// processes one chunk per call, reporting per-index failures through its
+// fail callback. The chunk is a unit of dispatch, never of failure — one
+// bad index fails alone and the rest of its chunk proceeds — so the
+// failure budget, abort and cancellation semantics match superviseForT
+// index for index. fn is expected to guard its own per-index work; a
+// panic escaping fn itself is recovered and attributed to the chunk's
+// first index.
+func superviseChunksT(ctx context.Context, workers, n, chunk, budget int, tel *supTel, fn func(worker, lo, hi int, fail func(i int, err error))) ([]*IndexError, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	nChunks := (n + chunk - 1) / chunk
+	var (
+		next   atomic.Int64
+		stop   atomic.Bool
+		mu     sync.Mutex
+		failed []*IndexError
+		wg     sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		failed = append(failed, &IndexError{Index: i, Err: err})
+		if len(failed) > budget {
+			stop.Store(true)
+		}
+		mu.Unlock()
+	}
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var born, free time.Time
+			var busy time.Duration
+			if tel != nil {
+				born = time.Now()
+				free = born
+				defer func() {
+					tel.busy.Add(busy.Seconds())
+					tel.idle.Add((time.Since(born) - busy).Seconds())
+				}()
+			}
+			for {
+				if stop.Load() || canceled() {
+					return
+				}
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				var t0 time.Time
+				if tel != nil {
+					t0 = time.Now()
+					// Every index in the chunk spent this gap queued
+					// behind the worker, so the wait histogram keeps its
+					// per-index cardinality under chunked dispatch.
+					wait := t0.Sub(free).Seconds()
+					for i := lo; i < hi; i++ {
+						tel.wait.Observe(wait)
+					}
+				}
+				if err := runGuarded(func(_, _ int) error {
+					fn(w, lo, hi, fail)
+					return nil
+				}, w, lo); err != nil {
+					fail(lo, err)
+				}
+				if tel != nil {
+					free = time.Now()
+					busy += free.Sub(t0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+	if canceled() {
+		errs := make([]error, 0, len(failed)+1)
+		errs = append(errs, context.Cause(ctx))
+		for _, f := range failed {
+			errs = append(errs, f)
+		}
+		return failed, errors.Join(errs...)
+	}
+	if len(failed) > budget {
+		errs := make([]error, 0, len(failed)+1)
+		errs = append(errs, fmt.Errorf("%w: %d failures exceed budget %d", ErrSweepAborted, len(failed), budget))
+		for _, f := range failed {
+			errs = append(errs, f)
+		}
+		return failed, errors.Join(errs...)
+	}
+	return failed, nil
+}
+
 // runGuarded invokes fn(w, i), converting a panic into a *PanicError.
 func runGuarded(fn func(worker, i int) error, w, i int) (err error) {
 	defer func() {

@@ -7,6 +7,8 @@ import (
 
 	"interferometry/internal/heap"
 	"interferometry/internal/interp"
+	"interferometry/internal/machine"
+	"interferometry/internal/pmc"
 	"interferometry/internal/toolchain"
 )
 
@@ -29,6 +31,13 @@ type LayoutRunner struct {
 	trace *interp.Trace
 	build buildSeam
 	meas  []measureSeam
+
+	// slots lazily holds one batched-replay engine per worker slot for
+	// MeasureBatch; nil entries mean the slot has not batched yet.
+	slots []*batchSlot
+	// harnesses are the bare per-slot harnesses behind meas, kept so
+	// MeasureBatch can wire each harness's Det source on first use.
+	harnesses []*pmc.Harness
 }
 
 // NewLayoutRunner validates the config, interprets the trace and
@@ -51,13 +60,15 @@ func NewLayoutRunner(cfg CampaignConfig, workers int) (*LayoutRunner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: trace generation failed: %w", err)
 	}
-	build, meas := newSeams(&cfg, workers)
+	build, meas, harnesses := newSeams(&cfg, workers)
 	return &LayoutRunner{
-		cfg:   cfg,
-		co:    newCampaignObs(&cfg),
-		trace: trace,
-		build: build,
-		meas:  meas,
+		cfg:       cfg,
+		co:        newCampaignObs(&cfg),
+		trace:     trace,
+		build:     build,
+		meas:      meas,
+		slots:     make([]*batchSlot, workers),
+		harnesses: harnesses,
 	}, nil
 }
 
@@ -91,6 +102,66 @@ func (r *LayoutRunner) MeasureLayout(w, i int, exe *toolchain.Executable) (Obser
 		return Observation{}, fmt.Errorf("core: worker slot %d outside [0,%d)", w, len(r.meas))
 	}
 	return measureBuilt(&r.cfg, r.co, r.meas[w], r.trace, exe, i, w)
+}
+
+// PrimeBatch walks the trace once for a group of built layouts on worker
+// slot w, priming the slot's harness so the following MeasureLayout
+// calls synthesize their measurements from the shared walk instead of
+// replaying per layout. Priming is a pure accelerator: the batched
+// replay is pinned bit-identical to the sequential one, and a declined
+// prime (unbatchable machine geometry, too many lanes, or a batch
+// failure) costs nothing — MeasureLayout simply replays sequentially.
+// The returned error is diagnostic only; callers may ignore it.
+//
+// Like MeasureLayout, two concurrent calls must use distinct slots, and
+// the priming is consumed by the same slot's MeasureLayout.
+func (r *LayoutRunner) PrimeBatch(w int, layouts []int, exes []*toolchain.Executable) error {
+	if w < 0 || w >= len(r.meas) {
+		return fmt.Errorf("core: worker slot %d outside [0,%d)", w, len(r.meas))
+	}
+	if len(layouts) != len(exes) {
+		return fmt.Errorf("core: %d layouts with %d executables", len(layouts), len(exes))
+	}
+	if r.cfg.Fidelity == pmc.FidelityPaperNaive || len(layouts) < 2 || len(layouts) > 64 {
+		return nil
+	}
+	for _, i := range layouts {
+		if err := r.checkIndex(i); err != nil {
+			return err
+		}
+	}
+	slot := r.slots[w]
+	if slot == nil || slot.batch.MaxLanes() < len(layouts) {
+		b, err := machine.NewBatch(r.cfg.machineConfig(), len(layouts))
+		if err != nil {
+			return err
+		}
+		slot = &batchSlot{batch: b, cache: &detCache{}}
+		r.slots[w] = slot
+		r.harnesses[w].Det = slot.cache
+	}
+	slot.cache.reset()
+	slot.specs = slot.specs[:0]
+	for j, i := range layouts {
+		hs := uint64(0)
+		if r.cfg.HeapMode == heap.ModeRandomized {
+			hs = r.cfg.heapSeed(i)
+		}
+		slot.specs = append(slot.specs, machine.RunSpec{
+			Exe:      exes[j],
+			Trace:    r.trace,
+			HeapMode: r.cfg.HeapMode,
+			HeapSeed: hs,
+		})
+	}
+	cs, dets, err := slot.batch.Run(slot.specs)
+	if err != nil {
+		return err
+	}
+	for j := range slot.specs {
+		slot.cache.put(slot.specs[j], cs[j], dets[j])
+	}
+	return nil
 }
 
 func (r *LayoutRunner) checkIndex(i int) error {

@@ -1,0 +1,133 @@
+package heap
+
+import "interferometry/internal/isa"
+
+// PlacementTable is the K-lane object placement state of a batched
+// replay: one allocator and one object-base column per lane (layout),
+// with the placed/unplaced flags shared across lanes — whether an object
+// has been placed depends only on the trace's allocation events, which
+// every lane replays identically; only the addresses differ.
+//
+// Base addresses are stored object-major (Row(obj) is the K bases of one
+// object, contiguous), matching the batch walk's inner loop over lanes.
+// Allocators are reused across Reset like machine.Machine reuses its
+// per-mode allocators, so a steady-state batch run allocates nothing
+// here.
+type PlacementTable struct {
+	lanes int
+	mode  Mode
+	bumps []*Bump
+	rands []*Randomized
+	// base[obj*lanes + k] is object obj's base address in lane k; placed
+	// is indexed by object and shared across lanes.
+	base   []uint64
+	placed []bool
+}
+
+// NewPlacementTable builds a table with capacity for maxLanes lanes.
+func NewPlacementTable(maxLanes int) *PlacementTable {
+	if maxLanes <= 0 {
+		panic("heap: placement table needs at least one lane")
+	}
+	return &PlacementTable{
+		bumps: make([]*Bump, maxLanes),
+		rands: make([]*Randomized, maxLanes),
+	}
+}
+
+// MaxLanes returns the table's lane capacity.
+func (t *PlacementTable) MaxLanes() int { return len(t.bumps) }
+
+// Lanes returns the active lane count of the current Reset.
+func (t *PlacementTable) Lanes() int { return t.lanes }
+
+// Reset prepares the table for one batched run over len(cfgs) lanes (at
+// most MaxLanes) and nObjs objects: every lane's allocator is restored
+// to the state a fresh construction with (mode, seeds[k], cfgs[k]) would
+// produce, and every object is unplaced. seeds is ignored for ModeBump.
+func (t *PlacementTable) Reset(nObjs int, mode Mode, seeds []uint64, cfgs []Config) {
+	k := len(cfgs)
+	if k == 0 || k > len(t.bumps) {
+		panic("heap: placement table lane count out of range")
+	}
+	if mode == ModeRandomized && len(seeds) != k {
+		panic("heap: placement table needs one seed per randomized lane")
+	}
+	t.lanes = k
+	t.mode = mode
+	for i := 0; i < k; i++ {
+		if mode == ModeRandomized {
+			if t.rands[i] == nil {
+				t.rands[i] = NewRandomized(seeds[i], cfgs[i])
+			} else {
+				t.rands[i].Reset(seeds[i], cfgs[i])
+			}
+		} else {
+			if t.bumps[i] == nil {
+				t.bumps[i] = NewBump(cfgs[i])
+			} else {
+				t.bumps[i].Reset(cfgs[i])
+			}
+		}
+	}
+	if need := nObjs * k; cap(t.base) < need {
+		t.base = make([]uint64, need)
+	} else {
+		t.base = t.base[:need]
+	}
+	if cap(t.placed) < nObjs {
+		t.placed = make([]bool, nObjs)
+	} else {
+		t.placed = t.placed[:nObjs]
+		for i := range t.placed {
+			t.placed[i] = false
+		}
+	}
+}
+
+// Row returns the mutable K-lane base-address row of obj. Callers place
+// layout-dependent globals by writing the row directly and marking it
+// placed.
+func (t *PlacementTable) Row(obj isa.ObjectID) []uint64 {
+	i := int(obj) * t.lanes
+	return t.base[i : i+t.lanes : i+t.lanes]
+}
+
+// Placed reports whether obj currently has a base address (shared across
+// lanes).
+func (t *PlacementTable) Placed(obj isa.ObjectID) bool { return t.placed[obj] }
+
+// MarkPlaced marks obj placed.
+func (t *PlacementTable) MarkPlaced(obj isa.ObjectID) { t.placed[obj] = true }
+
+// Alloc replays one AllocNew event into every lane: each lane's
+// allocator places the object exactly as a scalar replay of that lane
+// would, and the row is updated with the per-lane bases.
+func (t *PlacementTable) Alloc(obj isa.ObjectID, size uint64) {
+	row := t.Row(obj)
+	if t.mode == ModeRandomized {
+		for k := 0; k < t.lanes; k++ {
+			row[k] = t.rands[k].Alloc(obj, size)
+		}
+	} else {
+		for k := 0; k < t.lanes; k++ {
+			row[k] = t.bumps[k].Alloc(obj, size)
+		}
+	}
+	t.placed[obj] = true
+}
+
+// Free replays one AllocFree event into every lane. Like the scalar
+// replay, the object stays placed: its row keeps the last address so a
+// replayed dangling access still has somewhere to go.
+func (t *PlacementTable) Free(obj isa.ObjectID) {
+	if t.mode == ModeRandomized {
+		for k := 0; k < t.lanes; k++ {
+			t.rands[k].Free(obj)
+		}
+	} else {
+		for k := 0; k < t.lanes; k++ {
+			t.bumps[k].Free(obj)
+		}
+	}
+}

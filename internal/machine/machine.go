@@ -311,10 +311,19 @@ func (m *Machine) heapFor(spec RunSpec) heap.Allocator {
 	return m.bumpHeap
 }
 
+// Invalidate drops the cached per-block precomputation, forcing the next
+// run to reload its executable. The load cache keys on pointer identity,
+// so an Executable mutated in place — e.g. a buffer re-decoded by an
+// artifact cache, or a test rewriting BlockAddr — would otherwise be
+// served stale block tables; callers that rebuild an executable in place
+// must call Invalidate before the next run.
+func (m *Machine) Invalidate() { m.loadedExe = nil }
+
 // load precomputes per-block state for the executable. The block table and
 // the callee-address backing array are reused across executables of the
 // same (or smaller) program, so re-loading in a campaign's layout loop does
-// not allocate after the first layout.
+// not allocate after the first layout. The cache keys on pointer identity;
+// see Invalidate for the in-place-mutation escape hatch.
 func (m *Machine) load(exe *toolchain.Executable) error {
 	if m.loadedExe == exe {
 		return nil
@@ -376,16 +385,7 @@ func (m *Machine) load(exe *toolchain.Executable) error {
 // block: instruction-class costs plus memory and allocation base costs and
 // the terminator.
 func (m *Machine) baseCycles(b *isa.Block) float64 {
-	cy := 0.0
-	for cls, n := range b.ClassCounts {
-		cy += m.cfg.ClassCycles[cls] * float64(n)
-	}
-	cy += m.cfg.MemOpCycles * float64(len(b.Mems))
-	cy += m.cfg.AllocCycles * float64(len(b.Allocs))
-	if b.Term.Kind != isa.TermFallthrough {
-		cy += m.cfg.TermCycles
-	}
-	return cy
+	return baseCyclesFor(&m.cfg, b)
 }
 
 func sqrtF(x float64) float64 {

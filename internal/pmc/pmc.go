@@ -106,6 +106,20 @@ const (
 	FidelityPaperNaive
 )
 
+// DetSource supplies precomputed deterministic replays. The batched
+// campaign path walks the trace once for a whole group of layouts
+// (machine.Batch) and hands the per-layout results to its harnesses
+// through this seam, so Measure skips the scalar simulation it would
+// otherwise run. A source must return exactly what
+// machine.RunDeterministic returns for the spec — same counters, a
+// bit-identical raw cycle float — or report ok=false, in which case the
+// harness simulates as usual.
+type DetSource interface {
+	// Det returns the deterministic counters and raw cycle count for
+	// spec, or ok=false when the source has no replay for it.
+	Det(spec machine.RunSpec) (c machine.Counters, det float64, ok bool)
+}
+
 // Harness measures executables on a machine. A harness is not safe for
 // concurrent use; create one per goroutine.
 type Harness struct {
@@ -115,11 +129,28 @@ type Harness struct {
 	Fidelity     Fidelity
 	// Metrics optionally counts the harness's work. Nil disables.
 	Metrics *HarnessMetrics
+	// Det optionally short-circuits the deterministic replay at
+	// FidelityFast and FidelityPaper; a source hit is bit-identical to
+	// simulating by the DetSource contract, so results do not depend on
+	// whether one is wired. FidelityPaperNaive ignores it — that
+	// fidelity exists to literally execute every protocol run.
+	Det DetSource
 
 	// Per-measurement scratch, reused across Measure calls.
 	cycles []float64
 	noisy  []uint64
 	snaps  []machine.Counters
+}
+
+// det resolves one deterministic replay: from the Det source when it has
+// the spec, otherwise by simulating.
+func (h *Harness) det(spec machine.RunSpec) (machine.Counters, float64, error) {
+	if h.Det != nil {
+		if c, d, ok := h.Det.Det(spec); ok {
+			return c, d, nil
+		}
+	}
+	return h.Machine.RunDeterministic(spec)
 }
 
 // HarnessMetrics are the harness's observability counters, resolved by
@@ -129,7 +160,9 @@ type Harness struct {
 type HarnessMetrics struct {
 	// Measurements counts Measure calls that completed successfully.
 	Measurements *obs.Counter
-	// Simulations counts full machine simulations actually executed.
+	// Simulations counts full deterministic replays consumed — executed
+	// on this harness's machine, or served by its Det source (which ran
+	// the replay inside a batched trace walk).
 	Simulations *obs.Counter
 	// SynthRuns counts protocol runs synthesized from a shared
 	// simulation instead of simulated (the FidelityPaper fast path).
@@ -237,9 +270,12 @@ func (h *Harness) Measure(spec machine.RunSpec) (Measurement, error) {
 	}
 	switch h.Fidelity {
 	case FidelityFast:
-		c, err := h.Machine.Run(spec)
+		c, det, err := h.det(spec)
 		if err != nil {
 			return Measurement{}, err
+		}
+		if !spec.DisableNoise {
+			c.Cycles = h.Machine.NoisyCycles(spec, det)
 		}
 		var m Measurement
 		m.Cycles = c.Cycles
@@ -256,7 +292,7 @@ func (h *Harness) Measure(spec machine.RunSpec) (Measurement, error) {
 		// deterministic state — the per-run NoiseSeed perturbs only the
 		// final cycle scalar — so one simulation plus the per-run noise
 		// transform reproduces all 3×runs observations exactly.
-		c, det, err := h.Machine.RunDeterministic(spec)
+		c, det, err := h.det(spec)
 		if err != nil {
 			return Measurement{}, err
 		}

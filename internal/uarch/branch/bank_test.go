@@ -1,0 +1,91 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestXeonBankMatchesScalar pins every XeonBank lane bit-identical to a
+// private NewXeonE5440 instance: PredictUpdate must return exactly what
+// scalar Predict would, and train exactly as scalar Update does, under
+// an interleaved multi-lane branch stream with heavy PC aliasing.
+func TestXeonBankMatchesScalar(t *testing.T) {
+	const lanes = 6
+	bank := NewXeonBank(lanes)
+	refs := make([]*Hybrid, lanes)
+	for k := range refs {
+		refs[k] = NewXeonE5440()
+	}
+	rng := rand.New(rand.NewSource(7))
+	pcs := make([]uint64, 64)
+	for i := range pcs {
+		pcs[i] = rng.Uint64() & (1<<44 - 1)
+	}
+	for op := 0; op < 300000; op++ {
+		k := rng.Intn(lanes)
+		pc := pcs[rng.Intn(len(pcs))]
+		taken := rng.Intn(3) != 0
+		want := refs[k].Predict(pc)
+		refs[k].Update(pc, taken)
+		if got := bank.PredictUpdate(k, pc, taken); got != want {
+			t.Fatalf("op %d lane %d pc %#x: bank predicted %v, scalar %v", op, k, pc, got, want)
+		}
+		if op%50000 == 0 {
+			bank.Reset()
+			for _, r := range refs {
+				r.Reset()
+			}
+		}
+	}
+}
+
+// TestBTBBankMatchesScalar pins every BTBBank lane bit-identical to a
+// private scalar BTB: same predicted/mispredicted outcomes, including
+// wrong-target corrections and LRU evictions.
+func TestBTBBankMatchesScalar(t *testing.T) {
+	const lanes = 4
+	for _, geom := range [][2]int{{512, 4}, {16, 2}, {8, 1}} {
+		sets, ways := geom[0], geom[1]
+		bank, err := NewBTBBank(sets, ways, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*BTB, lanes)
+		for k := range refs {
+			refs[k] = NewBTB(sets, ways)
+		}
+		rng := rand.New(rand.NewSource(11))
+		pcs := make([]uint64, 48)
+		targets := make([]uint64, 8)
+		for i := range pcs {
+			pcs[i] = rng.Uint64() & (1<<44 - 1)
+		}
+		for i := range targets {
+			targets[i] = rng.Uint64() & (1<<44 - 1)
+		}
+		for op := 0; op < 200000; op++ {
+			k := rng.Intn(lanes)
+			pc := pcs[rng.Intn(len(pcs))]
+			target := targets[rng.Intn(len(targets))]
+			want := refs[k].Predict(pc, target)
+			if got := bank.PredictUpdate(k, pc, target); got != want {
+				t.Fatalf("%dx%d op %d lane %d pc %#x: bank %v, scalar %v", sets, ways, op, k, pc, got, want)
+			}
+			if op%60000 == 0 {
+				bank.Reset()
+				for _, r := range refs {
+					r.Reset()
+				}
+			}
+		}
+	}
+}
+
+func TestBTBBankRejectsWideGeometry(t *testing.T) {
+	if _, err := NewBTBBank(64, 16, 2); err == nil {
+		t.Fatal("NewBTBBank accepted a 16-way geometry")
+	}
+	if _, err := NewBTBBank(63, 4, 2); err == nil {
+		t.Fatal("NewBTBBank accepted a non-power-of-two set count")
+	}
+}

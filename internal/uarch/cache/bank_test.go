@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestBankMatchesCache pins every Bank lane bit-identical to a private
+// scalar Cache driven by the same operation sequence: same hit results,
+// same counters, same probe outcomes — across geometries, interleaved
+// lanes, repeat-access runs (the memo fast path), prefetches and
+// mid-stream flushes.
+func TestBankMatchesCache(t *testing.T) {
+	geoms := []Config{
+		{Name: "l1", SizeBytes: 32 * 1024, LineBytes: 64, Ways: 8},
+		{Name: "small", SizeBytes: 1024, LineBytes: 64, Ways: 4},
+		{Name: "direct", SizeBytes: 4096, LineBytes: 64, Ways: 1},
+		{Name: "tiny-line", SizeBytes: 2048, LineBytes: 16, Ways: 2},
+	}
+	const lanes = 5
+	for _, cfg := range geoms {
+		t.Run(cfg.Name, func(t *testing.T) {
+			bank, err := NewBank(cfg, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs := make([]*Cache, lanes)
+			for k := range refs {
+				refs[k] = New(cfg)
+			}
+			rng := rand.New(rand.NewSource(42))
+			// A small address pool forces hits, conflicts and repeats; a
+			// run-length knob exercises the repeat-access memo. The mask
+			// keeps addresses under the tightest geometry's AddrLimit
+			// ("small" has 4 sets: 2^(31+6+2)).
+			pool := make([]uint64, 96)
+			for i := range pool {
+				pool[i] = rng.Uint64() & (1<<38 - 1)
+			}
+			addr := pool[0]
+			for op := 0; op < 200000; op++ {
+				k := rng.Intn(lanes)
+				if rng.Intn(4) != 0 { // 3/4: fresh address, else repeat last
+					addr = pool[rng.Intn(len(pool))] + uint64(rng.Intn(4)*cfg.LineBytes)
+				}
+				switch r := rng.Intn(100); {
+				case r < 88:
+					if got, want := bank.Access(k, addr), refs[k].Access(addr); got != want {
+						t.Fatalf("op %d lane %d addr %#x: bank access %v, cache %v", op, k, addr, got, want)
+					}
+				case r < 94:
+					bank.Prefetch(k, addr)
+					refs[k].Prefetch(addr)
+				case r < 99:
+					if got, want := bank.Probe(k, addr), refs[k].Probe(addr); got != want {
+						t.Fatalf("op %d lane %d addr %#x: bank probe %v, cache %v", op, k, addr, got, want)
+					}
+				default:
+					bank.Flush()
+					for _, c := range refs {
+						c.Flush()
+					}
+				}
+				if bank.Hits(k) != refs[k].Hits() || bank.Misses(k) != refs[k].Misses() {
+					t.Fatalf("op %d lane %d: bank counters %d/%d, cache %d/%d",
+						op, k, bank.Hits(k), bank.Misses(k), refs[k].Hits(), refs[k].Misses())
+				}
+			}
+		})
+	}
+}
+
+func TestBankRejectsWideGeometry(t *testing.T) {
+	_, err := NewBank(Config{Name: "wide", SizeBytes: 64 * 1024, LineBytes: 64, Ways: 16}, 2)
+	if err == nil {
+		t.Fatal("NewBank accepted a 16-way geometry the packed order word cannot hold")
+	}
+}
+
+func TestBankFlushRestoresPowerOn(t *testing.T) {
+	cfg := Config{Name: "f", SizeBytes: 1024, LineBytes: 64, Ways: 4}
+	bank, err := NewBank(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewBank(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		bank.Access(i%2, uint64(i*64))
+	}
+	bank.Flush()
+	for i := 0; i < 500; i++ {
+		a := uint64((i * 7 % 40) * 64)
+		if got, want := bank.Access(i%2, a), fresh.Access(i%2, a); got != want {
+			t.Fatalf("post-flush access %d diverged from fresh bank", i)
+		}
+	}
+}
+
+func ExampleBank() {
+	bank, _ := NewBank(Config{Name: "demo", SizeBytes: 1024, LineBytes: 64, Ways: 2}, 2)
+	fmt.Println(bank.Access(0, 0x1000), bank.Access(0, 0x1000), bank.Access(1, 0x1000))
+	// Output: false true false
+}
