@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -68,7 +69,12 @@ func main() {
 		queueCap       = flag.Int("queue-capacity", 256, "max tasks in the system (queued + leased)")
 		lease          = flag.Duration("lease", 30*time.Second, "task lease duration without a heartbeat")
 		maxAttempts    = flag.Int("max-attempts", 3, "executions per layout before permanent failure")
-		checkpointRoot = flag.String("checkpoint-root", "", "directory for per-campaign checkpoints (empty = off)")
+		checkpointRoot = flag.String("checkpoint-root", "", "directory for per-campaign checkpoints (empty = off; defaults to <wal-dir>/checkpoints when -wal-dir is set)")
+		walDir         = flag.String("wal-dir", "", "directory for the write-ahead log; submissions are replayed and resumed after a crash (empty = off)")
+
+		tenantQueued    = flag.Int("tenant-max-queued", 0, "per-tenant cap on tasks in the system, queued + leased (0 = unlimited)")
+		tenantCampaigns = flag.Int("tenant-max-campaigns", 0, "per-tenant cap on running campaigns (0 = unlimited)")
+		fairQuantum     = flag.Int("fair-quantum", 0, "tasks a tenant pops per fair-scheduling turn (0 = 1)")
 
 		backoffBase   = flag.Duration("backoff-base", 50*time.Millisecond, "first retry delay")
 		backoffCap    = flag.Duration("backoff-cap", 2*time.Second, "max retry delay")
@@ -84,6 +90,7 @@ func main() {
 		chaosRounds = flag.Int("chaos-rounds", 3, "faulted service rounds")
 		chaosSeed   = flag.Uint64("chaos-seed", 0xc4a05, "root seed of the per-round fault schedules")
 		chaosShard  = flag.Int("chaos-shard-workers", 0, "run soak rounds sharded across this many workers (0 = single process)")
+		chaosKills  = flag.Int("chaos-coordinator-kill", 0, "hard-kill and restart a WAL-backed coordinator this many times per soak round (0 = off)")
 		chaosBatch  = flag.Int("chaos-worker-batch", 0, "sharded soak workers lease this many tasks per pull (batched replay; <=1 leases singly)")
 		chaosError  = flag.Float64("chaos-error", 0.2, "per-call injected error rate")
 		chaosPanic  = flag.Float64("chaos-panic", 0.1, "per-call injected panic rate")
@@ -101,13 +108,14 @@ func main() {
 
 	if *chaos {
 		err := campaignd.Soak(campaignd.SoakConfig{
-			Spec:         campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay},
-			Scale:        scale,
-			Rounds:       *chaosRounds,
-			Seed:         *chaosSeed,
-			Workers:      *workers,
-			ShardWorkers: *chaosShard,
-			WorkerBatch:  *chaosBatch,
+			Spec:             campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay},
+			Scale:            scale,
+			Rounds:           *chaosRounds,
+			Seed:             *chaosSeed,
+			Workers:          *workers,
+			ShardWorkers:     *chaosShard,
+			WorkerBatch:      *chaosBatch,
+			CoordinatorKills: *chaosKills,
 			Rates: faultinject.Rates{
 				Error: *chaosError, Panic: *chaosPanic,
 				Spike: *chaosSpike, SpikeP99: *chaosP99,
@@ -175,16 +183,26 @@ func main() {
 		return
 	}
 
-	srv := campaignd.New(campaignd.Config{
-		Scale:          scale,
-		Workers:        *workers,
-		NoLocalWorkers: *workers == 0,
-		LayoutCache:    cache,
-		QueueCapacity:  *queueCap,
-		Lease:          *lease,
-		MaxAttempts:    *maxAttempts,
-		CheckpointRoot: *checkpointRoot,
-		Backoff:        backoff.Policy{Base: *backoffBase, Cap: *backoffCap, Jitter: *backoffJitter},
+	if *walDir != "" && *checkpointRoot == "" {
+		// Durability is only whole if results persist alongside intent:
+		// a WAL without checkpoints would replay submissions but re-run
+		// every layout from scratch.
+		*checkpointRoot = filepath.Join(*walDir, "checkpoints")
+	}
+	srv, err := campaignd.New(campaignd.Config{
+		Scale:                 scale,
+		Workers:               *workers,
+		NoLocalWorkers:        *workers == 0,
+		LayoutCache:           cache,
+		QueueCapacity:         *queueCap,
+		Lease:                 *lease,
+		MaxAttempts:           *maxAttempts,
+		CheckpointRoot:        *checkpointRoot,
+		WALDir:                *walDir,
+		MaxQueuedPerTenant:    *tenantQueued,
+		MaxCampaignsPerTenant: *tenantCampaigns,
+		FairQuantum:           *fairQuantum,
+		Backoff:               backoff.Policy{Base: *backoffBase, Cap: *backoffCap, Jitter: *backoffJitter},
 		Breaker: jobqueue.BreakerConfig{
 			TripAfter:     *breakerTrip,
 			OpenFor:       *breakerOpen,
@@ -192,6 +210,10 @@ func main() {
 		},
 		Obs: observer,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	srv.Start()
 	stopSignals := srv.DrainOnSignal()
 	defer stopSignals()

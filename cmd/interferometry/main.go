@@ -215,12 +215,9 @@ func runRemoteCampaign(serverURL, benchmark string, layouts int) error {
 	}
 	fmt.Fprintf(os.Stderr, "campaign %s: %d layouts in %s (%d failed)\n",
 		st.ID, st.Completed, time.Since(start).Round(time.Millisecond), st.Failed)
-	csv, err := client.Result(ctx, st.ID)
-	if err != nil {
-		return err
-	}
-	_, err = os.Stdout.Write(csv)
-	return err
+	// Stream the CSV page by page so a paper-scale result never sits
+	// whole in this process; the bytes written equal the one-shot blob.
+	return client.StreamResult(ctx, st.ID, 256, os.Stdout)
 }
 
 // campaignOptions collects the -campaign flags.

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"interferometry/internal/atomicio"
 	"interferometry/internal/obs"
 )
 
@@ -229,20 +230,13 @@ func (c *Cache) Put(key string, seed uint64, data []byte) {
 	// Write outside the lock: each Put gets its own temp file and the
 	// rename is atomic, so concurrent Puts of the same entry are safe
 	// (last rename wins) and only the index update below serializes.
+	// atomicio fsyncs the artifact and its directory entry, so a crash
+	// after Put returns can never leave a half-written (or vanished)
+	// artifact to be indexed by the next process's warm reopen.
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(data)
-	if cerr := tmp.Close(); werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
 		return
 	}
 	c.mu.Lock()

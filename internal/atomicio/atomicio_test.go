@@ -1,0 +1,88 @@
+package atomicio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.jsonl")
+	if err := WriteFile(path, []byte("one\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("two\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("two\n")) {
+		t.Fatalf("content = %q, want %q", got, "two\n")
+	}
+	// No temp residue: a crash-free write leaves exactly the target.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.jsonl" {
+		t.Fatalf("directory holds %v, want only state.jsonl", entries)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestAppenderAppendsDurably(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	a, err := OpenAppender(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]byte("a\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]byte("b\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening appends after the existing tail.
+	a2, err := OpenAppender(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Append([]byte("c\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a\nb\nc\n"; string(got) != want {
+		t.Fatalf("log = %q, want %q", got, want)
+	}
+	if err := a2.Append([]byte("late\n")); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("sync of a missing directory succeeded")
+	}
+}

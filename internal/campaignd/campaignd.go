@@ -15,10 +15,12 @@ package campaignd
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"interferometry/internal/faultinject"
 	"interferometry/internal/jobqueue"
 	"interferometry/internal/jobqueue/backoff"
+	"interferometry/internal/jobqueue/wal"
 	"interferometry/internal/obs"
 	"interferometry/internal/toolchain"
 )
@@ -38,7 +41,13 @@ var (
 	ErrDraining = errors.New("campaignd: draining, not accepting campaigns")
 	// ErrOverloaded rejects submissions the queue cannot admit (429).
 	ErrOverloaded = errors.New("campaignd: queue full")
+	// ErrTenantOverQuota rejects submissions that would push one tenant
+	// past its quota while the service still has room for others (429).
+	ErrTenantOverQuota = errors.New("campaignd: tenant over quota")
 )
+
+// errKilled is the cancel cause of a hard stop (Kill).
+var errKilled = errors.New("campaignd: killed")
 
 // Config parameterizes a Server.
 type Config struct {
@@ -76,6 +85,29 @@ type Config struct {
 	// <root>/<campaign-id>/ and resumes from an existing checkpoint on
 	// resubmission. Empty disables checkpointing.
 	CheckpointRoot string
+	// WALDir, when set, makes admissions durable: every acknowledged
+	// submission, task state transition and finalization is fsynced to
+	// <dir>/campaignd.wal before the client sees it, and a restarted
+	// server replays the log, reconciles it with the checkpoint
+	// directories and resumes unfinished campaigns automatically. Empty
+	// disables the WAL (a crash then loses in-flight campaigns, though
+	// checkpoints still make resubmission a resume).
+	WALDir string
+	// MaxQueuedPerTenant bounds each tenant's tasks in the system
+	// (queued plus leased); a submission that would exceed it is shed
+	// with ErrTenantOverQuota (429). Zero means unlimited.
+	MaxQueuedPerTenant int
+	// TenantQuotas overrides MaxQueuedPerTenant per tenant; a zero or
+	// negative entry exempts that tenant from the uniform bound.
+	TenantQuotas map[string]int
+	// MaxCampaignsPerTenant bounds how many of a tenant's campaigns may
+	// be running at once; beyond it submissions shed with
+	// ErrTenantOverQuota (429). Zero means unlimited.
+	MaxCampaignsPerTenant int
+	// FairQuantum is the deficit-round-robin quantum: how many tasks one
+	// tenant may dispatch per scheduling turn before the queue moves to
+	// the next tenant in its priority class. Zero means 1.
+	FairQuantum int
 	// LayoutCache optionally backs every campaign's build seam with a
 	// shared content-addressed artifact store (internal/artifactcache),
 	// so resubmitted, resumed and extended campaigns skip redundant
@@ -148,8 +180,10 @@ type Server struct {
 	remote    *jobqueue.Registry[task]
 	build     *jobqueue.Breaker
 	measure   *jobqueue.Breaker
+	wal       *wal.Log
 	shed      *obs.Counter
 	writeErrs *obs.Counter
+	walErrs   *obs.Counter
 
 	baseCtx context.Context
 	stop    context.CancelCauseFunc
@@ -157,38 +191,114 @@ type Server struct {
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
+	// admitting reserves campaign IDs whose admission is in flight (the
+	// expensive build happens outside the lock): a concurrent duplicate
+	// submission waits on the channel and then returns the winner's
+	// status instead of racing a second checkpoint resume.
+	admitting map[string]chan struct{}
 	draining  bool
 
 	drainOnce sync.Once
 	done      chan struct{}
 }
 
-// New builds a server; Start launches its workers.
-func New(cfg Config) *Server {
+// WALFile is the write-ahead log's name inside Config.WALDir.
+const WALFile = "campaignd.wal"
+
+// New builds a server; Start launches its workers. With Config.WALDir
+// set, New replays the log and re-admits every campaign that was
+// acknowledged but not finished — their tasks are queued (resuming from
+// checkpoints where those exist) before the first request is served.
+func New(cfg Config) (*Server, error) {
 	brCfg := cfg.Breaker
 	brCfg.Now = cfg.Now
 	buildCfg, measureCfg := brCfg, brCfg
 	buildCfg.OnTransition = jobqueue.ObserveBreaker(cfg.Obs, "campaignd", "build")
 	measureCfg.OnTransition = jobqueue.ObserveBreaker(cfg.Obs, "campaignd", "measure")
 	ctx, stop := context.WithCancelCause(context.Background())
-	return &Server{
+	s := &Server{
 		cfg: cfg,
 		queue: jobqueue.New[task](jobqueue.Config{
-			Capacity: cfg.queueCapacity(),
-			Lease:    cfg.lease(),
-			Now:      cfg.Now,
-			Metrics:  jobqueue.ObserveMetrics(cfg.Obs, "campaignd"),
+			Capacity:      cfg.queueCapacity(),
+			MaxPerTenant:  cfg.MaxQueuedPerTenant,
+			TenantQuotas:  cfg.TenantQuotas,
+			Quantum:       cfg.FairQuantum,
+			Lease:         cfg.lease(),
+			Now:           cfg.Now,
+			Metrics:       jobqueue.ObserveMetrics(cfg.Obs, "campaignd"),
+			TenantMetrics: tenantMetricsHook(cfg.Obs),
 		}),
 		remote:    jobqueue.NewRegistry[task](),
 		build:     jobqueue.NewBreaker(buildCfg),
 		measure:   jobqueue.NewBreaker(measureCfg),
 		shed:      obsCounter(cfg.Obs, "campaignd_shed_total", "submissions rejected by admission control (429)"),
 		writeErrs: obsCounter(cfg.Obs, "campaignd_http_write_errors_total", "HTTP response bodies that failed to encode or send"),
+		walErrs:   obsCounter(cfg.Obs, "campaignd_wal_append_errors_total", "WAL appends that failed (state stays replayable from the last good record)"),
 		baseCtx:   ctx,
 		stop:      stop,
 		campaigns: make(map[string]*campaign),
+		admitting: make(map[string]chan struct{}),
 		done:      make(chan struct{}),
 	}
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaignd: wal dir: %w", err)
+		}
+		log, states, err := wal.Open(wal.Config{
+			Path: filepath.Join(cfg.WALDir, WALFile),
+			Obs:  cfg.Obs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("campaignd: %w", err)
+		}
+		s.wal = log
+		for _, st := range states {
+			if !st.Live() {
+				continue // finalized; dropped at the next compaction
+			}
+			if err := s.resume(st); err != nil {
+				log.Close()
+				return nil, fmt.Errorf("campaignd: resume %s: %w", st.ID, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// tenantMetricsHook resolves per-tenant queue gauges as labeled members
+// of the campaignd_tenant_* families.
+func tenantMetricsHook(o *obs.Observer) func(string) *jobqueue.TenantMetrics {
+	if o == nil {
+		return nil
+	}
+	return func(tenant string) *jobqueue.TenantMetrics {
+		return &jobqueue.TenantMetrics{
+			Depth:  o.Gauge(fmt.Sprintf("campaignd_tenant_queue_depth{tenant=%q}", tenant), "queued tasks per tenant"),
+			Leased: o.Gauge(fmt.Sprintf("campaignd_tenant_leases_active{tenant=%q}", tenant), "leased tasks per tenant"),
+		}
+	}
+}
+
+// shedTenant counts one shed submission against a tenant's labeled
+// counter (and the global one).
+func (s *Server) shedTenant(tenant string) {
+	s.shed.Inc()
+	if o := s.cfg.Obs; o != nil {
+		o.Counter(fmt.Sprintf("campaignd_tenant_shed_total{tenant=%q}", tenant),
+			"submissions rejected by admission control per tenant (429)").Inc()
+	}
+}
+
+// resume re-admits one live WAL campaign at startup. The submit record
+// is already in the log, so the admission is not re-journaled; task and
+// final records append as the resumed work progresses.
+func (s *Server) resume(st *wal.CampaignState) error {
+	var spec JobSpec
+	if err := json.Unmarshal(st.Spec, &spec); err != nil {
+		return fmt.Errorf("bad spec in WAL: %w", err)
+	}
+	_, err := s.admit(spec, false)
+	return err
 }
 
 func obsCounter(o *obs.Observer, name, help string) *obs.Counter {
@@ -220,30 +330,65 @@ func (s *Server) Start() {
 }
 
 // Submit admits one campaign: validates the spec, prepares (or resumes)
-// its runner and checkpoint, and pushes every pending layout task as one
-// atomic batch. A spec identical to a live or finished campaign returns
-// that campaign instead of duplicating work. ErrOverloaded means the
-// queue cannot hold the fan-out — retry later (429 + Retry-After).
+// its runner and checkpoint, journals the admission, and pushes every
+// pending layout task as one atomic batch. A spec identical to a live
+// or finished campaign returns that campaign instead of duplicating
+// work. ErrOverloaded and ErrTenantOverQuota mean the queue cannot hold
+// the fan-out — retry later (429 + Retry-After).
 func (s *Server) Submit(spec JobSpec) (Status, error) {
+	return s.admit(spec, true)
+}
+
+// admit is the single admission path; record distinguishes a fresh
+// submission (journaled, quota-checked) from a startup resume of a
+// campaign the WAL already holds.
+func (s *Server) admit(spec JobSpec, record bool) (Status, error) {
 	if err := spec.validate(); err != nil {
 		return Status{}, err
 	}
 	id := spec.ID(s.cfg.scale())
 
 	s.mu.Lock()
-	if s.draining {
+	for {
+		if s.draining {
+			s.mu.Unlock()
+			return Status{}, ErrDraining
+		}
+		if c, ok := s.campaigns[id]; ok {
+			// Live (or draining, or finished) campaign with this exact
+			// identity: return its status — never race a duplicate
+			// checkpoint resume against it.
+			s.mu.Unlock()
+			return c.snapshot(), nil
+		}
+		ch, ok := s.admitting[id]
+		if !ok {
+			break
+		}
+		// Another submission of this spec is mid-admission; wait for it
+		// and take its result from the campaigns map.
 		s.mu.Unlock()
-		return Status{}, ErrDraining
+		<-ch
+		s.mu.Lock()
 	}
-	if c, ok := s.campaigns[id]; ok {
+	if max := s.cfg.MaxCampaignsPerTenant; record && max > 0 && s.runningCampaignsLocked(spec.Tenant) >= max {
 		s.mu.Unlock()
-		return c.snapshot(), nil
+		s.shedTenant(spec.Tenant)
+		return Status{}, ErrTenantOverQuota
 	}
+	ch := make(chan struct{})
+	s.admitting[id] = ch
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.admitting, id)
+		s.mu.Unlock()
+		close(ch)
+	}()
 
 	// Build the campaign outside the lock: trace interpretation and the
-	// shared compile are real work. A racing duplicate submission is
-	// resolved below — last one loses and discards.
+	// shared compile are real work. The admitting reservation keeps
+	// duplicates out, so this build is the only one for this ID.
 	c, pending, err := newCampaign(s.baseCtx, spec, s.cfg.scale(), s.cfg.workers(), s.cfg.CheckpointRoot, s.cfg.LayoutCache, s.cfg.Faults, s.now())
 	if err != nil {
 		return Status{}, err
@@ -255,33 +400,101 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 		c.abort(ErrDraining)
 		return Status{}, ErrDraining
 	}
-	if prev, ok := s.campaigns[id]; ok {
-		s.mu.Unlock()
-		c.abort(errors.New("campaignd: duplicate submission"))
-		return prev.snapshot(), nil
-	}
 	s.campaigns[id] = c
 	s.mu.Unlock()
+
+	// Write-ahead: the admission is durable before any task runs and
+	// before the client sees its 202. A crash after this point resumes
+	// the campaign; a crash before it leaves nothing acknowledged.
+	if record && s.wal != nil {
+		specJSON, jerr := json.Marshal(spec)
+		if jerr == nil {
+			jerr = s.wal.Submit(id, spec.Tenant, spec.Priority, specJSON)
+		}
+		if jerr != nil {
+			s.mu.Lock()
+			delete(s.campaigns, id)
+			s.mu.Unlock()
+			c.abort(jerr)
+			return Status{}, fmt.Errorf("campaignd: journal admission: %w", jerr)
+		}
+	}
+	s.wireJournal(c)
+
+	// A campaign fully restored from its checkpoint finalized inside
+	// newCampaign, before the journal hooks existed: record the final
+	// now so the WAL converges with what the client will see.
+	if st := c.snapshot(); st.State != StateRunning {
+		s.walFinal(id, st.State)
+		return st, nil
+	}
 
 	tasks := make([]task, len(pending))
 	for n, i := range pending {
 		tasks[n] = task{camp: c, layout: i}
 	}
-	if err := s.queue.PushBatch(spec.Priority, tasks); err != nil {
+	if err := s.queue.PushBatchTenant(spec.Tenant, spec.Priority, tasks); err != nil {
 		s.mu.Lock()
 		delete(s.campaigns, id)
 		s.mu.Unlock()
-		c.abort(err)
-		if errors.Is(err, jobqueue.ErrFull) {
-			s.shed.Inc()
+		c.abort(err) // journals the final, voiding the submit record
+		switch {
+		case errors.Is(err, jobqueue.ErrTenantQuota):
+			s.shedTenant(spec.Tenant)
+			return Status{}, ErrTenantOverQuota
+		case errors.Is(err, jobqueue.ErrFull):
+			s.shedTenant(spec.Tenant)
 			return Status{}, ErrOverloaded
-		}
-		if errors.Is(err, jobqueue.ErrClosed) {
+		case errors.Is(err, jobqueue.ErrClosed):
 			return Status{}, ErrDraining
 		}
 		return Status{}, err
 	}
 	return c.snapshot(), nil
+}
+
+// runningCampaignsLocked counts a tenant's campaigns still running.
+// Callers hold s.mu; campaign locks nest inside it.
+func (s *Server) runningCampaignsLocked(tenant string) int {
+	n := 0
+	for _, c := range s.campaigns {
+		if c.spec.Tenant != tenant {
+			continue
+		}
+		c.mu.Lock()
+		if c.state == StateRunning {
+			n++
+		}
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// wireJournal points the campaign's terminal-state hooks at the WAL.
+// Append failures are counted, not fatal: the log stays replayable from
+// its last good record, and determinism makes re-running a lost task
+// free.
+func (s *Server) wireJournal(c *campaign) {
+	if s.wal == nil {
+		return
+	}
+	id := c.id
+	c.onTask = func(layout int, state string) {
+		if err := s.wal.Task(id, layout, state); err != nil {
+			s.walErrs.Inc()
+		}
+	}
+	c.onFinal = func(state string) { s.walFinal(id, state) }
+}
+
+// walFinal journals a campaign's terminal state (nil-safe).
+func (s *Server) walFinal(id, state string) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.Final(id, state); err != nil {
+		s.walErrs.Inc()
+	}
 }
 
 // RetryAfter estimates when a shed submission is worth retrying: one
@@ -320,7 +533,37 @@ func (s *Server) Drain() {
 		for _, c := range camps {
 			c.interrupt() // no-op on finished campaigns; flushes the rest
 		}
+		if s.wal != nil {
+			// Interrupted campaigns stay live in the log (a restart
+			// resumes them); compaction drops the finalized ones.
+			if err := s.wal.Compact(); err != nil {
+				s.walErrs.Inc()
+			}
+			s.wal.Close()
+		}
 		s.stop(ErrDraining)
+		close(s.done)
+	})
+}
+
+// Kill hard-stops the coordinator: no checkpoint-flushing interrupt
+// pass, no WAL finalization, no graceful anything — the in-process
+// analog of kill -9, which the chaos soak's coordinator-kill rounds use
+// to prove a restart on the same WAL dir resumes to byte-identical
+// results. The WAL is closed first, so in-flight task settlements
+// cannot journal state the "dead" coordinator would not have persisted;
+// workers then stop at their next context check.
+func (s *Server) Kill() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		s.stop(errKilled)
+		s.queue.Close()
+		s.wg.Wait()
 		close(s.done)
 	})
 }

@@ -65,7 +65,10 @@ func datasetCSV(t *testing.T, ds *core.Dataset) []byte {
 // over a test listener. The cleanup drains the service.
 func startService(t *testing.T, cfg campaignd.Config) (*campaignd.Server, *campaignd.Client) {
 	t.Helper()
-	srv := campaignd.New(cfg)
+	srv, err := campaignd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv.Start()
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -51,6 +53,14 @@ type SoakConfig struct {
 	// (Worker.Batch): grouped leases share one batched trace walk. The
 	// byte-identity check is unchanged — batching must not move a byte.
 	WorkerBatch int
+	// CoordinatorKills, when positive, runs each round against a
+	// WAL-backed coordinator that is hard-killed (Server.Kill — no
+	// drain, no flush) this many times mid-campaign and restarted on the
+	// same WAL dir. The campaign is submitted exactly once; every
+	// restart must resume it from the WAL and checkpoints on its own,
+	// and the finished export must still be byte-identical to the clean
+	// run. Incompatible with ShardWorkers.
+	CoordinatorKills int
 	// Timeout bounds each round. Zero means 2 minutes.
 	Timeout time.Duration
 	// Out receives the per-round report. Nil discards it.
@@ -87,6 +97,9 @@ func (c SoakConfig) scale() experiments.Scale {
 func Soak(cfg SoakConfig) error {
 	if cfg.Rates.Corrupt > 0 {
 		return fmt.Errorf("campaignd: soak cannot use corrupt faults: a silently wrong measurement is invisible to the service (screen it with the MAD outlier pass instead)")
+	}
+	if cfg.CoordinatorKills > 0 && cfg.ShardWorkers > 0 {
+		return fmt.Errorf("campaignd: coordinator-kill rounds cannot run sharded: restarted coordinators listen on new addresses the workers were not told about")
 	}
 	if err := cfg.Spec.validate(); err != nil {
 		return err
@@ -164,9 +177,23 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 	} else {
 		scfg.Faults = injector
 	}
-	srv := New(scfg)
+	if cfg.CoordinatorKills > 0 {
+		// Kill rounds need durable coordinator state: a WAL (plus
+		// checkpoints under it) that every restarted coordinator reopens.
+		walDir, werr := os.MkdirTemp("", "campaignd-soak-wal-*")
+		if werr != nil {
+			return werr
+		}
+		defer os.RemoveAll(walDir)
+		scfg.WALDir = walDir
+		scfg.CheckpointRoot = filepath.Join(walDir, "checkpoints")
+	}
+	srv, err := New(scfg)
+	if err != nil {
+		return err
+	}
 	srv.Start()
-	defer srv.Drain()
+	defer func() { srv.Drain() }()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -174,7 +201,7 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
-	defer httpSrv.Close()
+	defer func() { httpSrv.Close() }()
 
 	if sharded {
 		wctx, stopWorkers := context.WithCancel(context.Background())
@@ -204,14 +231,68 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// Hard-kill and restart the coordinator mid-campaign. The campaign
+	// is never resubmitted: each restarted coordinator must bring it
+	// back from the WAL and its checkpoints on its own.
+	for k := 1; k <= cfg.CoordinatorKills; k++ {
+		// Let the campaign make proportional progress before each kill,
+		// so the kills land spread across its lifetime.
+		target := st.Layouts * k / (cfg.CoordinatorKills + 1)
+		for {
+			cur, serr := client.Status(ctx, st.ID)
+			if serr != nil {
+				return serr
+			}
+			if cur.State != StateRunning || cur.Completed > target {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		srv.Kill()
+		httpSrv.Close()
+		if srv, err = New(scfg); err != nil {
+			return fmt.Errorf("coordinator restart %d: %w", k, err)
+		}
+		srv.Start()
+		if ln, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		client = &Client{Base: "http://" + ln.Addr().String()}
+		if _, serr := client.Status(ctx, st.ID); serr != nil {
+			// The campaign finalized in the instant before the kill, so
+			// the WAL rightly dropped it. Re-admit: the checkpoint makes
+			// this an instant resume, not a re-run.
+			if st, err = client.SubmitWait(ctx, cfg.Spec); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "round %d: coordinator kill %d/%d, restarted on the same WAL\n",
+			round, k, cfg.CoordinatorKills)
+	}
+
 	if st, err = client.Wait(ctx, st.ID, 50*time.Millisecond); err != nil {
 		return err
 	}
 	if st.State != StateDone {
 		return fmt.Errorf("campaign ended %s: %s", st.State, st.Error)
 	}
-	got, err := client.Measurements(ctx, st.ID)
-	if err != nil {
+	var got []byte
+	if cfg.CoordinatorKills > 0 {
+		// Exercise the paginated results path too: streamed pages must
+		// concatenate to the exact blob bytes.
+		var stream bytes.Buffer
+		if err := client.StreamMeasurements(ctx, st.ID, 3, &stream); err != nil {
+			return err
+		}
+		got = stream.Bytes()
+	} else if got, err = client.Measurements(ctx, st.ID); err != nil {
 		return err
 	}
 

@@ -177,6 +177,56 @@ func (c *Client) Measurements(ctx context.Context, id string) ([]byte, error) {
 	return c.fetchCSV(ctx, c.Base+"/campaigns/"+id+"/measurements")
 }
 
+// StreamResult fetches the dataset CSV in pages of pageSize rows,
+// writing each page to w as it arrives, so a large result never sits
+// whole in client memory. The written bytes are identical to Result's.
+// pageSize <= 0 means 256 rows per page.
+func (c *Client) StreamResult(ctx context.Context, id string, pageSize int, w io.Writer) error {
+	return c.streamCSV(ctx, c.Base+"/campaigns/"+id+"/result", pageSize, w)
+}
+
+// StreamMeasurements is StreamResult for the measurement-only CSV.
+func (c *Client) StreamMeasurements(ctx context.Context, id string, pageSize int, w io.Writer) error {
+	return c.streamCSV(ctx, c.Base+"/campaigns/"+id+"/measurements", pageSize, w)
+}
+
+func (c *Client) streamCSV(ctx context.Context, url string, pageSize int, w io.Writer) error {
+	if pageSize <= 0 {
+		pageSize = 256
+	}
+	offset := 0
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s?offset=%d&limit=%d", url, offset, pageSize), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := c.decodeError(resp)
+			resp.Body.Close()
+			return err
+		}
+		_, err = io.Copy(w, resp.Body)
+		next := resp.Header.Get("X-Next-Offset")
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if next == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(next)
+		if err != nil || n <= offset {
+			return fmt.Errorf("campaignd: bad X-Next-Offset %q", next)
+		}
+		offset = n
+	}
+}
+
 func (c *Client) fetchCSV(ctx context.Context, url string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {

@@ -16,15 +16,24 @@ import (
 // Handler returns the service's HTTP API:
 //
 //	POST /campaigns                  submit a JobSpec; 202 with its Status,
-//	                                 429 + Retry-After when shed, 503 when draining
+//	                                 429 + Retry-After when shed (capacity or
+//	                                 tenant quota), 503 when draining. The
+//	                                 X-Tenant header attributes the campaign
+//	                                 (equivalent to the spec's tenant field;
+//	                                 setting both to different values is a 400)
 //	GET  /campaigns/{id}             campaign Status
 //	GET  /campaigns/{id}/result      finished dataset as CSV (with provenance columns);
-//	                                 202 + Retry-After while running
+//	                                 202 + Retry-After while running. ?offset=O&limit=N
+//	                                 streams one page of N rows starting at row O
+//	                                 (header only at offset 0); X-Next-Offset names
+//	                                 the next page while more rows remain, and the
+//	                                 concatenated pages are byte-identical to the blob
 //	GET  /campaigns/{id}/measurements  measurement-only canonical CSV — byte-identical
-//	                                 across faulted and clean runs of the same spec
+//	                                 across faulted and clean runs of the same spec;
+//	                                 same offset/limit paging
 //	GET  /healthz                    liveness (always 200 while the process serves)
 //	GET  /readyz                     admission readiness (503 once draining)
-//	GET  /queuez                     queue, lease and breaker introspection
+//	GET  /queuez                     queue, lease, breaker and per-tenant introspection
 //	GET  /metrics                    Prometheus metrics export
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -85,9 +94,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad spec: " + err.Error()})
 		return
 	}
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		if spec.Tenant != "" && spec.Tenant != h {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("campaignd: X-Tenant %q conflicts with spec tenant %q", h, spec.Tenant)})
+			return
+		}
+		spec.Tenant = h
+	}
 	st, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrTenantOverQuota):
 		// Backpressure: the client should retry once leased work has
 		// completed or been reaped.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
@@ -119,17 +136,44 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	s.serveCSV(w, r, results.WriteDatasetCSV)
+	s.serveCSV(w, r, results.WriteDatasetCSVRange)
 }
 
 func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
-	s.serveCSV(w, r, results.WriteMeasurementsCSV)
+	s.serveCSV(w, r, results.WriteMeasurementsCSVRange)
 }
 
-func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.Writer, *core.Dataset) error) {
+// csvPage parses the offset/limit paging parameters. limit <= 0 (or
+// absent) means the whole dataset in one response.
+func csvPage(r *http.Request) (offset, limit int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", v)
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return offset, limit, nil
+}
+
+// serveCSV streams a finished dataset, whole or one page at a time.
+// Pages are keyed by row (= layout) index: the header is written only
+// at offset 0 and X-Next-Offset names the next page while rows remain,
+// so a client concatenating pages reproduces the blob byte for byte
+// while the server never buffers more than one page.
+func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.Writer, *core.Dataset, int, int, bool) error) {
 	c, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
+		return
+	}
+	offset, limit, perr := csvPage(r)
+	if perr != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: perr.Error()})
 		return
 	}
 	ds, err := c.dataset()
@@ -142,29 +186,61 @@ func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.
 		s.writeJSON(w, http.StatusConflict, c.snapshot())
 		return
 	}
+	rows := len(ds.Obs)
+	n := rows - offset
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	if n < 0 {
+		n = 0
+	}
 	w.Header().Set("Content-Type", "text/csv")
-	if err := write(w, ds); err != nil {
+	w.Header().Set("X-Total-Rows", strconv.Itoa(rows))
+	if limit > 0 && offset+n < rows {
+		w.Header().Set("X-Next-Offset", strconv.Itoa(offset+n))
+	}
+	if err := write(w, ds, offset, n, offset == 0); err != nil {
 		// Headers are gone; all we can do is cut the stream short.
 		return
 	}
 }
 
+// tenantz is one tenant's row in /queuez: queue occupancy from the
+// scheduler plus the campaigns the tenant has in flight.
+type tenantz struct {
+	Queued    int `json:"queued"`
+	Leased    int `json:"leased"`
+	Quota     int `json:"quota,omitempty"`
+	Campaigns int `json:"campaigns"`
+}
+
 type queuezResponse struct {
-	Depth        int    `json:"depth"`
-	Leased       int    `json:"leased"`
-	RemoteLeases int    `json:"remote_leases"`
-	Capacity     int    `json:"capacity"`
-	Campaigns    int    `json:"campaigns"`
-	Draining     bool   `json:"draining"`
-	Build        string `json:"breaker_build"`
-	Measure      string `json:"breaker_measure"`
+	Depth        int                `json:"depth"`
+	Leased       int                `json:"leased"`
+	RemoteLeases int                `json:"remote_leases"`
+	Capacity     int                `json:"capacity"`
+	Campaigns    int                `json:"campaigns"`
+	Draining     bool               `json:"draining"`
+	Build        string             `json:"breaker_build"`
+	Measure      string             `json:"breaker_measure"`
+	WALLive      int                `json:"wal_live_campaigns,omitempty"`
+	Tenants      map[string]tenantz `json:"tenants,omitempty"`
 }
 
 func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
+	tenants := make(map[string]tenantz)
+	for tenant, tc := range s.queue.Tenants() {
+		tenants[tenant] = tenantz{Queued: tc.Queued, Leased: tc.Leased, Quota: tc.Quota}
+	}
 	s.mu.Lock()
 	n := len(s.campaigns)
+	for _, c := range s.campaigns {
+		t := tenants[c.spec.Tenant]
+		t.Campaigns++
+		tenants[c.spec.Tenant] = t
+	}
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusOK, queuezResponse{
+	resp := queuezResponse{
 		Depth:        s.queue.Depth(),
 		Leased:       s.queue.Leased(),
 		RemoteLeases: s.remote.Len(),
@@ -173,7 +249,12 @@ func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
 		Draining:     s.Draining(),
 		Build:        s.build.State().String(),
 		Measure:      s.measure.State().String(),
-	})
+		Tenants:      tenants,
+	}
+	if s.wal != nil {
+		resp.WALLive = s.wal.Live()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

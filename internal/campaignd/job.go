@@ -24,6 +24,13 @@ import (
 type JobSpec struct {
 	// Benchmark names a progen suite program, e.g. "429.mcf".
 	Benchmark string `json:"benchmark"`
+	// Tenant attributes the campaign for quota accounting and fair
+	// scheduling. Submissions may set it in the spec or the X-Tenant
+	// header (they must agree). Empty is the anonymous tenant. Tenant is
+	// part of the campaign identity: two tenants submitting the same
+	// measurement spec get separate campaigns and checkpoints, so one
+	// tenant can never read or extend another's work by guessing a spec.
+	Tenant string `json:"tenant,omitempty"`
 	// Layouts is the number of code reorderings to measure. Zero means
 	// the server scale's default.
 	Layouts int `json:"layouts,omitempty"`
@@ -64,8 +71,8 @@ func (s JobSpec) validate() error {
 // one campaign (and one checkpoint directory), which is what makes
 // resubmit-after-crash a resume instead of a duplicate.
 func (s JobSpec) ID(scale experiments.Scale) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d|%s",
-		s.Benchmark, s.effectiveLayouts(scale), s.effectiveSeed(), s.effectiveBudget(scale), scale.Name)))
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d|%s|%s",
+		s.Benchmark, s.effectiveLayouts(scale), s.effectiveSeed(), s.effectiveBudget(scale), scale.Name, s.Tenant)))
 	return hex.EncodeToString(h[:6])
 }
 
@@ -125,14 +132,21 @@ const (
 
 // campaign is one admitted job and its accumulating results.
 type campaign struct {
-	id      string
-	spec    JobSpec
-	runner  *core.LayoutRunner
-	sink    *core.CheckpointSink
+	id        string
+	spec      JobSpec
+	runner    *core.LayoutRunner
+	sink      *core.CheckpointSink
 	ctx       context.Context
 	cancel    context.CancelCauseFunc
 	stopTimer context.CancelFunc // releases the deadline timer, if any
 	created   time.Time
+
+	// Journal hooks, wired by the server at admission when a WAL is
+	// open (nil otherwise). onTask records one layout reaching a
+	// terminal state, onFinal the campaign finishing; both are invoked
+	// with c.mu held, before tasks can observe the new state.
+	onTask  func(layout int, state string)
+	onFinal func(state string)
 
 	mu        sync.Mutex
 	state     string
@@ -241,6 +255,9 @@ func (c *campaign) complete(i int, o core.Observation) {
 	if c.sink != nil {
 		c.sink.Put(i, o)
 	}
+	if c.onTask != nil {
+		c.onTask(i, "completed")
+	}
 	if c.remaining == 0 {
 		c.finalizeLocked()
 	}
@@ -278,6 +295,9 @@ func (c *campaign) failLayout(i, attempts int, err error) {
 	})
 	c.failed++
 	c.remaining--
+	if c.onTask != nil {
+		c.onTask(i, "failed")
+	}
 	if c.failed > c.spec.FailureBudget {
 		c.failLocked(fmt.Errorf("campaignd: layout %d failed after %d attempts (budget %d): %w",
 			i, attempts, c.spec.FailureBudget, err))
@@ -316,6 +336,9 @@ func (c *campaign) failLocked(err error) {
 	c.state = StateFailed
 	c.err = err
 	c.closeLocked()
+	if c.onFinal != nil {
+		c.onFinal(c.state)
+	}
 }
 
 func (c *campaign) finalizeLocked() {
@@ -326,7 +349,12 @@ func (c *campaign) finalizeLocked() {
 	}
 	c.ds = ds
 	c.state = StateDone
+	// closeLocked can degrade done to failed on a checkpoint flush
+	// error, so the journal records the state that survives it.
 	c.closeLocked()
+	if c.onFinal != nil {
+		c.onFinal(c.state)
+	}
 }
 
 // closeLocked flushes the checkpoint, cancels the task context and
@@ -352,6 +380,7 @@ func (c *campaign) snapshot() Status {
 	st := Status{
 		ID:        c.id,
 		Benchmark: c.spec.Benchmark,
+		Tenant:    c.spec.Tenant,
 		State:     c.state,
 		Layouts:   len(c.obs),
 		Completed: c.completed,
@@ -384,6 +413,7 @@ var errNotDone = fmt.Errorf("campaignd: campaign still running")
 type Status struct {
 	ID        string `json:"id"`
 	Benchmark string `json:"benchmark"`
+	Tenant    string `json:"tenant,omitempty"`
 	State     string `json:"state"`
 	Layouts   int    `json:"layouts"`
 	Completed int    `json:"completed"`

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"interferometry/internal/atomicio"
 )
 
 // CheckpointConfig configures campaign checkpointing.
@@ -234,12 +236,12 @@ func (w *checkpointWriter) flushLocked() error {
 			return fmt.Errorf("core: checkpoint encode: %w", err)
 		}
 	}
-	tmp := w.path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	// atomicio fsyncs the temp file before the rename and the directory
+	// after it: without those a crash right after the rename can lose
+	// the checkpoint entry on some filesystems even though the rename
+	// itself "succeeded".
+	if err := atomicio.WriteFile(w.path, buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
-	}
-	if err := os.Rename(tmp, w.path); err != nil {
-		return fmt.Errorf("core: checkpoint rename: %w", err)
 	}
 	return nil
 }

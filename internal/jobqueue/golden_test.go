@@ -78,6 +78,34 @@ func TestQueueMetricsGolden(t *testing.T) {
 	}
 	q.Close()
 
+	// Tenant-labeled gauges: a second queue exercises the per-tenant
+	// metrics hook so the labeled-family export (one HELP/TYPE header,
+	// one sample per tenant) is golden-pinned alongside the globals.
+	tq := jobqueue.New[string](jobqueue.Config{
+		Capacity:     4,
+		MaxPerTenant: 3,
+		Now:          clk.Now,
+		TenantMetrics: func(tenant string) *jobqueue.TenantMetrics {
+			return &jobqueue.TenantMetrics{
+				Depth:  o.Gauge(`campaignd_tenant_queue_depth{tenant="`+tenant+`"}`, "queued tasks per tenant"),
+				Leased: o.Gauge(`campaignd_tenant_leases_active{tenant="`+tenant+`"}`, "leased tasks per tenant"),
+			}
+		},
+	})
+	if err := tq.PushBatchTenant("acme", 0, []string{"t1", "t2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tq.PushBatchTenant("umbrella", 0, []string{"t3"}); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := tq.Pop(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Complete(); err != nil {
+		t.Fatal(err)
+	}
+
 	// Breaker: trip on a burst, recover through a half-open probe.
 	b := jobqueue.NewBreaker(jobqueue.BreakerConfig{
 		TripAfter: 2, OpenFor: time.Second, Now: clk.Now,

@@ -1,16 +1,21 @@
 // Package jobqueue provides the queueing primitives behind campaignd: a
-// bounded priority queue with worker leases and heartbeats, and a
-// closed/open/half-open circuit breaker. Both are deliberately generic —
-// they know nothing about layouts or campaigns — and both take an
-// injectable clock, so every timing-dependent behavior (lease expiry,
-// breaker reopen, delayed requeue) is testable without sleeping.
+// bounded, multi-tenant priority queue with worker leases and
+// heartbeats, and a closed/open/half-open circuit breaker. Both are
+// deliberately generic — they know nothing about layouts or campaigns —
+// and both take an injectable clock, so every timing-dependent behavior
+// (lease expiry, breaker reopen, delayed requeue) is testable without
+// sleeping.
 //
 // Determinism is preserved across failures by construction: a task's
 // payload never changes once pushed, so a lease that expires (worker
 // stall, crash, lost heartbeat) requeues the exact same seed tuple and a
-// re-execution derives the exact same result. The queue orders strictly
-// by (priority, sequence), never by timing, so which task runs next is a
-// pure function of the push history, not of goroutine scheduling.
+// re-execution derives the exact same result. Scheduling is a pure
+// function of the push and pop history, never of goroutine timing:
+// priority classes dispatch strictly in order, and within a class the
+// queue runs deficit round-robin across tenants — each tenant in turn
+// dispatches up to a quantum of tasks, so no tenant's flood can starve
+// another's trickle, and a replayed history reproduces the identical
+// schedule.
 package jobqueue
 
 import (
@@ -25,9 +30,13 @@ import (
 
 // Queue errors.
 var (
-	// ErrFull rejects a push that would exceed the queue's capacity —
-	// the admission-control signal campaignd turns into 429.
+	// ErrFull rejects a push that would exceed the queue's global
+	// capacity — the admission-control signal campaignd turns into 429.
 	ErrFull = errors.New("jobqueue: queue full")
+	// ErrTenantQuota rejects a push that would exceed the submitting
+	// tenant's quota while the queue itself still has room — the
+	// per-tenant 429.
+	ErrTenantQuota = errors.New("jobqueue: tenant over quota")
 	// ErrClosed rejects operations on a closed queue.
 	ErrClosed = errors.New("jobqueue: queue closed")
 	// ErrLeaseLost reports a heartbeat, complete or requeue on a lease
@@ -46,6 +55,13 @@ type Metrics struct {
 	Requeued *obs.Counter   // tasks put back after a failed execution
 	Expired  *obs.Counter   // leases reaped after missing heartbeats
 	Waits    *obs.Histogram // seconds from ready to leased
+}
+
+// TenantMetrics is one tenant's instrument set; any field (or the whole
+// struct) may be nil.
+type TenantMetrics struct {
+	Depth  *obs.Gauge // tenant's tasks queued and not yet leased
+	Leased *obs.Gauge // tenant's tasks currently leased
 }
 
 // ObserveMetrics resolves the standard queue instruments under prefix
@@ -72,6 +88,18 @@ type Config struct {
 	// Requeues are exempt — a task that was admitted can always come
 	// back. Zero or negative means 1.
 	Capacity int
+	// MaxPerTenant bounds one tenant's tasks in the system (queued plus
+	// leased) the same way; a push beyond it returns ErrTenantQuota.
+	// Zero or negative means unlimited. Requeues are exempt.
+	MaxPerTenant int
+	// TenantQuotas overrides MaxPerTenant for specific tenants; a
+	// present entry <= 0 means that tenant is unlimited.
+	TenantQuotas map[string]int
+	// Quantum is the deficit-round-robin burst: how many consecutive
+	// tasks one tenant may dispatch before the scheduler moves on to the
+	// next tenant with eligible work in the same priority class. Zero or
+	// negative means 1 (pure round-robin).
+	Quantum int
 	// Lease is how long a popped task stays owned without a heartbeat
 	// before it is reaped and requeued. Zero means 30s.
 	Lease time.Duration
@@ -79,6 +107,9 @@ type Config struct {
 	Now func() time.Time
 	// Metrics optionally observes the queue.
 	Metrics *Metrics
+	// TenantMetrics optionally resolves one tenant's instruments the
+	// first time that tenant pushes; nil runs without per-tenant gauges.
+	TenantMetrics func(tenant string) *TenantMetrics
 }
 
 func (c Config) capacity() int {
@@ -88,11 +119,32 @@ func (c Config) capacity() int {
 	return c.Capacity
 }
 
+func (c Config) quantum() int {
+	if c.Quantum <= 0 {
+		return 1
+	}
+	return c.Quantum
+}
+
 func (c Config) lease() time.Duration {
 	if c.Lease <= 0 {
 		return 30 * time.Second
 	}
 	return c.Lease
+}
+
+// quotaOf returns tenant's in-system bound; 0 means unlimited.
+func (c Config) quotaOf(tenant string) int {
+	if q, ok := c.TenantQuotas[tenant]; ok {
+		if q <= 0 {
+			return 0
+		}
+		return q
+	}
+	if c.MaxPerTenant <= 0 {
+		return 0
+	}
+	return c.MaxPerTenant
 }
 
 // task is one queued entry.
@@ -104,6 +156,7 @@ type task[T any] struct {
 	notBefore time.Time // zero = ready now
 	readyAt   time.Time // when the task last became eligible (for Waits)
 	index     int       // heap index
+	ts        *tenantState[T]
 }
 
 // readyHeap orders eligible tasks by (priority, seq).
@@ -137,10 +190,10 @@ func (h *readyHeap[T]) Pop() any {
 // parkedHeap orders delayed tasks by notBefore.
 type parkedHeap[T any] []*task[T]
 
-func (h parkedHeap[T]) Len() int            { return len(h) }
-func (h parkedHeap[T]) Less(a, b int) bool  { return h[a].notBefore.Before(h[b].notBefore) }
-func (h parkedHeap[T]) Swap(a, b int)       { h[a], h[b] = h[b], h[a]; h[a].index, h[b].index = a, b }
-func (h *parkedHeap[T]) Push(x any)         { t := x.(*task[T]); t.index = len(*h); *h = append(*h, t) }
+func (h parkedHeap[T]) Len() int           { return len(h) }
+func (h parkedHeap[T]) Less(a, b int) bool { return h[a].notBefore.Before(h[b].notBefore) }
+func (h parkedHeap[T]) Swap(a, b int)      { h[a], h[b] = h[b], h[a]; h[a].index, h[b].index = a, b }
+func (h *parkedHeap[T]) Push(x any)        { t := x.(*task[T]); t.index = len(*h); *h = append(*h, t) }
 func (h *parkedHeap[T]) Pop() any {
 	old := *h
 	n := len(old)
@@ -150,13 +203,41 @@ func (h *parkedHeap[T]) Pop() any {
 	return t
 }
 
-// Queue is a bounded priority queue with leases. All methods are safe
-// for concurrent use.
+// tenantState is one tenant's slice of the queue: its own ready heap
+// (ordered by priority class, then push order), its quota accounting,
+// and its deficit-round-robin budget. Tenants join the scheduling ring
+// in first-push order and never leave it, so the ring order — and with
+// it the whole schedule — is a pure function of the push history.
+type tenantState[T any] struct {
+	name    string
+	ready   readyHeap[T]
+	deficit int
+	queued  int // ready + parked tasks
+	leased  int
+	m       *TenantMetrics
+}
+
+func (ts *tenantState[T]) inSystem() int { return ts.queued + ts.leased }
+
+// headClass returns the priority class at the head of the tenant's
+// ready heap; ok is false when the tenant has nothing ready.
+func (ts *tenantState[T]) headClass() (int, bool) {
+	if len(ts.ready) == 0 {
+		return 0, false
+	}
+	return ts.ready[0].priority, true
+}
+
+// Queue is a bounded, multi-tenant priority queue with leases. All
+// methods are safe for concurrent use.
 type Queue[T any] struct {
 	cfg Config
 
 	mu      sync.Mutex
-	ready   readyHeap[T]
+	tenants map[string]*tenantState[T]
+	ring    []*tenantState[T] // first-push order; never shrinks
+	cur     int               // ring index of the DRR pointer
+	nready  int               // ready tasks across all tenants
 	parked  parkedHeap[T]
 	leases  map[*Lease[T]]*task[T]
 	seq     uint64
@@ -172,9 +253,10 @@ func New[T any](cfg Config) *Queue[T] {
 		cfg.Metrics = &Metrics{}
 	}
 	return &Queue[T]{
-		cfg:    cfg,
-		leases: make(map[*Lease[T]]*task[T]),
-		wake:   make(chan struct{}),
+		cfg:     cfg,
+		tenants: make(map[string]*tenantState[T]),
+		leases:  make(map[*Lease[T]]*task[T]),
+		wake:    make(chan struct{}),
 	}
 }
 
@@ -191,22 +273,48 @@ func (q *Queue[T]) notifyLocked() {
 	q.wake = make(chan struct{})
 }
 
+// tenantLocked returns (creating on first use) one tenant's state.
+func (q *Queue[T]) tenantLocked(name string) *tenantState[T] {
+	ts, ok := q.tenants[name]
+	if !ok {
+		ts = &tenantState[T]{name: name}
+		if q.cfg.TenantMetrics != nil {
+			ts.m = q.cfg.TenantMetrics(name)
+		}
+		if ts.m == nil {
+			ts.m = &TenantMetrics{}
+		}
+		q.tenants[name] = ts
+		q.ring = append(q.ring, ts)
+	}
+	return ts
+}
+
 // inSystemLocked is the admission-control count: queued plus leased.
 func (q *Queue[T]) inSystemLocked() int {
-	return len(q.ready) + len(q.parked) + len(q.leases)
+	return q.nready + len(q.parked) + len(q.leases)
 }
 
-// Push admits one task at the given priority (lower runs sooner; equal
-// priorities run in push order). It returns ErrFull when the system
-// already holds Capacity tasks and ErrClosed after Close.
+// Push admits one task for the anonymous tenant at the given priority
+// (lower runs sooner; equal priorities run in push order). It returns
+// ErrFull when the system already holds Capacity tasks and ErrClosed
+// after Close.
 func (q *Queue[T]) Push(priority int, payload T) error {
-	return q.PushBatch(priority, []T{payload})
+	return q.PushBatchTenant("", priority, []T{payload})
 }
 
-// PushBatch admits every payload atomically: either all fit under the
-// capacity or none are queued and ErrFull is returned. campaignd uses it
-// to admit a whole campaign's task fan-out as one decision.
+// PushBatch admits every payload atomically for the anonymous tenant:
+// either all fit under the capacity or none are queued. campaignd uses
+// it to admit a whole campaign's task fan-out as one decision.
 func (q *Queue[T]) PushBatch(priority int, payloads []T) error {
+	return q.PushBatchTenant("", priority, payloads)
+}
+
+// PushBatchTenant admits every payload atomically on behalf of tenant:
+// all of them fit under both the global capacity and the tenant's quota,
+// or none are queued and ErrFull / ErrTenantQuota says which bound was
+// hit.
+func (q *Queue[T]) PushBatchTenant(tenant string, priority int, payloads []T) error {
 	if len(payloads) == 0 {
 		return nil
 	}
@@ -218,14 +326,20 @@ func (q *Queue[T]) PushBatch(priority int, payloads []T) error {
 	if q.inSystemLocked()+len(payloads) > q.cfg.capacity() {
 		return ErrFull
 	}
+	ts := q.tenantLocked(tenant)
+	if quota := q.cfg.quotaOf(tenant); quota > 0 && ts.inSystem()+len(payloads) > quota {
+		return ErrTenantQuota
+	}
 	now := q.now()
 	for _, p := range payloads {
 		q.seq++
-		t := &task[T]{payload: p, priority: priority, seq: q.seq, readyAt: now}
-		heap.Push(&q.ready, t)
+		t := &task[T]{payload: p, priority: priority, seq: q.seq, readyAt: now, ts: ts}
+		heap.Push(&ts.ready, t)
+		q.nready++
+		ts.queued++
 	}
 	q.cfg.Metrics.Pushed.Add(uint64(len(payloads)))
-	q.updateGaugesLocked()
+	q.updateGaugesLocked(ts)
 	q.notifyLocked()
 	return nil
 }
@@ -237,6 +351,7 @@ type Lease[T any] struct {
 	q       *Queue[T]
 	payload T
 	attempt int
+	tenant  string
 }
 
 // Payload returns the leased task's payload.
@@ -244,6 +359,9 @@ func (l *Lease[T]) Payload() T { return l.payload }
 
 // Attempt returns how many failed executions preceded this lease.
 func (l *Lease[T]) Attempt() int { return l.attempt }
+
+// Tenant returns the tenant the leased task was pushed for.
+func (l *Lease[T]) Tenant() string { return l.tenant }
 
 // Pop blocks until a task is eligible, then leases it. It returns ctx's
 // cause when the context ends and ErrClosed once the queue is closed
@@ -258,13 +376,13 @@ func (q *Queue[T]) Pop(ctx context.Context) (*Lease[T], error) {
 		now := q.now()
 		q.reapLocked(now)
 		q.unparkLocked(now)
-		if len(q.ready) > 0 {
-			t := heap.Pop(&q.ready).(*task[T])
-			l := &Lease[T]{q: q, payload: t.payload, attempt: t.attempt}
+		if t := q.scheduleLocked(); t != nil {
+			l := &Lease[T]{q: q, payload: t.payload, attempt: t.attempt, tenant: t.ts.name}
 			t.notBefore = now.Add(q.cfg.lease()) // reused as the lease deadline
 			q.leases[l] = t
+			t.ts.leased++
 			q.cfg.Metrics.Waits.Observe(now.Sub(t.readyAt).Seconds())
-			q.updateGaugesLocked()
+			q.updateGaugesLocked(t.ts)
 			q.mu.Unlock()
 			return l, nil
 		}
@@ -297,6 +415,51 @@ func (q *Queue[T]) Pop(ctx context.Context) (*Lease[T], error) {
 	}
 }
 
+// scheduleLocked picks the next task to dispatch, or nil when nothing
+// is ready. Priority classes are strict: only tenants whose best ready
+// task is in the minimal class are eligible this pick. Among them the
+// deficit-round-robin pointer walks the ring in first-push order; the
+// tenant under the pointer dispatches up to a quantum of tasks before
+// the pointer moves on. Everything here is integer state mutated only
+// by push/pop history, so identical histories schedule identically.
+func (q *Queue[T]) scheduleLocked() *task[T] {
+	if q.nready == 0 || len(q.ring) == 0 {
+		return nil
+	}
+	minClass, found := 0, false
+	for _, ts := range q.ring {
+		if c, ok := ts.headClass(); ok && (!found || c < minClass) {
+			minClass, found = c, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	// At least one ring tenant heads the minimal class, so this walk
+	// dispatches within len(ring) steps.
+	for range q.ring {
+		ts := q.ring[q.cur%len(q.ring)]
+		if c, ok := ts.headClass(); ok && c == minClass {
+			if ts.deficit <= 0 {
+				ts.deficit = q.cfg.quantum()
+			}
+			ts.deficit--
+			t := heap.Pop(&ts.ready).(*task[T])
+			q.nready--
+			ts.queued--
+			if ts.deficit <= 0 {
+				q.cur = (q.cur + 1) % len(q.ring)
+			}
+			return t
+		}
+		// Not eligible at this class: no banking while idle (classic
+		// DRR zeroes an idle flow's deficit) and the pointer moves on.
+		ts.deficit = 0
+		q.cur = (q.cur + 1) % len(q.ring)
+	}
+	return nil
+}
+
 // nextEventLocked returns the earliest time at which the queue's state
 // changes by itself: a parked task coming due or a lease expiring.
 func (q *Queue[T]) nextEventLocked() (time.Time, bool) {
@@ -313,12 +476,14 @@ func (q *Queue[T]) nextEventLocked() (time.Time, bool) {
 	return next, ok
 }
 
-// unparkLocked moves due parked tasks into the ready heap.
+// unparkLocked moves due parked tasks back into their tenants' ready
+// heaps.
 func (q *Queue[T]) unparkLocked(now time.Time) {
 	for len(q.parked) > 0 && !q.parked[0].notBefore.After(now) {
 		t := heap.Pop(&q.parked).(*task[T])
 		t.readyAt = now
-		heap.Push(&q.ready, t)
+		heap.Push(&t.ts.ready, t)
+		q.nready++
 	}
 }
 
@@ -332,12 +497,16 @@ func (q *Queue[T]) reapLocked(now time.Time) {
 			continue
 		}
 		delete(q.leases, l)
+		t.ts.leased--
 		t.readyAt = now
 		t.notBefore = time.Time{}
-		heap.Push(&q.ready, t)
+		heap.Push(&t.ts.ready, t)
+		q.nready++
+		t.ts.queued++
 		q.cfg.Metrics.Expired.Inc()
+		q.updateGaugesLocked(t.ts)
 	}
-	q.updateGaugesLocked()
+	q.updateGaugesLocked(nil)
 }
 
 // Heartbeat extends the lease by the queue's lease duration. It returns
@@ -375,18 +544,23 @@ func (l *Lease[T]) Complete() error {
 	q := l.q
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if _, ok := q.leases[l]; !ok {
+	t, ok := q.leases[l]
+	if !ok {
 		return ErrLeaseLost
 	}
 	delete(q.leases, l)
-	q.updateGaugesLocked()
+	t.ts.leased--
+	q.updateGaugesLocked(t.ts)
 	return nil
 }
 
 // Requeue puts the task back with its attempt count incremented, not
 // eligible before notBefore (the caller computes it from its backoff
 // policy; the zero time means immediately). Capacity-exempt: an admitted
-// task can always return.
+// task can always return. On a closed queue the task is dropped instead
+// — Close already dropped every queued task (a drain recovers them from
+// checkpoints), so resurrecting this one would leak it into a queue no
+// Pop will ever drain — and ErrClosed reports the drop.
 func (l *Lease[T]) Requeue(notBefore time.Time) error {
 	q := l.q
 	q.mu.Lock()
@@ -396,6 +570,11 @@ func (l *Lease[T]) Requeue(notBefore time.Time) error {
 		return ErrLeaseLost
 	}
 	delete(q.leases, l)
+	t.ts.leased--
+	if q.closed {
+		q.updateGaugesLocked(t.ts)
+		return ErrClosed
+	}
 	t.attempt++
 	now := q.now()
 	if notBefore.After(now) {
@@ -404,10 +583,12 @@ func (l *Lease[T]) Requeue(notBefore time.Time) error {
 	} else {
 		t.notBefore = time.Time{}
 		t.readyAt = now
-		heap.Push(&q.ready, t)
+		heap.Push(&t.ts.ready, t)
+		q.nready++
 	}
+	t.ts.queued++
 	q.cfg.Metrics.Requeued.Inc()
-	q.updateGaugesLocked()
+	q.updateGaugesLocked(t.ts)
 	q.notifyLocked()
 	return nil
 }
@@ -416,7 +597,7 @@ func (l *Lease[T]) Requeue(notBefore time.Time) error {
 func (q *Queue[T]) Depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.ready) + len(q.parked)
+	return q.nready + len(q.parked)
 }
 
 // Leased returns the number of tasks currently leased.
@@ -429,6 +610,24 @@ func (q *Queue[T]) Leased() int {
 // Capacity returns the admission bound.
 func (q *Queue[T]) Capacity() int { return q.cfg.capacity() }
 
+// TenantCounts is one tenant's live footprint in the queue.
+type TenantCounts struct {
+	Queued int `json:"queued"`
+	Leased int `json:"leased"`
+	Quota  int `json:"quota,omitempty"` // in-system bound; 0 = unlimited
+}
+
+// Tenants snapshots every tenant the queue has seen, keyed by name.
+func (q *Queue[T]) Tenants() map[string]TenantCounts {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]TenantCounts, len(q.tenants))
+	for name, ts := range q.tenants {
+		out[name] = TenantCounts{Queued: ts.queued, Leased: ts.leased, Quota: q.cfg.quotaOf(name)}
+	}
+	return out
+}
+
 // Close stops the queue: every queued task is dropped (campaignd drains
 // by finishing leased work and recovering the rest from checkpoints),
 // every blocked Pop returns ErrClosed, and future pushes are rejected.
@@ -440,13 +639,24 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	q.ready = nil
+	for _, ts := range q.ring {
+		ts.ready = nil
+		ts.queued = 0
+		q.updateGaugesLocked(ts)
+	}
+	q.nready = 0
 	q.parked = nil
-	q.updateGaugesLocked()
+	q.updateGaugesLocked(nil)
 	q.notifyLocked()
 }
 
-func (q *Queue[T]) updateGaugesLocked() {
-	q.cfg.Metrics.Depth.Set(float64(len(q.ready) + len(q.parked)))
+// updateGaugesLocked refreshes the global gauges and, when ts is
+// non-nil, that tenant's gauges.
+func (q *Queue[T]) updateGaugesLocked(ts *tenantState[T]) {
+	q.cfg.Metrics.Depth.Set(float64(q.nready + len(q.parked)))
 	q.cfg.Metrics.Leased.Set(float64(len(q.leases)))
+	if ts != nil {
+		ts.m.Depth.Set(float64(ts.queued))
+		ts.m.Leased.Set(float64(ts.leased))
+	}
 }

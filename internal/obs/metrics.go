@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -294,9 +295,23 @@ func leLabel(bounds []float64, i int) string {
 	return strconv.FormatFloat(bounds[i], 'g', -1, 64)
 }
 
+// familyOf strips a trailing {label="..."} block: instruments registered
+// under a name like `depth{tenant="a"}` are members of the `depth`
+// family and share its HELP/TYPE header in the Prometheus export. The
+// registry itself has no label support — the full labeled string is the
+// instrument's identity — so this is purely an export-time grouping.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (metric families sorted by name; histogram buckets cumulative,
-// as the format requires).
+// as the format requires). Instruments whose names carry a {label}
+// suffix are grouped under one family header: name-sorted order keeps
+// members adjacent, and HELP/TYPE are emitted once per family.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	if m == nil {
 		return nil
@@ -308,17 +323,27 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	prevFam := ""
 	for _, c := range s.counters {
-		if c.help != "" {
-			p("# HELP %s %s\n", c.name, c.help)
+		if fam := familyOf(c.name); fam != prevFam {
+			prevFam = fam
+			if c.help != "" {
+				p("# HELP %s %s\n", fam, c.help)
+			}
+			p("# TYPE %s counter\n", fam)
 		}
-		p("# TYPE %s counter\n%s %d\n", c.name, c.name, c.Value())
+		p("%s %d\n", c.name, c.Value())
 	}
+	prevFam = ""
 	for _, g := range s.gauges {
-		if g.help != "" {
-			p("# HELP %s %s\n", g.name, g.help)
+		if fam := familyOf(g.name); fam != prevFam {
+			prevFam = fam
+			if g.help != "" {
+				p("# HELP %s %s\n", fam, g.help)
+			}
+			p("# TYPE %s gauge\n", fam)
 		}
-		p("# TYPE %s gauge\n%s %s\n", g.name, g.name, formatFloat(g.Value()))
+		p("%s %s\n", g.name, formatFloat(g.Value()))
 	}
 	for _, h := range s.hists {
 		if h.help != "" {

@@ -30,34 +30,17 @@ var csvEvents = []pmc.Event{
 // "failed") so a degraded campaign's gaps are visible in the export. The
 // format round-trips through ReadDatasetCSV.
 func WriteDatasetCSV(w io.Writer, ds *core.Dataset) error {
-	cw := csv.NewWriter(w)
-	header := []string{"benchmark", "layout_seed", "heap_seed", "cycles", "instructions", "cpi"}
-	for _, ev := range csvEvents {
-		header = append(header, ev.String()+"_pki")
-	}
-	header = append(header, "status", "attempts")
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, o := range ds.Obs {
-		row := []string{
-			ds.Benchmark,
-			strconv.FormatUint(o.LayoutSeed, 10),
-			strconv.FormatUint(o.HeapSeed, 10),
-			strconv.FormatUint(o.Cycles, 10),
-			strconv.FormatUint(o.Instructions, 10),
-			strconv.FormatFloat(o.CPI(), 'g', 10, 64),
-		}
-		for _, ev := range csvEvents {
-			row = append(row, strconv.FormatFloat(o.PKI(ev), 'g', 10, 64))
-		}
-		row = append(row, o.Status.String(), strconv.Itoa(o.Attempts))
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return WriteDatasetCSVRange(w, ds, 0, len(ds.Obs), true)
+}
+
+// WriteDatasetCSVRange writes the dataset rows [offset, offset+n)
+// (clamped to the dataset), preceded by the header when withHeader is
+// set. Pages written with the header only at offset 0 concatenate to
+// exactly the bytes of WriteDatasetCSV — each observation is one CSV
+// line, so a row range is a byte range — which is what lets campaignd
+// stream a large result without buffering the whole export.
+func WriteDatasetCSVRange(w io.Writer, ds *core.Dataset, offset, n int, withHeader bool) error {
+	return writeCSVRange(w, ds, offset, n, withHeader, true)
 }
 
 // WriteMeasurementsCSV writes the measurement-only canonical form of a
@@ -68,15 +51,40 @@ func WriteDatasetCSV(w io.Writer, ds *core.Dataset) error {
 // provenance columns legitimately differ — the chaos soak compares
 // exactly this form.
 func WriteMeasurementsCSV(w io.Writer, ds *core.Dataset) error {
+	return WriteMeasurementsCSVRange(w, ds, 0, len(ds.Obs), true)
+}
+
+// WriteMeasurementsCSVRange is WriteDatasetCSVRange for the
+// measurement-only canonical form.
+func WriteMeasurementsCSVRange(w io.Writer, ds *core.Dataset, offset, n int, withHeader bool) error {
+	return writeCSVRange(w, ds, offset, n, withHeader, false)
+}
+
+// writeCSVRange is the shared row emitter behind both CSV forms; the
+// provenance flag adds the status/attempts columns.
+func writeCSVRange(w io.Writer, ds *core.Dataset, offset, n int, withHeader, provenance bool) error {
+	if offset < 0 {
+		offset = 0
+	}
+	end := offset + n
+	if n < 0 || end > len(ds.Obs) {
+		end = len(ds.Obs)
+	}
 	cw := csv.NewWriter(w)
-	header := []string{"benchmark", "layout_seed", "heap_seed", "cycles", "instructions", "cpi"}
-	for _, ev := range csvEvents {
-		header = append(header, ev.String()+"_pki")
+	if withHeader {
+		header := []string{"benchmark", "layout_seed", "heap_seed", "cycles", "instructions", "cpi"}
+		for _, ev := range csvEvents {
+			header = append(header, ev.String()+"_pki")
+		}
+		if provenance {
+			header = append(header, "status", "attempts")
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
 	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, o := range ds.Obs {
+	for i := offset; i < end; i++ {
+		o := ds.Obs[i]
 		row := []string{
 			ds.Benchmark,
 			strconv.FormatUint(o.LayoutSeed, 10),
@@ -87,6 +95,9 @@ func WriteMeasurementsCSV(w io.Writer, ds *core.Dataset) error {
 		}
 		for _, ev := range csvEvents {
 			row = append(row, strconv.FormatFloat(o.PKI(ev), 'g', 10, 64))
+		}
+		if provenance {
+			row = append(row, o.Status.String(), strconv.Itoa(o.Attempts))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
