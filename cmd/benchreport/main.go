@@ -69,6 +69,7 @@ func main() {
 		{"campaign/sequential", func(b *testing.B) { benchCampaign(b, 1) }},
 		{"campaign/batched", func(b *testing.B) { benchCampaign(b, 0) }},
 		{"machine/batch-run/k=32", benchBatchRun},
+		{"search/8x4", benchSearch},
 	} {
 		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
 		r := testing.Benchmark(bm.fn)
@@ -131,6 +132,45 @@ func benchCampaign(b *testing.B, batch int) {
 		}
 	}
 	b.ReportMetric(float64(cfg.Layouts)*float64(b.N)/b.Elapsed().Seconds(), "layouts/s")
+}
+
+// benchSearch is the evolutionary layout search at paper fidelity: an
+// 8-individual, 4-generation core.RunSearch over 400.perlbench. The
+// throughput metric counts measured individuals (each is one layout
+// build + one replay), so it is comparable to the campaign numbers;
+// generations/s additionally captures the per-generation settle cost
+// (breeding, hashing) that cmd/layoutopt pays.
+func benchSearch(b *testing.B) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		b.Fatal("missing spec")
+	}
+	cfg := core.SearchConfig{
+		Campaign: core.CampaignConfig{
+			Program:   progen.MustGenerate(spec),
+			InputSeed: 1,
+			Budget:    200000,
+			Layouts:   8,
+			Fidelity:  pmc.FidelityPaper,
+			BaseSeed:  42,
+		},
+		Population:  8,
+		Generations: 4,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunSearch(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Generations) != cfg.Generations {
+			b.Fatalf("search settled %d generations", len(res.Generations))
+		}
+	}
+	individuals := float64(cfg.Population * cfg.Generations)
+	b.ReportMetric(individuals*float64(b.N)/b.Elapsed().Seconds(), "layouts/s")
+	b.ReportMetric(float64(cfg.Generations)*float64(b.N)/b.Elapsed().Seconds(), "generations/s")
 }
 
 // benchBatchRun is internal/machine's BenchmarkBatchRun/bump/k=32: the

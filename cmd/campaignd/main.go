@@ -30,6 +30,11 @@
 // (-chaos-shard-workers N runs the rounds in sharded mode):
 //
 //	campaignd -chaos -chaos-benchmark 429.mcf -chaos-rounds 3
+//
+// -chaos-search soaks an evolutionary layout-search campaign the same
+// way, comparing generation exports (and the summary report) against a
+// clean single-process search; -chaos-coordinator-kill N additionally
+// hard-kills and restarts the coordinator mid-trajectory.
 package main
 
 import (
@@ -87,6 +92,9 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "run the deterministic chaos soak instead of serving")
 		chaosBench  = flag.String("chaos-benchmark", "429.mcf", "benchmark the soak measures")
 		chaosLay    = flag.Int("chaos-layouts", 8, "layouts per soak campaign")
+		chaosSearch = flag.Bool("chaos-search", false, "soak a layout-search campaign instead of a sampling sweep")
+		chaosPop    = flag.Int("chaos-search-population", 5, "search soak: individuals per generation")
+		chaosGens   = flag.Int("chaos-search-generations", 3, "search soak: generations per campaign")
 		chaosRounds = flag.Int("chaos-rounds", 3, "faulted service rounds")
 		chaosSeed   = flag.Uint64("chaos-seed", 0xc4a05, "root seed of the per-round fault schedules")
 		chaosShard  = flag.Int("chaos-shard-workers", 0, "run soak rounds sharded across this many workers (0 = single process)")
@@ -107,8 +115,13 @@ func main() {
 	}
 
 	if *chaos {
+		spec := campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay}
+		if *chaosSearch {
+			spec.Kind = campaignd.KindSearch
+			spec.Search = &campaignd.SearchSpec{Population: *chaosPop, Generations: *chaosGens}
+		}
 		err := campaignd.Soak(campaignd.SoakConfig{
-			Spec:             campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay},
+			Spec:             spec,
 			Scale:            scale,
 			Rounds:           *chaosRounds,
 			Seed:             *chaosSeed,

@@ -167,10 +167,14 @@ func (c Config) maxAttempts() int {
 	return c.MaxAttempts
 }
 
-// task is one queue entry: a single layout of one campaign.
+// task is one queue entry: a single layout of one campaign, or — when
+// genome is set — one individual of a search campaign's generation
+// (layout is then the index within the generation).
 type task struct {
 	camp   *campaign
 	layout int
+	gen    int
+	genome *toolchain.Genome
 }
 
 // Server is the campaign job service.
@@ -188,8 +192,13 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelCauseFunc
 	wg      sync.WaitGroup
+	// driverWG tracks search campaign drivers, which outlive individual
+	// tasks: a drain seals the queue and waits for them so an in-flight
+	// generation settles instead of being dropped mid-barrier.
+	driverWG sync.WaitGroup
 
 	mu        sync.Mutex
+	drivers   int // live search drivers (guards the Seal-on-drain path)
 	campaigns map[string]*campaign
 	// admitting reserves campaign IDs whose admission is in flight (the
 	// expensive build happens outside the lock): a concurrent duplicate
@@ -257,7 +266,7 @@ func New(cfg Config) (*Server, error) {
 				continue // finalized; dropped at the next compaction
 			}
 			if err := s.resume(st); err != nil {
-				log.Close()
+				s.Kill() // tears down any drivers already started
 				return nil, fmt.Errorf("campaignd: resume %s: %w", st.ID, err)
 			}
 		}
@@ -297,8 +306,18 @@ func (s *Server) resume(st *wal.CampaignState) error {
 	if err := json.Unmarshal(st.Spec, &spec); err != nil {
 		return fmt.Errorf("bad spec in WAL: %w", err)
 	}
-	_, err := s.admit(spec, false)
-	return err
+	status, err := s.admit(spec, false)
+	if err != nil {
+		return err
+	}
+	if spec.IsSearch() && s.cfg.CheckpointRoot != "" {
+		if c, ok := s.lookup(status.ID); ok {
+			if err := verifyResumedSearch(c, st.Gens); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func obsCounter(o *obs.Observer, name, help string) *obs.Counter {
@@ -429,6 +448,29 @@ func (s *Server) admit(spec JobSpec, record bool) (Status, error) {
 		return st, nil
 	}
 
+	if c.search != nil {
+		// Search fan-out: push the first pending generation atomically
+		// and hand the rest of the trajectory to the campaign's driver.
+		if err := s.admitSearch(c); err != nil {
+			s.mu.Lock()
+			delete(s.campaigns, id)
+			s.mu.Unlock()
+			c.abort(err)
+			switch {
+			case errors.Is(err, jobqueue.ErrTenantQuota):
+				s.shedTenant(spec.Tenant)
+				return Status{}, ErrTenantOverQuota
+			case errors.Is(err, jobqueue.ErrFull):
+				s.shedTenant(spec.Tenant)
+				return Status{}, ErrOverloaded
+			case errors.Is(err, jobqueue.ErrClosed):
+				return Status{}, ErrDraining
+			}
+			return Status{}, err
+		}
+		return c.snapshot(), nil
+	}
+
 	tasks := make([]task, len(pending))
 	for n, i := range pending {
 		tasks[n] = task{camp: c, layout: i}
@@ -519,10 +561,33 @@ func (s *Server) Drain() {
 	s.drainOnce.Do(func() {
 		s.mu.Lock()
 		s.draining = true
+		sealFirst := s.drivers > 0
 		s.mu.Unlock()
 
+		if sealFirst {
+			// Search campaigns have a generation in flight: Close now
+			// would drop its queued siblings mid-barrier. Seal instead —
+			// admission stops, dispatch continues until the system is
+			// empty — so every driver settles (and checkpoints) its
+			// in-flight generation, refuses the next one, and exits. The
+			// grace is bounded: if nothing is executing the sealed tasks
+			// (a pure coordinator whose remote workers died), fall
+			// through to Close, which drops them and interrupts the
+			// drivers — the generation checkpoint resumes the rest.
+			s.queue.Seal()
+			settled := make(chan struct{})
+			go func() {
+				s.driverWG.Wait()
+				close(settled)
+			}()
+			select {
+			case <-settled:
+			case <-time.After(2 * s.cfg.lease()):
+			}
+		}
 		s.queue.Close() // Pops return ErrClosed; leased tasks stay valid
 		s.wg.Wait()     // workers finish in-flight tasks and exit
+		s.driverWG.Wait()
 
 		s.mu.Lock()
 		camps := make([]*campaign, 0, len(s.campaigns))
@@ -564,6 +629,7 @@ func (s *Server) Kill() {
 		s.stop(errKilled)
 		s.queue.Close()
 		s.wg.Wait()
+		s.driverWG.Wait()
 		close(s.done)
 	})
 }
@@ -625,6 +691,11 @@ func (s *Server) runTask(slot int, lease *jobqueue.Lease[task]) {
 	if err := c.ctx.Err(); err != nil {
 		c.abort(context.Cause(c.ctx))
 		lease.Complete()
+		return
+	}
+
+	if t.genome != nil {
+		s.runSearchTask(slot, lease, c, t)
 		return
 	}
 
@@ -697,11 +768,21 @@ func (s *Server) deny(lease *jobqueue.Lease[task], b *jobqueue.Breaker) {
 func (s *Server) taskFailed(lease *jobqueue.Lease[task], c *campaign, t task, err error) {
 	n := c.recordFailure(t.layout)
 	if n < s.cfg.maxAttempts() {
-		delay := s.cfg.Backoff.Delay(n, c.spec.effectiveSeed(), uint64(t.layout))
+		key := uint64(t.layout)
+		if t.genome != nil {
+			// Genome retries back off keyed by the fingerprint, matching
+			// the in-process search's retry stream.
+			key = t.genome.Fingerprint()
+		}
+		delay := s.cfg.Backoff.Delay(n, c.spec.effectiveSeed(), key)
 		lease.Requeue(s.now().Add(delay))
 		return
 	}
-	c.failLayout(t.layout, n, err)
+	if t.genome != nil {
+		c.failSearchIndividual(t, n)
+	} else {
+		c.failLayout(t.layout, n, err)
+	}
 	lease.Complete()
 }
 

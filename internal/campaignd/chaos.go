@@ -109,24 +109,45 @@ func Soak(cfg SoakConfig) error {
 		out = io.Discard
 	}
 
-	// The ground truth: one clean, single-process run of the spec.
-	campCfg, err := campaignConfig(cfg.Spec, cfg.scale())
-	if err != nil {
-		return err
+	// The ground truth: one clean, single-process run of the spec. For a
+	// search spec that is core.RunSearch's trajectory — the canonical
+	// generations CSV plus the summary report — instead of the dataset.
+	var ref, refReport bytes.Buffer
+	if cfg.Spec.IsSearch() {
+		searchCfg, err := searchConfig(cfg.Spec, cfg.scale())
+		if err != nil {
+			return err
+		}
+		clean, err := core.RunSearch(searchCfg)
+		if err != nil {
+			return fmt.Errorf("campaignd: clean reference search: %w", err)
+		}
+		if err := results.WriteGenerationMeasurementsCSV(&ref, clean); err != nil {
+			return err
+		}
+		if err := results.WriteJSON(&refReport, results.SummarizeSearch(clean)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "soak %s: search %d×%d, reference %d bytes, %d rounds\n",
+			cfg.Spec.Benchmark, clean.Config.Population, clean.Config.Generations, ref.Len(), cfg.rounds())
+	} else {
+		campCfg, err := campaignConfig(cfg.Spec, cfg.scale())
+		if err != nil {
+			return err
+		}
+		clean, err := core.RunCampaign(campCfg)
+		if err != nil {
+			return fmt.Errorf("campaignd: clean reference run: %w", err)
+		}
+		if err := results.WriteMeasurementsCSV(&ref, clean); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "soak %s: %d layouts, reference %d bytes, %d rounds\n",
+			cfg.Spec.Benchmark, len(clean.Obs), ref.Len(), cfg.rounds())
 	}
-	clean, err := core.RunCampaign(campCfg)
-	if err != nil {
-		return fmt.Errorf("campaignd: clean reference run: %w", err)
-	}
-	var ref bytes.Buffer
-	if err := results.WriteMeasurementsCSV(&ref, clean); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "soak %s: %d layouts, reference %d bytes, %d rounds\n",
-		cfg.Spec.Benchmark, len(clean.Obs), ref.Len(), cfg.rounds())
 
 	for round := 0; round < cfg.rounds(); round++ {
-		if err := soakRound(cfg, round, ref.Bytes(), out); err != nil {
+		if err := soakRound(cfg, round, ref.Bytes(), refReport.Bytes(), out); err != nil {
 			return fmt.Errorf("campaignd: soak round %d: %w", round, err)
 		}
 	}
@@ -135,8 +156,10 @@ func Soak(cfg SoakConfig) error {
 }
 
 // soakRound runs one faulted service instance end to end over HTTP and
-// compares its measurement export against the clean reference.
-func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
+// compares its measurement export against the clean reference (for a
+// search spec: the canonical generations CSV and, refReport, the
+// summary JSON).
+func soakRound(cfg SoakConfig, round int, ref, refReport []byte, out io.Writer) error {
 	// MaxFaults keeps every fault burst finite per (site, key), so a
 	// bounded retry budget always clears it deterministically. A layout
 	// can burn MaxFaults attempts in the build seam and MaxFaults more
@@ -235,10 +258,18 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 	// Hard-kill and restart the coordinator mid-campaign. The campaign
 	// is never resubmitted: each restarted coordinator must bring it
 	// back from the WAL and its checkpoints on its own.
+	// One task per layout — or, for a search, one per individual across
+	// the whole trajectory, so kills land spread across generations (and
+	// usually inside one, which is the harsher case: the in-flight
+	// generation's progress is lost and re-derived from the checkpoint).
+	totalTasks := st.Layouts
+	if cfg.Spec.IsSearch() {
+		totalTasks = st.Layouts * st.Generations
+	}
 	for k := 1; k <= cfg.CoordinatorKills; k++ {
 		// Let the campaign make proportional progress before each kill,
 		// so the kills land spread across its lifetime.
-		target := st.Layouts * k / (cfg.CoordinatorKills + 1)
+		target := totalTasks * k / (cfg.CoordinatorKills + 1)
 		for {
 			cur, serr := client.Status(ctx, st.ID)
 			if serr != nil {
@@ -283,8 +314,21 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 	if st.State != StateDone {
 		return fmt.Errorf("campaign ended %s: %s", st.State, st.Error)
 	}
-	var got []byte
-	if cfg.CoordinatorKills > 0 {
+	var got, gotReport []byte
+	switch {
+	case cfg.Spec.IsSearch() && cfg.CoordinatorKills > 0:
+		// Exercise the paginated generations path too: streamed pages
+		// must concatenate to the exact blob bytes.
+		var stream bytes.Buffer
+		if err := client.StreamGenerations(ctx, st.ID, 2, true, &stream); err != nil {
+			return err
+		}
+		got = stream.Bytes()
+	case cfg.Spec.IsSearch():
+		if got, err = client.Generations(ctx, st.ID, true); err != nil {
+			return err
+		}
+	case cfg.CoordinatorKills > 0:
 		// Exercise the paginated results path too: streamed pages must
 		// concatenate to the exact blob bytes.
 		var stream bytes.Buffer
@@ -292,8 +336,15 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 			return err
 		}
 		got = stream.Bytes()
-	} else if got, err = client.Measurements(ctx, st.ID); err != nil {
-		return err
+	default:
+		if got, err = client.Measurements(ctx, st.ID); err != nil {
+			return err
+		}
+	}
+	if cfg.Spec.IsSearch() {
+		if gotReport, err = client.SearchReport(ctx, st.ID); err != nil {
+			return err
+		}
 	}
 
 	counts := injector.Counts(faultinject.SiteBuild)
@@ -305,6 +356,10 @@ func soakRound(cfg SoakConfig, round int, ref []byte, out io.Writer) error {
 	if !bytes.Equal(got, ref) {
 		fmt.Fprintf(out, " MISMATCH\n")
 		return fmt.Errorf("measurements diverged from the clean run (%d vs %d bytes)", len(got), len(ref))
+	}
+	if cfg.Spec.IsSearch() && !bytes.Equal(gotReport, refReport) {
+		fmt.Fprintf(out, " REPORT MISMATCH\n")
+		return fmt.Errorf("search report diverged from the clean run (%d vs %d bytes)", len(gotReport), len(refReport))
 	}
 	fmt.Fprintf(out, " identical\n")
 	return nil

@@ -1,0 +1,79 @@
+package campaignd_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"interferometry/internal/campaignd"
+	"interferometry/internal/faultinject"
+)
+
+// TestChaosSoakSearch is the search-campaign soak: every round runs a
+// full service driving an evolutionary search under a fault storm of
+// error bursts, panics and latency spikes, and requires the canonical
+// generations CSV and the summary report to stay byte-identical to a
+// clean single-process core.RunSearch.
+func TestChaosSoakSearch(t *testing.T) {
+	var out bytes.Buffer
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:    searchSpec(),
+		Rounds:  2,
+		Seed:    0x5ea4c,
+		Workers: 2,
+		Rates: faultinject.Rates{
+			Error: 0.25, Panic: 0.1,
+			Spike: 0.3, SpikeP99: 2 * time.Millisecond,
+			MaxFaults: 2,
+		},
+		Timeout: time.Minute,
+		Out:     &out,
+	})
+	t.Logf("soak output:\n%s", out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "soak PASS") {
+		t.Error("soak report missing the PASS line")
+	}
+	if strings.Contains(report, "0 faults") {
+		t.Error("a soak round injected no faults")
+	}
+}
+
+// TestChaosSoakSearchCoordinatorKills hard-kills the coordinator twice
+// per round mid-trajectory (Server.Kill — no drain, no flush) and
+// restarts it on the same WAL dir. Each restart must resume the search
+// from the journal and its generation checkpoint on its own, and the
+// streamed generations plus the report must still match the clean
+// single-process bytes — the in-flight generation's lost progress is
+// re-derived, never re-randomized.
+func TestChaosSoakSearchCoordinatorKills(t *testing.T) {
+	var out bytes.Buffer
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:             searchSpec(),
+		Rounds:           2,
+		Seed:             0x4b11d,
+		Workers:          2,
+		CoordinatorKills: 2,
+		Rates: faultinject.Rates{
+			Error:     0.15,
+			MaxFaults: 2,
+		},
+		Timeout: time.Minute,
+		Out:     &out,
+	})
+	t.Logf("soak output:\n%s", out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "soak PASS") {
+		t.Error("soak report missing the PASS line")
+	}
+	if !strings.Contains(report, "coordinator kill") {
+		t.Error("soak report shows no coordinator kills")
+	}
+}

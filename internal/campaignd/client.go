@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -190,14 +191,62 @@ func (c *Client) StreamMeasurements(ctx context.Context, id string, pageSize int
 	return c.streamCSV(ctx, c.Base+"/campaigns/"+id+"/measurements", pageSize, w)
 }
 
+// generationsURL builds the generations endpoint URL; canonical selects
+// the measurement-only export.
+func (c *Client) generationsURL(id string, canonical bool) string {
+	url := c.Base + "/campaigns/" + id + "/generations"
+	if canonical {
+		url += "?canonical=1"
+	}
+	return url
+}
+
+// Generations fetches a search campaign's settled generations CSV.
+// Works mid-run (settled generations are immutable); canonical selects
+// the measurement-only export that is byte-identical across faulted and
+// clean runs.
+func (c *Client) Generations(ctx context.Context, id string, canonical bool) ([]byte, error) {
+	return c.fetchCSV(ctx, c.generationsURL(id, canonical))
+}
+
+// StreamGenerations fetches the generations CSV in pages of pageSize
+// generations, writing each page to w as it arrives. The written bytes
+// are identical to Generations' at the same settled prefix.
+func (c *Client) StreamGenerations(ctx context.Context, id string, pageSize int, canonical bool, w io.Writer) error {
+	return c.streamCSV(ctx, c.generationsURL(id, canonical), pageSize, w)
+}
+
+// SearchReport fetches a finished search campaign's summary as raw
+// canonical JSON, suitable for byte comparison against a single-process
+// reference. Running campaigns return an error (the server answers 202).
+func (c *Client) SearchReport(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/campaigns/"+id+"/report", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 func (c *Client) streamCSV(ctx context.Context, url string, pageSize int, w io.Writer) error {
 	if pageSize <= 0 {
 		pageSize = 256
 	}
+	sep := "?"
+	if strings.Contains(url, "?") {
+		sep = "&"
+	}
 	offset := 0
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-			fmt.Sprintf("%s?offset=%d&limit=%d", url, offset, pageSize), nil)
+			fmt.Sprintf("%s%soffset=%d&limit=%d", url, sep, offset, pageSize), nil)
 		if err != nil {
 			return err
 		}

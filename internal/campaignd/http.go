@@ -31,6 +31,12 @@ import (
 //	GET  /campaigns/{id}/measurements  measurement-only canonical CSV — byte-identical
 //	                                 across faulted and clean runs of the same spec;
 //	                                 same offset/limit paging
+//	GET  /campaigns/{id}/generations search campaign: settled generations as CSV,
+//	                                 streamable while the search runs; ?canonical=1
+//	                                 for the measurement-only export, offset/limit
+//	                                 page in generation units
+//	GET  /campaigns/{id}/report      search campaign: finished summary as canonical
+//	                                 JSON; 202 + Retry-After while running
 //	GET  /healthz                    liveness (always 200 while the process serves)
 //	GET  /readyz                     admission readiness (503 once draining)
 //	GET  /queuez                     queue, lease, breaker and per-tenant introspection
@@ -41,6 +47,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /campaigns/{id}/measurements", s.handleMeasurements)
+	mux.HandleFunc("GET /campaigns/{id}/generations", s.handleGenerations)
+	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -201,6 +209,77 @@ func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.
 	}
 	if err := write(w, ds, offset, n, offset == 0); err != nil {
 		// Headers are gone; all we can do is cut the stream short.
+		return
+	}
+}
+
+// handleGenerations streams a search campaign's settled generations as
+// CSV — available while the search still runs, because settled
+// generations are immutable. ?canonical=1 drops the provenance columns
+// (the measurement-only export is byte-identical across faulted and
+// clean runs); ?offset=O&limit=N pages in generation units with the
+// header only at offset 0, so concatenated pages reproduce the blob.
+// X-Total-Rows counts generations settled so far; a client polls the
+// campaign Status to learn when the trajectory is complete.
+func (s *Server) handleGenerations(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
+		return
+	}
+	offset, limit, perr := csvPage(r)
+	if perr != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: perr.Error()})
+		return
+	}
+	gens, isSearch := c.searchGenerations()
+	if !isSearch {
+		s.writeJSON(w, http.StatusConflict, errorResponse{
+			Error: "campaignd: layout campaign has no generations; fetch its result"})
+		return
+	}
+	provenance := r.URL.Query().Get("canonical") == ""
+	total := len(gens)
+	n := total - offset
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	if n < 0 {
+		n = 0
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("X-Total-Rows", strconv.Itoa(total))
+	if limit > 0 && offset+n < total {
+		w.Header().Set("X-Next-Offset", strconv.Itoa(offset+n))
+	}
+	page := gens[min(offset, total):min(offset+n, total)]
+	if err := results.WriteGenerationsCSVRange(w, c.spec.Benchmark, page, offset == 0, provenance); err != nil {
+		return // headers are gone; cut the stream short
+	}
+}
+
+// handleReport serves a finished search campaign's summary (best layout,
+// trajectory, hashes) as canonical JSON — the blob chaos runs compare
+// byte for byte against the single-process reference. 202 with the
+// Status while the search still runs.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown campaign"})
+		return
+	}
+	res, err := c.searchResult()
+	switch {
+	case errors.Is(err, errNotDone):
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusAccepted, c.snapshot())
+		return
+	case err != nil:
+		s.writeJSON(w, http.StatusConflict, c.snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := results.WriteJSON(w, results.SummarizeSearch(res)); err != nil {
 		return
 	}
 }

@@ -51,7 +51,34 @@ type JobSpec struct {
 	// passes, remaining tasks are dropped and the campaign reports
 	// failed. Zero means no deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Kind selects the campaign kind: "" or "campaign" measures Layouts
+	// random layouts (the default); "search" runs a seeded evolutionary
+	// search over the layout space, generation by generation, with the
+	// shape in Search.
+	Kind string `json:"kind,omitempty"`
+	// Search shapes a layout-search campaign; only valid with Kind
+	// "search". Nil uses the search defaults.
+	Search *SearchSpec `json:"search,omitempty"`
 }
+
+// Campaign kinds.
+const (
+	KindCampaign = "campaign"
+	KindSearch   = "search"
+)
+
+// SearchSpec is the JSON shape of a layout search: population size,
+// generation count and the selection knobs. Zero fields take the core
+// search defaults (16×8, elite 2, tournament 3).
+type SearchSpec struct {
+	Population  int `json:"population,omitempty"`
+	Generations int `json:"generations,omitempty"`
+	Elite       int `json:"elite,omitempty"`
+	Tournament  int `json:"tournament,omitempty"`
+}
+
+// IsSearch reports whether the spec describes a layout-search campaign.
+func (s JobSpec) IsSearch() bool { return s.Kind == KindSearch }
 
 func (s JobSpec) validate() error {
 	if s.Benchmark == "" {
@@ -63,7 +90,45 @@ func (s JobSpec) validate() error {
 	if s.Layouts < 0 || s.DeadlineMS < 0 || s.FailureBudget < 0 {
 		return fmt.Errorf("campaignd: negative spec field")
 	}
+	switch s.Kind {
+	case "", KindCampaign:
+		if s.Search != nil {
+			return fmt.Errorf("campaignd: search parameters need kind %q", KindSearch)
+		}
+	case KindSearch:
+		sp := s.searchSpec()
+		if sp.Population < 0 || sp.Generations < 0 || sp.Elite < 0 || sp.Tournament < 0 {
+			return fmt.Errorf("campaignd: negative search field")
+		}
+		cfg := s.searchShape()
+		if elite, pop := cfg.Elite, cfg.Population; elite >= pop {
+			return fmt.Errorf("campaignd: search elite %d must be smaller than population %d", elite, pop)
+		}
+	default:
+		return fmt.Errorf("campaignd: unknown campaign kind %q", s.Kind)
+	}
 	return nil
+}
+
+// searchSpec returns the search shape, defaulting a nil Search.
+func (s JobSpec) searchSpec() SearchSpec {
+	if s.Search != nil {
+		return *s.Search
+	}
+	return SearchSpec{}
+}
+
+// searchShape resolves the search defaults the way core does, so the
+// campaign identity hashes effective values, not spellings of them.
+func (s JobSpec) searchShape() core.SearchConfig {
+	sp := s.searchSpec()
+	cfg := core.SearchConfig{
+		Population:  sp.Population,
+		Generations: sp.Generations,
+		Elite:       sp.Elite,
+		TournamentK: sp.Tournament,
+	}
+	return cfg.Resolved()
 }
 
 // ID is the campaign's deterministic identity: a hash of every
@@ -71,8 +136,16 @@ func (s JobSpec) validate() error {
 // one campaign (and one checkpoint directory), which is what makes
 // resubmit-after-crash a resume instead of a duplicate.
 func (s JobSpec) ID(scale experiments.Scale) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d|%s|%s",
-		s.Benchmark, s.effectiveLayouts(scale), s.effectiveSeed(), s.effectiveBudget(scale), scale.Name, s.Tenant)))
+	key := fmt.Sprintf("%s|%d|%d|%d|%s|%s",
+		s.Benchmark, s.effectiveLayouts(scale), s.effectiveSeed(), s.effectiveBudget(scale), scale.Name, s.Tenant)
+	if s.IsSearch() {
+		// Search campaigns extend the key; layout campaign IDs are
+		// untouched, so existing checkpoints and WALs stay addressable.
+		shape := s.searchShape()
+		key += fmt.Sprintf("|search|%d|%d|%d|%d",
+			shape.Population, shape.Generations, shape.Elite, shape.TournamentK)
+	}
+	h := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(h[:6])
 }
 
@@ -122,6 +195,19 @@ func campaignConfig(spec JobSpec, scale experiments.Scale) (core.CampaignConfig,
 	}, nil
 }
 
+// searchConfig translates a search spec into the core search config —
+// the single definition the service, the remote workers and the soak
+// harness share of what a search spec means.
+func searchConfig(spec JobSpec, scale experiments.Scale) (core.SearchConfig, error) {
+	campaign, err := campaignConfig(spec, scale)
+	if err != nil {
+		return core.SearchConfig{}, err
+	}
+	cfg := spec.searchShape()
+	cfg.Campaign = campaign
+	return cfg, nil
+}
+
 // Campaign states.
 const (
 	StateRunning     = "running"
@@ -148,11 +234,16 @@ type campaign struct {
 	onTask  func(layout int, state string)
 	onFinal func(state string)
 
+	// search carries the generational state of a layout-search
+	// campaign (nil for layout campaigns). Its fields are guarded by
+	// c.mu like the layout state below.
+	search *searchRun
+
 	mu        sync.Mutex
 	state     string
 	obs       []core.Observation
 	done      map[int]bool
-	attempts  map[int]int // failed executions per layout
+	attempts  map[int]int // failed executions per layout (or per individual of the in-flight generation)
 	failures  []core.LayoutFailure
 	restored  int
 	completed int
@@ -167,6 +258,10 @@ type campaign struct {
 // runner's shared state, and opens (or resumes) the checkpoint. The
 // returned pending slice lists the layout indices still to measure.
 func newCampaign(parent context.Context, spec JobSpec, scale experiments.Scale, workers int, checkpointRoot string, cache toolchain.LayoutCache, faults *faultinject.Injector, now time.Time) (*campaign, []int, error) {
+	if spec.IsSearch() {
+		c, err := newSearchCampaign(parent, spec, scale, workers, checkpointRoot, cache, faults, now)
+		return c, nil, err
+	}
 	cfg, err := campaignConfig(spec, scale)
 	if err != nil {
 		return nil, nil, err
@@ -390,6 +485,9 @@ func (c *campaign) snapshot() Status {
 	if c.err != nil {
 		st.Error = c.err.Error()
 	}
+	if c.search != nil {
+		c.search.snapshotLocked(&st)
+	}
 	return st
 }
 
@@ -397,6 +495,9 @@ func (c *campaign) snapshot() Status {
 func (c *campaign) dataset() (*core.Dataset, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.search != nil {
+		return nil, errIsSearch
+	}
 	switch c.state {
 	case StateDone:
 		return c.ds, nil
@@ -407,9 +508,15 @@ func (c *campaign) dataset() (*core.Dataset, error) {
 	}
 }
 
-var errNotDone = fmt.Errorf("campaignd: campaign still running")
+var (
+	errNotDone  = fmt.Errorf("campaignd: campaign still running")
+	errIsSearch = fmt.Errorf("campaignd: search campaign has no layout dataset; fetch its generations")
+)
 
-// Status is the JSON shape of a campaign's state.
+// Status is the JSON shape of a campaign's state. For a search
+// campaign, Layouts is the per-generation population, Completed counts
+// measured individuals across settled generations, and the search
+// fields report the trajectory so far.
 type Status struct {
 	ID        string `json:"id"`
 	Benchmark string `json:"benchmark"`
@@ -420,4 +527,11 @@ type Status struct {
 	Failed    int    `json:"failed"`
 	Restored  int    `json:"restored,omitempty"`
 	Error     string `json:"error,omitempty"`
+
+	// Search-campaign fields.
+	Kind           string  `json:"kind,omitempty"`
+	Generation     int     `json:"generation,omitempty"`  // settled generations so far
+	Generations    int     `json:"generations,omitempty"` // configured total
+	BestCPI        float64 `json:"best_cpi,omitempty"`
+	TrajectoryHash string  `json:"trajectory_hash,omitempty"`
 }

@@ -12,6 +12,7 @@ import (
 	"interferometry/internal/core"
 	"interferometry/internal/experiments"
 	"interferometry/internal/jobqueue"
+	"interferometry/internal/toolchain"
 )
 
 // Coordinator/worker protocol (DESIGN.md §10). Remote campaignd worker
@@ -51,6 +52,13 @@ type leaseResponse struct {
 	Attempt    int               `json:"attempt"`
 	Spec       JobSpec           `json:"spec"`
 	Scale      experiments.Scale `json:"scale"`
+	// Generation and Genome carry a search individual: the genome's
+	// canonical binary encoding (base64 over the wire), which the
+	// worker decodes through the validating codec and executes in place
+	// of a layout index. Layout is then the index within the
+	// generation, used only for reporting.
+	Generation int    `json:"generation,omitempty"`
+	Genome     []byte `json:"genome,omitempty"`
 	// LeaseMS is the coordinator's lease duration; workers heartbeat at
 	// a third of it.
 	LeaseMS int64 `json:"lease_ms"`
@@ -123,7 +131,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			lease.Complete()
 			continue
 		}
-		s.writeJSON(w, http.StatusOK, leaseResponse{
+		resp := leaseResponse{
 			LeaseID:    s.remote.Register(lease),
 			CampaignID: c.id,
 			Layout:     t.layout,
@@ -131,7 +139,12 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			Spec:       c.spec,
 			Scale:      s.cfg.scale(),
 			LeaseMS:    s.cfg.lease().Milliseconds(),
-		})
+		}
+		if t.genome != nil {
+			resp.Generation = t.gen
+			resp.Genome = toolchain.EncodeGenome(*t.genome)
+		}
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 }
@@ -179,6 +192,17 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		s.taskFailed(lease, c, t, errors.New(req.Error))
 	case req.Observation == nil:
 		s.taskFailed(lease, c, t, errors.New("worker reported neither observation nor error"))
+	case t.genome != nil:
+		// Search individual: the streamed observation must carry the
+		// genome's fingerprint as its layout seed, or it was derived
+		// from the wrong genome.
+		o := req.Observation.Observation()
+		if want := t.genome.Fingerprint(); o.LayoutSeed != want {
+			s.taskFailed(lease, c, t, fmt.Errorf("worker observation has layout seed %#x, genome fingerprint is %#x", o.LayoutSeed, want))
+		} else {
+			c.completeSearch(t, core.CompletedObservation(o, c.attemptsOf(t.layout)+1))
+			lease.Complete()
+		}
 	default:
 		o := req.Observation.Observation()
 		if want := c.runner.LayoutSeed(t.layout); o.LayoutSeed != want {

@@ -185,6 +185,10 @@ func (w *Worker) executeBatch(ctx context.Context, runners *workerRunners, slot 
 		}
 		return
 	}
+	if len(batch[0].Genome) > 0 {
+		w.executeGenomeBatch(ctx, runner, slot, batch)
+		return
+	}
 	built := batch[:0:0]
 	var idxs []int
 	var exes []*toolchain.Executable
@@ -212,6 +216,55 @@ func (w *Worker) executeBatch(ctx context.Context, runners *workerRunners, slot 
 		err := core.Guard(func() error {
 			var merr error
 			o, merr = runner.MeasureLayout(slot, lr.Layout, exes[j])
+			return merr
+		})
+		if err != nil {
+			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("measure: %v", err)})
+			continue
+		}
+		wire := o.Wire()
+		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Observation: &wire})
+	}
+}
+
+// executeGenomeBatch is executeBatch for search individuals: each lease
+// carries its genome's canonical encoding instead of a layout index.
+// The decoded genomes build, share one batched trace walk when at least
+// two built, and measure through the same per-genome pipeline the
+// coordinator's local pool uses — identical bytes either way.
+func (w *Worker) executeGenomeBatch(ctx context.Context, runner *core.LayoutRunner, slot int, batch []leaseResponse) {
+	built := batch[:0:0]
+	var genomes []toolchain.Genome
+	var exes []*toolchain.Executable
+	for _, lr := range batch {
+		g, err := toolchain.DecodeGenome(lr.Genome)
+		if err != nil {
+			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("decode genome: %v", err)})
+			continue
+		}
+		var exe *toolchain.Executable
+		err = core.Guard(func() error {
+			var berr error
+			exe, berr = runner.BuildGenome(g)
+			return berr
+		})
+		if err != nil {
+			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("build: %v", err)})
+			continue
+		}
+		built = append(built, lr)
+		genomes = append(genomes, g)
+		exes = append(exes, exe)
+	}
+	if len(built) >= 2 {
+		// Diagnostic only: an un-primed slot replays each genome itself.
+		_ = core.Guard(func() error { return runner.PrimeGenomes(slot, genomes, exes) })
+	}
+	for j, lr := range built {
+		var o core.Observation
+		err := core.Guard(func() error {
+			var merr error
+			o, merr = runner.MeasureGenome(slot, genomes[j], exes[j])
 			return merr
 		})
 		if err != nil {

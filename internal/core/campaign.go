@@ -309,13 +309,19 @@ type measureSeam interface {
 // layout seed) and one counter harness per worker slot, both wrapped by
 // the fault injector when one is configured. The bare harnesses are
 // returned alongside the (possibly fault-wrapped) seams so the batched
-// replay path can wire each harness's Det source.
-func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam, []*pmc.Harness) {
+// replay path can wire each harness's Det source. The genome seam is
+// the same builder (cached when a layout cache is configured) exposed
+// by explicit permutation instead of seed; fault wrapping for genome
+// builds happens per call, keyed by fingerprint, in buildGenome.
+func newSeams(cfg *CampaignConfig, workers int) (buildSeam, genomeSeam, []measureSeam, []*pmc.Harness) {
 	builder := toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link)
 	builder.Observe(builderMetrics(cfg.Obs))
 	var build buildSeam = builder
+	var gb genomeSeam = builder
 	if cfg.LayoutCache != nil {
-		build = toolchain.NewCachedBuilder(builder, cfg.LayoutCache)
+		cb := toolchain.NewCachedBuilder(builder, cfg.LayoutCache)
+		build = cb
+		gb = cb
 	}
 	if cfg.Faults != nil {
 		cfg.Faults.Observe(cfg.Obs)
@@ -339,7 +345,7 @@ func newSeams(cfg *CampaignConfig, workers int) (buildSeam, []measureSeam, []*pm
 			measurers[w] = h
 		}
 	}
-	return build, measurers, harnesses
+	return build, gb, measurers, harnesses
 }
 
 // RunCampaign executes the campaign under the supervisor: one trace,
@@ -382,7 +388,7 @@ func runWithTrace(cfg CampaignConfig, trace *interp.Trace) (*Dataset, error) {
 	}
 
 	workers := normalizeWorkers(cfg.Workers, cfg.Layouts)
-	build, measurers, harnesses := newSeams(&cfg, workers)
+	build, _, measurers, harnesses := newSeams(&cfg, workers)
 
 	// Batched replay: when the effective batch width exceeds 1, each
 	// worker takes contiguous chunks of layouts and walks the trace once

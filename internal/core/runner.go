@@ -30,6 +30,7 @@ type LayoutRunner struct {
 	co    *campaignObs
 	trace *interp.Trace
 	build buildSeam
+	gb    genomeSeam
 	meas  []measureSeam
 
 	// slots lazily holds one batched-replay engine per worker slot for
@@ -60,12 +61,13 @@ func NewLayoutRunner(cfg CampaignConfig, workers int) (*LayoutRunner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: trace generation failed: %w", err)
 	}
-	build, meas, harnesses := newSeams(&cfg, workers)
+	build, gb, meas, harnesses := newSeams(&cfg, workers)
 	return &LayoutRunner{
 		cfg:       cfg,
 		co:        newCampaignObs(&cfg),
 		trace:     trace,
 		build:     build,
+		gb:        gb,
 		meas:      meas,
 		slots:     make([]*batchSlot, workers),
 		harnesses: harnesses,

@@ -59,7 +59,7 @@ func TestScreenDegradesUnrepairableCorruption(t *testing.T) {
 	const victim = 3
 	ds.Obs[victim].Measurement = pmc.Measurement{Cycles: 999}
 
-	build, _, _ := newSeams(&cfg, 1)
+	build, _, _, _ := newSeams(&cfg, 1)
 	screenOutliers(&cfg, nil, ds, []measureSeam{corruptSeam{}}, build, ds.Trace, nil)
 
 	got := ds.Obs[victim]
@@ -92,7 +92,7 @@ func TestScreenRepairsCorruptionByRemeasuring(t *testing.T) {
 	want := ds.Obs[victim].Measurement
 	ds.Obs[victim].Measurement = pmc.Measurement{Cycles: 999}
 
-	build, measurers, _ := newSeams(&cfg, 1)
+	build, _, measurers, _ := newSeams(&cfg, 1)
 	screenOutliers(&cfg, nil, ds, measurers, build, ds.Trace, nil)
 
 	got := ds.Obs[victim]
@@ -114,7 +114,7 @@ func TestScreenKeepsValidObservations(t *testing.T) {
 	cfg, ds := screenFixture(t, 8)
 	before := append([]Observation(nil), ds.Obs...)
 
-	build, _, _ := newSeams(&cfg, 1)
+	build, _, _, _ := newSeams(&cfg, 1)
 	screenOutliers(&cfg, nil, ds, []measureSeam{corruptSeam{}}, build, ds.Trace, nil)
 
 	for i := range ds.Obs {
@@ -136,7 +136,7 @@ func TestScreenMedianExcludesInvalid(t *testing.T) {
 	const victim = 0
 	ds.Obs[victim].Measurement = pmc.Measurement{Cycles: math.MaxUint64}
 
-	build, measurers, _ := newSeams(&cfg, 1)
+	build, _, measurers, _ := newSeams(&cfg, 1)
 	screenOutliers(&cfg, nil, ds, measurers, build, ds.Trace, nil)
 
 	retried := 0

@@ -1,0 +1,137 @@
+// Generation barriers: the queue's support for dependent task graphs.
+// A search campaign's generation N+1 cannot be derived, let alone
+// admitted, until every individual of generation N has settled — the
+// first non-embarrassingly-parallel workload the queue carries. The
+// queue itself stays workload-agnostic: a Barrier just counts one push
+// batch's tasks out of the system, distinguishing completed work from
+// work the queue dropped, and the caller decides what settlement means.
+//
+// Settlement interacts with every failure path the queue already has,
+// and the rules keep the count exact:
+//
+//   - Complete settles the task. Exactly-once: a lease that already
+//     expired cannot Complete (ErrLeaseLost), so a task reaped from a
+//     dead worker and re-executed elsewhere settles once, from the
+//     execution that owns it.
+//   - Lease expiry does NOT settle. A reaped task goes back to its
+//     tenant's ready heap with its attempt count untouched —
+//     indistinguishable from never popped — and the barrier still
+//     counts it as pending.
+//   - Requeue does NOT settle: the task is still in the system.
+//   - Close (and Requeue racing Close) settles the task as dropped.
+//     The barrier still releases — a waiter must never deadlock on a
+//     queue that no longer dispatches — and Dropped() tells the caller
+//     the generation did not finish.
+package jobqueue
+
+import "sync"
+
+// Barrier tracks one atomically-pushed batch of dependent tasks until
+// every one of them has left the queue for good. Done() unblocks only
+// then; Dropped() distinguishes a finished generation from one the
+// queue abandoned mid-flight.
+type Barrier struct {
+	mu      sync.Mutex
+	pending int
+	dropped int
+	done    chan struct{}
+}
+
+// Done returns a channel closed once every task in the batch has
+// settled (completed or dropped).
+func (b *Barrier) Done() <-chan struct{} {
+	return b.done
+}
+
+// Pending returns how many of the batch's tasks are still in the
+// system (queued, parked or leased).
+func (b *Barrier) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pending
+}
+
+// Dropped returns how many of the batch's tasks left the system
+// without completing — dropped by Close or by a Requeue that raced it.
+// A nonzero count means the barrier released without the generation
+// finishing.
+func (b *Barrier) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// settle counts one task out of the barrier. Callers hold q.mu; the
+// barrier has its own lock (acquired strictly after q.mu, never the
+// reverse) so Done/Pending/Dropped don't contend with queue traffic.
+func (b *Barrier) settle(dropped bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.pending == 0 {
+		return
+	}
+	if dropped {
+		b.dropped++
+	}
+	b.pending--
+	if b.pending == 0 {
+		close(b.done)
+	}
+}
+
+// PushBarrierTenant admits every payload atomically on behalf of
+// tenant, exactly like PushBatchTenant — same ErrFull / ErrTenantQuota
+// / ErrClosed admission decision, same scheduling — and additionally
+// returns a Barrier that releases when every task in the batch has
+// settled. A rejected push creates nothing: a tenant-quota or capacity
+// shed leaves no half-registered barrier behind, so the caller can
+// simply retry the whole generation.
+func (q *Queue[T]) PushBarrierTenant(tenant string, priority int, payloads []T) (*Barrier, error) {
+	bar := &Barrier{pending: len(payloads), done: make(chan struct{})}
+	if len(payloads) == 0 {
+		close(bar.done)
+		return bar, nil
+	}
+	if err := q.pushBatch(tenant, priority, payloads, bar); err != nil {
+		return nil, err
+	}
+	return bar, nil
+}
+
+// Seal stops admission without stopping dispatch: every Push variant
+// returns ErrClosed, but Pop keeps serving queued and requeued work
+// until the system is empty, and only then reports ErrClosed. This is
+// the drain primitive dependent task graphs need — Close would drop
+// the in-flight generation's queued siblings, while Seal lets the
+// generation settle and merely refuses the next one. Sealing an
+// already-closed queue is a no-op; Close may follow Seal.
+func (q *Queue[T]) Seal() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.sealed {
+		return
+	}
+	q.sealed = true
+	// Wake blocked Pops: with an empty system they must now observe
+	// ErrClosed instead of waiting for work that can never arrive.
+	q.notifyLocked()
+}
+
+// Sealed reports whether the queue still dispatches but no longer
+// admits.
+func (q *Queue[T]) Sealed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sealed && !q.closed
+}
+
+// sealNotifyLocked wakes Pops when a settled task empties a sealed
+// queue — the moment they must return ErrClosed.
+func (q *Queue[T]) sealNotifyLocked() {
+	if q.sealed && q.inSystemLocked() == 0 {
+		q.notifyLocked()
+	}
+}

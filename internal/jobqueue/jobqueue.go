@@ -157,6 +157,7 @@ type task[T any] struct {
 	readyAt   time.Time // when the task last became eligible (for Waits)
 	index     int       // heap index
 	ts        *tenantState[T]
+	bar       *Barrier // generation barrier, nil for independent tasks
 }
 
 // readyHeap orders eligible tasks by (priority, seq).
@@ -242,6 +243,7 @@ type Queue[T any] struct {
 	leases  map[*Lease[T]]*task[T]
 	seq     uint64
 	closed  bool
+	sealed  bool          // admission stopped, dispatch continues (Seal)
 	wake    chan struct{} // closed-and-replaced to broadcast state changes
 }
 
@@ -315,12 +317,19 @@ func (q *Queue[T]) PushBatch(priority int, payloads []T) error {
 // or none are queued and ErrFull / ErrTenantQuota says which bound was
 // hit.
 func (q *Queue[T]) PushBatchTenant(tenant string, priority int, payloads []T) error {
+	return q.pushBatch(tenant, priority, payloads, nil)
+}
+
+// pushBatch is the shared admission path behind PushBatchTenant and
+// PushBarrierTenant; bar, when non-nil, is attached to every admitted
+// task.
+func (q *Queue[T]) pushBatch(tenant string, priority int, payloads []T, bar *Barrier) error {
 	if len(payloads) == 0 {
 		return nil
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed {
+	if q.closed || q.sealed {
 		return ErrClosed
 	}
 	if q.inSystemLocked()+len(payloads) > q.cfg.capacity() {
@@ -333,7 +342,7 @@ func (q *Queue[T]) PushBatchTenant(tenant string, priority int, payloads []T) er
 	now := q.now()
 	for _, p := range payloads {
 		q.seq++
-		t := &task[T]{payload: p, priority: priority, seq: q.seq, readyAt: now, ts: ts}
+		t := &task[T]{payload: p, priority: priority, seq: q.seq, readyAt: now, ts: ts, bar: bar}
 		heap.Push(&ts.ready, t)
 		q.nready++
 		ts.queued++
@@ -385,6 +394,13 @@ func (q *Queue[T]) Pop(ctx context.Context) (*Lease[T], error) {
 			q.updateGaugesLocked(t.ts)
 			q.mu.Unlock()
 			return l, nil
+		}
+		// A sealed queue dispatches until the system empties, then
+		// reports closure: nothing queued, nothing leased that could
+		// requeue — no work can ever arrive again.
+		if q.sealed && q.inSystemLocked() == 0 {
+			q.mu.Unlock()
+			return nil, ErrClosed
 		}
 		// Nothing eligible: wait for a push/requeue/close, or for the
 		// next timed event (a parked task coming due, a lease expiring).
@@ -550,7 +566,9 @@ func (l *Lease[T]) Complete() error {
 	}
 	delete(q.leases, l)
 	t.ts.leased--
+	t.bar.settle(false)
 	q.updateGaugesLocked(t.ts)
+	q.sealNotifyLocked()
 	return nil
 }
 
@@ -572,6 +590,7 @@ func (l *Lease[T]) Requeue(notBefore time.Time) error {
 	delete(q.leases, l)
 	t.ts.leased--
 	if q.closed {
+		t.bar.settle(true)
 		q.updateGaugesLocked(t.ts)
 		return ErrClosed
 	}
@@ -640,9 +659,17 @@ func (q *Queue[T]) Close() {
 	}
 	q.closed = true
 	for _, ts := range q.ring {
+		// Dropped tasks settle their barriers as dropped: a waiter must
+		// never deadlock on a queue that will not dispatch again.
+		for _, t := range ts.ready {
+			t.bar.settle(true)
+		}
 		ts.ready = nil
 		ts.queued = 0
 		q.updateGaugesLocked(ts)
+	}
+	for _, t := range q.parked {
+		t.bar.settle(true)
 	}
 	q.nready = 0
 	q.parked = nil

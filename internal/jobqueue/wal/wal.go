@@ -36,10 +36,12 @@ import (
 )
 
 // Record ops. A submit admits a campaign, a task marks one layout's
-// terminal state, a final closes the campaign.
+// terminal state, a gen marks one search generation settled (the state
+// field carries its population hash), a final closes the campaign.
 const (
 	OpSubmit = "submit"
 	OpTask   = "task"
+	OpGen    = "gen"
 	OpFinal  = "final"
 )
 
@@ -72,7 +74,13 @@ type CampaignState struct {
 	Priority int
 	Spec     json.RawMessage
 	Tasks    map[int]string
-	Final    string
+	// Gens maps a search campaign's settled generation index to the
+	// population hash journaled for it. Resume cross-checks these
+	// against the generation checkpoint: the hash was fsynced only
+	// after the checkpoint flushed, so a checkpoint that is missing a
+	// journaled generation (or disagrees on its hash) is corrupt.
+	Gens  map[int]string
+	Final string
 }
 
 // Live reports whether the campaign has not been finalized.
@@ -226,6 +234,13 @@ func (l *Log) apply(rec Record) {
 		if s, ok := l.state[rec.Campaign]; ok {
 			s.Tasks[rec.Layout] = rec.State
 		}
+	case OpGen:
+		if s, ok := l.state[rec.Campaign]; ok {
+			if s.Gens == nil {
+				s.Gens = make(map[int]string)
+			}
+			s.Gens[rec.Layout] = rec.State
+		}
 	case OpFinal:
 		if s, ok := l.state[rec.Campaign]; ok {
 			s.Final = rec.State
@@ -265,6 +280,13 @@ func (l *Log) Task(id string, layout int, state string) error {
 	return l.Append(Record{Op: OpTask, Campaign: id, Layout: layout, State: state})
 }
 
+// Gen records one search generation settled with the given population
+// hash. Callers must flush the generation checkpoint first, so the
+// journal never claims a generation the checkpoint does not hold.
+func (l *Log) Gen(id string, gen int, popHash string) error {
+	return l.Append(Record{Op: OpGen, Campaign: id, Layout: gen, State: popHash})
+}
+
 // Final records a campaign finishing in the given state. The campaign
 // is dropped from the log at the next Compact.
 func (l *Log) Final(id, state string) error {
@@ -301,6 +323,16 @@ func (l *Log) Compact() error {
 		sort.Ints(layouts)
 		for _, i := range layouts {
 			if err := enc.Encode(Record{Op: OpTask, Campaign: id, Layout: i, State: s.Tasks[i]}); err != nil {
+				return fmt.Errorf("wal: compact encode: %w", err)
+			}
+		}
+		gens := make([]int, 0, len(s.Gens))
+		for g := range s.Gens {
+			gens = append(gens, g)
+		}
+		sort.Ints(gens)
+		for _, g := range gens {
+			if err := enc.Encode(Record{Op: OpGen, Campaign: id, Layout: g, State: s.Gens[g]}); err != nil {
 				return fmt.Errorf("wal: compact encode: %w", err)
 			}
 		}

@@ -1,0 +1,156 @@
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"interferometry/internal/core"
+)
+
+// Layout-search exports: one CSV row per individual per generation, and
+// a JSON summary of the trajectory. Like the dataset exports, the CSV
+// comes in two forms — the full form with provenance columns, and a
+// measurement-only canonical form whose bytes depend only on what was
+// measured, which is what the chaos soak compares across a coordinator
+// kill and restart.
+
+// WriteGenerationsCSV writes every generation of a search result, one
+// row per individual, with the status/attempts provenance columns.
+func WriteGenerationsCSV(w io.Writer, res *core.SearchResult) error {
+	return WriteGenerationsCSVRange(w, res.Benchmark, res.Generations, true, true)
+}
+
+// WriteGenerationMeasurementsCSV writes the measurement-only canonical
+// form: fingerprints and counters without provenance, so a search
+// disturbed by faults and retries exports byte-identical rows to an
+// undisturbed one.
+func WriteGenerationMeasurementsCSV(w io.Writer, res *core.SearchResult) error {
+	return WriteGenerationsCSVRange(w, res.Benchmark, res.Generations, true, false)
+}
+
+// WriteGenerationsCSVRange writes a contiguous run of settled
+// generations. Pages written with the header only on the first
+// generation concatenate to exactly the bytes of the whole-trajectory
+// export, which lets campaignd stream a search's generations as they
+// settle.
+func WriteGenerationsCSVRange(w io.Writer, benchmark string, gens []core.GenerationResult, withHeader, provenance bool) error {
+	cw := csv.NewWriter(w)
+	if withHeader {
+		cols := []string{"benchmark", "gen", "idx", "fingerprint", "cycles", "instructions", "cpi"}
+		for _, ev := range csvEvents {
+			cols = append(cols, ev.String()+"_pki")
+		}
+		if provenance {
+			cols = append(cols, "status", "attempts")
+		}
+		if err := cw.Write(cols); err != nil {
+			return err
+		}
+	}
+	for gi := range gens {
+		g := &gens[gi]
+		for i := range g.Individuals {
+			in := &g.Individuals[i]
+			o := &in.Obs
+			row := []string{
+				benchmark,
+				strconv.Itoa(g.Gen),
+				strconv.Itoa(i),
+				fmt.Sprintf("%016x", in.Genome.Fingerprint()),
+				strconv.FormatUint(o.Cycles, 10),
+				strconv.FormatUint(o.Instructions, 10),
+				strconv.FormatFloat(o.CPI(), 'g', 10, 64),
+			}
+			for _, ev := range csvEvents {
+				row = append(row, strconv.FormatFloat(o.PKI(ev), 'g', 10, 64))
+			}
+			if provenance {
+				row = append(row, o.Status.String(), strconv.Itoa(o.Attempts))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SearchSummary is the JSON-stable form of a search result: the best
+// layout found, the sampling baseline it is compared against when one
+// was run, and the per-generation trajectory.
+type SearchSummary struct {
+	Benchmark   string `json:"benchmark"`
+	Population  int    `json:"population"`
+	Generations int    `json:"generations"`
+
+	BestFingerprint string  `json:"best_fingerprint"`
+	BestGen         int     `json:"best_gen"`
+	BestCPI         float64 `json:"best_cpi"`
+	TrajectoryHash  string  `json:"trajectory_hash"`
+
+	Trajectory []GenerationSummary `json:"trajectory"`
+
+	// Baseline is the random-sampling comparison, present when the
+	// caller ran one (layoutopt does; the service report omits it).
+	Baseline *SamplingBaseline `json:"baseline,omitempty"`
+}
+
+// GenerationSummary is one settled generation's JSON row.
+type GenerationSummary struct {
+	Gen             int     `json:"gen"`
+	BestFingerprint string  `json:"best_fingerprint"`
+	BestCPI         float64 `json:"best_cpi"`
+	Valid           int     `json:"valid"`
+	Failed          int     `json:"failed"`
+	PopHash         string  `json:"pop_hash"`
+}
+
+// SamplingBaseline reports the random-sampling distribution a search is
+// measured against: the median CPI of n held-out-seed layouts with its
+// bootstrap confidence interval, and the search's improvement over it.
+type SamplingBaseline struct {
+	Seed        uint64  `json:"seed"`
+	N           int     `json:"n"`
+	MedianCPI   float64 `json:"median_cpi"`
+	CILow       float64 `json:"ci_low"`
+	CIHigh      float64 `json:"ci_high"`
+	Improvement float64 `json:"improvement"` // (median - best) / median
+	Beats       bool    `json:"beats_median"`
+}
+
+// SummarizeSearch extracts the JSON-stable fields of a search result.
+func SummarizeSearch(res *core.SearchResult) SearchSummary {
+	s := SearchSummary{
+		Benchmark:       res.Benchmark,
+		Population:      len(res.Generations[0].Individuals),
+		Generations:     len(res.Generations),
+		BestFingerprint: fmt.Sprintf("%016x", res.Best.Genome.Fingerprint()),
+		BestGen:         res.BestGen,
+		BestCPI:         res.Best.Obs.CPI(),
+		TrajectoryHash:  res.TrajectoryHash,
+	}
+	for gi := range res.Generations {
+		g := &res.Generations[gi]
+		valid, failed := 0, 0
+		for i := range g.Individuals {
+			if g.Individuals[i].Obs.Status == core.StatusFailed {
+				failed++
+			} else {
+				valid++
+			}
+		}
+		best := g.Best()
+		s.Trajectory = append(s.Trajectory, GenerationSummary{
+			Gen:             g.Gen,
+			BestFingerprint: fmt.Sprintf("%016x", best.Genome.Fingerprint()),
+			BestCPI:         best.Obs.CPI(),
+			Valid:           valid,
+			Failed:          failed,
+			PopHash:         g.PopHash,
+		})
+	}
+	return s
+}

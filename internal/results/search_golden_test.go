@@ -1,0 +1,128 @@
+package results_test
+
+import (
+	"bytes"
+	"testing"
+
+	"interferometry/internal/core"
+	"interferometry/internal/isa"
+	"interferometry/internal/pmc"
+	"interferometry/internal/results"
+	"interferometry/internal/toolchain"
+)
+
+// goldenSearchResult is hand-built so the golden files pin the export
+// format alone. Two generations of three individuals over a 2-unit
+// program; one individual of generation 1 failed permanently.
+func goldenSearchResult() *core.SearchResult {
+	genome := func(units []int, procs ...[]isa.ProcID) toolchain.Genome {
+		return toolchain.Genome{Units: units, Procs: procs}
+	}
+	obs := func(extra uint64, st core.ObsStatus, attempts int) core.Observation {
+		o := core.Observation{LayoutSeed: 2000 + 2*extra, Status: st, Attempts: attempts}
+		if st != core.StatusFailed {
+			o.Instructions = 500_000
+			o.Cycles = 300_000 + 40*extra
+			o.Events[pmc.EvBranchMispredicts] = 800 * extra
+			o.Events[pmc.EvL1IMisses] = 300 + 2*extra
+			o.Events[pmc.EvL1DMisses] = 1100 + 5*extra
+			o.Events[pmc.EvL2Misses] = 70 + extra
+			o.Runs = 15
+		}
+		return o
+	}
+	g0 := core.GenerationResult{
+		Gen:     0,
+		BestIdx: 1,
+		Individuals: []core.Individual{
+			{Genome: genome([]int{0, 1}, []isa.ProcID{0, 1}, []isa.ProcID{2, 3}), Obs: obs(5, core.StatusOK, 1)},
+			{Genome: genome([]int{1, 0}, []isa.ProcID{1, 0}, []isa.ProcID{2, 3}), Obs: obs(1, core.StatusOK, 1)},
+			{Genome: genome([]int{0, 1}, []isa.ProcID{0, 1}, []isa.ProcID{3, 2}), Obs: obs(9, core.StatusRetried, 2)},
+		},
+	}
+	g1 := core.GenerationResult{
+		Gen:     1,
+		BestIdx: 0,
+		Individuals: []core.Individual{
+			{Genome: genome([]int{1, 0}, []isa.ProcID{1, 0}, []isa.ProcID{2, 3}), Obs: obs(1, core.StatusOK, 1)},
+			{Genome: genome([]int{1, 0}, []isa.ProcID{1, 0}, []isa.ProcID{3, 2}), Obs: obs(3, core.StatusOK, 1)},
+			{Genome: genome([]int{0, 1}, []isa.ProcID{1, 0}, []isa.ProcID{2, 3}), Obs: obs(0, core.StatusFailed, 4)},
+		},
+	}
+	g0.PopHash = "a0a0"
+	g1.PopHash = "b1b1"
+	return &core.SearchResult{
+		Benchmark:      "golden.bench",
+		Generations:    []core.GenerationResult{g0, g1},
+		Best:           g1.Individuals[0],
+		BestGen:        1,
+		TrajectoryHash: "c2c2",
+	}
+}
+
+func TestGoldenGenerationsCSV(t *testing.T) {
+	res := goldenSearchResult()
+	var buf bytes.Buffer
+	if err := results.WriteGenerationsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "generations.golden.csv", buf.Bytes())
+
+	// The paged form with the header only on the first page must
+	// concatenate to the whole-trajectory bytes.
+	var paged bytes.Buffer
+	for gi := range res.Generations {
+		if err := results.WriteGenerationsCSVRange(&paged, res.Benchmark, res.Generations[gi:gi+1], gi == 0, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), paged.Bytes()) {
+		t.Error("paged generation export differs from the whole-trajectory export")
+	}
+}
+
+// TestGoldenGenerationMeasurementsCSV pins the canonical form the chaos
+// soak compares: scrubbing provenance must not change a byte.
+func TestGoldenGenerationMeasurementsCSV(t *testing.T) {
+	res := goldenSearchResult()
+	var buf bytes.Buffer
+	if err := results.WriteGenerationMeasurementsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "generation_measurements.golden.csv", buf.Bytes())
+
+	scrubbed := goldenSearchResult()
+	for gi := range scrubbed.Generations {
+		for i := range scrubbed.Generations[gi].Individuals {
+			o := &scrubbed.Generations[gi].Individuals[i].Obs
+			if o.Status == core.StatusRetried {
+				o.Status = core.StatusOK
+				o.Attempts = 1
+			}
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := results.WriteGenerationMeasurementsCSV(&buf2, scrubbed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("measurement export depends on provenance columns")
+	}
+}
+
+func TestGoldenSearchSummaryJSON(t *testing.T) {
+	res := goldenSearchResult()
+	s := results.SummarizeSearch(res)
+	if s.BestGen != 1 || s.Trajectory[1].Failed != 1 || s.Trajectory[1].Valid != 2 {
+		t.Fatalf("summary miscounts: %+v", s)
+	}
+	s.Baseline = &results.SamplingBaseline{
+		Seed: 99, N: 6, MedianCPI: 0.62, CILow: 0.60, CIHigh: 0.64,
+		Improvement: 0.03, Beats: true,
+	}
+	var buf bytes.Buffer
+	if err := results.WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "search_summary.golden.json", buf.Bytes())
+}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"sort"
+
+	"interferometry/internal/xrand"
+)
+
+// BootstrapQuantileCI returns the percentile bootstrap confidence
+// interval for the q-th quantile of xs, from B resamples with
+// replacement. The layout-search report uses it to put an interval on
+// the random-sampling median that a searched layout is compared
+// against. seed makes the interval reproducible. At least three
+// observations and B >= 100 are required; level defaults to 0.95.
+func BootstrapQuantileCI(xs []float64, q float64, b int, seed uint64, level float64) (Interval, error) {
+	if len(xs) < 3 || q < 0 || q > 1 {
+		return Interval{}, ErrInsufficientData
+	}
+	if b < 100 {
+		b = 100
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	n := len(xs)
+	rng := xrand.New(xrand.Mix(seed, 0x71626f6f)) // "qboo"
+	rs := make([]float64, n)
+	qs := make([]float64, 0, b)
+	for rep := 0; rep < b; rep++ {
+		for i := 0; i < n; i++ {
+			rs[i] = xs[rng.Intn(n)]
+		}
+		qs = append(qs, Quantile(rs, q))
+	}
+	sort.Float64s(qs)
+	alpha := (1 - level) / 2
+	lo := qs[int(alpha*float64(len(qs)))]
+	hi := qs[min(int((1-alpha)*float64(len(qs))), len(qs)-1)]
+	return Interval{Center: Quantile(xs, q), Low: lo, High: hi}, nil
+}
