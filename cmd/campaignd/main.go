@@ -35,6 +35,15 @@
 // way, comparing generation exports (and the summary report) against a
 // clean single-process search; -chaos-coordinator-kill N additionally
 // hard-kills and restarts the coordinator mid-trajectory.
+//
+// -chaos-byzantine K makes K of the sharded workers liars that corrupt
+// every result they report (flipped counters, stale seeds, replays,
+// bad or forged fingerprints). Attestation checks and spot-audit
+// re-execution must reject every lie, quarantine the liars, and still
+// finish the campaign byte-identical to the clean run:
+//
+//	campaignd -chaos -chaos-shard-workers 4 -chaos-byzantine 2 \
+//	    -chaos-error 0 -chaos-panic 0 -chaos-spike 0
 package main
 
 import (
@@ -76,6 +85,10 @@ func main() {
 		maxAttempts    = flag.Int("max-attempts", 3, "executions per layout before permanent failure")
 		checkpointRoot = flag.String("checkpoint-root", "", "directory for per-campaign checkpoints (empty = off; defaults to <wal-dir>/checkpoints when -wal-dir is set)")
 		walDir         = flag.String("wal-dir", "", "directory for the write-ahead log; submissions are replayed and resumed after a crash (empty = off)")
+		workerID       = flag.String("worker-id", "", "worker mode: identity reported on leases for fleet health tracking (empty = <hostname>-<pid>)")
+
+		auditRate     = flag.Float64("audit-rate", 0, "fraction of accepted remote results the coordinator re-executes and byte-compares (0 = off, 1 = all)")
+		quarThreshold = flag.Int("quarantine-threshold", 0, "rejected results within a worker's health window before it is quarantined (0 = default 3)")
 
 		tenantQueued    = flag.Int("tenant-max-queued", 0, "per-tenant cap on tasks in the system, queued + leased (0 = unlimited)")
 		tenantCampaigns = flag.Int("tenant-max-campaigns", 0, "per-tenant cap on running campaigns (0 = unlimited)")
@@ -100,6 +113,7 @@ func main() {
 		chaosShard  = flag.Int("chaos-shard-workers", 0, "run soak rounds sharded across this many workers (0 = single process)")
 		chaosKills  = flag.Int("chaos-coordinator-kill", 0, "hard-kill and restart a WAL-backed coordinator this many times per soak round (0 = off)")
 		chaosBatch  = flag.Int("chaos-worker-batch", 0, "sharded soak workers lease this many tasks per pull (batched replay; <=1 leases singly)")
+		chaosByz    = flag.Int("chaos-byzantine", 0, "sharded soak rounds make this many workers liars: corrupted results must all be rejected or audit-disowned (0 = off)")
 		chaosError  = flag.Float64("chaos-error", 0.2, "per-call injected error rate")
 		chaosPanic  = flag.Float64("chaos-panic", 0.1, "per-call injected panic rate")
 		chaosSpike  = flag.Float64("chaos-spike", 0.2, "per-call latency-spike rate")
@@ -128,6 +142,8 @@ func main() {
 			Workers:          *workers,
 			ShardWorkers:     *chaosShard,
 			WorkerBatch:      *chaosBatch,
+			ByzantineWorkers: *chaosByz,
+			AuditRate:        *auditRate,
 			CoordinatorKills: *chaosKills,
 			Rates: faultinject.Rates{
 				Error: *chaosError, Panic: *chaosPanic,
@@ -176,6 +192,7 @@ func main() {
 		}
 		w := &campaignd.Worker{
 			Coordinator: *coordinator,
+			ID:          *workerID,
 			Parallel:    *workers,
 			Batch:       *workerBatch,
 			Cache:       cache,
@@ -215,6 +232,8 @@ func main() {
 		MaxQueuedPerTenant:    *tenantQueued,
 		MaxCampaignsPerTenant: *tenantCampaigns,
 		FairQuantum:           *fairQuantum,
+		AuditRate:             *auditRate,
+		QuarantineThreshold:   *quarThreshold,
 		Backoff:               backoff.Policy{Base: *backoffBase, Cap: *backoffCap, Jitter: *backoffJitter},
 		Breaker: jobqueue.BreakerConfig{
 			TripAfter:     *breakerTrip,
@@ -236,7 +255,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := campaignd.NewHTTPServer(srv.Handler())
 	go func() {
 		if serr := httpSrv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "campaignd: %v\n", serr)

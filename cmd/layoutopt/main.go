@@ -186,6 +186,17 @@ func runRemote(base, bench string, budget, seed uint64, population, generations,
 	if err != nil {
 		return results.SearchSummary{}, err
 	}
+	// Surface the fleet's trust state: quarantined workers mean the
+	// coordinator rejected lies along the way (the trajectory is still
+	// exact — rejected results never merge, requeues charge nothing).
+	if health, herr := client.FleetHealth(ctx); herr == nil {
+		for id, h := range health {
+			if h.Quarantined {
+				fmt.Printf("warning: worker %s quarantined by the coordinator (%d rejected, %d audit-failed)\n",
+					id, h.Rejected, h.AuditFailed)
+			}
+		}
+	}
 	var summary results.SearchSummary
 	if err := json.Unmarshal(raw, &summary); err != nil {
 		return results.SearchSummary{}, fmt.Errorf("bad search report: %w", err)

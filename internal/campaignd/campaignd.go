@@ -108,6 +108,17 @@ type Config struct {
 	// tenant may dispatch per scheduling turn before the queue moves to
 	// the next tenant in its priority class. Zero means 1.
 	FairQuantum int
+	// AuditRate is the fraction of verified remote results the
+	// coordinator re-executes through its own runner and compares byte
+	// for byte (DESIGN.md §14). The sampler is seeded per (campaign,
+	// task, attempt), so which completions get audited is deterministic.
+	// Zero disables auditing; 1 audits everything. A mismatch condemns
+	// the reporting worker.
+	AuditRate float64
+	// QuarantineThreshold condemns a worker once this many of its
+	// recent results (a sliding window of 32) were rejected at
+	// verification. Zero means 3. Audit failures condemn immediately.
+	QuarantineThreshold int
 	// LayoutCache optionally backs every campaign's build seam with a
 	// shared content-addressed artifact store (internal/artifactcache),
 	// so resubmitted, resumed and extended campaigns skip redundant
@@ -167,6 +178,13 @@ func (c Config) maxAttempts() int {
 	return c.MaxAttempts
 }
 
+func (c Config) quarantineThreshold() int {
+	if c.QuarantineThreshold <= 0 {
+		return 3
+	}
+	return c.QuarantineThreshold
+}
+
 // task is one queue entry: a single layout of one campaign, or — when
 // genome is set — one individual of a search campaign's generation
 // (layout is then the index within the generation).
@@ -188,6 +206,19 @@ type Server struct {
 	shed      *obs.Counter
 	writeErrs *obs.Counter
 	walErrs   *obs.Counter
+
+	// Trust & verification instruments (DESIGN.md §14).
+	attRejects *obs.Counter
+	audits     *obs.Counter
+	auditFails *obs.Counter
+	auditErrs  *obs.Counter
+	condemned  *obs.Counter
+	refusals   *obs.Counter
+	quarGauge  *obs.Gauge
+	// auditMu serializes spot-audit re-executions: every campaign
+	// reserves exactly one extra runner slot for the coordinator's
+	// audits, so they run one at a time.
+	auditMu sync.Mutex
 
 	baseCtx context.Context
 	stop    context.CancelCauseFunc
@@ -237,18 +268,26 @@ func New(cfg Config) (*Server, error) {
 			Metrics:       jobqueue.ObserveMetrics(cfg.Obs, "campaignd"),
 			TenantMetrics: tenantMetricsHook(cfg.Obs),
 		}),
-		remote:    jobqueue.NewRegistry[task](),
-		build:     jobqueue.NewBreaker(buildCfg),
-		measure:   jobqueue.NewBreaker(measureCfg),
-		shed:      obsCounter(cfg.Obs, "campaignd_shed_total", "submissions rejected by admission control (429)"),
-		writeErrs: obsCounter(cfg.Obs, "campaignd_http_write_errors_total", "HTTP response bodies that failed to encode or send"),
-		walErrs:   obsCounter(cfg.Obs, "campaignd_wal_append_errors_total", "WAL appends that failed (state stays replayable from the last good record)"),
-		baseCtx:   ctx,
-		stop:      stop,
-		campaigns: make(map[string]*campaign),
-		admitting: make(map[string]chan struct{}),
-		done:      make(chan struct{}),
+		remote:     jobqueue.NewRegistry[task](),
+		build:      jobqueue.NewBreaker(buildCfg),
+		measure:    jobqueue.NewBreaker(measureCfg),
+		shed:       obsCounter(cfg.Obs, "campaignd_shed_total", "submissions rejected by admission control (429)"),
+		writeErrs:  obsCounter(cfg.Obs, "campaignd_http_write_errors_total", "HTTP response bodies that failed to encode or send"),
+		walErrs:    obsCounter(cfg.Obs, "campaignd_wal_append_errors_total", "WAL appends that failed (state stays replayable from the last good record)"),
+		attRejects: obsCounter(cfg.Obs, "campaignd_attestation_rejects_total", "remote results refused at verification (422): bad fingerprint or wrong seed"),
+		audits:     obsCounter(cfg.Obs, "campaignd_audit_total", "remote results spot-audited by coordinator re-execution"),
+		auditFails: obsCounter(cfg.Obs, "campaignd_audit_failures_total", "spot audits whose re-execution disowned the reported bytes"),
+		auditErrs:  obsCounter(cfg.Obs, "campaignd_audit_errors_total", "spot audits the coordinator could not complete (result accepted unaudited)"),
+		condemned:  obsCounter(cfg.Obs, "campaignd_quarantine_condemned_total", "workers condemned to quarantine"),
+		refusals:   obsCounter(cfg.Obs, "campaignd_quarantine_lease_refusals_total", "lease requests refused because the worker is quarantined (403)"),
+		quarGauge:  obsGauge(cfg.Obs, "campaignd_quarantine_workers", "workers currently quarantined"),
+		baseCtx:    ctx,
+		stop:       stop,
+		campaigns:  make(map[string]*campaign),
+		admitting:  make(map[string]chan struct{}),
+		done:       make(chan struct{}),
 	}
+	s.remote.SetPolicy(jobqueue.RegistryPolicy{QuarantineAfter: cfg.quarantineThreshold()})
 	if cfg.WALDir != "" {
 		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
 			return nil, fmt.Errorf("campaignd: wal dir: %w", err)
@@ -327,11 +366,26 @@ func obsCounter(o *obs.Observer, name, help string) *obs.Counter {
 	return o.Counter(name, help)
 }
 
+func obsGauge(o *obs.Observer, name, help string) *obs.Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Gauge(name, help)
+}
+
 func (s *Server) now() time.Time {
 	if s.cfg.Now != nil {
 		return s.cfg.Now()
 	}
 	return time.Now()
+}
+
+// WorkerHealth snapshots every remote worker's health record:
+// accepted/rejected/audit-failed counters, the sliding-window score and
+// the quarantine bit. Workers that never identified themselves are
+// absent.
+func (s *Server) WorkerHealth() map[string]jobqueue.WorkerHealth {
+	return s.remote.Workers()
 }
 
 // Start launches the worker pool (a no-op for a pure coordinator).
@@ -407,8 +461,11 @@ func (s *Server) admit(spec JobSpec, record bool) (Status, error) {
 
 	// Build the campaign outside the lock: trace interpretation and the
 	// shared compile are real work. The admitting reservation keeps
-	// duplicates out, so this build is the only one for this ID.
-	c, pending, err := newCampaign(s.baseCtx, spec, s.cfg.scale(), s.cfg.workers(), s.cfg.CheckpointRoot, s.cfg.LayoutCache, s.cfg.Faults, s.now())
+	// duplicates out, so this build is the only one for this ID. The +1
+	// reserves one runner slot (the last) for the coordinator's
+	// spot-audit re-executions, which must never contend with the local
+	// pool's slots.
+	c, pending, err := newCampaign(s.baseCtx, spec, s.cfg.scale(), s.cfg.workers()+1, s.cfg.CheckpointRoot, s.cfg.LayoutCache, s.cfg.Faults, s.now())
 	if err != nil {
 		return Status{}, err
 	}

@@ -6,9 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"path/filepath"
+	"slices"
 	"sync"
 	"time"
 
@@ -53,6 +53,21 @@ type SoakConfig struct {
 	// (Worker.Batch): grouped leases share one batched trace walk. The
 	// byte-identity check is unchanged — batching must not move a byte.
 	WorkerBatch int
+	// ByzantineWorkers, when positive, makes this many of the sharded
+	// workers liars (faultinject.Liar): every result they report is
+	// corrupted — bit-flipped counters, stale layout seeds, replayed old
+	// results, bad or forged fingerprints. The round starts the liars
+	// first and waits until the coordinator has quarantined every one of
+	// them before the honest workers join, so the byte-identity check
+	// proves the corrupt results never reached a merged dataset and the
+	// requeues charged no attempts. Requires ShardWorkers >
+	// ByzantineWorkers so honest workers remain to finish the campaign.
+	ByzantineWorkers int
+	// AuditRate is the coordinator's spot-audit sampling rate for each
+	// round (Config.AuditRate). Byzantine rounds force it to 1 when left
+	// zero: the forged-fingerprint lie is structurally valid and only an
+	// audit re-execution can disown it before the merge.
+	AuditRate float64
 	// CoordinatorKills, when positive, runs each round against a
 	// WAL-backed coordinator that is hard-killed (Server.Kill — no
 	// drain, no flush) this many times mid-campaign and restarted on the
@@ -101,6 +116,9 @@ func Soak(cfg SoakConfig) error {
 	if cfg.CoordinatorKills > 0 && cfg.ShardWorkers > 0 {
 		return fmt.Errorf("campaignd: coordinator-kill rounds cannot run sharded: restarted coordinators listen on new addresses the workers were not told about")
 	}
+	if cfg.ByzantineWorkers > 0 && cfg.ByzantineWorkers >= cfg.ShardWorkers {
+		return fmt.Errorf("campaignd: byzantine soak needs ShardWorkers > ByzantineWorkers (%d liars of %d workers leaves nobody honest to finish)", cfg.ByzantineWorkers, cfg.ShardWorkers)
+	}
 	if err := cfg.Spec.validate(); err != nil {
 		return err
 	}
@@ -112,7 +130,13 @@ func Soak(cfg SoakConfig) error {
 	// The ground truth: one clean, single-process run of the spec. For a
 	// search spec that is core.RunSearch's trajectory — the canonical
 	// generations CSV plus the summary report — instead of the dataset.
-	var ref, refReport bytes.Buffer
+	// Byzantine rounds without injected seam faults additionally pin the
+	// provenance export (status/attempts columns): honest re-execution of
+	// a liar's requeued task must still show attempt 1, proving the
+	// requeue charged nothing.
+	byzProvenance := cfg.ByzantineWorkers > 0 && !cfg.Spec.IsSearch() &&
+		cfg.Rates.Error == 0 && cfg.Rates.Panic == 0 && cfg.Rates.Slow == 0 && cfg.Rates.Spike == 0
+	var ref, refReport, refProvenance bytes.Buffer
 	if cfg.Spec.IsSearch() {
 		searchCfg, err := searchConfig(cfg.Spec, cfg.scale())
 		if err != nil {
@@ -142,12 +166,17 @@ func Soak(cfg SoakConfig) error {
 		if err := results.WriteMeasurementsCSV(&ref, clean); err != nil {
 			return err
 		}
+		if byzProvenance {
+			if err := results.WriteDatasetCSV(&refProvenance, clean); err != nil {
+				return err
+			}
+		}
 		fmt.Fprintf(out, "soak %s: %d layouts, reference %d bytes, %d rounds\n",
 			cfg.Spec.Benchmark, len(clean.Obs), ref.Len(), cfg.rounds())
 	}
 
 	for round := 0; round < cfg.rounds(); round++ {
-		if err := soakRound(cfg, round, ref.Bytes(), refReport.Bytes(), out); err != nil {
+		if err := soakRound(cfg, round, ref.Bytes(), refReport.Bytes(), refProvenance.Bytes(), out); err != nil {
 			return fmt.Errorf("campaignd: soak round %d: %w", round, err)
 		}
 	}
@@ -158,8 +187,9 @@ func Soak(cfg SoakConfig) error {
 // soakRound runs one faulted service instance end to end over HTTP and
 // compares its measurement export against the clean reference (for a
 // search spec: the canonical generations CSV and, refReport, the
-// summary JSON).
-func soakRound(cfg SoakConfig, round int, ref, refReport []byte, out io.Writer) error {
+// summary JSON; for fault-free byzantine rounds, refProvenance, the
+// full dataset export with status/attempts columns).
+func soakRound(cfg SoakConfig, round int, ref, refReport, refProvenance []byte, out io.Writer) error {
 	// MaxFaults keeps every fault burst finite per (site, key), so a
 	// bounded retry budget always clears it deterministically. A layout
 	// can burn MaxFaults attempts in the build seam and MaxFaults more
@@ -181,12 +211,21 @@ func soakRound(cfg SoakConfig, round int, ref, refReport []byte, out io.Writer) 
 	})
 
 	sharded := cfg.ShardWorkers > 0
+	byzantine := cfg.ByzantineWorkers > 0
+	auditRate := cfg.AuditRate
+	if byzantine && auditRate == 0 {
+		// The forged-fingerprint lie verifies structurally; only a
+		// re-execution can disown it before the merge, so byzantine
+		// rounds audit everything unless told otherwise.
+		auditRate = 1
+	}
 	scfg := Config{
 		Scale:         cfg.scale(),
 		Workers:       cfg.Workers,
 		QueueCapacity: cfg.QueueCapacity,
 		Lease:         cfg.Lease,
 		MaxAttempts:   maxAttempts,
+		AuditRate:     auditRate,
 		Backoff:       backoff.Policy{Base: time.Millisecond, Cap: 20 * time.Millisecond, Jitter: 0.5},
 		Breaker: jobqueue.BreakerConfig{
 			TripAfter: 3,
@@ -222,37 +261,78 @@ func soakRound(cfg SoakConfig, round int, ref, refReport []byte, out io.Writer) 
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := NewHTTPServer(srv.Handler())
 	go httpSrv.Serve(ln)
 	defer func() { httpSrv.Close() }()
 
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout())
+	defer cancel()
+	client := &Client{Base: "http://" + ln.Addr().String()}
+
+	var liars []string
+	var st Status
 	if sharded {
 		wctx, stopWorkers := context.WithCancel(context.Background())
 		var wwg sync.WaitGroup
-		for n := 0; n < cfg.ShardWorkers; n++ {
+		startWorker := func(w *Worker) {
 			wwg.Add(1)
 			go func() {
 				defer wwg.Done()
-				w := &Worker{
-					Coordinator: "http://" + ln.Addr().String(),
-					Batch:       cfg.WorkerBatch,
-					Wait:        500 * time.Millisecond,
-					Faults:      injector,
-				}
 				w.Run(wctx)
 			}()
 		}
 		defer wwg.Wait()
 		defer stopWorkers()
-		fmt.Fprintf(out, "round %d: sharded across %d workers (batch %d)\n", round, cfg.ShardWorkers, cfg.WorkerBatch)
+		honest := cfg.ShardWorkers
+		if byzantine {
+			// Stage the fleet: liars first, honest workers only after
+			// every liar is quarantined. The submit races the liars, but
+			// nothing they report ever merges — each corrupt result is
+			// rejected or audit-disowned and its task requeued uncharged —
+			// so the eventual dataset is the honest workers' alone and the
+			// byte-identity check below proves it.
+			honest -= cfg.ByzantineWorkers
+			if st, err = client.SubmitWait(ctx, cfg.Spec); err != nil {
+				return err
+			}
+			for n := 0; n < cfg.ByzantineWorkers; n++ {
+				id := fmt.Sprintf("soak-r%d-liar%d", round, n)
+				liars = append(liars, id)
+				startWorker(&Worker{
+					Coordinator: "http://" + ln.Addr().String(),
+					ID:          id,
+					Batch:       cfg.WorkerBatch,
+					Wait:        500 * time.Millisecond,
+					Tamper:      faultinject.NewLiar(cfg.Seed + uint64(round)*0x9e3779b9 + uint64(n)),
+				})
+			}
+			if err := waitQuarantined(ctx, srv, liars); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "round %d: %d byzantine workers quarantined, %d honest workers joining (batch %d)\n",
+				round, len(liars), honest, cfg.WorkerBatch)
+		}
+		for n := 0; n < honest; n++ {
+			w := &Worker{
+				Coordinator: "http://" + ln.Addr().String(),
+				Batch:       cfg.WorkerBatch,
+				Wait:        500 * time.Millisecond,
+				Faults:      injector,
+			}
+			if byzantine {
+				w.ID = fmt.Sprintf("soak-r%d-w%d", round, n)
+			}
+			startWorker(w)
+		}
+		if !byzantine {
+			fmt.Fprintf(out, "round %d: sharded across %d workers (batch %d)\n", round, cfg.ShardWorkers, cfg.WorkerBatch)
+		}
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout())
-	defer cancel()
-	client := &Client{Base: "http://" + ln.Addr().String()}
-	st, err := client.SubmitWait(ctx, cfg.Spec)
-	if err != nil {
-		return err
+	if !byzantine {
+		if st, err = client.SubmitWait(ctx, cfg.Spec); err != nil {
+			return err
+		}
 	}
 
 	// Hard-kill and restart the coordinator mid-campaign. The campaign
@@ -293,7 +373,7 @@ func soakRound(cfg SoakConfig, round int, ref, refReport []byte, out io.Writer) 
 		if ln, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
 			return err
 		}
-		httpSrv = &http.Server{Handler: srv.Handler()}
+		httpSrv = NewHTTPServer(srv.Handler())
 		go httpSrv.Serve(ln)
 		client = &Client{Base: "http://" + ln.Addr().String()}
 		if _, serr := client.Status(ctx, st.ID); serr != nil {
@@ -361,6 +441,62 @@ func soakRound(cfg SoakConfig, round int, ref, refReport []byte, out io.Writer) 
 		fmt.Fprintf(out, " REPORT MISMATCH\n")
 		return fmt.Errorf("search report diverged from the clean run (%d vs %d bytes)", len(gotReport), len(refReport))
 	}
+	if byzantine {
+		// The fleet's health must tell the same story as the bytes: every
+		// liar quarantined, every honest worker still trusted.
+		health := srv.WorkerHealth()
+		for _, id := range liars {
+			h, ok := health[id]
+			if !ok || !h.Quarantined {
+				fmt.Fprintf(out, " LIAR AT LARGE\n")
+				return fmt.Errorf("byzantine worker %s not quarantined (health %+v)", id, h)
+			}
+		}
+		for id, h := range health {
+			if h.Quarantined && !slices.Contains(liars, id) {
+				fmt.Fprintf(out, " HONEST WORKER CONDEMNED\n")
+				return fmt.Errorf("honest worker %s was quarantined (health %+v)", id, h)
+			}
+		}
+		if len(refProvenance) > 0 {
+			// With no seam faults injected, every clean attempt count is 1;
+			// matching bytes prove the liars' requeued tasks were never
+			// charged an attempt.
+			gotProv, perr := client.Result(ctx, st.ID)
+			if perr != nil {
+				return perr
+			}
+			if !bytes.Equal(gotProv, refProvenance) {
+				fmt.Fprintf(out, " PROVENANCE MISMATCH\n")
+				return fmt.Errorf("provenance export diverged from the clean run (%d vs %d bytes): a requeued task was charged an attempt", len(gotProv), len(refProvenance))
+			}
+		}
+	}
 	fmt.Fprintf(out, " identical\n")
 	return nil
+}
+
+// waitQuarantined polls the coordinator's fleet health until every one
+// of the given workers is quarantined (or ctx expires). The liars are
+// guaranteed to get there: every observation they report is rejected or
+// audit-disowned, and the quarantine threshold is finite.
+func waitQuarantined(ctx context.Context, srv *Server, workers []string) error {
+	for {
+		health := srv.WorkerHealth()
+		all := true
+		for _, id := range workers {
+			if h, ok := health[id]; !ok || !h.Quarantined {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for byzantine quarantine: %w", context.Cause(ctx))
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }

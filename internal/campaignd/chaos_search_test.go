@@ -43,6 +43,34 @@ func TestChaosSoakSearch(t *testing.T) {
 	}
 }
 
+// TestChaosSoakSearchByzantine is the trust soak's search variant: 1 of
+// 3 sharded workers lies about every search individual it measures. The
+// liar must be quarantined and the generations CSV plus the summary
+// report must still match the clean single-process search bytes.
+func TestChaosSoakSearchByzantine(t *testing.T) {
+	var out bytes.Buffer
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:             searchSpec(),
+		Rounds:           1,
+		Seed:             0xb5ea,
+		ShardWorkers:     3,
+		ByzantineWorkers: 1,
+		Timeout:          time.Minute,
+		Out:              &out,
+	})
+	t.Logf("soak output:\n%s", out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "soak PASS") {
+		t.Error("soak report missing the PASS line")
+	}
+	if !strings.Contains(report, "1 byzantine workers quarantined") {
+		t.Error("soak report missing the quarantine line")
+	}
+}
+
 // TestChaosSoakSearchCoordinatorKills hard-kills the coordinator twice
 // per round mid-trajectory (Server.Kill — no drain, no flush) and
 // restarts it on the same WAL dir. Each restart must resume the search

@@ -76,6 +76,48 @@ func TestChaosSoakShardedBatched(t *testing.T) {
 	}
 }
 
+// TestChaosSoakByzantine is the trust soak: 2 of 4 sharded workers lie
+// about every result they report. The round stages the fleet — liars
+// first, honest workers only after every liar is quarantined — and the
+// export must still match the clean single-process bytes, with the
+// provenance (attempts) export proving no requeue was ever charged.
+func TestChaosSoakByzantine(t *testing.T) {
+	var out bytes.Buffer
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:             testSpec(6),
+		Rounds:           2,
+		Seed:             0xb42a,
+		ShardWorkers:     4,
+		ByzantineWorkers: 2,
+		Timeout:          time.Minute,
+		Out:              &out,
+	})
+	t.Logf("soak output:\n%s", out.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "soak PASS") {
+		t.Error("soak report missing the PASS line")
+	}
+	if !strings.Contains(report, "2 byzantine workers quarantined") {
+		t.Error("soak report missing the quarantine line")
+	}
+}
+
+// TestSoakRejectsByzantineWithoutHonestWorkers: a fleet of nothing but
+// liars can never finish the campaign, so the soak refuses it up front.
+func TestSoakRejectsByzantineWithoutHonestWorkers(t *testing.T) {
+	err := campaignd.Soak(campaignd.SoakConfig{
+		Spec:             testSpec(2),
+		ShardWorkers:     2,
+		ByzantineWorkers: 2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "byzantine") {
+		t.Fatalf("soak accepted an all-liar fleet: %v", err)
+	}
+}
+
 // TestSoakRejectsCorruptFaults: silent measurement corruption cannot be
 // detected by the service, so the soak refuses to claim byte-identity
 // under it.

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"interferometry/internal/jobqueue"
 )
 
 // Client talks to a campaignd server. The zero value with just Base set
@@ -166,6 +168,32 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Statu
 		case <-time.After(poll):
 		}
 	}
+}
+
+// FleetHealth fetches the coordinator's per-worker health map from
+// /queuez: accepted/rejected/audit-failed counters, sliding-window
+// score, quarantine state. Empty when the coordinator has never seen a
+// named worker.
+func (c *Client) FleetHealth(ctx context.Context) (map[string]jobqueue.WorkerHealth, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/queuez", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.decodeError(resp)
+	}
+	var qz struct {
+		Workers map[string]jobqueue.WorkerHealth `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qz); err != nil {
+		return nil, err
+	}
+	return qz.Workers, nil
 }
 
 // Result fetches the finished dataset CSV (with provenance columns).

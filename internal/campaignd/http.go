@@ -10,8 +10,24 @@ import (
 	"time"
 
 	"interferometry/internal/core"
+	"interferometry/internal/jobqueue"
 	"interferometry/internal/results"
 )
+
+// NewHTTPServer wraps a handler in an http.Server with the service's
+// standard hardening: header-read and idle timeouts plus a header size
+// bound, so a stuck or malicious client cannot pin connection state
+// forever. Body timeouts stay unset on purpose — /worker/lease
+// long-polls and CSV streams are legitimately slow; the lease handler
+// bounds its own poll server-side.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
 
 // Handler returns the service's HTTP API:
 //
@@ -294,16 +310,17 @@ type tenantz struct {
 }
 
 type queuezResponse struct {
-	Depth        int                `json:"depth"`
-	Leased       int                `json:"leased"`
-	RemoteLeases int                `json:"remote_leases"`
-	Capacity     int                `json:"capacity"`
-	Campaigns    int                `json:"campaigns"`
-	Draining     bool               `json:"draining"`
-	Build        string             `json:"breaker_build"`
-	Measure      string             `json:"breaker_measure"`
-	WALLive      int                `json:"wal_live_campaigns,omitempty"`
-	Tenants      map[string]tenantz `json:"tenants,omitempty"`
+	Depth        int                              `json:"depth"`
+	Leased       int                              `json:"leased"`
+	RemoteLeases int                              `json:"remote_leases"`
+	Capacity     int                              `json:"capacity"`
+	Campaigns    int                              `json:"campaigns"`
+	Draining     bool                             `json:"draining"`
+	Build        string                           `json:"breaker_build"`
+	Measure      string                           `json:"breaker_measure"`
+	WALLive      int                              `json:"wal_live_campaigns,omitempty"`
+	Tenants      map[string]tenantz               `json:"tenants,omitempty"`
+	Workers      map[string]jobqueue.WorkerHealth `json:"workers,omitempty"`
 }
 
 func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +346,9 @@ func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
 		Build:        s.build.State().String(),
 		Measure:      s.measure.State().String(),
 		Tenants:      tenants,
+	}
+	if workers := s.remote.Workers(); len(workers) > 0 {
+		resp.Workers = workers
 	}
 	if s.wal != nil {
 		resp.WALLive = s.wal.Live()

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"time"
 
 	"interferometry/internal/core"
 	"interferometry/internal/experiments"
 	"interferometry/internal/jobqueue"
 	"interferometry/internal/toolchain"
+	"interferometry/internal/xrand"
 )
 
 // Coordinator/worker protocol (DESIGN.md §10). Remote campaignd worker
@@ -39,6 +41,15 @@ const (
 type leaseRequest struct {
 	// WaitMS bounds the long poll; zero means 5s, capped at 60s.
 	WaitMS int64 `json:"wait_ms,omitempty"`
+	// Worker is the caller's self-chosen identity, tracked by the
+	// coordinator's health scoring: rejected results count against it
+	// and a condemned identity's lease requests are refused (403).
+	// Empty is anonymous — legal, but untracked and uncondemnable, so
+	// fleets that want quarantine must set it. Self-reporting is not a
+	// trust problem: an identity only ever accumulates blame, so the
+	// worst a liar can do by rotating names is reset its own rap sheet,
+	// and every lie it tells is still rejected per-result.
+	Worker string `json:"worker,omitempty"`
 }
 
 // leaseResponse hands one leased layout task to a worker. Spec and
@@ -109,9 +120,19 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if wait > maxLeaseWait {
 		wait = maxLeaseWait
 	}
+	// Quarantined workers get refused before touching the queue: their
+	// identity is condemned, not any one task.
+	if s.remote.Quarantined(req.Worker) {
+		s.refusals.Inc()
+		s.writeJSON(w, http.StatusForbidden, errorResponse{Error: "worker quarantined"})
+		return
+	}
 	// Dead workers leave registry entries behind; sweeping on the lease
 	// path bounds them without a background goroutine.
 	s.remote.Sweep()
+	// The wait clamp doubles as the server-side deadline: however the
+	// client behaves, the handler goroutine is released when the
+	// long-poll window closes.
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 	for {
@@ -124,6 +145,15 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
+		// Re-check after the blocking pop: a condemnation that landed
+		// mid-poll must not hand this worker new work. The task goes
+		// straight back, uncharged.
+		if s.remote.Quarantined(req.Worker) {
+			lease.Release()
+			s.refusals.Inc()
+			s.writeJSON(w, http.StatusForbidden, errorResponse{Error: "worker quarantined"})
+			return
+		}
 		t := lease.Payload()
 		c := t.camp
 		if cerr := c.ctx.Err(); cerr != nil {
@@ -132,7 +162,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp := leaseResponse{
-			LeaseID:    s.remote.Register(lease),
+			LeaseID:    s.remote.Register(lease, req.Worker),
 			CampaignID: c.id,
 			Layout:     t.layout,
 			Attempt:    lease.Attempt(),
@@ -168,13 +198,23 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // local pool uses. Duplicate or late completions (expired lease) return
 // 410 and the result is discarded — by determinism the task's next
 // owner derives identical bytes, so nothing is lost.
+//
+// Observations are verified before they merge (DESIGN.md §14): the
+// attestation must re-derive from the coordinator's own spec and the
+// layout seed must match the leased task. A result that fails either
+// check is rejected with 422, counts against the reporting worker's
+// health, and its task is released — requeued with no attempt charged,
+// because the worker was at fault, not the task. Verified results may
+// additionally be spot-audited: re-executed through the coordinator's
+// reserved runner slot and compared byte for byte; a mismatch condemns
+// the worker outright.
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req completeRequest
 	if err := decodeBody(w, r, &req); err != nil || req.LeaseID == "" {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad complete request"})
 		return
 	}
-	lease, ok := s.remote.Take(req.LeaseID)
+	lease, worker, ok := s.remote.Take(req.LeaseID)
 	if !ok {
 		s.writeJSON(w, http.StatusGone, errorResponse{Error: jobqueue.ErrLeaseLost.Error()})
 		return
@@ -189,30 +229,170 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case req.Error != "":
+		// An honest failure report is health-neutral: injected faults
+		// and real build/measure errors must not quarantine a truthful
+		// worker. It costs the attempt it claimed to be.
 		s.taskFailed(lease, c, t, errors.New(req.Error))
 	case req.Observation == nil:
 		s.taskFailed(lease, c, t, errors.New("worker reported neither observation nor error"))
-	case t.genome != nil:
-		// Search individual: the streamed observation must carry the
-		// genome's fingerprint as its layout seed, or it was derived
-		// from the wrong genome.
-		o := req.Observation.Observation()
-		if want := t.genome.Fingerprint(); o.LayoutSeed != want {
-			s.taskFailed(lease, c, t, fmt.Errorf("worker observation has layout seed %#x, genome fingerprint is %#x", o.LayoutSeed, want))
-		} else {
-			c.completeSearch(t, core.CompletedObservation(o, c.attemptsOf(t.layout)+1))
-			lease.Complete()
-		}
 	default:
+		if err := verifyResult(c, t, req.Observation); err != nil {
+			s.rejectResult(w, lease, worker, err)
+			return
+		}
+		if s.auditPick(c, t, lease.Attempt()) {
+			match, aerr := s.audit(c, t, req.Observation)
+			switch {
+			case aerr != nil:
+				// The audit infrastructure failed, not the worker; the
+				// verified result is accepted unaudited.
+				s.auditErrs.Inc()
+			case !match:
+				s.auditFails.Inc()
+				s.remote.FailAudit(worker)
+				s.condemnWorker(worker)
+				// ErrLeaseLost here means a racing reap already
+				// requeued the task — exactly once either way.
+				lease.Release()
+				s.writeJSON(w, http.StatusUnprocessableEntity,
+					errorResponse{Error: "audit mismatch: re-execution disowned the reported observation"})
+				return
+			}
+		}
+		s.remote.Accept(worker)
 		o := req.Observation.Observation()
-		if want := c.runner.LayoutSeed(t.layout); o.LayoutSeed != want {
-			// A result for the wrong layout (worker bug) must not merge;
-			// it costs the attempt it claimed to be.
-			s.taskFailed(lease, c, t, fmt.Errorf("worker observation has layout seed %#x, layout %d derives %#x", o.LayoutSeed, t.layout, want))
+		if t.genome != nil {
+			c.completeSearch(t, core.CompletedObservation(o, c.attemptsOf(t.layout)+1))
 		} else {
 			c.complete(t.layout, core.CompletedObservation(o, c.attemptsOf(t.layout)+1))
-			lease.Complete()
 		}
+		lease.Complete()
 	}
 	s.writeJSON(w, http.StatusOK, ack{OK: true})
+}
+
+// verifyResult runs the cheap structural checks on a reported
+// observation: the attestation must re-derive against the campaign's
+// own toolchain identity, and the layout seed must be the leased
+// task's. Both are pure recomputation from the coordinator's spec — no
+// re-execution.
+func verifyResult(c *campaign, t task, o *core.ObsWire) error {
+	if err := o.VerifyAttestation(c.runner.AttestationKey()); err != nil {
+		return err
+	}
+	if t.genome != nil {
+		// Search individual: the observation must carry the genome's
+		// fingerprint as its layout seed, or it was derived from the
+		// wrong genome.
+		if want := t.genome.Fingerprint(); o.LayoutSeed != want {
+			return fmt.Errorf("worker observation has layout seed %#x, genome fingerprint is %#x", o.LayoutSeed, want)
+		}
+		return nil
+	}
+	if want := c.runner.LayoutSeed(t.layout); o.LayoutSeed != want {
+		return fmt.Errorf("worker observation has layout seed %#x, layout %d derives %#x", o.LayoutSeed, t.layout, want)
+	}
+	return nil
+}
+
+// rejectResult refuses a result that failed verification: the worker is
+// blamed (condemned if it just crossed the quarantine threshold), the
+// task is released uncharged, and the worker sees 422 — a terminal
+// verdict it must not retry.
+func (s *Server) rejectResult(w http.ResponseWriter, lease *jobqueue.Lease[task], worker string, err error) {
+	s.attRejects.Inc()
+	if s.remote.Reject(worker) {
+		s.condemnWorker(worker)
+	}
+	// ErrLeaseLost here means a racing reap or condemnation sweep
+	// already requeued the task — exactly once either way.
+	lease.Release()
+	s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+}
+
+// condemnWorker quarantines a worker and returns its live leases to the
+// queue with no attempt charged. Exactly one caller observes first and
+// records the condemnation; racing completions may both call this, but
+// the registry hands each lease out once.
+func (s *Server) condemnWorker(worker string) {
+	leases, first := s.remote.Condemn(worker)
+	if first {
+		s.condemned.Inc()
+		s.quarGauge.Set(float64(s.remote.QuarantinedCount()))
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+}
+
+// auditPick decides deterministically whether this completion is
+// spot-audited: the sampler is seeded by (campaign seed, task key,
+// attempt), so the audit schedule is a property of the campaign, not of
+// scheduling or worker count.
+func (s *Server) auditPick(c *campaign, t task, attempt int) bool {
+	rate := s.cfg.AuditRate
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	key := uint64(0)
+	if t.genome != nil {
+		key = t.genome.Fingerprint()
+	} else {
+		key = c.runner.LayoutSeed(t.layout)
+	}
+	return xrand.New(xrand.Mix(0xa0d17ed, c.spec.effectiveSeed(), key, uint64(attempt))).Float64() < rate
+}
+
+// audit re-executes the leased task through the campaign's reserved
+// runner slot and compares the observation byte for byte with what the
+// worker reported. Audits assume the coordinator's own seams are clean
+// (no fault injector on the serve path); they run serialized on the one
+// reserved slot, so at most one audit's build+measure is in flight.
+func (s *Server) audit(c *campaign, t task, got *core.ObsWire) (match bool, err error) {
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	s.audits.Inc()
+	slot := c.runner.Workers() - 1
+	var o core.Observation
+	err = core.Guard(func() error {
+		var exe *toolchain.Executable
+		var gerr error
+		if t.genome != nil {
+			exe, gerr = c.runner.BuildGenome(*t.genome)
+			if gerr != nil {
+				return gerr
+			}
+			o, gerr = c.runner.MeasureGenome(slot, *t.genome, exe)
+			return gerr
+		}
+		exe, gerr = c.runner.BuildLayout(t.layout)
+		if gerr != nil {
+			return gerr
+		}
+		o, gerr = c.runner.MeasureLayout(slot, t.layout, exe)
+		return gerr
+	})
+	if err != nil {
+		return false, err
+	}
+	want := o.Wire()
+	want.Fingerprint = want.Attest(c.runner.AttestationKey())
+	return auditEqual(*got, want), nil
+}
+
+// auditEqual compares two wire observations field by field, fingerprint
+// included — the audit's verdict is byte-identity, nothing weaker.
+func auditEqual(a, b core.ObsWire) bool {
+	return a.LayoutSeed == b.LayoutSeed &&
+		a.HeapSeed == b.HeapSeed &&
+		a.Cycles == b.Cycles &&
+		a.Instructions == b.Instructions &&
+		a.Runs == b.Runs &&
+		a.Status == b.Status &&
+		a.Attempts == b.Attempts &&
+		a.Fingerprint == b.Fingerprint &&
+		slices.Equal(a.Events, b.Events)
 }

@@ -6,13 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"interferometry/internal/core"
 	"interferometry/internal/experiments"
 	"interferometry/internal/faultinject"
+	"interferometry/internal/jobqueue/backoff"
 	"interferometry/internal/obs"
 	"interferometry/internal/toolchain"
 )
@@ -29,6 +32,10 @@ type Worker struct {
 	// Coordinator is the coordinator's base URL, e.g.
 	// "http://localhost:8347".
 	Coordinator string
+	// ID identifies this worker to the coordinator's health scoring:
+	// rejected results count against it and a condemned ID's lease
+	// requests are refused (403). Empty means "<hostname>-<pid>".
+	ID string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
 	// Parallel is the number of concurrent task loops (and the worker's
@@ -44,14 +51,26 @@ type Worker struct {
 	// Wait bounds each lease long poll. Zero means the coordinator's
 	// default.
 	Wait time.Duration
+	// Backoff spaces retries of coordinator requests (lease polls after
+	// transport errors, completion reports). The jitter is seeded by
+	// the worker's ID, so a fleet that loses its coordinator does not
+	// thunder back in lockstep. The zero policy means {50ms, 2s, 0.5}.
+	Backoff backoff.Policy
 	// Cache optionally backs the worker's build seam with a layout
 	// artifact store, shared with other workers on the same host.
 	Cache toolchain.LayoutCache
 	// Faults optionally injects faults into the worker's seams — the
 	// sharded chaos soak's hook. Nil runs clean.
 	Faults *faultinject.Injector
+	// Tamper, when set, corrupts every outgoing observation through the
+	// liar's deterministic lie schedule — the byzantine soak's hook for
+	// workers that answer wrong instead of dying. Nil reports honestly.
+	Tamper *faultinject.Liar
 	// Obs observes the worker's campaigns; nil runs unobserved.
 	Obs *obs.Observer
+
+	idOnce sync.Once
+	id     string
 }
 
 func (w *Worker) parallel() int {
@@ -78,6 +97,36 @@ func (w *Worker) http() *http.Client {
 	return http.DefaultClient
 }
 
+// workerID resolves the worker's identity once: the configured ID, or
+// "<hostname>-<pid>" so every process is distinguishable by default.
+func (w *Worker) workerID() string {
+	w.idOnce.Do(func() {
+		w.id = w.ID
+		if w.id == "" {
+			host, err := os.Hostname()
+			if err != nil || host == "" {
+				host = "worker"
+			}
+			w.id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+	})
+	return w.id
+}
+
+func (w *Worker) backoff() backoff.Policy {
+	if w.Backoff == (backoff.Policy{}) {
+		return backoff.Policy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.5}
+	}
+	return w.Backoff
+}
+
+// hashString folds a string into a backoff seed.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
 // Run pulls and executes tasks until the coordinator drains or ctx
 // ends. Connection errors are retried with a short pause — a worker
 // outliving a coordinator restart just resumes pulling.
@@ -101,22 +150,29 @@ func (w *Worker) Run(ctx context.Context) error {
 // loop is one task goroutine; slot doubles as the runner's measurement
 // slot so concurrent tasks never share harness state.
 func (w *Worker) loop(ctx context.Context, runners *workerRunners, slot int) {
+	fails := 0
 	for ctx.Err() == nil {
 		lr, status, err := w.lease(ctx)
 		switch {
 		case err != nil:
-			// Coordinator unreachable: pause briefly and retry.
+			// Coordinator unreachable: back off with seeded jitter so a
+			// fleet that lost its coordinator does not stampede back.
+			fails++
 			select {
 			case <-ctx.Done():
-			case <-time.After(200 * time.Millisecond):
+			case <-time.After(w.backoff().Delay(fails, hashString(w.workerID()), uint64(slot))):
 			}
+			continue
 		case status == http.StatusServiceUnavailable:
 			return // draining: no more work will be leased
+		case status == http.StatusForbidden:
+			return // quarantined: this identity gets no more work
 		case status == http.StatusNoContent:
 			// Long poll elapsed with nothing eligible; poll again.
 		default:
 			w.executeGroup(ctx, runners, slot, w.gather(ctx, lr))
 		}
+		fails = 0
 	}
 }
 
@@ -127,7 +183,7 @@ func (w *Worker) gather(ctx context.Context, first leaseResponse) []leaseRespons
 	group := []leaseResponse{first}
 	for len(group) < w.batch() {
 		var lr leaseResponse
-		status, err := w.post(ctx, "/worker/lease", leaseRequest{WaitMS: 1}, &lr)
+		status, _, err := w.post(ctx, "/worker/lease", leaseRequest{WaitMS: 1, Worker: w.workerID()}, &lr)
 		if err != nil || status != http.StatusOK {
 			break
 		}
@@ -138,12 +194,12 @@ func (w *Worker) gather(ctx context.Context, first leaseResponse) []leaseRespons
 
 // lease long-polls the coordinator for one task.
 func (w *Worker) lease(ctx context.Context) (leaseResponse, int, error) {
-	req := leaseRequest{}
+	req := leaseRequest{Worker: w.workerID()}
 	if w.Wait > 0 {
 		req.WaitMS = w.Wait.Milliseconds()
 	}
 	var lr leaseResponse
-	status, err := w.post(ctx, "/worker/lease", req, &lr)
+	status, _, err := w.post(ctx, "/worker/lease", req, &lr)
 	return lr, status, err
 }
 
@@ -222,7 +278,7 @@ func (w *Worker) executeBatch(ctx context.Context, runners *workerRunners, slot 
 			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("measure: %v", err)})
 			continue
 		}
-		wire := o.Wire()
+		wire := w.stamp(o, runner)
 		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Observation: &wire})
 	}
 }
@@ -271,24 +327,68 @@ func (w *Worker) executeGenomeBatch(ctx context.Context, runner *core.LayoutRunn
 			w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Error: fmt.Sprintf("measure: %v", err)})
 			continue
 		}
-		wire := o.Wire()
+		wire := w.stamp(o, runner)
 		w.complete(ctx, completeRequest{LeaseID: lr.LeaseID, Observation: &wire})
 	}
 }
 
-// complete reports one outcome, retrying brief connection failures. A
-// 410 (lease lost) needs no handling: the result is discarded and the
-// requeued task re-derives it elsewhere.
+// stamp attests an observation against the runner's toolchain identity
+// and, in byzantine soaks, routes it through the configured liar.
+func (w *Worker) stamp(o core.Observation, runner *core.LayoutRunner) core.ObsWire {
+	wire := o.Wire()
+	wire.Fingerprint = wire.Attest(runner.AttestationKey())
+	if w.Tamper == nil {
+		return wire
+	}
+	lied := w.Tamper.Corrupt(tamperResult(wire), func(r faultinject.WireResult) string {
+		return tamperWire(r).Attest(runner.AttestationKey())
+	})
+	return tamperWire(lied)
+}
+
+// tamperResult and tamperWire convert between core's wire observation
+// and faultinject's neutral image of it (faultinject cannot import
+// core).
+func tamperResult(w core.ObsWire) faultinject.WireResult {
+	return faultinject.WireResult{
+		LayoutSeed: w.LayoutSeed, HeapSeed: w.HeapSeed,
+		Cycles: w.Cycles, Instructions: w.Instructions,
+		Events: w.Events, Runs: w.Runs, Status: w.Status,
+		Attempts: w.Attempts, Fingerprint: w.Fingerprint,
+	}
+}
+
+func tamperWire(r faultinject.WireResult) core.ObsWire {
+	return core.ObsWire{
+		LayoutSeed: r.LayoutSeed, HeapSeed: r.HeapSeed,
+		Cycles: r.Cycles, Instructions: r.Instructions,
+		Events: r.Events, Runs: r.Runs, Status: r.Status,
+		Attempts: r.Attempts, Fingerprint: r.Fingerprint,
+	}
+}
+
+// complete reports one outcome, retrying transport failures and 429s
+// under the worker's seeded backoff (honoring Retry-After, delta or
+// HTTP-date, like the submit client). Terminal verdicts need no
+// handling: a 410 (lease lost) means the result is discarded and the
+// requeued task re-derives it elsewhere; a 422 (rejected) means the
+// coordinator already released the task and retrying the same bytes
+// cannot change its mind.
 func (w *Worker) complete(ctx context.Context, req completeRequest) {
-	for attempt := 0; attempt < 3; attempt++ {
-		var a ack
-		if _, err := w.post(ctx, "/worker/complete", req, &a); err == nil {
+	seedA, seedB := hashString(w.workerID()), hashString(req.LeaseID)
+	for attempt := 1; attempt <= 3; attempt++ {
+		status, hdr, err := w.post(ctx, "/worker/complete", req, &ack{})
+		if err == nil && status != http.StatusTooManyRequests {
 			return
+		}
+		wait := w.backoff().Delay(attempt, seedA, seedB)
+		if err == nil { // 429: the coordinator names its own delay
+			wait = retryAfter(hdr.Get("Retry-After"), time.Now())
 		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -312,7 +412,7 @@ func (w *Worker) heartbeat(ctx context.Context, lr leaseResponse) (stop func()) 
 			case <-hbCtx.Done():
 				return
 			case <-ticker.C:
-				status, err := w.post(hbCtx, "/worker/heartbeat", leaseRef{LeaseID: lr.LeaseID}, nil)
+				status, _, err := w.post(hbCtx, "/worker/heartbeat", leaseRef{LeaseID: lr.LeaseID}, nil)
 				if err == nil && status != http.StatusNoContent {
 					return
 				}
@@ -326,28 +426,29 @@ func (w *Worker) heartbeat(ctx context.Context, lr leaseResponse) (stop func()) 
 }
 
 // post sends one protocol request and decodes a JSON response into out
-// (when out is non-nil and the response has a body).
-func (w *Worker) post(ctx context.Context, path string, body, out any) (int, error) {
+// (when out is non-nil and the response has a body). The response
+// headers come back so retry loops can honor Retry-After.
+func (w *Worker) post(ctx context.Context, path string, body, out any) (int, http.Header, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(data))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.http().Do(req)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	if out != nil && resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, fmt.Errorf("campaignd: worker: bad %s response: %w", path, err)
+			return resp.StatusCode, resp.Header, fmt.Errorf("campaignd: worker: bad %s response: %w", path, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header, nil
 }
 
 // workerRunners caches one LayoutRunner per campaign. The runner holds

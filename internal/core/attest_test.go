@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func attestWire() ObsWire {
+	return ObsWire{
+		LayoutSeed:   0x1f2e3d4c5b6a7988,
+		HeapSeed:     0xdeadbeefcafe,
+		Cycles:       123_456_789,
+		Instructions: 98_765_432,
+		Events:       []uint64{7, 11, 13, 17, 19, 23},
+		Runs:         5,
+		Status:       1,
+		Attempts:     2,
+	}
+}
+
+func TestAttestRoundTrip(t *testing.T) {
+	w := attestWire()
+	w.Fingerprint = w.Attest("builder-key-v1")
+	if !strings.HasPrefix(w.Fingerprint, AttestationVersion+":") {
+		t.Fatalf("fingerprint %q lacks version prefix", w.Fingerprint)
+	}
+	if err := w.VerifyAttestation("builder-key-v1"); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// Attest must not depend on the Fingerprint field itself.
+	if got := w.Attest("builder-key-v1"); got != w.Fingerprint {
+		t.Fatalf("Attest is not a pure function of the payload: %s vs %s", got, w.Fingerprint)
+	}
+}
+
+func TestAttestDetectsTampering(t *testing.T) {
+	const key = "builder-key-v1"
+	base := attestWire()
+	base.Fingerprint = base.Attest(key)
+
+	mutations := map[string]func(*ObsWire){
+		"layout seed":  func(w *ObsWire) { w.LayoutSeed ^= 2 },
+		"heap seed":    func(w *ObsWire) { w.HeapSeed++ },
+		"cycles":       func(w *ObsWire) { w.Cycles ^= 1 << 40 },
+		"instructions": func(w *ObsWire) { w.Instructions-- },
+		"event value":  func(w *ObsWire) { w.Events[3] ^= 1 },
+		"event count":  func(w *ObsWire) { w.Events = w.Events[:len(w.Events)-1] },
+		"runs":         func(w *ObsWire) { w.Runs++ },
+		"status":       func(w *ObsWire) { w.Status = 2 },
+		"attempts":     func(w *ObsWire) { w.Attempts++ },
+	}
+	for name, mutate := range mutations {
+		w := base
+		w.Events = append([]uint64(nil), base.Events...)
+		mutate(&w)
+		if err := w.VerifyAttestation(key); !errors.Is(err, ErrAttestation) {
+			t.Errorf("tampered %s verified (err=%v); fingerprint must cover it", name, err)
+		}
+	}
+
+	// A different toolchain identity must not verify either.
+	w := base
+	if err := w.VerifyAttestation("builder-key-v2"); !errors.Is(err, ErrAttestation) {
+		t.Errorf("cross-toolchain fingerprint verified (err=%v)", err)
+	}
+}
+
+func TestVerifyAttestationStructure(t *testing.T) {
+	w := attestWire()
+	cases := map[string]string{
+		"missing":       "",
+		"unversioned":   "abcdef0123456789",
+		"wrong version": "pia0:" + strings.Repeat("0", 32),
+	}
+	for name, fp := range cases {
+		w.Fingerprint = fp
+		if err := w.VerifyAttestation("k"); !errors.Is(err, ErrAttestation) {
+			t.Errorf("%s fingerprint %q verified (err=%v)", name, fp, err)
+		}
+	}
+}
+
+// FuzzAttestationRoundTrip drives the codec with arbitrary payloads:
+// every stamped fingerprint must verify against the same key, must have
+// the version prefix, and must fail against a perturbed key or payload.
+func FuzzAttestationRoundTrip(f *testing.F) {
+	f.Add("k", uint64(1), uint64(2), uint64(3), uint64(4), 1, uint8(0), 1, []byte{1, 2, 3})
+	f.Add("", uint64(0), uint64(0), uint64(0), uint64(0), 0, uint8(255), -1, []byte{})
+	f.Add("builder\x00key", ^uint64(0), uint64(1)<<63, uint64(7), uint64(0), 1<<20, uint8(3), 42, []byte{0xff, 0x00, 0xaa})
+	f.Fuzz(func(t *testing.T, key string, layoutSeed, heapSeed, cycles, instr uint64, runs int, status uint8, attempts int, raw []byte) {
+		events := make([]uint64, len(raw))
+		for i, b := range raw {
+			events[i] = uint64(b) * 0x9e3779b97f4a7c15
+		}
+		w := ObsWire{
+			LayoutSeed: layoutSeed, HeapSeed: heapSeed,
+			Cycles: cycles, Instructions: instr,
+			Events: events, Runs: runs, Status: status, Attempts: attempts,
+		}
+		w.Fingerprint = w.Attest(key)
+		if !strings.HasPrefix(w.Fingerprint, AttestationVersion+":") {
+			t.Fatalf("fingerprint %q lacks version prefix", w.Fingerprint)
+		}
+		if err := w.VerifyAttestation(key); err != nil {
+			t.Fatalf("stamped fingerprint failed to verify: %v", err)
+		}
+		if err := w.VerifyAttestation(key + "x"); !errors.Is(err, ErrAttestation) {
+			t.Fatalf("fingerprint verified under a different key (err=%v)", err)
+		}
+		w.Cycles ^= 1
+		if err := w.VerifyAttestation(key); !errors.Is(err, ErrAttestation) {
+			t.Fatalf("fingerprint verified after payload flip (err=%v)", err)
+		}
+	})
+}

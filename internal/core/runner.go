@@ -39,6 +39,10 @@ type LayoutRunner struct {
 	// harnesses are the bare per-slot harnesses behind meas, kept so
 	// MeasureBatch can wire each harness's Det source on first use.
 	harnesses []*pmc.Harness
+
+	// attKey is the builder cache key observations are attested
+	// against; see AttestationKey.
+	attKey string
 }
 
 // NewLayoutRunner validates the config, interprets the trace and
@@ -71,6 +75,7 @@ func NewLayoutRunner(cfg CampaignConfig, workers int) (*LayoutRunner, error) {
 		meas:      meas,
 		slots:     make([]*batchSlot, workers),
 		harnesses: harnesses,
+		attKey:    toolchain.NewBuilder(cfg.Program, cfg.Compile, cfg.Link).CacheKey(),
 	}, nil
 }
 
@@ -79,6 +84,13 @@ func (r *LayoutRunner) Layouts() int { return r.cfg.Layouts }
 
 // Workers returns the number of worker slots.
 func (r *LayoutRunner) Workers() int { return len(r.meas) }
+
+// AttestationKey is the toolchain identity observations from this
+// runner are fingerprinted against (ObsWire.Attest). Two runners built
+// from the same campaign config — coordinator and remote worker —
+// derive the same key, so fingerprints stamped on one side verify on
+// the other.
+func (r *LayoutRunner) AttestationKey() string { return r.attKey }
 
 // BuildLayout runs one attempt through the build seam for layout i:
 // reorder+link plus the executable integrity check. Panics from the

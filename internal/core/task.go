@@ -14,6 +14,13 @@ type ObsWire struct {
 	Runs         int      `json:"runs"`
 	Status       uint8    `json:"status"`
 	Attempts     int      `json:"attempts"`
+
+	// Fingerprint is the observation's attestation (see Attest): a
+	// versioned hash chain over the toolchain identity and every wire
+	// field, stamped worker-side and re-derived coordinator-side.
+	// Omitted from checkpoints and local results, which never cross a
+	// trust boundary.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // Wire converts an observation for transport.

@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"interferometry/internal/xrand"
+)
+
+// Lie enumerates the corrupt-worker modes: the ways a byzantine worker
+// misreports a correctly leased task. Unlike the fault Kinds — which
+// break execution — a lie produces a structurally complete result whose
+// bytes are wrong, exercising the coordinator's verification instead of
+// its retry machinery.
+type Lie uint8
+
+const (
+	// LieNone reports the honest result.
+	LieNone Lie = iota
+	// LieBitFlip flips one seeded bit of the cycle counter after the
+	// fingerprint was stamped — attestation catches it structurally.
+	LieBitFlip
+	// LieStaleSeed shifts the layout seed, impersonating a result for a
+	// different layout (a worker running a stale binary or replaying a
+	// neighbouring task's bytes).
+	LieStaleSeed
+	// LieReplay resends the previous honest result the liar saw,
+	// whatever task it was for. The first call has nothing to replay
+	// and falls back to a bit flip.
+	LieReplay
+	// LieBadFingerprint keeps the honest payload but replaces the
+	// fingerprint with seeded garbage.
+	LieBadFingerprint
+	// LieForge flips a counter bit and then recomputes a valid
+	// fingerprint over the lie. Attestation cannot catch it — it is a
+	// checksum, not a MAC — so only the audit sampler's re-execution
+	// does.
+	LieForge
+
+	numLies
+)
+
+// String names the lie for reports.
+func (l Lie) String() string {
+	switch l {
+	case LieNone:
+		return "none"
+	case LieBitFlip:
+		return "bit-flip"
+	case LieStaleSeed:
+		return "stale-seed"
+	case LieReplay:
+		return "replay"
+	case LieBadFingerprint:
+		return "bad-fingerprint"
+	case LieForge:
+		return "forge"
+	default:
+		return fmt.Sprintf("lie(%d)", uint8(l))
+	}
+}
+
+// WireResult is the neutral image of one observation as it crosses the
+// worker→coordinator wire. faultinject cannot import core (core imports
+// faultinject), so the worker converts core's wire form to and from
+// this struct around Corrupt.
+type WireResult struct {
+	LayoutSeed   uint64
+	HeapSeed     uint64
+	Cycles       uint64
+	Instructions uint64
+	Events       []uint64
+	Runs         int
+	Status       uint8
+	Attempts     int
+	Fingerprint  string
+}
+
+func (r WireResult) clone() WireResult {
+	r.Events = append([]uint64(nil), r.Events...)
+	return r
+}
+
+// Liar deterministically corrupts a worker's outgoing results. Which
+// lie a result gets is a pure function of (liar seed, the result's
+// layout seed) — independent of scheduling, retries and worker count —
+// so a byzantine soak round replays the exact same lies every run.
+type Liar struct {
+	seed uint64
+	lies []Lie
+
+	mu     sync.Mutex
+	last   *WireResult // honest copy of the previous result, for LieReplay
+	counts map[Lie]int
+}
+
+// NewLiar seeds a liar. With no explicit lies it cycles through every
+// mode (bit-flip, stale-seed, replay, bad-fingerprint, forge).
+func NewLiar(seed uint64, lies ...Lie) *Liar {
+	if len(lies) == 0 {
+		lies = []Lie{LieBitFlip, LieStaleSeed, LieReplay, LieBadFingerprint, LieForge}
+	}
+	return &Liar{seed: seed, lies: lies, counts: make(map[Lie]int)}
+}
+
+// Corrupt returns the lied-about version of r. refinger recomputes a
+// valid fingerprint over a forged payload (LieForge); the worker passes
+// a closure over its runner's attestation key. The honest r is kept as
+// replay bait for the next call and is never aliased into the result.
+func (l *Liar) Corrupt(r WireResult, refinger func(WireResult) string) WireResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	honest := r.clone()
+	lie := l.lies[xrand.Mix(l.seed, 0x11e5, r.LayoutSeed)%uint64(len(l.lies))]
+	if lie == LieReplay && l.last == nil {
+		lie = LieBitFlip
+	}
+	out := honest.clone()
+	switch lie {
+	case LieNone:
+	case LieBitFlip:
+		out.Cycles ^= 1 << (xrand.Mix(l.seed, 0xb17, r.LayoutSeed) % 40)
+	case LieStaleSeed:
+		out.LayoutSeed += 2 // stays odd: plausible, but another layout's
+	case LieReplay:
+		out = l.last.clone()
+	case LieBadFingerprint:
+		out.Fingerprint = fmt.Sprintf("pia1:%032x", xrand.Mix(l.seed, 0xf1f0, r.LayoutSeed))
+	case LieForge:
+		out.Cycles ^= 1 << (xrand.Mix(l.seed, 0xf0e6e, r.LayoutSeed) % 40)
+		if refinger != nil {
+			out.Fingerprint = refinger(out)
+		}
+	}
+	l.last = &honest
+	l.counts[lie]++
+	return out
+}
+
+// Counts snapshots how many times each lie was told.
+func (l *Liar) Counts() map[Lie]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[Lie]int, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}

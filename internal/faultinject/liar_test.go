@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func liarResult(seed uint64) WireResult {
+	return WireResult{
+		LayoutSeed:   seed,
+		HeapSeed:     seed * 3,
+		Cycles:       1000 + seed,
+		Instructions: 900 + seed,
+		Events:       []uint64{seed, seed + 1},
+		Runs:         3,
+		Status:       1,
+		Attempts:     1,
+		Fingerprint:  "pia1:feedface",
+	}
+}
+
+// TestLiarDeterministic pins the byzantine-soak contract: the lie a
+// result gets depends only on (liar seed, layout seed), so two liars
+// with the same seed fed the same results tell byte-identical lies in
+// any order.
+func TestLiarDeterministic(t *testing.T) {
+	refinger := func(r WireResult) string { return "pia1:forged" }
+	a, b := NewLiar(7), NewLiar(7)
+	seeds := []uint64{11, 13, 15, 17, 19, 21, 23, 25}
+	for _, s := range seeds {
+		ra := a.Corrupt(liarResult(s), refinger)
+		rb := b.Corrupt(liarResult(s), refinger)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("same seed, same input, different lies:\n%+v\n%+v", ra, rb)
+		}
+	}
+	if !reflect.DeepEqual(a.Counts(), b.Counts()) {
+		t.Fatalf("lie counts diverged: %v vs %v", a.Counts(), b.Counts())
+	}
+	// A different liar seed reshuffles the schedule.
+	c := NewLiar(8)
+	diff := false
+	for _, s := range seeds {
+		if !reflect.DeepEqual(c.Corrupt(liarResult(s), refinger), a.Corrupt(liarResult(s), refinger)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("liar seed had no effect over 8 results")
+	}
+}
+
+// TestLiarLies checks each mode's corruption is visible and that the
+// honest input is never mutated in place.
+func TestLiarLies(t *testing.T) {
+	refinger := func(r WireResult) string { return "pia1:forged-valid" }
+	for _, lie := range []Lie{LieBitFlip, LieStaleSeed, LieBadFingerprint, LieForge} {
+		l := NewLiar(1, lie)
+		in := liarResult(41)
+		orig := in.clone()
+		out := l.Corrupt(in, refinger)
+		if !reflect.DeepEqual(in, orig) {
+			t.Fatalf("%v mutated the input in place", lie)
+		}
+		switch lie {
+		case LieBitFlip:
+			if out.Cycles == in.Cycles {
+				t.Errorf("bit-flip left cycles untouched")
+			}
+		case LieStaleSeed:
+			if out.LayoutSeed == in.LayoutSeed || out.LayoutSeed%2 == 0 {
+				t.Errorf("stale-seed lie produced seed %d from %d", out.LayoutSeed, in.LayoutSeed)
+			}
+		case LieBadFingerprint:
+			if out.Fingerprint == in.Fingerprint || out.Cycles != in.Cycles {
+				t.Errorf("bad-fingerprint lie: fp %q cycles %d", out.Fingerprint, out.Cycles)
+			}
+		case LieForge:
+			if out.Fingerprint != "pia1:forged-valid" || out.Cycles == in.Cycles {
+				t.Errorf("forge lie: fp %q cycles %d", out.Fingerprint, out.Cycles)
+			}
+		}
+	}
+
+	// Replay returns the previous honest result, not the previous lie.
+	l := NewLiar(1, LieReplay)
+	first := l.Corrupt(liarResult(41), refinger) // nothing to replay: falls back to bit-flip
+	if first.Cycles == liarResult(41).Cycles {
+		t.Fatal("first replay call should fall back to a bit flip")
+	}
+	second := l.Corrupt(liarResult(43), refinger)
+	if !reflect.DeepEqual(second, liarResult(41)) {
+		t.Fatalf("replay returned %+v, want the honest first result", second)
+	}
+	if n := l.Counts()[LieReplay]; n != 1 {
+		t.Fatalf("replay count = %d, want 1", n)
+	}
+}

@@ -67,7 +67,17 @@ func TestQueueMetricsGolden(t *testing.T) {
 	}
 	_ = lc
 	clk.Advance(time.Second)
-	for i := 0; i < 2; i++ { // b (unparked) and c (reaped)
+	// b (unparked) pops first and is released once — the no-fault,
+	// no-attempt-charged requeue the trust layer uses when a worker, not
+	// its task, is to blame — then c (reaped) and b complete.
+	lr, err := q.Pop(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.Release(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // c (reaped) and b (re-released)
 		l, err := q.Pop(ctx)
 		if err != nil {
 			t.Fatal(err)

@@ -54,6 +54,7 @@ type Metrics struct {
 	Pushed   *obs.Counter   // tasks admitted
 	Requeued *obs.Counter   // tasks put back after a failed execution
 	Expired  *obs.Counter   // leases reaped after missing heartbeats
+	Released *obs.Counter   // tasks returned with no attempt charged
 	Waits    *obs.Histogram // seconds from ready to leased
 }
 
@@ -77,6 +78,7 @@ func ObserveMetrics(o *obs.Observer, prefix string) *Metrics {
 		Pushed:   o.Counter(prefix+"_tasks_pushed_total", "tasks admitted to the queue"),
 		Requeued: o.Counter(prefix+"_tasks_requeued_total", "tasks requeued after a failed execution"),
 		Expired:  o.Counter(prefix+"_lease_expiries_total", "leases reaped after missing heartbeats"),
+		Released: o.Counter(prefix+"_tasks_released_total", "tasks returned to the queue with no attempt charged"),
 		Waits:    o.Histogram(prefix+"_queue_wait_seconds", "seconds between a task becoming ready and being leased", obs.DurationBuckets),
 	}
 }
@@ -607,6 +609,43 @@ func (l *Lease[T]) Requeue(notBefore time.Time) error {
 	}
 	t.ts.queued++
 	q.cfg.Metrics.Requeued.Inc()
+	q.updateGaugesLocked(t.ts)
+	q.notifyLocked()
+	return nil
+}
+
+// Release puts the task back with no attempt charged and immediately
+// eligible — the lease-holder was at fault, not the task, so the requeue
+// must be indistinguishable from a reaped lease (same no-charge rule as
+// reapLocked). campaignd uses it when a worker is condemned: the
+// worker's live leases return to the queue exactly once and their next
+// owners derive identical results with unchanged provenance. Settlement
+// semantics match Requeue: ErrLeaseLost if the lease already expired or
+// settled (whoever settles first wins — a racing reap has already
+// requeued the task, so this call must not do it again), ErrClosed with
+// the task dropped on a closed queue.
+func (l *Lease[T]) Release() error {
+	q := l.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.leases[l]
+	if !ok {
+		return ErrLeaseLost
+	}
+	delete(q.leases, l)
+	t.ts.leased--
+	if q.closed {
+		t.bar.settle(true)
+		q.updateGaugesLocked(t.ts)
+		return ErrClosed
+	}
+	now := q.now()
+	t.notBefore = time.Time{}
+	t.readyAt = now
+	heap.Push(&t.ts.ready, t)
+	q.nready++
+	t.ts.queued++
+	q.cfg.Metrics.Released.Inc()
 	q.updateGaugesLocked(t.ts)
 	q.notifyLocked()
 	return nil

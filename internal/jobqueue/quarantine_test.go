@@ -1,0 +1,235 @@
+package jobqueue_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"interferometry/internal/jobqueue"
+)
+
+func TestLeaseReleaseNoAttemptCharge(t *testing.T) {
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	l := popLease(t, q)
+	if l.Attempt() != 0 {
+		t.Fatalf("fresh lease attempt = %d, want 0", l.Attempt())
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if d := q.Depth(); d != 1 {
+		t.Fatalf("depth after release = %d, want 1", d)
+	}
+	// The released task pops again with the attempt count untouched — a
+	// release is indistinguishable from a reaped lease.
+	l2 := popLease(t, q)
+	if l2.Attempt() != 0 {
+		t.Fatalf("released task came back with attempt %d, want 0", l2.Attempt())
+	}
+	// The old lease is settled: every further operation reports lost.
+	if err := l.Release(); !errors.Is(err, jobqueue.ErrLeaseLost) {
+		t.Fatalf("second release = %v, want ErrLeaseLost", err)
+	}
+	if err := l.Complete(); !errors.Is(err, jobqueue.ErrLeaseLost) {
+		t.Fatalf("complete after release = %v, want ErrLeaseLost", err)
+	}
+	if err := l2.Complete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseReleaseOnClosedQueue(t *testing.T) {
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	l := popLease(t, q)
+	q.Close()
+	// Close dropped every queued task; resurrecting this one would leak
+	// it into a queue no Pop will drain. The drop is reported.
+	if err := l.Release(); !errors.Is(err, jobqueue.ErrClosed) {
+		t.Fatalf("release on closed queue = %v, want ErrClosed", err)
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth after release on closed queue = %d, want 0", d)
+	}
+}
+
+func TestWorkerHealthScore(t *testing.T) {
+	reg := jobqueue.NewRegistry[string]()
+	reg.SetPolicy(jobqueue.RegistryPolicy{Window: 4, QuarantineAfter: 3})
+
+	for i := 0; i < 3; i++ {
+		reg.Accept("w1")
+	}
+	if crossed := reg.Reject("w1"); crossed {
+		t.Fatal("one rejection in a window of 4 crossed a threshold of 3")
+	}
+	h := reg.Workers()["w1"]
+	if h.Accepted != 3 || h.Rejected != 1 || h.Quarantined {
+		t.Fatalf("health = %+v, want 3 accepted / 1 rejected, not quarantined", h)
+	}
+	if h.Score != 0.75 {
+		t.Fatalf("score = %v, want 0.75 (3 of 4 window verdicts accepted)", h.Score)
+	}
+
+	// The window slides: four more accepts push the rejection out.
+	for i := 0; i < 4; i++ {
+		reg.Accept("w1")
+	}
+	if h := reg.Workers()["w1"]; h.Score != 1.0 {
+		t.Fatalf("score after window slid = %v, want 1.0", h.Score)
+	}
+
+	// Anonymous workers are never tracked.
+	reg.Accept("")
+	reg.Reject("")
+	if _, ok := reg.Workers()[""]; ok {
+		t.Fatal("anonymous worker grew a health record")
+	}
+}
+
+func TestQuarantineAfterRejections(t *testing.T) {
+	reg := jobqueue.NewRegistry[string]()
+	reg.SetPolicy(jobqueue.RegistryPolicy{Window: 8, QuarantineAfter: 3})
+
+	if reg.Reject("w1") || reg.Reject("w1") {
+		t.Fatal("crossed the threshold before 3 rejections")
+	}
+	if !reg.Reject("w1") {
+		t.Fatal("third rejection did not cross the threshold")
+	}
+	// Crossing is reported, but condemnation is the caller's move.
+	if reg.Quarantined("w1") {
+		t.Fatal("Reject alone quarantined the worker")
+	}
+	if _, first := reg.Condemn("w1"); !first {
+		t.Fatal("first condemnation not reported as first")
+	}
+	if !reg.Quarantined("w1") {
+		t.Fatal("condemned worker not quarantined")
+	}
+	if reg.QuarantinedCount() != 1 {
+		t.Fatalf("QuarantinedCount = %d, want 1", reg.QuarantinedCount())
+	}
+	// Further rejections on a condemned worker never re-cross.
+	if reg.Reject("w1") {
+		t.Fatal("rejection on a quarantined worker re-crossed the threshold")
+	}
+	if _, first := reg.Condemn("w1"); first {
+		t.Fatal("second condemnation reported as first")
+	}
+
+	// An audit failure counts as a rejection and is tracked separately.
+	reg.FailAudit("w2")
+	h := reg.Workers()["w2"]
+	if h.AuditFailed != 1 || h.Rejected != 1 {
+		t.Fatalf("w2 health after audit failure = %+v", h)
+	}
+}
+
+func TestCondemnReleasesLeasesOnce(t *testing.T) {
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 8})
+	for _, s := range []string{"a", "b", "c"} {
+		if err := q.Push(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := jobqueue.NewRegistry[string]()
+	reg.Register(popLease(t, q), "bad")
+	reg.Register(popLease(t, q), "bad")
+	reg.Register(popLease(t, q), "good")
+
+	leases, first := reg.Condemn("bad")
+	if !first || len(leases) != 2 {
+		t.Fatalf("Condemn = %d leases, first=%v; want 2 leases, first", len(leases), first)
+	}
+	for _, l := range leases {
+		if err := l.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := q.Depth(); d != 2 {
+		t.Fatalf("depth after condemnation = %d, want 2", d)
+	}
+	// Only the good worker's entry survives.
+	if reg.Len() != 1 {
+		t.Fatalf("registry Len = %d, want 1 (good worker's lease)", reg.Len())
+	}
+	// A second condemnation finds nothing to release.
+	if leases, first := reg.Condemn("bad"); first || len(leases) != 0 {
+		t.Fatalf("second Condemn = %d leases, first=%v; want none", len(leases), first)
+	}
+	// The condemned worker's tasks pop again with no attempt charged.
+	for i := 0; i < 2; i++ {
+		if l := popLease(t, q); l.Attempt() != 0 {
+			t.Fatalf("released task popped with attempt %d, want 0", l.Attempt())
+		}
+	}
+}
+
+// TestLeaseExpiryRacingQuarantine pins the expiry-vs-quarantine race
+// (mirroring the expiry-vs-drain test): a lease that expires while its
+// worker is being condemned must be requeued exactly once — whichever
+// of the reap and the Release settles first wins, the loser no-ops —
+// and the task is never charged an attempt by either path.
+func TestLeaseExpiryRacingQuarantine(t *testing.T) {
+	clock := newFakeClock()
+	q := jobqueue.New[string](jobqueue.Config{Capacity: 4, Lease: time.Second, Now: clock.Now})
+	if err := q.Push(0, "task"); err != nil {
+		t.Fatal(err)
+	}
+	reg := jobqueue.NewRegistry[string]()
+	reg.Register(popLease(t, q), "bad")
+
+	// The lease expires, and a Pop reaps it (requeue #1, no attempt
+	// charged) before the condemnation runs.
+	clock.Advance(2 * time.Second)
+	l2 := popLease(t, q)
+	if l2.Attempt() != 0 {
+		t.Fatalf("reaped task popped with attempt %d, want 0", l2.Attempt())
+	}
+
+	// The condemnation arrives late: it still collects the stale entry,
+	// but Release reports the lease lost instead of requeuing again.
+	leases, first := reg.Condemn("bad")
+	if !first || len(leases) != 1 {
+		t.Fatalf("Condemn = %d leases, first=%v; want the stale lease", len(leases), first)
+	}
+	if err := leases[0].Release(); !errors.Is(err, jobqueue.ErrLeaseLost) {
+		t.Fatalf("release of an expired lease = %v, want ErrLeaseLost", err)
+	}
+	// Exactly one copy of the task exists: l2 owns it, nothing is queued.
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth = %d, want 0 — the task was requeued twice", d)
+	}
+	if err := l2.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if d, lsd := q.Depth(), q.Leased(); d != 0 || lsd != 0 {
+		t.Fatalf("queue not empty after completion: depth=%d leased=%d", d, lsd)
+	}
+
+	// The opposite interleaving: condemnation settles first, then the
+	// reap must find nothing.
+	if err := q.Push(0, "task2"); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := jobqueue.NewRegistry[string]()
+	reg2.Register(popLease(t, q), "bad")
+	leases, _ = reg2.Condemn("bad")
+	if err := leases[0].Release(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second) // past the (settled) lease's deadline
+	l3 := popLease(t, q)           // a reap here must not duplicate the task
+	if l3.Attempt() != 0 {
+		t.Fatalf("task2 popped with attempt %d, want 0", l3.Attempt())
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth = %d, want 0 — release then reap duplicated the task", d)
+	}
+}

@@ -5,6 +5,94 @@ import (
 	"sync"
 )
 
+// RegistryPolicy parameterizes per-worker health scoring.
+type RegistryPolicy struct {
+	// Window is the sliding window of recent verdicts (accepts and
+	// rejects) the health score is computed over. Zero or negative
+	// means 32.
+	Window int
+	// QuarantineAfter condemns a worker once this many rejections land
+	// inside the window. Zero or negative means 3. Audit failures
+	// condemn immediately regardless.
+	QuarantineAfter int
+}
+
+func (p RegistryPolicy) window() int {
+	if p.Window <= 0 {
+		return 32
+	}
+	return p.Window
+}
+
+func (p RegistryPolicy) quarantineAfter() int {
+	if p.QuarantineAfter <= 0 {
+		return 3
+	}
+	return p.QuarantineAfter
+}
+
+// WorkerHealth is one worker's externally visible health record.
+type WorkerHealth struct {
+	Accepted    uint64  `json:"accepted"`     // results merged
+	Rejected    uint64  `json:"rejected"`     // results refused at verification
+	AuditFailed uint64  `json:"audit_failed"` // spot-audit mismatches
+	Score       float64 `json:"score"`        // accepted fraction of the verdict window (1.0 when empty)
+	Quarantined bool    `json:"quarantined"`  // condemned; future leases refused
+}
+
+// workerState tracks one worker's verdict history. window is a ring of
+// recent verdicts (true = accepted) so a long-lived worker's early
+// history cannot dilute a fresh burst of garbage.
+type workerState struct {
+	accepted    uint64
+	rejected    uint64
+	auditFailed uint64
+	window      []bool
+	wn          int // verdicts recorded, saturating at len(window)
+	wi          int // next ring slot
+	quarantined bool
+}
+
+func (w *workerState) record(ok bool) {
+	w.window[w.wi] = ok
+	w.wi = (w.wi + 1) % len(w.window)
+	if w.wn < len(w.window) {
+		w.wn++
+	}
+}
+
+func (w *workerState) windowRejects() int {
+	n := 0
+	for i := 0; i < w.wn; i++ {
+		if !w.window[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *workerState) health() WorkerHealth {
+	score := 1.0
+	if w.wn > 0 {
+		score = float64(w.wn-w.windowRejects()) / float64(w.wn)
+	}
+	return WorkerHealth{
+		Accepted:    w.accepted,
+		Rejected:    w.rejected,
+		AuditFailed: w.auditFailed,
+		Score:       score,
+		Quarantined: w.quarantined,
+	}
+}
+
+// regEntry pairs a registered lease with the worker holding it, so a
+// completion resolves its worker server-side — the coordinator never
+// trusts a completion's claim about who executed it.
+type regEntry[T any] struct {
+	l      *Lease[T]
+	worker string
+}
+
 // Registry names leases with opaque string IDs so they can cross a
 // process boundary. A Lease is a pointer into its queue — fine for
 // in-process workers, useless over HTTP — so campaignd's coordinator
@@ -13,24 +101,55 @@ import (
 // semantics of its own: the queue's lease remains the single source of
 // truth, and a registry entry whose lease has lapsed resolves to
 // ErrLeaseLost exactly as the in-process API would.
+//
+// Because the registry already sees every lease a remote worker holds,
+// it is also where per-worker health lives: accepted/rejected/audit
+// verdict counters, a sliding-window score, and the quarantine bit. A
+// worker that identifies itself with the empty string is anonymous and
+// tracked under no health record (legacy workers keep working; they
+// just cannot be individually condemned).
 type Registry[T any] struct {
-	mu     sync.Mutex
-	n      uint64
-	leases map[string]*Lease[T]
+	mu      sync.Mutex
+	n       uint64
+	policy  RegistryPolicy
+	leases  map[string]regEntry[T]
+	workers map[string]*workerState
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default policy.
 func NewRegistry[T any]() *Registry[T] {
-	return &Registry[T]{leases: make(map[string]*Lease[T])}
+	return &Registry[T]{
+		leases:  make(map[string]regEntry[T]),
+		workers: make(map[string]*workerState),
+	}
 }
 
-// Register names a lease and returns its ID.
-func (r *Registry[T]) Register(l *Lease[T]) string {
+// SetPolicy replaces the health policy. Existing verdict windows are
+// kept (they only shrink lazily as new verdicts land).
+func (r *Registry[T]) SetPolicy(p RegistryPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = p
+}
+
+// state returns the named worker's record, creating it on first sight.
+// Callers hold r.mu; the empty worker name must be filtered out first.
+func (r *Registry[T]) state(worker string) *workerState {
+	w, ok := r.workers[worker]
+	if !ok {
+		w = &workerState{window: make([]bool, r.policy.window())}
+		r.workers[worker] = w
+	}
+	return w
+}
+
+// Register names a lease held by worker and returns its ID.
+func (r *Registry[T]) Register(l *Lease[T], worker string) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.n++
 	id := fmt.Sprintf("lease-%d", r.n)
-	r.leases[id] = l
+	r.leases[id] = regEntry[T]{l: l, worker: worker}
 	return id
 }
 
@@ -39,29 +158,30 @@ func (r *Registry[T]) Register(l *Lease[T]) string {
 // the task, whose next owner will derive an identical result.
 func (r *Registry[T]) Heartbeat(id string) error {
 	r.mu.Lock()
-	l, ok := r.leases[id]
+	e, ok := r.leases[id]
 	r.mu.Unlock()
 	if !ok {
 		return ErrLeaseLost
 	}
-	if err := l.Heartbeat(); err != nil {
+	if err := e.l.Heartbeat(); err != nil {
 		r.drop(id)
 		return err
 	}
 	return nil
 }
 
-// Take removes and returns the named lease for settlement: the caller
-// completes or requeues it through the normal Lease API. A second Take
-// of the same ID misses, so duplicate completions settle once.
-func (r *Registry[T]) Take(id string) (*Lease[T], bool) {
+// Take removes and returns the named lease and the worker it was
+// registered to, for settlement: the caller completes, requeues or
+// releases it through the normal Lease API. A second Take of the same
+// ID misses, so duplicate completions settle once.
+func (r *Registry[T]) Take(id string) (*Lease[T], string, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	l, ok := r.leases[id]
+	e, ok := r.leases[id]
 	if ok {
 		delete(r.leases, id)
 	}
-	return l, ok
+	return e.l, e.worker, ok
 }
 
 // Sweep drops every entry whose lease has lapsed. It deliberately does
@@ -71,8 +191,8 @@ func (r *Registry[T]) Take(id string) (*Lease[T], bool) {
 func (r *Registry[T]) Sweep() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for id, l := range r.leases {
-		if l.Lost() {
+	for id, e := range r.leases {
+		if e.l.Lost() {
 			delete(r.leases, id)
 		}
 	}
@@ -83,6 +203,112 @@ func (r *Registry[T]) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.leases)
+}
+
+// Accept records a verified, merged result from worker. Anonymous
+// workers ("") are not tracked.
+func (r *Registry[T]) Accept(worker string) {
+	if worker == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.state(worker)
+	w.accepted++
+	w.record(true)
+}
+
+// Reject records a result refused at verification and reports whether
+// the worker just crossed the quarantine threshold: at least
+// QuarantineAfter rejections inside the verdict window on a worker not
+// already condemned. The caller decides what crossing means (campaignd
+// condemns). Anonymous workers are never condemned.
+func (r *Registry[T]) Reject(worker string) bool {
+	if worker == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.state(worker)
+	w.rejected++
+	w.record(false)
+	return !w.quarantined && w.windowRejects() >= r.policy.quarantineAfter()
+}
+
+// FailAudit records a spot-audit mismatch: the worker reported a
+// structurally valid result whose bytes its own re-execution disowns.
+// It also counts as a rejection in the verdict window.
+func (r *Registry[T]) FailAudit(worker string) {
+	if worker == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.state(worker)
+	w.auditFailed++
+	w.rejected++
+	w.record(false)
+}
+
+// Condemn quarantines worker and removes its live registry entries,
+// returning their leases so the caller can Release each one (requeue
+// with no attempt charged). first reports whether this call flipped the
+// quarantine bit — exactly one condemnation per worker observes true,
+// so condemnation side effects (metrics, logging) run once even when
+// racing completions condemn concurrently. Condemning the anonymous
+// worker "" is a no-op.
+func (r *Registry[T]) Condemn(worker string) (leases []*Lease[T], first bool) {
+	if worker == "" {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.state(worker)
+	first = !w.quarantined
+	w.quarantined = true
+	for id, e := range r.leases {
+		if e.worker == worker {
+			delete(r.leases, id)
+			leases = append(leases, e.l)
+		}
+	}
+	return leases, first
+}
+
+// Quarantined reports whether worker has been condemned. The anonymous
+// worker "" never is.
+func (r *Registry[T]) Quarantined(worker string) bool {
+	if worker == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[worker]
+	return ok && w.quarantined
+}
+
+// Workers snapshots every tracked worker's health record.
+func (r *Registry[T]) Workers() map[string]WorkerHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]WorkerHealth, len(r.workers))
+	for name, w := range r.workers {
+		out[name] = w.health()
+	}
+	return out
+}
+
+// QuarantinedCount returns the number of condemned workers.
+func (r *Registry[T]) QuarantinedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.workers {
+		if w.quarantined {
+			n++
+		}
+	}
+	return n
 }
 
 func (r *Registry[T]) drop(id string) {

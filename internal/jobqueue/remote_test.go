@@ -61,7 +61,7 @@ func TestRegistryRegisterAndTake(t *testing.T) {
 	}
 	reg := jobqueue.NewRegistry[string]()
 	l := popLease(t, q)
-	id := reg.Register(l)
+	id := reg.Register(l, "w1")
 	if id == "" {
 		t.Fatal("empty lease ID")
 	}
@@ -69,12 +69,12 @@ func TestRegistryRegisterAndTake(t *testing.T) {
 		t.Fatalf("Len = %d, want 1", reg.Len())
 	}
 
-	got, ok := reg.Take(id)
-	if !ok || got != l {
-		t.Fatalf("Take(%q) = %v, %v; want the registered lease", id, got, ok)
+	got, worker, ok := reg.Take(id)
+	if !ok || got != l || worker != "w1" {
+		t.Fatalf("Take(%q) = %v, %q, %v; want the registered lease for w1", id, got, worker, ok)
 	}
 	// Settlement is single-shot: a duplicate completion finds nothing.
-	if _, ok := reg.Take(id); ok {
+	if _, _, ok := reg.Take(id); ok {
 		t.Fatal("second Take of the same ID succeeded")
 	}
 	if reg.Len() != 0 {
@@ -92,7 +92,7 @@ func TestRegistryHeartbeatExtends(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := jobqueue.NewRegistry[string]()
-	id := reg.Register(popLease(t, q))
+	id := reg.Register(popLease(t, q), "w1")
 
 	// Three extensions carry the lease well past its original expiry.
 	for i := 0; i < 3; i++ {
@@ -101,7 +101,7 @@ func TestRegistryHeartbeatExtends(t *testing.T) {
 			t.Fatalf("heartbeat %d: %v", i, err)
 		}
 	}
-	l, ok := reg.Take(id)
+	l, _, ok := reg.Take(id)
 	if !ok || l.Lost() {
 		t.Fatal("heartbeated lease should still be held")
 	}
@@ -114,7 +114,7 @@ func TestRegistryHeartbeatLost(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := jobqueue.NewRegistry[string]()
-	id := reg.Register(popLease(t, q))
+	id := reg.Register(popLease(t, q), "w1")
 
 	// Expire the lease and let a Pop reap it — the task now belongs to a
 	// new lease, so the old one is unrecoverable.
@@ -142,19 +142,19 @@ func TestRegistrySweepDropsOnlyLapsed(t *testing.T) {
 		}
 	}
 	reg := jobqueue.NewRegistry[string]()
-	idA := reg.Register(popLease(t, q))
+	idA := reg.Register(popLease(t, q), "w1")
 	clock.Advance(800 * time.Millisecond)
-	idB := reg.Register(popLease(t, q)) // fresh: expires 800ms after A
+	idB := reg.Register(popLease(t, q), "w1") // fresh: expires 800ms after A
 
 	clock.Advance(400 * time.Millisecond) // A lapsed, B alive
 	reg.Sweep()
 	if reg.Len() != 1 {
 		t.Fatalf("Len after sweep = %d, want 1", reg.Len())
 	}
-	if _, ok := reg.Take(idA); ok {
+	if _, _, ok := reg.Take(idA); ok {
 		t.Fatal("sweep kept the lapsed lease")
 	}
-	if _, ok := reg.Take(idB); !ok {
+	if _, _, ok := reg.Take(idB); !ok {
 		t.Fatal("sweep dropped the live lease")
 	}
 }
@@ -166,7 +166,7 @@ func TestRegistrySweepDoesNotHeartbeat(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := jobqueue.NewRegistry[string]()
-	id := reg.Register(popLease(t, q))
+	id := reg.Register(popLease(t, q), "w1")
 
 	// A sweep just before expiry must not extend the lease: the original
 	// deadline still stands, so a second sweep just after it drops the
