@@ -61,6 +61,7 @@ import (
 
 	"interferometry/internal/artifactcache"
 	"interferometry/internal/campaignd"
+	"interferometry/internal/core"
 	"interferometry/internal/experiments"
 	"interferometry/internal/faultinject"
 	"interferometry/internal/jobqueue"
@@ -78,6 +79,7 @@ func main() {
 		workerMode     = flag.Bool("worker", false, "run as a remote worker pulling tasks from -coordinator")
 		coordinator    = flag.String("coordinator", "", "coordinator base URL for -worker mode, e.g. http://host:8347")
 		workerBatch    = flag.Int("batch", 0, "worker mode: tasks leased per pull; same-campaign leases share one batched trace walk (<=1 leases singly)")
+		workerDelta    = flag.String("delta", "auto", "worker mode: delta replay for batched leases (auto = when the trace profile favors it, on, off)")
 		cacheDir       = flag.String("artifact-cache", "", "directory for the content-addressed layout artifact cache (empty = off)")
 		cacheMB        = flag.Int64("artifact-cache-mb", 256, "artifact cache size bound in MiB")
 		queueCap       = flag.Int("queue-capacity", 256, "max tasks in the system (queued + leased)")
@@ -113,6 +115,7 @@ func main() {
 		chaosShard  = flag.Int("chaos-shard-workers", 0, "run soak rounds sharded across this many workers (0 = single process)")
 		chaosKills  = flag.Int("chaos-coordinator-kill", 0, "hard-kill and restart a WAL-backed coordinator this many times per soak round (0 = off)")
 		chaosBatch  = flag.Int("chaos-worker-batch", 0, "sharded soak workers lease this many tasks per pull (batched replay; <=1 leases singly)")
+		chaosDelta  = flag.String("chaos-delta", "auto", "sharded soak workers' delta-replay mode (auto, on, off)")
 		chaosByz    = flag.Int("chaos-byzantine", 0, "sharded soak rounds make this many workers liars: corrupted results must all be rejected or audit-disowned (0 = off)")
 		chaosError  = flag.Float64("chaos-error", 0.2, "per-call injected error rate")
 		chaosPanic  = flag.Float64("chaos-panic", 0.1, "per-call injected panic rate")
@@ -129,6 +132,11 @@ func main() {
 	}
 
 	if *chaos {
+		dm, derr := core.ParseDeltaMode(*chaosDelta)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			os.Exit(2)
+		}
 		spec := campaignd.JobSpec{Benchmark: *chaosBench, Layouts: *chaosLay}
 		if *chaosSearch {
 			spec.Kind = campaignd.KindSearch
@@ -142,6 +150,7 @@ func main() {
 			Workers:          *workers,
 			ShardWorkers:     *chaosShard,
 			WorkerBatch:      *chaosBatch,
+			WorkerDelta:      dm,
 			ByzantineWorkers: *chaosByz,
 			AuditRate:        *auditRate,
 			CoordinatorKills: *chaosKills,
@@ -190,11 +199,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-worker needs -coordinator URL")
 			os.Exit(2)
 		}
+		dm, derr := core.ParseDeltaMode(*workerDelta)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			os.Exit(2)
+		}
 		w := &campaignd.Worker{
 			Coordinator: *coordinator,
 			ID:          *workerID,
 			Parallel:    *workers,
 			Batch:       *workerBatch,
+			Delta:       dm,
 			Cache:       cache,
 			Obs:         observer,
 		}

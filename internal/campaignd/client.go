@@ -43,8 +43,8 @@ func (e *RetryError) Error() string {
 }
 
 // Retry-After clamps. RFC 9110 allows both delta-seconds and an
-// HTTP-date; a missing, unparseable, zero or negative value falls back
-// to defaultRetryAfter, and any server-supplied wait is capped at
+// HTTP-date; a missing or unparseable value falls back to
+// defaultRetryAfter, and any server-supplied wait is capped at
 // maxRetryAfter so a typo (or a date far in the future) cannot park the
 // client for hours.
 const (
@@ -53,7 +53,13 @@ const (
 )
 
 // retryAfter parses a Retry-After header value (delta-seconds or
-// HTTP-date, per RFC 9110 §10.2.3) into a clamped wait duration.
+// HTTP-date, per RFC 9110 §10.2.3) into a clamped wait duration. A
+// zero or negative delta falls back to the default (the server asked
+// for a pause it then didn't name), but an HTTP-date at or before now
+// clamps to zero — retry immediately. The distinction matters under
+// clock skew: a server a minute behind the client stamps dates that are
+// all "in the past" here, and waiting the default on every one would
+// turn its named deadlines into an unconditional slowdown.
 func retryAfter(h string, now time.Time) time.Duration {
 	after := defaultRetryAfter
 	if secs, err := strconv.Atoi(h); err == nil {
@@ -61,8 +67,9 @@ func retryAfter(h string, now time.Time) time.Duration {
 			after = time.Duration(secs) * time.Second
 		}
 	} else if t, err := http.ParseTime(h); err == nil {
-		if d := t.Sub(now); d > 0 {
-			after = d
+		after = t.Sub(now)
+		if after < 0 {
+			after = 0
 		}
 	}
 	if after > maxRetryAfter {

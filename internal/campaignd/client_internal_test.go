@@ -23,7 +23,12 @@ func TestRetryAfter(t *testing.T) {
 		{"negative delta", "-3", defaultRetryAfter},
 		{"huge delta clamps", "86400", maxRetryAfter},
 		{"http date", httpDate(30 * time.Second), 30 * time.Second},
-		{"http date in the past", httpDate(-time.Minute), defaultRetryAfter},
+		// A date at or before now means the wait already elapsed (or the
+		// server's clock is behind ours): retry immediately, never a
+		// negative or default wait.
+		{"http date now", httpDate(0), 0},
+		{"http date in the past", httpDate(-time.Minute), 0},
+		{"http date far in the past", httpDate(-24 * time.Hour), 0},
 		{"http date far out clamps", httpDate(24 * time.Hour), maxRetryAfter},
 	}
 	for _, tc := range cases {

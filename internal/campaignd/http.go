@@ -223,7 +223,11 @@ func (s *Server) serveCSV(w http.ResponseWriter, r *http.Request, write func(io.
 	if limit > 0 && offset+n < rows {
 		w.Header().Set("X-Next-Offset", strconv.Itoa(offset+n))
 	}
-	if err := write(w, ds, offset, n, offset == 0); err != nil {
+	// The header rides only a page that carries row 0. An empty page —
+	// offset at or past the final row — must stay byte-empty, or a
+	// client polling past the end (tailing an incremental export)
+	// would accumulate duplicate header rows.
+	if err := write(w, ds, offset, n, offset == 0 && n > 0); err != nil {
 		// Headers are gone; all we can do is cut the stream short.
 		return
 	}
@@ -269,7 +273,11 @@ func (s *Server) handleGenerations(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Next-Offset", strconv.Itoa(offset+n))
 	}
 	page := gens[min(offset, total):min(offset+n, total)]
-	if err := results.WriteGenerationsCSVRange(w, c.spec.Benchmark, page, offset == 0, provenance); err != nil {
+	// Header only on a page carrying generation 0: a poll at or past the
+	// settled frontier (the normal tailing pattern while the search
+	// runs, including offset 0 before anything settles) must return a
+	// byte-empty body so concatenated polls reproduce the blob exactly.
+	if err := results.WriteGenerationsCSVRange(w, c.spec.Benchmark, page, offset == 0 && n > 0, provenance); err != nil {
 		return // headers are gone; cut the stream short
 	}
 }

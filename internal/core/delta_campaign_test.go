@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"interferometry/internal/core"
+	"interferometry/internal/faultinject"
+	"interferometry/internal/heap"
+	"interferometry/internal/pmc"
+)
+
+// runDelta runs cfg with the given batch width and delta mode.
+func runDelta(t *testing.T, cfg core.CampaignConfig, batch int, mode core.DeltaMode, mutate func(*core.CampaignConfig)) *core.Dataset {
+	t.Helper()
+	dcfg := cfg
+	dcfg.BatchSize = batch
+	dcfg.Delta = mode
+	if mutate != nil {
+		mutate(&dcfg)
+	}
+	ds, err := core.RunCampaign(dcfg)
+	if err != nil {
+		t.Fatalf("delta(%s) campaign: %v", mode, err)
+	}
+	return ds
+}
+
+// TestDeltaCampaignIdenticalToSequential is the delta half of the
+// determinism matrix: sequential ≡ batched ≡ delta-forced ≡ delta-auto,
+// across heap modes, fidelities and batch widths. DeltaOn forces the
+// delta engine onto every chunk (with its own per-spec declines falling
+// back to the batched walk); DeltaAuto additionally exercises the
+// profitability preflight, which on this dense trace routes everything
+// to batch — both must be invisible in the bytes.
+func TestDeltaCampaignIdenticalToSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		mode     heap.Mode
+		fidelity pmc.Fidelity
+		batch    int
+	}{
+		{"bump/fast/b4", heap.ModeBump, pmc.FidelityFast, 4},
+		{"bump/paper/b2", heap.ModeBump, pmc.FidelityPaper, 2},
+		{"rand/fast/b7", heap.ModeRandomized, pmc.FidelityFast, 7},
+		{"rand/paper/b4", heap.ModeRandomized, pmc.FidelityPaper, 4},
+		{"bump/fast/auto", heap.ModeBump, pmc.FidelityFast, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCampaign(13)
+			cfg.HeapMode = tc.mode
+			cfg.Fidelity = tc.fidelity
+			cfg.Workers = 2
+			seq, bat := runPair(t, cfg, tc.batch, nil)
+			assertDatasetsIdentical(t, seq, bat)
+			forced := runDelta(t, cfg, tc.batch, core.DeltaOn, nil)
+			assertDatasetsIdentical(t, seq, forced)
+			auto := runDelta(t, cfg, tc.batch, core.DeltaAuto, nil)
+			assertDatasetsIdentical(t, seq, auto)
+		})
+	}
+}
+
+// TestDeltaCampaignWithFaultsIdentical forces delta replay under the
+// deterministic fault storm of TestBatchedCampaignWithFaultsIdentical:
+// injected build/measure errors, panics and corruptions, with retries,
+// a failure budget and the outlier screen engaged. The delta engine
+// must fail, fall back, retry and recover in exactly the same places as
+// the sequential supervisor.
+func TestDeltaCampaignWithFaultsIdentical(t *testing.T) {
+	seeds := []uint64{3, 17, 29, 101}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := smallCampaign(15)
+			cfg.Workers = 2
+			cfg.MaxAttempts = 3
+			cfg.FailureBudget = 15
+			cfg.OutlierMAD = 8
+			mutate := func(c *core.CampaignConfig) {
+				c.Faults = faultinject.New(seed, faultinject.Config{
+					Build:   faultinject.Rates{Error: 0.15, Panic: 0.05, Corrupt: 0.1, MaxFaults: 2},
+					Measure: faultinject.Rates{Error: 0.15, Corrupt: 0.1, MaxFaults: 2},
+				})
+			}
+			seq, _ := runPair(t, cfg, 4, mutate)
+			forced := runDelta(t, cfg, 4, core.DeltaOn, mutate)
+			assertDatasetsIdentical(t, seq, forced)
+		})
+	}
+}
+
+// TestDeltaCampaignManySeeds sweeps base seeds, heap modes, worker
+// counts and batch widths with the delta engine forced on — the
+// campaign-level property sweep mirroring TestBatchedCampaignManySeeds.
+func TestDeltaCampaignManySeeds(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := smallCampaign(9)
+		cfg.BaseSeed = uint64(1000 + trial*7919)
+		if trial%2 == 1 {
+			cfg.HeapMode = heap.ModeRandomized
+		}
+		cfg.Workers = 1 + trial%3
+		batch := []int{2, 3, 7, 9}[trial%4]
+		seq := runDelta(t, cfg, 1, core.DeltaOff, nil)
+		forced := runDelta(t, cfg, batch, core.DeltaOn, nil)
+		assertDatasetsIdentical(t, seq, forced)
+	}
+}
+
+// TestDeltaSearchIdentical pins the search path: an evolutionary
+// layout-search campaign with the delta engine forced on must produce
+// the same generations (fingerprints, measurements, provenance) as one
+// with delta off — PrimeGenomes routes through the same engine choice
+// as PrimeBatch.
+func TestDeltaSearchIdentical(t *testing.T) {
+	base := core.SearchConfig{
+		Campaign:    smallCampaign(0),
+		Population:  4,
+		Generations: 3,
+	}
+	base.Campaign.Layouts = 1
+	base.Campaign.Workers = 2
+
+	off := base
+	off.Campaign.Delta = core.DeltaOff
+	want, err := core.RunSearch(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.Campaign.Delta = core.DeltaOn
+	got, err := core.RunSearch(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Generations) != len(got.Generations) {
+		t.Fatalf("generation counts differ: %d vs %d", len(want.Generations), len(got.Generations))
+	}
+	for gi := range want.Generations {
+		wg, gg := want.Generations[gi], got.Generations[gi]
+		if len(wg.Individuals) != len(gg.Individuals) {
+			t.Fatalf("gen %d: individual counts differ", gi)
+		}
+		for i := range wg.Individuals {
+			wi, ci := wg.Individuals[i], gg.Individuals[i]
+			if wi.Genome.Fingerprint() != ci.Genome.Fingerprint() {
+				t.Errorf("gen %d idx %d: fingerprints differ", gi, i)
+			}
+			if wi.Obs != ci.Obs {
+				t.Errorf("gen %d idx %d: observations differ:\noff %+v\non  %+v", gi, i, wi.Obs, ci.Obs)
+			}
+		}
+	}
+}

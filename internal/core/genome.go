@@ -164,6 +164,9 @@ func (r *LayoutRunner) PrimeGenomes(w int, gs []toolchain.Genome, exes []*toolch
 			return err
 		}
 		slot = &batchSlot{batch: b, cache: &detCache{}}
+		if r.cfg.Delta != DeltaOff {
+			slot.delta = getDelta(r.cfg.machineConfig(), len(gs))
+		}
 		r.slots[w] = slot
 		r.harnesses[w].Det = slot.cache
 	}
@@ -181,7 +184,7 @@ func (r *LayoutRunner) PrimeGenomes(w int, gs []toolchain.Genome, exes []*toolch
 			HeapSeed: hs,
 		})
 	}
-	cs, dets, err := slot.batch.Run(slot.specs)
+	cs, dets, err := slot.run(&r.cfg)
 	if err != nil {
 		return err
 	}

@@ -151,6 +151,9 @@ func (r *LayoutRunner) PrimeBatch(w int, layouts []int, exes []*toolchain.Execut
 			return err
 		}
 		slot = &batchSlot{batch: b, cache: &detCache{}}
+		if r.cfg.Delta != DeltaOff {
+			slot.delta = getDelta(r.cfg.machineConfig(), len(layouts))
+		}
 		r.slots[w] = slot
 		r.harnesses[w].Det = slot.cache
 	}
@@ -168,7 +171,7 @@ func (r *LayoutRunner) PrimeBatch(w int, layouts []int, exes []*toolchain.Execut
 			HeapSeed: hs,
 		})
 	}
-	cs, dets, err := slot.batch.Run(slot.specs)
+	cs, dets, err := slot.run(&r.cfg)
 	if err != nil {
 		return err
 	}

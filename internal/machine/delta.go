@@ -1,0 +1,607 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+	"interferometry/internal/uarch/cache"
+)
+
+// Delta is the delta-replay engine: it walks the trace once per campaign
+// into a recording (see recording.go) that classifies every cache event
+// by how its outcome can depend on the layout, then measures each layout
+// by re-simulating only the perturbed state. Per lane it pays a branch
+// pre-pass over the shared conditional/indirect event streams (predictor
+// indices are address-hashed, so they are genuinely per-layout), a walk
+// over the recording's breakpoints with per-set "apply windows" bounding
+// how much real cache state must be maintained, and one run of the
+// shared cycle skeleton — instead of the full per-lane trace walk the
+// batched engine performs.
+//
+// Every lane is pinned bit-identical to Machine.RunDeterministic on the
+// same spec: the cycle accumulator performs exactly the scalar path's
+// sequence of floating-point additions (the skeleton stores each shared
+// addend individually, never pre-summed), and every per-lane cache or
+// predictor probe replays against state built from exactly the scalar
+// access sequence. Whenever a layout or configuration violates a
+// recording assumption, Run returns an error and the caller falls back
+// to the batched or scalar path; a defensive in-walk divergence check
+// turns any classification bug into a fallback instead of a wrong
+// number.
+//
+// A Delta is not safe for concurrent use; create one per goroutine.
+// With a warm recording a Run performs no heap allocation at steady
+// state.
+type Delta struct {
+	cfg      Config
+	maxLanes int
+
+	xeon *branch.XeonBank
+	btb  *branch.BTBBank
+	// Per-lane cache state is replayed lane by lane, so one scalar cache
+	// per level is reused across lanes (flushed in between). Their
+	// internal hit/miss counters are ignored: delta counters are derived
+	// from the shared totals plus per-lane miss events.
+	l1i, l1d, l2       *cache.Cache
+	ixL1I, ixL1D, ixL2 cache.Indexer
+
+	// One recording (or one failure) is cached per trace content.
+	rec     *recording
+	recErr  error
+	failKey deltaKey
+
+	// Branch pre-pass results: bit k of condMask[i] / indMask[i] is set
+	// iff lane k mispredicted the i-th conditional / indirect event.
+	condMask []uint64
+	indMask  []uint64
+	rowPCs   []uint64
+	rowTgts  []uint64
+
+	// Per-lane scratch, reused across lanes and runs.
+	placeBase []uint64 // per alloc event: the lane's placement base
+	l1iCut    []int32  // per L1I set: last sensitive event index, -1 none
+	l1dCut    []int32
+	l2Cut     []int32
+	apply     []int64 // packed event<<8 | apply flags, sorted
+
+	counters []Counters
+	dets     []float64
+
+	bumpHeap *heap.Bump
+	randHeap *heap.Randomized
+}
+
+// deltaKey identifies trace content for the recording-failure cache.
+type deltaKey struct {
+	prog      *isa.Program
+	inputSeed uint64
+	instrs    uint64
+	nBlockSeq int
+	stoppedBy interp.StopReason
+}
+
+func keyOfTrace(t *interp.Trace) deltaKey {
+	return deltaKey{
+		prog:      t.Program,
+		inputSeed: t.InputSeed,
+		instrs:    t.Instrs,
+		nBlockSeq: len(t.BlockSeq),
+		stoppedBy: t.StoppedBy,
+	}
+}
+
+// errDeltaDiverged marks a defensive in-walk check tripping: a per-lane
+// replay disagreed with what the recording's classification guarantees.
+// It should be unreachable; callers treat it like any other delta error
+// and fall back to the batched or scalar engine, which preserves
+// byte-identical campaign output.
+var errDeltaDiverged = errors.New("machine: delta replay diverged from its recording")
+
+// NewDelta builds a delta-replay engine for up to maxLanes concurrent
+// layouts. Configurations outside the recording's proven geometry (see
+// checkRecordingConfig) are rejected here so callers fall back early.
+func NewDelta(cfg Config, maxLanes int) (*Delta, error) {
+	if maxLanes <= 0 {
+		return nil, errors.New("machine: delta needs at least one lane")
+	}
+	if maxLanes > 64 {
+		// Branch mispredict masks are one word per event.
+		return nil, fmt.Errorf("machine: delta supports at most 64 lanes, got %d", maxLanes)
+	}
+	if err := checkRecordingConfig(&cfg); err != nil {
+		return nil, err
+	}
+	btb, err := branch.NewBTBBank(cfg.BTBSets, cfg.BTBWays, maxLanes)
+	if err != nil {
+		return nil, err
+	}
+	return &Delta{
+		cfg:      cfg,
+		maxLanes: maxLanes,
+		xeon:     branch.NewXeonBank(maxLanes),
+		btb:      btb,
+		l1i:      cache.New(cfg.L1I),
+		l1d:      cache.New(cfg.L1D),
+		l2:       cache.New(cfg.L2),
+		ixL1I:    cfg.L1I.Indexer(),
+		ixL1D:    cfg.L1D.Indexer(),
+		ixL2:     cfg.L2.Indexer(),
+		rowPCs:   make([]uint64, maxLanes),
+		rowTgts:  make([]uint64, maxLanes),
+		l1iCut:   make([]int32, cfg.L1I.Sets()),
+		l1dCut:   make([]int32, cfg.L1D.Sets()),
+		l2Cut:    make([]int32, cfg.L2.Sets()),
+		counters: make([]Counters, maxLanes),
+		dets:     make([]float64, maxLanes),
+	}, nil
+}
+
+// Config returns the machine configuration.
+func (d *Delta) Config() Config { return d.cfg }
+
+// MaxLanes returns the lane capacity.
+func (d *Delta) MaxLanes() int { return d.maxLanes }
+
+// Invalidate drops the cached recording, for a trace or program mutated
+// in place between runs (the recording cache keys on program identity
+// plus trace content fingerprints, so in-place mutation would otherwise
+// be served a stale recording — the same escape hatch Machine.Invalidate
+// and Batch.Invalidate provide).
+func (d *Delta) Invalidate() {
+	d.rec = nil
+	d.recErr = nil
+	d.failKey = deltaKey{}
+}
+
+// preflightMaxInstrs bounds the traces Preflight will gamble a recording
+// build on. The build is itself a classified trace walk costing roughly
+// a third of a full 32-lane batched walk, so preflighting a long trace
+// that then declines would tax the default (auto) path measurably — and
+// long traces never profit anyway: delta wins only where the layout-
+// sensitive events die out early in absolute terms, and on the surveyed
+// suite every winning workload sits under ~8k instructions (470.lbm wins
+// 1.4× at 8k and loses past 10k; see DESIGN.md §15). Above the bound
+// Preflight answers no without touching the trace; DeltaOn still forces
+// a build regardless.
+const preflightMaxInstrs = 8192
+
+// Preflight reports whether the delta walk is estimated to outrun the
+// batched engine on the spec's trace. Short traces get a real answer:
+// the recording is built (or reused) and its profitability model
+// consulted — and retained, so a Run that follows pays no further trace
+// walk. Traces past preflightMaxInstrs are declined outright, without a
+// walk. An error means delta cannot measure this trace at all (the
+// caller should use the batched or scalar path).
+func (d *Delta) Preflight(spec RunSpec) (bool, error) {
+	if spec.Trace == nil {
+		return false, errors.New("machine: RunSpec needs Exe and Trace")
+	}
+	if spec.Trace.Instrs > preflightMaxInstrs {
+		return false, nil
+	}
+	rec, err := d.recording(spec.Trace)
+	if err != nil {
+		return false, err
+	}
+	return rec.profitable(), nil
+}
+
+func (d *Delta) recording(t *interp.Trace) (*recording, error) {
+	if d.rec != nil && d.rec.matches(t) {
+		return d.rec, nil
+	}
+	if d.recErr != nil && d.failKey == keyOfTrace(t) {
+		return nil, d.recErr
+	}
+	rec, err := newRecording(&d.cfg, t)
+	if err != nil {
+		d.rec, d.recErr, d.failKey = nil, err, keyOfTrace(t)
+		return nil, err
+	}
+	d.rec, d.recErr = rec, nil
+	if n := len(rec.condProc); cap(d.condMask) < n {
+		d.condMask = make([]uint64, n)
+	} else {
+		d.condMask = d.condMask[:n]
+	}
+	if n := len(rec.indProc); cap(d.indMask) < n {
+		d.indMask = make([]uint64, n)
+	} else {
+		d.indMask = d.indMask[:n]
+	}
+	if n := len(rec.allocObj); cap(d.placeBase) < n {
+		d.placeBase = make([]uint64, n)
+	} else {
+		d.placeBase = d.placeBase[:n]
+	}
+	return rec, nil
+}
+
+// Run measures the trace against len(specs) layouts and returns one
+// Counters and one raw (unrounded) deterministic cycle count per lane,
+// exactly what Machine.RunDeterministic returns for each spec. The
+// returned slices are reused by the next Run.
+//
+// All specs must share the same Trace and HeapMode; NoiseSeed and
+// DisableNoise are ignored (callers synthesize noise with
+// Machine.NoisyCycles). Predictor overrides are not supported: an
+// override changes which per-lane state the recording would have to
+// track, so such specs return an error and the caller falls back.
+func (d *Delta) Run(specs []RunSpec) ([]Counters, []float64, error) {
+	k := len(specs)
+	if k == 0 {
+		return nil, nil, errors.New("machine: delta run needs at least one spec")
+	}
+	if k > d.maxLanes {
+		return nil, nil, fmt.Errorf("machine: delta batch of %d exceeds %d lanes", k, d.maxLanes)
+	}
+	trace := specs[0].Trace
+	mode := specs[0].HeapMode
+	for i := range specs {
+		s := &specs[i]
+		if s.Exe == nil || s.Trace == nil {
+			return nil, nil, errors.New("machine: RunSpec needs Exe and Trace")
+		}
+		if s.Trace != trace {
+			return nil, nil, errors.New("machine: delta specs must share one trace")
+		}
+		if s.HeapMode != mode {
+			return nil, nil, errors.New("machine: delta specs must share one heap mode")
+		}
+		if s.Trace.Program != s.Exe.Program {
+			return nil, nil, errors.New("machine: trace and executable are from different programs")
+		}
+		if s.Predictor != nil {
+			return nil, nil, errors.New("machine: delta does not support predictor overrides")
+		}
+	}
+	rec, err := d.recording(trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range specs {
+		if err := verifyDeltaLayout(rec, specs[i].Exe); err != nil {
+			return nil, nil, err
+		}
+	}
+	d.branchPass(rec, specs)
+	for ki := range specs {
+		if err := d.lane(rec, &specs[ki], ki); err != nil {
+			return nil, nil, err
+		}
+	}
+	return d.counters[:k], d.dets[:k], nil
+}
+
+// verifyDeltaLayout checks the address-table assumptions the recording's
+// canonical offsets were classified under. Any deviation (a fetch-
+// aligned layout, an unaligned procedure or global) is not an error of
+// the layout — it just needs the batched or scalar engine.
+func verifyDeltaLayout(rec *recording, exe *toolchain.Executable) error {
+	for p, a := range exe.ProcAddr {
+		if a%16 != 0 {
+			return fmt.Errorf("machine: delta needs 16-byte-aligned procedures; proc %d at %#x", p, a)
+		}
+	}
+	prog := exe.Program
+	for id := range prog.Blocks {
+		if exe.BlockAddr[id] != exe.ProcAddr[prog.Blocks[id].Proc]+uint64(rec.canonOff[id]) {
+			return fmt.Errorf("machine: delta needs contiguous in-procedure block layout; block %d deviates", id)
+		}
+	}
+	for i := range prog.Objects {
+		if !prog.Objects[i].Heap && exe.GlobalBase[i]%64 != 0 {
+			return fmt.Errorf("machine: delta needs 64-byte-aligned globals; object %d at %#x", i, exe.GlobalBase[i])
+		}
+	}
+	if exe.DataBase < exe.CodeLimit+64 {
+		return errors.New("machine: delta needs a line-separated gap between code and data segments")
+	}
+	return nil
+}
+
+// branchPass resolves every conditional and indirect event for all lanes
+// up front: predictor and BTB indices hash per-lane addresses, so this
+// is real per-layout simulation — but banked row-at-a-time, exactly like
+// the batched engine, and independent of the cache walk.
+func (d *Delta) branchPass(rec *recording, specs []RunSpec) {
+	k := len(specs)
+	d.xeon.Reset()
+	d.btb.Reset()
+	pcs := d.rowPCs[:k]
+	for e := range rec.condProc {
+		p, off := rec.condProc[e], rec.condOff[e]
+		for ki := 0; ki < k; ki++ {
+			pcs[ki] = specs[ki].Exe.ProcAddr[p] + off
+		}
+		d.condMask[e] = d.xeon.PredictUpdateRow(pcs, rec.condTaken[e])
+	}
+	tgts := d.rowTgts[:k]
+	for e := range rec.indProc {
+		p, off, callee := rec.indProc[e], rec.indOff[e], rec.indCallee[e]
+		for ki := 0; ki < k; ki++ {
+			pcs[ki] = specs[ki].Exe.ProcAddr[p] + off
+			tgts[ki] = specs[ki].Exe.ProcAddr[callee]
+		}
+		d.indMask[e] = d.btb.PredictUpdateRow(pcs, tgts)
+	}
+}
+
+// nbrDeltas maps dclAddr neighbor-mask bits to wrapped byte offsets.
+var nbrDeltas = [6]uint64{^uint64(47), ^uint64(31), ^uint64(15), 16, 32, 48}
+
+func (d *Delta) unitAddr(rec *recording, exe *toolchain.Executable, u int32) uint64 {
+	a := rec.unitA[u]
+	off := uint64(rec.unitOff[u])
+	if int(u) < rec.nCodeUnits {
+		return exe.ProcAddr[a] + off
+	}
+	if a >= 0 {
+		return d.placeBase[a] + off
+	}
+	return exe.GlobalBase[^a] + off
+}
+
+// lane measures one layout: replay heap placement, derive the apply
+// windows from the sensitive events' per-lane sets, build and sort the
+// apply list, then walk breakpoints + apply list over the shared
+// skeleton.
+func (d *Delta) lane(rec *recording, spec *RunSpec, ki int) error {
+	exe := spec.Exe
+
+	// Heap placement replay: the same allocator sequence the scalar path
+	// performs, recorded per alloc event.
+	hcfg := heap.Config{Base: exe.DataLimit + 0x1000000}
+	var alloc heap.Allocator
+	if spec.HeapMode == heap.ModeRandomized {
+		if d.randHeap == nil {
+			d.randHeap = heap.NewRandomized(spec.HeapSeed, hcfg)
+		} else {
+			d.randHeap.Reset(spec.HeapSeed, hcfg)
+		}
+		alloc = d.randHeap
+	} else {
+		if d.bumpHeap == nil {
+			d.bumpHeap = heap.NewBump(hcfg)
+		} else {
+			d.bumpHeap.Reset(hcfg)
+		}
+		alloc = d.bumpHeap
+	}
+	for i := range rec.allocObj {
+		obj := isa.ObjectID(rec.allocObj[i])
+		if rec.allocNew[i] {
+			base := alloc.Alloc(obj, rec.allocSize[i])
+			if base%heap.PlacementAlign != 0 {
+				return fmt.Errorf("machine: delta needs %d-byte-aligned heap placements; object %d at %#x",
+					heap.PlacementAlign, obj, base)
+			}
+			d.placeBase[i] = base
+		} else {
+			alloc.Free(obj)
+		}
+	}
+
+	// Apply windows: per cache set, the last sensitive event whose
+	// per-lane address maps there. Cache state only needs to be
+	// maintained in a set up to that point; afterwards every outcome in
+	// the set is classification-guaranteed.
+	for i := range d.l1iCut {
+		d.l1iCut[i] = -1
+	}
+	for i := range d.l1dCut {
+		d.l1dCut[i] = -1
+	}
+	for i := range d.l2Cut {
+		d.l2Cut[i] = -1
+	}
+	for _, e := range rec.sensEvs {
+		addr := d.unitAddr(rec, exe, rec.evUnit[e])
+		if devKind(rec.evMeta[e]) == devFetch {
+			d.l1iCut[d.ixL1I.Set(addr)] = e
+		} else {
+			d.l1dCut[d.ixL1D.Set(addr)] = e
+		}
+		d.l2Cut[d.ixL2.Set(addr)] = e
+	}
+
+	// Apply list: for every unit mapping into an active set, its events
+	// up to the set's cutoff, flagged with which structures to replay.
+	// Units are visited in first-touch order; no window extends past the
+	// last sensitive event, so the scan stops at the first unit touched
+	// after it and a sparse trace skips almost every unit.
+	maxCut := int32(-1)
+	if n := len(rec.sensEvs); n > 0 {
+		maxCut = rec.sensEvs[n-1]
+	}
+	ap := d.apply[:0]
+	for _, u := range rec.unitsByFirstEv {
+		lo, hi := rec.unitEvStart[u], rec.unitEvStart[u+1]
+		if rec.unitEvs[lo] > maxCut {
+			break
+		}
+		addr := d.unitAddr(rec, exe, u)
+		var cut1 int32
+		if int(u) < rec.nCodeUnits {
+			cut1 = d.l1iCut[d.ixL1I.Set(addr)]
+		} else {
+			cut1 = d.l1dCut[d.ixL1D.Set(addr)]
+		}
+		cut2 := d.l2Cut[d.ixL2.Set(addr)]
+		cutMax := cut1
+		if cut2 > cutMax {
+			cutMax = cut2
+		}
+		if cutMax < 0 {
+			continue
+		}
+		for _, e := range rec.unitEvs[lo:hi] {
+			if e > cutMax {
+				break
+			}
+			var fl int64
+			if e <= cut1 {
+				fl = applyL1
+			}
+			if e <= cut2 && devClass(rec.evMeta[e]) != dclHit {
+				fl |= applyL2
+			}
+			if fl != 0 {
+				ap = append(ap, int64(e)<<8|fl)
+			}
+		}
+	}
+	slices.Sort(ap)
+	d.apply = ap
+
+	// The walk: merge shared breakpoints with the lane's apply list,
+	// running the skeleton between events — every float addition in the
+	// exact scalar order.
+	d.l1i.Flush()
+	d.l1d.Flush()
+	d.l2.Flush()
+	var (
+		cfg         = &d.cfg
+		l2pen       = cfg.L2MissPenalty * cfg.L2Overlap
+		skel        = rec.skel
+		evSkel      = rec.evSkel
+		sbp         = rec.sharedBPs
+		laneBit     = uint64(1) << ki
+		cy          float64
+		misp        uint64
+		indMisp     uint64
+		l1iMiss     uint64
+		l1dSensMiss uint64
+		l2MissLane  uint64
+		sp, si, ai  int
+	)
+	for si < len(sbp) || ai < len(ap) {
+		var e int32
+		var fl uint8
+		if ai >= len(ap) || (si < len(sbp) && sbp[si] <= int32(ap[ai]>>8)) {
+			e = sbp[si]
+			si++
+			if ai < len(ap) && int32(ap[ai]>>8) == e {
+				fl = uint8(ap[ai])
+				ai++
+			}
+		} else {
+			e = int32(ap[ai] >> 8)
+			fl = uint8(ap[ai])
+			ai++
+		}
+		for t := int(evSkel[e]); sp < t; sp++ {
+			cy += skel[sp]
+		}
+		meta := rec.evMeta[e]
+		switch devKind(meta) {
+		case devCond:
+			if d.condMask[rec.evUnit[e]]&laneBit != 0 {
+				misp++
+				cy += rec.condPenalty[rec.evUnit[e]]
+			}
+		case devInd:
+			if d.indMask[rec.evUnit[e]]&laneBit != 0 {
+				indMisp++
+				cy += cfg.BTBMissPenalty
+			}
+		case devFetch, devMem:
+			addr := d.unitAddr(rec, exe, rec.evUnit[e])
+			switch devClass(meta) {
+			case dclHit:
+				lc := d.l1d
+				if devKind(meta) == devFetch {
+					lc = d.l1i
+				}
+				if fl&applyL1 != 0 && !lc.Access(addr) {
+					return fmt.Errorf("%w: guaranteed hit missed at event %d", errDeltaDiverged, e)
+				}
+			case dclCold:
+				if fl&applyL1 != 0 && d.l1d.Access(addr) {
+					return fmt.Errorf("%w: cold line resident in L1D at event %d", errDeltaDiverged, e)
+				}
+				if fl&applyL2 != 0 && d.l2.Access(addr) {
+					return fmt.Errorf("%w: cold line resident in L2 at event %d", errDeltaDiverged, e)
+				}
+			case dclAddr:
+				hit := false
+				if fl&applyL1 != 0 {
+					hit = d.l1i.Access(addr)
+				} else {
+					line := addr >> 6
+					for m := rec.evNbr[e]; m != 0; m &= m - 1 {
+						if (addr+nbrDeltas[bits.TrailingZeros8(m)])>>6 == line {
+							hit = true
+							break
+						}
+					}
+				}
+				if !hit {
+					l1iMiss++
+					cy += cfg.L1IMissPenalty
+					if fl&applyL2 != 0 && d.l2.Access(addr) {
+						return fmt.Errorf("%w: cold code line resident in L2 at event %d", errDeltaDiverged, e)
+					}
+					l2MissLane++
+					cy += l2pen
+				}
+			default: // dclSens
+				if fl&applyL1 == 0 {
+					return fmt.Errorf("%w: sensitive event %d outside its own apply window", errDeltaDiverged, e)
+				}
+				lc := d.l1d
+				isFetch := devKind(meta) == devFetch
+				if isFetch {
+					lc = d.l1i
+				}
+				if !lc.Access(addr) {
+					if isFetch {
+						l1iMiss++
+						cy += cfg.L1IMissPenalty
+					} else {
+						l1dSensMiss++
+						cy += cfg.L1DMissPenalty
+					}
+					if fl&applyL2 == 0 {
+						return fmt.Errorf("%w: sensitive event %d outside its L2 apply window", errDeltaDiverged, e)
+					}
+					if !d.l2.Access(addr) {
+						l2MissLane++
+						cy += l2pen
+					}
+				}
+			}
+		}
+	}
+	for ; sp < len(skel); sp++ {
+		cy += skel[sp]
+	}
+
+	trace := spec.Trace
+	c := &d.counters[ki]
+	*c = Counters{
+		Instructions:     trace.Instrs,
+		CondBranches:     trace.CondBranches,
+		IndirectBranches: trace.IndirectCalls,
+		CondMispredicts:  misp,
+		IndirectMispreds: indMisp,
+	}
+	c.BranchesRetired = c.CondBranches + c.IndirectBranches + trace.Calls + trace.Returns
+	c.BranchMispredicts = misp + indMisp
+	c.L1IAccesses = rec.nFetch
+	c.L1IMisses = l1iMiss
+	c.L1DAccesses = rec.nMem
+	c.L1DMisses = rec.coldData + l1dSensMiss
+	c.L2Accesses = c.L1IMisses + c.L1DMisses
+	c.L2Misses = rec.coldData + l2MissLane
+	c.Cycles = roundCycles(cy)
+	d.dets[ki] = cy
+	return nil
+}

@@ -1,0 +1,377 @@
+package machine_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"interferometry/internal/heap"
+	"interferometry/internal/interp"
+	"interferometry/internal/machine"
+	"interferometry/internal/progen"
+	"interferometry/internal/toolchain"
+	"interferometry/internal/uarch/branch"
+)
+
+// TestDeltaMatchesSequential is the delta-replay property test, the
+// delta twin of TestBatchMatchesSequential: for every lane of every
+// trial, Delta.Run must return exactly what the scalar
+// Machine.RunDeterministic returns for that lane's spec — equal Counters
+// and a bit-identical raw cycle float. Trials sweep programs, lane
+// counts 1/2/7/K_max and both heap modes across ≥50 layout seeds.
+// Predictor overrides are excluded: Delta declines those by contract
+// (TestDeltaRunValidation pins that).
+func TestDeltaMatchesSequential(t *testing.T) {
+	trials := 52
+	if testing.Short() {
+		trials = 12
+	}
+	const kMax = 16
+	cfg := machine.XeonE5440()
+	delta, err := machine.NewDelta(cfg, kMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := machine.New(cfg)
+	progs := batchPrograms(t, 20000)
+	sizes := []int{1, 2, 7, kMax}
+	specs := make([]machine.RunSpec, kMax)
+
+	for trial := 0; trial < trials; trial++ {
+		pp := progs[trial%len(progs)]
+		k := sizes[trial%len(sizes)]
+		mode := heap.ModeBump
+		if trial%2 == 1 {
+			mode = heap.ModeRandomized
+		}
+		for ki := 0; ki < k; ki++ {
+			layoutSeed := uint64(trial*kMax + ki + 1)
+			exe, err := toolchain.BuildLayout(pp.prog, layoutSeed, toolchain.CompileConfig{ProcsPerUnit: 2}, toolchain.LinkConfig{})
+			if err != nil {
+				t.Fatalf("trial %d lane %d: %v", trial, ki, err)
+			}
+			specs[ki] = machine.RunSpec{
+				Exe:      exe,
+				Trace:    pp.trace,
+				HeapMode: mode,
+				HeapSeed: layoutSeed*3 + 1,
+			}
+		}
+		gotC, gotD, err := delta.Run(specs[:k])
+		if err != nil {
+			t.Fatalf("trial %d (%s, k=%d, %s): %v", trial, pp.name, k, mode, err)
+		}
+		for ki := 0; ki < k; ki++ {
+			wantC, wantD, err := seq.RunDeterministic(specs[ki])
+			if err != nil {
+				t.Fatalf("trial %d lane %d sequential: %v", trial, ki, err)
+			}
+			if gotC[ki] != wantC {
+				t.Fatalf("trial %d (%s, k=%d, %s) lane %d counters diverged:\ndelta %+v\nseq   %+v",
+					trial, pp.name, k, mode, ki, gotC[ki], wantC)
+			}
+			if math.Float64bits(gotD[ki]) != math.Float64bits(wantD) {
+				t.Fatalf("trial %d (%s, k=%d, %s) lane %d det cycles diverged: delta %v (%#x), seq %v (%#x)",
+					trial, pp.name, k, mode, ki, gotD[ki], math.Float64bits(gotD[ki]), wantD, math.Float64bits(wantD))
+			}
+		}
+	}
+}
+
+// TestDeltaRunValidation pins the delta-lane error contract, including
+// the unsupported-spec declines that make callers fall back.
+func TestDeltaRunValidation(t *testing.T) {
+	cfg := machine.XeonE5440()
+	delta, err := machine.NewDelta(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := batchPrograms(t, 2000)
+	branchy, memory := progs[0], progs[1]
+	exe := func(p batchProgram, seed uint64) *toolchain.Executable {
+		e, err := toolchain.BuildLayout(p.prog, seed, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	base := machine.RunSpec{Exe: exe(branchy, 1), Trace: branchy.trace}
+
+	if _, _, err := delta.Run(nil); err == nil {
+		t.Error("empty run accepted")
+	}
+	if _, _, err := delta.Run(make([]machine.RunSpec, 5)); err == nil {
+		t.Error("run over capacity accepted")
+	}
+	if _, _, err := delta.Run([]machine.RunSpec{base, {Exe: exe(memory, 1), Trace: memory.trace}}); err == nil {
+		t.Error("mixed traces accepted")
+	}
+	if _, _, err := delta.Run([]machine.RunSpec{base, {Exe: exe(branchy, 2), Trace: branchy.trace, HeapMode: heap.ModeRandomized}}); err == nil {
+		t.Error("mixed heap modes accepted")
+	}
+	if _, _, err := delta.Run([]machine.RunSpec{{Exe: exe(memory, 1), Trace: branchy.trace}}); err == nil {
+		t.Error("trace/executable program mismatch accepted")
+	}
+	o := base
+	o.Predictor = branch.Perfect{}
+	_, _, err = delta.Run([]machine.RunSpec{o})
+	if err == nil || !strings.Contains(err.Error(), "predictor overrides") {
+		t.Errorf("predictor override: got %v, want decline", err)
+	}
+	// Layouts that break the canonical-geometry assumptions must be
+	// declined by the per-lane gate rather than misclassified: a block
+	// not at its program-order offset, and a global segment off the
+	// 64-byte line grid.
+	moved := exe(branchy, 3)
+	moved.BlockAddr[len(moved.BlockAddr)-1] += 16
+	if _, _, err := delta.Run([]machine.RunSpec{{Exe: moved, Trace: branchy.trace}}); err == nil {
+		t.Error("non-canonical block offset accepted")
+	}
+	skewed := exe(memory, 4)
+	for i := range skewed.GlobalBase {
+		skewed.GlobalBase[i] += 32
+	}
+	if _, _, err := delta.Run([]machine.RunSpec{{Exe: skewed, Trace: memory.trace}}); err == nil {
+		t.Error("misaligned global segment accepted")
+	}
+	// Unsupported geometry is rejected at construction.
+	narrow := cfg
+	narrow.FetchBytes = 32
+	if _, err := machine.NewDelta(narrow, 4); err == nil {
+		t.Error("32-byte fetch geometry accepted")
+	}
+	pf := cfg
+	pf.NextLinePrefetch = true
+	if _, err := machine.NewDelta(pf, 4); err == nil {
+		t.Error("prefetching geometry accepted")
+	}
+}
+
+// TestDeltaInvalidate is TestBatchInvalidate's contract for the
+// recording cache: Invalidate must force a rebuild, and the rebuilt run
+// must match sequential.
+func TestDeltaInvalidate(t *testing.T) {
+	cfg := machine.XeonE5440()
+	delta, err := machine.NewDelta(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := batchPrograms(t, 20000)
+	pp := progs[0]
+	exe, err := toolchain.BuildLayout(pp.prog, 1, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []machine.RunSpec{{Exe: exe, Trace: pp.trace}}
+	if _, _, err := delta.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	delta.Invalidate()
+	c, d, err := delta.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := machine.New(cfg)
+	wantC, wantD, err := seq.RunDeterministic(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != wantC || math.Float64bits(d[0]) != math.Float64bits(wantD) {
+		t.Fatal("post-Invalidate delta run diverged from sequential")
+	}
+}
+
+// TestDeltaReuseAfterFallback is the delta half of the
+// reuse-after-fallback regression: a Run that declines (here: a layout
+// failing the address gates) must leave no state behind that perturbs
+// the next successful Run — same counters, same raw cycle bits as a
+// fresh engine and the scalar path.
+func TestDeltaReuseAfterFallback(t *testing.T) {
+	cfg := machine.XeonE5440()
+	delta, err := machine.NewDelta(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := batchPrograms(t, 20000)
+	pp := progs[0]
+	mk := func(seed uint64) *toolchain.Executable {
+		exe, err := toolchain.BuildLayout(pp.prog, seed, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exe
+	}
+	good := []machine.RunSpec{
+		{Exe: mk(1), Trace: pp.trace, HeapMode: heap.ModeRandomized, HeapSeed: 7},
+		{Exe: mk(2), Trace: pp.trace, HeapMode: heap.ModeRandomized, HeapSeed: 9},
+	}
+	if _, _, err := delta.Run(good); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage one layout in place so the per-lane gate declines the
+	// whole Run (the caller would fall back to the batched path), then
+	// restore it.
+	bad := good[0].Exe.BlockAddr[0]
+	good[0].Exe.BlockAddr[0] = bad + 8
+	if _, _, err := delta.Run(good); err == nil {
+		t.Fatal("gate-violating layout accepted")
+	}
+	good[0].Exe.BlockAddr[0] = bad
+	c, d, err := delta.Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := machine.New(cfg)
+	for ki := range good {
+		wantC, wantD, err := seq.RunDeterministic(good[ki])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c[ki] != wantC || math.Float64bits(d[ki]) != math.Float64bits(wantD) {
+			t.Fatalf("lane %d diverged after fallback reuse:\ndelta %+v det %v\nseq   %+v det %v",
+				ki, c[ki], d[ki], wantC, wantD)
+		}
+	}
+}
+
+// TestBatchReuseAfterFallback is the batch half of the same regression:
+// a Run rejected mid-validation (predictor instance shared across
+// lanes) must leave the engine's per-lane scratch and loaded tables in
+// a state where the next Run still matches sequential exactly.
+func TestBatchReuseAfterFallback(t *testing.T) {
+	cfg := machine.XeonE5440()
+	batch, err := machine.NewBatch(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := batchPrograms(t, 20000)
+	pp := progs[0]
+	mk := func(seed uint64) *toolchain.Executable {
+		exe, err := toolchain.BuildLayout(pp.prog, seed, toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exe
+	}
+	good := []machine.RunSpec{
+		{Exe: mk(1), Trace: pp.trace, HeapMode: heap.ModeRandomized, HeapSeed: 7},
+		{Exe: mk(2), Trace: pp.trace, HeapMode: heap.ModeRandomized, HeapSeed: 9},
+	}
+	if _, _, err := batch.Run(good); err != nil {
+		t.Fatal(err)
+	}
+	shared := branch.NewGshare(1024, 8)
+	saboteur := []machine.RunSpec{good[0], good[1]}
+	saboteur[0].Predictor, saboteur[1].Predictor = shared, shared
+	if _, _, err := batch.Run(saboteur); err == nil {
+		t.Fatal("shared predictor instance accepted")
+	}
+	c, d, err := batch.Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := machine.New(cfg)
+	for ki := range good {
+		wantC, wantD, err := seq.RunDeterministic(good[ki])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c[ki] != wantC || math.Float64bits(d[ki]) != math.Float64bits(wantD) {
+			t.Fatalf("lane %d diverged after fallback reuse:\nbatch %+v det %v\nseq   %+v det %v",
+				ki, c[ki], d[ki], wantC, wantD)
+		}
+	}
+}
+
+// TestDeltaRunZeroAlloc pins the steady-state zero-allocation contract
+// of Delta.Run with a warm recording, in both heap modes.
+func TestDeltaRunZeroAlloc(t *testing.T) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		t.Fatal("missing spec")
+	}
+	prog := progen.MustGenerate(spec)
+	tr, err := interp.Run(prog, 1, interp.StopRule{Budget: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const kMax = 8
+	specs := make([]machine.RunSpec, kMax)
+	for ki := range specs {
+		exe, err := toolchain.BuildLayout(prog, uint64(ki+1), toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[ki] = machine.RunSpec{Exe: exe, Trace: tr, HeapSeed: 3}
+	}
+	for _, mode := range []heap.Mode{heap.ModeBump, heap.ModeRandomized} {
+		delta, err := machine.NewDelta(machine.XeonE5440(), kMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ki := range specs {
+			specs[ki].HeapMode = mode
+		}
+		if _, _, err := delta.Run(specs); err != nil { // warm recording and scratch
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, _, err := delta.Run(specs); err != nil {
+				t.Error(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs per delta run, want 0", mode, allocs)
+		}
+	}
+}
+
+// BenchmarkDeltaRun measures the delta engine on the same
+// 200k-instruction perlbench workload as BenchmarkBatchRun, across lane
+// counts, with a warm recording (the per-campaign amortized case).
+func BenchmarkDeltaRun(b *testing.B) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		b.Fatal("missing spec")
+	}
+	prog := progen.MustGenerate(spec)
+	tr, err := interp.Run(prog, 1, interp.StopRule{Budget: 200000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const kMax = 32
+	specs := make([]machine.RunSpec, kMax)
+	for ki := range specs {
+		exe, err := toolchain.BuildLayout(prog, uint64(ki+1), toolchain.CompileConfig{}, toolchain.LinkConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[ki] = machine.RunSpec{Exe: exe, Trace: tr, HeapSeed: 3}
+	}
+	for _, k := range []int{8, 16, 32} {
+		for _, mode := range []heap.Mode{heap.ModeBump, heap.ModeRandomized} {
+			b.Run(fmt.Sprintf("%s/k=%d", mode, k), func(b *testing.B) {
+				delta, err := machine.NewDelta(machine.XeonE5440(), k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for ki := range specs {
+					specs[ki].HeapMode = mode
+				}
+				if _, _, err := delta.Run(specs[:k]); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := delta.Run(specs[:k]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "layouts/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,624 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"interferometry/internal/interp"
+	"interferometry/internal/isa"
+)
+
+// The delta engine decomposes the trace into events and classifies each
+// one, once per (config, trace), by how its cache outcome can depend on
+// the layout. The classes:
+//
+//   - dclHit: guaranteed L1 hit in every admissible layout. Fewer
+//     distinct other 2KB regions were touched (on the event's cache)
+//     since the 16-byte unit's previous touch than the cache has ways,
+//     so by the LRU stack property the unit's line is still resident no
+//     matter which set the layout hashed it into.
+//   - dclCold: guaranteed cold miss in every layout — the first touch of
+//     a global's cache line (globals are 64-byte aligned, so the line is
+//     private to the object and canonical). Misses L1D and L2; both
+//     penalties live in the shared cycle skeleton.
+//   - dclAddr: the first touch of an interior code unit whose line-mates
+//     are all within ±48 bytes of it in the same procedure. Whether the
+//     fetch hits is decided per lane by pure address arithmetic: it hits
+//     iff some previously-touched, still-resident neighbor unit lands on
+//     the same 64-byte line in that lane's layout, and a miss is a cold
+//     L2 miss (code lines are touched through L1I only).
+//   - dclSens: everything else — re-touches with too much interference,
+//     code units within 48 bytes of a procedure edge, every heap first
+//     touch. Resolved per lane against real per-lane cache state.
+//
+// The classification is computed against canonical intra-procedure /
+// intra-object offsets only, so it is valid for every executable that
+// passes Delta's per-lane gates.
+const (
+	devFetch = 0 // L1I access of one 16-byte fetch block
+	devMem   = 1 // L1D access
+	devCond  = 2 // conditional-branch terminator
+	devInd   = 3 // indirect-call terminator
+
+	dclHit  = 0
+	dclCold = 1
+	dclAddr = 2
+	dclSens = 3
+
+	applyL1 = 1 // apply-list flag: replay the event against L1 state
+	applyL2 = 2 // apply-list flag: replay the event's L2 traffic
+)
+
+func devKind(m uint8) uint8  { return m & 3 }
+func devClass(m uint8) uint8 { return m >> 2 & 3 }
+
+// recording is the layout-independent reference built from one
+// instrumented trace walk. It holds the canonical event stream, the
+// shared cycle skeleton (every floating-point addition that is identical
+// across layouts, in exact scalar order), the per-unit event index the
+// per-lane apply lists are built from, and the branch event streams the
+// predictor pre-pass consumes. A recording depends only on (Config,
+// trace content); Delta caches one and rebuilds when the trace changes.
+type recording struct {
+	// Cache key: traces are rebuilt per campaign, but interpretation is
+	// deterministic, so (program identity, input seed, length) identifies
+	// the content without retaining the trace itself.
+	prog      *isa.Program
+	inputSeed uint64
+	instrs    uint64
+	nBlockSeq int
+	stoppedBy interp.StopReason
+
+	// Canonical code geometry: block offsets within their procedure and
+	// the flat 16-byte-unit space (code units first, then data units
+	// discovered during the walk).
+	canonOff      []uint32 // per block: offset of the block within its procedure
+	procUnitStart []int32  // per procedure: first code-unit id
+	nCodeUnits    int
+
+	// unitA is the unit's anchor: for code units the procedure id; for
+	// data units the placing alloc-event index, or ^obj for globals.
+	// unitOff is the unit's byte offset from the anchor's base address.
+	unitA   []int32
+	unitOff []uint32
+
+	// Event stream, in exact scalar replay order.
+	evMeta []uint8  // devKind | devClass<<2
+	evUnit []int32  // cache events: unit id; branch events: sequence index
+	evSkel []int32  // skeleton length before this event's own additions
+	evNbr  []uint8  // dclAddr: touched-neighbor mask, bit i = delta (i-3 or i-2)*16
+
+	// skel is the shared cycle skeleton: per-block base cycles plus the
+	// dclCold penalty pairs, one float per scalar addition.
+	skel []float64
+
+	// CSR index: unitEvs[unitEvStart[u]:unitEvStart[u+1]] lists unit u's
+	// cache events in trace order.
+	unitEvStart []int32
+	unitEvs     []int32
+
+	// unitsByFirstEv lists every unit with at least one cache event,
+	// ascending by first event index. Apply windows never extend past the
+	// last sensitive event, so a lane's apply-list build scans only the
+	// prefix of units whose first event precedes it — on a trace whose
+	// perturbable events die out early, most units are never visited.
+	unitsByFirstEv []int32
+
+	// sharedBPs are the event indices every lane must visit (cond, ind,
+	// dclAddr), ascending. sensEvs are the dclSens events, ascending —
+	// the per-lane apply windows are seeded from them.
+	sharedBPs []int32
+	sensEvs   []int32
+
+	// Conditional-branch stream: the terminator PC is
+	// ProcAddr[condProc[i]] + condOff[i] (condOff is a wrapped signed
+	// delta, so "end-4" underflow is exact), condPenalty the precomputed
+	// MispredictPenalty*penaltyScale product the scalar path adds.
+	condProc    []int32
+	condOff     []uint64
+	condTaken   []bool
+	condPenalty []float64
+
+	// Indirect-call stream: PC as above, target ProcAddr[indCallee[i]].
+	indProc   []int32
+	indOff    []uint64
+	indCallee []int32
+
+	// Allocation event stream, replayed per lane for heap placement.
+	allocObj  []int32
+	allocNew  []bool
+	allocSize []uint64
+
+	// Shared counter totals.
+	nFetch   uint64
+	nMem     uint64
+	coldData uint64 // dclCold events: shared L1D misses and L2 cold misses
+
+	// Profitability inputs, computed once: applyBound is the number of
+	// events up to and including the last sensitive one (an upper bound
+	// on any lane's apply list, since no apply window extends past it)
+	// and candUnits the number of units first touched in that prefix (the
+	// units a lane's apply-list build must scan).
+	applyBound int
+	candUnits  int
+}
+
+// fenwick is a binary indexed tree over event-time positions; the delta
+// classifier keeps one marker per 2KB region at the region's last touch
+// time, so a range sum counts distinct regions touched in a window.
+type fenwick struct {
+	t []int32
+}
+
+func (f *fenwick) reset(n int) {
+	if cap(f.t) < n+1 {
+		f.t = make([]int32, n+1)
+		return
+	}
+	f.t = f.t[:n+1]
+	clear(f.t)
+}
+
+func (f *fenwick) add(i int32, d int32) {
+	for n := int32(len(f.t)); i < n; i += i & -i {
+		f.t[i] += d
+	}
+}
+
+func (f *fenwick) sum(i int32) int32 {
+	s := int32(0)
+	for ; i > 0; i -= i & -i {
+		s += f.t[i]
+	}
+	return s
+}
+
+// recencyTracker carries the per-structure (L1I or L1D) interference
+// clock: one fenwick over event time plus each region's and unit's last
+// touch. Region ids are dense; unit last-touch lives in the shared
+// unitLast slice owned by the builder.
+type recencyTracker struct {
+	bit        fenwick
+	regionLast []int32
+}
+
+// othersSince counts the distinct regions other than r touched in event
+// times (last, now-1]. By the region geometry (a 2KB region spans at
+// most 34 consecutive lines, fewer than any gated cache's set count)
+// each of those regions contributes at most one line to any given cache
+// set in any lane, so this bounds the distinct other lines that entered
+// the unit's set since its last touch.
+func (rt *recencyTracker) othersSince(last, now int32, r int32) int32 {
+	n := rt.bit.sum(now-1) - rt.bit.sum(last)
+	if rt.regionLast[r] > last {
+		n--
+	}
+	return n
+}
+
+func (rt *recencyTracker) touch(r, now int32) {
+	if p := rt.regionLast[r]; p > 0 {
+		rt.bit.add(p, -1)
+	}
+	rt.bit.add(now, 1)
+	rt.regionLast[r] = now
+}
+
+// deltaRegionBytes is the interference-tracking granularity: small
+// enough that counting regions instead of lines loses little precision,
+// large enough that the tracking tables stay compact. A region spans at
+// most deltaRegionBytes/64+2 consecutive lines including both partial
+// edges, which must stay at or under every gated cache's set count for
+// the one-line-per-set bound to hold.
+const deltaRegionBytes = 2048
+
+// checkRecordingConfig verifies the geometry assumptions the event
+// classification is proven under. Violations are not errors of the
+// machine — they just mean the delta engine must decline so the caller
+// falls back to the batched or scalar path.
+func checkRecordingConfig(cfg *Config) error {
+	if cfg.FetchBytes != 16 {
+		return fmt.Errorf("machine: delta needs 16-byte fetch blocks, got %d", cfg.FetchBytes)
+	}
+	for _, cc := range []struct {
+		name string
+		line int
+		sets int
+		ways int
+	}{
+		{"L1I", cfg.L1I.LineBytes, cfg.L1I.Sets(), cfg.L1I.Ways},
+		{"L1D", cfg.L1D.LineBytes, cfg.L1D.Sets(), cfg.L1D.Ways},
+		{"L2", cfg.L2.LineBytes, cfg.L2.Sets(), cfg.L2.Ways},
+	} {
+		if cc.line != 64 {
+			return fmt.Errorf("machine: delta needs 64-byte %s lines, got %d", cc.name, cc.line)
+		}
+		if cc.ways < 1 {
+			return fmt.Errorf("machine: delta needs a positive %s associativity", cc.name)
+		}
+		if cc.sets < deltaRegionBytes/64+2 || cc.sets&(cc.sets-1) != 0 {
+			return fmt.Errorf("machine: delta needs a power-of-two %s set count of at least %d, got %d",
+				cc.name, deltaRegionBytes/64+2, cc.sets)
+		}
+	}
+	if cfg.NextLinePrefetch {
+		return errors.New("machine: delta does not model the next-line prefetcher")
+	}
+	return nil
+}
+
+// newRecording builds the reference recording for one trace under cfg.
+// It performs the only full trace walk a delta campaign pays; everything
+// per-layout replays from the result.
+func newRecording(cfg *Config, trace *interp.Trace) (*recording, error) {
+	if err := checkRecordingConfig(cfg); err != nil {
+		return nil, err
+	}
+	prog := trace.Program
+
+	r := &recording{
+		prog:      prog,
+		inputSeed: trace.InputSeed,
+		instrs:    trace.Instrs,
+		nBlockSeq: len(trace.BlockSeq),
+		stoppedBy: trace.StoppedBy,
+	}
+
+	// Canonical geometry: block offsets laid out in procedure order,
+	// exactly as toolchain.Link does without fetch alignment. Layouts
+	// that deviate (FetchAlign > 0) fail Delta's per-lane address gates.
+	r.canonOff = make([]uint32, len(prog.Blocks))
+	r.procUnitStart = make([]int32, len(prog.Procs)+1)
+	procSpan := make([]uint32, len(prog.Procs))
+	procRegionStart := make([]int32, len(prog.Procs)+1)
+	units, regions := int32(0), int32(0)
+	for p := range prog.Procs {
+		r.procUnitStart[p] = units
+		procRegionStart[p] = regions
+		span := uint32(0)
+		for _, bid := range prog.Procs[p].Blocks {
+			r.canonOff[bid] = span
+			span += prog.Blocks[bid].Bytes
+		}
+		procSpan[p] = span
+		units += int32((span + 15) / 16)
+		regions += int32((span + deltaRegionBytes - 1) / deltaRegionBytes)
+	}
+	r.procUnitStart[len(prog.Procs)] = units
+	procRegionStart[len(prog.Procs)] = regions
+	r.nCodeUnits = int(units)
+	r.unitA = make([]int32, units, units+64)
+	r.unitOff = make([]uint32, units, units+64)
+	for p := range prog.Procs {
+		for u := r.procUnitStart[p]; u < r.procUnitStart[p+1]; u++ {
+			r.unitA[u] = int32(p)
+			r.unitOff[u] = uint32(u-r.procUnitStart[p]) * 16
+		}
+	}
+
+	// Pre-size the event stream from the block sequence.
+	var nFetch, nMem, nCond, nInd, nAlloc int
+	for _, bid := range trace.BlockSeq {
+		blk := &prog.Blocks[bid]
+		nFetch += canonFetchN(int64(r.canonOff[bid]), int64(blk.Bytes))
+		nMem += len(blk.Mems)
+		nAlloc += len(blk.Allocs)
+		switch blk.Term.Kind {
+		case isa.TermCondBranch:
+			nCond++
+		case isa.TermIndirectCall:
+			nInd++
+		}
+	}
+	nEvents := nFetch + nMem + nCond + nInd
+	if nEvents >= math.MaxInt32 {
+		return nil, fmt.Errorf("machine: delta supports traces up to %d events, got %d", math.MaxInt32, nEvents)
+	}
+	r.evMeta = make([]uint8, nEvents)
+	r.evUnit = make([]int32, nEvents)
+	r.evSkel = make([]int32, nEvents)
+	r.evNbr = make([]uint8, nEvents)
+	r.skel = make([]float64, 0, len(trace.BlockSeq)+16)
+	r.condProc = make([]int32, 0, nCond)
+	r.condOff = make([]uint64, 0, nCond)
+	r.condTaken = make([]bool, 0, nCond)
+	r.condPenalty = make([]float64, 0, nCond)
+	r.allocObj = make([]int32, 0, nAlloc)
+	r.allocNew = make([]bool, 0, nAlloc)
+	r.allocSize = make([]uint64, 0, nAlloc)
+	r.nFetch = uint64(nFetch)
+	r.nMem = uint64(nMem)
+
+	// Classification state.
+	var code, data recencyTracker
+	code.bit.reset(nFetch)
+	data.bit.reset(nMem)
+	code.regionLast = make([]int32, regions)
+	unitLast := make([]int32, units, units+64)
+	dataUnits := make(map[uint64]int32)   // (anchor, unit offset) -> unit id
+	dataRegions := make(map[uint64]int32) // (anchor, region index) -> region id
+	lastAlloc := make([]int32, len(prog.Objects))
+	for i := range lastAlloc {
+		lastAlloc[i] = -1
+	}
+
+	waysL1I := int32(cfg.L1I.Ways)
+	waysL1D := int32(cfg.L1D.Ways)
+	l2pen := cfg.L2MissPenalty * cfg.L2Overlap
+
+	dataUnit := func(anchor int32, off uint32) int32 {
+		key := uint64(uint32(anchor))<<32 | uint64(off)
+		if u, ok := dataUnits[key]; ok {
+			return u
+		}
+		u := int32(len(r.unitA))
+		dataUnits[key] = u
+		r.unitA = append(r.unitA, anchor)
+		r.unitOff = append(r.unitOff, off)
+		unitLast = append(unitLast, 0)
+		return u
+	}
+	dataRegion := func(anchor int32, off uint32) int32 {
+		key := uint64(uint32(anchor))<<32 | uint64(off/deltaRegionBytes)
+		if rg, ok := dataRegions[key]; ok {
+			return rg
+		}
+		rg := int32(len(data.regionLast))
+		dataRegions[key] = rg
+		data.regionLast = append(data.regionLast, 0)
+		return rg
+	}
+
+	var (
+		cur      = trace.Cursor()
+		ev       int32
+		fclock   int32
+		mclock   int32
+		allocSeq int32
+	)
+	emit := func(meta uint8, unit int32, nbr uint8) {
+		r.evMeta[ev] = meta
+		r.evUnit[ev] = unit
+		r.evSkel[ev] = int32(len(r.skel))
+		r.evNbr[ev] = nbr
+		switch devClass(meta) {
+		case dclSens:
+			if devKind(meta) <= devMem {
+				r.sensEvs = append(r.sensEvs, ev)
+			}
+		case dclAddr:
+			r.sharedBPs = append(r.sharedBPs, ev)
+		}
+		if devKind(meta) >= devCond {
+			r.sharedBPs = append(r.sharedBPs, ev)
+		}
+		ev++
+	}
+
+	for {
+		bid, ok := cur.NextBlock()
+		if !ok {
+			break
+		}
+		blk := &prog.Blocks[bid]
+		p := int32(blk.Proc)
+		r.skel = append(r.skel, baseCyclesFor(cfg, blk))
+
+		// Instruction fetch events.
+		off0 := int64(r.canonOff[bid])
+		first := off0 &^ 15
+		fn := canonFetchN(off0, int64(blk.Bytes))
+		span := procSpan[p]
+		lastUi := int64(span-1) >> 4
+		for i := 0; i < fn; i++ {
+			uOff := first + int64(i)*16
+			ui := uOff >> 4
+			u := r.procUnitStart[p] + int32(ui)
+			rg := procRegionStart[p] + int32(uOff/deltaRegionBytes)
+			fclock++
+			meta := uint8(devFetch)
+			nbr := uint8(0)
+			if last := unitLast[u]; last > 0 {
+				if code.othersSince(last, fclock, rg) < waysL1I {
+					meta |= dclHit << 2
+				} else {
+					meta |= dclSens << 2
+				}
+			} else if ui < 3 || ui > lastUi-3 {
+				// A procedure-edge unit: its line can be shared with a
+				// neighboring procedure placed adjacently by the layout.
+				meta |= dclSens << 2
+			} else {
+				meta |= dclAddr << 2
+				for d := int32(-3); d <= 3; d++ {
+					if d == 0 {
+						continue
+					}
+					lv := unitLast[u+d]
+					if lv == 0 {
+						continue
+					}
+					rv := procRegionStart[p] + int32((uOff+int64(d)*16)/deltaRegionBytes)
+					if code.othersSince(lv, fclock, rv) >= waysL1I {
+						// A touched line-mate candidate whose residency is
+						// uncertain: fall back to stateful replay.
+						meta = devFetch | dclSens<<2
+						nbr = 0
+						break
+					}
+					if d < 0 {
+						nbr |= 1 << uint(d+3)
+					} else {
+						nbr |= 1 << uint(d+2)
+					}
+				}
+			}
+			code.touch(rg, fclock)
+			unitLast[u] = fclock
+			emit(meta, u, nbr)
+		}
+
+		// Allocation events.
+		for i := 0; i < len(blk.Allocs); i++ {
+			obj, kind := cur.NextAlloc()
+			isNew := kind == isa.AllocNew
+			r.allocObj = append(r.allocObj, int32(obj))
+			r.allocNew = append(r.allocNew, isNew)
+			r.allocSize = append(r.allocSize, prog.Objects[obj].Size)
+			if isNew {
+				lastAlloc[obj] = allocSeq
+			}
+			allocSeq++
+		}
+
+		// Memory access events.
+		for i := 0; i < len(blk.Mems); i++ {
+			obj, off := cur.NextMem()
+			mclock++
+			var anchor int32
+			var uo uint32
+			if prog.Objects[obj].Heap {
+				anchor = lastAlloc[obj]
+				if anchor < 0 {
+					return nil, fmt.Errorf("machine: access to unplaced object %d in block %d", obj, bid)
+				}
+				uo = off &^ 15
+			} else {
+				anchor = ^int32(obj)
+				uo = off &^ 63
+			}
+			u := dataUnit(anchor, uo)
+			rg := dataRegion(anchor, off)
+			meta := uint8(devMem)
+			if last := unitLast[u]; last > 0 {
+				if data.othersSince(last, mclock, rg) < waysL1D {
+					meta |= dclHit << 2
+				} else {
+					meta |= dclSens << 2
+				}
+			} else if anchor < 0 {
+				// First touch of a global's line: 64-byte-aligned globals
+				// make the line private and canonical, so the miss and its
+				// cold L2 miss are shared across every layout.
+				meta |= dclCold << 2
+				r.coldData++
+			} else {
+				// Heap first touch: the line may be shared with neighboring
+				// placements, which vary per lane.
+				meta |= dclSens << 2
+			}
+			data.touch(rg, mclock)
+			unitLast[u] = mclock
+			emit(meta, u, 0)
+			if devClass(meta) == dclCold {
+				r.skel = append(r.skel, cfg.L1DMissPenalty, l2pen)
+			}
+		}
+
+		// Terminator events.
+		switch blk.Term.Kind {
+		case isa.TermCondBranch:
+			taken := cur.NextTaken()
+			seq := int32(len(r.condProc))
+			r.condProc = append(r.condProc, p)
+			r.condOff = append(r.condOff, uint64(off0+int64(blk.Bytes)-4))
+			r.condTaken = append(r.condTaken, taken)
+			scale := 1 / (1 + cfg.MispredictShadow*float64(len(blk.Mems)))
+			r.condPenalty = append(r.condPenalty, cfg.MispredictPenalty*scale)
+			emit(devCond, seq, 0)
+		case isa.TermIndirectCall:
+			sel := cur.NextIndirect()
+			seq := int32(len(r.indProc))
+			r.indProc = append(r.indProc, p)
+			r.indOff = append(r.indOff, uint64(off0+int64(blk.Bytes)-4))
+			r.indCallee = append(r.indCallee, int32(blk.Term.Callees[sel]))
+			emit(devInd, seq, 0)
+		}
+	}
+
+	// CSR index over cache events, naturally trace-ordered per unit.
+	nUnits := len(r.unitA)
+	r.unitEvStart = make([]int32, nUnits+1)
+	for e := int32(0); e < ev; e++ {
+		if devKind(r.evMeta[e]) <= devMem {
+			r.unitEvStart[r.evUnit[e]+1]++
+		}
+	}
+	for u := 0; u < nUnits; u++ {
+		r.unitEvStart[u+1] += r.unitEvStart[u]
+	}
+	r.unitEvs = make([]int32, r.unitEvStart[nUnits])
+	fill := make([]int32, nUnits)
+	copy(fill, r.unitEvStart[:nUnits])
+	for e := int32(0); e < ev; e++ {
+		if devKind(r.evMeta[e]) <= devMem {
+			u := r.evUnit[e]
+			r.unitEvs[fill[u]] = e
+			fill[u]++
+		}
+	}
+	// Units in first-touch order: cache events visit units in exactly that
+	// order, so one more pass over the stream yields the sorted list for
+	// free (a unit's first event marks its position).
+	r.unitsByFirstEv = make([]int32, 0, nUnits)
+	seen := fill[:nUnits]
+	for u := range seen {
+		seen[u] = 0
+	}
+	for e := int32(0); e < ev; e++ {
+		if devKind(r.evMeta[e]) <= devMem {
+			if u := r.evUnit[e]; seen[u] == 0 {
+				seen[u] = 1
+				r.unitsByFirstEv = append(r.unitsByFirstEv, u)
+			}
+		}
+	}
+	if n := len(r.sensEvs); n > 0 {
+		maxCut := r.sensEvs[n-1]
+		r.applyBound = int(maxCut) + 1
+		for _, u := range r.unitsByFirstEv {
+			if r.unitEvs[r.unitEvStart[u]] > maxCut {
+				break
+			}
+			r.candUnits++
+		}
+	}
+	return r, nil
+}
+
+// canonFetchN is the scalar fetchN formula in canonical offset space:
+// with a 16-aligned procedure base the two are equal term by term.
+func canonFetchN(off, bytes int64) int {
+	first := off &^ 15
+	return int(((off+bytes-1)&^15-first)/16) + 1
+}
+
+// matches reports whether the recording describes the same trace
+// content. Traces are rebuilt per campaign, but interpretation is
+// deterministic, so program identity plus seed and length pin the
+// content without retaining the trace.
+func (r *recording) matches(t *interp.Trace) bool {
+	return r.prog == t.Program && r.inputSeed == t.InputSeed &&
+		r.instrs == t.Instrs && r.nBlockSeq == len(t.BlockSeq) &&
+		r.stoppedBy == t.StoppedBy
+}
+
+// profitable estimates whether the per-lane delta walk beats the batched
+// engine's per-lane trace walk. The dominant per-lane delta cost is the
+// apply list: every cache event up to the last sensitive one is replayed
+// against real scalar cache state (with window bookkeeping and a sort),
+// an order of magnitude costlier per event than the batched engine's
+// lockstep bank access — so the estimate charges each bounded apply
+// event 8 batch-event units, plus the candidate-unit scan, skeleton
+// drain and the per-lane branch rows both engines pay. Calibrated
+// against the 23-workload suite (DESIGN.md §15): the factor-two margin
+// admits delta only where it wins clearly — traces whose layout-
+// sensitive events die out early — and every surveyed workload where
+// delta measured slower is declined. An explicit DeltaOn overrides.
+func (r *recording) profitable() bool {
+	perLaneDelta := 8*r.applyBound + 2*r.candUnits + len(r.skel) +
+		4*len(r.condProc) + len(r.allocObj)
+	perLaneBatch := int(r.nFetch) + 2*int(r.nMem) + 4*len(r.condProc)
+	return 2*perLaneDelta < perLaneBatch
+}

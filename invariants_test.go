@@ -4,6 +4,7 @@ import (
 	"sort"
 	"testing"
 
+	"interferometry/internal/core"
 	"interferometry/internal/heap"
 	"interferometry/internal/interp"
 	"interferometry/internal/isa"
@@ -225,6 +226,57 @@ func TestInvariantLinkerSoundness(t *testing.T) {
 		if len(globals) > 0 && (globals[0].lo < exe.DataBase || globals[len(globals)-1].hi > exe.DataLimit) {
 			t.Fatalf("seed %d: globals escape the data segment", i)
 		}
+	}
+}
+
+// TestInvariantDeltaPathEquivalence pins §5 invariants 1-2 under the
+// delta-replay engine: a campaign forced through machine.Delta produces
+// bit-identical observations — same semantic counters (invariant 1),
+// same reproducible (seed → measurement) mapping (invariant 2) — as the
+// sequential scalar path, and repeating the delta run reproduces itself.
+// The delta engine re-simulates only layout-perturbed state, so this is
+// the invariant the whole engine hangs on: unchanged segments replayed
+// from the recording must be indistinguishable from re-simulation.
+func TestInvariantDeltaPathEquivalence(t *testing.T) {
+	spec, ok := progen.ByName("400.perlbench")
+	if !ok {
+		t.Fatal("suite benchmark missing")
+	}
+	prog, err := progen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts := seedCount()
+	run := func(mode core.DeltaMode, batch int) *core.Dataset {
+		t.Helper()
+		ds, err := core.RunCampaign(core.CampaignConfig{
+			Program:   prog,
+			InputSeed: 1,
+			Budget:    80_000,
+			Layouts:   layouts,
+			BaseSeed:  invariantBase,
+			HeapMode:  heap.ModeRandomized,
+			BatchSize: batch,
+			Delta:     mode,
+		})
+		if err != nil {
+			t.Fatalf("delta mode %s: %v", mode, err)
+		}
+		return ds
+	}
+	scalar := run(core.DeltaOff, 1) // BatchSize 1: the sequential scalar path
+	delta := run(core.DeltaOn, 0)
+	again := run(core.DeltaOn, 0)
+	for i := range scalar.Obs {
+		if scalar.Obs[i] != delta.Obs[i] {
+			t.Fatalf("layout %d diverged under delta replay:\nscalar %+v\ndelta  %+v", i, scalar.Obs[i], delta.Obs[i])
+		}
+		if delta.Obs[i] != again.Obs[i] {
+			t.Fatalf("layout %d not reproducible under delta replay:\nfirst  %+v\nsecond %+v", i, delta.Obs[i], again.Obs[i])
+		}
+	}
+	if scalar.Obs[0].Instructions == 0 || scalar.Obs[0].Cycles == 0 {
+		t.Fatalf("degenerate reference observation: %+v", scalar.Obs[0])
 	}
 }
 
